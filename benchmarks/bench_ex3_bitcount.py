@@ -1,0 +1,76 @@
+"""E5 — Example 3: BITCOUNT1 with explicit barrier synchronization.
+
+Four data-dependent inner loops run concurrently, one per FU, joined by
+the ALL-sync barrier at address 10:.  The VLIW machine must run the
+four loops back to back.  Reported: cycles and speedup across array
+sizes, plus the barrier-wait overhead.
+"""
+
+from repro.analysis import render_table, speedup
+from repro.asm import assemble
+from repro.machine import VliwMachine, XimdMachine
+from repro.workloads import (
+    B_BASE,
+    BITCOUNT_REGS,
+    bitcount1_reference,
+    bitcount1_source,
+    bitcount_memory,
+    bitcount_total_reference,
+    bitcount_total_source,
+    bitcount_vliw_source,
+    random_words,
+)
+
+SIZES = (12, 24, 48, 96)
+
+
+def _run_ximd(data, n, source, reference):
+    machine = XimdMachine(assemble(source))
+    machine.regfile.poke(BITCOUNT_REGS["n"], n)
+    for address, value in bitcount_memory(data).items():
+        machine.memory.poke(address, value)
+    result = machine.run(5_000_000)
+    got = {k: machine.memory.peek(B_BASE + k) for k in range(n + 1)}
+    assert got == reference(data, n)
+    return result
+
+
+def _run_vliw(data, n):
+    machine = VliwMachine(assemble(bitcount_vliw_source()))
+    machine.regfile.poke(BITCOUNT_REGS["n"], n)
+    for address, value in bitcount_memory(data).items():
+        machine.memory.poke(address, value)
+    result = machine.run(5_000_000)
+    got = {k: machine.memory.peek(B_BASE + k) for k in range(n + 1)}
+    assert got == bitcount_total_reference(data, n)
+    return result
+
+
+def test_bitcount_barrier_sync(benchmark, record_table):
+    bench_data = random_words(24, seed=1)
+    benchmark(_run_ximd, bench_data, 24, bitcount1_source(),
+              bitcount1_reference)
+
+    rows = []
+    for n in SIZES:
+        data = random_words(n, seed=n)
+        rx = _run_ximd(data, n, bitcount_total_source(),
+                       bitcount_total_reference)
+        rv = _run_vliw(data, n)
+        rows.append([n, rx.cycles, rv.cycles,
+                     speedup(rv.cycles, rx.cycles)])
+    table = render_table(
+        ["n", "XIMD cycles (4 streams)", "VLIW cycles", "speedup"],
+        rows,
+        title="E5: BITCOUNT1 (Example 3) — barrier-joined streams "
+              "vs single stream")
+    record_table("ex3_bitcount", table)
+
+    # shape: XIMD wins on every size, and the advantage grows as the
+    # 4-wide main loop amortizes the sequential cleanup (1.2x at n=12
+    # toward ~2.3x; the asymptote is below 4x because the XIMD inner
+    # loop spends 4-5 cycles per bit position vs the VLIW loop's 3)
+    assert all(row[3] > 1.1 for row in rows)
+    assert rows[-1][3] > 2.0
+    speedups = [row[3] for row in rows]
+    assert speedups == sorted(speedups)

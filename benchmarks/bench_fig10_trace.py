@@ -1,0 +1,43 @@
+"""E4 — Figure 10: the MINMAX address trace, reproduced cell-for-cell.
+
+The one exactly-determined artifact in the paper: for IZ() = (5,3,4,7)
+the per-cycle PCs, condition codes, and SSET partitions of the MINMAX
+program.  The benchmark times the traced, partition-tracked execution;
+the assertions compare every cell against the published figure.
+"""
+
+from repro.asm import assemble
+from repro.machine import TrackerKind, XimdMachine
+from repro.workloads import (
+    FIGURE10_DATA,
+    FIGURE10_EXPECTED,
+    MINMAX_REGS,
+    minmax_memory,
+    minmax_source,
+)
+
+
+def _traced_run():
+    machine = XimdMachine(assemble(minmax_source("loop")), trace=True,
+                          tracker=TrackerKind.EXACT)
+    machine.regfile.poke(MINMAX_REGS["n"], len(FIGURE10_DATA))
+    for address, value in minmax_memory(FIGURE10_DATA).items():
+        machine.memory.poke(address, value)
+    for _ in range(len(FIGURE10_EXPECTED)):
+        machine.step()
+    return machine
+
+
+def test_figure10_trace(benchmark, record_table):
+    machine = benchmark(_traced_run)
+    table = machine.trace.format(show_sync=True)
+    record_table("fig10_minmax_trace", table)
+
+    for record, (pcs, cc, partition) in zip(machine.trace,
+                                            FIGURE10_EXPECTED):
+        assert tuple(record.pcs) == pcs, f"cycle {record.cycle} PCs"
+        assert record.condition_codes == cc, f"cycle {record.cycle} CC"
+        assert record.partition_text() == partition, \
+            f"cycle {record.cycle} partition"
+    assert machine.regfile.peek(MINMAX_REGS["min"]) == 3
+    assert machine.regfile.peek(MINMAX_REGS["max"]) == 7

@@ -1,0 +1,106 @@
+"""E8 — Figure 13: thread tiling and instruction-memory packing.
+
+Six program threads are each compiled at several widths ("each can be
+modeled as a rectangle or tile"), a Pareto tile set is kept per thread,
+and a packing algorithm schedules one implementation of each thread
+into the 8-FU instruction memory.  The figure shows two alternative
+packings; we reproduce that comparison with three packers (in-order
+shelf, skyline first-fit-decreasing, exhaustive) optimizing static code
+density, plus an executable stack packing that actually runs.
+"""
+
+from repro.analysis import render_table
+from repro.compiler import (
+    compile_ir,
+    generate_tiles,
+    lower_unit,
+    pack_exhaustive,
+    pack_in_order,
+    pack_skyline,
+    pack_stacks,
+    packed_program,
+    pareto_tiles,
+    parse_xc,
+)
+from repro.machine import XimdMachine
+from repro.workloads import branchy_loop_sources, random_ints
+
+N_THREADS = 6
+WIDTHS = (1, 2, 4)
+
+
+def _functions():
+    sources, oracles, bases = branchy_loop_sources(N_THREADS, seed=13)
+    functions = {}
+    for index, source in enumerate(sources):
+        name = f"loop{index}"
+        functions[name] = lower_unit(parse_xc(source))[name]
+    return functions, oracles, bases
+
+
+def _tile_menu():
+    functions, oracles, bases = _functions()
+    menu = []
+    for name, fn in functions.items():
+        menu.append(pareto_tiles(generate_tiles(fn, widths=WIDTHS)))
+    return menu, oracles, bases
+
+
+def test_tile_packing(benchmark, record_table):
+    menu, oracles, bases = benchmark(_tile_menu)
+
+    # pick the width-2 tile of each thread for the order-based packers
+    two_wide = [next(t for t in tiles if t.width == 2) for tiles in menu]
+
+    packings = {
+        "in-order shelf": pack_in_order(two_wide, total_width=8),
+        "skyline FFD": pack_skyline(two_wide, total_width=8),
+        "exhaustive (menu)": pack_exhaustive(
+            menu, total_width=8, max_combinations=100_000),
+        "stacks (executable)": pack_stacks(two_wide, total_width=8),
+    }
+    rows = [
+        [name, packing.height, f"{packing.utilization:.0%}",
+         len(packing.placements)]
+        for name, packing in packings.items()
+    ]
+    table = render_table(
+        ["packing", "static height", "utilization", "tiles"],
+        rows, title="E8: Figure 13 — alternative packings of six "
+                    "thread tiles (8 FU columns)")
+    details = "\n\n".join(
+        f"-- {name} --\n{packing.describe()}"
+        for name, packing in packings.items())
+    record_table("fig13_packing", table + "\n\n" + details)
+
+    # shape: the smarter packers dominate the naive shelf order
+    assert packings["skyline FFD"].height <= \
+        packings["in-order shelf"].height
+    assert packings["exhaustive (menu)"].height <= \
+        packings["skyline FFD"].height
+
+    # and the executable packing really runs all six threads
+    program, by_thread = packed_program(packings["stacks (executable)"])
+    machine = XimdMachine(program)
+    lengths = [6 + 2 * i for i in range(N_THREADS)]
+    datas = []
+    for index, base in enumerate(bases):
+        values = random_ints(30, seed=90 + index, lo=0, hi=300)
+        datas.append(values)
+        for k in range(1, 30):
+            machine.memory.poke(base + k, values[k])
+    for index in range(N_THREADS):
+        name = f"loop{index}"
+        placement = by_thread[name]
+        tile = placement.tile
+        machine.regfile.poke(
+            tile.compiled.register("n") + placement.register_base,
+            lengths[index])
+    machine.run(1_000_000)
+    for index in range(N_THREADS):
+        name = f"loop{index}"
+        placement = by_thread[name]
+        got = machine.regfile.peek(
+            placement.tile.compiled.register("__ret")
+            + placement.register_base)
+        assert got == oracles[index](datas[index], lengths[index])

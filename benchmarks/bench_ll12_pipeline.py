@@ -1,0 +1,69 @@
+"""E2 — Livermore Loop 12 under software pipelining (section 3.1).
+
+The paper: "Software Pipelining can be used effectively to schedule
+multiple iterations of this loop in parallel."  Reported: cycles per
+iteration for the hand-pipelined listing-style program (II = 2) and the
+compiler's modulo-scheduled output, against the unpipelined baseline,
+across problem sizes.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.asm import assemble
+from repro.compiler import compile_xc
+from repro.machine import XimdMachine
+from repro.workloads import (
+    LL12_REGS,
+    LL12_XC,
+    X_BASE,
+    livermore12_memory,
+    livermore12_reference,
+    livermore12_source,
+    random_ints,
+)
+
+N = 200
+
+
+def _hand_run(n):
+    machine = XimdMachine(assemble(livermore12_source()))
+    y = random_ints(n + 1, seed=42)
+    machine.regfile.poke(LL12_REGS["n"], n)
+    for address, value in livermore12_memory(y).items():
+        machine.memory.poke(address, value)
+    result = machine.run(1_000_000)
+    got = [0] + [machine.memory.peek(X_BASE + k) for k in range(1, n + 1)]
+    assert got == livermore12_reference(y, n)
+    return result
+
+
+def _compiled_run(n, pipeline):
+    cf = compile_xc(LL12_XC, width=4, pipeline=pipeline)
+    machine = XimdMachine(cf.program)
+    y = random_ints(n + 1, seed=42)
+    machine.regfile.poke(cf.register("n"), n)
+    for address, value in livermore12_memory(y).items():
+        machine.memory.poke(address, value)
+    result = machine.run(1_000_000)
+    got = [0] + [machine.memory.peek(X_BASE + k) for k in range(1, n + 1)]
+    assert got == livermore12_reference(y, n)
+    return result
+
+
+def test_ll12_hand_pipelined(benchmark, record_table):
+    result = benchmark(_hand_run, N)
+    rows = [["hand-pipelined listing (II=2)", N, result.cycles,
+             result.cycles / N]]
+    for pipeline, label in ((False, "compiler, unpipelined"),
+                            (True, "compiler, modulo-scheduled")):
+        compiled = _compiled_run(N, pipeline)
+        rows.append([label, N, compiled.cycles, compiled.cycles / N])
+    table = render_table(
+        ["version", "n", "cycles", "cycles/iter"],
+        rows, title="E2: Livermore Loop 12 — software pipelining")
+    record_table("ll12_pipeline", table)
+
+    hand, unpiped, piped = rows
+    assert hand[3] <= 2.2              # II = 2 steady state
+    assert piped[2] < unpiped[2]       # pipelining wins

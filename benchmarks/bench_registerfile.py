@@ -1,0 +1,55 @@
+"""E11 — section 4.4: the custom register-file chip arithmetic.
+
+"Each chip supports 8 simultaneous reads and 8 simultaneous writes.
+Two chips can be wired in parallel ... to provide 16 reads and 8
+writes.  Each chip is two bits wide and contains 256 global registers.
+This results in a minimum requirement of 32 register file chips."
+Also validates the architectural port budget against a measured run.
+"""
+
+from repro.analysis import (
+    MachineRequirement,
+    chip_table,
+    chips_in_parallel_for_reads,
+    minimum_chips,
+    render_kv,
+    total_transistors,
+)
+from repro.asm import assemble
+from repro.machine import XimdMachine
+from repro.workloads import TPROC_REGS, tproc_source
+
+
+def _chip_math():
+    requirement = MachineRequirement()
+    return (requirement.read_ports, requirement.write_ports,
+            chips_in_parallel_for_reads(requirement),
+            minimum_chips(requirement))
+
+
+def test_register_file_chip_model(benchmark, record_table):
+    reads, writes, parallel, chips = benchmark(_chip_math)
+
+    # measured port pressure from a real run (TPROC saturates FU0-3)
+    machine = XimdMachine(assemble(tproc_source()))
+    for name, value in zip("abcd", (1, 2, 3, 4)):
+        machine.regfile.poke(TPROC_REGS[name], value)
+    machine.run(100)
+
+    text = render_kv(
+        "E11: register-file chip partitioning (section 4.4)",
+        [("machine read ports", reads),
+         ("machine write ports", writes),
+         ("chips in parallel (reads)", parallel),
+         ("minimum chips (32-bit x 8 FU)", chips),
+         ("total transistors", total_transistors()),
+         ("peak reads observed (TPROC)", machine.regfile.peak_reads),
+         ("peak writes observed (TPROC)", machine.regfile.peak_writes)])
+    text += "\n\nscaling:\n" + chip_table()
+    record_table("registerfile_chips", text)
+
+    assert (reads, writes) == (16, 8)   # paper's port totals
+    assert parallel == 2                # two chips wired in parallel
+    assert chips == 32                  # the paper's minimum
+    assert machine.regfile.peak_reads <= 16
+    assert machine.regfile.peak_writes <= 8

@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures and result recording.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+rendered tables are written to ``benchmarks/results/<name>.txt`` (and
+echoed to stdout) so a ``pytest benchmarks/ --benchmark-only`` run
+leaves a complete, diffable record; EXPERIMENTS.md quotes these files.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{name}]\n{text}")
+
+    return record

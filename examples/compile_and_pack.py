@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The Figure 13 compilation approach: threads -> tiles -> packing.
+
+Six program threads (independent reduction loops) are each compiled at
+widths 1, 2, and 4; each compilation is a *tile* (width x static code
+size); the Pareto set per thread feeds the packers, which lay one
+implementation of each thread into the 8-FU instruction memory.  Two
+alternative packings are printed (the figure's side-by-side
+comparison), and the executable stack packing is actually run on the
+XIMD with a closing barrier.
+"""
+
+from repro.compiler import (
+    generate_tiles,
+    lower_unit,
+    pack_in_order,
+    pack_skyline,
+    pack_stacks,
+    packed_program,
+    pareto_tiles,
+    parse_xc,
+)
+from repro.machine import XimdMachine
+from repro.workloads import branchy_loop_sources, random_ints
+
+N_THREADS = 6
+
+
+def main():
+    sources, oracles, bases = branchy_loop_sources(N_THREADS, seed=13)
+
+    print("=== tile generation (compile each thread at several widths) ===")
+    menu = []
+    two_wide = []
+    for index, source in enumerate(sources):
+        name = f"loop{index}"
+        fn = lower_unit(parse_xc(source))[name]
+        tiles = pareto_tiles(generate_tiles(fn, widths=(1, 2, 4)))
+        menu.append(tiles)
+        two_wide.append(next(t for t in tiles if t.width == 2))
+        print(f"  {name}: " + ", ".join(
+            f"{t.width}x{t.height}" for t in tiles))
+
+    print("\n=== alternative packings (Figure 13) ===")
+    for label, packing in (
+            ("solution 1: in-order shelves", pack_in_order(two_wide, 8)),
+            ("solution 2: skyline FFD", pack_skyline(two_wide, 8)),
+            ("solution 3: executable stacks", pack_stacks(two_wide, 8))):
+        print(f"-- {label} --")
+        print(packing.describe())
+        print()
+
+    print("=== running the executable packing ===")
+    packing = pack_stacks(two_wide, 8)
+    program, by_thread = packed_program(packing)
+    machine = XimdMachine(program)
+    lengths = [6 + 2 * i for i in range(N_THREADS)]
+    datas = []
+    for index, base in enumerate(bases):
+        values = random_ints(30, seed=90 + index, lo=0, hi=300)
+        datas.append(values)
+        for k in range(1, 30):
+            machine.memory.poke(base + k, values[k])
+    for index in range(N_THREADS):
+        placement = by_thread[f"loop{index}"]
+        machine.regfile.poke(
+            placement.tile.compiled.register("n")
+            + placement.register_base, lengths[index])
+    result = machine.run()
+    print(f"all {N_THREADS} threads finished in {result.cycles} cycles "
+          f"(barrier join at the end)")
+    for index in range(N_THREADS):
+        placement = by_thread[f"loop{index}"]
+        got = machine.regfile.peek(
+            placement.tile.compiled.register("__ret")
+            + placement.register_base)
+        expected = oracles[index](datas[index], lengths[index])
+        status = "ok" if got == expected else "MISMATCH"
+        print(f"  loop{index}: {got} ({status})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project metadata lives in pyproject.toml; this file only enables
+pip's legacy editable-install path (`setup.py develop`) on offline
+machines where PEP 660 editable wheels cannot be built.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro — a reproduction of the XIMD architecture (Wolfe & Shen, ASPLOS 1991).
+
+"A Variable Instruction Stream Extension to the VLIW Architecture"
+proposed XIMD: a VLIW-structured processor whose per-functional-unit
+sequencers let the machine split into a dynamically varying number of
+instruction streams.  This package rebuilds the paper's research
+artifacts from scratch:
+
+* :mod:`repro.isa` — the XIMD-1 instruction set (parcels, condition
+  codes, sync signals, binary encoding);
+* :mod:`repro.asm` — an assembler/disassembler for the paper's code
+  format;
+* :mod:`repro.machine` — ``xsim`` (the XIMD simulator), ``vsim`` (the
+  companion VLIW simulator), and the SSET/partition analysis;
+* :mod:`repro.models` — the section 2 state-machine architecture models
+  and their emulation relationships;
+* :mod:`repro.compiler` — the VLIW compilation substrate (IR, list /
+  percolation / trace scheduling, software pipelining) and the XIMD
+  thread-tiling/packing approach of Figure 13;
+* :mod:`repro.workloads` — the paper's example programs and synthetic
+  workload generators;
+* :mod:`repro.analysis` — metrics, the prototype performance model, and
+  the register-file chip model.
+
+Quickstart::
+
+    from repro.asm import assemble
+    from repro.machine import run_ximd, TrackerKind
+
+    program = assemble(open("prog.x").read())
+    result = run_ximd(program, trace=True, tracker=TrackerKind.ADAPTIVE)
+    print(result.trace.format())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

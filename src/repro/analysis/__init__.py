@@ -1,0 +1,38 @@
+"""Metrics, reporting, and the paper's analytical models.
+
+* :mod:`~repro.analysis.metrics` — speedups, utilization, SSET
+  partition statistics over simulator runs (section 4.1).
+* :mod:`~repro.analysis.prototype` — the 85 ns / ~90 MIPS prototype
+  performance model (section 4.3).
+* :mod:`~repro.analysis.registerfile` — the 24-port register-file chip
+  partitioning arithmetic (section 4.4).
+"""
+
+from .metrics import PartitionStats, RunMetrics, compare_runs, speedup
+from .prototype import DEFAULT_DELAYS_NS, PrototypeModel
+from .registerfile import (
+    MachineRequirement,
+    RegisterFileChip,
+    chip_table,
+    chips_in_parallel_for_reads,
+    minimum_chips,
+    total_transistors,
+)
+from .report import render_kv, render_table
+
+__all__ = [
+    "DEFAULT_DELAYS_NS",
+    "MachineRequirement",
+    "PartitionStats",
+    "PrototypeModel",
+    "RegisterFileChip",
+    "RunMetrics",
+    "chip_table",
+    "chips_in_parallel_for_reads",
+    "compare_runs",
+    "minimum_chips",
+    "render_kv",
+    "render_table",
+    "speedup",
+    "total_transistors",
+]

@@ -1,0 +1,96 @@
+"""Derived metrics over simulation results.
+
+The paper's evaluation compares xsim and vsim cycle counts (section
+4.1); these helpers compute the quantities the benchmark harness
+reports: speedups, utilization, dynamic operation mixes, and partition
+statistics (how the machine's SSET count varied over a run — the
+quantity that makes an execution "XIMD-like" rather than VLIW-like).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..machine.trace import AddressTrace
+from ..machine.ximd import ExecutionResult
+
+
+def speedup(baseline_cycles: int, improved_cycles: int) -> float:
+    """Classic speedup: baseline time over improved time."""
+    if improved_cycles <= 0:
+        raise ValueError("cycle counts must be positive")
+    return baseline_cycles / improved_cycles
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Summary of a run's SSET behavior."""
+
+    cycles: int
+    stream_histogram: Dict[int, int]   # #SSETs -> cycles spent there
+    max_streams: int
+    mean_streams: float
+    multi_stream_fraction: float       # cycles with > 1 stream
+
+    @classmethod
+    def from_trace(cls, trace: AddressTrace) -> "PartitionStats":
+        histogram: Counter = Counter()
+        for record in trace:
+            if record.partition is None:
+                continue
+            histogram[len(record.partition)] += 1
+        total = sum(histogram.values())
+        if total == 0:
+            return cls(0, {}, 0, 0.0, 0.0)
+        weighted = sum(k * v for k, v in histogram.items())
+        multi = sum(v for k, v in histogram.items() if k > 1)
+        return cls(
+            cycles=total,
+            stream_histogram=dict(sorted(histogram.items())),
+            max_streams=max(histogram),
+            mean_streams=weighted / total,
+            multi_stream_fraction=multi / total,
+        )
+
+    def describe(self) -> str:
+        bars = ", ".join(f"{k} streams: {v}cy"
+                         for k, v in self.stream_histogram.items())
+        return (f"{self.cycles} cycles; mean {self.mean_streams:.2f} "
+                f"streams, max {self.max_streams}; "
+                f"{self.multi_stream_fraction:.0%} multi-stream [{bars}]")
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """One run's headline numbers."""
+
+    cycles: int
+    data_ops: int
+    utilization: float
+    branches: int
+
+    @classmethod
+    def from_result(cls, result: ExecutionResult,
+                    n_fus: int) -> "RunMetrics":
+        stats = result.stats
+        return cls(
+            cycles=result.cycles,
+            data_ops=stats.data_ops,
+            utilization=stats.utilization(n_fus),
+            branches=(stats.branches_conditional
+                      + stats.branches_unconditional),
+        )
+
+
+def compare_runs(ximd: ExecutionResult, vliw: ExecutionResult,
+                 n_fus: int) -> Dict[str, float]:
+    """The xsim-vs-vsim comparison row for one workload."""
+    return {
+        "ximd_cycles": ximd.cycles,
+        "vliw_cycles": vliw.cycles,
+        "speedup": speedup(vliw.cycles, ximd.cycles),
+        "ximd_utilization": ximd.stats.utilization(n_fus),
+        "vliw_utilization": vliw.stats.utilization(n_fus),
+    }

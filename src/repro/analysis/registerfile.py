@@ -1,0 +1,100 @@
+"""The custom register-file chip model (paper section 4.4).
+
+The paper's chip: *"Each chip supports 8 simultaneous reads and 8
+simultaneous writes.  Two chips can be wired in parallel ... to provide
+16 reads and 8 writes.  Each chip is two bits wide and contains 256
+global registers.  This results in a minimum requirement of 32 register
+file chips for the proposed prototype architecture."*  (70,000
+transistors, 7.9 x 9.2 mm, 132-pin PGA, MOSIS 2 micron.)
+
+This module recomputes the chip-count arithmetic for arbitrary machine
+shapes: given FU count and word width, how many 2-bit 8R/8W slices are
+needed, and how read-port pairing scales.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RegisterFileChip:
+    """Parameters of one register-file chip (defaults: the Maly chip)."""
+
+    bits_per_chip: int = 2
+    registers: int = 256
+    read_ports: int = 8
+    write_ports: int = 8
+    transistors: int = 70_000
+    die_mm: tuple = (7.9, 9.2)
+    package_pins: int = 132
+
+
+@dataclass(frozen=True)
+class MachineRequirement:
+    """Register-file demand of a machine configuration."""
+
+    n_fus: int = 8
+    word_bits: int = 32
+    reads_per_fu: int = 2
+    writes_per_fu: int = 1
+
+    @property
+    def read_ports(self) -> int:
+        return self.n_fus * self.reads_per_fu      # paper: 16
+
+    @property
+    def write_ports(self) -> int:
+        return self.n_fus * self.writes_per_fu     # paper: 8
+
+
+def chips_in_parallel_for_reads(requirement: MachineRequirement,
+                                chip: RegisterFileChip = RegisterFileChip(),
+                                ) -> int:
+    """Chips wired in parallel per bit-slice to meet the read ports.
+
+    Writes go to every parallel chip (keeping copies coherent), so the
+    write ports must cover the machine's writes on *each* chip; reads
+    split across the copies.  Paper: 2 chips -> 16 reads + 8 writes.
+    """
+    if requirement.write_ports > chip.write_ports:
+        raise ValueError(
+            f"{requirement.write_ports} writes/cycle exceed one chip's "
+            f"{chip.write_ports} write ports; wider write banking is "
+            f"outside the paper's design")
+    return math.ceil(requirement.read_ports / chip.read_ports)
+
+
+def minimum_chips(requirement: MachineRequirement = MachineRequirement(),
+                  chip: RegisterFileChip = RegisterFileChip()) -> int:
+    """Total chips for the machine (paper: 32 for the 8-FU prototype)."""
+    slices = math.ceil(requirement.word_bits / chip.bits_per_chip)
+    return slices * chips_in_parallel_for_reads(requirement, chip)
+
+
+def total_transistors(requirement: MachineRequirement = MachineRequirement(),
+                      chip: RegisterFileChip = RegisterFileChip()) -> int:
+    """Silicon cost of the full register file in transistors."""
+    return minimum_chips(requirement, chip) * chip.transistors
+
+
+def chip_table(max_fus: int = 16,
+               chip: RegisterFileChip = RegisterFileChip()) -> str:
+    """Chip counts as the machine scales — the cost curve that
+    motivated the paper's multi-chip partitioning."""
+    lines = [f"{'FUs':>4} {'read ports':>11} {'write ports':>12} "
+             f"{'parallel':>9} {'chips':>6}"]
+    fus = 1
+    while fus <= max_fus:
+        req = MachineRequirement(n_fus=fus)
+        try:
+            parallel = chips_in_parallel_for_reads(req, chip)
+            chips = minimum_chips(req, chip)
+            lines.append(f"{fus:>4} {req.read_ports:>11} "
+                         f"{req.write_ports:>12} {parallel:>9} {chips:>6}")
+        except ValueError:
+            lines.append(f"{fus:>4} {req.read_ports:>11} "
+                         f"{req.write_ports:>12} {'—':>9} {'—':>6}")
+        fus *= 2
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Plain-text table rendering for the benchmark harness.
+
+All benchmarks print their results through :func:`render_table`, so
+every experiment's output has the same fixed-width, diff-friendly
+shape (EXPERIMENTS.md records these tables verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Render a fixed-width text table."""
+    text_rows: List[List[str]] = [[_format_cell(c) for c in row]
+                                  for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("-" * max(len(out[-1]), 8))
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)
+
+
+def render_kv(title: str, pairs: Sequence[Sequence]) -> str:
+    """Render key/value findings (for the analytical experiments)."""
+    width = max(len(str(k)) for k, _ in pairs)
+    lines = [title]
+    lines += [f"  {str(k).ljust(width)} : {_format_cell(v)}"
+              for k, v in pairs]
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Assembler and disassembler for the XIMD-1 assembly language.
+
+The textual format linearizes the paper's Figure 9 listing layout; see
+:mod:`repro.asm.parser` for the grammar.
+"""
+
+from .assembler import BUILTIN_CONSTANTS, assemble, register_index
+from .disasm import (
+    disassemble,
+    format_control_op,
+    format_data_op,
+    format_listing,
+)
+from .errors import AsmError, AsmLayoutError, AsmSymbolError, AsmSyntaxError
+from .lexer import Token, TokenKind, TokenStream, tokenize
+from .parser import parse_program
+
+__all__ = [
+    "AsmError",
+    "AsmLayoutError",
+    "AsmSymbolError",
+    "AsmSyntaxError",
+    "BUILTIN_CONSTANTS",
+    "Token",
+    "TokenKind",
+    "TokenStream",
+    "assemble",
+    "disassemble",
+    "format_control_op",
+    "format_data_op",
+    "format_listing",
+    "parse_program",
+    "register_index",
+    "tokenize",
+]

@@ -1,0 +1,249 @@
+"""Two-pass assembler: assembly text -> executable :class:`Program`.
+
+Pass 1 assigns an instruction-memory address to every row and binds
+labels; pass 2 resolves branch targets, symbolic constants, and symbolic
+registers, and builds the per-FU parcel columns.
+
+Symbolic registers (bare identifiers such as ``k``, ``tz``, ``min``) may
+be bound explicitly with ``.reg name rN``; unbound names are
+auto-allocated to the lowest free physical registers in first-appearance
+order, which keeps listings as readable as the paper's examples without
+hand-numbering every temporary.
+
+Builtin constants: ``#minint`` and ``#maxint`` (the smallest/largest
+representable 32-bit integers, used by Example 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..isa import (
+    Condition,
+    Const,
+    ControlOp,
+    DataOp,
+    MAXINT,
+    MININT,
+    OpKind,
+    Parcel,
+    Reg,
+    SyncValue,
+    UnknownOpcodeError,
+    lookup,
+)
+from ..machine.program import Program
+from .errors import AsmLayoutError, AsmSymbolError, AsmSyntaxError
+from .parser import (
+    ControlSpec,
+    DataSpec,
+    OperandRef,
+    ParcelSpec,
+    ProgramSpec,
+    RowSpec,
+    TargetRef,
+    parse_program,
+)
+
+#: Constants every program may reference without declaring.
+BUILTIN_CONSTANTS = {"minint": MININT, "maxint": MAXINT}
+
+
+class _SymbolTable:
+    """Labels, constants, and register bindings for one assembly unit."""
+
+    def __init__(self, spec: ProgramSpec):
+        self.width = spec.width
+        self.labels: Dict[str, int] = {}
+        self.constants: Dict[str, object] = dict(BUILTIN_CONSTANTS)
+        self.registers: Dict[str, int] = {}
+        self._used_indices = set()
+
+        for name, value, line in spec.const_bindings:
+            if name in self.constants and name not in BUILTIN_CONSTANTS:
+                raise AsmSymbolError(f"duplicate constant {name!r}", line)
+            self.constants[name] = value
+        for name, index, line in spec.reg_bindings:
+            if name in self.registers:
+                raise AsmSymbolError(f"duplicate register name {name!r}", line)
+            if index >= 256:
+                raise AsmSymbolError(
+                    f"register index out of range: r{index}", line)
+            self.registers[name] = index
+            self._used_indices.add(index)
+
+    def bind_label(self, name: str, address: int, line: int) -> None:
+        if name in self.labels:
+            raise AsmSymbolError(f"duplicate label {name!r}", line)
+        self.labels[name] = address
+
+    def resolve_register(self, name: str, line: int) -> int:
+        index = self.registers.get(name)
+        if index is not None:
+            return index
+        index = 0
+        while index in self._used_indices:
+            index += 1
+        if index >= 256:
+            raise AsmSymbolError(
+                f"out of registers auto-allocating {name!r}", line)
+        self.registers[name] = index
+        self._used_indices.add(index)
+        return index
+
+    def resolve_constant(self, name: str, line: int):
+        try:
+            return self.constants[name]
+        except KeyError:
+            raise AsmSymbolError(f"undefined constant {name!r}", line) from None
+
+    def resolve_target(self, target: TargetRef, own_address: int,
+                       line: int) -> int:
+        if target.kind == "next":
+            return own_address + 1
+        if target.kind == "addr":
+            return int(target.value)
+        address = self.labels.get(target.value)
+        if address is None:
+            raise AsmSymbolError(f"undefined label {target.value!r}", line)
+        return address
+
+
+def _expected_arity(kind: OpKind) -> int:
+    if kind is OpKind.NOP:
+        return 0
+    if kind in (OpKind.COMPARE, OpKind.STORE):
+        return 2
+    return 3  # ARITH, LOAD: a, b, dest
+
+
+def _build_operand(ref: OperandRef, symbols: _SymbolTable, line: int):
+    if ref.kind == "reg":
+        return Reg(int(ref.value))
+    if ref.kind == "const":
+        return Const(ref.value)
+    if ref.kind == "sym_const":
+        return Const(symbols.resolve_constant(ref.value, line))
+    if ref.kind == "sym_reg":
+        return Reg(symbols.resolve_register(ref.value, line))
+    raise AsmSyntaxError(f"bad operand reference {ref!r}", line)
+
+
+def _build_data_op(spec: DataSpec, symbols: _SymbolTable) -> DataOp:
+    try:
+        opcode = lookup(spec.mnemonic)
+    except UnknownOpcodeError:
+        raise AsmSyntaxError(
+            f"unknown opcode {spec.mnemonic!r}", spec.line) from None
+    expected = _expected_arity(opcode.kind)
+    if len(spec.operands) != expected:
+        raise AsmSyntaxError(
+            f"{spec.mnemonic} takes {expected} operands, "
+            f"got {len(spec.operands)}", spec.line)
+    operands = [_build_operand(ref, symbols, spec.line)
+                for ref in spec.operands]
+    if opcode.kind is OpKind.NOP:
+        return DataOp(opcode)
+    if opcode.kind in (OpKind.COMPARE, OpKind.STORE):
+        return DataOp(opcode, operands[0], operands[1])
+    dest = operands[2]
+    if not isinstance(dest, Reg):
+        raise AsmSyntaxError(
+            f"{spec.mnemonic} destination must be a register", spec.line)
+    return DataOp(opcode, operands[0], operands[1], dest)
+
+
+def _build_control(spec: ControlSpec, symbols: _SymbolTable,
+                   address: int, width: int,
+                   line: int) -> Optional[ControlOp]:
+    if spec.condition is None:
+        return None  # halt
+    if spec.index is not None and spec.index >= width:
+        raise AsmLayoutError(
+            f"condition references FU {spec.index} but width is {width}",
+            line)
+    if spec.mask is not None:
+        for member in spec.mask:
+            if member >= width:
+                raise AsmLayoutError(
+                    f"sync mask references FU {member} but width is {width}",
+                    line)
+    target1 = symbols.resolve_target(spec.target1, address, line)
+    target2 = (symbols.resolve_target(spec.target2, address, line)
+               if spec.target2 is not None else None)
+    return ControlOp(spec.condition, target1, target2, spec.index, spec.mask)
+
+
+def assemble(text: str) -> Program:
+    """Assemble *text* into an executable :class:`Program`."""
+    spec = parse_program(text)
+    symbols = _SymbolTable(spec)
+
+    # ---- pass 1: assign addresses, bind labels -------------------------
+    addressed: List[Tuple[int, RowSpec]] = []
+    next_address = 0
+    used_addresses: Dict[int, int] = {}
+    for row in spec.rows:
+        address = (row.explicit_addr if row.explicit_addr is not None
+                   else next_address)
+        if row.parcels or row.row_control is not None:
+            if address in used_addresses:
+                raise AsmLayoutError(
+                    f"address {address:#04x} defined twice (lines "
+                    f"{used_addresses[address]} and {row.line})", row.line)
+            used_addresses[address] = row.line
+            addressed.append((address, row))
+        for label in row.labels:
+            symbols.bind_label(label, address, row.line)
+        next_address = address + (1 if (row.parcels or
+                                        row.row_control is not None) else 0)
+
+    if not addressed:
+        raise AsmLayoutError("program has no instruction rows")
+
+    length = max(address for address, _ in addressed) + 1
+    width = spec.width
+    columns: List[List[Optional[Parcel]]] = [
+        [None] * length for _ in range(width)
+    ]
+
+    # ---- pass 2: resolve and place parcels -----------------------------
+    for address, row in addressed:
+        for fu, parcel_spec in enumerate(row.parcels):
+            if parcel_spec.empty:
+                continue
+            data = _build_data_op(parcel_spec.data, symbols)
+            control_spec = (parcel_spec.control
+                            if parcel_spec.control is not None
+                            else row.row_control)
+            if control_spec is None:
+                raise AsmSyntaxError(
+                    "parcel has no control op and its row has no '=>' "
+                    "control", parcel_spec.line)
+            control = _build_control(control_spec, symbols, address,
+                                     width, parcel_spec.line)
+            sync = (SyncValue.DONE if parcel_spec.sync == "done"
+                    else SyncValue.BUSY)
+            columns[fu][address] = Parcel(data, control, sync)
+
+    entry = 0
+    if spec.entry is not None:
+        if spec.entry.kind == "next":
+            raise AsmSyntaxError(".entry cannot be '.'")
+        entry = symbols.resolve_target(spec.entry, 0, 0)
+
+    register_names = {index: name for name, index in symbols.registers.items()}
+    return Program(columns, entry=entry, labels=dict(symbols.labels),
+                   register_names=register_names, source=text)
+
+
+def register_index(program: Program, name: str) -> int:
+    """Look up the physical register bound to symbolic *name*.
+
+    Convenience for tests and examples: lets callers set inputs and read
+    results of assembled programs by the names used in the source.
+    """
+    for index, bound in program.register_names.items():
+        if bound == name:
+            return index
+    raise AsmSymbolError(f"program binds no register named {name!r}")

@@ -1,0 +1,179 @@
+"""Disassembler and listing formatter.
+
+:func:`disassemble` emits canonical assembly text that
+:func:`~repro.asm.assembler.assemble` parses back into an equivalent
+program (round-trip tested).  :func:`format_listing` renders the boxed,
+column-per-FU layout of the paper's Figure 9 for human inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..isa import Condition, Const, ControlOp, DataOp, Parcel, SyncValue
+from ..machine.program import Program
+
+
+def _format_operand(operand, register_names: Dict[int, str]) -> str:
+    if isinstance(operand, Const):
+        value = operand.value
+        if isinstance(value, float) and value.is_integer():
+            return f"#{value}"
+        return f"#{value}"
+    name = register_names.get(operand.index)
+    return name if name is not None else f"r{operand.index}"
+
+
+def format_data_op(op: DataOp,
+                   register_names: Optional[Dict[int, str]] = None) -> str:
+    """Render a data op in assembly syntax (``iadd a,b,e``)."""
+    names = register_names or {}
+    if op.is_nop:
+        return "nop"
+    parts = [_format_operand(op.srca, names), _format_operand(op.srcb, names)]
+    if op.dest is not None:
+        parts.append(_format_operand(op.dest, names))
+    return f"{op.opcode} " + ",".join(parts)
+
+
+def format_control_op(control: Optional[ControlOp]) -> str:
+    """Render a control op in assembly syntax (``if cc2 @08, @02``)."""
+    if control is None:
+        return "halt"
+    condition = control.condition
+    if condition is Condition.ALWAYS_T1:
+        return f"-> @{control.target1:02x}"
+    if condition is Condition.ALWAYS_T2:
+        target = (control.target2 if control.target2 is not None
+                  else control.target1)
+        return f"-> @{target:02x}"
+    if condition is Condition.CC_TRUE:
+        word = f"cc{control.index}"
+    elif condition is Condition.SS_DONE:
+        word = f"ss{control.index}"
+    elif condition is Condition.ALL_SS_DONE:
+        word = "all" + _mask(control)
+    else:
+        word = "any" + _mask(control)
+    return f"if {word} @{control.target1:02x}, @{control.target2:02x}"
+
+
+def _mask(control: ControlOp) -> str:
+    if control.mask is None:
+        return ""
+    return "(" + ",".join(str(i) for i in control.mask) + ")"
+
+
+def _assembly_safe_names(names: Dict[int, str]) -> Dict[int, str]:
+    """Map register names into the assembler's identifier grammar.
+
+    Compiler-generated temporaries (``iadd.1``) contain dots; they are
+    rewritten with underscores, uniquified, and names that would parse
+    as something else (``r12``, keywords) get a prefix.
+    """
+    import re
+
+    out: Dict[int, str] = {}
+    used = set()
+    for index in sorted(names):
+        name = re.sub(r"[^A-Za-z0-9_]", "_", names[index])
+        if not name or not (name[0].isalpha() or name[0] == "_"):
+            name = "v_" + name
+        if re.fullmatch(r"r\d+", name) or name in ("if", "halt", "empty",
+                                                   "busy", "done", "all",
+                                                   "any", "nop"):
+            name = name + "_"
+        base = name
+        suffix = 2
+        while name in used:
+            name = f"{base}{suffix}"
+            suffix += 1
+        used.add(name)
+        out[index] = name
+    return out
+
+
+def disassemble(program: Program) -> str:
+    """Emit round-trippable assembly text for *program*.
+
+    Register operands are rendered with the program's symbolic names
+    when available; labels are re-emitted at their addresses.
+    """
+    lines: List[str] = [f".width {program.width}"]
+    if program.entry != 0:
+        lines.append(f".entry @{program.entry:02x}")
+    names = _assembly_safe_names(program.register_names)
+    # Bind names explicitly so reassembly maps them to the same indices.
+    for index in sorted(names):
+        lines.append(f".reg {names[index]} r{index}")
+
+    last_emitted: Optional[int] = None
+    for address, parcels in program.rows():
+        if all(p is None for p in parcels):
+            continue
+        if last_emitted is None or address != last_emitted + 1:
+            lines.append(f".org @{address:02x}")
+        last_emitted = address
+        label = program.label_at(address)
+        if label is not None:
+            lines.append(f"{label}:")
+        else:
+            lines.append("-")
+        trailing_empty = len(parcels)
+        while trailing_empty and parcels[trailing_empty - 1] is None:
+            trailing_empty -= 1
+        for parcel in parcels[:trailing_empty]:
+            if parcel is None:
+                lines.append("| empty")
+                continue
+            fields = [format_control_op(parcel.control),
+                      format_data_op(parcel.data, names)]
+            if parcel.sync is SyncValue.DONE:
+                fields.append("done")
+            lines.append("| " + " ; ".join(fields))
+    return "\n".join(lines) + "\n"
+
+
+def format_listing(program: Program, start: int = 0,
+                   end: Optional[int] = None,
+                   show_sync: bool = False) -> str:
+    """Render the boxed column listing of the paper's Figure 9.
+
+    Each row of boxes shows, per FU: the control op on top, the data op
+    below it, and (optionally) the sync field, exactly as Examples 1-3
+    are typeset in the paper.
+    """
+    names = program.register_names
+    end = program.length if end is None else end
+    col_width = 24
+    header = "addr " + "".join(
+        f"FU{fu}".ljust(col_width) for fu in range(program.width))
+    rule = "-" * len(header)
+    lines = [header, rule]
+    for address in range(start, min(end, program.length)):
+        parcels = [program.fetch(fu, address) for fu in range(program.width)]
+        if all(p is None for p in parcels):
+            continue
+        label = program.label_at(address)
+        if label:
+            lines.append(f"{label}:")
+        control_row = f"{address:02x}:  "
+        data_row = "     "
+        sync_row = "     "
+        for parcel in parcels:
+            if parcel is None:
+                control_row += "".ljust(col_width)
+                data_row += "".ljust(col_width)
+                sync_row += "".ljust(col_width)
+                continue
+            control_row += format_control_op(parcel.control)[:col_width - 1] \
+                .ljust(col_width)
+            data_row += format_data_op(parcel.data, names)[:col_width - 1] \
+                .ljust(col_width)
+            sync_row += str(parcel.sync).ljust(col_width)
+        lines.append(control_row.rstrip())
+        lines.append(data_row.rstrip())
+        if show_sync:
+            lines.append(sync_row.rstrip())
+        lines.append(rule)
+    return "\n".join(lines)

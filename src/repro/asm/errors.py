@@ -1,0 +1,23 @@
+"""Assembler error types, carrying source positions."""
+
+
+class AsmError(Exception):
+    """Base class for assembler errors."""
+
+    def __init__(self, message: str, line: int = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class AsmSyntaxError(AsmError):
+    """Malformed assembly text."""
+
+
+class AsmSymbolError(AsmError):
+    """Undefined or conflicting labels, registers, or constants."""
+
+
+class AsmLayoutError(AsmError):
+    """Rows that do not fit the declared machine width or addresses."""

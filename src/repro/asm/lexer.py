@@ -1,0 +1,177 @@
+"""Tokenizer for XIMD assembly field text.
+
+The assembly format is line-structured (see :mod:`repro.asm.parser`);
+this lexer handles the token-level syntax *within* a field: mnemonics,
+register names, ``#``-prefixed constants (numeric or symbolic), ``@``-
+prefixed hex addresses, ``.`` (the next-row target), punctuation, and
+identifiers.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from .errors import AsmSyntaxError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"          # mnemonic, label, symbolic register
+    REGISTER = "register"    # rN
+    CONST_NUM = "const_num"  # #123, #-5, #1.5, #0x1f
+    CONST_SYM = "const_sym"  # #name
+    ADDRESS = "address"      # @1a (hex)
+    DOT = "dot"              # . (the fall-through target)
+    COMMA = "comma"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    ARROW = "arrow"          # ->
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: object = None
+    column: int = 0
+
+    def __str__(self):
+        return self.text or self.kind.value
+
+
+_REGISTER_RE = re.compile(r"r(\d+)$")
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUMBER_RE = re.compile(
+    r"-?(0[xX][0-9a-fA-F]+|\d+\.\d+([eE][+-]?\d+)?|\d+([eE][+-]?\d+)?)")
+_HEX_RE = re.compile(r"[0-9a-fA-F]+")
+
+
+def _parse_number(text: str):
+    if re.fullmatch(r"-?0[xX][0-9a-fA-F]+", text):
+        return int(text, 16)
+    if "." in text or "e" in text or "E" in text:
+        return float(text)
+    return int(text, 10)
+
+
+def tokenize(text: str, line: Optional[int] = None) -> List[Token]:
+    """Tokenize one field of assembly text.
+
+    Raises :class:`AsmSyntaxError` on unrecognized characters.
+    """
+    tokens: List[Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        ch = text[pos]
+        if ch in " \t":
+            pos += 1
+            continue
+        if text.startswith("->", pos):
+            tokens.append(Token(TokenKind.ARROW, "->", column=pos))
+            pos += 2
+            continue
+        if ch == ",":
+            tokens.append(Token(TokenKind.COMMA, ",", column=pos))
+            pos += 1
+            continue
+        if ch == "(":
+            tokens.append(Token(TokenKind.LPAREN, "(", column=pos))
+            pos += 1
+            continue
+        if ch == ")":
+            tokens.append(Token(TokenKind.RPAREN, ")", column=pos))
+            pos += 1
+            continue
+        if ch == ".":
+            tokens.append(Token(TokenKind.DOT, ".", column=pos))
+            pos += 1
+            continue
+        if ch == "@":
+            match = _HEX_RE.match(text, pos + 1)
+            if not match:
+                raise AsmSyntaxError(
+                    f"malformed address at column {pos}: {text!r}", line)
+            tokens.append(Token(TokenKind.ADDRESS, match.group(0),
+                                int(match.group(0), 16), pos))
+            pos = match.end()
+            continue
+        if ch == "#":
+            match = _NUMBER_RE.match(text, pos + 1)
+            if match:
+                tokens.append(Token(TokenKind.CONST_NUM, match.group(0),
+                                    _parse_number(match.group(0)), pos))
+                pos = match.end()
+                continue
+            match = _IDENT_RE.match(text, pos + 1)
+            if match:
+                tokens.append(Token(TokenKind.CONST_SYM, match.group(0),
+                                    match.group(0), pos))
+                pos = match.end()
+                continue
+            raise AsmSyntaxError(
+                f"malformed constant at column {pos}: {text!r}", line)
+        match = _NUMBER_RE.match(text, pos)
+        if match and (ch.isdigit() or ch == "-"):
+            tokens.append(Token(TokenKind.CONST_NUM, match.group(0),
+                                _parse_number(match.group(0)), pos))
+            pos = match.end()
+            continue
+        match = _IDENT_RE.match(text, pos)
+        if match:
+            word = match.group(0)
+            reg = _REGISTER_RE.fullmatch(word)
+            if reg:
+                tokens.append(Token(TokenKind.REGISTER, word,
+                                    int(reg.group(1)), pos))
+            else:
+                tokens.append(Token(TokenKind.IDENT, word, word, pos))
+            pos = match.end()
+            continue
+        raise AsmSyntaxError(
+            f"unexpected character {ch!r} at column {pos} in {text!r}", line)
+    tokens.append(Token(TokenKind.END, "", column=length))
+    return tokens
+
+
+class TokenStream:
+    """A cursor over a token list with one-token lookahead."""
+
+    def __init__(self, tokens: List[Token], line: Optional[int] = None):
+        self._tokens = tokens
+        self._index = 0
+        self.line = line
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.END:
+            self._index += 1
+        return token
+
+    def accept(self, kind: TokenKind) -> Optional[Token]:
+        if self.current.kind is kind:
+            return self.advance()
+        return None
+
+    def expect(self, kind: TokenKind, what: str) -> Token:
+        token = self.accept(kind)
+        if token is None:
+            raise AsmSyntaxError(
+                f"expected {what}, found {self.current}", self.line)
+        return token
+
+    def expect_end(self) -> None:
+        if self.current.kind is not TokenKind.END:
+            raise AsmSyntaxError(
+                f"unexpected trailing input: {self.current}", self.line)
+
+    @property
+    def at_end(self) -> bool:
+        return self.current.kind is TokenKind.END

@@ -1,0 +1,388 @@
+"""Line-structured parser for XIMD assembly.
+
+The textual format is a linearization of the paper's Figure 9 listing
+format: a program is a sequence of *rows*, one per instruction-memory
+address; each row holds one *parcel* per functional unit.  The paper's
+examples translate almost verbatim.
+
+Grammar::
+
+    program    := line*
+    line       := directive | labeldef | rowsep | rowctl | parcel | blank
+    directive  := '.width' N        -- number of FU columns (default 8)
+                | '.entry' target   -- start address (default 0)
+                | '.reg' NAME rN    -- bind a symbolic register
+                | '.const' NAME NUM -- bind a symbolic constant
+                | '.org' @HEX       -- address of the next row
+    labeldef   := NAME ':'          -- starts a new row, binds the label
+    rowsep     := '-'               -- starts a new unlabeled row
+    rowctl     := '=>' controlspec  -- row-wide control, applied to every
+                                       parcel of this row (VLIW style:
+                                       "the control path instruction
+                                       fields must be duplicated in each
+                                       instruction parcel")
+    parcel     := '|' 'empty'
+                | '|' controlspec ';' dataop [';' sync]   -- no rowctl
+                | '|' dataop [';' sync]                   -- with rowctl
+    controlspec:= '->' target
+                | 'if' cond target ',' target
+                | 'halt'
+    cond       := 'cc'N | 'ss'N
+                | 'all' [ '(' N (',' N)* ')' ]
+                | 'any' [ '(' N (',' N)* ')' ]
+    target     := '.'               -- fall through: current address + 1
+                | @HEX | NAME
+    dataop     := 'nop' | MNEMONIC operand (',' operand)*
+    operand    := rN | '#'NUM | '#'NAME | NAME   -- bare NAME: symbolic
+                                                    register (auto-bound)
+    sync       := 'busy' | 'done'
+
+Comments run from ``//`` to end of line.  Parcels within a row fill FUs
+0, 1, 2, ... in order; FUs beyond the last parcel get empty slots.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..isa import Condition
+from .errors import AsmLayoutError, AsmSyntaxError
+from .lexer import Token, TokenKind, TokenStream, tokenize
+
+# ---------------------------------------------------------------------------
+# intermediate representation produced by the parser
+
+
+@dataclass(frozen=True)
+class TargetRef:
+    """An unresolved branch target."""
+
+    kind: str  # "next" | "addr" | "label"
+    value: Union[int, str, None] = None
+
+
+@dataclass(frozen=True)
+class ControlSpec:
+    """An unresolved control operation ("halt" has condition None)."""
+
+    condition: Optional[Condition]
+    target1: Optional[TargetRef] = None
+    target2: Optional[TargetRef] = None
+    index: Optional[int] = None
+    mask: Optional[Tuple[int, ...]] = None
+
+
+HALT_SPEC = ControlSpec(condition=None)
+
+
+@dataclass(frozen=True)
+class OperandRef:
+    """An unresolved data operand."""
+
+    kind: str  # "reg" | "const" | "sym_const" | "sym_reg"
+    value: Union[int, float, str]
+
+
+@dataclass(frozen=True)
+class DataSpec:
+    """An unresolved data operation."""
+
+    mnemonic: str
+    operands: Tuple[OperandRef, ...]
+    line: int
+
+
+@dataclass
+class ParcelSpec:
+    """One parsed parcel (control may be inherited from the row)."""
+
+    data: DataSpec
+    control: Optional[ControlSpec]  # None = inherit row control
+    sync: str  # "busy" | "done"
+    line: int
+    empty: bool = False
+
+
+@dataclass
+class RowSpec:
+    """One parsed instruction row."""
+
+    labels: List[str] = field(default_factory=list)
+    explicit_addr: Optional[int] = None
+    row_control: Optional[ControlSpec] = None
+    parcels: List[ParcelSpec] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class ProgramSpec:
+    """A fully parsed (but unresolved) assembly unit."""
+
+    rows: List[RowSpec]
+    width: int
+    entry: Optional[TargetRef]
+    reg_bindings: List[Tuple[str, int, int]]      # (name, index, line)
+    const_bindings: List[Tuple[str, object, int]]  # (name, value, line)
+
+
+# ---------------------------------------------------------------------------
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)\s*:\s*$")
+_COND_RE = re.compile(r"^(cc|ss)(\d+)$")
+
+_NOP_SPEC = None  # placeholder, DataSpec requires a line number
+
+
+def _strip_comment(line: str) -> str:
+    cut = line.find("//")
+    return line if cut < 0 else line[:cut]
+
+
+def parse_target(stream: TokenStream) -> TargetRef:
+    token = stream.current
+    if token.kind is TokenKind.DOT:
+        stream.advance()
+        return TargetRef("next")
+    if token.kind is TokenKind.ADDRESS:
+        stream.advance()
+        return TargetRef("addr", token.value)
+    if token.kind is TokenKind.IDENT:
+        stream.advance()
+        return TargetRef("label", token.value)
+    raise AsmSyntaxError(f"expected branch target, found {token}", stream.line)
+
+
+def parse_control(stream: TokenStream) -> ControlSpec:
+    """Parse a control spec from the stream (must consume it fully)."""
+    token = stream.current
+    if token.kind is TokenKind.ARROW:
+        stream.advance()
+        target = parse_target(stream)
+        return ControlSpec(Condition.ALWAYS_T1, target)
+    if token.kind is TokenKind.IDENT and token.value == "halt":
+        stream.advance()
+        return HALT_SPEC
+    if token.kind is TokenKind.IDENT and token.value == "if":
+        stream.advance()
+        return _parse_conditional(stream)
+    raise AsmSyntaxError(f"expected control op, found {token}", stream.line)
+
+
+def _parse_conditional(stream: TokenStream) -> ControlSpec:
+    token = stream.expect(TokenKind.IDENT, "branch condition")
+    word = token.value
+    match = _COND_RE.match(word)
+    index = None
+    mask = None
+    if match:
+        condition = (Condition.CC_TRUE if match.group(1) == "cc"
+                     else Condition.SS_DONE)
+        index = int(match.group(2))
+    elif word in ("all", "any"):
+        condition = (Condition.ALL_SS_DONE if word == "all"
+                     else Condition.ANY_SS_DONE)
+        if stream.accept(TokenKind.LPAREN):
+            members = []
+            while True:
+                num = stream.expect(TokenKind.CONST_NUM, "FU number")
+                members.append(int(num.value))
+                if not stream.accept(TokenKind.COMMA):
+                    break
+            stream.expect(TokenKind.RPAREN, "')'")
+            mask = tuple(members)
+    else:
+        raise AsmSyntaxError(
+            f"unknown branch condition {word!r}", stream.line)
+    target1 = parse_target(stream)
+    stream.expect(TokenKind.COMMA, "',' between branch targets")
+    target2 = parse_target(stream)
+    return ControlSpec(condition, target1, target2, index, mask)
+
+
+def parse_operand(stream: TokenStream) -> OperandRef:
+    token = stream.current
+    if token.kind is TokenKind.REGISTER:
+        stream.advance()
+        return OperandRef("reg", token.value)
+    if token.kind is TokenKind.CONST_NUM:
+        stream.advance()
+        return OperandRef("const", token.value)
+    if token.kind is TokenKind.CONST_SYM:
+        stream.advance()
+        return OperandRef("sym_const", token.value)
+    if token.kind is TokenKind.IDENT:
+        stream.advance()
+        return OperandRef("sym_reg", token.value)
+    raise AsmSyntaxError(f"expected operand, found {token}", stream.line)
+
+
+def parse_data_op(stream: TokenStream, line: int) -> DataSpec:
+    token = stream.expect(TokenKind.IDENT, "opcode mnemonic")
+    mnemonic = token.value
+    operands: List[OperandRef] = []
+    if not stream.at_end:
+        operands.append(parse_operand(stream))
+        while stream.accept(TokenKind.COMMA):
+            operands.append(parse_operand(stream))
+    return DataSpec(mnemonic, tuple(operands), line)
+
+
+def _parse_parcel(body: str, has_row_control: bool, line: int) -> ParcelSpec:
+    fields = [part.strip() for part in body.split(";")]
+    if len(fields) == 1 and fields[0] == "empty":
+        nop = DataSpec("nop", (), line)
+        return ParcelSpec(nop, None, "busy", line, empty=True)
+
+    sync = "busy"
+    if fields and fields[-1].lower() in ("busy", "done"):
+        sync = fields[-1].lower()
+        fields = fields[:-1]
+
+    if has_row_control:
+        if len(fields) != 1:
+            raise AsmSyntaxError(
+                "parcel in a row with '=>' control takes a single data op "
+                f"field (got {len(fields)} fields)", line)
+        control: Optional[ControlSpec] = None
+        data_text = fields[0]
+    else:
+        if len(fields) != 2:
+            raise AsmSyntaxError(
+                "parcel needs 'control ; dataop' fields "
+                f"(got {len(fields)})", line)
+        control_stream = TokenStream(tokenize(fields[0], line), line)
+        control = parse_control(control_stream)
+        control_stream.expect_end()
+        data_text = fields[1]
+
+    data_stream = TokenStream(tokenize(data_text, line), line)
+    data = parse_data_op(data_stream, line)
+    data_stream.expect_end()
+    return ParcelSpec(data, control, sync, line)
+
+
+def parse_program(text: str) -> ProgramSpec:
+    """Parse assembly *text* into an unresolved :class:`ProgramSpec`."""
+    rows: List[RowSpec] = []
+    width = 8
+    width_line: Optional[int] = None
+    entry: Optional[TargetRef] = None
+    reg_bindings: List[Tuple[str, int, int]] = []
+    const_bindings: List[Tuple[str, object, int]] = []
+    pending_org: Optional[int] = None
+    pending_labels: List[str] = []
+    current: Optional[RowSpec] = None
+
+    def start_row(line: int) -> RowSpec:
+        nonlocal current, pending_org, pending_labels
+        row = RowSpec(labels=list(pending_labels),
+                      explicit_addr=pending_org, line=line)
+        rows.append(row)
+        current = row
+        pending_org = None
+        pending_labels = []
+        return row
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".width":
+                if len(parts) != 2 or not parts[1].isdigit():
+                    raise AsmSyntaxError(".width takes a number", lineno)
+                if rows:
+                    raise AsmLayoutError(
+                        ".width must precede all rows", lineno)
+                width = int(parts[1])
+                width_line = lineno
+            elif directive == ".entry":
+                if len(parts) != 2:
+                    raise AsmSyntaxError(".entry takes one target", lineno)
+                stream = TokenStream(tokenize(parts[1], lineno), lineno)
+                entry = parse_target(stream)
+                stream.expect_end()
+            elif directive == ".reg":
+                if len(parts) != 3:
+                    raise AsmSyntaxError(".reg takes NAME rN", lineno)
+                stream = TokenStream(tokenize(parts[2], lineno), lineno)
+                reg = stream.expect(TokenKind.REGISTER, "register")
+                stream.expect_end()
+                reg_bindings.append((parts[1], reg.value, lineno))
+            elif directive == ".const":
+                if len(parts) != 3:
+                    raise AsmSyntaxError(".const takes NAME VALUE", lineno)
+                stream = TokenStream(tokenize(parts[2], lineno), lineno)
+                token = stream.current
+                if token.kind is TokenKind.CONST_NUM:
+                    stream.advance()
+                    value: object = token.value
+                elif token.kind is TokenKind.ADDRESS:
+                    stream.advance()
+                    value = token.value
+                else:
+                    raise AsmSyntaxError(
+                        f".const value must be a number, got {token}", lineno)
+                stream.expect_end()
+                const_bindings.append((parts[1], value, lineno))
+            elif directive == ".org":
+                if len(parts) != 2:
+                    raise AsmSyntaxError(".org takes @HEX", lineno)
+                stream = TokenStream(tokenize(parts[1], lineno), lineno)
+                addr = stream.expect(TokenKind.ADDRESS, "@HEX address")
+                stream.expect_end()
+                pending_org = addr.value
+                current = None
+            else:
+                raise AsmSyntaxError(
+                    f"unknown directive {directive!r}", lineno)
+            continue
+
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            pending_labels.append(label_match.group(1))
+            current = None
+            continue
+
+        if line == "-":
+            start_row(lineno)
+            continue
+
+        if line.startswith("=>"):
+            if current is None or current.parcels or current.row_control:
+                row = start_row(lineno)
+            else:
+                row = current
+            stream = TokenStream(tokenize(line[2:].strip(), lineno), lineno)
+            row.row_control = parse_control(stream)
+            stream.expect_end()
+            continue
+
+        if line.startswith("|"):
+            if current is None:
+                start_row(lineno)
+            row = current
+            parcel = _parse_parcel(line[1:].strip(),
+                                   row.row_control is not None, lineno)
+            row.parcels.append(parcel)
+            if len(row.parcels) > width:
+                raise AsmLayoutError(
+                    f"row has more than {width} parcels "
+                    f"(declared .width {width}"
+                    f"{' at line ' + str(width_line) if width_line else ''})",
+                    lineno)
+            continue
+
+        raise AsmSyntaxError(f"unrecognized line: {raw.strip()!r}", lineno)
+
+    if pending_labels:
+        # trailing labels bind to the address after the last row
+        row = RowSpec(labels=list(pending_labels), line=len(text.splitlines()))
+        rows.append(row)
+
+    return ProgramSpec(rows, width, entry, reg_bindings, const_bindings)

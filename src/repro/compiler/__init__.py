@@ -1,0 +1,165 @@
+"""The VLIW/XIMD compilation substrate (paper section 4.2).
+
+Pipeline: XC source -> AST -> IR -> (simplify, percolation, optional
+trace scheduling / software pipelining) -> list scheduling -> register
+allocation -> VLIW-mode code generation.  XIMD-specific multi-stream
+composition (threads, barriers, tiles, Figure 13 packing) layers on top
+of independently compiled thread programs.
+"""
+
+from .codegen import (
+    CompiledFunction,
+    Segment,
+    compile_ir,
+    compile_xc,
+    convert_slot,
+    emit_segments,
+)
+from .dataflow import (
+    liveness,
+    merge_all_chains,
+    predecessors,
+    reachable_blocks,
+    remove_unreachable,
+    successors,
+)
+from .ddg import BlockDDG, DepEdge, build_block_ddg, loop_carried_edges
+from .errors import (
+    AllocationError,
+    CompilerError,
+    IRError,
+    PipelineError,
+    SchedulingError,
+    XcSemanticError,
+    XcSyntaxError,
+)
+from .ir import (
+    BasicBlock,
+    Branch,
+    COPY,
+    Function,
+    FunctionBuilder,
+    Halt,
+    IRConst,
+    IROp,
+    Jump,
+    VReg,
+    negate_compare,
+)
+from .list_scheduler import (
+    BlockSchedule,
+    CompareSlot,
+    is_compare_slot,
+    schedule_block,
+)
+from .lowering import RETURN_VREG, lower_function, lower_unit
+from .packing import (
+    Packing,
+    Placement,
+    is_executable_packing,
+    pack_exhaustive,
+    pack_in_order,
+    pack_skyline,
+    pack_stacks,
+    packed_program,
+)
+from .percolation import percolate_function
+from .regalloc import RegisterAssignment, allocate_registers
+from .simplify import (
+    coalesce_single_use_temps,
+    eliminate_dead_ops,
+    propagate_copies,
+    simplify_function,
+)
+from .software_pipeline import (
+    LoopPipelineArtifact,
+    ModuloSchedule,
+    modulo_schedule,
+    pipeline_function,
+    rotate_while_loops,
+)
+from .threads import ThreadPlacement, compose_threads, registers_used
+from .tiles import Tile, generate_tiles, pareto_tiles, tile_menu
+from .trace_scheduling import (
+    estimate_profile,
+    pick_trace,
+    tail_duplicate,
+    trace_schedule,
+)
+from .xc_parser import parse_xc
+
+__all__ = [
+    "AllocationError",
+    "BasicBlock",
+    "BlockDDG",
+    "BlockSchedule",
+    "Branch",
+    "COPY",
+    "CompareSlot",
+    "CompiledFunction",
+    "CompilerError",
+    "DepEdge",
+    "Function",
+    "FunctionBuilder",
+    "Halt",
+    "IRConst",
+    "IRError",
+    "IROp",
+    "Jump",
+    "LoopPipelineArtifact",
+    "ModuloSchedule",
+    "Packing",
+    "PipelineError",
+    "Placement",
+    "RETURN_VREG",
+    "RegisterAssignment",
+    "SchedulingError",
+    "Segment",
+    "ThreadPlacement",
+    "Tile",
+    "VReg",
+    "XcSemanticError",
+    "XcSyntaxError",
+    "allocate_registers",
+    "build_block_ddg",
+    "coalesce_single_use_temps",
+    "compile_ir",
+    "compile_xc",
+    "compose_threads",
+    "convert_slot",
+    "eliminate_dead_ops",
+    "emit_segments",
+    "estimate_profile",
+    "generate_tiles",
+    "is_compare_slot",
+    "is_executable_packing",
+    "liveness",
+    "loop_carried_edges",
+    "lower_function",
+    "lower_unit",
+    "merge_all_chains",
+    "modulo_schedule",
+    "negate_compare",
+    "pack_exhaustive",
+    "pack_in_order",
+    "pack_skyline",
+    "pack_stacks",
+    "packed_program",
+    "pareto_tiles",
+    "parse_xc",
+    "percolate_function",
+    "pick_trace",
+    "pipeline_function",
+    "predecessors",
+    "propagate_copies",
+    "reachable_blocks",
+    "registers_used",
+    "remove_unreachable",
+    "rotate_while_loops",
+    "schedule_block",
+    "simplify_function",
+    "successors",
+    "tail_duplicate",
+    "tile_menu",
+    "trace_schedule",
+]

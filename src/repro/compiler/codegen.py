@@ -1,0 +1,285 @@
+"""Code generation: scheduled IR -> executable XIMD/VLIW programs.
+
+Programs are emitted in *VLIW mode*: every parcel of a row carries the
+same control fields (the paper's recipe for running compiled code on an
+XIMD, Example 1), so one emitted :class:`~repro.machine.program.Program`
+runs identically on :class:`~repro.machine.ximd.XimdMachine` and
+:class:`~repro.machine.vliw.VliwMachine`.  The XIMD-specific multi-
+stream composition (threads, barriers, tiles) builds on top of this in
+:mod:`repro.compiler.threads`.
+
+Layout: blocks in function order, one instruction-memory row per
+schedule row; intra-block rows chain with explicit ``goto next`` (the
+XIMD-1 sequencer has no incrementer); the final row of a block carries
+the terminator's control operation.  A conditional branch tests the
+condition code of whichever FU the scheduler placed the compare on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..isa import (
+    Condition,
+    Const,
+    ControlOp,
+    DATA_NOP,
+    DataOp,
+    Parcel,
+    Reg,
+    SyncValue,
+    lookup,
+)
+from ..machine.program import Program
+from .errors import CompilerError, SchedulingError
+from .ir import (
+    Branch,
+    COPY,
+    Function,
+    Halt,
+    IRConst,
+    IROp,
+    Jump,
+    VReg,
+    Value,
+)
+from .dataflow import remove_unreachable
+from .list_scheduler import (
+    BlockSchedule,
+    CompareSlot,
+    is_compare_slot,
+    schedule_block,
+)
+from .regalloc import RegisterAssignment, allocate_registers
+
+#: a schedule slot: an op, a branch compare, or empty.
+Slot = Union[IROp, CompareSlot, None]
+
+
+@dataclass
+class Segment:
+    """A run of instruction rows plus its final-row control transfer.
+
+    ``terminator`` forms:
+        ("jump", key)             unconditional to segment *key*
+        ("branch", fu, key1, key2)  on CC of *fu*
+        ("halt",)
+    Keys name other segments (block names or pipeline-region keys).
+    ``row_controls`` optionally overrides the default goto-next chain
+    for interior rows (used by pipelined kernels).
+    """
+
+    key: str
+    rows: List[List[Slot]]
+    terminator: Tuple
+    row_controls: Dict[int, Tuple] = field(default_factory=dict)
+
+
+@dataclass
+class CompiledFunction:
+    """An IR function lowered to an executable program."""
+
+    program: Program
+    assignment: RegisterAssignment
+    function: Function
+    width: int
+    segment_addresses: Dict[str, int]
+    schedules: Dict[str, BlockSchedule]
+
+    def register(self, name: str) -> int:
+        """Physical register holding variable *name* (for poking inputs
+        and peeking results)."""
+        return self.assignment.physical(VReg(name))
+
+    @property
+    def static_rows(self) -> int:
+        return self.program.length
+
+
+def _convert_value(value: Value, assignment: RegisterAssignment):
+    if isinstance(value, IRConst):
+        return Const(value.value)
+    if isinstance(value, VReg):
+        return Reg(assignment.physical(value))
+    raise CompilerError(f"bad IR value {value!r}")
+
+
+def convert_slot(slot: Slot, assignment: RegisterAssignment) -> DataOp:
+    """Turn a schedule slot into a machine data operation."""
+    if slot is None:
+        return DATA_NOP
+    if is_compare_slot(slot):
+        return DataOp(lookup(slot.cmp),
+                      _convert_value(slot.a, assignment),
+                      _convert_value(slot.b, assignment))
+    op = slot
+    if op.opcode == COPY:
+        return DataOp(lookup("iadd"),
+                      _convert_value(op.a, assignment),
+                      Const(0),
+                      Reg(assignment.physical(op.dest)))
+    opcode = lookup(op.opcode)
+    dest = (Reg(assignment.physical(op.dest))
+            if op.dest is not None else None)
+    return DataOp(opcode,
+                  _convert_value(op.a, assignment),
+                  _convert_value(op.b, assignment),
+                  dest)
+
+
+def _schedule_to_segment(name: str, schedule: BlockSchedule) -> Segment:
+    terminator = schedule.block.terminator
+    if isinstance(terminator, Halt):
+        spec: Tuple = ("halt",)
+    elif isinstance(terminator, Jump):
+        spec = ("jump", terminator.target)
+    elif isinstance(terminator, Branch):
+        if schedule.compare_fu is None:
+            raise SchedulingError(
+                f"block {name!r}: branch without a scheduled compare")
+        spec = ("branch", schedule.compare_fu,
+                terminator.if_true, terminator.if_false)
+    else:
+        raise CompilerError(f"unknown terminator {terminator!r}")
+    return Segment(name, [list(row) for row in schedule.rows], spec)
+
+
+def emit_segments(segments: Sequence[Segment],
+                  assignment: RegisterAssignment,
+                  width: int,
+                  entry_key: str,
+                  sync: SyncValue = SyncValue.BUSY) -> Tuple[Program, Dict[str, int]]:
+    """Lay out segments sequentially and resolve control transfers."""
+    addresses: Dict[str, int] = {}
+    offset = 0
+    for segment in segments:
+        if segment.key in addresses:
+            raise CompilerError(f"duplicate segment key {segment.key!r}")
+        addresses[segment.key] = offset
+        offset += max(1, len(segment.rows))
+    total = offset
+
+    def resolve(spec: Tuple, own_address: int) -> Optional[ControlOp]:
+        kind = spec[0]
+        if kind == "halt":
+            return None
+        if kind == "jump":
+            return ControlOp(Condition.ALWAYS_T1, _lookup(spec[1]))
+        if kind == "branch":
+            _, fu, key1, key2 = spec
+            return ControlOp(Condition.CC_TRUE, _lookup(key1),
+                             _lookup(key2), index=fu)
+        if kind == "next":
+            return ControlOp(Condition.ALWAYS_T1, own_address + 1)
+        raise CompilerError(f"bad terminator spec {spec!r}")
+
+    def _lookup(key: str) -> int:
+        try:
+            return addresses[key]
+        except KeyError:
+            raise CompilerError(
+                f"control transfer to unknown segment {key!r}") from None
+
+    columns: List[List[Optional[Parcel]]] = [
+        [None] * total for _ in range(width)
+    ]
+    for segment in segments:
+        base = addresses[segment.key]
+        rows = segment.rows if segment.rows else [[None] * width]
+        last = len(rows) - 1
+        for row_index, row in enumerate(rows):
+            address = base + row_index
+            if row_index == last:
+                spec = segment.terminator
+            else:
+                spec = segment.row_controls.get(row_index, ("next",))
+            control = resolve(spec, address)
+            for fu in range(width):
+                slot = row[fu] if fu < len(row) else None
+                data = convert_slot(slot, assignment)
+                columns[fu][address] = Parcel(data, control, sync)
+
+    program = Program(columns, entry=addresses[entry_key],
+                      labels=dict(addresses),
+                      register_names=assignment.register_names())
+    return program, addresses
+
+
+def compile_ir(function: Function, width: int,
+               write_latency: int = 1,
+               n_registers: int = 256,
+               coalesce: bool = False,
+               percolate: bool = True,
+               simplify: bool = True,
+               pipeline: bool = False) -> CompiledFunction:
+    """Compile an IR function to a VLIW-mode program.
+
+    Args:
+        width: functional units the code may use.
+        write_latency: 1 for the research model, 2 for the prototype
+            pipeline (one exposed delay slot).
+        percolate: run the percolation pre-pass (chain merging +
+            speculative hoisting) before scheduling.
+        pipeline: modulo-schedule eligible self-loop blocks (loop
+            versioning guards fall back to the list-scheduled body).
+    """
+    function.validate()
+    remove_unreachable(function)
+    if simplify:
+        from .simplify import simplify_function
+        simplify_function(function)
+    if percolate:
+        from .percolation import percolate_function
+        percolate_function(function)
+        if simplify:
+            from .simplify import simplify_function
+            simplify_function(function)
+    pipeline_artifacts: Dict[str, "object"] = {}
+    if pipeline:
+        from .software_pipeline import pipeline_function
+        pipeline_artifacts = pipeline_function(function, width,
+                                               write_latency)
+
+    assignment = allocate_registers(function, n_registers,
+                                    coalesce=coalesce)
+
+    segments: List[Segment] = []
+    schedules: Dict[str, BlockSchedule] = {}
+    for name in function.block_order():
+        if name not in function.blocks:
+            continue
+        artifact = pipeline_artifacts.get(name)
+        if artifact is not None:
+            # the placeholder block exists for liveness/allocation; its
+            # executable form is the prologue/kernel/epilogue region.
+            segments.extend(artifact.segments(width))
+            continue
+        block = function.blocks[name]
+        schedule = schedule_block(block, width, write_latency)
+        schedules[name] = schedule
+        segments.append(_schedule_to_segment(name, schedule))
+
+    program, addresses = emit_segments(segments, assignment, width,
+                                       function.entry)
+    return CompiledFunction(program, assignment, function, width,
+                            addresses, schedules)
+
+
+def compile_xc(source: str, width: int = 8, name: Optional[str] = None,
+               **options) -> CompiledFunction:
+    """Parse, lower, and compile one XC function from *source*.
+
+    When the unit defines several functions, *name* selects one.
+    """
+    from .lowering import lower_unit
+    from .xc_parser import parse_xc
+    functions = lower_unit(parse_xc(source))
+    if name is None:
+        if len(functions) != 1:
+            raise CompilerError(
+                f"unit defines {sorted(functions)}; pass name=")
+        name = next(iter(functions))
+    if name not in functions:
+        raise CompilerError(f"no function named {name!r}")
+    return compile_ir(functions[name], width, **options)

@@ -1,0 +1,174 @@
+"""Control-flow and liveness analysis over the IR.
+
+Standard iterative dataflow: block-level successor/predecessor maps,
+upward-exposed uses / kills, and live-in / live-out sets.  Liveness
+feeds register allocation and the trace scheduler's speculation-safety
+check (an op may move above a branch only if its destination is dead on
+the off-trace path).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .ir import Branch, Function, Halt, Jump, VReg
+from .lowering import RETURN_VREG
+
+
+def successors(function: Function) -> Dict[str, Tuple[str, ...]]:
+    """Block name -> successor block names."""
+    return {
+        name: function.blocks[name].terminator.successors()
+        for name in function.blocks
+    }
+
+
+def predecessors(function: Function) -> Dict[str, Tuple[str, ...]]:
+    """Block name -> predecessor block names."""
+    preds: Dict[str, List[str]] = {name: [] for name in function.blocks}
+    for name, succs in successors(function).items():
+        for succ in succs:
+            preds[succ].append(name)
+    return {name: tuple(values) for name, values in preds.items()}
+
+
+def block_uses_defs(function: Function,
+                    name: str) -> Tuple[Set[VReg], Set[VReg]]:
+    """(upward-exposed uses, defs) of one block."""
+    block = function.blocks[name]
+    uses: Set[VReg] = set()
+    defs: Set[VReg] = set()
+    for op in block.ops:
+        for vreg in op.uses():
+            if vreg not in defs:
+                uses.add(vreg)
+        defs.update(op.defs())
+    for vreg in block.terminator.uses():
+        if vreg not in defs:
+            uses.add(vreg)
+    return uses, defs
+
+
+def liveness(function: Function,
+             live_at_exit: FrozenSet[VReg] = frozenset(),
+             ) -> Tuple[Dict[str, Set[VReg]], Dict[str, Set[VReg]]]:
+    """Iterative live-variable analysis.
+
+    Args:
+        live_at_exit: registers considered live when the program halts
+            (by default nothing; pass ``{RETURN_VREG}`` plus any output
+            variables the caller will read back from the register file).
+
+    Returns:
+        (live_in, live_out) keyed by block name.
+    """
+    succs = successors(function)
+    use_def = {name: block_uses_defs(function, name)
+               for name in function.blocks}
+    live_in: Dict[str, Set[VReg]] = {name: set() for name in function.blocks}
+    live_out: Dict[str, Set[VReg]] = {name: set() for name in function.blocks}
+
+    changed = True
+    while changed:
+        changed = False
+        for name in function.blocks:
+            out: Set[VReg] = set()
+            if not succs[name]:
+                out |= live_at_exit
+            for succ in succs[name]:
+                out |= live_in[succ]
+            uses, defs = use_def[name]
+            new_in = uses | (out - defs)
+            if out != live_out[name] or new_in != live_in[name]:
+                live_out[name] = out
+                live_in[name] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def reachable_blocks(function: Function) -> Set[str]:
+    """Blocks reachable from the entry."""
+    succs = successors(function)
+    seen = {function.entry}
+    stack = [function.entry]
+    while stack:
+        name = stack.pop()
+        for succ in succs[name]:
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return seen
+
+
+def remove_unreachable(function: Function) -> int:
+    """Delete unreachable blocks; returns how many were removed."""
+    keep = reachable_blocks(function)
+    dead = [name for name in function.blocks if name not in keep]
+    for name in dead:
+        del function.blocks[name]
+    return len(dead)
+
+
+def linear_chains(function: Function) -> List[List[str]]:
+    """Maximal straight-line chains: runs of blocks where each link is
+    an unconditional jump to a block with exactly one predecessor.
+
+    The percolation pass compacts each chain as one scheduling region
+    (the IR-level analogue of scheduling "beyond basic blocks" for
+    branch-free stretches).
+    """
+    preds = predecessors(function)
+    chains: List[List[str]] = []
+    in_chain: Set[str] = set()
+    for name in function.block_order():
+        if name in in_chain:
+            continue
+        # only start a chain at a block that is not mid-chain
+        prev = preds[name]
+        starts = not (
+            len(prev) == 1
+            and isinstance(function.blocks[prev[0]].terminator, Jump)
+            and len(preds[name]) == 1
+        )
+        if not starts:
+            continue
+        chain = [name]
+        in_chain.add(name)
+        current = name
+        while True:
+            terminator = function.blocks[current].terminator
+            if not isinstance(terminator, Jump):
+                break
+            nxt = terminator.target
+            if len(preds[nxt]) != 1 or nxt in in_chain:
+                break
+            chain.append(nxt)
+            in_chain.add(nxt)
+            current = nxt
+        chains.append(chain)
+    return chains
+
+
+def merge_chain(function: Function, chain: List[str]) -> str:
+    """Merge a straight-line chain into its head block (in place).
+
+    Returns the head block's name.  The merged blocks are removed from
+    the function.
+    """
+    head = function.blocks[chain[0]]
+    for name in chain[1:]:
+        block = function.blocks[name]
+        head.ops.extend(block.ops)
+        head.terminator = block.terminator
+        del function.blocks[name]
+    return chain[0]
+
+
+def merge_all_chains(function: Function) -> int:
+    """Merge every straight-line chain; returns merged-block count."""
+    merged = 0
+    for chain in linear_chains(function):
+        if len(chain) > 1:
+            merge_chain(function, chain)
+            merged += len(chain) - 1
+    return merged

@@ -1,0 +1,247 @@
+"""Data-dependence graphs for basic blocks.
+
+Edge kinds and minimum latencies reflect the machine's end-of-cycle
+commit semantics:
+
+* **flow** (read-after-write): the consumer must issue at least
+  ``write_latency`` cycles after the producer (1 for the single-cycle
+  research model, 2 for the pipelined prototype).
+* **anti** (write-after-read): latency 0 — a register write commits at
+  end of cycle, so the reader may share the writer's cycle.
+* **output** (write-after-write): latency 1 — later write must win.
+* **memory**: a conservative store barrier, relaxed by a small
+  address-key disambiguator: two accesses whose addresses are
+  ``constant base + known distinct constants`` cannot alias (this is
+  the static equivalent of the run-time disambiguation the paper's
+  compiler used).
+
+Loop-carried dependences (for the software pipeliner) are produced by
+:func:`loop_carried_edges` with a distance attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .ir import Branch, BasicBlock, IRConst, IROp, VReg, Value
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """A dependence: ``dst`` must issue >= ``latency`` cycles after
+    ``src`` (plus ``distance`` loop iterations, when cyclic)."""
+
+    src: int
+    dst: int
+    latency: int
+    kind: str  # "flow" | "anti" | "output" | "mem"
+    distance: int = 0
+
+
+def _address_key(op: IROp) -> Optional[Tuple[str, object]]:
+    """A disambiguation key for a memory op's address, if statically known.
+
+    Loads address ``a + b``; stores address ``b``.  Returns a hashable
+    key such that two ops with *different* keys of the same base cannot
+    alias; ``None`` when the address is opaque.
+    """
+    if op.is_load:
+        parts = (op.a, op.b)
+        consts = [p.value for p in parts if isinstance(p, IRConst)]
+        vregs = [p for p in parts if isinstance(p, VReg)]
+        if len(consts) == 2:
+            return ("const", consts[0] + consts[1])
+        if len(consts) == 1 and len(vregs) == 1:
+            return ("base+reg", vregs[0], consts[0])
+        return None
+    if op.is_store:
+        if isinstance(op.b, IRConst):
+            return ("const", op.b.value)
+        return None
+    return None
+
+
+def _may_alias(op_a: IROp, op_b: IROp) -> bool:
+    """Conservative alias test between two memory operations."""
+    key_a, key_b = _address_key(op_a), _address_key(op_b)
+    if key_a is None or key_b is None:
+        return True
+    if key_a[0] == "const" and key_b[0] == "const":
+        return key_a[1] == key_b[1]
+    if key_a[0] == "base+reg" and key_b[0] == "base+reg":
+        # same register + same offset alias; same register + different
+        # offsets cannot; different registers are unknown.
+        if key_a[1] == key_b[1]:
+            return key_a[2] == key_b[2]
+        return True
+    # const vs base+reg: unknown
+    return True
+
+
+@dataclass
+class BlockDDG:
+    """Dependence graph over a block's ops (node = op index).
+
+    When the block ends in a :class:`Branch`, a synthetic final node
+    (index ``len(ops)``) represents the terminator's compare operation,
+    so schedulers place it like any other op.
+    """
+
+    ops: List[IROp]
+    edges: List[DepEdge] = field(default_factory=list)
+    compare_node: Optional[int] = None
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.ops) + (1 if self.compare_node is not None else 0)
+
+    def preds(self) -> Dict[int, List[DepEdge]]:
+        out: Dict[int, List[DepEdge]] = {i: [] for i in range(self.n_nodes)}
+        for edge in self.edges:
+            out[edge.dst].append(edge)
+        return out
+
+    def succs(self) -> Dict[int, List[DepEdge]]:
+        out: Dict[int, List[DepEdge]] = {i: [] for i in range(self.n_nodes)}
+        for edge in self.edges:
+            out[edge.src].append(edge)
+        return out
+
+    def critical_heights(self) -> List[int]:
+        """Longest-path height of each node to any sink (priority for
+        list scheduling).  Only intra-iteration (distance 0) edges count."""
+        succs = self.succs()
+        heights = [0] * self.n_nodes
+        # nodes are in program order; dependences with distance 0 always
+        # point forward, so a reverse sweep suffices.
+        for node in range(self.n_nodes - 1, -1, -1):
+            best = 0
+            for edge in succs[node]:
+                if edge.distance == 0:
+                    best = max(best, heights[edge.dst] + edge.latency)
+            heights[node] = best
+        return heights
+
+
+def _terminator_compare_uses(block: BasicBlock) -> Tuple[Value, ...]:
+    terminator = block.terminator
+    if isinstance(terminator, Branch):
+        return (terminator.a, terminator.b)
+    return ()
+
+
+def build_block_ddg(block: BasicBlock, write_latency: int = 1) -> BlockDDG:
+    """Dependence graph for one block (acyclic, program-order edges)."""
+    ops = list(block.ops)
+    ddg = BlockDDG(ops)
+    n = len(ops)
+
+    # uses/defs per node, including the synthetic compare node
+    node_uses: List[Tuple[VReg, ...]] = [op.uses() for op in ops]
+    node_defs: List[Tuple[VReg, ...]] = [op.defs() for op in ops]
+    compare_values = _terminator_compare_uses(block)
+    if compare_values:
+        ddg.compare_node = n
+        node_uses.append(tuple(v for v in compare_values
+                               if isinstance(v, VReg)))
+        node_defs.append(())
+
+    total = len(node_uses)
+    last_def: Dict[VReg, int] = {}
+    readers_since_def: Dict[VReg, List[int]] = {}
+    memory_nodes: List[int] = []
+
+    for node in range(total):
+        op = ops[node] if node < n else None
+        # flow edges
+        for vreg in node_uses[node]:
+            if vreg in last_def:
+                ddg.edges.append(DepEdge(last_def[vreg], node,
+                                         write_latency, "flow"))
+            readers_since_def.setdefault(vreg, []).append(node)
+        # anti / output edges
+        for vreg in node_defs[node]:
+            for reader in readers_since_def.get(vreg, ()):
+                if reader != node:
+                    ddg.edges.append(DepEdge(reader, node, 0, "anti"))
+            if vreg in last_def:
+                ddg.edges.append(DepEdge(last_def[vreg], node, 1, "output"))
+            last_def[vreg] = node
+            readers_since_def[vreg] = []
+        # memory edges
+        if op is not None and op.is_memory:
+            for other in memory_nodes:
+                other_op = ops[other]
+                if other_op.is_load and op.is_load:
+                    continue  # loads commute
+                if not _may_alias(other_op, op):
+                    continue
+                if other_op.is_store and op.is_load:
+                    latency = 1  # load sees the committed store
+                elif other_op.is_load and op.is_store:
+                    latency = 0  # same-cycle store is fine (load reads old)
+                else:
+                    latency = 1  # store-store ordering
+                ddg.edges.append(DepEdge(other, node, latency, "mem"))
+            memory_nodes.append(node)
+    return ddg
+
+
+def loop_carried_edges(block: BasicBlock,
+                       write_latency: int = 1) -> List[DepEdge]:
+    """Distance-1 dependences of a single-block loop (for modulo
+    scheduling): a def in iteration *i* feeding a use in iteration
+    *i+1*, plus conservative cross-iteration memory and output edges.
+    """
+    ops = list(block.ops)
+    n = len(ops)
+    node_uses: List[Tuple[VReg, ...]] = [op.uses() for op in ops]
+    node_defs: List[Tuple[VReg, ...]] = [op.defs() for op in ops]
+    compare_values = _terminator_compare_uses(block)
+    if compare_values:
+        node_uses.append(tuple(v for v in compare_values
+                               if isinstance(v, VReg)))
+        node_defs.append(())
+
+    total = len(node_uses)
+    edges: List[DepEdge] = []
+    last_def: Dict[VReg, int] = {}
+    first_def: Dict[VReg, int] = {}
+    uses_of: Dict[VReg, List[int]] = {}
+    for node in range(total):
+        for vreg in node_uses[node]:
+            uses_of.setdefault(vreg, []).append(node)
+        for vreg in node_defs[node]:
+            first_def.setdefault(vreg, node)
+            last_def[vreg] = node
+
+    # With distance-1 edges the modulo-scheduling constraint is
+    # sigma(dst) >= sigma(src) + latency - II.
+    for vreg, def_node in last_def.items():
+        first = first_def[vreg]
+        for use in uses_of.get(vreg, ()):
+            # carried flow: iteration i's last def reaches iteration
+            # i+1's upward-exposed uses (reads at or before the first
+            # def; a node that both reads and writes v reads the old
+            # value, so <= is correct).
+            if use <= first:
+                edges.append(DepEdge(def_node, use, write_latency,
+                                     "flow", distance=1))
+            # carried anti: any read of v in iteration i must precede
+            # the first (re)definition in iteration i+1.
+            edges.append(DepEdge(use, first, 0, "anti", distance=1))
+        # carried output: iteration order of the two writes.
+        edges.append(DepEdge(def_node, first, 1, "output", distance=1))
+
+    memory_nodes = [i for i, op in enumerate(ops) if op.is_memory]
+    for a in memory_nodes:
+        for b in memory_nodes:
+            op_a, op_b = ops[a], ops[b]
+            if op_a.is_load and op_b.is_load:
+                continue
+            if not _may_alias(op_a, op_b):
+                continue
+            if b <= a:
+                edges.append(DepEdge(a, b, 1, "mem", distance=1))
+    return edges

@@ -1,0 +1,35 @@
+"""Compiler error types."""
+
+
+class CompilerError(Exception):
+    """Base class for all compiler errors."""
+
+
+class XcSyntaxError(CompilerError):
+    """Malformed XC source text."""
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class XcSemanticError(CompilerError):
+    """Undefined names, arity errors, and other semantic problems."""
+
+
+class IRError(CompilerError):
+    """Structurally invalid IR."""
+
+
+class SchedulingError(CompilerError):
+    """A scheduler could not honor the dependence/resource constraints."""
+
+
+class AllocationError(CompilerError):
+    """Register allocation ran out of physical registers."""
+
+
+class PipelineError(SchedulingError):
+    """A loop does not fit the software pipeliner's supported shape."""

@@ -1,0 +1,305 @@
+"""Three-address intermediate representation.
+
+The IR mirrors the XIMD-1 data path: register-to-register three-address
+operations over virtual registers, explicit ``load``/``store`` memory
+ops, and block terminators whose compare is part of the terminator
+(XIMD branches read a condition code that a compare operation must have
+set in an earlier cycle; keeping the compare attached to the branch
+lets the scheduler place it freely while the code generator wires the
+right ``CC_i`` into the branch).
+
+The IR is *not* SSA: a virtual register is a mutable storage location,
+which matches both the source language's variables and the machine's
+registers; anti/output dependences are handled by the dependence graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..isa import OPCODES, OpKind
+from .errors import IRError
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A virtual register (a named storage location)."""
+
+    name: str
+
+    def __str__(self):
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class IRConst:
+    """An immediate constant."""
+
+    value: Union[int, float]
+
+    def __str__(self):
+        return f"${self.value}"
+
+
+Value = Union[VReg, IRConst]
+
+#: IR opcodes are ISA mnemonics plus ``copy`` (lowered to ``iadd x,#0``).
+COPY = "copy"
+
+#: Relational mnemonics legal in terminators (they set a CC).
+COMPARE_OPS = tuple(
+    op.mnemonic for op in OPCODES.values() if op.kind is OpKind.COMPARE)
+
+_NEGATED = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt",
+            "gt": "le", "le": "gt",
+            "feq": "fne", "fne": "feq", "flt": "fge", "fge": "flt",
+            "fgt": "fle", "fle": "fgt"}
+
+
+def negate_compare(mnemonic: str) -> str:
+    """The relational op computing the logical negation."""
+    try:
+        return _NEGATED[mnemonic]
+    except KeyError:
+        raise IRError(f"not a compare op: {mnemonic}") from None
+
+
+@dataclass
+class IROp:
+    """One three-address operation.
+
+    ``opcode`` is an ISA arithmetic/memory mnemonic or :data:`COPY`.
+    Loads use ``a`` + ``b`` as base + offset; stores put the value in
+    ``a`` and the address in ``b`` (exactly the Figure 7 conventions).
+    """
+
+    opcode: str
+    a: Optional[Value] = None
+    b: Optional[Value] = None
+    dest: Optional[VReg] = None
+
+    def __post_init__(self):
+        if self.opcode == COPY:
+            if self.a is None or self.dest is None:
+                raise IRError("copy needs a source and a destination")
+            return
+        info = OPCODES.get(self.opcode)
+        if info is None:
+            raise IRError(f"unknown IR opcode {self.opcode!r}")
+        if info.kind is OpKind.COMPARE:
+            raise IRError(
+                "compares belong in Branch terminators, not block bodies")
+        if info.kind is OpKind.NOP:
+            raise IRError("nop has no place in the IR")
+        if self.a is None or self.b is None:
+            raise IRError(f"{self.opcode} needs two sources")
+        if info.writes_register and self.dest is None:
+            raise IRError(f"{self.opcode} needs a destination")
+        if not info.writes_register and self.dest is not None:
+            raise IRError(f"{self.opcode} writes no destination")
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode == "store"
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode == "load"
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in ("load", "store")
+
+    def uses(self) -> Tuple[VReg, ...]:
+        """Virtual registers read by this op."""
+        out = []
+        for value in (self.a, self.b):
+            if isinstance(value, VReg):
+                out.append(value)
+        return tuple(out)
+
+    def defs(self) -> Tuple[VReg, ...]:
+        """Virtual registers written by this op."""
+        return (self.dest,) if self.dest is not None else ()
+
+    def __str__(self):
+        if self.opcode == COPY:
+            return f"{self.dest} = {self.a}"
+        if self.is_store:
+            return f"store {self.a} -> M[{self.b}]"
+        srcs = f"{self.a}, {self.b}"
+        if self.dest is None:
+            return f"{self.opcode} {srcs}"
+        return f"{self.dest} = {self.opcode} {srcs}"
+
+
+# --- terminators -----------------------------------------------------------
+
+
+@dataclass
+class Jump:
+    """Unconditional transfer to another block."""
+
+    target: str
+
+    def successors(self) -> Tuple[str, ...]:
+        return (self.target,)
+
+    def uses(self) -> Tuple[VReg, ...]:
+        return ()
+
+    def __str__(self):
+        return f"jump {self.target}"
+
+
+@dataclass
+class Branch:
+    """Conditional transfer: ``if (a <cmp> b) then if_true else if_false``.
+
+    The compare is materialized by the scheduler as a machine compare
+    op on some FU; the emitted branch then tests that FU's CC.
+    """
+
+    cmp: str
+    a: Value
+    b: Value
+    if_true: str
+    if_false: str
+
+    def __post_init__(self):
+        if self.cmp not in COMPARE_OPS:
+            raise IRError(f"not a compare op: {self.cmp}")
+
+    def successors(self) -> Tuple[str, ...]:
+        return (self.if_true, self.if_false)
+
+    def uses(self) -> Tuple[VReg, ...]:
+        return tuple(v for v in (self.a, self.b) if isinstance(v, VReg))
+
+    def __str__(self):
+        return (f"branch {self.cmp} {self.a}, {self.b} "
+                f"? {self.if_true} : {self.if_false}")
+
+
+@dataclass
+class Halt:
+    """End of the program."""
+
+    def successors(self) -> Tuple[str, ...]:
+        return ()
+
+    def uses(self) -> Tuple[VReg, ...]:
+        return ()
+
+    def __str__(self):
+        return "halt"
+
+
+Terminator = Union[Jump, Branch, Halt]
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line op sequence ended by one terminator."""
+
+    name: str
+    ops: List[IROp] = field(default_factory=list)
+    terminator: Optional[Terminator] = None
+
+    def append(self, op: IROp) -> IROp:
+        self.ops.append(op)
+        return op
+
+    def __str__(self):
+        lines = [f"{self.name}:"]
+        lines += [f"  {op}" for op in self.ops]
+        lines.append(f"  {self.terminator}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Function:
+    """A compilation unit: named blocks plus entry designation.
+
+    ``params`` are virtual registers assumed live on entry (the runner
+    pokes their values before starting the machine); ``pinned`` maps
+    selected virtual registers to required physical registers so tests
+    and callers can find inputs/outputs.
+    """
+
+    name: str
+    params: List[VReg] = field(default_factory=list)
+    blocks: Dict[str, BasicBlock] = field(default_factory=dict)
+    entry: str = "entry"
+    pinned: Dict[VReg, int] = field(default_factory=dict)
+
+    def block(self, name: str) -> BasicBlock:
+        try:
+            return self.blocks[name]
+        except KeyError:
+            raise IRError(f"no block named {name!r}") from None
+
+    def add_block(self, name: str) -> BasicBlock:
+        if name in self.blocks:
+            raise IRError(f"duplicate block {name!r}")
+        block = BasicBlock(name)
+        self.blocks[name] = block
+        return block
+
+    def block_order(self) -> List[str]:
+        """Layout order: entry first, then insertion order."""
+        names = [self.entry]
+        names += [n for n in self.blocks if n != self.entry]
+        return names
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`IRError`."""
+        if self.entry not in self.blocks:
+            raise IRError(f"entry block {self.entry!r} missing")
+        for name, block in self.blocks.items():
+            if block.terminator is None:
+                raise IRError(f"block {name!r} lacks a terminator")
+            for successor in block.terminator.successors():
+                if successor not in self.blocks:
+                    raise IRError(
+                        f"block {name!r} targets unknown block "
+                        f"{successor!r}")
+
+    def vregs(self) -> List[VReg]:
+        """Every virtual register mentioned, in first-appearance order."""
+        seen: Dict[VReg, None] = {}
+        for param in self.params:
+            seen.setdefault(param, None)
+        for name in self.block_order():
+            block = self.blocks[name]
+            for op in block.ops:
+                for v in (*op.uses(), *op.defs()):
+                    seen.setdefault(v, None)
+            if block.terminator is not None:
+                for v in block.terminator.uses():
+                    seen.setdefault(v, None)
+        return list(seen)
+
+    def __str__(self):
+        parts = [f"func {self.name}({', '.join(map(str, self.params))}):"]
+        for name in self.block_order():
+            parts.append(str(self.blocks[name]))
+        return "\n".join(parts)
+
+
+class FunctionBuilder:
+    """Incremental construction helper with fresh-name generation."""
+
+    def __init__(self, name: str):
+        self.function = Function(name)
+        self._temp = 0
+        self._block = 0
+
+    def fresh_vreg(self, hint: str = "t") -> VReg:
+        self._temp += 1
+        return VReg(f"{hint}.{self._temp}")
+
+    def fresh_block(self, hint: str = "bb") -> BasicBlock:
+        self._block += 1
+        return self.function.add_block(f"{hint}.{self._block}")

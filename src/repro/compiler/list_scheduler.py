@@ -1,0 +1,144 @@
+"""Resource-constrained list scheduling for basic blocks.
+
+The classic greedy algorithm: nodes become *ready* once every
+predecessor in the dependence graph has been scheduled and its latency
+has elapsed; each cycle, up to *width* ready nodes issue (the XIMD-1
+data path accepts one data operation per FU per cycle with no further
+restrictions), highest critical-path height first.
+
+The terminator's compare (if any) is an ordinary node; the emitted
+branch then occupies the control fields of the block's final row, which
+must lie at least one cycle after the compare so the condition code is
+committed (the code generator pads with an empty row when needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .ddg import BlockDDG, build_block_ddg
+from .errors import SchedulingError
+from .ir import BasicBlock, Branch, IROp
+
+
+@dataclass
+class BlockSchedule:
+    """A block's ops placed into (cycle, fu) slots.
+
+    ``rows[cycle][fu]`` is an :class:`IROp` or None.  ``branch_row`` is
+    the row whose control fields carry the terminator (always the last
+    row).  ``compare_fu`` names the FU whose condition code the branch
+    must test (None for jumps/halts).
+    """
+
+    block: BasicBlock
+    width: int
+    rows: List[List[Optional[IROp]]] = field(default_factory=list)
+    compare_fu: Optional[int] = None
+    compare_cycle: Optional[int] = None
+    node_placement: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def branch_row(self) -> int:
+        return len(self.rows) - 1
+
+    def op_count(self) -> int:
+        return sum(1 for row in self.rows for op in row if op is not None)
+
+
+def schedule_block(block: BasicBlock, width: int,
+                   write_latency: int = 1,
+                   ddg: Optional[BlockDDG] = None) -> BlockSchedule:
+    """List-schedule *block* onto *width* functional units."""
+    if width < 1:
+        raise SchedulingError("width must be >= 1")
+    if ddg is None:
+        ddg = build_block_ddg(block, write_latency)
+    n_nodes = ddg.n_nodes
+    schedule = BlockSchedule(block, width)
+
+    if n_nodes == 0:
+        schedule.rows.append([None] * width)
+        return schedule
+
+    heights = ddg.critical_heights()
+    preds = ddg.preds()
+    unscheduled = set(range(n_nodes))
+    earliest = [0] * n_nodes
+    placed_cycle: Dict[int, int] = {}
+
+    cycle = 0
+    guard = 0
+    while unscheduled:
+        guard += 1
+        if guard > 4 * n_nodes + 64:
+            raise SchedulingError(
+                f"scheduler failed to converge on block {block.name!r}")
+        ready = []
+        for node in unscheduled:
+            bound = 0
+            ok = True
+            for edge in preds[node]:
+                if edge.distance != 0:
+                    continue
+                if edge.src not in placed_cycle:
+                    ok = False
+                    break
+                bound = max(bound, placed_cycle[edge.src] + edge.latency)
+            if ok and bound <= cycle:
+                ready.append(node)
+        ready.sort(key=lambda n: (-heights[n], n))
+
+        if len(schedule.rows) <= cycle:
+            schedule.rows.append([None] * width)
+        row = schedule.rows[cycle]
+        free_fus = [fu for fu in range(width) if row[fu] is None]
+        for node in ready[:len(free_fus)]:
+            fu = free_fus.pop(0)
+            placed_cycle[node] = cycle
+            schedule.node_placement[node] = (cycle, fu)
+            unscheduled.discard(node)
+            if ddg.compare_node is not None and node == ddg.compare_node:
+                schedule.compare_fu = fu
+                schedule.compare_cycle = cycle
+                terminator = block.terminator
+                row[fu] = CompareSlot(terminator.cmp, terminator.a,
+                                      terminator.b)
+            else:
+                row[fu] = ddg.ops[node]
+        cycle += 1
+
+    # The branch must issue strictly after the compare commits.
+    if schedule.compare_cycle is not None:
+        while schedule.branch_row <= schedule.compare_cycle:
+            schedule.rows.append([None] * width)
+    if not schedule.rows:
+        schedule.rows.append([None] * width)
+    return schedule
+
+
+@dataclass(frozen=True)
+class CompareSlot:
+    """The FU slot where a branch's compare issues.
+
+    The code generator turns it into the machine compare op that sets
+    the condition code the branch will test.  The software pipeliner
+    also emits these (with a retargeted loop bound).
+    """
+
+    cmp: str
+    a: object
+    b: object
+
+    def __str__(self):
+        return f"<{self.cmp} {self.a}, {self.b}>"
+
+
+def is_compare_slot(entry) -> bool:
+    """Whether a schedule slot holds a terminator-compare."""
+    return isinstance(entry, CompareSlot)

@@ -1,0 +1,251 @@
+"""Lowering: XC abstract syntax -> three-address IR.
+
+Straightforward syntax-directed translation with local constant
+folding.  Variables map 1:1 to virtual registers (the IR is not SSA);
+array accesses lower to ``load base, index`` / ``store value, addr``
+with the base address as an immediate, matching the paper's examples
+where array bases are assembler constants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..isa import OPCODES, wrap_int
+from .errors import XcSemanticError
+from .ir import (
+    Branch,
+    COPY,
+    Function,
+    FunctionBuilder,
+    Halt,
+    IRConst,
+    IROp,
+    Jump,
+    VReg,
+    Value,
+)
+from .xc_ast import (
+    AssignStmt,
+    BinaryExpr,
+    Condition,
+    Expr,
+    FuncDecl,
+    IfStmt,
+    IndexExpr,
+    NumberExpr,
+    ReturnStmt,
+    Stmt,
+    StoreStmt,
+    UnaryExpr,
+    VarExpr,
+    WhileStmt,
+)
+
+#: the virtual register that receives ``return`` values.
+RETURN_VREG = VReg("__ret")
+
+_BINOP = {"+": "iadd", "-": "isub", "*": "imult", "/": "idiv",
+          "%": "imod", "&": "and", "|": "or", "^": "xor",
+          "<<": "shl", ">>": "shr"}
+_RELOP = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+          "==": "eq", "!=": "ne"}
+
+
+class _Lowerer:
+    def __init__(self, decl: FuncDecl):
+        self.decl = decl
+        self.builder = FunctionBuilder(decl.name)
+        self.function = self.builder.function
+        self.variables: Dict[str, VReg] = {}
+        self.arrays: Dict[str, int] = {}
+        self.current = self.function.add_block("entry")
+        self.exit_block = self.function.add_block("exit")
+        self.exit_block.terminator = Halt()
+
+    def lower(self) -> Function:
+        for param in self.decl.params:
+            self._declare(param)
+            self.function.params.append(self.variables[param])
+        for name in self.decl.variables:
+            self._declare(name)
+        for name, base in self.decl.arrays:
+            if name in self.arrays or name in self.variables:
+                raise XcSemanticError(
+                    f"{self.decl.name}: duplicate name {name!r}")
+            self.arrays[name] = base
+        self._lower_stmts(self.decl.body)
+        if self.current is not None and self.current.terminator is None:
+            self.current.terminator = Jump(self.exit_block.name)
+        self.function.validate()
+        return self.function
+
+    def _declare(self, name: str) -> None:
+        if name in self.variables:
+            raise XcSemanticError(
+                f"{self.decl.name}: duplicate variable {name!r}")
+        self.variables[name] = VReg(name)
+
+    def _variable(self, name: str, line: int) -> VReg:
+        vreg = self.variables.get(name)
+        if vreg is None:
+            raise XcSemanticError(
+                f"{self.decl.name}: undefined variable {name!r} "
+                f"(line {line})")
+        return vreg
+
+    def _array_base(self, name: str, line: int) -> int:
+        base = self.arrays.get(name)
+        if base is None:
+            raise XcSemanticError(
+                f"{self.decl.name}: undefined array {name!r} (line {line})")
+        return base
+
+    # -- expressions --------------------------------------------------------
+
+    def _emit(self, op: IROp) -> IROp:
+        return self.current.append(op)
+
+    def _lower_expr(self, expr: Expr, line: int) -> Value:
+        if isinstance(expr, NumberExpr):
+            return IRConst(wrap_int(expr.value))
+        if isinstance(expr, VarExpr):
+            return self._variable(expr.name, line)
+        if isinstance(expr, UnaryExpr):
+            operand = self._lower_expr(expr.operand, line)
+            if isinstance(operand, IRConst):
+                return IRConst(wrap_int(-operand.value))
+            dest = self.builder.fresh_vreg("neg")
+            self._emit(IROp("isub", IRConst(0), operand, dest))
+            return dest
+        if isinstance(expr, BinaryExpr):
+            mnemonic = _BINOP.get(expr.op)
+            if mnemonic is None:
+                raise XcSemanticError(f"unsupported operator {expr.op!r}")
+            left = self._lower_expr(expr.left, line)
+            right = self._lower_expr(expr.right, line)
+            if isinstance(left, IRConst) and isinstance(right, IRConst):
+                folded = OPCODES[mnemonic].semantics(left.value, right.value)
+                return IRConst(folded)
+            dest = self.builder.fresh_vreg(mnemonic)
+            self._emit(IROp(mnemonic, left, right, dest))
+            return dest
+        if isinstance(expr, IndexExpr):
+            base = self._array_base(expr.array, line)
+            index = self._lower_expr(expr.index, line)
+            dest = self.builder.fresh_vreg("ld")
+            self._emit(IROp("load", IRConst(base), index, dest))
+            return dest
+        raise XcSemanticError(f"unhandled expression {expr!r}")
+
+    def _lower_address(self, base: int, index: Expr, line: int) -> Value:
+        value = self._lower_expr(index, line)
+        if isinstance(value, IRConst):
+            return IRConst(wrap_int(base + value.value))
+        dest = self.builder.fresh_vreg("addr")
+        self._emit(IROp("iadd", IRConst(base), value, dest))
+        return dest
+
+    # -- statements ----------------------------------------------------------
+
+    def _lower_stmts(self, stmts: List[Stmt]) -> None:
+        for stmt in stmts:
+            if self.current is None:
+                # Code after a return is unreachable; keep lowering into
+                # a fresh block so errors still surface, but nothing
+                # jumps to it.
+                self.current = self.builder.fresh_block("dead")
+            self._lower_stmt(stmt)
+
+    def _lower_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, AssignStmt):
+            dest = self._variable(stmt.name, stmt.line)
+            value = self._lower_expr(stmt.value, stmt.line)
+            self._emit(IROp(COPY, value, None, dest))
+            return
+        if isinstance(stmt, StoreStmt):
+            base = self._array_base(stmt.array, stmt.line)
+            value = self._lower_expr(stmt.value, stmt.line)
+            address = self._lower_address(base, stmt.index, stmt.line)
+            self._emit(IROp("store", value, address))
+            return
+        if isinstance(stmt, ReturnStmt):
+            if stmt.value is not None:
+                value = self._lower_expr(stmt.value, stmt.line)
+                self._emit(IROp(COPY, value, None, RETURN_VREG))
+            self.current.terminator = Jump(self.exit_block.name)
+            self.current = None
+            return
+        if isinstance(stmt, IfStmt):
+            self._lower_if(stmt)
+            return
+        if isinstance(stmt, WhileStmt):
+            self._lower_while(stmt)
+            return
+        raise XcSemanticError(f"unhandled statement {stmt!r}")
+
+    def _lower_condition(self, condition: Condition, line: int,
+                         if_true: str, if_false: str) -> Branch:
+        left = self._lower_expr(condition.left, line)
+        right = self._lower_expr(condition.right, line)
+        return Branch(_RELOP[condition.relop], left, right,
+                      if_true, if_false)
+
+    def _lower_if(self, stmt: IfStmt) -> None:
+        then_block = self.builder.fresh_block("then")
+        join_block = self.builder.fresh_block("join")
+        if stmt.else_body:
+            else_block = self.builder.fresh_block("else")
+            false_target = else_block.name
+        else:
+            else_block = None
+            false_target = join_block.name
+        self.current.terminator = self._lower_condition(
+            stmt.condition, stmt.line, then_block.name, false_target)
+
+        self.current = then_block
+        self._lower_stmts(stmt.then_body)
+        if self.current is not None and self.current.terminator is None:
+            self.current.terminator = Jump(join_block.name)
+
+        if else_block is not None:
+            self.current = else_block
+            self._lower_stmts(stmt.else_body)
+            if self.current is not None and self.current.terminator is None:
+                self.current.terminator = Jump(join_block.name)
+
+        self.current = join_block
+
+    def _lower_while(self, stmt: WhileStmt) -> None:
+        head = self.builder.fresh_block("loop_head")
+        body = self.builder.fresh_block("loop_body")
+        done = self.builder.fresh_block("loop_done")
+        self.current.terminator = Jump(head.name)
+
+        self.current = head
+        head.terminator = self._lower_condition(
+            stmt.condition, stmt.line, body.name, done.name)
+        # the condition's operand computations live in the head block
+        # (they were emitted into self.current == head)
+
+        self.current = body
+        self._lower_stmts(stmt.body)
+        if self.current is not None and self.current.terminator is None:
+            self.current.terminator = Jump(head.name)
+
+        self.current = done
+
+
+def lower_function(decl: FuncDecl) -> Function:
+    """Lower one XC function declaration to IR."""
+    return _Lowerer(decl).lower()
+
+
+def lower_unit(decls: List[FuncDecl]) -> Dict[str, Function]:
+    """Lower a parsed compilation unit; returns name -> Function."""
+    functions: Dict[str, Function] = {}
+    for decl in decls:
+        if decl.name in functions:
+            raise XcSemanticError(f"duplicate function {decl.name!r}")
+        functions[decl.name] = lower_function(decl)
+    return functions

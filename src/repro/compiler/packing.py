@@ -1,0 +1,305 @@
+"""Tile packing: laying threads out in the 8-wide instruction memory.
+
+Figure 13: *"Once a set of tiles is produced for each code thread, a
+packing algorithm is used to schedule one implementation of each thread
+within a larger space representing the entire instruction memory. ...
+This problem is quite similar to the problem of standard cell placement
+in VLSI CAD."*
+
+Each functional unit owns a private column of instruction memory, so
+two tiles may share addresses iff their column ranges are disjoint —
+2-D strip packing with strip width = the machine's FU count.  Three
+packers are provided (the paper leaves the algorithm choice open):
+
+* :func:`pack_in_order` — place threads left-to-right in given order,
+  starting a new "shelf" when the row is full (the naive baseline).
+* :func:`pack_skyline` — first-fit decreasing height onto a skyline.
+* :func:`pack_exhaustive` — for small thread counts, try every
+  combination of tile choices and column offsets under the skyline
+  placer and keep the best.
+
+:func:`packed_program` turns a packing into an executable program:
+tiles stacked on overlapping columns chain sequentially (the upper
+tile's exit jumps to the lower tile's base), every tile's final exit
+joins a global barrier, and register windows are disjoint.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa import Condition, ControlOp, Parcel, SyncValue
+from ..machine.program import Program
+from .errors import CompilerError
+from .threads import registers_used, relocate_parcel
+from .tiles import Tile
+
+
+@dataclass
+class Placement:
+    """One tile's position: column offset and base address."""
+
+    tile: Tile
+    fu_offset: int
+    base_address: int
+    #: filled in by :func:`packed_program`: the tile's register window.
+    register_base: int = 0
+
+    @property
+    def top(self) -> int:
+        return self.base_address + self.tile.height
+
+    def columns(self) -> range:
+        return range(self.fu_offset, self.fu_offset + self.tile.width)
+
+
+@dataclass
+class Packing:
+    """A complete layout of one tile per thread."""
+
+    placements: List[Placement]
+    total_width: int
+
+    @property
+    def height(self) -> int:
+        """Static code size: the tallest column (the paper's metric)."""
+        return max((p.top for p in self.placements), default=0)
+
+    @property
+    def area_used(self) -> int:
+        return sum(p.tile.area for p in self.placements)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the occupied instruction-memory rectangle filled."""
+        total = self.height * self.total_width
+        return self.area_used / total if total else 0.0
+
+    def describe(self) -> str:
+        lines = [f"packing: height {self.height}, "
+                 f"utilization {self.utilization:.0%}"]
+        for p in sorted(self.placements,
+                        key=lambda p: (p.base_address, p.fu_offset)):
+            lines.append(
+                f"  {p.tile.thread:<12} FUs {p.fu_offset}-"
+                f"{p.fu_offset + p.tile.width - 1} rows "
+                f"{p.base_address}-{p.top - 1}")
+        return "\n".join(lines)
+
+
+def _skyline_place(tiles: Sequence[Tile], total_width: int,
+                   offsets: Optional[Sequence[int]] = None) -> Packing:
+    """Place tiles in order onto a per-column skyline.
+
+    Each tile goes at the column window (given, or chosen to minimize
+    the resulting top edge) at the lowest address where its whole width
+    is clear.
+    """
+    skyline = [0] * total_width
+    placements: List[Placement] = []
+    for index, tile in enumerate(tiles):
+        if tile.width > total_width:
+            raise CompilerError(
+                f"tile {tile.thread} wider than the machine")
+        if offsets is not None:
+            candidates = [offsets[index]]
+        else:
+            candidates = range(total_width - tile.width + 1)
+        best_offset, best_base = None, None
+        for offset in candidates:
+            base = max(skyline[offset:offset + tile.width])
+            if best_base is None or base + tile.height < best_base:
+                best_offset, best_base = offset, base + tile.height
+        base = best_base - tile.height
+        for column in range(best_offset, best_offset + tile.width):
+            skyline[column] = base + tile.height
+        placements.append(Placement(tile, best_offset, base))
+    return Packing(placements, total_width)
+
+
+def pack_in_order(tiles: Sequence[Tile], total_width: int = 8) -> Packing:
+    """Naive shelf packing in the given thread order."""
+    shelf_base = 0
+    shelf_height = 0
+    cursor = 0
+    placements: List[Placement] = []
+    for tile in tiles:
+        if cursor + tile.width > total_width:
+            shelf_base += shelf_height
+            shelf_height = 0
+            cursor = 0
+        placements.append(Placement(tile, cursor, shelf_base))
+        cursor += tile.width
+        shelf_height = max(shelf_height, tile.height)
+    return Packing(placements, total_width)
+
+
+def pack_skyline(tiles: Sequence[Tile], total_width: int = 8) -> Packing:
+    """First-fit decreasing height onto a skyline."""
+    ordered = sorted(tiles, key=lambda t: (-t.height, -t.width))
+    return _skyline_place(ordered, total_width)
+
+
+def pack_exhaustive(menu: Sequence[Sequence[Tile]],
+                    total_width: int = 8,
+                    max_combinations: int = 200_000) -> Packing:
+    """Best packing over every tile choice and placement order.
+
+    *menu* holds the candidate tiles per thread (the Pareto sets of
+    :func:`~repro.compiler.tiles.tile_menu`).  Exhaustive over tile
+    choices and insertion orders with the skyline placer; intended for
+    the paper's six-thread scale.
+    """
+    best: Optional[Packing] = None
+    combos = 0
+    for choice in itertools.product(*menu):
+        for order in itertools.permutations(range(len(choice))):
+            combos += 1
+            if combos > max_combinations:
+                if best is None:
+                    raise CompilerError("combination budget exhausted")
+                return best
+            packing = _skyline_place([choice[i] for i in order],
+                                     total_width)
+            if best is None or packing.height < best.height:
+                best = packing
+    if best is None:
+        raise CompilerError("empty tile menu")
+    return best
+
+
+def is_executable_packing(packing: Packing) -> bool:
+    """Whether a packing can run directly on the machine.
+
+    Tiles that share instruction-memory columns must occupy *equal*
+    column ranges: such stacks keep their FUs in lock step (one SSET)
+    across chained tiles, so no entry synchronization is needed.
+    Partial column overlaps would let one FU reach a tile while a
+    sibling is still inside an earlier one — with single-bit sync
+    signals there is no safe entry barrier for that case, and the paper
+    leaves the inter-tile runtime protocol open (section 4.2).  Every
+    stack must also start at address 0 (all FUs begin there).
+    """
+    for a in packing.placements:
+        for b in packing.placements:
+            if a is b:
+                continue
+            cols_a, cols_b = set(a.columns()), set(b.columns())
+            if cols_a & cols_b and cols_a != cols_b:
+                return False
+    bottoms: Dict[Tuple[int, int], int] = {}
+    for p in packing.placements:
+        key = (p.fu_offset, p.tile.width)
+        bottoms[key] = min(bottoms.get(key, p.base_address),
+                           p.base_address)
+    return all(base == 0 for base in bottoms.values())
+
+
+def pack_stacks(tiles: Sequence[Tile], total_width: int = 8) -> Packing:
+    """An always-executable packer: equal-width column stacks.
+
+    All tiles must share one width *w*; the machine is split into
+    ``total_width // w`` stacks and tiles are assigned longest-first to
+    the currently shortest stack (LPT), a 2-approximation of the
+    optimal stack height.
+    """
+    widths = {t.width for t in tiles}
+    if len(widths) != 1:
+        raise CompilerError("pack_stacks needs equal-width tiles")
+    width = widths.pop()
+    n_stacks = total_width // width
+    if n_stacks == 0:
+        raise CompilerError("tiles wider than the machine")
+    heights = [0] * n_stacks
+    placements: List[Placement] = []
+    for tile in sorted(tiles, key=lambda t: -t.height):
+        stack = min(range(n_stacks), key=lambda s: heights[s])
+        placements.append(
+            Placement(tile, stack * width, heights[stack]))
+        heights[stack] += tile.height
+    return Packing(placements, total_width)
+
+
+def packed_program(packing: Packing,
+                   n_registers: int = 256,
+                   barrier: bool = True) -> Tuple[Program, Dict[str, Placement]]:
+    """Materialize an executable packing as one program.
+
+    Tiles stacked on one column range chain bottom-up (each tile's exit
+    jumps to the next tile's base; the stack's FUs stay one SSET
+    throughout).  Every stack's final exit becomes an ALL-sync barrier
+    over the occupied FUs so the machine halts as one, mirroring the
+    section 3.3 join.  Raises for packings that fail
+    :func:`is_executable_packing`.
+    """
+    if not is_executable_packing(packing):
+        raise CompilerError(
+            "packing is not executable: stacked tiles must occupy "
+            "equal column ranges starting at address 0 "
+            "(see is_executable_packing)")
+    total_width = packing.total_width
+    length = packing.height + (2 if barrier else 0)
+    columns: List[List[Optional[Parcel]]] = [
+        [None] * length for _ in range(total_width)
+    ]
+    register_names: Dict[int, str] = {}
+    by_thread: Dict[str, Placement] = {}
+    occupied = sorted({c for p in packing.placements for c in p.columns()})
+    barrier_mask = tuple(occupied) if barrier else None
+
+    register_base = 0
+    ordered = sorted(packing.placements,
+                     key=lambda p: (p.base_address, p.fu_offset))
+    for placement in ordered:
+        tile = placement.tile
+        by_thread[tile.thread] = placement
+        used = registers_used(tile.compiled)
+        if register_base + used > n_registers:
+            raise CompilerError("packed threads exceed the register file")
+        successor = _next_above(packing, placement)
+        program = tile.compiled.program
+        for fu in range(program.width):
+            out = columns[placement.fu_offset + fu]
+            for address, parcel in enumerate(program.columns[fu]):
+                if parcel is None:
+                    continue
+                moved = relocate_parcel(parcel, placement.base_address,
+                                        placement.fu_offset, register_base)
+                target = placement.base_address + address
+                if moved.control is None:
+                    if successor is not None:
+                        moved = Parcel(moved.data, ControlOp(
+                            Condition.ALWAYS_T1,
+                            successor.base_address), moved.sync)
+                    elif barrier:
+                        moved = Parcel(moved.data, ControlOp(
+                            Condition.ALL_SS_DONE, target + 1, target,
+                            mask=barrier_mask), SyncValue.DONE)
+                        out[target + 1] = Parcel(sync=SyncValue.DONE)
+                out[target] = moved
+        for index, name in tile.compiled.program.register_names.items():
+            register_names[index + register_base] = \
+                f"{tile.thread}.{name}"
+        placement.register_base = register_base
+        register_base += used
+
+    # columns that host no final tile still need to reach the barrier:
+    # unoccupied columns simply stay empty (halted FUs report DONE).
+    return Program(columns, entry=0,
+                   register_names=register_names), by_thread
+
+
+def _next_above(packing: Packing,
+                placement: Placement) -> Optional[Placement]:
+    """The next tile stacked above *placement* on any shared column."""
+    best: Optional[Placement] = None
+    for other in packing.placements:
+        if other is placement:
+            continue
+        if set(other.columns()) & set(placement.columns()):
+            if other.base_address >= placement.top:
+                if best is None or other.base_address < best.base_address:
+                    best = other
+    return best

@@ -1,0 +1,106 @@
+"""Percolation-style global code motion.
+
+Percolation Scheduling [Nicolau85] defines a small set of semantics-
+preserving core transformations (move-op, move-cond, unify, delete)
+that migrate operations upward through the program graph.  This pass
+implements the two motions that matter for XIMD-1's workloads, applied
+to the IR before list scheduling:
+
+* **chain merging** — move-op across unconditional block boundaries:
+  a block and its unique-predecessor unconditional successor fuse, so
+  the list scheduler compacts the whole straight-line region at once
+  (this is what produces Example 1's 5-cycle TPROC schedule).
+* **speculative hoisting** — move-op above a conditional jump: an op at
+  the head of a branch target moves into the branching block when it is
+  safe to execute on both paths: no memory side effects (loads from the
+  idealized memory are safe; stores are not), the destination is dead
+  on the other path, it does not clobber the branch's own operands, and
+  the target block has no other predecessors.  This mirrors how the
+  paper's MINMAX schedule executes both conditional updates' work in
+  parallel with the fall-through path.
+
+Both run to a fixed point.  The pass is conservative: anything it
+cannot prove safe stays put.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from .dataflow import liveness, merge_all_chains, predecessors
+from .ir import Branch, Function, IROp, VReg
+from .lowering import RETURN_VREG
+
+#: safety cap on hoisting sweeps (each sweep moves at least one op).
+_MAX_SWEEPS = 64
+
+
+def percolate_function(function: Function) -> int:
+    """Run percolation to a fixed point; returns ops moved."""
+    moved_total = 0
+    for _ in range(_MAX_SWEEPS):
+        merge_all_chains(function)
+        moved = _hoist_sweep(function)
+        moved_total += moved
+        if moved == 0:
+            break
+    merge_all_chains(function)
+    return moved_total
+
+
+def _hoist_sweep(function: Function) -> int:
+    """One pass of speculative hoisting over every conditional branch."""
+    moved = 0
+    preds = predecessors(function)
+    live_in, _ = liveness(function, frozenset({RETURN_VREG}))
+
+    for name in list(function.block_order()):
+        block = function.blocks.get(name)
+        if block is None or not isinstance(block.terminator, Branch):
+            continue
+        branch = block.terminator
+        if branch.if_true == branch.if_false:
+            continue
+        for taken, other in ((branch.if_true, branch.if_false),
+                             (branch.if_false, branch.if_true)):
+            if taken == name or other == name:
+                continue  # self loops: hoisting would replay the op
+            target = function.blocks[taken]
+            if len(preds[taken]) != 1:
+                continue  # join block: the op belongs to several paths
+            op = _first_hoistable(target, branch,
+                                  live_in[other] if other in live_in
+                                  else set())
+            if op is None:
+                continue
+            target.ops.remove(op)
+            block.ops.append(op)
+            moved += 1
+            # liveness and preds are stale now; recompute next sweep
+            return moved + _hoist_sweep(function)
+    return moved
+
+
+def _first_hoistable(target, branch: Branch,
+                     live_other: Set[VReg]) -> Optional[IROp]:
+    """The first op of *target* that may move above *branch*.
+
+    Ops before it must not define its sources (it must be movable past
+    nothing — only the *leading* ops are candidates, considering that
+    preceding hoist candidates may move first in later sweeps; to stay
+    simple and clearly safe, only the first op is examined).
+    """
+    if not target.ops:
+        return None
+    op = target.ops[0]
+    if op.is_store:
+        return None  # a store on the wrong path is observable
+    if op.dest is None:
+        return None
+    if op.dest in live_other:
+        return None  # would clobber a value the other path reads
+    if op.dest in branch.uses():
+        return None  # would change this branch's own condition
+    # Self-overwriting ops (dest also a source) are still safe to
+    # speculate: the other path never reads dest (checked above).
+    return op

@@ -1,0 +1,144 @@
+"""Register allocation onto the 256-register global file.
+
+The XIMD-1 register file is large relative to the paper's workloads, so
+the allocator is deliberately simple and safe: every virtual register
+receives its own physical register, honoring pinned assignments
+(function parameters / outputs that tests read back by number).  An
+optional coalescing pass shrinks the footprint by sharing physical
+registers between virtual registers whose live ranges never overlap —
+the classic interference-graph coloring restricted to what the large
+file actually needs.
+
+No spilling is implemented: with 256 registers, exhausting the file
+indicates a workload outside the paper's scope, and the allocator
+raises :class:`~repro.compiler.errors.AllocationError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from .dataflow import liveness
+from .errors import AllocationError
+from .ir import Function, VReg
+from .lowering import RETURN_VREG
+
+
+class RegisterAssignment:
+    """The result of allocation: virtual -> physical register map."""
+
+    def __init__(self, mapping: Dict[VReg, int]):
+        self.mapping = dict(mapping)
+
+    def physical(self, vreg: VReg) -> int:
+        try:
+            return self.mapping[vreg]
+        except KeyError:
+            raise AllocationError(f"unallocated vreg {vreg}") from None
+
+    def register_names(self) -> Dict[int, str]:
+        """Physical index -> a symbolic name (for program metadata).
+
+        When coalescing shares one physical register among several
+        virtual registers, the first-assigned name wins.
+        """
+        names: Dict[int, str] = {}
+        for vreg, index in self.mapping.items():
+            names.setdefault(index, vreg.name)
+        return names
+
+    @property
+    def used_registers(self) -> int:
+        return len(set(self.mapping.values()))
+
+
+def allocate_registers(function: Function,
+                       n_registers: int = 256,
+                       live_at_exit: FrozenSet[VReg] = frozenset(),
+                       coalesce: bool = False) -> RegisterAssignment:
+    """Allocate physical registers for every virtual register.
+
+    Args:
+        function: the IR function (validated).
+        n_registers: size of the physical file.
+        live_at_exit: vregs whose final values callers will read; they
+            are excluded from coalescing-by-death.
+        coalesce: share physical registers between non-interfering
+            vregs (off by default: unique assignment aids debugging and
+            matches the paper's hand-allocated listings).
+    """
+    vregs = function.vregs()
+    pinned = dict(function.pinned)
+    for vreg, index in pinned.items():
+        if index >= n_registers:
+            raise AllocationError(
+                f"pinned register out of range: {vreg} -> r{index}")
+    taken: Set[int] = set(pinned.values())
+    if len(taken) != len(pinned):
+        raise AllocationError("two vregs pinned to one physical register")
+
+    if not coalesce:
+        mapping: Dict[VReg, int] = dict(pinned)
+        next_free = 0
+        for vreg in vregs:
+            if vreg in mapping:
+                continue
+            while next_free in taken:
+                next_free += 1
+            if next_free >= n_registers:
+                raise AllocationError(
+                    f"{function.name}: needs more than {n_registers} "
+                    f"registers")
+            mapping[vreg] = next_free
+            taken.add(next_free)
+        return RegisterAssignment(mapping)
+
+    interference = _build_interference(function, vregs,
+                                       live_at_exit | {RETURN_VREG})
+    mapping = dict(pinned)
+    for vreg in vregs:
+        if vreg in mapping:
+            continue
+        forbidden = {mapping[other] for other in interference.get(vreg, ())
+                     if other in mapping}
+        # first color not used by an interfering neighbor and not
+        # reserved by a pinned vreg (pinned registers are never shared:
+        # callers poke/peek them by number).
+        pinned_colors = set(pinned.values())
+        index = 0
+        while index in forbidden or index in pinned_colors:
+            index += 1
+        if index >= n_registers:
+            raise AllocationError(
+                f"{function.name}: coloring needs more than "
+                f"{n_registers} registers")
+        mapping[vreg] = index
+    return RegisterAssignment(mapping)
+
+
+def _build_interference(function: Function, vregs: List[VReg],
+                        live_at_exit: FrozenSet[VReg],
+                        ) -> Dict[VReg, Set[VReg]]:
+    """Interference by simultaneous liveness, walked per block.
+
+    Conservative with respect to scheduling: two vregs live anywhere in
+    the same block region interfere, so any later intra-block
+    reordering by the schedulers remains safe.
+    """
+    live_in, live_out = liveness(function, live_at_exit)
+    interference: Dict[VReg, Set[VReg]] = {v: set() for v in vregs}
+
+    def mark(group: Set[VReg]) -> None:
+        for a in group:
+            for b in group:
+                if a != b:
+                    interference[a].add(b)
+
+    for name, block in function.blocks.items():
+        live: Set[VReg] = set(live_in[name]) | set(live_out[name])
+        for op in block.ops:
+            live.update(op.uses())
+            live.update(op.defs())
+        live.update(block.terminator.uses())
+        mark(live)
+    return interference

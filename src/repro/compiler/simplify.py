@@ -1,0 +1,170 @@
+"""IR clean-up passes: copy coalescing, propagation, dead-op removal.
+
+The lowerer is deliberately naive (every expression lands in a fresh
+temporary, every assignment is a copy); these passes restore the
+compact forms the rest of the compiler pattern-matches on — most
+importantly turning ``t = k + 1; k = t`` into ``k = iadd k, #1`` so the
+software pipeliner can recognize induction variables.
+
+Temporaries are recognized by the builder's ``name.N`` convention;
+user-named variables are never deleted (callers peek them in the
+register file after a run).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .ir import COPY, Function, IRConst, IROp, VReg
+
+
+def _is_temp(vreg: VReg) -> bool:
+    return "." in vreg.name
+
+
+def _use_counts(function: Function) -> Dict[VReg, int]:
+    counts: Dict[VReg, int] = {}
+    for block in function.blocks.values():
+        for op in block.ops:
+            for vreg in op.uses():
+                counts[vreg] = counts.get(vreg, 0) + 1
+        for vreg in block.terminator.uses():
+            counts[vreg] = counts.get(vreg, 0) + 1
+    return counts
+
+
+def _def_counts(function: Function) -> Dict[VReg, int]:
+    counts: Dict[VReg, int] = {}
+    for block in function.blocks.values():
+        for op in block.ops:
+            for vreg in op.defs():
+                counts[vreg] = counts.get(vreg, 0) + 1
+    return counts
+
+
+def coalesce_single_use_temps(function: Function) -> int:
+    """Rewrite ``t = <op>; d = copy t`` into ``d = <op>``.
+
+    Applies when *t* is a temporary defined once and used exactly once
+    (by that copy), both in the same block, and *d* is neither read nor
+    written between the defining op and the copy (reads within the
+    defining op itself are fine: the machine reads before it writes).
+    """
+    uses = _use_counts(function)
+    defs = _def_counts(function)
+    rewritten = 0
+    for block in function.blocks.values():
+        changed = True
+        while changed:
+            changed = False
+            for index, op in enumerate(block.ops):
+                if op.opcode != COPY or not isinstance(op.a, VReg):
+                    continue
+                temp = op.a
+                if not _is_temp(temp):
+                    continue
+                if uses.get(temp, 0) != 1 or defs.get(temp, 0) != 1:
+                    continue
+                target = op.dest
+                producer_index = None
+                for j in range(index - 1, -1, -1):
+                    between = block.ops[j]
+                    if temp in between.defs():
+                        producer_index = j
+                        break
+                    if target in between.uses() or target in between.defs():
+                        break  # target touched between producer and copy
+                if producer_index is None:
+                    continue
+                producer = block.ops[producer_index]
+                if producer.opcode == "store":
+                    continue
+                producer.dest = target
+                del block.ops[index]
+                uses[temp] = 0
+                defs[temp] = 0
+                rewritten += 1
+                changed = True
+                break
+    return rewritten
+
+
+def propagate_copies(function: Function) -> int:
+    """Local copy/constant propagation within each block.
+
+    After ``d = copy s``, later reads of *d* become reads of *s* until
+    either register is redefined.  Terminator operands participate.
+    """
+    replaced = 0
+    for block in function.blocks.values():
+        available: Dict[VReg, object] = {}
+
+        def substitute(value):
+            nonlocal replaced
+            while isinstance(value, VReg) and value in available:
+                value = available[value]
+                replaced += 1
+            return value
+
+        for op in block.ops:
+            if op.a is not None:
+                op.a = substitute(op.a)
+            if op.b is not None:
+                op.b = substitute(op.b)
+            # kill mappings invalidated by this def
+            for defined in op.defs():
+                available.pop(defined, None)
+                for key in [k for k, v in available.items() if v == defined]:
+                    available.pop(key)
+            if op.opcode == COPY and op.dest is not None:
+                source = op.a
+                if isinstance(source, (VReg, IRConst)) and source != op.dest:
+                    available[op.dest] = source
+        terminator = block.terminator
+        if hasattr(terminator, "a"):
+            terminator.a = substitute(terminator.a)
+            terminator.b = substitute(terminator.b)
+    return replaced
+
+
+def eliminate_dead_ops(function: Function) -> int:
+    """Delete ops defining never-read temporaries (no side effects).
+
+    Only builder temporaries are candidates; user variables stay, since
+    callers observe them in the register file after the run.  Runs to a
+    fixed point (removing one dead op can orphan another).
+    """
+    removed = 0
+    while True:
+        uses = _use_counts(function)
+        progress = False
+        for block in function.blocks.values():
+            keep: List[IROp] = []
+            for op in block.ops:
+                dead = (op.dest is not None
+                        and _is_temp(op.dest)
+                        and uses.get(op.dest, 0) == 0
+                        and not op.is_store)
+                if dead:
+                    removed += 1
+                    progress = True
+                else:
+                    keep.append(op)
+            block.ops = keep
+        if not progress:
+            return removed
+
+
+def simplify_function(function: Function) -> Dict[str, int]:
+    """Run the clean-up passes to a combined fixed point."""
+    stats = {"coalesced": 0, "propagated": 0, "removed": 0}
+    for _ in range(8):
+        c = coalesce_single_use_temps(function)
+        p = propagate_copies(function)
+        r = eliminate_dead_ops(function)
+        stats["coalesced"] += c
+        stats["propagated"] += p
+        stats["removed"] += r
+        if c == p == r == 0:
+            break
+    return stats

@@ -1,0 +1,530 @@
+"""Software pipelining (modulo scheduling) for counted self-loops.
+
+Section 3.1 schedules Livermore Loop 12 with software pipelining; this
+module implements the technique for the compiler:
+
+1. **Loop rotation** — the lowerer's while-loops (test block + body
+   block) rotate into do-while form: a preheader tests entry, and a
+   single self-loop block holds body + test.  Rotation makes the
+   terminator's compare test *next-iteration* validity, which is
+   exactly the kernel-exit condition a pipelined loop needs.
+2. **Eligibility** — the self-loop must have a loop-invariant bound, an
+   induction variable updated once by a constant step, and a monotone
+   relational compare (``lt/le/gt/ge``).
+3. **Modulo scheduling** — iterative: for II from the resource minimum
+   upward, place nodes in program order at the earliest slot satisfying
+   the placed dependence constraints and the modulo reservation table,
+   then verify every (possibly loop-carried) edge, the register
+   lifetime bound (no value may live longer than II, since the
+   allocator does not rotate registers), and the kernel-exit timing
+   (the compare must sit in stage 0, early enough for its condition
+   code to commit before the kernel's final row).
+4. **Loop versioning** — a guard block dispatches to the pipelined
+   region only when at least S (= stage count) iterations remain;
+   otherwise the original, list-scheduled loop body runs.  Prologue
+   rows fill the pipeline, the II-row kernel iterates, and epilogue
+   rows drain in-flight iterations before joining the loop exit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .dataflow import predecessors
+from .ddg import DepEdge, build_block_ddg, loop_carried_edges
+from .errors import PipelineError
+from .ir import (
+    BasicBlock,
+    Branch,
+    Function,
+    IRConst,
+    IROp,
+    Jump,
+    VReg,
+    Value,
+)
+from .list_scheduler import CompareSlot
+
+_SWAPPED = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le"}
+_NEGATED = {"lt": "ge", "le": "gt", "gt": "le", "ge": "lt"}
+_MONOTONE = ("lt", "le", "gt", "ge")
+
+#: II values above this are pointless (no overlap remains).
+_MAX_II_SLACK = 4
+
+
+def rotate_while_loops(function: Function) -> int:
+    """Rotate head/body while-loops into preheader + self-loop form.
+
+    Pattern: head H with ``Branch(c, B, E)``; body B whose only
+    terminator is ``Jump(H)`` and whose only predecessor is H; H's other
+    predecessors are the loop entries.  After rotation H (keeping its
+    name, so entry edges are untouched) is the preheader holding the
+    entry test, and a new block holds body + test with a self loop.
+
+    Returns the number of loops rotated.
+    """
+    rotated = 0
+    for name in list(function.block_order()):
+        head = function.blocks.get(name)
+        if head is None or not isinstance(head.terminator, Branch):
+            continue
+        branch = head.terminator
+        preds = predecessors(function)
+        for body_name, exit_name in ((branch.if_true, branch.if_false),
+                                     (branch.if_false, branch.if_true)):
+            if body_name == name or exit_name == body_name:
+                continue
+            body = function.blocks.get(body_name)
+            if body is None:
+                continue
+            if not isinstance(body.terminator, Jump):
+                continue
+            if body.terminator.target != name:
+                continue
+            if preds[body_name] != (name,):
+                continue
+            # rotate: new self-loop block = body.ops + head.ops + test
+            loop_name = f"{name}.loop"
+            if loop_name in function.blocks:
+                continue
+            loop = function.add_block(loop_name)
+            loop.ops = list(body.ops) + [
+                IROp(op.opcode, op.a, op.b, op.dest) for op in head.ops
+            ]
+            continue_first = branch.if_true == body_name
+            loop.terminator = Branch(
+                branch.cmp, branch.a, branch.b,
+                loop_name if continue_first else exit_name,
+                exit_name if continue_first else loop_name)
+            # the head becomes the preheader: same ops, same test, but
+            # the taken edge enters the new loop block
+            head.terminator = Branch(
+                branch.cmp, branch.a, branch.b,
+                loop_name if continue_first else exit_name,
+                exit_name if continue_first else loop_name)
+            del function.blocks[body_name]
+            rotated += 1
+            break
+    return rotated
+
+
+@dataclass
+class ModuloSchedule:
+    """Result of modulo scheduling one self-loop block."""
+
+    ii: int
+    stages: int
+    sigma: List[int]               # per node (ops + compare last)
+    compare_node: int
+    node_fu: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def max_sigma(self) -> int:
+        return max(self.sigma)
+
+
+def modulo_schedule(block: BasicBlock, width: int,
+                    write_latency: int = 1,
+                    max_ii: Optional[int] = None,
+                    increment_node: Optional[int] = None,
+                    ) -> Optional[ModuloSchedule]:
+    """Find a modulo schedule, or None if no profitable II exists.
+
+    When *increment_node* is given (the induction update's index), the
+    terminator compare is retargeted to read the **pre-increment**
+    induction value against a step-adjusted bound: the intra-iteration
+    flow edge increment→compare is replaced by an anti edge
+    compare→increment plus a distance-1 flow edge.  This breaks the
+    increment/compare serial chain that otherwise forces II up to the
+    full recurrence height.  The caller must then emit the kernel
+    compare with ``bound - step`` (see :func:`pipeline_function`) and
+    both the compare and the increment must sit in stage 0 so the
+    kernel-exit decision stays exact — enforced here via per-node
+    placement ceilings.
+    """
+    ddg = build_block_ddg(block, write_latency)
+    if ddg.compare_node is None:
+        return None
+    edges: List[DepEdge] = list(ddg.edges) + loop_carried_edges(
+        block, write_latency)
+    n_nodes = ddg.n_nodes
+    compare_node = ddg.compare_node
+
+    if increment_node is not None:
+        edges = [edge for edge in edges
+                 if not (edge.src == increment_node
+                         and edge.dst == compare_node
+                         and edge.kind == "flow")]
+        edges.append(DepEdge(compare_node, increment_node, 0, "anti", 0))
+        edges.append(DepEdge(increment_node, compare_node,
+                             write_latency, "flow", 1))
+
+    res_mii = max(1, math.ceil(n_nodes / width))
+    sequential_len = _sequential_length(ddg)
+    if max_ii is None:
+        max_ii = sequential_len + _MAX_II_SLACK
+
+    preds_by_dst: Dict[int, List[DepEdge]] = {}
+    for edge in edges:
+        preds_by_dst.setdefault(edge.dst, []).append(edge)
+
+    for ii in range(max(res_mii, 2), max_ii + 1):
+        ceilings = {compare_node: ii - 2}
+        if increment_node is not None:
+            ceilings[increment_node] = ii - 1
+        sigma = _iterative_place(n_nodes, ceilings, edges, ii, width)
+        if sigma is None:
+            continue
+        if not _verify(sigma, edges, ii):
+            continue
+        stages = sigma and (max(sigma) // ii + 1) or 1
+        if stages < 2:
+            return None  # no overlap: pipelining buys nothing
+        schedule = ModuloSchedule(ii, stages, sigma, compare_node)
+        _assign_fus(schedule, n_nodes, ii, width)
+        return schedule
+    return None
+
+
+def _sequential_length(ddg) -> int:
+    heights = ddg.critical_heights()
+    return (max(heights) if heights else 0) + ddg.n_nodes + 1
+
+
+def _priorities(n_nodes: int, edges: List[DepEdge], ii: int,
+                ) -> Optional[List[int]]:
+    """Height-based priority (Rau): longest path to any sink using edge
+    weight ``latency - II * distance``.  Diverging heights mean the II
+    is below the recurrence minimum; returns None in that case."""
+    height = [0] * n_nodes
+    for _ in range(n_nodes + 1):
+        changed = False
+        for edge in edges:
+            weight = edge.latency - ii * edge.distance
+            candidate = height[edge.dst] + weight
+            if candidate > height[edge.src]:
+                height[edge.src] = candidate
+                changed = True
+        if not changed:
+            return height
+    return None  # positive cycle: II infeasible
+
+
+def _iterative_place(n_nodes: int, ceilings: Dict[int, int],
+                     edges: List[DepEdge], ii: int, width: int,
+                     budget_ratio: int = 8) -> Optional[List[int]]:
+    """Rau's iterative modulo scheduling with ejection.
+
+    Nodes are placed highest-priority first at the earliest slot
+    satisfying the *currently placed* predecessors and the modulo
+    reservation table; when no slot in the II-wide window is free, the
+    node is forced in and a conflicting occupant is ejected; placements
+    that violate an edge to an already-placed node eject that node.
+    ``ceilings`` caps selected nodes' sigma (compare: ``II - 2`` so its
+    condition code commits before the kernel's branch row; induction
+    increment: ``II - 1`` = stage 0, keeping the exit test exact).
+    """
+    priority = _priorities(n_nodes, edges, ii)
+    if priority is None:
+        return None
+    preds_by_dst: Dict[int, List[DepEdge]] = {}
+    succs_by_src: Dict[int, List[DepEdge]] = {}
+    for edge in edges:
+        preds_by_dst.setdefault(edge.dst, []).append(edge)
+        succs_by_src.setdefault(edge.src, []).append(edge)
+
+    sigma: List[Optional[int]] = [None] * n_nodes
+    prev_sigma: List[Optional[int]] = [None] * n_nodes
+    rows: List[List[int]] = [[] for _ in range(ii)]  # occupants per row
+    unplaced = set(range(n_nodes))
+    budget = budget_ratio * n_nodes
+
+    def unplace(node: int) -> None:
+        row = rows[sigma[node] % ii]
+        row.remove(node)
+        prev_sigma[node] = sigma[node]
+        sigma[node] = None
+        unplaced.add(node)
+
+    while unplaced:
+        budget -= 1
+        if budget < 0:
+            return None
+        node = max(unplaced, key=lambda n: (priority[n], -n))
+        unplaced.discard(node)
+        est = 0
+        for edge in preds_by_dst.get(node, ()):
+            src_sigma = sigma[edge.src]
+            if src_sigma is None:
+                continue
+            est = max(est, src_sigma + edge.latency - ii * edge.distance)
+        if prev_sigma[node] is not None:
+            est = max(est, prev_sigma[node] + 1)
+        ceiling = ceilings.get(node)
+        if ceiling is not None and est > ceiling:
+            return None
+        slot = None
+        limit = est + ii - 1 if ceiling is None else min(est + ii - 1,
+                                                         ceiling)
+        for s in range(est, limit + 1):
+            if len(rows[s % ii]) < width:
+                slot = s
+                break
+        if slot is None:
+            slot = est  # force; eject the lowest-priority occupant
+            row = rows[slot % ii]
+            victim = min(row, key=lambda n: (priority[n], -n))
+            unplace(victim)
+        sigma[node] = slot
+        rows[slot % ii].append(node)
+        # eject placed nodes whose edges this placement violates
+        # (self edges are satisfied for any feasible II; skip them)
+        for edge in succs_by_src.get(node, ()):
+            if edge.dst == node:
+                continue
+            dst_sigma = sigma[edge.dst]
+            if dst_sigma is not None and dst_sigma < \
+                    slot + edge.latency - ii * edge.distance:
+                unplace(edge.dst)
+        for edge in preds_by_dst.get(node, ()):
+            if edge.src == node:
+                continue
+            src_sigma = sigma[edge.src]
+            if src_sigma is not None and slot < \
+                    src_sigma + edge.latency - ii * edge.distance:
+                unplace(edge.src)
+    return [s for s in sigma]  # type: ignore[misc]
+
+
+def _verify(sigma: List[int], edges: List[DepEdge], ii: int) -> bool:
+    for edge in edges:
+        if sigma[edge.dst] < sigma[edge.src] + edge.latency \
+                - ii * edge.distance:
+            return False
+        if edge.kind == "flow":
+            # register lifetime: the next iteration's instance of the
+            # defining op rewrites the register at sigma(src) + II; the
+            # value must be consumed by then (same-cycle read still
+            # sees the old value, so equality is fine).
+            if sigma[edge.dst] + ii * edge.distance > sigma[edge.src] + ii:
+                return False
+    return True
+
+
+def _assign_fus(schedule: ModuloSchedule, n_nodes: int, ii: int,
+                width: int) -> None:
+    per_row: Dict[int, int] = {}
+    for node in range(n_nodes):
+        row = schedule.sigma[node] % ii
+        fu = per_row.get(row, 0)
+        if fu >= width:
+            raise PipelineError("modulo reservation table overflow")
+        schedule.node_fu[node] = fu
+        per_row[row] = fu + 1
+
+
+@dataclass
+class LoopPipelineArtifact:
+    """Everything codegen needs to emit one pipelined loop region."""
+
+    placeholder: str          # block name the artifact replaces
+    loop_block: BasicBlock    # rotated loop body (ops + test)
+    schedule: ModuloSchedule
+    exit_target: str
+    #: the kernel-exit compare (pre-increment induction value against a
+    #: step-adjusted bound); TRUE means "run another kernel round".
+    kernel_compare: CompareSlot
+
+    def segments(self, width: int):
+        """Build the prologue / kernel / epilogue segments."""
+        from .codegen import Segment  # local import to avoid a cycle
+
+        sched = self.schedule
+        ii, stages = sched.ii, sched.stages
+        ops = self.loop_block.ops
+        compare_node = sched.compare_node
+
+        def node_slot(node: int):
+            if node == compare_node:
+                return self.kernel_compare
+            return ops[node]
+
+        def pack(nodes: List[int]) -> List[object]:
+            row: List[object] = [None] * width
+            free = 0
+            for node in nodes:
+                while free < width and row[free] is not None:
+                    free += 1
+                if free >= width:
+                    raise PipelineError("row overflow during emission")
+                row[free] = node_slot(node)
+            return row
+
+        prologue_rows: List[List[object]] = []
+        for t in range((stages - 1) * ii):
+            nodes = [n for n in range(len(ops))
+                     if sched.sigma[n] <= t
+                     and (t - sched.sigma[n]) % ii == 0]
+            prologue_rows.append(pack(nodes))
+
+        kernel_rows: List[List[object]] = []
+        kernel_fu_of_compare = None
+        for r in range(ii):
+            nodes = [n for n in range(len(ops) + 1)
+                     if sched.sigma[n] % ii == r]
+            row: List[object] = [None] * width
+            for n in nodes:
+                fu = sched.node_fu[n]
+                row[fu] = node_slot(n)
+                if n == compare_node:
+                    kernel_fu_of_compare = fu
+            kernel_rows.append(row)
+
+        epilogue_rows: List[List[object]] = []
+        max_sigma = sched.max_sigma
+        for t in range((stages - 1) * ii):
+            nodes = [n for n in range(len(ops))
+                     for d in range(1, stages)
+                     if sched.sigma[n] == t + d * ii]
+            if t > max_sigma and not nodes:
+                break
+            epilogue_rows.append(pack(nodes))
+
+        kernel_key = f"{self.placeholder}.kernel"
+        epilog_key = f"{self.placeholder}.epilog"
+        # the kernel compare is normalized to continue-on-true
+        branch = ("branch", kernel_fu_of_compare, kernel_key, epilog_key)
+        return [
+            Segment(self.placeholder, prologue_rows or [[None] * width],
+                    ("jump", kernel_key)),
+            Segment(kernel_key, kernel_rows, branch),
+            Segment(epilog_key, epilogue_rows or [[None] * width],
+                    ("jump", self.exit_target)),
+        ]
+
+
+def _find_induction(block: BasicBlock) -> Optional[Tuple[VReg, int, int]]:
+    """The loop's induction (vreg, step, op index), if unique."""
+    candidates: List[Tuple[VReg, int, int]] = []
+    for index, op in enumerate(block.ops):
+        if op.dest is None:
+            continue
+        if op.opcode == "iadd":
+            if op.a == op.dest and isinstance(op.b, IRConst):
+                candidates.append((op.dest, op.b.value, index))
+            elif op.b == op.dest and isinstance(op.a, IRConst):
+                candidates.append((op.dest, op.a.value, index))
+        elif op.opcode == "isub":
+            if op.a == op.dest and isinstance(op.b, IRConst):
+                candidates.append((op.dest, -op.b.value, index))
+    return candidates[0] if len(candidates) == 1 else None
+
+
+def _loop_invariant(value: Value, block: BasicBlock) -> bool:
+    if isinstance(value, IRConst):
+        return True
+    return all(value not in op.defs() for op in block.ops)
+
+
+def pipeline_function(function: Function, width: int,
+                      write_latency: int = 1) -> Dict[str, LoopPipelineArtifact]:
+    """Pipeline every eligible self-loop; returns placeholder-keyed
+    artifacts (codegen emits them in place of their placeholder block).
+
+    The function is modified: each pipelined loop L gains a guard block
+    (reusing L's name, so predecessors are untouched), a ``L.simple``
+    fallback copy, and a ``L.pipe`` placeholder block carrying the same
+    ops for liveness/allocation purposes.
+    """
+    rotate_while_loops(function)
+    artifacts: Dict[str, LoopPipelineArtifact] = {}
+    for name in list(function.block_order()):
+        block = function.blocks.get(name)
+        if block is None or not isinstance(block.terminator, Branch):
+            continue
+        branch = block.terminator
+        if name not in branch.successors():
+            continue  # not a self loop
+        continue_on_true = branch.if_true == name
+        exit_target = branch.if_false if continue_on_true else branch.if_true
+        if exit_target == name:
+            continue  # infinite loop
+        if branch.cmp not in _MONOTONE:
+            continue
+        induction = _find_induction(block)
+        if induction is None:
+            continue
+        iv, step, increment_index = induction
+        if step == 0:
+            continue
+        # normalize the compare to "continue iff rel(iv, bound)"
+        if branch.a == iv and _loop_invariant(branch.b, block):
+            rel, bound = branch.cmp, branch.b
+        elif branch.b == iv and _loop_invariant(branch.a, block):
+            rel, bound = _SWAPPED[branch.cmp], branch.a
+        else:
+            continue
+        if not continue_on_true:
+            rel = _NEGATED[rel]
+        if rel not in _MONOTONE:
+            continue
+
+        schedule = modulo_schedule(block, width, write_latency,
+                                   increment_node=increment_index)
+        if schedule is None:
+            continue
+        stages = schedule.stages
+
+        # --- rewrite the CFG -------------------------------------------
+        simple_name = f"{name}.simple"
+        pipe_name = f"{name}.pipe"
+        if simple_name in function.blocks or pipe_name in function.blocks:
+            continue
+        simple = function.add_block(simple_name)
+        simple.ops = list(block.ops)
+        simple.terminator = Branch(
+            branch.cmp, branch.a, branch.b,
+            simple_name if continue_on_true else exit_target,
+            exit_target if continue_on_true else simple_name)
+
+        # Bounds: the kernel compare reads the PRE-increment induction
+        # value, so "iteration i+1 valid" is rel(iv_pre, bound - step);
+        # the guard requires `stages` iterations: rel(iv0,
+        # bound - (stages-1)*step).
+        guard_ops: List[IROp] = []
+
+        def adjusted(shift: int, tag: str) -> Value:
+            if shift == 0:
+                return bound
+            if isinstance(bound, IRConst):
+                return IRConst(bound.value - shift)
+            vreg = VReg(f"{name}.{tag}")
+            guard_ops.append(IROp("isub", bound, IRConst(shift), vreg))
+            return vreg
+
+        kernel_bound = adjusted(step, "kb")
+        guard_bound = adjusted((stages - 1) * step, "gb")
+
+        # placeholder block: same ops, and a terminator that keeps the
+        # kernel bound live for the allocator.
+        pipe = function.add_block(pipe_name)
+        pipe.ops = list(block.ops)
+        pipe.terminator = Branch(rel, iv, kernel_bound,
+                                 pipe_name, exit_target)
+
+        loop_block = BasicBlock(name, list(block.ops), branch)
+        block.ops = guard_ops
+        block.terminator = Branch(rel, iv, guard_bound,
+                                  pipe_name, simple_name)
+
+        artifacts[pipe_name] = LoopPipelineArtifact(
+            placeholder=pipe_name,
+            loop_block=loop_block,
+            schedule=schedule,
+            exit_target=exit_target,
+            kernel_compare=CompareSlot(rel, iv, kernel_bound),
+        )
+    return artifacts

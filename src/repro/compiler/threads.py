@@ -1,0 +1,168 @@
+"""Multi-stream composition: placing compiled threads on FU subsets.
+
+An XIMD runs one instruction stream per SSET.  This module takes
+independently compiled (VLIW-mode) thread programs and composes them
+onto one machine: thread *i* occupies a contiguous range of FU columns,
+executes from address 0 of its own columns (each FU has private
+instruction memory, so different threads' addresses never collide), and
+optionally joins the others through an ALL-sync barrier at its exit —
+the section 3.3 mechanism.
+
+Register pressure is handled by relocation: each thread's register
+numbers shift into a private window of the 256-register global file
+(threads that *want* to share registers — e.g. Figure 12 style
+producer/consumer pairs — can pass explicit windows that overlap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa import (
+    Condition,
+    Const,
+    ControlOp,
+    DataOp,
+    Parcel,
+    Reg,
+    SyncValue,
+)
+from ..machine.program import Program
+from .codegen import CompiledFunction
+from .errors import CompilerError
+
+
+@dataclass
+class ThreadPlacement:
+    """Where one compiled thread landed in the composed machine."""
+
+    name: str
+    fu_offset: int
+    width: int
+    register_base: int
+    registers_used: int
+
+    def register(self, compiled: CompiledFunction, var: str) -> int:
+        """Physical register of *var* in the composed program."""
+        return compiled.register(var) + self.register_base
+
+
+def _shift_data_op(op: DataOp, reg_delta: int) -> DataOp:
+    def shift(value):
+        if isinstance(value, Reg):
+            return Reg(value.index + reg_delta)
+        return value
+
+    if op.is_nop:
+        return op
+    return DataOp(op.opcode, shift(op.srca), shift(op.srcb),
+                  shift(op.dest) if op.dest is not None else None)
+
+
+def _shift_control(control: Optional[ControlOp], addr_delta: int,
+                   fu_delta: int) -> Optional[ControlOp]:
+    if control is None:
+        return None
+    index = control.index
+    if control.condition.needs_index and index is not None:
+        index += fu_delta
+    mask = control.mask
+    if mask is not None:
+        mask = tuple(m + fu_delta for m in mask)
+    target2 = control.target2
+    return ControlOp(control.condition,
+                     control.target1 + addr_delta,
+                     target2 + addr_delta if target2 is not None else None,
+                     index, mask)
+
+
+def relocate_parcel(parcel: Parcel, addr_delta: int, fu_delta: int,
+                    reg_delta: int) -> Parcel:
+    """Shift a parcel's registers, branch targets, and FU references."""
+    return Parcel(
+        _shift_data_op(parcel.data, reg_delta),
+        _shift_control(parcel.control, addr_delta, fu_delta),
+        parcel.sync,
+    )
+
+
+def registers_used(compiled: CompiledFunction) -> int:
+    """Highest physical register index used, plus one."""
+    highest = -1
+    for index in compiled.assignment.mapping.values():
+        highest = max(highest, index)
+    return highest + 1
+
+
+def compose_threads(threads: Sequence[CompiledFunction],
+                    total_width: int = 8,
+                    barrier: bool = True,
+                    n_registers: int = 256,
+                    ) -> Tuple[Program, List[ThreadPlacement]]:
+    """Compose compiled threads side by side on one XIMD.
+
+    Threads are assigned FU columns left to right in order; each
+    thread's exit row optionally becomes an ALL-sync barrier over the
+    participating FUs, after which every thread halts together (the
+    fork at machine start is implicit: all FUs begin at address 0 of
+    their own columns, already running their own streams).
+    """
+    if not threads:
+        raise CompilerError("no threads to compose")
+    widths = [t.width for t in threads]
+    if sum(widths) > total_width:
+        raise CompilerError(
+            f"threads need {sum(widths)} FUs, machine has {total_width}")
+
+    placements: List[ThreadPlacement] = []
+    fu_offset = 0
+    register_base = 0
+    for thread in threads:
+        used = registers_used(thread)
+        if register_base + used > n_registers:
+            raise CompilerError("composed threads exceed the register file")
+        placements.append(ThreadPlacement(
+            thread.function.name, fu_offset, thread.width,
+            register_base, used))
+        fu_offset += thread.width
+        register_base += used
+
+    barrier_mask = tuple(range(sum(widths))) if barrier else None
+    length = max(t.program.length for t in threads) + (2 if barrier else 0)
+    columns: List[List[Optional[Parcel]]] = [
+        [None] * length for _ in range(total_width)
+    ]
+    register_names: Dict[int, str] = {}
+    labels: Dict[str, int] = {}
+
+    for thread, placement in zip(threads, placements):
+        program = thread.program
+        halt_addresses = set()
+        for fu in range(program.width):
+            column = program.columns[fu]
+            out = columns[placement.fu_offset + fu]
+            for address, parcel in enumerate(column):
+                if parcel is None:
+                    continue
+                moved = relocate_parcel(parcel, 0, placement.fu_offset,
+                                        placement.register_base)
+                if barrier and moved.control is None:
+                    # exit row -> barrier spin, then halt one row later
+                    halt_addresses.add(address)
+                    moved = Parcel(
+                        moved.data,
+                        ControlOp(Condition.ALL_SS_DONE, address + 1,
+                                  address, mask=barrier_mask),
+                        SyncValue.DONE,
+                    )
+                    out[address + 1] = Parcel(sync=SyncValue.DONE)
+                out[address] = moved
+        for label, address in program.labels.items():
+            labels[f"{placement.name}.{label}"] = address
+        for index, name in program.register_names.items():
+            register_names[index + placement.register_base] = \
+                f"{placement.name}.{name}"
+
+    return Program(columns, entry=0, labels=labels,
+                   register_names=register_names), placements

@@ -1,0 +1,96 @@
+"""Tile generation: compiling each thread at several machine widths.
+
+Figure 13: *"Each thread is compiled several times with varying
+resource constraints ... Each can be modeled as a rectangle or tile
+whose width is the required number of functional units and whose length
+is the static code size.  The best set of tiles for each thread is
+saved."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .codegen import CompiledFunction, compile_ir
+from .errors import CompilerError
+from .ir import Function
+
+
+@dataclass
+class Tile:
+    """One compilation of one thread at one width."""
+
+    thread: str
+    width: int
+    height: int                 # static code size in rows
+    compiled: CompiledFunction
+    est_cycles: Optional[int] = None  # dynamic estimate, if measured
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    def __str__(self):
+        cycles = f", ~{self.est_cycles}cy" if self.est_cycles else ""
+        return (f"Tile({self.thread}, {self.width}x{self.height}"
+                f"{cycles})")
+
+
+def generate_tiles(function: Function,
+                   widths: Sequence[int] = (1, 2, 4, 8),
+                   measure: Optional[Callable[[CompiledFunction], int]] = None,
+                   **compile_options) -> List[Tile]:
+    """Compile *function* once per width and wrap the results as tiles.
+
+    Args:
+        measure: optional callback returning a dynamic cycle count for
+            a compiled function (e.g. a simulator run on a reference
+            input); stored as the tile's ``est_cycles``.
+    """
+    import copy
+
+    tiles: List[Tile] = []
+    for width in widths:
+        if width < 1:
+            raise CompilerError(f"bad tile width {width}")
+        # compilation mutates the IR (percolation, pipelining), so each
+        # width gets a private copy
+        instance = copy.deepcopy(function)
+        compiled = compile_ir(instance, width, **compile_options)
+        tile = Tile(function.name, width, compiled.program.length, compiled)
+        if measure is not None:
+            tile.est_cycles = measure(compiled)
+        tiles.append(tile)
+    return tiles
+
+
+def pareto_tiles(tiles: Sequence[Tile]) -> List[Tile]:
+    """The best set: tiles not dominated in both width and height.
+
+    A tile dominates another if it is no wider *and* no taller; the
+    paper keeps exactly this frontier per thread.
+    """
+    kept: List[Tile] = []
+    for tile in tiles:
+        dominated = any(
+            other is not tile
+            and other.width <= tile.width
+            and other.height <= tile.height
+            and (other.width < tile.width or other.height < tile.height)
+            for other in tiles
+        )
+        if not dominated:
+            kept.append(tile)
+    kept.sort(key=lambda t: t.width)
+    return kept
+
+
+def tile_menu(functions: Dict[str, Function],
+              widths: Sequence[int] = (1, 2, 4, 8),
+              **options) -> Dict[str, List[Tile]]:
+    """Per-thread Pareto tile sets for a whole compilation unit."""
+    return {
+        name: pareto_tiles(generate_tiles(fn, widths, **options))
+        for name, fn in functions.items()
+    }

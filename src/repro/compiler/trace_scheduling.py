@@ -1,0 +1,168 @@
+"""Trace scheduling: superblock formation along likely paths.
+
+Trace Scheduling [Fisher81] picks the likeliest path through the CFG
+and schedules it as one long block, patching the off-trace entries and
+exits with compensation code.  This module implements the modern
+formulation via *superblocks*: the trace is made single-entry by tail
+duplication (side entrances get private copies of the downstream trace
+blocks), after which the percolation pass's chain merging and
+speculative hoisting compact the trace with no side-entrance bookkeeping
+at all — duplication *is* the compensation code.
+
+Profiles are block-weight dictionaries; :func:`estimate_profile` gives
+a static guess (loop nesting via back-edge heuristics), or callers pass
+measured weights from a simulator run.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional, Set, Tuple
+
+from .dataflow import predecessors, reachable_blocks, successors
+from .ir import Branch, Function, Halt, IROp, Jump
+
+
+def estimate_profile(function: Function) -> Dict[str, float]:
+    """A static block-weight estimate.
+
+    Every block starts at 1.0; blocks reachable from a conditional get
+    the classic 50/50 split; loop membership (a block that can reach
+    itself) multiplies weight by 10 — a crude stand-in for measured
+    profiles, adequate for choosing traces in small programs.
+    """
+    succs = successors(function)
+    weights = {name: 1.0 for name in function.blocks}
+
+    # crude loop detection: block reaches itself
+    for name in function.blocks:
+        seen: Set[str] = set()
+        stack = list(succs[name])
+        while stack:
+            node = stack.pop()
+            if node == name:
+                weights[name] *= 10.0
+                break
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(succs[node])
+    return weights
+
+
+def pick_trace(function: Function, profile: Dict[str, float],
+               start: Optional[str] = None,
+               max_length: int = 16) -> List[str]:
+    """Follow the heaviest successor from *start* (default: entry).
+
+    The trace stops at halts, back edges (already-visited blocks), and
+    the length cap — Fisher's mutual-most-likely criterion simplified
+    to forward most-likely.
+    """
+    succs = successors(function)
+    current = start if start is not None else function.entry
+    trace = [current]
+    seen = {current}
+    while len(trace) < max_length:
+        options = [s for s in succs[current] if s not in seen]
+        if not options:
+            break
+        current = max(options, key=lambda s: profile.get(s, 0.0))
+        trace.append(current)
+        seen.add(current)
+    return trace
+
+
+def tail_duplicate(function: Function, trace: List[str]) -> int:
+    """Make *trace* single-entry by duplicating side-entered tails.
+
+    For each trace block (after the first) with predecessors outside
+    the trace, the block and the rest of the trace after it are cloned;
+    the off-trace predecessors are redirected to the clones.  Returns
+    the number of blocks duplicated.
+    """
+    duplicated = 0
+    for position in range(1, len(trace)):
+        name = trace[position]
+        if name not in function.blocks:
+            continue
+        preds = predecessors(function)
+        on_trace_pred = trace[position - 1]
+        side_entries = [p for p in preds.get(name, ())
+                        if p != on_trace_pred]
+        if not side_entries:
+            continue
+        # clone the tail of the trace from this block onward
+        clones: Dict[str, str] = {}
+        for tail_name in trace[position:]:
+            if tail_name not in function.blocks:
+                continue
+            clone_name = _fresh_name(function, f"{tail_name}.dup")
+            block = function.blocks[tail_name]
+            clone = function.add_block(clone_name)
+            clone.ops = [IROp(op.opcode, op.a, op.b, op.dest)
+                         for op in block.ops]
+            clone.terminator = copy.copy(block.terminator)
+            clones[tail_name] = clone_name
+            duplicated += 1
+        # clone terminators follow the cloned tail where possible
+        for original, clone_name in clones.items():
+            clone = function.blocks[clone_name]
+            clone.terminator = _retarget(clone.terminator, clones)
+        # side entrances enter the clones
+        for pred_name in side_entries:
+            pred = function.blocks[pred_name]
+            pred.terminator = _retarget(pred.terminator,
+                                        {name: clones[name]})
+    return duplicated
+
+
+def _retarget(terminator, mapping: Dict[str, str]):
+    if isinstance(terminator, Jump):
+        return Jump(mapping.get(terminator.target, terminator.target))
+    if isinstance(terminator, Branch):
+        return Branch(terminator.cmp, terminator.a, terminator.b,
+                      mapping.get(terminator.if_true, terminator.if_true),
+                      mapping.get(terminator.if_false, terminator.if_false))
+    return terminator
+
+
+def _fresh_name(function: Function, base: str) -> str:
+    name = base
+    counter = 1
+    while name in function.blocks:
+        counter += 1
+        name = f"{base}{counter}"
+    return name
+
+
+def trace_schedule(function: Function,
+                   profile: Optional[Dict[str, float]] = None,
+                   max_traces: int = 4) -> Tuple[int, int]:
+    """Form superblocks along the heaviest traces (in place).
+
+    Repeatedly picks the heaviest untouched trace, tail-duplicates it,
+    and lets the percolation pass (run afterwards by ``compile_ir``)
+    merge and compact it.  Returns (traces formed, blocks duplicated).
+    """
+    from .percolation import percolate_function
+
+    if profile is None:
+        profile = estimate_profile(function)
+    covered: Set[str] = set()
+    formed = 0
+    duplicated = 0
+    for _ in range(max_traces):
+        candidates = [n for n in function.blocks if n not in covered]
+        if not candidates:
+            break
+        start = max(candidates, key=lambda n: profile.get(n, 0.0))
+        trace = pick_trace(function, profile, start)
+        if len(trace) < 2:
+            covered.update(trace)
+            continue
+        duplicated += tail_duplicate(function, trace)
+        covered.update(trace)
+        formed += 1
+    percolate_function(function)
+    return formed, duplicated

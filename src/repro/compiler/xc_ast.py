@@ -1,0 +1,116 @@
+"""Abstract syntax tree for the XC language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# --- expressions ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NumberExpr:
+    value: int
+
+
+@dataclass(frozen=True)
+class VarExpr:
+    name: str
+
+
+@dataclass(frozen=True)
+class BinaryExpr:
+    op: str  # + - * / % & | ^ << >>
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class UnaryExpr:
+    op: str  # -
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class IndexExpr:
+    """Array element read: ``A[index]``."""
+
+    array: str
+    index: "Expr"
+
+
+Expr = Union[NumberExpr, VarExpr, BinaryExpr, UnaryExpr, IndexExpr]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A single relational comparison: ``left <relop> right``."""
+
+    relop: str  # < <= > >= == !=
+    left: Expr
+    right: Expr
+
+
+# --- statements -------------------------------------------------------------
+
+
+@dataclass
+class AssignStmt:
+    name: str
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class StoreStmt:
+    """Array element write: ``A[index] = value``."""
+
+    array: str
+    index: Expr
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class IfStmt:
+    condition: Condition
+    then_body: List["Stmt"]
+    else_body: List["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class WhileStmt:
+    condition: Condition
+    body: List["Stmt"]
+    line: int = 0
+
+
+@dataclass
+class ReturnStmt:
+    value: Optional[Expr]
+    line: int = 0
+
+
+Stmt = Union[AssignStmt, StoreStmt, IfStmt, WhileStmt, ReturnStmt]
+
+
+# --- declarations -----------------------------------------------------------
+
+
+@dataclass
+class FuncDecl:
+    """One XC function.
+
+    ``arrays`` map names to fixed base addresses (XC has no allocator:
+    arrays live at addresses the program declares, matching the paper's
+    examples where ``z``, ``D0``, ``B0`` are link-time constants).
+    """
+
+    name: str
+    params: List[str]
+    variables: List[str]
+    arrays: List[Tuple[str, int]]
+    body: List[Stmt]
+    line: int = 0

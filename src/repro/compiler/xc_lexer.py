@@ -1,0 +1,145 @@
+"""Lexer for XC, the small C-like source language.
+
+XC exists because the paper's compilation flow (section 4.2) starts
+from C via a retargetable GNU-C-based VLIW compiler; XC is the minimal
+language that expresses the paper's example programs (TPROC, MINMAX,
+BITCOUNT, the Livermore kernels): integer variables, arrays at fixed
+base addresses, arithmetic/logical expressions, ``if``/``while``
+control flow, and ``return``.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .errors import XcSyntaxError
+
+KEYWORDS = frozenset({"func", "var", "array", "if", "else", "while",
+                      "return"})
+
+#: multi-character operators, longest first.
+_OPERATORS = ("<<", ">>", "<=", ">=", "==", "!=",
+              "+", "-", "*", "/", "%", "&", "|", "^", "<", ">",
+              "=", "(", ")", "{", "}", "[", "]", ",", ";", "@")
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUMBER_RE = re.compile(r"0[xX][0-9a-fA-F]+|\d+")
+
+
+class XcTokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    OP = "op"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class XcToken:
+    kind: XcTokenKind
+    text: str
+    value: object = None
+    line: int = 0
+
+    def __str__(self):
+        return self.text or "<end>"
+
+
+def tokenize_xc(source: str) -> List[XcToken]:
+    """Tokenize XC source; ``//`` comments run to end of line."""
+    tokens: List[XcToken] = []
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        cut = raw.find("//")
+        line = raw if cut < 0 else raw[:cut]
+        pos = 0
+        while pos < len(line):
+            ch = line[pos]
+            if ch in " \t\r":
+                pos += 1
+                continue
+            match = _NUMBER_RE.match(line, pos)
+            if match:
+                text = match.group(0)
+                base = 16 if text.lower().startswith("0x") else 10
+                tokens.append(XcToken(XcTokenKind.NUMBER, text,
+                                      int(text, base), lineno))
+                pos = match.end()
+                continue
+            match = _IDENT_RE.match(line, pos)
+            if match:
+                text = match.group(0)
+                kind = (XcTokenKind.KEYWORD if text in KEYWORDS
+                        else XcTokenKind.IDENT)
+                tokens.append(XcToken(kind, text, text, lineno))
+                pos = match.end()
+                continue
+            for op in _OPERATORS:
+                if line.startswith(op, pos):
+                    tokens.append(XcToken(XcTokenKind.OP, op, op, lineno))
+                    pos += len(op)
+                    break
+            else:
+                raise XcSyntaxError(
+                    f"unexpected character {ch!r}", lineno)
+    tokens.append(XcToken(XcTokenKind.END, "",
+                          line=source.count("\n") + 1))
+    return tokens
+
+
+class XcTokenStream:
+    """Cursor with lookahead over an XC token list."""
+
+    def __init__(self, tokens: List[XcToken]):
+        self._tokens = tokens
+        self._index = 0
+
+    @property
+    def current(self) -> XcToken:
+        return self._tokens[self._index]
+
+    def advance(self) -> XcToken:
+        token = self.current
+        if token.kind is not XcTokenKind.END:
+            self._index += 1
+        return token
+
+    def accept_op(self, text: str) -> Optional[XcToken]:
+        token = self.current
+        if token.kind is XcTokenKind.OP and token.text == text:
+            return self.advance()
+        return None
+
+    def accept_keyword(self, word: str) -> Optional[XcToken]:
+        token = self.current
+        if token.kind is XcTokenKind.KEYWORD and token.text == word:
+            return self.advance()
+        return None
+
+    def expect_op(self, text: str) -> XcToken:
+        token = self.accept_op(text)
+        if token is None:
+            raise XcSyntaxError(
+                f"expected {text!r}, found {self.current}",
+                self.current.line)
+        return token
+
+    def expect_ident(self) -> XcToken:
+        token = self.current
+        if token.kind is not XcTokenKind.IDENT:
+            raise XcSyntaxError(
+                f"expected identifier, found {token}", token.line)
+        return self.advance()
+
+    def expect_number(self) -> XcToken:
+        token = self.current
+        if token.kind is not XcTokenKind.NUMBER:
+            raise XcSyntaxError(
+                f"expected number, found {token}", token.line)
+        return self.advance()
+
+    @property
+    def at_end(self) -> bool:
+        return self.current.kind is XcTokenKind.END

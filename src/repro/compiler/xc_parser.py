@@ -1,0 +1,217 @@
+"""Recursive-descent parser for XC.
+
+Grammar::
+
+    unit      := func*
+    func      := 'func' IDENT '(' [IDENT (',' IDENT)*] ')' '{' decl* stmt* '}'
+    decl      := 'var' IDENT (',' IDENT)* ';'
+               | 'array' IDENT '@' NUMBER ';'
+    stmt      := IDENT '=' expr ';'
+               | IDENT '[' expr ']' '=' expr ';'
+               | 'if' '(' cond ')' block ['else' block]
+               | 'while' '(' cond ')' block
+               | 'return' [expr] ';'
+    block     := '{' stmt* '}'
+    cond      := expr RELOP expr
+    expr      := bitor
+    bitor     := bitxor ('|' bitxor)*
+    bitxor    := bitand ('^' bitand)*
+    bitand    := shift ('&' shift)*
+    shift     := additive (('<<'|'>>') additive)*
+    additive  := term (('+'|'-') term)*
+    term      := unary (('*'|'/'|'%') unary)*
+    unary     := '-' unary | primary
+    primary   := NUMBER | IDENT | IDENT '[' expr ']' | '(' expr ')'
+
+Declarations must precede statements, C89 style.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .errors import XcSyntaxError
+from .xc_ast import (
+    AssignStmt,
+    BinaryExpr,
+    Condition,
+    Expr,
+    FuncDecl,
+    IfStmt,
+    IndexExpr,
+    NumberExpr,
+    ReturnStmt,
+    Stmt,
+    StoreStmt,
+    UnaryExpr,
+    VarExpr,
+    WhileStmt,
+)
+from .xc_lexer import XcTokenKind, XcTokenStream, tokenize_xc
+
+_RELOPS = ("<=", ">=", "==", "!=", "<", ">")
+_BINARY_LEVELS = (
+    ("|",),
+    ("^",),
+    ("&",),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+)
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.stream = XcTokenStream(tokenize_xc(source))
+
+    # -- declarations -----------------------------------------------------
+
+    def parse_unit(self) -> List[FuncDecl]:
+        functions = []
+        while not self.stream.at_end:
+            functions.append(self.parse_func())
+        if not functions:
+            raise XcSyntaxError("empty compilation unit")
+        return functions
+
+    def parse_func(self) -> FuncDecl:
+        token = self.stream.current
+        if not self.stream.accept_keyword("func"):
+            raise XcSyntaxError(f"expected 'func', found {token}", token.line)
+        name = self.stream.expect_ident().text
+        self.stream.expect_op("(")
+        params: List[str] = []
+        if not self.stream.accept_op(")"):
+            while True:
+                params.append(self.stream.expect_ident().text)
+                if self.stream.accept_op(")"):
+                    break
+                self.stream.expect_op(",")
+        self.stream.expect_op("{")
+        variables: List[str] = []
+        arrays: List[Tuple[str, int]] = []
+        while True:
+            if self.stream.accept_keyword("var"):
+                while True:
+                    variables.append(self.stream.expect_ident().text)
+                    if not self.stream.accept_op(","):
+                        break
+                self.stream.expect_op(";")
+            elif self.stream.accept_keyword("array"):
+                array_name = self.stream.expect_ident().text
+                self.stream.expect_op("@")
+                base = self.stream.expect_number().value
+                arrays.append((array_name, base))
+                self.stream.expect_op(";")
+            else:
+                break
+        body = self.parse_stmts_until_brace()
+        return FuncDecl(name, params, variables, arrays, body,
+                        line=token.line)
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_stmts_until_brace(self) -> List[Stmt]:
+        stmts: List[Stmt] = []
+        while not self.stream.accept_op("}"):
+            if self.stream.at_end:
+                raise XcSyntaxError("unexpected end of input (missing '}')")
+            stmts.append(self.parse_stmt())
+        return stmts
+
+    def parse_block(self) -> List[Stmt]:
+        self.stream.expect_op("{")
+        return self.parse_stmts_until_brace()
+
+    def parse_stmt(self) -> Stmt:
+        token = self.stream.current
+        if self.stream.accept_keyword("if"):
+            self.stream.expect_op("(")
+            condition = self.parse_condition()
+            self.stream.expect_op(")")
+            then_body = self.parse_block()
+            else_body: List[Stmt] = []
+            if self.stream.accept_keyword("else"):
+                else_body = self.parse_block()
+            return IfStmt(condition, then_body, else_body, line=token.line)
+        if self.stream.accept_keyword("while"):
+            self.stream.expect_op("(")
+            condition = self.parse_condition()
+            self.stream.expect_op(")")
+            body = self.parse_block()
+            return WhileStmt(condition, body, line=token.line)
+        if self.stream.accept_keyword("return"):
+            value: Optional[Expr] = None
+            if not self.stream.accept_op(";"):
+                value = self.parse_expr()
+                self.stream.expect_op(";")
+            return ReturnStmt(value, line=token.line)
+        if token.kind is XcTokenKind.IDENT:
+            name = self.stream.advance().text
+            if self.stream.accept_op("["):
+                index = self.parse_expr()
+                self.stream.expect_op("]")
+                self.stream.expect_op("=")
+                value = self.parse_expr()
+                self.stream.expect_op(";")
+                return StoreStmt(name, index, value, line=token.line)
+            self.stream.expect_op("=")
+            value = self.parse_expr()
+            self.stream.expect_op(";")
+            return AssignStmt(name, value, line=token.line)
+        raise XcSyntaxError(f"expected statement, found {token}", token.line)
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_condition(self) -> Condition:
+        left = self.parse_expr()
+        token = self.stream.current
+        if token.kind is not XcTokenKind.OP or token.text not in _RELOPS:
+            raise XcSyntaxError(
+                f"expected relational operator, found {token}", token.line)
+        self.stream.advance()
+        right = self.parse_expr()
+        return Condition(token.text, left, right)
+
+    def parse_expr(self, level: int = 0) -> Expr:
+        if level == len(_BINARY_LEVELS):
+            return self.parse_unary()
+        ops = _BINARY_LEVELS[level]
+        node = self.parse_expr(level + 1)
+        while True:
+            token = self.stream.current
+            if token.kind is XcTokenKind.OP and token.text in ops:
+                self.stream.advance()
+                right = self.parse_expr(level + 1)
+                node = BinaryExpr(token.text, node, right)
+            else:
+                return node
+
+    def parse_unary(self) -> Expr:
+        if self.stream.accept_op("-"):
+            return UnaryExpr("-", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self.stream.current
+        if token.kind is XcTokenKind.NUMBER:
+            self.stream.advance()
+            return NumberExpr(token.value)
+        if token.kind is XcTokenKind.IDENT:
+            self.stream.advance()
+            if self.stream.accept_op("["):
+                index = self.parse_expr()
+                self.stream.expect_op("]")
+                return IndexExpr(token.text, index)
+            return VarExpr(token.text)
+        if self.stream.accept_op("("):
+            node = self.parse_expr()
+            self.stream.expect_op(")")
+            return node
+        raise XcSyntaxError(f"expected expression, found {token}",
+                            token.line)
+
+
+def parse_xc(source: str) -> List[FuncDecl]:
+    """Parse XC source into a list of function declarations."""
+    return _Parser(source).parse_unit()

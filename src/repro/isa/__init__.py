@@ -1,0 +1,74 @@
+"""The XIMD-1 instruction-set architecture.
+
+This package defines the data operations (Figure 7), the control-path
+operations and synchronization field (Figure 8 / section 2.2), the
+instruction-parcel structure (section 2.4), and a concrete binary
+encoding for parcels.
+"""
+
+from .errors import EncodingError, IsaError, OperandError, UnknownOpcodeError
+from .instruction import (
+    Condition,
+    ControlOp,
+    DATA_NOP,
+    DataOp,
+    EMPTY_PARCEL,
+    Parcel,
+    SyncValue,
+    WideInstruction,
+    goto,
+)
+from .opcodes import (
+    ALL_MNEMONICS,
+    NOP,
+    OPCODES,
+    OpKind,
+    Opcode,
+    instruction_set_table,
+    lookup,
+    opcodes_of_kind,
+)
+from .operands import Const, Operand, Reg, is_constant, is_register
+from .registers import (
+    INT_BITS,
+    MAXINT,
+    MININT,
+    NUM_REGISTERS,
+    to_unsigned,
+    wrap_int,
+)
+
+__all__ = [
+    "ALL_MNEMONICS",
+    "Condition",
+    "Const",
+    "ControlOp",
+    "DATA_NOP",
+    "DataOp",
+    "EMPTY_PARCEL",
+    "EncodingError",
+    "INT_BITS",
+    "IsaError",
+    "lookup",
+    "MAXINT",
+    "MININT",
+    "NOP",
+    "NUM_REGISTERS",
+    "OPCODES",
+    "OpKind",
+    "Opcode",
+    "Operand",
+    "OperandError",
+    "Parcel",
+    "Reg",
+    "SyncValue",
+    "UnknownOpcodeError",
+    "WideInstruction",
+    "goto",
+    "instruction_set_table",
+    "is_constant",
+    "is_register",
+    "opcodes_of_kind",
+    "to_unsigned",
+    "wrap_int",
+]

@@ -1,0 +1,228 @@
+"""Binary encoding of instruction parcels.
+
+The paper's machine stores each functional unit's parcels in a private
+column of instruction memory ("the control signals for each functional
+unit are supplied by a unique portion of the instruction memory").  This
+module defines a concrete bit-level layout for a parcel so the repository
+can round-trip programs through a binary form, measure realistic
+instruction-memory sizes (used by the Figure 13 code-density experiment),
+and property-test the ISA layer.
+
+The layout is a reconstruction — the paper does not publish field widths
+beyond the structural description of Figure 8 — and is documented field
+by field in :data:`LAYOUT`.
+
+Parcel layout (LSB first)::
+
+    sync          1 bit    BUSY=0 / DONE=1
+    has_control   1 bit    0 marks an empty (halt) slot
+    condition     3 bits   Condition enum ordinal
+    index         4 bits   FU index for CC/SS conditions
+    has_mask      1 bit
+    mask          8 bits   FU bitmap for masked ALL/ANY sync
+    target1      16 bits
+    target2      16 bits
+    opcode        6 bits   index into the opcode table
+    a_mode        1 bit    0=register, 1=constant
+    a_value      32 bits   register index or raw constant bits
+    b_mode        1 bit
+    b_value      32 bits
+    dest          9 bits   register index + 1 "present" bit
+
+Constants are stored as two's-complement 32-bit integers or IEEE-754
+single-precision bit patterns (for float opcodes).  Round-tripping a
+float constant therefore quantizes it to float32 — exactly what the
+32-bit hardware would hold.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Tuple
+
+from .errors import EncodingError
+from .instruction import Condition, ControlOp, DataOp, Parcel, SyncValue
+from .opcodes import ALL_MNEMONICS, OPCODES
+from .operands import Const, Reg
+from .registers import wrap_int
+
+#: (name, width-in-bits) for every field, LSB first.
+LAYOUT: Tuple[Tuple[str, int], ...] = (
+    ("sync", 1),
+    ("has_control", 1),
+    ("condition", 3),
+    ("index", 4),
+    ("has_mask", 1),
+    ("mask", 8),
+    ("target1", 16),
+    ("target2", 16),
+    ("opcode", 6),
+    ("a_mode", 1),
+    ("a_value", 32),
+    ("b_mode", 1),
+    ("b_value", 32),
+    ("has_dest", 1),
+    ("dest", 8),
+)
+
+#: Total encoded size of one parcel.
+PARCEL_BITS = sum(width for _, width in LAYOUT)
+PARCEL_BYTES = (PARCEL_BITS + 7) // 8
+
+_CONDITION_ORDER = tuple(Condition)
+_CONDITION_INDEX = {c: i for i, c in enumerate(_CONDITION_ORDER)}
+_OPCODE_INDEX = {m: i for i, m in enumerate(ALL_MNEMONICS)}
+
+_MAX_TARGET = (1 << 16) - 1
+_MAX_FU_INDEX = (1 << 4) - 1
+
+
+def _float_bits(value: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def _bits_float(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits))[0]
+
+
+def _encode_operand(operand, is_float: bool) -> Tuple[int, int]:
+    """Return (mode, value_bits) for a source operand."""
+    if operand is None:
+        return 0, 0
+    if isinstance(operand, Reg):
+        return 0, operand.index
+    if isinstance(operand, Const):
+        if isinstance(operand.value, float) or is_float:
+            return 1, _float_bits(float(operand.value))
+        value = wrap_int(operand.value)
+        return 1, value & 0xFFFFFFFF
+    raise EncodingError(f"cannot encode operand {operand!r}")
+
+
+def _decode_operand(mode: int, value: int, is_float: bool, present: bool):
+    if not present:
+        return None
+    if mode == 0:
+        return Reg(value & 0xFF)
+    if is_float:
+        return Const(_bits_float(value))
+    signed = value if value < 0x80000000 else value - 0x100000000
+    return Const(signed)
+
+
+def encode_parcel(parcel: Parcel) -> int:
+    """Encode *parcel* into a :data:`PARCEL_BITS`-bit integer."""
+    fields = dict.fromkeys((name for name, _ in LAYOUT), 0)
+    fields["sync"] = 1 if parcel.sync is SyncValue.DONE else 0
+
+    control = parcel.control
+    if control is not None:
+        fields["has_control"] = 1
+        fields["condition"] = _CONDITION_INDEX[control.condition]
+        if control.index is not None:
+            if control.index > _MAX_FU_INDEX:
+                raise EncodingError(f"FU index too large: {control.index}")
+            fields["index"] = control.index
+        if control.mask is not None:
+            fields["has_mask"] = 1
+            bitmap = 0
+            for fu in control.mask:
+                if fu > 7:
+                    raise EncodingError(f"mask FU out of range: {fu}")
+                bitmap |= 1 << fu
+            fields["mask"] = bitmap
+        for name, target in (("target1", control.target1),
+                             ("target2", control.target2)):
+            if target is None:
+                continue
+            if not 0 <= target <= _MAX_TARGET:
+                raise EncodingError(f"branch target out of range: {target}")
+            fields[name] = target
+
+    data = parcel.data
+    fields["opcode"] = _OPCODE_INDEX[data.opcode.mnemonic]
+    is_float = data.opcode.is_float
+    fields["a_mode"], fields["a_value"] = _encode_operand(data.srca, is_float)
+    fields["b_mode"], fields["b_value"] = _encode_operand(data.srcb, is_float)
+    if data.dest is not None:
+        fields["has_dest"] = 1
+        fields["dest"] = data.dest.index
+
+    word = 0
+    shift = 0
+    for name, width in LAYOUT:
+        value = fields[name]
+        if value >> width:
+            raise EncodingError(f"field {name} overflows {width} bits: {value}")
+        word |= value << shift
+        shift += width
+    return word
+
+
+def decode_parcel(word: int) -> Parcel:
+    """Decode an integer produced by :func:`encode_parcel`."""
+    if word < 0 or word >> PARCEL_BITS:
+        raise EncodingError(f"not a {PARCEL_BITS}-bit parcel word: {word}")
+    fields = {}
+    shift = 0
+    for name, width in LAYOUT:
+        fields[name] = (word >> shift) & ((1 << width) - 1)
+        shift += width
+
+    mnemonic = ALL_MNEMONICS[fields["opcode"]] \
+        if fields["opcode"] < len(ALL_MNEMONICS) else None
+    if mnemonic is None:
+        raise EncodingError(f"undefined opcode index {fields['opcode']}")
+    opcode = OPCODES[mnemonic]
+    has_sources = opcode.num_sources > 0
+    data = DataOp(
+        opcode,
+        _decode_operand(fields["a_mode"], fields["a_value"],
+                        opcode.is_float, has_sources),
+        _decode_operand(fields["b_mode"], fields["b_value"],
+                        opcode.is_float, has_sources),
+        Reg(fields["dest"]) if fields["has_dest"] else None,
+    )
+
+    control = None
+    if fields["has_control"]:
+        condition = _CONDITION_ORDER[fields["condition"]]
+        mask = None
+        if fields["has_mask"]:
+            mask = tuple(fu for fu in range(8) if fields["mask"] >> fu & 1)
+        control = ControlOp(
+            condition,
+            fields["target1"],
+            fields["target2"] if not condition.is_unconditional else None,
+            fields["index"] if condition.needs_index else None,
+            mask,
+        )
+
+    sync = SyncValue.DONE if fields["sync"] else SyncValue.BUSY
+    return Parcel(data, control, sync)
+
+
+def encode_parcel_bytes(parcel: Parcel) -> bytes:
+    """Encode *parcel* into :data:`PARCEL_BYTES` little-endian bytes."""
+    return encode_parcel(parcel).to_bytes(PARCEL_BYTES, "little")
+
+
+def decode_parcel_bytes(blob: bytes) -> Parcel:
+    """Inverse of :func:`encode_parcel_bytes`."""
+    if len(blob) != PARCEL_BYTES:
+        raise EncodingError(
+            f"expected {PARCEL_BYTES} bytes, got {len(blob)}")
+    return decode_parcel(int.from_bytes(blob, "little"))
+
+
+def encode_column(parcels: Iterable[Parcel]) -> bytes:
+    """Encode one FU's instruction-memory column as a byte string."""
+    return b"".join(encode_parcel_bytes(p) for p in parcels)
+
+
+def decode_column(blob: bytes) -> List[Parcel]:
+    """Inverse of :func:`encode_column`."""
+    if len(blob) % PARCEL_BYTES:
+        raise EncodingError("column length is not a multiple of parcel size")
+    return [decode_parcel_bytes(blob[i:i + PARCEL_BYTES])
+            for i in range(0, len(blob), PARCEL_BYTES)]

@@ -1,0 +1,21 @@
+"""Exception types raised by the ISA layer."""
+
+
+class IsaError(Exception):
+    """Base class for all ISA-level errors."""
+
+
+class UnknownOpcodeError(IsaError):
+    """Raised when a mnemonic does not name a defined operation."""
+
+    def __init__(self, mnemonic):
+        super().__init__(f"unknown opcode: {mnemonic!r}")
+        self.mnemonic = mnemonic
+
+
+class OperandError(IsaError):
+    """Raised when an operation is built with malformed operands."""
+
+
+class EncodingError(IsaError):
+    """Raised when a parcel cannot be encoded into or decoded from bits."""

@@ -1,0 +1,279 @@
+"""Instruction parcels: the unit of control for one functional unit.
+
+Paper section 2.4: *"Instruction Parcel: The set of instruction fields
+which control each FU.  This includes the fields for the control path,
+data path, and synchronization signals for each FU.  Each instruction
+parcel is independent.  Eight instruction parcels comprise one
+instruction, whether or not they were issued from the same physical
+address."*
+
+A :class:`Parcel` therefore bundles
+
+* a :class:`DataOp` (the data-path control fields, Figure 7),
+* a :class:`ControlOp` (the control-path control fields, Figure 8:
+  two explicit branch targets plus a condition-selection criterion), and
+* a synchronization-signal field (:class:`SyncValue`, BUSY or DONE).
+
+The XIMD-1 sequencer has **no PC incrementer**: every parcel names its
+successor(s) explicitly through ``target1`` / ``target2``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .errors import OperandError
+from .opcodes import NOP, Opcode, OpKind
+from .operands import Const, Operand, Reg, require_register, require_source
+
+
+class SyncValue(enum.Enum):
+    """The two values of a functional unit's synchronization signal.
+
+    Paper section 2.2: *"It is a two valued signal.  The values are
+    arbitrarily named BUSY and DONE."*
+    """
+
+    BUSY = "BUSY"
+    DONE = "DONE"
+
+    def __str__(self):
+        return self.value
+
+
+class Condition(enum.Enum):
+    """Condition-selection criteria for branch-target selection.
+
+    These are exactly the control operations defined for XIMD-1
+    (section 2.2 "Control Path"): two unconditional operations and four
+    conditional ones.  A conditional operation selects ``target1`` when
+    the condition holds and ``target2`` otherwise.
+    """
+
+    #: next PC = target1, unconditionally.
+    ALWAYS_T1 = "always_t1"
+    #: next PC = target2, unconditionally.
+    ALWAYS_T2 = "always_t2"
+    #: branch on one condition code: ``CC_j == TRUE``.
+    CC_TRUE = "cc_true"
+    #: branch on one sync signal: ``SS_j == DONE``.
+    SS_DONE = "ss_done"
+    #: branch on ALL sync signals: ``prod_i (SS_i == DONE)``.
+    ALL_SS_DONE = "all_ss_done"
+    #: branch on ANY sync signal: ``sum_i (SS_i == DONE)``.
+    ANY_SS_DONE = "any_ss_done"
+
+    @property
+    def is_unconditional(self) -> bool:
+        return self in (Condition.ALWAYS_T1, Condition.ALWAYS_T2)
+
+    @property
+    def needs_index(self) -> bool:
+        """Whether the condition references a specific FU's CC/SS."""
+        return self in (Condition.CC_TRUE, Condition.SS_DONE)
+
+    @property
+    def uses_sync(self) -> bool:
+        """Whether the condition reads synchronization signals."""
+        return self in (Condition.SS_DONE, Condition.ALL_SS_DONE,
+                        Condition.ANY_SS_DONE)
+
+
+@dataclass(frozen=True)
+class DataOp:
+    """One data-path operation: ``opcode srca, srcb, dest``.
+
+    The operand roles follow the paper's table in section 2.2:
+    ``srca`` (a), ``srcb`` (b), and ``dest`` (d).  Compare operations
+    take no destination (they set the executing FU's condition code);
+    ``store`` uses ``srca`` as the value and ``srcb`` as the address.
+    """
+
+    opcode: Opcode
+    srca: Optional[Operand] = None
+    srcb: Optional[Operand] = None
+    dest: Optional[Reg] = None
+
+    def __post_init__(self):
+        kind = self.opcode.kind
+        if kind is OpKind.NOP:
+            if self.srca is not None or self.srcb is not None or self.dest is not None:
+                raise OperandError("nop takes no operands")
+            return
+        require_source(self.srca, f"{self.opcode} srca")
+        require_source(self.srcb, f"{self.opcode} srcb")
+        if self.opcode.writes_register:
+            require_register(self.dest, f"{self.opcode} dest")
+        elif self.dest is not None:
+            raise OperandError(f"{self.opcode} does not write a destination")
+
+    @property
+    def is_nop(self) -> bool:
+        return self.opcode.kind is OpKind.NOP
+
+    def sources(self) -> Tuple[Operand, ...]:
+        """The source operands actually present, in (srca, srcb) order."""
+        if self.is_nop:
+            return ()
+        return (self.srca, self.srcb)
+
+    def source_registers(self) -> Tuple[Reg, ...]:
+        """Register sources only (constants filtered out)."""
+        return tuple(s for s in self.sources() if isinstance(s, Reg))
+
+    def __str__(self):
+        if self.is_nop:
+            return "nop"
+        parts = [str(self.srca), str(self.srcb)]
+        if self.dest is not None:
+            parts.append(str(self.dest))
+        return f"{self.opcode} " + ",".join(parts)
+
+
+#: The canonical data-path no-op.
+DATA_NOP = DataOp(NOP)
+
+
+@dataclass(frozen=True)
+class ControlOp:
+    """One control-path operation: condition + two branch targets.
+
+    ``index`` selects which FU's CC or SS a ``CC_TRUE`` / ``SS_DONE``
+    condition examines; ``mask`` optionally restricts the ALL/ANY sync
+    conditions to a subset of FUs (the paper, section 3.3, notes the
+    barrier mechanism *"can be generalized to include synchronizations
+    between only some of the program threads"*).  ``mask=None`` means
+    all FUs.
+    """
+
+    condition: Condition
+    target1: int
+    target2: Optional[int] = None
+    index: Optional[int] = None
+    mask: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self):
+        if self.condition.needs_index:
+            if self.index is None:
+                raise OperandError(f"{self.condition} requires an FU index")
+        elif self.index is not None:
+            raise OperandError(f"{self.condition} takes no FU index")
+        if self.condition.is_unconditional:
+            if self.target2 is not None:
+                raise OperandError("unconditional control ops take one target")
+        else:
+            if self.target2 is None:
+                raise OperandError(f"{self.condition} requires two targets")
+        if self.mask is not None:
+            if self.condition not in (Condition.ALL_SS_DONE, Condition.ANY_SS_DONE):
+                raise OperandError("mask only applies to ALL/ANY sync conditions")
+            object.__setattr__(self, "mask", tuple(sorted(set(self.mask))))
+
+    @property
+    def is_unconditional(self) -> bool:
+        return self.condition.is_unconditional
+
+    @property
+    def taken_target(self) -> int:
+        """The target used when the condition holds (or always, if
+        unconditional)."""
+        if self.condition is Condition.ALWAYS_T2:
+            return self.target2 if self.target2 is not None else self.target1
+        return self.target1
+
+    def possible_targets(self) -> Tuple[int, ...]:
+        """All addresses control may transfer to (deduplicated)."""
+        if self.is_unconditional:
+            return (self.target1,)
+        if self.target1 == self.target2:
+            return (self.target1,)
+        return (self.target1, self.target2)
+
+    def branch_key(self):
+        """A hashable identity of the *behavior* of this control op.
+
+        Two parcels with equal branch keys always transfer control to the
+        same next address in the same cycle (conditions are globally
+        visible state, so equal specs evaluate equally).  Used by the
+        SSET trackers.
+        """
+        return (self.condition, self.index, self.mask, self.target1, self.target2)
+
+    def __str__(self):
+        if self.condition is Condition.ALWAYS_T1:
+            return f"-> {self.target1:02x}:"
+        if self.condition is Condition.ALWAYS_T2:
+            return f"=> {self.target1:02x}:"
+        if self.condition is Condition.CC_TRUE:
+            cond = f"cc{self.index}"
+        elif self.condition is Condition.SS_DONE:
+            cond = f"ss{self.index}"
+        elif self.condition is Condition.ALL_SS_DONE:
+            cond = "alldn" if self.mask is None else "alldn" + _mask_str(self.mask)
+        else:
+            cond = "anydn" if self.mask is None else "anydn" + _mask_str(self.mask)
+        return f"if {cond} {self.target1:02x}: | {self.target2:02x}:"
+
+
+def _mask_str(mask: Tuple[int, ...]) -> str:
+    return "{" + ",".join(str(i) for i in mask) + "}"
+
+
+def goto(target: int) -> ControlOp:
+    """Convenience constructor for an unconditional branch."""
+    return ControlOp(Condition.ALWAYS_T1, target)
+
+
+@dataclass(frozen=True)
+class Parcel:
+    """One instruction parcel: everything controlling one FU for one cycle."""
+
+    data: DataOp = DATA_NOP
+    control: Optional[ControlOp] = None
+    sync: SyncValue = SyncValue.BUSY
+
+    def with_control(self, control: ControlOp) -> "Parcel":
+        """Return a copy with the control fields replaced."""
+        return Parcel(self.data, control, self.sync)
+
+    def __str__(self):
+        ctl = str(self.control) if self.control is not None else "(halt)"
+        return f"[{ctl} ; {self.data} ; {self.sync}]"
+
+
+#: A parcel that performs nothing and names no successor (machine halt
+#: marker for unoccupied instruction-memory slots).
+EMPTY_PARCEL = Parcel()
+
+
+@dataclass(frozen=True)
+class WideInstruction:
+    """One full XIMD instruction: a tuple of parcels, one per FU.
+
+    This mirrors the paper's note that *"eight instruction parcels
+    comprise one instruction, whether or not they were issued from the
+    same physical address"* — a wide instruction is simply what the
+    machine executes in one cycle, and this type is mainly used by the
+    assembler (rows of the listing format, Figure 9) and the VLIW
+    simulator (which always issues all parcels from one address).
+    """
+
+    parcels: Tuple[Parcel, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "parcels", tuple(self.parcels))
+
+    @property
+    def width(self) -> int:
+        return len(self.parcels)
+
+    def __getitem__(self, fu: int) -> Parcel:
+        return self.parcels[fu]
+
+    def __iter__(self):
+        return iter(self.parcels)
+
+    def __str__(self):
+        return " | ".join(str(p) for p in self.parcels)

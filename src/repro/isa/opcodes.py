@@ -1,0 +1,268 @@
+"""The XIMD-1 data-operation set.
+
+Figure 7 of the paper gives example instructions (``iadd``, ``isub``,
+``imult``, ``idiv``, ``load``, ``store``) and states that *"the common
+integer and floating point arithmetic, logical, and compare instructions
+are available"*; the complete set was documented in the (internal) xsim
+reference manual [Wolfe89].  This module defines a faithful,
+self-contained reconstruction of that set:
+
+* integer arithmetic (two's-complement, 32-bit wrapping),
+* floating-point arithmetic,
+* logical / shift operations (operating on the raw 32-bit pattern),
+* integer and floating compare operations, which set the executing
+  functional unit's condition-code register ``CC_i`` instead of writing a
+  destination register,
+* memory operations ``load`` / ``store``,
+* type conversions, and
+* ``nop``.
+
+Every opcode carries an executable semantics function so both the XIMD
+and VLIW simulators and the compiler's constant folder share a single
+source of truth.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from .errors import UnknownOpcodeError
+from .registers import wrap_int, to_unsigned
+
+
+class OpKind(enum.Enum):
+    """Structural classification of a data operation."""
+
+    #: Three-operand register/constant computation writing ``dest``.
+    ARITH = "arith"
+    #: Two-operand comparison writing the FU's condition code.
+    COMPARE = "compare"
+    #: ``load a, b, d``: ``M(a + b) -> d``.
+    LOAD = "load"
+    #: ``store a, b``: ``a -> M(b)``.
+    STORE = "store"
+    #: No operation.
+    NOP = "nop"
+
+
+def _int2(fn):
+    """Wrap a binary integer function with 32-bit coercion and wrapping."""
+
+    def apply(a, b):
+        return wrap_int(fn(int(a), int(b)))
+
+    return apply
+
+
+def _flt2(fn):
+    """Wrap a binary float function with float coercion."""
+
+    def apply(a, b):
+        return float(fn(float(a), float(b)))
+
+    return apply
+
+
+def _idiv(a, b):
+    """C-style truncating division; division by zero yields zero.
+
+    The paper's idealized model leaves the exceptional case unspecified
+    (exception handling is explicitly out of scope, section 2.3);
+    returning zero keeps the simulator total and deterministic.
+    """
+    if b == 0:
+        return 0
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _imod(a, b):
+    if b == 0:
+        return 0
+    return a - _idiv(a, b) * b
+
+
+def _fdiv(a, b):
+    if b == 0.0:
+        return math.copysign(math.inf, a) if a else math.nan
+    return a / b
+
+
+def _shl(a, b):
+    return to_unsigned(a) << (b & 31)
+
+
+def _shr(a, b):
+    """Logical right shift on the 32-bit pattern (used by BITCOUNT1)."""
+    return to_unsigned(a) >> (b & 31)
+
+
+def _sar(a, b):
+    """Arithmetic right shift preserving the sign bit."""
+    return a >> (b & 31)
+
+
+@dataclass(frozen=True)
+class Opcode:
+    """Descriptor for one data operation.
+
+    Attributes:
+        mnemonic: assembly spelling, e.g. ``"iadd"``.
+        kind: structural class (:class:`OpKind`).
+        semantics: for ARITH, ``f(a, b) -> value``; for COMPARE,
+            ``f(a, b) -> bool``; ``None`` for memory ops and ``nop``
+            (their behavior lives in the machine's memory system).
+        commutative: whether ``f(a, b) == f(b, a)``; exploited by the
+            compiler's common-subexpression and scheduling passes.
+        is_float: whether operands are interpreted as 32-bit floats.
+        description: a one-line, human-readable contract.
+    """
+
+    mnemonic: str
+    kind: OpKind
+    semantics: Optional[Callable] = field(default=None, compare=False)
+    commutative: bool = False
+    is_float: bool = False
+    description: str = ""
+
+    @property
+    def sets_condition_code(self) -> bool:
+        """True for compare operations, which write ``CC_i``."""
+        return self.kind is OpKind.COMPARE
+
+    @property
+    def writes_register(self) -> bool:
+        """True when the operation writes a destination register."""
+        return self.kind in (OpKind.ARITH, OpKind.LOAD)
+
+    @property
+    def num_sources(self) -> int:
+        """Number of source operands the assembler must supply."""
+        if self.kind is OpKind.NOP:
+            return 0
+        return 2
+
+    def __str__(self):
+        return self.mnemonic
+
+
+def _table() -> Dict[str, Opcode]:
+    ops = [
+        # --- integer arithmetic (Figure 7) -------------------------------
+        Opcode("iadd", OpKind.ARITH, _int2(lambda a, b: a + b), True,
+               description="a + b -> d"),
+        Opcode("isub", OpKind.ARITH, _int2(lambda a, b: a - b),
+               description="a - b -> d"),
+        Opcode("imult", OpKind.ARITH, _int2(lambda a, b: a * b), True,
+               description="a * b -> d"),
+        Opcode("idiv", OpKind.ARITH, _int2(_idiv),
+               description="a / b -> d (truncating)"),
+        Opcode("imod", OpKind.ARITH, _int2(_imod),
+               description="a mod b -> d (C remainder)"),
+        Opcode("imin", OpKind.ARITH, _int2(min), True,
+               description="min(a, b) -> d"),
+        Opcode("imax", OpKind.ARITH, _int2(max), True,
+               description="max(a, b) -> d"),
+        # --- floating-point arithmetic ------------------------------------
+        Opcode("fadd", OpKind.ARITH, _flt2(lambda a, b: a + b), True,
+               is_float=True, description="a + b -> d (float)"),
+        Opcode("fsub", OpKind.ARITH, _flt2(lambda a, b: a - b),
+               is_float=True, description="a - b -> d (float)"),
+        Opcode("fmult", OpKind.ARITH, _flt2(lambda a, b: a * b), True,
+               is_float=True, description="a * b -> d (float)"),
+        Opcode("fdiv", OpKind.ARITH, _flt2(_fdiv),
+               is_float=True, description="a / b -> d (float)"),
+        # --- logical / shift ----------------------------------------------
+        Opcode("and", OpKind.ARITH, _int2(lambda a, b: to_unsigned(a) & to_unsigned(b)),
+               True, description="a & b -> d"),
+        Opcode("or", OpKind.ARITH, _int2(lambda a, b: to_unsigned(a) | to_unsigned(b)),
+               True, description="a | b -> d"),
+        Opcode("xor", OpKind.ARITH, _int2(lambda a, b: to_unsigned(a) ^ to_unsigned(b)),
+               True, description="a ^ b -> d"),
+        Opcode("andn", OpKind.ARITH, _int2(lambda a, b: to_unsigned(a) & ~to_unsigned(b)),
+               description="a & ~b -> d"),
+        Opcode("shl", OpKind.ARITH, _int2(_shl),
+               description="a << (b & 31) -> d"),
+        Opcode("shr", OpKind.ARITH, _int2(_shr),
+               description="a >> (b & 31) -> d (logical)"),
+        Opcode("sar", OpKind.ARITH, _int2(_sar),
+               description="a >> (b & 31) -> d (arithmetic)"),
+        # --- conversions ---------------------------------------------------
+        Opcode("itof", OpKind.ARITH, lambda a, b: float(int(a)),
+               description="float(a) -> d (b ignored)"),
+        Opcode("ftoi", OpKind.ARITH, lambda a, b: wrap_int(int(float(a))),
+               description="int(a) -> d, truncating (b ignored)"),
+        # --- integer compares (set CC_i) -----------------------------------
+        Opcode("eq", OpKind.COMPARE, lambda a, b: int(a) == int(b), True,
+               description="CC_i <- (a == b)"),
+        Opcode("ne", OpKind.COMPARE, lambda a, b: int(a) != int(b), True,
+               description="CC_i <- (a != b)"),
+        Opcode("lt", OpKind.COMPARE, lambda a, b: int(a) < int(b),
+               description="CC_i <- (a < b)"),
+        Opcode("le", OpKind.COMPARE, lambda a, b: int(a) <= int(b),
+               description="CC_i <- (a <= b)"),
+        Opcode("gt", OpKind.COMPARE, lambda a, b: int(a) > int(b),
+               description="CC_i <- (a > b)"),
+        Opcode("ge", OpKind.COMPARE, lambda a, b: int(a) >= int(b),
+               description="CC_i <- (a >= b)"),
+        # --- floating compares ----------------------------------------------
+        Opcode("feq", OpKind.COMPARE, lambda a, b: float(a) == float(b), True,
+               is_float=True, description="CC_i <- (a == b) (float)"),
+        Opcode("fne", OpKind.COMPARE, lambda a, b: float(a) != float(b), True,
+               is_float=True, description="CC_i <- (a != b) (float)"),
+        Opcode("flt", OpKind.COMPARE, lambda a, b: float(a) < float(b),
+               is_float=True, description="CC_i <- (a < b) (float)"),
+        Opcode("fle", OpKind.COMPARE, lambda a, b: float(a) <= float(b),
+               is_float=True, description="CC_i <- (a <= b) (float)"),
+        Opcode("fgt", OpKind.COMPARE, lambda a, b: float(a) > float(b),
+               is_float=True, description="CC_i <- (a > b) (float)"),
+        Opcode("fge", OpKind.COMPARE, lambda a, b: float(a) >= float(b),
+               is_float=True, description="CC_i <- (a >= b) (float)"),
+        # --- memory (Figure 7) ----------------------------------------------
+        Opcode("load", OpKind.LOAD, description="M(a + b) -> d"),
+        Opcode("store", OpKind.STORE, description="a -> M(b)"),
+        # --- nop -------------------------------------------------------------
+        Opcode("nop", OpKind.NOP, description="no operation"),
+    ]
+    return {op.mnemonic: op for op in ops}
+
+
+#: Mnemonic -> :class:`Opcode` for every defined data operation.
+OPCODES: Dict[str, Opcode] = _table()
+
+#: Stable, documentation-friendly ordering of all mnemonics.
+ALL_MNEMONICS: Tuple[str, ...] = tuple(OPCODES)
+
+#: The distinguished no-operation opcode.
+NOP = OPCODES["nop"]
+
+
+def lookup(mnemonic: str) -> Opcode:
+    """Return the :class:`Opcode` for *mnemonic*.
+
+    Raises :class:`~repro.isa.errors.UnknownOpcodeError` if undefined.
+    """
+    try:
+        return OPCODES[mnemonic]
+    except KeyError:
+        raise UnknownOpcodeError(mnemonic) from None
+
+
+def opcodes_of_kind(kind: OpKind) -> Tuple[Opcode, ...]:
+    """All opcodes of a given structural kind, in table order."""
+    return tuple(op for op in OPCODES.values() if op.kind is kind)
+
+
+def instruction_set_table() -> str:
+    """Render the instruction set as a fixed-width text table.
+
+    This regenerates (a superset of) the paper's Figure 7.
+    """
+    rows = [f"{'Opcode':<8} {'Kind':<8} Function"]
+    rows.append("-" * 48)
+    for op in OPCODES.values():
+        rows.append(f"{op.mnemonic:<8} {op.kind.value:<8} {op.description}")
+    return "\n".join(rows)

@@ -1,0 +1,79 @@
+"""Operand types for XIMD-1 data operations.
+
+Paper section 2.2: *"Each data operation consists of an opcode and three
+operands. ... The three operands may be registers or constants."*
+
+Two operand kinds exist:
+
+* :class:`Reg` — a global register file index (``srca``/``srcb``/``dest``).
+* :class:`Const` — an immediate constant (only legal as a source).
+
+Both are immutable value types so they can be shared freely between
+parcels, used as dict keys, and compared structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from .errors import OperandError
+from .registers import NUM_REGISTERS
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A reference to one of the 256 global registers."""
+
+    index: int
+
+    def __post_init__(self):
+        if not isinstance(self.index, int) or isinstance(self.index, bool):
+            raise OperandError(f"register index must be an int: {self.index!r}")
+        if not 0 <= self.index < NUM_REGISTERS:
+            raise OperandError(f"register index out of range: {self.index}")
+
+    def __str__(self):
+        return f"r{self.index}"
+
+
+@dataclass(frozen=True)
+class Const:
+    """An immediate constant operand (written ``#value`` in assembly)."""
+
+    value: Union[int, float]
+
+    def __post_init__(self):
+        if isinstance(self.value, bool) or not isinstance(self.value, (int, float)):
+            raise OperandError(f"constant must be int or float: {self.value!r}")
+
+    def __str__(self):
+        return f"#{self.value}"
+
+
+#: Any legal source operand.
+Operand = Union[Reg, Const]
+
+
+def is_register(operand) -> bool:
+    """Return True if *operand* is a register reference."""
+    return isinstance(operand, Reg)
+
+
+def is_constant(operand) -> bool:
+    """Return True if *operand* is an immediate constant."""
+    return isinstance(operand, Const)
+
+
+def require_register(operand, role: str) -> Reg:
+    """Validate that *operand* is a :class:`Reg`, for destination slots."""
+    if not isinstance(operand, Reg):
+        raise OperandError(f"{role} must be a register, got {operand!r}")
+    return operand
+
+
+def require_source(operand, role: str) -> Operand:
+    """Validate that *operand* is a legal source (register or constant)."""
+    if not isinstance(operand, (Reg, Const)):
+        raise OperandError(f"{role} must be a register or constant, got {operand!r}")
+    return operand

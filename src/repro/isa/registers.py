@@ -1,0 +1,74 @@
+"""Register-file name space for the XIMD-1 research model.
+
+The XIMD-1 model (paper section 2.2) has a single global register file of
+256 registers shared by all functional units.  Registers are referred to
+as ``r0`` ... ``r255``.  The assembler additionally supports symbolic
+names bound to physical registers with a ``.reg`` directive; that mapping
+lives in :mod:`repro.asm`, not here.
+
+32-bit data types
+-----------------
+XIMD-1 supports two data types, 32-bit integer and 32-bit float.  The
+behavioral simulator stores Python ``int`` and ``float`` objects in
+registers; integer results are wrapped to signed 32-bit two's-complement
+range by the helpers below so that arithmetic matches the hardware.
+"""
+
+from __future__ import annotations
+
+#: Number of registers in the XIMD-1 global register file.
+NUM_REGISTERS = 256
+
+#: 32-bit two's-complement extrema, used as the paper's ``minint`` /
+#: ``maxint`` assembler constants (Example 2).
+INT_BITS = 32
+MININT = -(1 << (INT_BITS - 1))
+MAXINT = (1 << (INT_BITS - 1)) - 1
+
+_UMASK = (1 << INT_BITS) - 1
+
+
+def wrap_int(value: int) -> int:
+    """Wrap *value* into signed 32-bit two's-complement range.
+
+    >>> wrap_int(MAXINT + 1) == MININT
+    True
+    >>> wrap_int(-1)
+    -1
+    """
+    value &= _UMASK
+    if value > MAXINT:
+        value -= 1 << INT_BITS
+    return value
+
+
+def to_unsigned(value: int) -> int:
+    """Return the unsigned 32-bit representation of *value*.
+
+    Used by logical shifts and bit operations (e.g. BITCOUNT1's ``shr``),
+    which operate on the raw bit pattern.
+    """
+    return value & _UMASK
+
+
+def register_name(index: int) -> str:
+    """Return the canonical name of register *index* (``r0``..``r255``)."""
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"register index out of range: {index}")
+    return f"r{index}"
+
+
+def parse_register_name(name: str) -> int:
+    """Parse a canonical register name back into an index.
+
+    Raises :class:`ValueError` for anything that is not ``r<0..255>``.
+    """
+    if not name.startswith("r"):
+        raise ValueError(f"not a register name: {name!r}")
+    try:
+        index = int(name[1:], 10)
+    except ValueError:
+        raise ValueError(f"not a register name: {name!r}") from None
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"register index out of range: {name!r}")
+    return index

@@ -1,0 +1,104 @@
+"""The XIMD-1 machine: simulators, memory system, and SSET analysis.
+
+Public surface:
+
+* :class:`XimdMachine` / :func:`run_ximd` — the paper's ``xsim``.
+* :class:`VliwMachine` / :func:`run_vliw` — the paper's ``vsim``.
+* :func:`research_config` / :func:`prototype_config` — section 2.2 and
+  section 4.3 machine parameterizations.
+* the SSET trackers and partition utilities of section 2.4.
+"""
+
+from .condition import ConditionCodes, evaluate_condition, sync_done_vector
+from .config import (
+    MachineConfig,
+    MemoryStyle,
+    PROTOTYPE_BANK_WORDS,
+    SequencerStyle,
+    prototype_config,
+    research_config,
+)
+from .datapath import DatapathStats
+from .devices import (
+    Device,
+    DeviceMap,
+    InputPort,
+    OutputPort,
+    random_input_port,
+)
+from .errors import (
+    MachineError,
+    MemoryConflictError,
+    MemoryError_,
+    PortOverflowError,
+    ProgramError,
+    RegisterConflictError,
+    SimulationLimitError,
+)
+from .memory import DistributedMemory, SharedMemory
+from .partition import (
+    AdaptiveSSETTracker,
+    ExactSSETTracker,
+    HeuristicSSETTracker,
+    Partition,
+    WorldExplosionError,
+    format_partition,
+    is_valid_partition,
+    normalize_partition,
+    parse_partition,
+    refines,
+)
+from .program import Program
+from .register_file import RegisterFile
+from .sequencer import Sequencer
+from .trace import AddressTrace, TraceRecord
+from .vliw import VliwMachine, run_vliw
+from .ximd import ExecutionResult, TrackerKind, XimdMachine, run_ximd
+
+__all__ = [
+    "AdaptiveSSETTracker",
+    "AddressTrace",
+    "ConditionCodes",
+    "DatapathStats",
+    "Device",
+    "DeviceMap",
+    "DistributedMemory",
+    "ExactSSETTracker",
+    "ExecutionResult",
+    "HeuristicSSETTracker",
+    "InputPort",
+    "MachineConfig",
+    "MachineError",
+    "MemoryConflictError",
+    "MemoryError_",
+    "MemoryStyle",
+    "OutputPort",
+    "PROTOTYPE_BANK_WORDS",
+    "Partition",
+    "PortOverflowError",
+    "Program",
+    "ProgramError",
+    "RegisterConflictError",
+    "RegisterFile",
+    "Sequencer",
+    "SequencerStyle",
+    "SharedMemory",
+    "SimulationLimitError",
+    "TraceRecord",
+    "TrackerKind",
+    "VliwMachine",
+    "WorldExplosionError",
+    "XimdMachine",
+    "evaluate_condition",
+    "format_partition",
+    "is_valid_partition",
+    "normalize_partition",
+    "parse_partition",
+    "prototype_config",
+    "random_input_port",
+    "refines",
+    "research_config",
+    "run_vliw",
+    "run_ximd",
+    "sync_done_vector",
+]

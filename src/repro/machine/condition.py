@@ -1,0 +1,119 @@
+"""Condition-code state and the branch-condition evaluator.
+
+Each functional unit owns one condition-code register ``CC_i`` (two
+values, TRUE/FALSE) written only by compare operations executed on that
+FU, and asserts one synchronization signal ``SS_i`` (BUSY/DONE) carried
+as a field of the parcel it executes.  Both are distributed globally:
+any FU's branch may examine any ``CC_j`` or ``SS_j`` or the ALL/ANY
+reduction of the sync signals (section 2.2, Figure 8 — the evaluator
+corresponds to the PAL in the prototype's control path).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..isa import Condition, ControlOp, SyncValue
+from .errors import MachineError
+
+
+class ConditionCodes:
+    """The per-FU condition-code registers with end-of-cycle update.
+
+    A compare executed in cycle *t* becomes visible at the start of
+    cycle *t+1*; branches in cycle *t* read start-of-cycle values
+    (validated cell-for-cell against the Figure 10 trace).
+    """
+
+    def __init__(self, n_fus: int):
+        self.n_fus = n_fus
+        self._values: List[bool] = [False] * n_fus
+        self._defined: List[bool] = [False] * n_fus
+        self._pending: List[Tuple[int, bool]] = []
+
+    def read(self, fu: int) -> bool:
+        """Start-of-cycle value of ``CC_fu``."""
+        return self._values[fu]
+
+    def is_defined(self, fu: int) -> bool:
+        """Whether ``CC_fu`` has ever been written (traces print 'X'
+        for never-written codes, as Figure 10 does)."""
+        return self._defined[fu]
+
+    def set(self, fu: int, value: bool) -> None:
+        """Record a compare result; it commits at end of cycle."""
+        self._pending.append((fu, bool(value)))
+
+    def commit(self) -> None:
+        for fu, value in self._pending:
+            self._values[fu] = value
+            self._defined[fu] = True
+        self._pending.clear()
+
+    def snapshot(self) -> Tuple[bool, ...]:
+        return tuple(self._values)
+
+    def format(self) -> str:
+        """Figure 10 style: one character per FU, T/F/X."""
+        return "".join(
+            ("T" if v else "F") if d else "X"
+            for v, d in zip(self._values, self._defined)
+        )
+
+
+def evaluate_condition(control: ControlOp,
+                       cc: Sequence[bool],
+                       ss_done: Sequence[bool]) -> bool:
+    """Evaluate a branch condition against global CC and SS state.
+
+    *cc* holds the start-of-cycle condition-code values; *ss_done* holds
+    per-FU booleans (True = DONE) for the sync signals visible this
+    cycle.  Returns True when ``target1`` should be selected.
+    """
+    condition = control.condition
+    if condition is Condition.ALWAYS_T1:
+        return True
+    if condition is Condition.ALWAYS_T2:
+        return False
+    if condition is Condition.CC_TRUE:
+        _check_index(control.index, len(cc), "CC")
+        return bool(cc[control.index])
+    if condition is Condition.SS_DONE:
+        _check_index(control.index, len(ss_done), "SS")
+        return bool(ss_done[control.index])
+    members = control.mask if control.mask is not None else range(len(ss_done))
+    if condition is Condition.ALL_SS_DONE:
+        return all(ss_done[i] for i in members)
+    if condition is Condition.ANY_SS_DONE:
+        return any(ss_done[i] for i in members)
+    raise MachineError(f"unhandled condition: {condition}")
+
+
+def select_target(control: ControlOp, taken: bool) -> int:
+    """Map a condition outcome to the next instruction address."""
+    if control.condition is Condition.ALWAYS_T1:
+        return control.target1
+    if control.condition is Condition.ALWAYS_T2:
+        # ALWAYS_T2 is modeled with its single target in target1 slot
+        # when target2 is absent (assembler normalizes to ALWAYS_T1),
+        # but accept both encodings.
+        return control.target2 if control.target2 is not None else control.target1
+    return control.target1 if taken else control.target2
+
+
+def sync_done_vector(sync_values: Sequence[Optional[SyncValue]],
+                     halted_done: bool) -> Tuple[bool, ...]:
+    """Per-FU DONE booleans for a cycle.
+
+    ``None`` entries mark halted FUs; they contribute *halted_done*
+    (default True: a finished thread has passed every future barrier).
+    """
+    return tuple(
+        halted_done if value is None else (value is SyncValue.DONE)
+        for value in sync_values
+    )
+
+
+def _check_index(index: Optional[int], limit: int, what: str) -> None:
+    if index is None or not 0 <= index < limit:
+        raise MachineError(f"{what} index out of range: {index}")

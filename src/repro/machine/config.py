@@ -1,0 +1,138 @@
+"""Machine configuration for the XIMD-1 research model and variants.
+
+Two named configurations are provided:
+
+* :func:`research_config` — the XIMD-1 research model of paper
+  section 2.2/2.3: 8 homogeneous FUs, single-cycle operations, idealized
+  single-cycle shared memory, explicit two-target sequencers (no PC
+  incrementer), combinational sync-signal distribution.
+* :func:`prototype_config` — the hardware prototype of section 4.3:
+  3-stage data-path pipeline (operand fetch / execute / write back, so a
+  result is not readable by the next instruction), distributed memory
+  (1 MB per FU), and a traditional sequencer (incrementer plus one
+  explicit branch target).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class SequencerStyle(enum.Enum):
+    """How each functional unit computes its next PC."""
+
+    #: XIMD-1 research model: no incrementer; every parcel carries two
+    #: explicit branch targets (Figure 8).
+    EXPLICIT_TWO_TARGET = "explicit2"
+    #: Hardware prototype (section 4.3): PC+1 default plus one explicit
+    #: branch target.
+    INCREMENT_ONE_TARGET = "incr1"
+
+
+class MemoryStyle(enum.Enum):
+    """Data-memory organization."""
+
+    #: Idealized shared memory (section 2.3): every FU reads or writes
+    #: every cycle, one shared address space, single-cycle completion.
+    SHARED = "shared"
+    #: Prototype distributed memory (section 4.3): a private bank per FU.
+    DISTRIBUTED = "distributed"
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static parameters of a simulated machine.
+
+    Attributes:
+        n_fus: number of functional units (paper model: 8; the worked
+            examples use 4 "for clarity").
+        n_registers: global register file size (paper: 256).
+        memory_words: words of data memory (per bank when distributed).
+        sequencer: next-PC mechanism per FU.
+        memory: shared vs. distributed data memory.
+        write_latency: cycles after issue at which a register result
+            becomes architecturally visible.  1 models the single-cycle
+            research datapath; 2 models the prototype's 3-stage pipeline
+            (one exposed delay slot).
+        ss_registered: if False (research model), a sync signal carried
+            by the parcel executing in cycle *t* is visible to every
+            branch evaluated in cycle *t* (combinational distribution);
+            if True, branches see the previous cycle's values.
+        halted_sync_done: sync value contributed by a halted FU.  DONE
+            (True) lets ALL-FU barriers release once running threads
+            finish; matches the intuition that a finished thread "has
+            reached every future barrier".
+        detect_memory_conflicts: raise on two stores to one address in
+            one cycle (paper: undefined) instead of letting the
+            highest-numbered FU win.
+        detect_register_conflicts: likewise for register writes.
+        max_read_ports / max_write_ports: register-file port budget per
+            cycle (paper: 16 reads + 8 writes).
+        max_cycles: simulation watchdog.
+    """
+
+    n_fus: int = 8
+    n_registers: int = 256
+    memory_words: int = 1 << 16
+    sequencer: SequencerStyle = SequencerStyle.EXPLICIT_TWO_TARGET
+    memory: MemoryStyle = MemoryStyle.SHARED
+    write_latency: int = 1
+    ss_registered: bool = False
+    halted_sync_done: bool = True
+    detect_memory_conflicts: bool = True
+    detect_register_conflicts: bool = True
+    max_read_ports: int = field(default=None)  # type: ignore[assignment]
+    max_write_ports: int = field(default=None)  # type: ignore[assignment]
+    max_cycles: int = 1_000_000
+
+    def __post_init__(self):
+        if self.n_fus < 1:
+            raise ValueError("n_fus must be >= 1")
+        if self.write_latency < 1:
+            raise ValueError("write_latency must be >= 1")
+        if self.max_read_ports is None:
+            object.__setattr__(self, "max_read_ports", 2 * self.n_fus)
+        if self.max_write_ports is None:
+            object.__setattr__(self, "max_write_ports", self.n_fus)
+
+    def with_fus(self, n_fus: int) -> "MachineConfig":
+        """A copy of this config with a different FU count (and the
+        port budget rescaled to match)."""
+        return replace(self, n_fus=n_fus,
+                       max_read_ports=2 * n_fus, max_write_ports=n_fus)
+
+
+def research_config(n_fus: int = 8, **overrides) -> MachineConfig:
+    """The XIMD-1 research model (sections 2.2-2.3)."""
+    params = dict(
+        n_fus=n_fus,
+        sequencer=SequencerStyle.EXPLICIT_TWO_TARGET,
+        memory=MemoryStyle.SHARED,
+        write_latency=1,
+        ss_registered=False,
+        max_read_ports=2 * n_fus,
+        max_write_ports=n_fus,
+    )
+    params.update(overrides)
+    return MachineConfig(**params)
+
+
+#: Words per distributed-memory bank: 1 MB of 32-bit words (section 4.3).
+PROTOTYPE_BANK_WORDS = (1 << 20) // 4
+
+
+def prototype_config(n_fus: int = 8, **overrides) -> MachineConfig:
+    """The hardware-prototype variant (section 4.3)."""
+    params = dict(
+        n_fus=n_fus,
+        sequencer=SequencerStyle.INCREMENT_ONE_TARGET,
+        memory=MemoryStyle.DISTRIBUTED,
+        memory_words=PROTOTYPE_BANK_WORDS,
+        write_latency=2,
+        ss_registered=False,
+        max_read_ports=2 * n_fus,
+        max_write_ports=n_fus,
+    )
+    params.update(overrides)
+    return MachineConfig(**params)

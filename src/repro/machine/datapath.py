@@ -1,0 +1,90 @@
+"""Data-path execution shared by the XIMD and VLIW simulators.
+
+Both machines have the identical data path (the paper's XIMD model
+changes only the control path — "the output functions ... and the
+functional unit data paths ... are unchanged", section 2.1), so data-op
+execution lives here once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..isa import Const, DataOp, OpKind, Reg
+from .condition import ConditionCodes
+from .errors import MachineError
+from .register_file import RegisterFile
+
+
+@dataclass
+class DatapathStats:
+    """Dynamic operation counts."""
+
+    cycles: int = 0
+    data_ops: int = 0
+    nops: int = 0
+    compares: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches_conditional: int = 0
+    branches_unconditional: int = 0
+    branches_sync: int = 0
+    per_fu_ops: Dict[int, int] = field(default_factory=dict)
+
+    def count_op(self, fu: int, op: DataOp) -> None:
+        if op.is_nop:
+            self.nops += 1
+            return
+        self.data_ops += 1
+        self.per_fu_ops[fu] = self.per_fu_ops.get(fu, 0) + 1
+        kind = op.opcode.kind
+        if kind is OpKind.COMPARE:
+            self.compares += 1
+        elif kind is OpKind.LOAD:
+            self.loads += 1
+        elif kind is OpKind.STORE:
+            self.stores += 1
+
+    def utilization(self, n_fus: int) -> float:
+        """Fraction of FU-cycles doing useful (non-nop) data work."""
+        if self.cycles == 0:
+            return 0.0
+        return self.data_ops / (self.cycles * n_fus)
+
+
+def read_operand(operand, fu: int, regfile: RegisterFile):
+    """Fetch one source operand's value."""
+    if isinstance(operand, Const):
+        return operand.value
+    if isinstance(operand, Reg):
+        return regfile.read(fu, operand.index)
+    raise MachineError(f"bad operand: {operand!r}")
+
+
+def execute_data_op(fu: int, op: DataOp, regfile: RegisterFile,
+                    cc: ConditionCodes, memory, cycle: int,
+                    stats: Optional[DatapathStats] = None) -> None:
+    """Execute one data operation on functional unit *fu*.
+
+    Reads observe start-of-cycle state; register and CC writes commit at
+    end of cycle (the callers' ``commit`` phase).
+    """
+    if stats is not None:
+        stats.count_op(fu, op)
+    kind = op.opcode.kind
+    if kind is OpKind.NOP:
+        return
+    a = read_operand(op.srca, fu, regfile)
+    b = read_operand(op.srcb, fu, regfile)
+    if kind is OpKind.ARITH:
+        regfile.write(fu, op.dest.index, op.opcode.semantics(a, b))
+    elif kind is OpKind.COMPARE:
+        cc.set(fu, op.opcode.semantics(a, b))
+    elif kind is OpKind.LOAD:
+        address = int(a) + int(b)
+        regfile.write(fu, op.dest.index, memory.load(fu, address, cycle))
+    elif kind is OpKind.STORE:
+        memory.store(fu, int(b), a, cycle)
+    else:
+        raise MachineError(f"unhandled op kind: {kind}")

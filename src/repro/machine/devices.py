@@ -1,0 +1,155 @@
+"""Memory-mapped device models.
+
+The paper's Figure 12 workload reads from and writes to I/O ports whose
+response timing *"is not known"* to the compiler.  Since XIMD-1's ISA has
+no dedicated I/O instructions, devices are memory-mapped: a device claims
+a range of addresses and services the loads and stores that hit it.
+
+:class:`InputPort` reproduces the paper's protocol exactly: *"each
+process reads some data from an I/O port until the port returns a
+non-zero, valid value"* — the port returns 0 until its (scripted or
+seeded) ready cycle, then returns the value.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class Device:
+    """Base class for memory-mapped devices.
+
+    Subclasses implement :meth:`read` / :meth:`write`; *offset* is the
+    word offset within the device's claimed range and *cycle* is the
+    machine cycle performing the access.
+    """
+
+    def read(self, offset: int, cycle: int):
+        raise NotImplementedError
+
+    def write(self, offset: int, value, cycle: int):
+        raise NotImplementedError
+
+    def reset(self):
+        """Return the device to its power-on state."""
+
+
+@dataclass
+class InputPort(Device):
+    """A polled input port that becomes ready at a scheduled cycle.
+
+    Attributes:
+        arrivals: list of (ready_cycle, value) pairs, consumed in order.
+            A read before the current head's ready cycle returns 0
+            ("invalid"); a read at or after it returns the value and
+            advances to the next pair.  Values must be non-zero, per the
+            paper's valid-value convention.
+    """
+
+    arrivals: List[Tuple[int, int]] = field(default_factory=list)
+    _next: int = 0
+    reads: int = 0
+    polls_failed: int = 0
+
+    def __post_init__(self):
+        for ready, value in self.arrivals:
+            if value == 0:
+                raise ValueError("InputPort values must be non-zero "
+                                 "(0 means 'not ready')")
+            if ready < 0:
+                raise ValueError("ready cycle must be >= 0")
+
+    def read(self, offset: int, cycle: int):
+        self.reads += 1
+        if self._next < len(self.arrivals):
+            ready, value = self.arrivals[self._next]
+            if cycle >= ready:
+                self._next += 1
+                return value
+        self.polls_failed += 1
+        return 0
+
+    def write(self, offset: int, value, cycle: int):
+        raise IOError("InputPort is read-only")
+
+    def reset(self):
+        self._next = 0
+        self.reads = 0
+        self.polls_failed = 0
+
+    @property
+    def delivered(self) -> int:
+        """How many values have been consumed so far."""
+        return self._next
+
+
+@dataclass
+class OutputPort(Device):
+    """An output port recording every value written with its cycle."""
+
+    writes: List[Tuple[int, int]] = field(default_factory=list)
+
+    def read(self, offset: int, cycle: int):
+        raise IOError("OutputPort is write-only")
+
+    def write(self, offset: int, value, cycle: int):
+        self.writes.append((cycle, value))
+
+    def reset(self):
+        self.writes.clear()
+
+    @property
+    def values(self) -> List[int]:
+        return [value for _, value in self.writes]
+
+
+def random_input_port(n_values: int, mean_gap: float, seed: int,
+                      first_ready: int = 0) -> InputPort:
+    """An :class:`InputPort` with geometrically distributed inter-arrival
+    gaps — the "bounded but still non-deterministic" peripheral behavior
+    of paper section 1.3, made reproducible with a seed."""
+    rng = random.Random(seed)
+    arrivals = []
+    cycle = first_ready
+    for _ in range(n_values):
+        cycle += max(1, int(rng.expovariate(1.0 / max(mean_gap, 1e-9))))
+        arrivals.append((cycle, rng.randrange(1, 1 << 16)))
+    return InputPort(arrivals)
+
+
+class DeviceMap:
+    """Routes memory accesses in claimed address ranges to devices."""
+
+    def __init__(self):
+        self._ranges: List[Tuple[int, int, Device]] = []
+
+    def map(self, base: int, length: int, device: Device) -> None:
+        """Claim ``[base, base+length)`` for *device*."""
+        if length <= 0:
+            raise ValueError("device range must be non-empty")
+        for lo, hi, _ in self._ranges:
+            if base < hi and base + length > lo:
+                raise ValueError(
+                    f"device range [{base}, {base + length}) overlaps "
+                    f"existing range [{lo}, {hi})")
+        self._ranges.append((base, base + length, device))
+        self._ranges.sort()
+
+    def lookup(self, address: int) -> Optional[Tuple[Device, int]]:
+        """The (device, offset) claiming *address*, or None."""
+        for lo, hi, device in self._ranges:
+            if lo <= address < hi:
+                return device, address - lo
+        return None
+
+    def reset(self) -> None:
+        for _, _, device in self._ranges:
+            device.reset()
+
+    def __bool__(self):
+        return bool(self._ranges)
+
+    def devices(self) -> List[Device]:
+        return [device for _, _, device in self._ranges]

@@ -1,0 +1,35 @@
+"""Exception types raised by the machine (simulator) layer."""
+
+
+class MachineError(Exception):
+    """Base class for all simulator errors."""
+
+
+class ProgramError(MachineError):
+    """Raised when a program is structurally invalid for the machine."""
+
+
+class MemoryError_(MachineError):
+    """Raised on illegal memory accesses (out of range, wrong bank)."""
+
+
+class MemoryConflictError(MemoryError_):
+    """Raised when two stores hit one address in one cycle.
+
+    Paper section 2.3: *"Multiple writes to the same location in one
+    cycle are undefined."*  The simulator surfaces the undefined
+    behavior instead of silently picking a winner (configurable via
+    :attr:`repro.machine.config.MachineConfig.detect_memory_conflicts`).
+    """
+
+
+class RegisterConflictError(MachineError):
+    """Raised when two functional units write one register in one cycle."""
+
+
+class PortOverflowError(MachineError):
+    """Raised when a cycle exceeds the register file's port budget."""
+
+
+class SimulationLimitError(MachineError):
+    """Raised when a program exceeds the configured cycle limit."""

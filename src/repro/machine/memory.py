@@ -1,0 +1,183 @@
+"""Data-memory models.
+
+Two organizations are implemented, matching the paper:
+
+* :class:`SharedMemory` — the idealized research model (section 2.3):
+  *"A shared memory model is used.  Each functional unit can read or
+  write to memory every cycle.  All ports use a single shared address
+  space.  Memory operations complete in one cycle.  Multiple writes to
+  the same location in one cycle are undefined."*
+
+  Stores commit at end of cycle, so a load and a store to the same
+  address in the same cycle give the load the old value; conflicting
+  stores raise (or, when conflict detection is off, the
+  highest-numbered FU wins and a counter records the event).
+
+* :class:`DistributedMemory` — the prototype organization (section 4.3,
+  "Distributed Memory (1MB per FU)"): a private bank per FU; an access
+  from FU *i* addresses bank *i* only.
+
+Both support memory-mapped devices through a
+:class:`~repro.machine.devices.DeviceMap` (device accesses bypass the
+end-of-cycle store buffer: devices see program order within a cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .devices import DeviceMap
+from .errors import MemoryConflictError, MemoryError_
+
+
+class SharedMemory:
+    """Idealized single-cycle shared memory with word addressing."""
+
+    def __init__(self, words: int, detect_conflicts: bool = True,
+                 devices: Optional[DeviceMap] = None):
+        if words <= 0:
+            raise ValueError("memory must have at least one word")
+        self.words = words
+        self.detect_conflicts = detect_conflicts
+        self.devices = devices if devices is not None else DeviceMap()
+        self._data: Dict[int, object] = {}
+        self._pending: List[Tuple[int, object, int]] = []
+        #: stores that lost a same-cycle conflict (when detection is off)
+        self.conflicts_dropped = 0
+        self.loads = 0
+        self.stores = 0
+
+    def _check(self, address: int) -> None:
+        if not isinstance(address, int):
+            raise MemoryError_(f"non-integer address: {address!r}")
+        if not 0 <= address < self.words:
+            raise MemoryError_(
+                f"address {address} out of range [0, {self.words})")
+
+    def load(self, fu: int, address: int, cycle: int):
+        """Read *address* as seen at the start of the cycle."""
+        hit = self.devices.lookup(address)
+        if hit is not None:
+            device, offset = hit
+            return device.read(offset, cycle)
+        self._check(address)
+        self.loads += 1
+        return self._data.get(address, 0)
+
+    def store(self, fu: int, address: int, value, cycle: int) -> None:
+        """Buffer a store; it becomes visible at :meth:`commit`."""
+        hit = self.devices.lookup(address)
+        if hit is not None:
+            device, offset = hit
+            device.write(offset, value, cycle)
+            return
+        self._check(address)
+        self.stores += 1
+        self._pending.append((address, value, fu))
+
+    def commit(self, cycle: int) -> None:
+        """Apply the cycle's buffered stores (end-of-cycle semantics)."""
+        if not self._pending:
+            return
+        seen: Dict[int, int] = {}
+        for address, value, fu in self._pending:
+            if address in seen:
+                if self.detect_conflicts:
+                    raise MemoryConflictError(
+                        f"cycle {cycle}: FUs {seen[address]} and {fu} both "
+                        f"store to address {address} (undefined, "
+                        f"section 2.3)")
+                self.conflicts_dropped += 1
+            seen[address] = fu
+            self._data[address] = value
+        self._pending.clear()
+
+    # -- direct (non-simulated) access for loading/checking test data ----
+
+    def poke(self, address: int, value) -> None:
+        """Write a word directly, outside simulation."""
+        self._check(address)
+        self._data[address] = value
+
+    def peek(self, address: int):
+        """Read a word directly, outside simulation."""
+        self._check(address)
+        return self._data.get(address, 0)
+
+    def poke_block(self, base: int, values: Iterable) -> None:
+        """Write consecutive words starting at *base*."""
+        for offset, value in enumerate(values):
+            self.poke(base + offset, value)
+
+    def peek_block(self, base: int, count: int) -> List:
+        """Read *count* consecutive words starting at *base*."""
+        return [self.peek(base + offset) for offset in range(count)]
+
+
+class DistributedMemory:
+    """Per-FU private banks (the prototype organization).
+
+    Presents the same interface as :class:`SharedMemory`; the *fu*
+    argument selects the bank.  ``poke``/``peek`` take an explicit bank.
+    """
+
+    def __init__(self, n_fus: int, words_per_bank: int,
+                 devices: Optional[DeviceMap] = None):
+        if n_fus <= 0:
+            raise ValueError("need at least one bank")
+        self.n_fus = n_fus
+        self.words = words_per_bank
+        self.devices = devices if devices is not None else DeviceMap()
+        self._banks: List[Dict[int, object]] = [{} for _ in range(n_fus)]
+        self._pending: List[Tuple[int, int, object]] = []
+        self.loads = 0
+        self.stores = 0
+        self.conflicts_dropped = 0
+
+    def _check(self, fu: int, address: int) -> None:
+        if not 0 <= fu < self.n_fus:
+            raise MemoryError_(f"no such bank: {fu}")
+        if not isinstance(address, int) or not 0 <= address < self.words:
+            raise MemoryError_(
+                f"address {address!r} out of bank range [0, {self.words})")
+
+    def load(self, fu: int, address: int, cycle: int):
+        hit = self.devices.lookup(address)
+        if hit is not None:
+            device, offset = hit
+            return device.read(offset, cycle)
+        self._check(fu, address)
+        self.loads += 1
+        return self._banks[fu].get(address, 0)
+
+    def store(self, fu: int, address: int, value, cycle: int) -> None:
+        hit = self.devices.lookup(address)
+        if hit is not None:
+            device, offset = hit
+            device.write(offset, value, cycle)
+            return
+        self._check(fu, address)
+        self.stores += 1
+        self._pending.append((fu, address, value))
+
+    def commit(self, cycle: int) -> None:
+        # Distinct banks cannot conflict; one FU issues at most one store
+        # per cycle, so no conflict is possible at all.
+        for fu, address, value in self._pending:
+            self._banks[fu][address] = value
+        self._pending.clear()
+
+    def poke(self, address: int, value, bank: int = 0) -> None:
+        self._check(bank, address)
+        self._banks[bank][address] = value
+
+    def peek(self, address: int, bank: int = 0):
+        self._check(bank, address)
+        return self._banks[bank].get(address, 0)
+
+    def poke_block(self, base: int, values: Iterable, bank: int = 0) -> None:
+        for offset, value in enumerate(values):
+            self.poke(base + offset, value, bank)
+
+    def peek_block(self, base: int, count: int, bank: int = 0) -> List:
+        return [self.peek(base + offset, bank) for offset in range(count)]

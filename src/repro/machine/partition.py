@@ -1,0 +1,378 @@
+"""SSET and partition tracking.
+
+Paper section 2.4 defines the central formal concept:
+
+    *"SSET: A Synchronous Set of Functional Units ... describes a set of
+    one or more XIMD functional units which are currently executing a
+    single program thread. ... Formally, two functional units are in the
+    same SSET at time t, if given the program and the control state of
+    one FU, the control state of the other FU can be uniquely
+    determined."*
+
+and the partition notation ``{0,1}{2}{3,6,7}{4,5}`` used in the
+Figure 10 address trace.  Note the definition quantifies over *possible*
+executions: in Figure 10 (cycle 9) all four FUs sit at address ``03:``
+yet the partition is ``{0,1}{2}{3}`` because FU2/FU3 arrived there
+through data-dependent branches.
+
+Two trackers implement the definition:
+
+:class:`ExactSSETTracker`
+    A possible-worlds analysis.  A *world* is a vector of per-FU PCs.
+    Each cycle every world advances: branch conditions over condition
+    codes are treated as free boolean choices (shared within a world by
+    condition spec — all FUs testing ``cc2`` in one cycle see the same
+    value), while sync-signal conditions are *deterministic per world*
+    because ``SS_i`` is a field of the parcel addressed by ``PC_i``.
+    Worlds are deduplicated by PC vector.  FUs *i* and *j* are in one
+    SSET at time *t* iff, restricted to worlds that agree with the
+    actual execution on ``PC_i``, the value of ``PC_j`` is unique — and
+    vice versa.  Treating every condition-code evaluation as free
+    ignores correlation between branch outcomes over time, which makes
+    the analysis conservative (it may split more finely than strictly
+    necessary); this matches the paper's reading of "data dependent"
+    and reproduces Figure 10 cell-for-cell.
+
+:class:`HeuristicSSETTracker`
+    An O(n_fus) per-cycle operational approximation: an SSET splits when
+    its members execute different control fields; a diverged SSET tracks
+    its *relative possible-PC set* (reset at each split point) and heals
+    when that set collapses to a singleton; healed SSETs arriving at one
+    address merge; an ALL-sync barrier release merges every SSET that
+    took the identical barrier branch.  Tests assert agreement with the
+    exact tracker on all the paper's programs.
+
+:class:`AdaptiveSSETTracker` runs the exact analysis until its world set
+exceeds a budget, then falls over to the heuristic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..isa import Condition, ControlOp, Parcel, SyncValue
+from .condition import evaluate_condition, select_target
+from .program import Program
+from .sequencer import Sequencer
+
+#: A partition: tuple of SSETs, each a sorted tuple of FU indices,
+#: ordered by smallest member.
+Partition = Tuple[Tuple[int, ...], ...]
+
+
+def format_partition(partition: Partition) -> str:
+    """Render a partition in the paper's ``{0,1}{2}{3}`` notation."""
+    return "".join("{" + ",".join(str(i) for i in sset) + "}"
+                   for sset in partition)
+
+
+def parse_partition(text: str) -> Partition:
+    """Parse the ``{0,1}{2}{3}`` notation back into a partition."""
+    ssets = []
+    for chunk in text.replace("}", "}|").split("|"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if not (chunk.startswith("{") and chunk.endswith("}")):
+            raise ValueError(f"malformed partition text: {text!r}")
+        body = chunk[1:-1].strip()
+        members = tuple(sorted(int(x) for x in body.split(",") if x.strip()))
+        if not members:
+            raise ValueError(f"empty SSET in: {text!r}")
+        ssets.append(members)
+    return normalize_partition(ssets)
+
+
+def normalize_partition(ssets: Iterable[Iterable[int]]) -> Partition:
+    """Sort members within SSETs and SSETs by least member."""
+    return tuple(sorted((tuple(sorted(s)) for s in ssets),
+                        key=lambda s: s[0]))
+
+
+def is_valid_partition(partition: Partition, n_fus: int) -> bool:
+    """Every FU appears in exactly one SSET."""
+    seen = [i for sset in partition for i in sset]
+    return sorted(seen) == list(range(n_fus))
+
+
+def refines(fine: Partition, coarse: Partition) -> bool:
+    """True if every SSET of *fine* is contained in some SSET of *coarse*."""
+    coarse_sets = [set(s) for s in coarse]
+    return all(any(set(f) <= c for c in coarse_sets) for f in fine)
+
+
+class _UnionFind:
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+    def partition(self) -> Partition:
+        groups: Dict[int, List[int]] = {}
+        for i in range(len(self.parent)):
+            groups.setdefault(self.find(i), []).append(i)
+        return normalize_partition(groups.values())
+
+
+class WorldExplosionError(Exception):
+    """The exact tracker's world set exceeded its budget."""
+
+
+class ExactSSETTracker:
+    """Possible-worlds implementation of the formal SSET definition."""
+
+    def __init__(self, program: Program, sequencer: Sequencer,
+                 halted_sync_done: bool = True, max_worlds: int = 50_000):
+        self.program = program
+        self.sequencer = sequencer
+        self.halted_sync_done = halted_sync_done
+        self.max_worlds = max_worlds
+        entry = program.entry
+        self.worlds: Set[Tuple[int, ...]] = {
+            tuple([entry] * program.width)
+        }
+
+    def partition(self, actual_pcs: Sequence[int]) -> Partition:
+        """The SSET partition at the current cycle, given the PCs the
+        machine actually holds."""
+        n = self.program.width
+        uf = _UnionFind(n)
+        worlds = self.worlds
+        for i in range(n):
+            for j in range(i + 1, n):
+                if uf.find(i) == uf.find(j):
+                    continue
+                if self._mutually_determined(worlds, i, j,
+                                             actual_pcs[i], actual_pcs[j]):
+                    uf.union(i, j)
+        return uf.partition()
+
+    @staticmethod
+    def _mutually_determined(worlds, i, j, pc_i, pc_j) -> bool:
+        js = {w[j] for w in worlds if w[i] == pc_i}
+        if len(js) != 1:
+            return False
+        is_ = {w[i] for w in worlds if w[j] == pc_j}
+        return len(is_) == 1
+
+    def step(self) -> None:
+        """Advance every world by one machine cycle."""
+        program = self.program
+        n = program.width
+        next_worlds: Set[Tuple[int, ...]] = set()
+        for world in self.worlds:
+            parcels: List[Optional[Parcel]] = [
+                program.fetch(fu, world[fu]) for fu in range(n)
+            ]
+            ss_done = tuple(
+                self.halted_sync_done if p is None
+                else (p.sync is SyncValue.DONE)
+                for p in parcels
+            )
+            # Collect the distinct condition-code specs evaluated in this
+            # world this cycle; each is one free boolean choice.
+            cc_specs: List[int] = []
+            for p in parcels:
+                if (p is not None and p.control is not None
+                        and p.control.condition is Condition.CC_TRUE
+                        and p.control.index not in cc_specs):
+                    cc_specs.append(p.control.index)
+            for outcome_bits in itertools.product(
+                    (False, True), repeat=len(cc_specs)):
+                cc = dict(zip(cc_specs, outcome_bits))
+                successor = []
+                for fu in range(n):
+                    parcel = parcels[fu]
+                    if parcel is None or parcel.control is None:
+                        successor.append(world[fu])  # halted
+                        continue
+                    control = parcel.control
+                    if control.condition is Condition.CC_TRUE:
+                        taken = cc[control.index]
+                    else:
+                        taken = evaluate_condition(
+                            control, _NO_CC, ss_done)
+                    successor.append(
+                        self.sequencer.next_pc(world[fu], control, taken))
+                next_worlds.add(tuple(successor))
+                if len(next_worlds) > self.max_worlds:
+                    raise WorldExplosionError(
+                        f"> {self.max_worlds} worlds")
+        self.worlds = next_worlds
+
+
+class _NoCC:
+    """Sentinel CC vector: exact-tracker worlds never read real CCs."""
+
+    def __getitem__(self, index):
+        raise AssertionError("CC conditions are forked, not evaluated")
+
+    def __len__(self):
+        return 16
+
+
+_NO_CC = _NoCC()
+
+
+class _Record:
+    """One SSET in the heuristic tracker's state."""
+
+    __slots__ = ("members", "pc", "possible")
+
+    def __init__(self, members: FrozenSet[int], pc: int,
+                 possible: FrozenSet[int]):
+        self.members = members
+        self.pc = pc
+        self.possible = possible
+
+    @property
+    def healed(self) -> bool:
+        return len(self.possible) == 1
+
+
+_POSSIBLE_CAP = 64
+
+
+class HeuristicSSETTracker:
+    """Operational split/heal/merge approximation of the SSET relation."""
+
+    def __init__(self, program: Program, sequencer: Sequencer,
+                 halted_sync_done: bool = True):
+        self.program = program
+        self.sequencer = sequencer
+        self.halted_sync_done = halted_sync_done
+        entry = program.entry
+        self._records: List[_Record] = [
+            _Record(frozenset(range(program.width)), entry,
+                    frozenset([entry]))
+        ]
+
+    def partition(self, actual_pcs: Sequence[int]) -> Partition:
+        return normalize_partition(r.members for r in self._records)
+
+    def step(self, actual_pcs: Sequence[int],
+             next_pcs: Sequence[int],
+             parcels: Sequence[Optional[Parcel]],
+             barrier_taken: Sequence[bool]) -> None:
+        """Advance one cycle.
+
+        Args:
+            actual_pcs: PC of each FU during the cycle just executed.
+            next_pcs: PC each FU will hold next cycle.
+            parcels: the parcel each FU executed (None = halted).
+            barrier_taken: per FU, True when it executed an ALL-sync
+                conditional branch whose condition fired.
+        """
+        new_records: List[_Record] = []
+        barrier_groups: Dict[object, List[int]] = {}
+
+        for record in self._records:
+            subgroups: Dict[object, List[int]] = {}
+            for fu in sorted(record.members):
+                parcel = parcels[fu]
+                if parcel is None or parcel.control is None:
+                    key = ("halt",)
+                else:
+                    key = parcel.control.branch_key()
+                subgroups.setdefault(key, []).append(fu)
+
+            split = len(subgroups) > 1
+            for key, fus in subgroups.items():
+                rep = fus[0]
+                next_pc = next_pcs[rep]
+                parcel = parcels[rep]
+                control = parcel.control if parcel is not None else None
+                if (control is not None
+                        and control.condition is Condition.ALL_SS_DONE
+                        and barrier_taken[rep]):
+                    # Barrier release: full resynchronization of every
+                    # FU that took this identical barrier branch.
+                    barrier_groups.setdefault(key, []).extend(fus)
+                    continue
+                if split:
+                    possible = self._reset_possible(
+                        actual_pcs[rep], control)
+                else:
+                    possible = self._advance_possible(record, fus)
+                new_records.append(
+                    _Record(frozenset(fus), next_pc, possible))
+
+        for key, fus in barrier_groups.items():
+            rep_next = next_pcs[fus[0]]
+            new_records.append(
+                _Record(frozenset(fus), rep_next,
+                        frozenset([rep_next])))
+
+        # Merge rule: healed records at one address are mutually
+        # determined (each PC is a program constant).
+        merged: Dict[int, _Record] = {}
+        final: List[_Record] = []
+        for record in new_records:
+            if record.healed:
+                existing = merged.get(record.pc)
+                if existing is not None and existing.healed:
+                    existing.members |= record.members
+                    continue
+                merged[record.pc] = record
+            final.append(record)
+        self._records = final
+
+    def _reset_possible(self, pc: int,
+                        control: Optional[ControlOp]) -> FrozenSet[int]:
+        """Relative possible-PC set right after a split point."""
+        return frozenset(self.sequencer.possible_next(pc, control))
+
+    def _advance_possible(self, record: _Record,
+                          fus: List[int]) -> FrozenSet[int]:
+        """One-step image of the record's relative possible-PC set."""
+        if len(record.possible) > _POSSIBLE_CAP:
+            return record.possible  # saturated; stays conservative
+        out: Set[int] = set()
+        for pc in record.possible:
+            for fu in fus:
+                parcel = self.program.fetch(fu, pc)
+                control = parcel.control if parcel is not None else None
+                out.update(self.sequencer.possible_next(pc, control))
+        return frozenset(out)
+
+
+class AdaptiveSSETTracker:
+    """Exact tracking with automatic fallback to the heuristic."""
+
+    def __init__(self, program: Program, sequencer: Sequencer,
+                 halted_sync_done: bool = True, max_worlds: int = 50_000):
+        self._exact: Optional[ExactSSETTracker] = ExactSSETTracker(
+            program, sequencer, halted_sync_done, max_worlds)
+        self._heuristic = HeuristicSSETTracker(
+            program, sequencer, halted_sync_done)
+        self.fell_back_at: Optional[int] = None
+        self._cycle = 0
+
+    @property
+    def using_exact(self) -> bool:
+        return self._exact is not None
+
+    def partition(self, actual_pcs: Sequence[int]) -> Partition:
+        if self._exact is not None:
+            return self._exact.partition(actual_pcs)
+        return self._heuristic.partition(actual_pcs)
+
+    def step(self, actual_pcs, next_pcs, parcels, barrier_taken) -> None:
+        if self._exact is not None:
+            try:
+                self._exact.step()
+            except WorldExplosionError:
+                self._exact = None
+                self.fell_back_at = self._cycle
+        self._heuristic.step(actual_pcs, next_pcs, parcels, barrier_taken)
+        self._cycle += 1

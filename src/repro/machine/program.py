@@ -1,0 +1,127 @@
+"""Executable program container for the XIMD machine.
+
+Instruction memory is organized as one *column* of parcels per functional
+unit ("the control signals for each functional unit are supplied by a
+unique portion of the instruction memory", section 2.2).  A
+:class:`Program` holds those columns plus the symbol-table metadata the
+assembler collected (labels, register bindings) so traces and
+disassembly can be rendered symbolically.
+
+Unoccupied slots hold ``None``; a functional unit whose PC reaches a
+``None`` slot — or a parcel with no control fields — halts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa import Parcel, WideInstruction
+from .errors import ProgramError
+
+
+@dataclass
+class Program:
+    """A program laid out into per-FU instruction-memory columns.
+
+    Attributes:
+        columns: ``columns[fu][address]`` is the parcel FU *fu* executes
+            when its PC equals *address* (or None for an empty slot).
+        entry: common start address (the paper's examples assume *"all
+            functional units begin execution together at address 00:"*).
+        labels: label name -> address, for symbolic traces.
+        register_names: register index -> preferred symbolic name.
+        source: optional original assembly text.
+    """
+
+    columns: List[List[Optional[Parcel]]]
+    entry: int = 0
+    labels: Dict[str, int] = field(default_factory=dict)
+    register_names: Dict[int, str] = field(default_factory=dict)
+    source: Optional[str] = None
+
+    def __post_init__(self):
+        if not self.columns:
+            raise ProgramError("program must have at least one column")
+        length = max(len(col) for col in self.columns)
+        for col in self.columns:
+            col.extend([None] * (length - len(col)))
+
+    @property
+    def width(self) -> int:
+        """Number of functional-unit columns."""
+        return len(self.columns)
+
+    @property
+    def length(self) -> int:
+        """Number of instruction-memory slots per column."""
+        return len(self.columns[0])
+
+    def fetch(self, fu: int, address: int) -> Optional[Parcel]:
+        """The parcel at (*fu*, *address*), or None for empty/out-of-range."""
+        if not 0 <= fu < self.width:
+            raise ProgramError(f"no such FU column: {fu}")
+        if not 0 <= address < self.length:
+            return None
+        return self.columns[fu][address]
+
+    def label_at(self, address: int) -> Optional[str]:
+        """A label bound to *address*, if any (first match wins)."""
+        for name, addr in self.labels.items():
+            if addr == address:
+                return name
+        return None
+
+    def address_of(self, label: str) -> int:
+        """Resolve *label* to its address."""
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise ProgramError(f"undefined label: {label!r}") from None
+
+    def occupied_slots(self) -> int:
+        """Total non-empty parcel slots (static code size in parcels)."""
+        return sum(1 for col in self.columns for p in col if p is not None)
+
+    def static_parcel_rows(self) -> int:
+        """Number of addresses with at least one occupied parcel."""
+        return sum(
+            1 for address in range(self.length)
+            if any(col[address] is not None for col in self.columns)
+        )
+
+    def rows(self) -> List[Tuple[int, Tuple[Optional[Parcel], ...]]]:
+        """(address, parcels-across-FUs) for every address, in order."""
+        return [
+            (address, tuple(col[address] for col in self.columns))
+            for address in range(self.length)
+        ]
+
+    @classmethod
+    def from_wide_instructions(
+        cls,
+        instructions: Sequence[WideInstruction],
+        entry: int = 0,
+        labels: Optional[Dict[str, int]] = None,
+    ) -> "Program":
+        """Build a program from a dense list of wide instructions.
+
+        Instruction *k* occupies address *k* in every column.  This is
+        the natural constructor for VLIW-style code, where every FU
+        executes from the same address.
+        """
+        if not instructions:
+            raise ProgramError("no instructions")
+        width = instructions[0].width
+        for instr in instructions:
+            if instr.width != width:
+                raise ProgramError("inconsistent instruction widths")
+        columns: List[List[Optional[Parcel]]] = [
+            [instr[fu] for instr in instructions] for fu in range(width)
+        ]
+        return cls(columns, entry=entry, labels=dict(labels or {}))
+
+    @classmethod
+    def empty(cls, width: int, length: int) -> "Program":
+        """An all-empty program of the given shape."""
+        return cls([[None] * length for _ in range(width)])

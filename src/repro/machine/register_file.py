@@ -1,0 +1,125 @@
+"""The global multiported register file.
+
+Paper section 2.2: *"The register file simultaneously supports two reads
+and one write per functional unit for a total of 16 reads and 8 writes
+per cycle."*  Section 4.4 describes the custom chip built to provide
+those ports; :mod:`repro.analysis.registerfile` models the chip-level
+partitioning, while this module models the architectural behavior:
+
+* reads during cycle *t* observe the state at the start of cycle *t*;
+* a result produced in cycle *t* commits at the end of cycle
+  *t + write_latency - 1* (latency 1 = the research model's single-cycle
+  datapath; latency 2 = the prototype's 3-stage pipeline, which exposes
+  one delay slot to the compiler);
+* per-cycle port usage is accounted and can be capped;
+* two FUs writing one register in one cycle is undefined and is either
+  raised or counted, mirroring the memory-conflict policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .errors import PortOverflowError, RegisterConflictError
+
+
+class RegisterFile:
+    """Architectural model of the 24-ported global register file."""
+
+    def __init__(self, n_registers: int = 256, write_latency: int = 1,
+                 max_read_ports: Optional[int] = None,
+                 max_write_ports: Optional[int] = None,
+                 detect_conflicts: bool = True):
+        if n_registers <= 0:
+            raise ValueError("need at least one register")
+        if write_latency < 1:
+            raise ValueError("write_latency must be >= 1")
+        self.n_registers = n_registers
+        self.write_latency = write_latency
+        self.max_read_ports = max_read_ports
+        self.max_write_ports = max_write_ports
+        self.detect_conflicts = detect_conflicts
+        self._values: List[object] = [0] * n_registers
+        #: in-flight writes: delay -> list of (register, value, fu)
+        self._inflight: List[List[Tuple[int, object, int]]] = [
+            [] for _ in range(write_latency)
+        ]
+        self._reads_this_cycle = 0
+        self._writes_this_cycle = 0
+        self.total_reads = 0
+        self.total_writes = 0
+        self.peak_reads = 0
+        self.peak_writes = 0
+        self.conflicts_dropped = 0
+
+    def _check(self, register: int) -> None:
+        if not 0 <= register < self.n_registers:
+            raise RegisterConflictError(
+                f"register index out of range: {register}")
+
+    def read(self, fu: int, register: int):
+        """Read *register* (start-of-cycle value) through one read port."""
+        self._check(register)
+        self._reads_this_cycle += 1
+        self.total_reads += 1
+        if (self.max_read_ports is not None
+                and self._reads_this_cycle > self.max_read_ports):
+            raise PortOverflowError(
+                f"cycle exceeds {self.max_read_ports} read ports")
+        return self._values[register]
+
+    def write(self, fu: int, register: int, value) -> None:
+        """Issue a write; it commits after ``write_latency`` commits."""
+        self._check(register)
+        self._writes_this_cycle += 1
+        self.total_writes += 1
+        if (self.max_write_ports is not None
+                and self._writes_this_cycle > self.max_write_ports):
+            raise PortOverflowError(
+                f"cycle exceeds {self.max_write_ports} write ports")
+        self._inflight[self.write_latency - 1].append((register, value, fu))
+
+    def commit(self, cycle: int) -> None:
+        """End the cycle: retire due writes, advance the pipeline."""
+        due = self._inflight[0]
+        if due:
+            seen: Dict[int, int] = {}
+            for register, value, fu in due:
+                if register in seen and seen[register] != fu:
+                    if self.detect_conflicts:
+                        raise RegisterConflictError(
+                            f"cycle {cycle}: FUs {seen[register]} and {fu} "
+                            f"both write r{register} (undefined)")
+                    self.conflicts_dropped += 1
+                seen[register] = fu
+                self._values[register] = value
+        # advance the in-flight pipeline
+        for stage in range(len(self._inflight) - 1):
+            self._inflight[stage] = self._inflight[stage + 1]
+        self._inflight[-1] = []
+        self.peak_reads = max(self.peak_reads, self._reads_this_cycle)
+        self.peak_writes = max(self.peak_writes, self._writes_this_cycle)
+        self._reads_this_cycle = 0
+        self._writes_this_cycle = 0
+
+    def drain(self, cycle: int = -1) -> None:
+        """Retire every in-flight write (used when the machine halts, so
+        final register state is observable)."""
+        for _ in range(self.write_latency):
+            self.commit(cycle)
+
+    # -- direct access outside simulation ---------------------------------
+
+    def poke(self, register: int, value) -> None:
+        """Set a register directly (test setup / initial state)."""
+        self._check(register)
+        self._values[register] = value
+
+    def peek(self, register: int):
+        """Read a register directly, without port accounting."""
+        self._check(register)
+        return self._values[register]
+
+    def snapshot(self) -> List[object]:
+        """A copy of the committed register state."""
+        return list(self._values)

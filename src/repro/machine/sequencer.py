@@ -1,0 +1,59 @@
+"""Per-functional-unit instruction sequencers.
+
+The research model's sequencer (Figure 8) has **no PC incrementer**:
+every parcel carries two explicit branch targets and the condition
+selects between them.  The hardware prototype (section 4.3) instead uses
+a *"traditional sequencer (incrementer + 1 explicit branch target)"*: a
+conditional branch falls through to PC+1 when not taken, and the
+untaken-target field is ignored.
+
+Both are pure next-PC functions; the XIMD machine instantiates one per
+FU, the VLIW machine a single one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..isa import Condition, ControlOp
+from .condition import select_target
+from .config import SequencerStyle
+from .errors import MachineError
+
+
+class Sequencer:
+    """Computes the next PC for one functional unit."""
+
+    def __init__(self, style: SequencerStyle):
+        self.style = style
+
+    def next_pc(self, pc: int, control: ControlOp, taken: bool) -> int:
+        """The address to fetch next, given the condition outcome."""
+        if self.style is SequencerStyle.EXPLICIT_TWO_TARGET:
+            return select_target(control, taken)
+        if self.style is SequencerStyle.INCREMENT_ONE_TARGET:
+            if control.condition is Condition.ALWAYS_T1:
+                return control.target1
+            if control.condition is Condition.ALWAYS_T2:
+                # "fall through": the prototype's default next address.
+                return pc + 1
+            return control.target1 if taken else pc + 1
+        raise MachineError(f"unknown sequencer style: {self.style}")
+
+    def possible_next(self, pc: int, control: Optional[ControlOp]):
+        """All addresses this parcel may transfer control to.
+
+        Used by the SSET trackers' possible-worlds analysis.  A missing
+        control op (halt slot) keeps the PC fixed.
+        """
+        if control is None:
+            return (pc,)
+        if self.style is SequencerStyle.EXPLICIT_TWO_TARGET:
+            return control.possible_targets()
+        if control.condition is Condition.ALWAYS_T1:
+            return (control.target1,)
+        if control.condition is Condition.ALWAYS_T2:
+            return (pc + 1,)
+        if control.target1 == pc + 1:
+            return (pc + 1,)
+        return (control.target1, pc + 1)

@@ -1,0 +1,98 @@
+"""Address traces in the style of the paper's Figure 10.
+
+Figure 10 shows, for each cycle: the address each FU executes from, the
+condition-code register contents *"as they exist at the beginning of
+each cycle"*, and the XIMD partition.  :class:`AddressTrace` records the
+same columns (plus the sync signals asserted during the cycle) and
+renders them as a fixed-width table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .partition import Partition, format_partition
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One row of an address trace."""
+
+    cycle: int
+    #: PC per FU at the start of the cycle; None = halted.
+    pcs: Tuple[Optional[int], ...]
+    #: condition codes at the start of the cycle, e.g. ``"TTFX"``.
+    condition_codes: str
+    #: sync signals asserted during the cycle, ``"B"``/``"D"`` per FU.
+    sync_signals: str
+    #: the SSET partition, or None when tracking is disabled.
+    partition: Optional[Partition] = None
+
+    def pc_text(self, fu: int) -> str:
+        pc = self.pcs[fu]
+        return "--:" if pc is None else f"{pc:02x}:"
+
+    def partition_text(self) -> str:
+        return "" if self.partition is None else format_partition(self.partition)
+
+
+@dataclass
+class AddressTrace:
+    """A full execution's trace with Figure 10 rendering."""
+
+    n_fus: int
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def append(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, index) -> TraceRecord:
+        return self.records[index]
+
+    def format(self, show_sync: bool = False,
+               comments: Optional[Sequence[str]] = None) -> str:
+        """Render the trace as a Figure 10 style table."""
+        headers = ["Cycle"] + [f"FU{i}" for i in range(self.n_fus)]
+        headers += ["CC"]
+        if show_sync:
+            headers += ["SS"]
+        headers += ["Partition"]
+        if comments is not None:
+            headers += ["Comment"]
+        rows = [headers]
+        for record in self.records:
+            row = [f"Cycle {record.cycle}"]
+            row += [record.pc_text(fu) for fu in range(self.n_fus)]
+            row += [record.condition_codes]
+            if show_sync:
+                row += [record.sync_signals]
+            row += [record.partition_text()]
+            if comments is not None:
+                comment = (comments[record.cycle]
+                           if record.cycle < len(comments) else "")
+                row += [comment]
+            rows.append(row)
+        widths = [max(len(row[col]) for row in rows)
+                  for col in range(len(headers))]
+        lines = []
+        for i, row in enumerate(rows):
+            lines.append("  ".join(cell.ljust(width)
+                                   for cell, width in zip(row, widths)).rstrip())
+            if i == 0:
+                lines.append("-" * len(lines[0]))
+        return "\n".join(lines)
+
+    def partitions(self) -> List[Optional[Partition]]:
+        """The partition column, one entry per cycle."""
+        return [record.partition for record in self.records]
+
+    def pcs_matrix(self) -> List[Tuple[Optional[int], ...]]:
+        """The PC columns, one tuple per cycle."""
+        return [record.pcs for record in self.records]

@@ -1,0 +1,176 @@
+"""``vsim`` — the companion VLIW simulator.
+
+The paper's section 4.1: *"A companion simulator, vsim, simulates a VLIW
+processor with similar characteristics."*  The VLIW machine shares the
+XIMD data path (functional units, global register file, condition-code
+registers, idealized memory) but has the classical single control path
+of Figure 4: one program counter, one sequencer, and therefore one
+control operation per cycle for the whole machine.  Condition codes from
+every functional unit feed the single sequencer, so a branch may test
+any ``CC_j``; synchronization signals do not exist.
+
+Program representation: the same per-FU-column :class:`Program`, with
+the convention that the machine-wide control operation of address *a* is
+the control op of the lowest-numbered FU whose parcel at *a* carries
+one.  (The assembler's VLIW mode emits it on FU0.)  Parcels on other
+columns may carry copies — they are ignored, matching the paper's remark
+that running VLIW code on an XIMD just duplicates the control fields.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..isa import Parcel
+from .condition import ConditionCodes, evaluate_condition
+from .config import MachineConfig, MemoryStyle, research_config
+from .datapath import DatapathStats, execute_data_op
+from .devices import DeviceMap
+from .errors import MachineError, ProgramError, SimulationLimitError
+from .memory import DistributedMemory, SharedMemory
+from .program import Program
+from .register_file import RegisterFile
+from .sequencer import Sequencer
+from .trace import AddressTrace, TraceRecord
+from .ximd import ExecutionResult
+
+
+class VliwMachine:
+    """A VLIW processor with the XIMD-1 data path (Figure 4 model)."""
+
+    def __init__(self, program: Program,
+                 config: Optional[MachineConfig] = None,
+                 devices: Optional[DeviceMap] = None,
+                 trace: bool = False):
+        self.config = config if config is not None else research_config(
+            program.width)
+        if program.width != self.config.n_fus:
+            raise ProgramError(
+                f"program has {program.width} columns but machine has "
+                f"{self.config.n_fus} FUs")
+        self.program = program
+        self.sequencer = Sequencer(self.config.sequencer)
+        self.regfile = RegisterFile(
+            self.config.n_registers,
+            write_latency=self.config.write_latency,
+            max_read_ports=self.config.max_read_ports,
+            max_write_ports=self.config.max_write_ports,
+            detect_conflicts=self.config.detect_register_conflicts,
+        )
+        self.cc = ConditionCodes(self.config.n_fus)
+        device_map = devices if devices is not None else DeviceMap()
+        if self.config.memory is MemoryStyle.SHARED:
+            self.memory = SharedMemory(
+                self.config.memory_words,
+                detect_conflicts=self.config.detect_memory_conflicts,
+                devices=device_map,
+            )
+        else:
+            self.memory = DistributedMemory(
+                self.config.n_fus, self.config.memory_words,
+                devices=device_map,
+            )
+        self.pc: Optional[int] = program.entry
+        self.cycle = 0
+        self.stats = DatapathStats()
+        self.trace: Optional[AddressTrace] = (
+            AddressTrace(self.config.n_fus) if trace else None)
+
+    @property
+    def halted(self) -> bool:
+        return self.pc is None
+
+    def _machine_control(self, parcels: List[Optional[Parcel]]):
+        """The single machine-wide control op at the current address."""
+        for parcel in parcels:
+            if parcel is not None and parcel.control is not None:
+                control = parcel.control
+                if control.condition.uses_sync:
+                    raise MachineError(
+                        "VLIW machine has no synchronization signals "
+                        f"(at address {self.pc:#04x})")
+                return control
+        return None
+
+    def step(self) -> None:
+        """Execute one wide instruction."""
+        if self.pc is None:
+            return
+        n = self.config.n_fus
+        parcels: List[Optional[Parcel]] = [
+            self.program.fetch(fu, self.pc) for fu in range(n)
+        ]
+        if all(p is None for p in parcels):
+            self.pc = None
+            return
+
+        cc_start = self.cc.snapshot()
+        if self.trace is not None:
+            self.trace.append(TraceRecord(
+                cycle=self.cycle,
+                pcs=tuple([self.pc] * n),
+                condition_codes=self.cc.format(),
+                sync_signals="-" * n,
+                partition=(tuple(range(n)),),
+            ))
+
+        for fu in range(n):
+            parcel = parcels[fu]
+            if parcel is None:
+                continue
+            execute_data_op(fu, parcel.data, self.regfile, self.cc,
+                            self.memory, self.cycle, self.stats)
+
+        control = self._machine_control(parcels)
+        if control is None:
+            next_pc: Optional[int] = None
+        else:
+            taken = evaluate_condition(control, cc_start, ())
+            if control.is_unconditional:
+                self.stats.branches_unconditional += 1
+            else:
+                self.stats.branches_conditional += 1
+            next_pc = self.sequencer.next_pc(self.pc, control, taken)
+
+        self.regfile.commit(self.cycle)
+        self.cc.commit()
+        self.memory.commit(self.cycle)
+        self.pc = next_pc
+        self.cycle += 1
+        self.stats.cycles += 1
+
+    def run(self, max_cycles: Optional[int] = None) -> ExecutionResult:
+        """Run until the machine halts (or the watchdog trips)."""
+        limit = max_cycles if max_cycles is not None else self.config.max_cycles
+        while not self.halted:
+            if self.cycle >= limit:
+                raise SimulationLimitError(
+                    f"program did not halt within {limit} cycles")
+            self.step()
+        self.regfile.drain(self.cycle)
+        final: Tuple[Optional[int], ...] = tuple([None] * self.config.n_fus)
+        return ExecutionResult(
+            cycles=self.cycle,
+            halted=True,
+            registers=self.regfile.snapshot(),
+            stats=self.stats,
+            trace=self.trace,
+            final_pcs=final,
+        )
+
+
+def run_vliw(program: Program, *,
+             config: Optional[MachineConfig] = None,
+             registers: Optional[dict] = None,
+             memory_init: Optional[dict] = None,
+             devices: Optional[DeviceMap] = None,
+             trace: bool = False,
+             max_cycles: Optional[int] = None) -> ExecutionResult:
+    """One-call convenience wrapper mirroring :func:`run_ximd`."""
+    machine = VliwMachine(program, config=config, devices=devices,
+                          trace=trace)
+    for index, value in (registers or {}).items():
+        machine.regfile.poke(index, value)
+    for address, value in (memory_init or {}).items():
+        machine.memory.poke(address, value)
+    return machine.run(max_cycles)

@@ -1,0 +1,279 @@
+"""``xsim`` — the XIMD-1 behavioral simulator.
+
+Reimplements the paper's xsim (section 4.1): an XIMD machine with one
+sequencer, one condition-code register, and one synchronization signal
+per functional unit, a global multiported register file, and idealized
+single-cycle shared memory.
+
+Cycle semantics (validated against the Figure 10 trace):
+
+1. every non-halted FU fetches the parcel addressed by its PC; a fetch
+   from an empty slot halts the FU;
+2. the sync signal ``SS_i`` visible this cycle is the fetched parcel's
+   sync field (combinational distribution; a registered variant uses the
+   previous cycle's values);
+3. data operations execute reading start-of-cycle register/memory/CC
+   state; results commit at end of cycle (after ``write_latency - 1``
+   further cycles for the pipelined prototype);
+4. each FU's control operation selects its next PC from its two branch
+   targets using start-of-cycle condition codes and this cycle's sync
+   signals; a parcel with no control fields halts the FU after its data
+   op;
+5. all state commits; the machine stops when every FU has halted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..isa import Condition, Parcel, SyncValue
+from .condition import ConditionCodes, evaluate_condition, sync_done_vector
+from .config import MachineConfig, MemoryStyle, research_config
+from .datapath import DatapathStats, execute_data_op
+from .devices import DeviceMap
+from .errors import ProgramError, SimulationLimitError
+from .memory import DistributedMemory, SharedMemory
+from .partition import (
+    AdaptiveSSETTracker,
+    ExactSSETTracker,
+    HeuristicSSETTracker,
+)
+from .program import Program
+from .register_file import RegisterFile
+from .sequencer import Sequencer
+from .trace import AddressTrace, TraceRecord
+
+
+class TrackerKind(enum.Enum):
+    """Which SSET tracker (if any) an execution should run."""
+
+    NONE = "none"
+    EXACT = "exact"
+    HEURISTIC = "heuristic"
+    ADAPTIVE = "adaptive"
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a simulation run."""
+
+    cycles: int
+    halted: bool
+    registers: List[object]
+    stats: DatapathStats
+    trace: Optional[AddressTrace]
+    final_pcs: Tuple[Optional[int], ...]
+
+    def register(self, index: int):
+        """Final committed value of register *index*."""
+        return self.registers[index]
+
+
+class XimdMachine:
+    """The XIMD-1 research machine (and, via config, the prototype)."""
+
+    def __init__(self, program: Program,
+                 config: Optional[MachineConfig] = None,
+                 devices: Optional[DeviceMap] = None,
+                 trace: bool = False,
+                 tracker: TrackerKind = TrackerKind.NONE):
+        self.config = config if config is not None else research_config(
+            program.width)
+        if program.width != self.config.n_fus:
+            raise ProgramError(
+                f"program has {program.width} columns but machine has "
+                f"{self.config.n_fus} FUs")
+        self.program = program
+        self.sequencer = Sequencer(self.config.sequencer)
+        self.regfile = RegisterFile(
+            self.config.n_registers,
+            write_latency=self.config.write_latency,
+            max_read_ports=self.config.max_read_ports,
+            max_write_ports=self.config.max_write_ports,
+            detect_conflicts=self.config.detect_register_conflicts,
+        )
+        self.cc = ConditionCodes(self.config.n_fus)
+        device_map = devices if devices is not None else DeviceMap()
+        if self.config.memory is MemoryStyle.SHARED:
+            self.memory = SharedMemory(
+                self.config.memory_words,
+                detect_conflicts=self.config.detect_memory_conflicts,
+                devices=device_map,
+            )
+        else:
+            self.memory = DistributedMemory(
+                self.config.n_fus, self.config.memory_words,
+                devices=device_map,
+            )
+        self.pcs: List[Optional[int]] = [program.entry] * self.config.n_fus
+        self.cycle = 0
+        self.stats = DatapathStats()
+        self.trace: Optional[AddressTrace] = (
+            AddressTrace(self.config.n_fus) if trace else None)
+        self.tracker = self._make_tracker(tracker)
+        # previous cycle's sync vector, for the registered-SS variant
+        self._prev_ss: Tuple[bool, ...] = tuple(
+            [not self.config.halted_sync_done] * 0) or tuple(
+            [False] * self.config.n_fus)
+
+    def _make_tracker(self, kind: TrackerKind):
+        if kind is TrackerKind.NONE:
+            return None
+        if kind is TrackerKind.EXACT:
+            exact = ExactSSETTracker(
+                self.program, self.sequencer, self.config.halted_sync_done)
+            return _ExactAdapter(exact)
+        if kind is TrackerKind.HEURISTIC:
+            return HeuristicSSETTracker(
+                self.program, self.sequencer, self.config.halted_sync_done)
+        return AdaptiveSSETTracker(
+            self.program, self.sequencer, self.config.halted_sync_done)
+
+    @property
+    def halted(self) -> bool:
+        """True once every FU has halted."""
+        return all(pc is None for pc in self.pcs)
+
+    def step(self) -> None:
+        """Execute one machine cycle."""
+        n = self.config.n_fus
+        parcels: List[Optional[Parcel]] = [None] * n
+        for fu in range(n):
+            pc = self.pcs[fu]
+            if pc is None:
+                continue
+            parcel = self.program.fetch(fu, pc)
+            if parcel is None:
+                self.pcs[fu] = None  # fetched an empty slot: halt
+                continue
+            parcels[fu] = parcel
+
+        if self.halted:
+            return
+
+        sync_values = [p.sync if p is not None else None for p in parcels]
+        current_ss = sync_done_vector(
+            sync_values, self.config.halted_sync_done)
+        visible_ss = self._prev_ss if self.config.ss_registered else current_ss
+        cc_start = self.cc.snapshot()
+
+        if self.trace is not None or self.tracker is not None:
+            partition = (self.tracker.partition(self._pc_vector())
+                         if self.tracker is not None else None)
+            if self.trace is not None:
+                self.trace.append(TraceRecord(
+                    cycle=self.cycle,
+                    pcs=tuple(self.pcs),
+                    condition_codes=self.cc.format(),
+                    sync_signals="".join(
+                        "-" if p is None else
+                        ("D" if p.sync is SyncValue.DONE else "B")
+                        for p in parcels),
+                    partition=partition,
+                ))
+
+        # --- data path -----------------------------------------------------
+        for fu in range(n):
+            parcel = parcels[fu]
+            if parcel is None:
+                continue
+            execute_data_op(fu, parcel.data, self.regfile, self.cc,
+                            self.memory, self.cycle, self.stats)
+
+        # --- control path ----------------------------------------------------
+        actual_pcs = self._pc_vector()
+        next_pcs: List[Optional[int]] = list(self.pcs)
+        barrier_taken = [False] * n
+        for fu in range(n):
+            parcel = parcels[fu]
+            if parcel is None:
+                continue
+            control = parcel.control
+            if control is None:
+                next_pcs[fu] = None  # halt after final data op
+                continue
+            taken = evaluate_condition(control, cc_start, visible_ss)
+            if control.is_unconditional:
+                self.stats.branches_unconditional += 1
+            else:
+                self.stats.branches_conditional += 1
+                if control.condition.uses_sync:
+                    self.stats.branches_sync += 1
+            if control.condition is Condition.ALL_SS_DONE and taken:
+                barrier_taken[fu] = True
+            next_pcs[fu] = self.sequencer.next_pc(self.pcs[fu], control, taken)
+
+        if self.tracker is not None:
+            self.tracker.step(actual_pcs,
+                              [pc if pc is not None else -1
+                               for pc in next_pcs],
+                              parcels, barrier_taken)
+
+        # --- commit -----------------------------------------------------------
+        self.regfile.commit(self.cycle)
+        self.cc.commit()
+        self.memory.commit(self.cycle)
+        self._prev_ss = current_ss
+        self.pcs = next_pcs
+        self.cycle += 1
+        self.stats.cycles += 1
+
+    def _pc_vector(self) -> List[int]:
+        """PCs with halted FUs frozen at -1 (for the trackers)."""
+        return [pc if pc is not None else -1 for pc in self.pcs]
+
+    def run(self, max_cycles: Optional[int] = None) -> ExecutionResult:
+        """Run until every FU halts (or the watchdog trips)."""
+        limit = max_cycles if max_cycles is not None else self.config.max_cycles
+        while not self.halted:
+            if self.cycle >= limit:
+                raise SimulationLimitError(
+                    f"program did not halt within {limit} cycles")
+            self.step()
+        self.regfile.drain(self.cycle)
+        return ExecutionResult(
+            cycles=self.cycle,
+            halted=True,
+            registers=self.regfile.snapshot(),
+            stats=self.stats,
+            trace=self.trace,
+            final_pcs=tuple(self.pcs),
+        )
+
+
+class _ExactAdapter:
+    """Give :class:`ExactSSETTracker` the adaptive tracker's interface."""
+
+    def __init__(self, exact: ExactSSETTracker):
+        self._exact = exact
+
+    def partition(self, actual_pcs):
+        return self._exact.partition(actual_pcs)
+
+    def step(self, actual_pcs, next_pcs, parcels, barrier_taken):
+        self._exact.step()
+
+
+def run_ximd(program: Program, *,
+             config: Optional[MachineConfig] = None,
+             registers: Optional[dict] = None,
+             memory_init: Optional[dict] = None,
+             devices: Optional[DeviceMap] = None,
+             trace: bool = False,
+             tracker: TrackerKind = TrackerKind.NONE,
+             max_cycles: Optional[int] = None) -> ExecutionResult:
+    """One-call convenience wrapper: build, initialize, run.
+
+    Args:
+        registers: register index -> initial value.
+        memory_init: address -> initial word (bank 0 when distributed).
+    """
+    machine = XimdMachine(program, config=config, devices=devices,
+                          trace=trace, tracker=tracker)
+    for index, value in (registers or {}).items():
+        machine.regfile.poke(index, value)
+    for address, value in (memory_init or {}).items():
+        machine.memory.poke(address, value)
+    return machine.run(max_cycles)

@@ -1,0 +1,67 @@
+"""The section 2 state-machine architecture models.
+
+SISD (Figure 3), SIMD, VLIW (Figure 4), XIMD (Figure 5), and MIMD
+(Figure 6), built on a shared abstract data path, plus the emulation
+constructions that exhibit XIMD as a superset of the others.
+"""
+
+from .equivalence import (
+    duplicate_control,
+    embed_mimd_in_ximd,
+    embed_simd_in_vliw,
+    embed_sisd_in_simd,
+    embed_vliw_in_ximd,
+    equivalent_runs,
+    is_mimd_expressible,
+    is_vliw_expressible,
+)
+from .mimd import MimdMachine, MimdProgram
+from .simd import SimdMachine, SimdProgram
+from .sisd import SisdMachine, SisdProgram
+from .statemachine import (
+    DP_REGISTERS,
+    DatapathUnit,
+    HALT,
+    MicroKind,
+    MicroOp,
+    ModelRunResult,
+    NOP_OP,
+    NextKind,
+    NextSpec,
+    goto,
+    if_cc,
+)
+from .vliw_model import VliwModelMachine, VliwModelProgram
+from .ximd_model import XimdModelMachine, XimdModelProgram
+
+__all__ = [
+    "DP_REGISTERS",
+    "DatapathUnit",
+    "HALT",
+    "MicroKind",
+    "MicroOp",
+    "MimdMachine",
+    "MimdProgram",
+    "ModelRunResult",
+    "NOP_OP",
+    "NextKind",
+    "NextSpec",
+    "SimdMachine",
+    "SimdProgram",
+    "SisdMachine",
+    "SisdProgram",
+    "VliwModelMachine",
+    "VliwModelProgram",
+    "XimdModelMachine",
+    "XimdModelProgram",
+    "duplicate_control",
+    "embed_mimd_in_ximd",
+    "embed_simd_in_vliw",
+    "embed_sisd_in_simd",
+    "embed_vliw_in_ximd",
+    "equivalent_runs",
+    "goto",
+    "if_cc",
+    "is_mimd_expressible",
+    "is_vliw_expressible",
+]

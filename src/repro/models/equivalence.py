@@ -1,0 +1,142 @@
+"""The paper's emulation theorems as executable constructions.
+
+Section 2.1 establishes a functional hierarchy:
+
+* *"It is easily shown that VLIW is a functional superset of SIMD.  If
+  for a given program the functions λ1 ... λn are identical and equal to
+  the function λ of a corresponding SIMD machine, then the two machines
+  are functionally equivalent."* — :func:`embed_simd_in_vliw`.
+* *"If for a given program, the functions δ1 ... δn are identical and
+  the initial values of the state variables S1 ... Sn are identical,
+  then the XIMD machine will be the functional equivalent of a VLIW
+  machine."* — :func:`embed_vliw_in_ximd`.
+* *"By selecting functions for δ1 ... δn which disregard the state of
+  other functional units, XIMD can be a functional equivalent of this
+  MIMD model as well."* — :func:`embed_mimd_in_ximd`.
+
+Each embedding returns a program for the more general model;
+:func:`equivalent_runs` checks that two runs produced identical
+data-path trajectories.  :func:`duplicate_control` is the concrete-
+machine counterpart of :func:`embed_vliw_in_ximd`: it turns a single-
+stream :class:`~repro.machine.program.Program` into XIMD form by
+duplicating the machine-wide control fields into every parcel — exactly
+the paper's recipe for running VLIW code on an XIMD (Example 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..isa import Parcel
+from ..machine.program import Program
+from .mimd import MimdProgram
+from .simd import SimdProgram
+from .sisd import SisdProgram
+from .statemachine import ModelRunResult, NOP_OP
+from .vliw_model import VliwModelProgram
+from .ximd_model import XimdModelProgram
+
+
+def embed_sisd_in_simd(program: SisdProgram, n_units: int = 1) -> SimdProgram:
+    """An SISD machine is the one-unit special case of SIMD."""
+    if n_units != 1:
+        raise ValueError("an SISD program drives exactly one data path")
+    return SimdProgram(program.rows, n_units=1)
+
+
+def embed_simd_in_vliw(program: SimdProgram) -> VliwModelProgram:
+    """λ1 = ... = λn = λ: broadcast each SIMD micro-op to every slot."""
+    rows = tuple(
+        (tuple([op] * program.n_units), spec)
+        for op, spec in program.rows
+    )
+    return VliwModelProgram(rows)
+
+
+def embed_vliw_in_ximd(program: VliwModelProgram) -> XimdModelProgram:
+    """δ1 = ... = δn = δ, S1(0) = ... = Sn(0): duplicate the sequencer."""
+    units = tuple(
+        tuple((ops[i], spec) for ops, spec in program.rows)
+        for i in range(program.n_units)
+    )
+    return XimdModelProgram(units)
+
+
+def embed_mimd_in_ximd(program: MimdProgram) -> XimdModelProgram:
+    """MIMD programs are XIMD programs whose δi ignore other units."""
+    return XimdModelProgram(program.units)
+
+
+def is_mimd_expressible(program: XimdModelProgram) -> bool:
+    """Whether an XIMD program happens to satisfy the MIMD restriction
+    (every δi observes only its own unit)."""
+    for i, rows in enumerate(program.units):
+        for _, spec in rows:
+            if any(index != i for index in spec.observed_indices()):
+                return False
+    return True
+
+
+def is_vliw_expressible(program: XimdModelProgram) -> bool:
+    """Whether an XIMD program is VLIW-equivalent *syntactically*:
+    identical δ entries across units at every state (the paper's
+    sufficient condition, with common initial state 0)."""
+    first = program.units[0]
+    for rows in program.units[1:]:
+        if len(rows) != len(first):
+            return False
+        for (_, spec_a), (_, spec_b) in zip(first, rows):
+            if spec_a != spec_b:
+                return False
+    return True
+
+
+def equivalent_runs(a: ModelRunResult, b: ModelRunResult) -> bool:
+    """True when two runs agree cycle-for-cycle on data-path state."""
+    return (a.cycles == b.cycles
+            and a.halted == b.halted
+            and a.state_trace == b.state_trace)
+
+
+def duplicate_control(program: Program) -> Program:
+    """Concrete-machine VLIW→XIMD embedding.
+
+    For each instruction-memory address, the machine-wide control op
+    (the lowest-numbered FU's) is copied into every parcel at that
+    address, and empty slots gain an explicit nop parcel so all
+    sequencers stay in lock step — the paper's *"the control path
+    instruction fields must be duplicated in each instruction parcel,
+    so that each functional unit will execute the same control"*.
+
+    The result runs on :class:`~repro.machine.ximd.XimdMachine` with
+    cycle-for-cycle the behavior the original has on
+    :class:`~repro.machine.vliw.VliwMachine`.
+    """
+    columns = [list(col) for col in program.columns]
+    for address in range(program.length):
+        control = None
+        for fu in range(program.width):
+            parcel = columns[fu][address]
+            if parcel is not None and parcel.control is not None:
+                control = parcel.control
+                break
+        row_live = any(columns[fu][address] is not None
+                       for fu in range(program.width))
+        if not row_live:
+            continue
+        for fu in range(program.width):
+            parcel = columns[fu][address]
+            if parcel is None:
+                if control is not None:
+                    columns[fu][address] = Parcel(control=control)
+                # a live row with a halting control stays halting
+                elif row_live:
+                    columns[fu][address] = Parcel()
+            elif control is not None:
+                columns[fu][address] = parcel.with_control(control)
+            else:
+                columns[fu][address] = Parcel(parcel.data, None, parcel.sync)
+    return Program(columns, entry=program.entry,
+                   labels=dict(program.labels),
+                   register_names=dict(program.register_names),
+                   source=program.source)

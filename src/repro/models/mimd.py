@@ -1,0 +1,82 @@
+"""The MIMD model of Figure 6: λ1..λn, S1..Sn, δi seeing only s_di.
+
+The defining restriction relative to XIMD: each next-state function
+disregards the state of the *other* functional units — there is no
+cross-unit condition or synchronization visibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .statemachine import DatapathUnit, MicroOp, ModelRunResult, NextSpec
+
+
+@dataclass(frozen=True)
+class MimdProgram:
+    """``units[i][S]`` is ``(λi(S), δi entry at S)`` for unit *i*.
+
+    Validation enforces the MIMD restriction: δi may observe only its
+    own condition code.
+    """
+
+    units: Tuple[Tuple[Tuple[MicroOp, NextSpec], ...], ...]
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "units", tuple(tuple(rows) for rows in self.units))
+        for i, rows in enumerate(self.units):
+            for op, spec in rows:
+                for target in (spec.target1, spec.target2):
+                    if target >= len(rows) or target < 0:
+                        raise ValueError(
+                            f"unit {i}: δ target out of range: {target}")
+                for index in spec.observed_indices():
+                    if index != i:
+                        raise ValueError(
+                            f"unit {i}: MIMD δ may not observe DP {index}")
+
+    @property
+    def n_units(self) -> int:
+        return len(self.units)
+
+
+class MimdMachine:
+    """Executes a :class:`MimdProgram`: fully independent streams."""
+
+    def __init__(self, program: MimdProgram,
+                 registers: Optional[Sequence[Sequence[int]]] = None):
+        self.program = program
+        n = program.n_units
+        if registers is None:
+            registers = [None] * n
+        if len(registers) != n:
+            raise ValueError(f"need initial registers for {n} units")
+        self.dps: List[DatapathUnit] = [DatapathUnit(r) for r in registers]
+        self.pcs: List[Optional[int]] = [0] * n
+
+    def run(self, max_cycles: int = 10_000) -> ModelRunResult:
+        result = ModelRunResult()
+        while (any(pc is not None for pc in self.pcs)
+               and result.cycles < max_cycles):
+            result.state_trace.append(tuple(dp.state() for dp in self.dps))
+            result.control_trace.append(tuple(self.pcs))
+            cc_start = [dp.cc for dp in self.dps]  # start-of-cycle s_d
+            specs = []
+            for i, pc in enumerate(self.pcs):
+                if pc is None:
+                    specs.append(None)
+                    continue
+                op, spec = self.program.units[i][pc]
+                self.dps[i].execute(op)
+                specs.append(spec)
+            for i, spec in enumerate(specs):
+                if spec is not None:
+                    # δi was validated to observe only index i, so the
+                    # global vector is safe to pass.
+                    self.pcs[i] = spec.resolve(cc_start)
+            result.cycles += 1
+        result.halted = all(pc is None for pc in self.pcs)
+        result.state_trace.append(tuple(dp.state() for dp in self.dps))
+        return result

@@ -1,0 +1,64 @@
+"""The traditional SIMD model: one λ broadcast to n data paths.
+
+Section 2.1: *"A traditional SIMD would distribute the output of a
+single function λ to each functional unit."*  One control state, one δ;
+every data-path unit executes the same micro-op each cycle (on its own
+local registers, hence "multiple data").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .statemachine import DatapathUnit, MicroOp, ModelRunResult, NextSpec
+
+
+@dataclass(frozen=True)
+class SimdProgram:
+    """``rows[S]`` is ``(λ(S), δ-entry at S)``; λ(S) goes to every DP."""
+
+    rows: Tuple[Tuple[MicroOp, NextSpec], ...]
+    n_units: int = 4
+
+    def __post_init__(self):
+        object.__setattr__(self, "rows", tuple(self.rows))
+        for op, spec in self.rows:
+            for target in (spec.target1, spec.target2):
+                if target >= len(self.rows) or target < 0:
+                    raise ValueError(f"δ target out of range: {target}")
+            for index in spec.observed_indices():
+                if index >= self.n_units:
+                    raise ValueError(f"δ observes nonexistent DP {index}")
+
+
+class SimdMachine:
+    """Executes a :class:`SimdProgram` on *n_units* data paths."""
+
+    def __init__(self, program: SimdProgram,
+                 registers: Optional[Sequence[Sequence[int]]] = None):
+        self.program = program
+        n = program.n_units
+        if registers is None:
+            registers = [None] * n
+        if len(registers) != n:
+            raise ValueError(f"need initial registers for {n} units")
+        self.dps: List[DatapathUnit] = [
+            DatapathUnit(r) for r in registers
+        ]
+        self.pc: Optional[int] = 0
+
+    def run(self, max_cycles: int = 10_000) -> ModelRunResult:
+        result = ModelRunResult()
+        while self.pc is not None and result.cycles < max_cycles:
+            result.state_trace.append(tuple(dp.state() for dp in self.dps))
+            result.control_trace.append((self.pc,))
+            op, spec = self.program.rows[self.pc]
+            cc_start = [dp.cc for dp in self.dps]  # start-of-cycle s_d
+            for dp in self.dps:
+                dp.execute(op)
+            self.pc = spec.resolve(cc_start)
+            result.cycles += 1
+        result.halted = self.pc is None
+        result.state_trace.append(tuple(dp.state() for dp in self.dps))
+        return result

@@ -1,0 +1,58 @@
+"""The SISD model of Figure 3: one λ, one δ, one data path."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .statemachine import (
+    DatapathUnit,
+    MicroOp,
+    ModelRunResult,
+    NextSpec,
+)
+
+
+@dataclass(frozen=True)
+class SisdProgram:
+    """Control store of a microprogrammed SISD uniprocessor.
+
+    ``rows[S]`` is ``(λ(S), δ-entry at S)``: for a given value of the
+    µPC a given instruction executes on the data path, and the next
+    state depends on the control state and the data-path state.
+    """
+
+    rows: Tuple[Tuple[MicroOp, NextSpec], ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "rows", tuple(self.rows))
+        for op, spec in self.rows:
+            for target in (spec.target1, spec.target2):
+                if target >= len(self.rows) or target < 0:
+                    raise ValueError(f"δ target out of range: {target}")
+            if spec.observed_indices() not in ((), (0,)):
+                raise ValueError("SISD δ may only observe its own s_d")
+
+
+class SisdMachine:
+    """Executes an :class:`SisdProgram`."""
+
+    def __init__(self, program: SisdProgram,
+                 registers: Optional[Sequence[int]] = None):
+        self.program = program
+        self.dp = DatapathUnit(registers)
+        self.pc: Optional[int] = 0
+
+    def run(self, max_cycles: int = 10_000) -> ModelRunResult:
+        result = ModelRunResult()
+        while self.pc is not None and result.cycles < max_cycles:
+            result.state_trace.append((self.dp.state(),))
+            result.control_trace.append((self.pc,))
+            op, spec = self.program.rows[self.pc]
+            cc_start = (self.dp.cc,)  # δ reads start-of-cycle s_d
+            self.dp.execute(op)
+            self.pc = spec.resolve(cc_start)
+            result.cycles += 1
+        result.halted = self.pc is None
+        result.state_trace.append((self.dp.state(),))
+        return result

@@ -1,0 +1,172 @@
+"""The abstract processor framework behind the section 2 models.
+
+Section 2.1 models a processor as a union of control path and data path:
+the control path is a finite state machine whose output function λ
+selects data-path control words and whose next-state function δ reacts
+to data-path state (condition codes).  The architecture classes differ
+*only* in how λ and δ are replicated:
+
+================  ========================  ===========================
+architecture      output functions           next-state functions
+================  ========================  ===========================
+SISD (Fig 3)      one λ                      one δ(s_c, s_d)
+SIMD              one λ broadcast to n DPs   one δ
+VLIW (Fig 4)      λ1..λn, one state S        one δ(s_c, s_d1..s_dn)
+XIMD (Fig 5)      λ1..λn, states S1..Sn      δ1..δn, each sees all state
+MIMD (Fig 6)      λ1..λn, states S1..Sn      δi sees only s_di
+================  ========================  ===========================
+
+This module supplies the shared substrate: a tiny data-path unit
+(:class:`DatapathUnit` — a handful of registers plus a condition code),
+the micro-operation alphabet (:class:`MicroOp`), and the declarative
+next-state specification (:class:`NextSpec`).  The concrete architecture
+models live in sibling modules; :mod:`repro.models.equivalence`
+implements the paper's emulation constructions and checks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+#: registers per abstract data-path unit (small on purpose: the models
+#: exist to compare control structures, not to compute).
+DP_REGISTERS = 4
+
+
+class MicroKind(enum.Enum):
+    """The micro-operation alphabet of the abstract data path."""
+
+    NOP = "nop"
+    LDI = "ldi"      # dst <- imm
+    ADD = "add"      # dst <- r[src1] + r[src2]
+    SUB = "sub"      # dst <- r[src1] - r[src2]
+    CMP_GT = "cmpgt"  # cc <- r[src1] > r[src2]
+    CMP_EQ = "cmpeq"  # cc <- r[src1] == r[src2]
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """One data-path control word (the range of an output function λ)."""
+
+    kind: MicroKind = MicroKind.NOP
+    dst: int = 0
+    src1: int = 0
+    src2: int = 0
+    imm: int = 0
+
+    def __str__(self):
+        k = self.kind
+        if k is MicroKind.NOP:
+            return "nop"
+        if k is MicroKind.LDI:
+            return f"ldi r{self.dst},{self.imm}"
+        if k in (MicroKind.CMP_GT, MicroKind.CMP_EQ):
+            return f"{k.value} r{self.src1},r{self.src2}"
+        return f"{k.value} r{self.dst},r{self.src1},r{self.src2}"
+
+
+NOP_OP = MicroOp()
+
+
+class DatapathUnit:
+    """One functional unit's data path: registers plus a condition code."""
+
+    def __init__(self, registers: Optional[Sequence[int]] = None):
+        if registers is None:
+            self.regs: List[int] = [0] * DP_REGISTERS
+        else:
+            if len(registers) != DP_REGISTERS:
+                raise ValueError(f"need {DP_REGISTERS} registers")
+            self.regs = list(registers)
+        self.cc = False
+
+    def execute(self, op: MicroOp) -> None:
+        """Apply one micro-op; comparisons update ``cc`` (s_d)."""
+        kind = op.kind
+        if kind is MicroKind.NOP:
+            return
+        if kind is MicroKind.LDI:
+            self.regs[op.dst] = op.imm
+        elif kind is MicroKind.ADD:
+            self.regs[op.dst] = self.regs[op.src1] + self.regs[op.src2]
+        elif kind is MicroKind.SUB:
+            self.regs[op.dst] = self.regs[op.src1] - self.regs[op.src2]
+        elif kind is MicroKind.CMP_GT:
+            self.cc = self.regs[op.src1] > self.regs[op.src2]
+        elif kind is MicroKind.CMP_EQ:
+            self.cc = self.regs[op.src1] == self.regs[op.src2]
+        else:
+            raise ValueError(f"unknown micro-op kind {kind}")
+
+    def state(self) -> Tuple[Tuple[int, ...], bool]:
+        """The observable data-path state (s_d plus registers)."""
+        return tuple(self.regs), self.cc
+
+
+class NextKind(enum.Enum):
+    """Forms a next-state function δ may take at one control state."""
+
+    GOTO = "goto"      # unconditionally to target1
+    IF_CC = "if_cc"    # on DP `index`'s cc: target1 else target2
+    HALT = "halt"
+
+
+@dataclass(frozen=True)
+class NextSpec:
+    """A declarative δ entry: what the sequencer does at one state.
+
+    ``index`` names which data-path unit's condition code is examined;
+    the MIMD model restricts it to the unit's own index (δi may not see
+    other units' state), while VLIW and XIMD allow any unit's.
+    """
+
+    kind: NextKind
+    target1: int = 0
+    target2: int = 0
+    index: int = 0
+
+    def resolve(self, cc: Sequence[bool]) -> Optional[int]:
+        """The successor control state given the condition codes
+        (``None`` = halt)."""
+        if self.kind is NextKind.HALT:
+            return None
+        if self.kind is NextKind.GOTO:
+            return self.target1
+        return self.target1 if cc[self.index] else self.target2
+
+    def observed_indices(self) -> Tuple[int, ...]:
+        """Which data-path units this δ entry observes."""
+        if self.kind is NextKind.IF_CC:
+            return (self.index,)
+        return ()
+
+
+HALT = NextSpec(NextKind.HALT)
+
+
+def goto(target: int) -> NextSpec:
+    """Shorthand for an unconditional transition."""
+    return NextSpec(NextKind.GOTO, target)
+
+
+def if_cc(index: int, target1: int, target2: int) -> NextSpec:
+    """Shorthand for a conditional transition on DP *index*'s cc."""
+    return NextSpec(NextKind.IF_CC, target1, target2, index)
+
+
+class ModelRunResult:
+    """Trajectory of an abstract-model execution."""
+
+    def __init__(self):
+        #: per cycle: tuple of each DP's (registers, cc) BEFORE the cycle
+        self.state_trace: List[Tuple] = []
+        #: per cycle: tuple of control states before the cycle
+        self.control_trace: List[Tuple] = []
+        self.cycles = 0
+        self.halted = False
+
+    def final_datapath_state(self):
+        """The last recorded data-path state vector."""
+        return self.state_trace[-1] if self.state_trace else None

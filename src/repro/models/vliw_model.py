@@ -1,0 +1,72 @@
+"""The VLIW model of Figure 4: λ1..λn, one control state, one δ.
+
+*"The VLIW model control path contains a separate output mapping
+function λ1 ... λn for each functional unit in the data path.  The next
+state function δ must consider the state of each of the functional
+units."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .statemachine import DatapathUnit, MicroOp, ModelRunResult, NextSpec
+
+
+@dataclass(frozen=True)
+class VliwModelProgram:
+    """``rows[S]`` is ``((λ1(S)..λn(S)), δ-entry at S)``."""
+
+    rows: Tuple[Tuple[Tuple[MicroOp, ...], NextSpec], ...]
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "rows",
+            tuple((tuple(ops), spec) for ops, spec in self.rows))
+        if not self.rows:
+            raise ValueError("empty program")
+        n = len(self.rows[0][0])
+        for ops, spec in self.rows:
+            if len(ops) != n:
+                raise ValueError("inconsistent instruction widths")
+            for target in (spec.target1, spec.target2):
+                if target >= len(self.rows) or target < 0:
+                    raise ValueError(f"δ target out of range: {target}")
+            for index in spec.observed_indices():
+                if index >= n:
+                    raise ValueError(f"δ observes nonexistent DP {index}")
+
+    @property
+    def n_units(self) -> int:
+        return len(self.rows[0][0])
+
+
+class VliwModelMachine:
+    """Executes a :class:`VliwModelProgram`."""
+
+    def __init__(self, program: VliwModelProgram,
+                 registers: Optional[Sequence[Sequence[int]]] = None):
+        self.program = program
+        n = program.n_units
+        if registers is None:
+            registers = [None] * n
+        if len(registers) != n:
+            raise ValueError(f"need initial registers for {n} units")
+        self.dps: List[DatapathUnit] = [DatapathUnit(r) for r in registers]
+        self.pc: Optional[int] = 0
+
+    def run(self, max_cycles: int = 10_000) -> ModelRunResult:
+        result = ModelRunResult()
+        while self.pc is not None and result.cycles < max_cycles:
+            result.state_trace.append(tuple(dp.state() for dp in self.dps))
+            result.control_trace.append((self.pc,))
+            ops, spec = self.program.rows[self.pc]
+            cc_start = [dp.cc for dp in self.dps]  # start-of-cycle s_d
+            for dp, op in zip(self.dps, ops):
+                dp.execute(op)
+            self.pc = spec.resolve(cc_start)
+            result.cycles += 1
+        result.halted = self.pc is None
+        result.state_trace.append(tuple(dp.state() for dp in self.dps))
+        return result

@@ -1,0 +1,92 @@
+"""The XIMD model of Figure 5: λ1..λn, S1..Sn, δ1..δn seeing everything.
+
+*"Just as the amount of state relevant to next address generation
+increased when additional data path units were added, the number of
+inputs to the δ functions must increase to include the state of each
+section of the control path."*
+
+This abstract model keeps the section 2.1 level of detail (each δi may
+observe any unit's condition code); the concrete XIMD-1 machine in
+:mod:`repro.machine.ximd` adds the synchronization-signal abstraction of
+control-path state (``SS_i``) on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .statemachine import DatapathUnit, MicroOp, ModelRunResult, NextSpec
+
+
+@dataclass(frozen=True)
+class XimdModelProgram:
+    """``units[i][S]`` is ``(λi(S), δi entry at S)`` for unit *i*.
+
+    Unlike :class:`~repro.models.mimd.MimdProgram`, δi may observe any
+    data-path unit's condition code.
+    """
+
+    units: Tuple[Tuple[Tuple[MicroOp, NextSpec], ...], ...]
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "units", tuple(tuple(rows) for rows in self.units))
+        n = len(self.units)
+        for i, rows in enumerate(self.units):
+            for op, spec in rows:
+                for target in (spec.target1, spec.target2):
+                    if target >= len(rows) or target < 0:
+                        raise ValueError(
+                            f"unit {i}: δ target out of range: {target}")
+                for index in spec.observed_indices():
+                    if index >= n:
+                        raise ValueError(
+                            f"unit {i}: δ observes nonexistent DP {index}")
+
+    @property
+    def n_units(self) -> int:
+        return len(self.units)
+
+
+class XimdModelMachine:
+    """Executes an :class:`XimdModelProgram`.
+
+    Semantics match the concrete machine: data ops execute on
+    start-of-cycle state, condition codes commit at end of cycle, and
+    every δi reads the same global start-of-cycle condition vector.
+    """
+
+    def __init__(self, program: XimdModelProgram,
+                 registers: Optional[Sequence[Sequence[int]]] = None):
+        self.program = program
+        n = program.n_units
+        if registers is None:
+            registers = [None] * n
+        if len(registers) != n:
+            raise ValueError(f"need initial registers for {n} units")
+        self.dps: List[DatapathUnit] = [DatapathUnit(r) for r in registers]
+        self.pcs: List[Optional[int]] = [0] * n
+
+    def run(self, max_cycles: int = 10_000) -> ModelRunResult:
+        result = ModelRunResult()
+        while (any(pc is not None for pc in self.pcs)
+               and result.cycles < max_cycles):
+            result.state_trace.append(tuple(dp.state() for dp in self.dps))
+            result.control_trace.append(tuple(self.pcs))
+            cc_start = [dp.cc for dp in self.dps]
+            specs = []
+            for i, pc in enumerate(self.pcs):
+                if pc is None:
+                    specs.append(None)
+                    continue
+                op, spec = self.program.units[i][pc]
+                self.dps[i].execute(op)
+                specs.append(spec)
+            for i, spec in enumerate(specs):
+                if spec is not None:
+                    self.pcs[i] = spec.resolve(cc_start)
+            result.cycles += 1
+        result.halted = all(pc is None for pc in self.pcs)
+        result.state_trace.append(tuple(dp.state() for dp in self.dps))
+        return result

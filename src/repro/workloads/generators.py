@@ -1,0 +1,151 @@
+"""Synthetic workload generators.
+
+The paper's performance claim (section 4.1) rests on programs whose
+control flow limits a single-sequencer machine.  These generators
+produce families of such programs — and their VLIW counterparts — with
+seeded randomness so every benchmark run is reproducible:
+
+* :func:`random_dag_source` — branch-free expression DAGs (TPROC-like
+  scalar code) for testing the schedulers' compaction.
+* :func:`branchy_loop_sources` — N independent data-dependent loops
+  (BITCOUNT-like): the XIMD version runs one loop per FU group with a
+  barrier join; the VLIW version runs them back to back.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from ..isa import wrap_int
+
+_BINOPS = ("+", "-", "*", "&", "|", "^")
+
+
+def random_dag_source(n_ops: int, n_vars: int = 6, seed: int = 0,
+                      name: str = "dag") -> Tuple[str, "callable"]:
+    """A random straight-line function plus its Python oracle.
+
+    Returns (xc_source, oracle) where ``oracle(*args)`` computes the
+    function's return value for ``n_vars`` integer arguments.
+    """
+    rng = random.Random(seed)
+    params = [f"v{i}" for i in range(n_vars)]
+    lines = [f"func {name}({', '.join(params)}) {{", "  var t;"]
+    exprs: List[str] = list(params)
+    for _ in range(n_ops):
+        op = rng.choice(_BINOPS)
+        a, b = rng.choice(exprs), rng.choice(exprs)
+        exprs.append(f"({a} {op} {b})")
+    result = exprs[-1]
+    lines.append(f"  return {result};")
+    lines.append("}")
+    source = "\n".join(lines)
+
+    def oracle(*args):
+        if len(args) != n_vars:
+            raise ValueError(f"oracle takes {n_vars} args")
+        return _eval_wrapped(result, dict(zip(params, args)))
+
+    return source, oracle
+
+
+def _eval_wrapped(expr: str, env: Dict[str, int]) -> int:
+    """Evaluate an XC expression string with 32-bit wrapping."""
+    import ast
+
+    def walk(node):
+        if isinstance(node, ast.Expression):
+            return walk(node.body)
+        if isinstance(node, ast.BinOp):
+            a, b = walk(node.left), walk(node.right)
+            if isinstance(node.op, ast.Add):
+                return wrap_int(a + b)
+            if isinstance(node.op, ast.Sub):
+                return wrap_int(a - b)
+            if isinstance(node.op, ast.Mult):
+                return wrap_int(a * b)
+            if isinstance(node.op, ast.BitAnd):
+                return wrap_int((a & 0xFFFFFFFF) & (b & 0xFFFFFFFF))
+            if isinstance(node.op, ast.BitOr):
+                return wrap_int((a & 0xFFFFFFFF) | (b & 0xFFFFFFFF))
+            if isinstance(node.op, ast.BitXor):
+                return wrap_int((a & 0xFFFFFFFF) ^ (b & 0xFFFFFFFF))
+            raise ValueError(f"operator {node.op}")
+        if isinstance(node, ast.Name):
+            return env[node.id]
+        if isinstance(node, ast.Constant):
+            return node.value
+        raise ValueError(f"node {node}")
+
+    return walk(ast.parse(expr, mode="eval"))
+
+
+#: loop body templates: (xc body using A[], acc, i; python step fn)
+_LOOP_BODIES = (
+    ("acc = acc + A[i];",
+     lambda acc, v: wrap_int(acc + v)),
+    ("acc = acc + A[i] * A[i];",
+     lambda acc, v: wrap_int(acc + wrap_int(v * v))),
+    ("acc = acc ^ (A[i] + 7);",
+     lambda acc, v: wrap_int((acc & 0xFFFFFFFF)
+                             ^ (wrap_int(v + 7) & 0xFFFFFFFF))),
+    ("acc = acc + (A[i] & 255);",
+     lambda acc, v: wrap_int(acc + (v & 255))),
+)
+
+
+def branchy_loop_sources(n_threads: int, seed: int = 0,
+                         base: int = 0x2000, stride: int = 0x400,
+                         ) -> Tuple[List[str], List["callable"], List[int]]:
+    """N independent reduction loops over private arrays.
+
+    Returns (per-thread XC sources, per-thread oracles taking
+    (values, n), array base addresses).  Thread *i* reduces the array
+    at ``base + i*stride``; iteration counts are runtime inputs, so the
+    threads' durations differ — the barrier-join workload of
+    Example 3.
+    """
+    rng = random.Random(seed)
+    sources: List[str] = []
+    oracles = []
+    bases: List[int] = []
+    for index in range(n_threads):
+        body, step = _LOOP_BODIES[rng.randrange(len(_LOOP_BODIES))]
+        array_base = base + index * stride
+        bases.append(array_base)
+        sources.append(f"""
+func loop{index}(n) {{
+  var i, acc;
+  array A @ {array_base};
+  i = 1;
+  acc = 0;
+  while (i <= n) {{
+    {body}
+    i = i + 1;
+  }}
+  return acc;
+}}
+""")
+
+        def oracle(values, n, _step=step):
+            acc = 0
+            for i in range(1, n + 1):
+                acc = _step(acc, values[i])
+            return acc
+
+        oracles.append(oracle)
+    return sources, oracles, bases
+
+
+def random_words(count: int, seed: int, bits: int = 32) -> List[int]:
+    """1-indexed random word array (slot 0 unused), reproducible."""
+    rng = random.Random(seed)
+    return [0] + [rng.randrange(0, 1 << bits) for _ in range(count)]
+
+
+def random_ints(count: int, seed: int, lo: int = -1000,
+                hi: int = 1000) -> List[int]:
+    """1-indexed random signed ints (slot 0 unused), reproducible."""
+    rng = random.Random(seed)
+    return [0] + [rng.randrange(lo, hi) for _ in range(count)]

@@ -1,0 +1,288 @@
+"""Figure 12: multiple non-blocking synchronizations between two processes.
+
+Two concurrent processes run on one 8-FU XIMD: Process 1 on SSET
+{0,1,2,3} and Process 2 on SSET {4,5,6,7}.  Each process polls an input
+port until it returns a non-zero value ("reads some data from an I/O
+port until the port returns a non-zero, valid value"), hands values to
+the other process through shared registers, and writes the values it
+receives to its own output port.
+
+The availability of each variable is encoded on one synchronization
+bit, exactly as the paper's table::
+
+    a -> SS0    b -> SS1    c -> SS2      (produced by Process 1)
+    x -> SS4    y -> SS5    z -> SS6      (produced by Process 2)
+
+Each signal *"is set to DONE and held at that value whenever the
+corresponding variable is ready to be used"* — i.e. every parcel a FU
+executes after its variable is acquired carries sync DONE, so a
+consumer's one-cycle busy-wait sees readiness instantly while the
+producer continues unhindered (the non-blocking property).  A standard
+8-way barrier closes both processes.
+
+Two implementations are generated:
+
+* :func:`iosync_sync_source` — the paper's sync-bit design;
+* :func:`iosync_memory_source` — the baseline it argues against:
+  availability signaled through memory flags (producer stores a flag
+  word; consumer polls it with a load/compare/branch loop).
+
+Both share port geometry, process structure, and hand-off order, so the
+cycle-count difference isolates the synchronization mechanism (the
+paper: *"This will result in increased performance."*).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..machine.devices import DeviceMap, InputPort, OutputPort
+
+# --- memory-mapped device addresses ---------------------------------------
+IN1_ADDR = 0x10   # Process 1's input port (delivers a, b, c)
+IN2_ADDR = 0x11   # Process 2's input port (delivers x, y, z)
+OUT1_ADDR = 0x12  # Process 1's output port (receives x, y, z)
+OUT2_ADDR = 0x13  # Process 2's output port (receives a, b, c)
+
+#: memory flags used by the baseline variant (one word per variable).
+FLAG_BASE = 0x40
+FLAG = {name: FLAG_BASE + i
+        for i, name in enumerate(("a", "b", "c", "x", "y", "z"))}
+
+#: register bindings shared by both variants.
+IOSYNC_REGS = {
+    "va": 0, "vb": 1, "vc": 2,   # produced by Process 1
+    "vx": 3, "vy": 4, "vz": 5,   # produced by Process 2
+    "tf1": 6,                    # Process 1 flag-poll scratch
+    "tf2": 7,                    # Process 2 flag-poll scratch
+}
+
+_P2_ENTRY = 0x40  # instruction address where Process 2's code starts
+
+
+class _RowBuilder:
+    """Accumulates rows of 8 parcels and renders assembly text."""
+
+    def __init__(self):
+        self.rows: List[Tuple[int, List[Optional[Tuple[str, str, str]]]]] = []
+        self._next = 0
+
+    def row(self, cols: Dict[int, Tuple[str, str]], done: Sequence[int],
+            at: Optional[int] = None) -> int:
+        """Append a row.
+
+        Args:
+            cols: column -> (control, data); unmentioned columns of the
+                owning process get ``(same control, "nop")`` and columns
+                of the other process stay empty.
+            done: columns whose sync field is DONE this row.
+            at: explicit address (default: next sequential).
+        Returns the row's address.
+        """
+        address = self._next if at is None else at
+        parcels: List[Optional[Tuple[str, str, str]]] = [None] * 8
+        for col, (control, data) in cols.items():
+            sync = "done" if col in done else "busy"
+            parcels[col] = (control, data, sync)
+        self.rows.append((address, parcels))
+        self._next = address + 1
+        return address
+
+    def render(self, header: str) -> str:
+        lines = [header]
+        previous = None
+        for address, parcels in sorted(self.rows):
+            if previous is None or address != previous + 1:
+                lines.append(f".org @{address:02x}")
+            previous = address
+            lines.append("-")
+            last = max(i for i, p in enumerate(parcels) if p is not None)
+            for parcel in parcels[:last + 1]:
+                if parcel is None:
+                    lines.append("| empty")
+                else:
+                    control, data, sync = parcel
+                    lines.append(f"| {control} ; {data} ; {sync}")
+        return "\n".join(lines) + "\n"
+
+
+_HEADER = f"""\
+.width 8
+.reg va r0
+.reg vb r1
+.reg vc r2
+.reg vx r3
+.reg vy r4
+.reg vz r5
+.reg tf1 r6
+.reg tf2 r7
+.const IN1 {IN1_ADDR}
+.const IN2 {IN2_ADDR}
+.const OUT1 {OUT1_ADDR}
+.const OUT2 {OUT2_ADDR}
+.const FA {FLAG['a']}
+.const FB {FLAG['b']}
+.const FC {FLAG['c']}
+.const FX {FLAG['x']}
+.const FY {FLAG['y']}
+.const FZ {FLAG['z']}
+"""
+
+
+def _process_cols(base: int) -> Tuple[int, int, int, int]:
+    return (base, base + 1, base + 2, base + 3)
+
+
+def _emit_poll(builder: _RowBuilder, cols, poll_fu: int, port: str,
+               dest: str, done: Sequence[int]) -> None:
+    """Three-row poll loop: load port, test zero, branch back."""
+    load_at = builder._next
+    row_all = lambda ctl, special=None: {  # noqa: E731 - tiny local helper
+        col: (ctl, special[1] if special and special[0] == col else "nop")
+        for col in cols
+    }
+    builder.row(row_all("-> .", (poll_fu, f"load #{port},#0,{dest}")), done)
+    builder.row(row_all("-> .", (poll_fu, f"eq {dest},#0")), done)
+    branch = f"if cc{poll_fu} @{load_at:02x}, ."
+    builder.row(row_all(branch), done)
+
+
+def _emit_flag_wait(builder: _RowBuilder, cols, poll_fu: int, flag: str,
+                    scratch: str, done: Sequence[int]) -> None:
+    """Memory-flag wait: load flag, test zero, spin (baseline variant)."""
+    load_at = builder._next
+    row_all = lambda ctl, special=None: {  # noqa: E731
+        col: (ctl, special[1] if special and special[0] == col else "nop")
+        for col in cols
+    }
+    builder.row(row_all("-> .", (poll_fu, f"load #{flag},#0,{scratch}")), done)
+    builder.row(row_all("-> .", (poll_fu, f"eq {scratch},#0")), done)
+    builder.row(row_all(f"if cc{poll_fu} @{load_at:02x}, ."), done)
+
+
+def _emit_simple(builder: _RowBuilder, cols, control: str,
+                 special: Optional[Tuple[int, str]], done) -> int:
+    cells = {col: (control, "nop") for col in cols}
+    if special is not None:
+        col, data = special
+        cells[col] = (control, data)
+    return builder.row(cells, done)
+
+
+def _build(mode: str) -> str:
+    """Generate the program for ``mode`` in {"sync", "memory"}."""
+    if mode not in ("sync", "memory"):
+        raise ValueError(f"unknown iosync mode {mode!r}")
+    builder = _RowBuilder()
+    p1 = _process_cols(0)
+    p2 = _process_cols(4)
+
+    # --- row 0: Process 2's columns jump to their code ------------------
+    cells = {col: ("-> .", "nop") for col in p1}
+    for col in p2:
+        cells[col] = (f"-> @{_P2_ENTRY:02x}", "nop")
+    # Row 0 doubles as the first row of Process 1's poll-a loop? No —
+    # keep it a pure dispatch row so both processes' code is uniform.
+    builder.row(cells, done=())
+
+    uses_flags = mode == "memory"
+
+    # --- Process 1: acquire a, b, c; then write x, y, z -----------------
+    # done_p1 holds the P1 columns whose variable is already available
+    # (sync mode only; the memory variant keeps every sync BUSY until
+    # the closing barrier).
+    done_p1: List[int] = []
+
+    def p1_done():
+        return tuple(done_p1) if mode == "sync" else ()
+
+    for fu, (var, flag) in enumerate((("va", "FA"), ("vb", "FB"),
+                                      ("vc", "FC"))):
+        _emit_poll(builder, p1, fu, "IN1", var, p1_done())
+        done_p1.append(fu)
+        if uses_flags:
+            _emit_simple(builder, p1, "-> .",
+                         (fu, f"store #1,#{flag}"), p1_done())
+
+    for index, var in ((4, "vx"), (5, "vy"), (6, "vz")):
+        if mode == "sync":
+            spin = builder._next
+            _emit_simple(builder, p1, f"if ss{index} ., @{spin:02x}",
+                         None, p1_done())
+        else:
+            flag = {4: "FX", 5: "FY", 6: "FZ"}[index]
+            _emit_flag_wait(builder, p1, 0, flag, "tf1", p1_done())
+        _emit_simple(builder, p1, "-> .", (0, f"store {var},#OUT1"),
+                     p1_done())
+
+    barrier1 = builder._next
+    _emit_simple(builder, p1, f"if all ., @{barrier1:02x}", None,
+                 done=tuple(p1))
+    _emit_simple(builder, p1, "halt", None, done=tuple(p1))
+
+    # --- Process 2: poll x / write a, poll y / write b, poll z / write c
+    builder._next = _P2_ENTRY
+    done_p2: List[int] = []
+
+    def p2_done():
+        return tuple(done_p2) if mode == "sync" else ()
+
+    pairs = (
+        (4, "vx", "FX", 0, "va", "FA"),
+        (5, "vy", "FY", 1, "vb", "FB"),
+        (6, "vz", "FZ", 2, "vc", "FC"),
+    )
+    for fu, var, flag, wait_index, wait_var, wait_flag in pairs:
+        _emit_poll(builder, p2, fu, "IN2", var, p2_done())
+        done_p2.append(fu)
+        if uses_flags:
+            _emit_simple(builder, p2, "-> .",
+                         (fu, f"store #1,#{flag}"), p2_done())
+        if mode == "sync":
+            spin = builder._next
+            _emit_simple(builder, p2, f"if ss{wait_index} ., @{spin:02x}",
+                         None, p2_done())
+        else:
+            _emit_flag_wait(builder, p2, 4, wait_flag, "tf2", p2_done())
+        _emit_simple(builder, p2, "-> .", (4, f"store {wait_var},#OUT2"),
+                     p2_done())
+
+    barrier2 = builder._next
+    _emit_simple(builder, p2, f"if all ., @{barrier2:02x}", None,
+                 done=tuple(p2))
+    _emit_simple(builder, p2, "halt", None, done=tuple(p2))
+
+    return builder.render(_HEADER)
+
+
+def iosync_sync_source() -> str:
+    """The Figure 12 program using XIMD synchronization bits."""
+    return _build("sync")
+
+
+def iosync_memory_source() -> str:
+    """The baseline: identical structure, memory-flag synchronization."""
+    return _build("memory")
+
+
+def make_devices(p1_arrivals: Sequence[Tuple[int, int]],
+                 p2_arrivals: Sequence[Tuple[int, int]]):
+    """Build the four ports and their device map.
+
+    Args:
+        p1_arrivals: (ready_cycle, value) pairs for IN1 (a, b, c).
+        p2_arrivals: (ready_cycle, value) pairs for IN2 (x, y, z).
+
+    Returns:
+        (device_map, in1, in2, out1, out2)
+    """
+    in1 = InputPort(list(p1_arrivals))
+    in2 = InputPort(list(p2_arrivals))
+    out1 = OutputPort()
+    out2 = OutputPort()
+    devices = DeviceMap()
+    devices.map(IN1_ADDR, 1, in1)
+    devices.map(IN2_ADDR, 1, in2)
+    devices.map(OUT1_ADDR, 1, out1)
+    devices.map(OUT2_ADDR, 1, out2)
+    return devices, in1, in2, out1, out2

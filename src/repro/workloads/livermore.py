@@ -1,0 +1,141 @@
+"""Livermore loop kernels in XC, with pure-Python oracles.
+
+The paper uses Livermore Loop 12 as its vectorizable example (section
+3.1); a few sibling kernels from the Livermore Fortran Kernels suite
+are included so the speedup benches exercise more than one loop shape:
+
+* LL1  — hydro fragment (scaled stream with offset reuse)
+* LL3  — inner product (reduction)
+* LL7  — equation-of-state fragment (wide expression tree)
+* LL12 — first difference (the paper's example)
+
+Kernels use integer arithmetic (the XIMD-1 data path treats 32-bit
+ints and floats symmetrically; integer oracles are exact to compare).
+Array bases match :mod:`repro.workloads.paper_examples` conventions:
+1-indexed, element *i* of array ``A`` at ``A_base + i``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..isa import wrap_int
+
+#: array base addresses shared by the kernels.
+BASES = {"X": 0x800, "Y": 0x400, "Z": 0x1000, "U": 0x1800}
+
+
+def _arrays(text: str) -> str:
+    return "\n".join(f"  array {name} @ {base};"
+                     for name, base in BASES.items()
+                     if name in text)
+
+
+LL1_XC = f"""
+func ll1(n, q, r, t) {{
+  var k;
+  array X @ {BASES['X']};
+  array Y @ {BASES['Y']};
+  array Z @ {BASES['Z']};
+  k = 1;
+  while (k <= n) {{
+    X[k] = q + Y[k] * (r * Z[k + 10] + t * Z[k + 11]);
+    k = k + 1;
+  }}
+}}
+"""
+
+
+def ll1_reference(y: Sequence[int], z: Sequence[int], n: int,
+                  q: int, r: int, t: int) -> List[int]:
+    x = [0] * (n + 1)
+    for k in range(1, n + 1):
+        x[k] = wrap_int(q + y[k] * wrap_int(r * z[k + 10] + t * z[k + 11]))
+    return x
+
+
+LL3_XC = f"""
+func ll3(n) {{
+  var k, q;
+  array X @ {BASES['X']};
+  array Z @ {BASES['Z']};
+  k = 1;
+  q = 0;
+  while (k <= n) {{
+    q = q + Z[k] * X[k];
+    k = k + 1;
+  }}
+  return q;
+}}
+"""
+
+
+def ll3_reference(z: Sequence[int], x: Sequence[int], n: int) -> int:
+    q = 0
+    for k in range(1, n + 1):
+        q = wrap_int(q + wrap_int(z[k] * x[k]))
+    return q
+
+
+LL7_XC = f"""
+func ll7(n, r, t) {{
+  var k;
+  array X @ {BASES['X']};
+  array Y @ {BASES['Y']};
+  array Z @ {BASES['Z']};
+  array U @ {BASES['U']};
+  k = 1;
+  while (k <= n) {{
+    X[k] = U[k] + r * (Z[k] + r * Y[k])
+         + t * (U[k + 3] + r * (U[k + 2] + r * U[k + 1])
+         + t * (U[k + 6] + r * (U[k + 5] + r * U[k + 4])));
+    k = k + 1;
+  }}
+}}
+"""
+
+
+def ll7_reference(u: Sequence[int], y: Sequence[int], z: Sequence[int],
+                  n: int, r: int, t: int) -> List[int]:
+    w = wrap_int
+    x = [0] * (n + 1)
+    for k in range(1, n + 1):
+        x[k] = w(u[k] + w(r * w(z[k] + w(r * y[k])))
+                 + w(t * w(w(u[k + 3] + w(r * w(u[k + 2]
+                                              + w(r * u[k + 1]))))
+                           + w(t * w(u[k + 6]
+                                     + w(r * w(u[k + 5]
+                                               + w(r * u[k + 4]))))))))
+    return x
+
+
+LL12_XC = f"""
+func ll12(n) {{
+  var k;
+  array X @ {BASES['X']};
+  array Y @ {BASES['Y']};
+  k = 1;
+  while (k <= n) {{
+    X[k] = Y[k + 1] - Y[k];
+    k = k + 1;
+  }}
+}}
+"""
+
+#: kernel name -> (XC source, input arrays it reads, scalars it takes)
+KERNELS: Dict[str, Tuple[str, Tuple[str, ...], Tuple[str, ...]]] = {
+    "ll1": (LL1_XC, ("Y", "Z"), ("n", "q", "r", "t")),
+    "ll3": (LL3_XC, ("X", "Z"), ("n",)),
+    "ll7": (LL7_XC, ("Y", "Z", "U"), ("n", "r", "t")),
+    "ll12": (LL12_XC, ("Y",), ("n",)),
+}
+
+
+def memory_image(arrays: Dict[str, Sequence[int]]) -> Dict[int, int]:
+    """Memory init for 1-indexed arrays keyed by name."""
+    image: Dict[int, int] = {}
+    for name, values in arrays.items():
+        base = BASES[name]
+        for i in range(1, len(values)):
+            image[base + i] = values[i]
+    return image

@@ -1,0 +1,740 @@
+"""The paper's worked example programs, transcribed to assembly.
+
+* :func:`tproc_source` — Example 1, the percolation-scheduled scalar
+  procedure (VLIW-mode XIMD code, 4 FUs, 5 instructions).
+* :func:`minmax_source` — Example 2, implicit barrier synchronization
+  (equal-length fork/join paths), reproducing the Figure 10 trace.
+* :func:`bitcount1_source` — Example 3, explicit barrier
+  synchronization with four concurrent inner loops.
+* :func:`livermore12_source` — Livermore Loop 12, software pipelined
+  (section 3.1, "Software Pipelining can be used effectively to
+  schedule multiple iterations of this loop in parallel").
+* ``*_vliw_source`` — single-instruction-stream versions of the same
+  workloads for the ``vsim`` comparison (section 4.1).
+
+Transcription notes (documented deviations from the scanned listing):
+
+1. BITCOUNT1's outer-loop continuation test is printed as ``lt t,4`` in
+   the scan, but the entry guard at address 00: is ``le n,#8``: entering
+   the 4-wide block requires at least 8 remaining elements (the next
+   block's last element is ``k+7``).  For consistency — and to avoid
+   reading past the end of ``D[]`` — the loop test is transcribed as
+   ``lt t,#8``.  The cleanup code at 30:, which the paper omits
+   ("Clean Up Code for less than 8 iterations remaining"), is supplied
+   as a straightforward sequential loop.
+2. The listing resets the running count ``b`` at each block boundary
+   (``iadd #0,#0,b`` at 15:), making ``B[k]`` block-cumulative; the
+   prose says "cumulative number of ones".  Both are provided:
+   :func:`bitcount1_source` is the faithful transcription and
+   :func:`bitcount_total_source` the running-total variant.
+3. MINMAX's final address 0a: is not listed in the paper; the Figure 10
+   trace shows all FUs executing it at cycle 13, so it must hold real
+   parcels.  ``epilogue="loop"`` places an idle self-loop there (for
+   exact trace reproduction), ``epilogue="halt"`` a halt row (for
+   terminating correctness runs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+# ---------------------------------------------------------------------------
+# memory layout shared by the examples
+
+#: address of IZ(1): element IZ(k) lives at IZ_BASE + k - 1 (Example 2's
+#: ``z`` constant; the first load is ``load #z,#0`` and the k-th is
+#: ``load #z,k`` with k counting from 1).
+IZ_BASE = 0x100
+#: address of D[0]: element D[k] lives at D_BASE + k (Example 3).
+D_BASE = 0x200
+#: address of B[0] (Example 3 output array).
+B_BASE = 0x300
+#: address of Y[0] for Livermore loop 12 (1-indexed).
+Y_BASE = 0x400
+#: address of X[0] for Livermore loop 12 (1-indexed).
+X_BASE = 0x800
+#: harmless scratch word for software-pipelined prologue stores.
+SCRATCH = 0xFFF
+
+
+def minmax_memory(iz) -> Dict[int, int]:
+    """Memory image for MINMAX: ``IZ(k)`` at ``IZ_BASE + k - 1``."""
+    return {IZ_BASE + i: value for i, value in enumerate(iz)}
+
+
+def bitcount_memory(d) -> Dict[int, int]:
+    """Memory image for BITCOUNT1.
+
+    *d* is the 1-indexed conceptual array: ``d[0]`` is ignored and
+    ``d[k]`` lands at ``D_BASE + k`` (the program's ``load #D0,k``).
+    """
+    return {D_BASE + k: d[k] for k in range(1, len(d))}
+
+
+def livermore12_memory(y) -> Dict[int, int]:
+    """Memory image for Livermore 12: ``Y[i]`` at ``Y_BASE + i``.
+
+    *y* is 1-indexed conceptually (``y[0]`` ignored).
+    """
+    return {Y_BASE + i: y[i] for i in range(1, len(y))}
+
+
+# ---------------------------------------------------------------------------
+# Example 1: TPROC
+
+#: register bindings used by the TPROC program.
+TPROC_REGS = {"a": 0, "b": 1, "c": 2, "d": 3, "e": 4, "f": 5, "g": 6}
+
+
+def tproc_source() -> str:
+    """Example 1's schedule, verbatim (result is left in ``f``)."""
+    return """\
+.width 4
+.reg a r0
+.reg b r1
+.reg c r2
+.reg d r3
+.reg e r4
+.reg f r5
+.reg g r6
+// 00:
+=> -> .
+| iadd a,b,e
+| imult c,a,f
+| iadd c,b,g
+| nop
+// 01:
+=> -> .
+| iadd f,e,f
+| isub a,g,g
+| iadd e,c,a
+| isub d,e,e
+// 02:
+=> -> .
+| iadd a,d,a
+| iadd f,g,g
+| nop
+| nop
+// 03:
+=> -> .
+| iadd a,e,a
+| nop
+| nop
+| nop
+// 04:
+=> -> .
+| iadd a,g,f
+| nop
+| nop
+| nop
+// 05:
+=> halt
+| nop
+| nop
+| nop
+| nop
+"""
+
+
+# ---------------------------------------------------------------------------
+# Example 2: MINMAX
+
+#: register bindings used by both MINMAX programs.
+MINMAX_REGS = {"k": 0, "n": 1, "tn": 2, "tz": 3, "min": 4, "max": 5}
+
+_MINMAX_HEADER = f"""\
+.width 4
+.reg k r0
+.reg n r1
+.reg tn r2
+.reg tz r3
+.reg min r4
+.reg max r5
+.const z {IZ_BASE}
+"""
+
+_MINMAX_BODY = """\
+// 00:
+-
+| -> . ; load #z,#0,tz
+| -> . ; iadd #1,#0,k
+| -> . ; lt n,#2
+| -> . ; iadd n,#0,tn
+// 01:
+-
+| if cc2 @08, @02 ; lt tz,#maxint
+| if cc2 @08, @02 ; gt tz,#minint
+| if cc2 @08, @02 ; nop
+| if cc2 @08, @02 ; isub tn,#1,tn
+// 02:
+-
+| -> @03 ; nop
+| -> @03 ; nop
+| if cc0 @04, @03 ; eq k,tn
+| if cc1 @04, @03 ; nop
+// 03:
+-
+| -> @05 ; load #z,k,tz
+| -> @05 ; iadd #1,k,k
+| -> @05 ; nop
+| -> @05 ; nop
+// 04:
+-
+| empty
+| empty
+| -> @05 ; iadd tz,#0,min
+| -> @05 ; iadd tz,#0,max
+// 05:
+-
+| if cc2 @08, @02 ; lt tz,min
+| if cc2 @08, @02 ; gt tz,max
+| if cc2 @08, @02 ; nop
+| if cc2 @08, @02 ; nop
+// 08:
+.org @08
+-
+| -> @0a ; nop
+| -> @0a ; nop
+| if cc0 @09, @0a ; nop
+| if cc1 @09, @0a ; nop
+// 09:
+-
+| empty
+| empty
+| -> @0a ; iadd tz,#0,min
+| -> @0a ; iadd tz,#0,max
+// 0a:
+"""
+
+_MINMAX_LOOP_END = """\
+-
+| -> @0a ; nop
+| -> @0a ; nop
+| -> @0a ; nop
+| -> @0a ; nop
+"""
+
+_MINMAX_HALT_END = """\
+=> halt
+| nop
+| nop
+| nop
+| nop
+"""
+
+
+def minmax_source(epilogue: str = "halt") -> str:
+    """Example 2's XIMD MINMAX program.
+
+    Args:
+        epilogue: ``"halt"`` ends the program at 0a: (the machine
+            stops); ``"loop"`` idles at 0a: forever, matching the
+            Figure 10 trace which shows cycle 13 executing address 0a:.
+    """
+    if epilogue == "halt":
+        tail = _MINMAX_HALT_END
+    elif epilogue == "loop":
+        tail = _MINMAX_LOOP_END
+    else:
+        raise ValueError(f"unknown epilogue {epilogue!r}")
+    return _MINMAX_HEADER + _MINMAX_BODY + tail
+
+
+def minmax_vliw_source() -> str:
+    """A single-instruction-stream MINMAX for the VLIW machine.
+
+    The data path work is identical; the two independent conditional
+    updates must be serialized through the single branch unit, which is
+    exactly the control-flow bottleneck of section 1.3.
+    """
+    return _MINMAX_HEADER + """\
+// 00:
+-
+| -> . ; load #z,#0,tz
+| -> . ; iadd #1,#0,k
+| -> . ; lt n,#2
+| -> . ; iadd n,#0,tn
+// 01:
+-
+| if cc2 @0b, @02 ; lt tz,#maxint
+| if cc2 @0b, @02 ; gt tz,#minint
+| if cc2 @0b, @02 ; nop
+| if cc2 @0b, @02 ; isub tn,#1,tn
+// 02:  loop: test for last element
+-
+| -> @03 ; nop
+| -> @03 ; nop
+| -> @03 ; eq k,tn
+| -> @03 ; nop
+// 03:  min update?
+=> if cc0 @04, @05
+| nop
+| nop
+| nop
+| nop
+// 04:
+-
+| -> @05 ; nop
+| -> @05 ; nop
+| -> @05 ; iadd tz,#0,min
+| -> @05 ; nop
+// 05:  max update?
+=> if cc1 @06, @07
+| nop
+| nop
+| nop
+| nop
+// 06:
+-
+| -> @07 ; nop
+| -> @07 ; nop
+| -> @07 ; nop
+| -> @07 ; iadd tz,#0,max
+// 07:  advance
+-
+| -> @08 ; load #z,k,tz
+| -> @08 ; iadd #1,k,k
+| -> @08 ; nop
+| -> @08 ; nop
+// 08:  compare and loop
+-
+| if cc2 @0b, @02 ; lt tz,min
+| if cc2 @0b, @02 ; gt tz,max
+| if cc2 @0b, @02 ; nop
+| if cc2 @0b, @02 ; nop
+// 0b:  epilogue: final element's updates
+.org @0b
+=> if cc0 @0c, @0d
+| nop
+| nop
+| nop
+| nop
+-
+| -> @0d ; nop
+| -> @0d ; nop
+| -> @0d ; iadd tz,#0,min
+| -> @0d ; nop
+-
+=> if cc1 @0e, @0f
+| nop
+| nop
+| nop
+| nop
+-
+| -> @0f ; nop
+| -> @0f ; nop
+| -> @0f ; nop
+| -> @0f ; iadd tz,#0,max
+-
+=> halt
+| nop
+| nop
+| nop
+| nop
+"""
+
+
+#: Figure 10's expected trace for IZ() = (5, 3, 4, 7): per cycle, the
+#: four PCs, the condition codes at the start of the cycle, and the
+#: partition.  Transcribed from the paper (the cycle-11 CC column is
+#: printed "FITX" in the scan, an artifact for "FTTX").
+FIGURE10_EXPECTED: List[Tuple[Tuple[int, int, int, int], str, str]] = [
+    ((0x00, 0x00, 0x00, 0x00), "XXXX", "{0,1,2,3}"),
+    ((0x01, 0x01, 0x01, 0x01), "XXFX", "{0,1,2,3}"),
+    ((0x02, 0x02, 0x02, 0x02), "TTFX", "{0,1,2,3}"),
+    ((0x03, 0x03, 0x04, 0x04), "TTFX", "{0,1}{2}{3}"),
+    ((0x05, 0x05, 0x05, 0x05), "TTFX", "{0,1,2,3}"),
+    ((0x02, 0x02, 0x02, 0x02), "TFFX", "{0,1,2,3}"),
+    ((0x03, 0x03, 0x04, 0x03), "TFFX", "{0,1}{2}{3}"),
+    ((0x05, 0x05, 0x05, 0x05), "TFFX", "{0,1,2,3}"),
+    ((0x02, 0x02, 0x02, 0x02), "FFFX", "{0,1,2,3}"),
+    ((0x03, 0x03, 0x03, 0x03), "FFTX", "{0,1}{2}{3}"),
+    ((0x05, 0x05, 0x05, 0x05), "FFTX", "{0,1,2,3}"),
+    ((0x08, 0x08, 0x08, 0x08), "FTTX", "{0,1,2,3}"),
+    ((0x0A, 0x0A, 0x0A, 0x09), "FTTX", "{0,1}{2}{3}"),
+    ((0x0A, 0x0A, 0x0A, 0x0A), "FTTX", "{0,1,2,3}"),
+]
+
+#: The Figure 10 sample data set.
+FIGURE10_DATA = (5, 3, 4, 7)
+
+
+# ---------------------------------------------------------------------------
+# Example 3: BITCOUNT1
+
+#: register bindings used by the BITCOUNT programs.
+BITCOUNT_REGS = {
+    "k": 0, "n": 1, "a": 2, "b": 3, "t": 4,
+    "b0": 5, "b1": 6, "b2": 7, "b3": 8,
+    "d0": 9, "d1": 10, "d2": 11, "d3": 12,
+    "t0": 13, "t1": 14, "t2": 15, "t3": 16,
+}
+
+_BITCOUNT_HEADER = f"""\
+.width 4
+.reg k r0
+.reg n r1
+.reg a r2
+.reg b r3
+.reg t r4
+.reg b0 r5
+.reg b1 r6
+.reg b2 r7
+.reg b3 r8
+.reg d0 r9
+.reg d1 r10
+.reg d2 r11
+.reg d3 r12
+.reg t0 r13
+.reg t1 r14
+.reg t2 r15
+.reg t3 r16
+.const D0 {D_BASE}
+.const D1 {D_BASE + 1}
+.const D2 {D_BASE + 2}
+.const D3 {D_BASE + 3}
+.const B0 {B_BASE}
+.const B1 {B_BASE + 1}
+.const B2 {B_BASE + 2}
+.const B3 {B_BASE + 3}
+"""
+
+_BITCOUNT_CLEANUP = """\
+// 30:  cleanup: sequential handling of the final < 8 elements
+.org @30
+=> -> .
+| gt k,n ; done
+| nop ; done
+| nop ; done
+| nop ; done
+-
+=> if cc0 @3e, @32
+| nop ; done
+| nop ; done
+| nop ; done
+| nop ; done
+-
+=> -> .
+| load #D0,k,d0 ; done
+| nop ; done
+| nop ; done
+| nop ; done
+-
+=> -> .
+| iadd #0,#0,b0 ; done
+| nop ; done
+| nop ; done
+| nop ; done
+// 34:  inner bit loop
+-
+=> -> .
+| eq d0,#0 ; done
+| nop ; done
+| nop ; done
+| nop ; done
+-
+=> if cc0 @3a, @36
+| nop ; done
+| nop ; done
+| nop ; done
+| nop ; done
+-
+=> -> .
+| and d0,#1,t0 ; done
+| nop ; done
+| nop ; done
+| nop ; done
+-
+=> -> .
+| iadd b0,t0,b0 ; done
+| nop ; done
+| nop ; done
+| nop ; done
+-
+=> -> @34
+| shr d0,#1,d0 ; done
+| nop ; done
+| nop ; done
+| nop ; done
+// 3a:  element done: accumulate and store
+.org @3a
+=> -> .
+| iadd b,b0,b ; done
+| nop ; done
+| nop ; done
+| nop ; done
+-
+=> -> .
+| iadd k,#B0,a ; done
+| nop ; done
+| nop ; done
+| nop ; done
+-
+=> -> .
+| store b,a ; done
+| nop ; done
+| nop ; done
+| nop ; done
+-
+=> -> @30
+| iadd k,#1,k ; done
+| nop ; done
+| nop ; done
+| nop ; done
+// 3e:  end
+.org @3e
+=> halt
+| nop ; done
+| nop ; done
+| nop ; done
+| nop ; done
+"""
+
+
+def _bitcount_main(reset_blocks: bool) -> str:
+    """Addresses 00-15 of Example 3 (the 4-wide main loop)."""
+    reset_op = "iadd #0,#0,b" if reset_blocks else "nop"
+    return f"""\
+// 00:
+=> -> .
+| le n,#8 ; done
+| iadd #1,#0,k ; done
+| iadd #0,#0,b ; done
+| store #0,#B0 ; done
+// 01:
+=> if cc0 @30, @02
+| nop ; done
+| nop ; done
+| nop ; done
+| nop ; done
+// 02:  start a block of four outer iterations
+=> -> .
+| iadd #0,#0,b0
+| iadd #0,#0,b1
+| iadd #0,#0,b2
+| iadd #0,#0,b3
+// 03:
+=> -> .
+| load #D0,k,d0
+| load #D1,k,d1
+| load #D2,k,d2
+| load #D3,k,d3
+// 04:  inner loop head (four independent copies)
+=> -> .
+| eq d0,#0
+| eq d1,#0
+| eq d2,#0
+| eq d3,#0
+// 05:
+-
+| if cc0 @10, @06 ; and d0,#1,t0
+| if cc1 @10, @06 ; and d1,#1,t1
+| if cc2 @10, @06 ; and d2,#1,t2
+| if cc3 @10, @06 ; and d3,#1,t3
+// 06:
+=> -> .
+| eq #0,t0
+| eq #0,t1
+| eq #0,t2
+| eq #0,t3
+// 07:
+-
+| if cc0 @04, @08 ; shr d0,#1,d0
+| if cc1 @04, @08 ; shr d1,#1,d1
+| if cc2 @04, @08 ; shr d2,#1,d2
+| if cc3 @04, @08 ; shr d3,#1,d3
+// 08:
+=> -> @04
+| iadd b0,#1,b0
+| iadd b1,#1,b1
+| iadd b2,#1,b2
+| iadd b3,#1,b3
+// 10:  4-way barrier
+.org @10
+=> if all @11, @10
+| nop ; done
+| nop ; done
+| nop ; done
+| nop ; done
+// 11:  software-pipelined stores of the four B[] values
+=> -> .
+| iadd b,b0,b ; done
+| nop ; done
+| iadd k,#B0,a ; done
+| nop ; done
+// 12:
+=> -> .
+| iadd b,b1,b ; done
+| store b,a ; done
+| iadd k,#B1,a ; done
+| nop ; done
+// 13:
+=> -> .
+| iadd b,b2,b ; done
+| store b,a ; done
+| iadd k,#B2,a ; done
+| isub n,k,t ; done
+// 14:
+=> -> .
+| iadd b,b3,b ; done
+| store b,a ; done
+| iadd k,#B3,a ; done
+| lt t,#8 ; done
+// 15:
+=> if cc3 @30, @02
+| iadd k,#4,k ; done
+| store b,a ; done
+| {reset_op} ; done
+| nop ; done
+"""
+
+
+def bitcount1_source() -> str:
+    """Example 3, faithful transcription (block-cumulative ``B[]``)."""
+    return _BITCOUNT_HEADER + _bitcount_main(True) + _BITCOUNT_CLEANUP
+
+
+def bitcount_total_source() -> str:
+    """The running-total variant (``B[k]`` = ones in ``D[1..k]``)."""
+    return _BITCOUNT_HEADER + _bitcount_main(False) + _BITCOUNT_CLEANUP
+
+
+def bitcount_vliw_source() -> str:
+    """Single-stream BITCOUNT for the VLIW machine.
+
+    One element at a time: the per-element inner loops cannot overlap
+    because the machine has a single branch unit, which is the effect
+    Example 3 is designed to exhibit.  Produces the running-total
+    ``B[]`` (compare with :func:`bitcount_total_source`).
+    """
+    return _BITCOUNT_HEADER + """\
+// 00:
+=> -> .
+| iadd #1,#0,k
+| iadd #0,#0,b
+| store #0,#B0
+| nop
+// 01:  per-element loop head
+=> -> .
+| gt k,n
+| nop
+| nop
+| nop
+// 02:
+=> if cc0 @0b, @03
+| nop
+| nop
+| nop
+| nop
+// 03:
+=> -> .
+| load #D0,k,d0
+| iadd #0,#0,b0
+| nop
+| nop
+// 04:  inner bit loop
+=> -> .
+| eq d0,#0
+| nop
+| nop
+| nop
+// 05:
+=> if cc0 @09, @06
+| and d0,#1,t0
+| nop
+| nop
+| nop
+// 06:
+=> -> @04
+| iadd b0,t0,b0
+| shr d0,#1,d0
+| nop
+| nop
+// 09:  element done
+.org @09
+=> -> .
+| iadd b,b0,b
+| iadd k,#B0,a
+| nop
+| nop
+// 0a:
+=> -> @01
+| store b,a
+| iadd k,#1,k
+| nop
+| nop
+// 0b:
+.org @0b
+=> halt
+| nop
+| nop
+| nop
+| nop
+"""
+
+
+# ---------------------------------------------------------------------------
+# Livermore Loop 12 (software pipelined, II = 2)
+
+#: register bindings used by the Livermore 12 program.
+LL12_REGS = {"k": 0, "n": 1, "tc": 2, "tp": 3, "xv": 4, "xa": 5}
+
+
+def livermore12_source() -> str:
+    """``X(k) = Y(k+1) - Y(k)``, modulo-scheduled at II = 2 on 4 FUs.
+
+    VLIW-mode code (control fields duplicated): one loop iteration is
+    in flight across two pipeline stages; the store of iteration *k*
+    issues in the same row as the load of iteration *k+1*.  Runs
+    identically on the XIMD and VLIW machines (the paper's point: fully
+    synchronous code keeps all of VLIW's efficiency on an XIMD).
+    """
+    return f"""\
+.width 4
+.reg k r0
+.reg n r1
+.reg tc r2
+.reg tp r3
+.reg xv r4
+.reg xa r5
+.const Y0 {Y_BASE}
+.const Y1 {Y_BASE + 1}
+.const X0 {X_BASE}
+.const scratch {SCRATCH}
+// 00:  prologue
+=> -> .
+| iadd #1,#0,k
+| load #Y0,#1,tp
+| nop
+| nop
+// 01:
+=> -> .
+| iadd #scratch,#0,xa
+| iadd #0,#0,xv
+| nop
+| nop
+// 02:  kernel row A: load Y[k+1], store previous X, exit test
+=> -> .
+| load #Y1,k,tc
+| store xv,xa
+| eq k,n
+| nop
+// 03:  kernel row B: compute X[k], rotate, advance
+=> if cc2 @04, @02
+| isub tc,tp,xv
+| iadd tc,#0,tp
+| iadd #X0,k,xa
+| iadd k,#1,k
+// 04:  epilogue: store the final element
+=> -> .
+| store xv,xa
+| nop
+| nop
+| nop
+// 05:
+=> halt
+| nop
+| nop
+| nop
+| nop
+"""

@@ -1,0 +1,140 @@
+"""Tests for the analytical models and metrics (sections 4.3-4.4)."""
+
+import pytest
+
+from repro.analysis import (
+    MachineRequirement,
+    PartitionStats,
+    PrototypeModel,
+    RegisterFileChip,
+    chip_table,
+    chips_in_parallel_for_reads,
+    compare_runs,
+    minimum_chips,
+    render_kv,
+    render_table,
+    speedup,
+    total_transistors,
+)
+
+
+class TestPrototypeModel:
+    def test_cycle_time_is_85ns(self):
+        assert PrototypeModel().cycle_time_ns == pytest.approx(85.0)
+
+    def test_peak_exceeds_90_mips(self):
+        model = PrototypeModel()
+        assert model.peak_mips() > 90.0
+        assert model.peak_mflops() == model.peak_mips()
+
+    def test_limited_by_control_path(self):
+        # the non-pipelined control path is the critical structure
+        assert PrototypeModel().limiting_path == "control"
+
+    def test_scaling_with_fus(self):
+        assert PrototypeModel(n_fus=4).peak_mips() == \
+            pytest.approx(PrototypeModel(n_fus=8).peak_mips() / 2)
+
+    def test_sustained_throughput(self):
+        model = PrototypeModel()
+        assert model.sustained_mips(0.5) == \
+            pytest.approx(model.peak_mips() / 2)
+        with pytest.raises(ValueError):
+            model.sustained_mips(1.5)
+
+    def test_custom_delays_change_critical_path(self):
+        delays = dict(PrototypeModel().delays_ns)
+        delays["alu"] = 200.0
+        model = PrototypeModel(delays_ns=delays)
+        assert model.limiting_path == "execute"
+        assert model.cycle_time_ns == 200.0
+
+    def test_describe(self):
+        text = PrototypeModel().describe()
+        assert "85 ns" in text and "MIPS" in text
+
+
+class TestRegisterFileChip:
+    def test_paper_minimum_is_32_chips(self):
+        assert minimum_chips() == 32
+
+    def test_two_chips_in_parallel_for_16_reads(self):
+        assert chips_in_parallel_for_reads(MachineRequirement()) == 2
+
+    def test_port_arithmetic(self):
+        req = MachineRequirement(n_fus=8)
+        assert req.read_ports == 16 and req.write_ports == 8
+
+    def test_four_fus_need_half_the_read_banking(self):
+        assert chips_in_parallel_for_reads(
+            MachineRequirement(n_fus=4)) == 1
+        assert minimum_chips(MachineRequirement(n_fus=4)) == 16
+
+    def test_write_ports_are_the_scaling_wall(self):
+        with pytest.raises(ValueError):
+            minimum_chips(MachineRequirement(n_fus=16))
+
+    def test_transistor_budget(self):
+        assert total_transistors() == 32 * 70_000
+
+    def test_table_renders(self):
+        table = chip_table()
+        assert "32" in table and "FUs" in table
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(100, 50) == 2.0
+        with pytest.raises(ValueError):
+            speedup(10, 0)
+
+    def test_partition_stats(self):
+        from repro.machine.trace import AddressTrace, TraceRecord
+        trace = AddressTrace(4)
+        partitions = [((0, 1, 2, 3),),
+                      ((0, 1), (2,), (3,)),
+                      ((0, 1), (2,), (3,)),
+                      ((0, 1, 2, 3),)]
+        for cycle, partition in enumerate(partitions):
+            trace.append(TraceRecord(cycle, (0, 0, 0, 0), "XXXX",
+                                     "BBBB", partition))
+        stats = PartitionStats.from_trace(trace)
+        assert stats.cycles == 4
+        assert stats.max_streams == 3
+        assert stats.stream_histogram == {1: 2, 3: 2}
+        assert stats.mean_streams == pytest.approx(2.0)
+        assert stats.multi_stream_fraction == pytest.approx(0.5)
+        assert "streams" in stats.describe()
+
+    def test_compare_runs(self):
+        from repro.asm import assemble
+        from repro.machine import run_ximd, run_vliw
+        source = """
+.width 2
+=> -> .
+| iadd #1,#2,r0
+| iadd #3,#4,r1
+=> halt
+| nop
+| nop
+"""
+        rx = run_ximd(assemble(source))
+        rv = run_vliw(assemble(source))
+        row = compare_runs(rx, rv, 2)
+        assert row["speedup"] == pytest.approx(1.0)
+
+
+class TestReport:
+    def test_table_alignment(self):
+        table = render_table(["name", "cycles"],
+                             [["minmax", 14], ["bitcount", 634]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "minmax" in table and "634" in table
+
+    def test_float_formatting(self):
+        assert "2.50" in render_table(["x"], [[2.5]])
+
+    def test_kv(self):
+        text = render_kv("prototype", [("cycle", 85), ("mips", 94.1)])
+        assert "cycle" in text and "94.1" in text

@@ -1,0 +1,290 @@
+"""Tests for the assembler: lexer, parser, symbol resolution, layout."""
+
+import pytest
+
+from repro.asm import (
+    AsmLayoutError,
+    AsmSymbolError,
+    AsmSyntaxError,
+    TokenKind,
+    assemble,
+    disassemble,
+    format_listing,
+    register_index,
+    tokenize,
+)
+from repro.isa import Condition, Const, Reg, SyncValue
+
+
+class TestLexer:
+    def test_register(self):
+        tokens = tokenize("r17")
+        assert tokens[0].kind is TokenKind.REGISTER
+        assert tokens[0].value == 17
+
+    def test_numeric_constants(self):
+        assert tokenize("#42")[0].value == 42
+        assert tokenize("#-3")[0].value == -3
+        assert tokenize("#0x1f")[0].value == 31
+        assert tokenize("#1.5")[0].value == 1.5
+
+    def test_symbolic_constant(self):
+        token = tokenize("#maxint")[0]
+        assert token.kind is TokenKind.CONST_SYM
+        assert token.value == "maxint"
+
+    def test_address(self):
+        token = tokenize("@0a")[0]
+        assert token.kind is TokenKind.ADDRESS
+        assert token.value == 10
+
+    def test_arrow_and_dot(self):
+        kinds = [t.kind for t in tokenize("-> .")]
+        assert kinds[:2] == [TokenKind.ARROW, TokenKind.DOT]
+
+    def test_bad_character(self):
+        with pytest.raises(AsmSyntaxError):
+            tokenize("iadd a!b")
+
+    def test_malformed_constant(self):
+        with pytest.raises(AsmSyntaxError):
+            tokenize("# ")
+
+
+class TestAssembleBasics:
+    def test_minimal_program(self):
+        program = assemble(".width 1\n-\n| halt ; iadd #1,#2,r0\n")
+        assert program.width == 1
+        assert program.length == 1
+        parcel = program.fetch(0, 0)
+        assert parcel.control is None
+        assert parcel.data.dest == Reg(0)
+
+    def test_row_control_duplicated(self):
+        program = assemble("""
+.width 2
+=> -> @00
+| nop
+| nop
+""")
+        assert program.fetch(0, 0).control == program.fetch(1, 0).control
+
+    def test_sync_field(self):
+        program = assemble(
+            ".width 1\n-\n| halt ; nop ; done\n")
+        assert program.fetch(0, 0).sync is SyncValue.DONE
+
+    def test_labels_resolve(self):
+        program = assemble("""
+.width 1
+start:
+| -> end ; nop
+end:
+| halt ; nop
+""")
+        assert program.address_of("start") == 0
+        assert program.fetch(0, 0).control.target1 == 1
+
+    def test_dot_means_next_address(self):
+        program = assemble(".width 1\n-\n| -> . ; nop\n-\n| halt ; nop\n")
+        assert program.fetch(0, 0).control.target1 == 1
+
+    def test_org_places_rows(self):
+        program = assemble("""
+.width 1
+-
+| -> @10 ; nop
+.org @10
+-
+| halt ; nop
+""")
+        assert program.length == 17
+        assert program.fetch(0, 0x10) is not None
+        assert program.fetch(0, 5) is None
+
+    def test_entry_directive(self):
+        program = assemble("""
+.width 1
+.entry main
+-
+| halt ; nop
+main:
+| halt ; nop
+""")
+        assert program.entry == 1
+
+    def test_builtin_constants(self):
+        from repro.isa import MAXINT, MININT
+        program = assemble(
+            ".width 1\n-\n| halt ; iadd #maxint,#minint,r0\n")
+        op = program.fetch(0, 0).data
+        assert op.srca == Const(MAXINT)
+        assert op.srcb == Const(MININT)
+
+    def test_const_directive(self):
+        program = assemble(
+            ".width 1\n.const z 100\n-\n| halt ; iadd #z,#0,r0\n")
+        assert program.fetch(0, 0).data.srca == Const(100)
+
+    def test_conditions(self):
+        program = assemble("""
+.width 2
+-
+| if cc1 @00, @01 ; nop
+| if all(0,1) @00, @01 ; nop ; done
+-
+| if ss0 @00, @01 ; nop
+| if any @00, @01 ; nop
+""")
+        assert program.fetch(0, 0).control.condition is Condition.CC_TRUE
+        assert program.fetch(0, 0).control.index == 1
+        assert program.fetch(1, 0).control.mask == (0, 1)
+        assert program.fetch(0, 1).control.condition is Condition.SS_DONE
+        assert program.fetch(1, 1).control.condition is \
+            Condition.ANY_SS_DONE
+
+
+class TestSymbolicRegisters:
+    def test_explicit_binding(self):
+        program = assemble("""
+.width 1
+.reg counter r9
+-
+| halt ; iadd counter,#1,counter
+""")
+        op = program.fetch(0, 0).data
+        assert op.srca == Reg(9) and op.dest == Reg(9)
+        assert register_index(program, "counter") == 9
+
+    def test_auto_allocation_skips_bound(self):
+        program = assemble("""
+.width 1
+.reg x r0
+-
+| halt ; iadd x,temp,temp
+""")
+        assert register_index(program, "temp") == 1
+
+    def test_auto_allocation_deterministic(self):
+        source = ".width 1\n-\n| halt ; iadd a,b,c\n"
+        one = assemble(source)
+        two = assemble(source)
+        assert one.register_names == two.register_names
+
+    def test_unknown_symbol_lookup(self):
+        program = assemble(".width 1\n-\n| halt ; nop\n")
+        with pytest.raises(AsmSymbolError):
+            register_index(program, "ghost")
+
+
+class TestErrors:
+    def test_too_many_parcels(self):
+        with pytest.raises(AsmLayoutError):
+            assemble(".width 1\n-\n| halt ; nop\n| halt ; nop\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AsmSymbolError):
+            assemble(".width 1\nx:\n| halt ; nop\nx:\n| halt ; nop\n")
+
+    def test_undefined_label(self):
+        with pytest.raises(AsmSymbolError):
+            assemble(".width 1\n-\n| -> ghost ; nop\n")
+
+    def test_address_collision(self):
+        with pytest.raises(AsmLayoutError):
+            assemble(""".width 1
+-
+| halt ; nop
+.org @00
+-
+| halt ; nop
+""")
+
+    def test_condition_fu_out_of_width(self):
+        with pytest.raises(AsmLayoutError):
+            assemble(".width 1\n-\n| if cc3 @00, @00 ; nop\n")
+
+    def test_wrong_arity(self):
+        with pytest.raises(AsmSyntaxError):
+            assemble(".width 1\n-\n| halt ; iadd #1,r0\n")
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AsmSyntaxError):
+            assemble(".width 1\n-\n| halt ; frob #1,#2,r0\n")
+
+    def test_store_with_dest_rejected(self):
+        with pytest.raises(AsmSyntaxError):
+            assemble(".width 1\n-\n| halt ; store #1,#2,r0\n")
+
+    def test_parcel_without_control_or_rowctl(self):
+        with pytest.raises(AsmSyntaxError):
+            assemble(".width 1\n-\n| nop\n")
+
+    def test_duplicate_constant(self):
+        with pytest.raises(AsmSymbolError):
+            assemble(".width 1\n.const z 1\n.const z 2\n-\n| halt ; nop\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AsmSyntaxError):
+            assemble(".magic 3\n")
+
+    def test_no_rows(self):
+        with pytest.raises(AsmLayoutError):
+            assemble(".width 4\n")
+
+
+class TestDisassembler:
+    def roundtrip(self, source, registers=None, steps=200):
+        """assemble -> disassemble -> reassemble; both must behave
+        identically under execution."""
+        from repro.machine import run_ximd
+        first = assemble(source)
+        second = assemble(disassemble(first))
+        run1 = run_ximd(first, registers=registers, max_cycles=steps)
+        run2 = run_ximd(second, registers=registers, max_cycles=steps)
+        assert run1.registers == run2.registers
+        assert run1.cycles == run2.cycles
+
+    def test_roundtrip_simple(self):
+        self.roundtrip("""
+.width 2
+-
+| -> . ; iadd #1,#2,r0
+| -> . ; lt r0,#5
+-
+| if cc1 @02, @02 ; nop ; done
+| if all @02, @02 ; nop
+-
+=> halt
+| nop
+| nop
+""")
+
+    def test_roundtrip_with_gaps_and_empty(self):
+        self.roundtrip("""
+.width 2
+-
+| -> @05 ; iadd #3,#4,r1
+| empty
+.org @05
+-
+| halt ; nop
+| halt ; iadd r1,#1,r2
+""")
+
+    def test_roundtrip_paper_examples(self):
+        from repro.workloads import (bitcount1_source, minmax_source,
+                                     tproc_source)
+        for source in (minmax_source("halt"), tproc_source(),
+                       bitcount1_source()):
+            first = assemble(source)
+            second = assemble(disassemble(first))
+            assert first.occupied_slots() == second.occupied_slots()
+            assert first.length == second.length
+
+    def test_listing_contains_ops(self):
+        program = assemble(
+            ".width 1\n.reg k r0\n-\n| halt ; iadd k,#1,k\n")
+        listing = format_listing(program)
+        assert "iadd k,#1,k" in listing
+        assert "halt" in listing

@@ -1,0 +1,244 @@
+"""Tests for register allocation and end-to-end code generation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import (
+    AllocationError,
+    CompilerError,
+    Function,
+    IRConst,
+    IROp,
+    Jump,
+    VReg,
+    allocate_registers,
+    compile_xc,
+    lower_unit,
+    parse_xc,
+)
+from repro.compiler.ir import Halt
+from repro.machine import VliwMachine, XimdMachine, run_ximd, run_vliw
+from repro.workloads import random_dag_source
+
+i16 = st.integers(min_value=-30_000, max_value=30_000)
+
+
+class TestRegalloc:
+    def _function(self):
+        fn = lower_unit(parse_xc(
+            "func f(a, b) { var t; t = a + b; return t * 2; }"))["f"]
+        return fn
+
+    def test_unique_assignment(self):
+        fn = self._function()
+        assignment = allocate_registers(fn)
+        values = list(assignment.mapping.values())
+        assert len(values) == len(set(values))
+
+    def test_pinning_respected(self):
+        fn = self._function()
+        fn.pinned[VReg("a")] = 42
+        assignment = allocate_registers(fn)
+        assert assignment.physical(VReg("a")) == 42
+
+    def test_conflicting_pins_rejected(self):
+        fn = self._function()
+        fn.pinned[VReg("a")] = 1
+        fn.pinned[VReg("b")] = 1
+        with pytest.raises(AllocationError):
+            allocate_registers(fn)
+
+    def test_out_of_registers(self):
+        fn = Function("big")
+        entry = fn.add_block("entry")
+        for i in range(10):
+            entry.append(IROp("iadd", IRConst(i), IRConst(i),
+                              VReg(f"t{i}")))
+        entry.terminator = Halt()
+        with pytest.raises(AllocationError):
+            allocate_registers(fn, n_registers=4)
+
+    def test_coalescing_reduces_footprint(self):
+        source = """
+func f(a) {
+  var t1, t2, t3, t4;
+  t1 = a + 1;
+  t2 = t1 + 1;
+  t3 = t2 + 1;
+  t4 = t3 + 1;
+  return t4;
+}
+"""
+        fn = lower_unit(parse_xc(source))["f"]
+        unique = allocate_registers(fn, coalesce=False)
+        fn2 = lower_unit(parse_xc(source))["f"]
+        shared = allocate_registers(fn2, coalesce=True)
+        assert shared.used_registers <= unique.used_registers
+
+    def test_coalesced_code_still_correct(self):
+        source = """
+func f(a) {
+  var t1, t2;
+  t1 = a + 1;
+  t2 = t1 * 3;
+  return t2 - a;
+}
+"""
+        for coalesce in (False, True):
+            cf = compile_xc(source, width=2, coalesce=coalesce)
+            result = run_ximd(cf.program,
+                              registers={cf.register("a"): 10})
+            assert result.register(cf.register("__ret")) == 23
+
+
+class TestCompileAndRun:
+    def check(self, source, inputs, expected, width=4, **options):
+        cf = compile_xc(source, width=width, **options)
+        registers = {cf.register(name): value
+                     for name, value in inputs.items()}
+        result = run_ximd(cf.program, registers=registers,
+                          max_cycles=500_000)
+        assert result.register(cf.register("__ret")) == expected
+        return cf, result
+
+    def test_arithmetic(self):
+        self.check("func f(a, b) { return (a + b) * (a - b); }",
+                   {"a": 9, "b": 4}, (9 + 4) * (9 - 4))
+
+    def test_division_and_modulo(self):
+        self.check("func f(a, b) { return a / b + a % b; }",
+                   {"a": 17, "b": 5}, 3 + 2)
+
+    def test_shifts_and_masks(self):
+        self.check("func f(a) { return ((a << 3) | 5) & 255; }",
+                   {"a": 7}, ((7 << 3) | 5) & 255)
+
+    def test_if_else(self):
+        source = """
+func f(a, b) {
+  var r;
+  if (a >= b) { r = a - b; } else { r = b - a; }
+  return r;
+}
+"""
+        self.check(source, {"a": 3, "b": 10}, 7)
+        self.check(source, {"a": 10, "b": 3}, 7)
+
+    def test_nested_control_flow(self):
+        source = """
+func f(n) {
+  var i, odd, even;
+  i = 1; odd = 0; even = 0;
+  while (i <= n) {
+    if ((i & 1) == 1) { odd = odd + i; } else { even = even + i; }
+    i = i + 1;
+  }
+  return odd * 1000 + even;
+}
+"""
+        n = 10
+        odd = sum(i for i in range(1, n + 1) if i % 2)
+        even = sum(i for i in range(1, n + 1) if not i % 2)
+        self.check(source, {"n": n}, odd * 1000 + even)
+
+    def test_nested_while(self):
+        source = """
+func f(n) {
+  var i, j, acc;
+  i = 1; acc = 0;
+  while (i <= n) {
+    j = 1;
+    while (j <= i) { acc = acc + 1; j = j + 1; }
+    i = i + 1;
+  }
+  return acc;
+}
+"""
+        self.check(source, {"n": 6}, 21)
+
+    def test_memory_between_loops(self):
+        source = """
+func f(n) {
+  var i, acc;
+  array A @ 512;
+  i = 1;
+  while (i <= n) { A[i] = i * i; i = i + 1; }
+  i = 1; acc = 0;
+  while (i <= n) { acc = acc + A[i]; i = i + 1; }
+  return acc;
+}
+"""
+        self.check(source, {"n": 7}, sum(i * i for i in range(1, 8)))
+
+    @pytest.mark.parametrize("width", [1, 2, 4, 8])
+    def test_every_width_agrees(self, width):
+        source = "func f(a, b, c) { return a * b + b * c + c * a; }"
+        cf = compile_xc(source, width=width)
+        result = run_ximd(cf.program, registers={
+            cf.register("a"): 3, cf.register("b"): 5,
+            cf.register("c"): 7})
+        assert result.register(cf.register("__ret")) == 3*5 + 5*7 + 7*3
+
+    def test_wider_is_never_slower(self):
+        source, _ = random_dag_source(24, seed=13)
+        cycles = []
+        for width in (1, 2, 4, 8):
+            cf = compile_xc(source, width=width)
+            result = run_ximd(cf.program, registers={
+                cf.register(f"v{i}"): i + 1 for i in range(6)})
+            cycles.append(result.cycles)
+        assert cycles == sorted(cycles, reverse=True) or \
+            all(cycles[i] >= cycles[i + 1] for i in range(len(cycles) - 1))
+
+    @given(st.integers(min_value=0, max_value=200), i16, i16)
+    @settings(max_examples=25, deadline=None)
+    def test_random_dags_match_oracle(self, seed, x, y):
+        source, oracle = random_dag_source(15, n_vars=4, seed=seed)
+        cf = compile_xc(source, width=4)
+        args = (x, y, x ^ y, x - y)
+        from repro.isa import wrap_int
+        args = tuple(wrap_int(a) for a in args)
+        result = run_ximd(cf.program, registers={
+            cf.register(f"v{i}"): a for i, a in enumerate(args)})
+        assert result.register(cf.register("__ret")) == oracle(*args)
+
+    def test_compiled_code_is_vliw_compatible(self):
+        """VLIW-mode output: identical behavior on both machines."""
+        source = """
+func f(n) {
+  var i, acc;
+  i = 0; acc = 1;
+  while (i < n) { acc = acc * 2 + 1; i = i + 1; }
+  return acc;
+}
+"""
+        cf = compile_xc(source, width=4)
+        registers = {cf.register("n"): 9}
+        rx = run_ximd(cf.program, registers=registers)
+        rv = run_vliw(cf.program, registers=registers)
+        assert rx.cycles == rv.cycles
+        assert rx.registers == rv.registers
+
+    def test_prototype_write_latency_respected(self):
+        """Compiling with write_latency=2 must schedule around the
+        prototype's exposed delay slot."""
+        from repro.machine import prototype_config
+        source = "func f(a, b) { return (a + b) * (a - b) + a; }"
+        cf = compile_xc(source, width=4, write_latency=2)
+        config = prototype_config(4, memory_words=1 << 12)
+        result = run_ximd(cf.program, config=config, registers={
+            cf.register("a"): 11, cf.register("b"): 5})
+        assert result.register(cf.register("__ret")) == \
+            (11 + 5) * (11 - 5) + 11
+
+    def test_unknown_function_name(self):
+        with pytest.raises(CompilerError):
+            compile_xc("func f() { return 1; }", name="g")
+
+    def test_multi_function_unit_needs_name(self):
+        source = "func a() { return 1; } func b() { return 2; }"
+        with pytest.raises(CompilerError):
+            compile_xc(source)
+        cf = compile_xc(source, width=1, name="b")
+        result = run_ximd(cf.program)
+        assert result.register(cf.register("__ret")) == 2

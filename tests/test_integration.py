@@ -1,0 +1,193 @@
+"""Cross-module integration and property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble, disassemble
+from repro.compiler import compile_ir, compile_xc, compose_threads, lower_unit, parse_xc
+from repro.isa.encoding import decode_column, encode_column
+from repro.machine import (
+    TrackerKind,
+    VliwMachine,
+    XimdMachine,
+    is_valid_partition,
+    refines,
+    run_ximd,
+)
+from repro.models import duplicate_control
+from repro.workloads import (
+    BASES,
+    KERNELS,
+    branchy_loop_sources,
+    ll1_reference,
+    ll3_reference,
+    ll7_reference,
+    livermore12_reference,
+    memory_image,
+    random_ints,
+)
+
+
+class TestLivermoreKernels:
+    """Every kernel, compiled through the full pipeline, matches its
+    oracle, with and without software pipelining."""
+
+    N = 24
+
+    def _arrays(self):
+        n = self.N
+        return {
+            "X": random_ints(n + 12, seed=10),
+            "Y": random_ints(n + 12, seed=11),
+            "Z": random_ints(n + 12, seed=12),
+            "U": random_ints(n + 12, seed=13),
+        }
+
+    def _run(self, name, pipeline, scalars):
+        source, inputs, scalar_names = KERNELS[name]
+        arrays = self._arrays()
+        cf = compile_xc(source, width=8, pipeline=pipeline)
+        machine = XimdMachine(cf.program)
+        for scalar_name, value in scalars.items():
+            machine.regfile.poke(cf.register(scalar_name), value)
+        for address, value in memory_image(
+                {k: arrays[k] for k in inputs}).items():
+            machine.memory.poke(address, value)
+        machine.run(500_000)
+        return machine, cf, arrays
+
+    @pytest.mark.parametrize("pipeline", [False, True])
+    def test_ll1(self, pipeline):
+        machine, _, arrays = self._run(
+            "ll1", pipeline, {"n": self.N, "q": 5, "r": 3, "t": 2})
+        got = [0] + [machine.memory.peek(BASES["X"] + k)
+                     for k in range(1, self.N + 1)]
+        assert got == ll1_reference(arrays["Y"], arrays["Z"],
+                                    self.N, 5, 3, 2)
+
+    @pytest.mark.parametrize("pipeline", [False, True])
+    def test_ll3(self, pipeline):
+        machine, cf, arrays = self._run("ll3", pipeline, {"n": self.N})
+        assert machine.regfile.peek(cf.register("__ret")) == \
+            ll3_reference(arrays["Z"], arrays["X"], self.N)
+
+    @pytest.mark.parametrize("pipeline", [False, True])
+    def test_ll7(self, pipeline):
+        machine, _, arrays = self._run(
+            "ll7", pipeline, {"n": self.N, "r": 3, "t": 2})
+        got = [0] + [machine.memory.peek(BASES["X"] + k)
+                     for k in range(1, self.N + 1)]
+        assert got == ll7_reference(arrays["U"], arrays["Y"],
+                                    arrays["Z"], self.N, 3, 2)
+
+    @pytest.mark.parametrize("pipeline", [False, True])
+    def test_ll12(self, pipeline):
+        machine, _, arrays = self._run("ll12", pipeline, {"n": self.N})
+        got = [0] + [machine.memory.peek(BASES["X"] + k)
+                     for k in range(1, self.N + 1)]
+        assert got == livermore12_reference(arrays["Y"], self.N)
+
+
+class TestCompiledProgramProperties:
+    def test_compiled_program_survives_binary_encoding(self):
+        cf = compile_xc(KERNELS["ll12"][0], width=4)
+        for fu in range(cf.program.width):
+            column = [p for p in cf.program.columns[fu] if p is not None]
+            assert decode_column(encode_column(column)) == column
+
+    def test_compiled_program_survives_disassembly(self):
+        cf = compile_xc("func f(a, b) { return a * b + 7; }", width=2)
+        second = assemble(disassemble(cf.program))
+        registers = {cf.register("a"): 6, cf.register("b"): 7}
+        r1 = run_ximd(cf.program, registers=registers)
+        r2 = run_ximd(second, registers=registers)
+        assert r1.registers == r2.registers
+        assert r1.cycles == r2.cycles
+
+    def test_duplicate_control_is_identity_on_compiled_code(self):
+        """Compiled code already carries duplicated control fields, so
+        the embedding changes nothing observable."""
+        cf = compile_xc("func f(a) { return a + a * 3; }", width=4)
+        registers = {cf.register("a"): 5}
+        r1 = run_ximd(cf.program, registers=registers)
+        r2 = run_ximd(duplicate_control(cf.program), registers=registers)
+        assert r1.registers == r2.registers and r1.cycles == r2.cycles
+
+
+class TestMultiThreadIntegration:
+    @pytest.mark.parametrize("n_threads,width", [(2, 4), (4, 2), (2, 2)])
+    def test_generated_thread_fleets(self, n_threads, width):
+        sources, oracles, bases = branchy_loop_sources(
+            n_threads, seed=n_threads * 10)
+        threads = [
+            compile_ir(lower_unit(parse_xc(src))[f"loop{i}"], width)
+            for i, src in enumerate(sources)
+        ]
+        program, placements = compose_threads(threads, total_width=8)
+        machine = XimdMachine(program, trace=True,
+                              tracker=TrackerKind.ADAPTIVE)
+        lengths = [5 + 3 * i for i in range(n_threads)]
+        datas = []
+        for i, base in enumerate(bases):
+            values = random_ints(20, seed=50 + i, lo=0, hi=500)
+            datas.append(values)
+            for k in range(1, 20):
+                machine.memory.poke(base + k, values[k])
+            machine.regfile.poke(
+                placements[i].register(threads[i], "n"), lengths[i])
+        machine.run(200_000)
+        for i in range(n_threads):
+            got = machine.regfile.peek(
+                placements[i].register(threads[i], "__ret"))
+            assert got == oracles[i](datas[i], lengths[i])
+        # partition invariants across the whole run
+        total = sum(t.width for t in threads)
+        for record in machine.trace:
+            assert is_valid_partition(record.partition, 8)
+        # at least one cycle ran all threads as separate streams
+        assert any(len(r.partition) >= n_threads
+                   for r in machine.trace)
+
+    def test_thread_partition_refines_placement(self):
+        """No SSET ever spans two different threads mid-run (they only
+        merge at the final barrier)."""
+        sources, _, bases = branchy_loop_sources(2, seed=9)
+        threads = [
+            compile_ir(lower_unit(parse_xc(src))[f"loop{i}"], 2)
+            for i, src in enumerate(sources)
+        ]
+        program, placements = compose_threads(threads, total_width=4)
+        machine = XimdMachine(program, trace=True,
+                              tracker=TrackerKind.EXACT)
+        for i, base in enumerate(bases):
+            for k in range(1, 12):
+                machine.memory.poke(base + k, k)
+            machine.regfile.poke(
+                placements[i].register(threads[i], "n"), 6 + 4 * i)
+        machine.run(100_000)
+        thread_partition = ((0, 1), (2, 3))
+        for record in machine.trace[:-3]:  # before the final join
+            if len(record.partition) >= 2:
+                assert refines(record.partition,
+                               thread_partition) or \
+                    record.partition == ((0, 1, 2, 3),)
+
+
+class TestXimdNeverSlowerThanVliw:
+    """For identical VLIW-mode programs the two machines tie exactly;
+    XIMD wins only by using extra streams (section 2.1's equivalence)."""
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_vliw_mode_tie(self, seed):
+        from repro.workloads import random_dag_source
+        source, _ = random_dag_source(10, n_vars=4, seed=seed)
+        cf = compile_xc(source, width=4)
+        registers = {cf.register(f"v{i}"): i * 3 - 5 for i in range(4)}
+        rx = run_ximd(cf.program, registers=registers)
+        rv = VliwMachine(cf.program)
+        for index, value in registers.items():
+            rv.regfile.poke(index, value)
+        result_v = rv.run(10_000)
+        assert rx.cycles == result_v.cycles
+        assert rx.registers == result_v.registers

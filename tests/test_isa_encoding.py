@@ -1,0 +1,140 @@
+"""Tests for repro.isa.encoding: binary parcel round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    ALL_MNEMONICS,
+    Condition,
+    Const,
+    ControlOp,
+    DataOp,
+    EncodingError,
+    MAXINT,
+    MININT,
+    OPCODES,
+    OpKind,
+    Parcel,
+    Reg,
+    SyncValue,
+    goto,
+    lookup,
+)
+from repro.isa.encoding import (
+    PARCEL_BITS,
+    PARCEL_BYTES,
+    decode_column,
+    decode_parcel,
+    decode_parcel_bytes,
+    encode_column,
+    encode_parcel,
+    encode_parcel_bytes,
+)
+
+# ---- strategies -----------------------------------------------------------
+
+regs = st.integers(min_value=0, max_value=255).map(Reg)
+int_consts = st.integers(min_value=MININT, max_value=MAXINT).map(Const)
+operands = st.one_of(regs, int_consts)
+targets = st.integers(min_value=0, max_value=0xFFFF)
+fu_index = st.integers(min_value=0, max_value=7)
+
+
+@st.composite
+def data_ops(draw):
+    mnemonic = draw(st.sampled_from(ALL_MNEMONICS))
+    opcode = OPCODES[mnemonic]
+    if opcode.kind is OpKind.NOP:
+        return DataOp(opcode)
+    if opcode.is_float:
+        src = st.one_of(regs, st.floats(
+            allow_nan=False, allow_infinity=False,
+            width=32).map(Const))
+    else:
+        src = operands
+    a, b = draw(src), draw(src)
+    if opcode.writes_register:
+        return DataOp(opcode, a, b, draw(regs))
+    return DataOp(opcode, a, b)
+
+
+@st.composite
+def control_ops(draw):
+    condition = draw(st.sampled_from(list(Condition)))
+    t1 = draw(targets)
+    if condition.is_unconditional:
+        return ControlOp(Condition.ALWAYS_T1, t1)
+    t2 = draw(targets)
+    index = draw(fu_index) if condition.needs_index else None
+    mask = None
+    if condition in (Condition.ALL_SS_DONE, Condition.ANY_SS_DONE):
+        if draw(st.booleans()):
+            mask = tuple(draw(st.sets(fu_index, min_size=1, max_size=8)))
+    return ControlOp(condition, t1, t2, index, mask)
+
+
+@st.composite
+def parcels(draw):
+    control = draw(st.one_of(st.none(), control_ops()))
+    sync = draw(st.sampled_from([SyncValue.BUSY, SyncValue.DONE]))
+    return Parcel(draw(data_ops()), control, sync)
+
+
+class TestRoundTrip:
+    @given(parcels())
+    def test_parcel_roundtrip(self, parcel):
+        assert decode_parcel(encode_parcel(parcel)) == parcel
+
+    @given(parcels())
+    def test_bytes_roundtrip(self, parcel):
+        blob = encode_parcel_bytes(parcel)
+        assert len(blob) == PARCEL_BYTES
+        assert decode_parcel_bytes(blob) == parcel
+
+    @given(st.lists(parcels(), max_size=8))
+    def test_column_roundtrip(self, column):
+        assert decode_column(encode_column(column)) == column
+
+    @given(parcels())
+    def test_word_fits_declared_width(self, parcel):
+        assert encode_parcel(parcel) < (1 << PARCEL_BITS)
+
+    def test_float_constant_quantizes_to_float32(self):
+        op = DataOp(lookup("fadd"), Const(0.1), Const(2.0), Reg(0))
+        parcel = Parcel(op, goto(0))
+        decoded = decode_parcel(encode_parcel(parcel))
+        import struct
+        expected = struct.unpack("<f", struct.pack("<f", 0.1))[0]
+        assert decoded.data.srca.value == expected
+
+
+class TestValidation:
+    def test_target_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode_parcel(Parcel(control=goto(1 << 16)))
+
+    def test_mask_fu_out_of_range(self):
+        control = ControlOp(Condition.ALL_SS_DONE, 0, 1, mask=(9,))
+        with pytest.raises(EncodingError):
+            encode_parcel(Parcel(control=control))
+
+    def test_decode_rejects_oversized_word(self):
+        with pytest.raises(EncodingError):
+            decode_parcel(1 << PARCEL_BITS)
+
+    def test_decode_rejects_negative(self):
+        with pytest.raises(EncodingError):
+            decode_parcel(-1)
+
+    def test_decode_bytes_wrong_length(self):
+        with pytest.raises(EncodingError):
+            decode_parcel_bytes(b"\x00")
+
+    def test_decode_column_bad_length(self):
+        with pytest.raises(EncodingError):
+            decode_column(b"\x00" * (PARCEL_BYTES + 1))
+
+    def test_empty_parcel_is_distinct_from_halting_nop(self):
+        halt = Parcel()  # control None
+        encoded = decode_parcel(encode_parcel(halt))
+        assert encoded.control is None

@@ -1,0 +1,144 @@
+"""Tests for repro.isa.instruction: parcels and their validation."""
+
+import pytest
+
+from repro.isa import (
+    Condition,
+    Const,
+    ControlOp,
+    DATA_NOP,
+    DataOp,
+    OperandError,
+    Parcel,
+    Reg,
+    SyncValue,
+    WideInstruction,
+    goto,
+    lookup,
+)
+
+
+def iadd(a, b, d):
+    return DataOp(lookup("iadd"), a, b, d)
+
+
+class TestDataOp:
+    def test_arith_roundtrip(self):
+        op = iadd(Reg(1), Const(2), Reg(3))
+        assert op.sources() == (Reg(1), Const(2))
+        assert op.source_registers() == (Reg(1),)
+        assert str(op) == "iadd r1,#2,r3"
+
+    def test_nop_takes_no_operands(self):
+        assert DATA_NOP.is_nop
+        with pytest.raises(OperandError):
+            DataOp(lookup("nop"), Reg(0))
+
+    def test_arith_requires_dest(self):
+        with pytest.raises(OperandError):
+            DataOp(lookup("iadd"), Reg(0), Reg(1))
+
+    def test_compare_rejects_dest(self):
+        with pytest.raises(OperandError):
+            DataOp(lookup("lt"), Reg(0), Reg(1), Reg(2))
+
+    def test_compare_without_dest_ok(self):
+        op = DataOp(lookup("lt"), Reg(0), Const(5))
+        assert op.dest is None
+
+    def test_store_shape(self):
+        op = DataOp(lookup("store"), Reg(1), Reg(2))
+        assert op.dest is None
+
+    def test_dest_must_be_register(self):
+        with pytest.raises(OperandError):
+            DataOp(lookup("iadd"), Reg(0), Reg(1), Const(3))
+
+    def test_constant_type_validation(self):
+        with pytest.raises(OperandError):
+            Const("five")
+        with pytest.raises(OperandError):
+            Const(True)
+
+    def test_register_range_validation(self):
+        with pytest.raises(OperandError):
+            Reg(256)
+        with pytest.raises(OperandError):
+            Reg(-1)
+
+
+class TestControlOp:
+    def test_goto(self):
+        op = goto(5)
+        assert op.is_unconditional
+        assert op.possible_targets() == (5,)
+        assert op.taken_target == 5
+
+    def test_conditional_requires_two_targets(self):
+        with pytest.raises(OperandError):
+            ControlOp(Condition.CC_TRUE, 1, index=0)
+
+    def test_unconditional_rejects_second_target(self):
+        with pytest.raises(OperandError):
+            ControlOp(Condition.ALWAYS_T1, 1, 2)
+
+    def test_cc_requires_index(self):
+        with pytest.raises(OperandError):
+            ControlOp(Condition.CC_TRUE, 1, 2)
+
+    def test_goto_rejects_index(self):
+        with pytest.raises(OperandError):
+            ControlOp(Condition.ALWAYS_T1, 1, index=3)
+
+    def test_mask_only_for_reductions(self):
+        with pytest.raises(OperandError):
+            ControlOp(Condition.CC_TRUE, 1, 2, index=0, mask=(0, 1))
+
+    def test_mask_normalized(self):
+        op = ControlOp(Condition.ALL_SS_DONE, 1, 2, mask=(3, 1, 1))
+        assert op.mask == (1, 3)
+
+    def test_possible_targets_dedup(self):
+        op = ControlOp(Condition.CC_TRUE, 7, 7, index=0)
+        assert op.possible_targets() == (7,)
+
+    def test_branch_key_distinguishes_conditions(self):
+        a = ControlOp(Condition.CC_TRUE, 1, 2, index=0)
+        b = ControlOp(Condition.CC_TRUE, 1, 2, index=1)
+        assert a.branch_key() != b.branch_key()
+
+    def test_branch_key_equal_for_equal_ops(self):
+        a = ControlOp(Condition.ALL_SS_DONE, 4, 3)
+        b = ControlOp(Condition.ALL_SS_DONE, 4, 3)
+        assert a.branch_key() == b.branch_key()
+
+    def test_uses_sync(self):
+        assert ControlOp(Condition.SS_DONE, 1, 2, index=0).condition.uses_sync
+        assert not goto(1).condition.uses_sync
+
+
+class TestParcel:
+    def test_default_is_halt_nop(self):
+        parcel = Parcel()
+        assert parcel.data.is_nop
+        assert parcel.control is None
+        assert parcel.sync is SyncValue.BUSY
+
+    def test_with_control(self):
+        parcel = Parcel(sync=SyncValue.DONE)
+        updated = parcel.with_control(goto(3))
+        assert updated.control == goto(3)
+        assert updated.sync is SyncValue.DONE
+        assert parcel.control is None  # original unchanged
+
+    def test_str_mentions_sync(self):
+        assert "DONE" in str(Parcel(sync=SyncValue.DONE))
+
+
+class TestWideInstruction:
+    def test_indexing_and_width(self):
+        parcels = [Parcel(), Parcel(sync=SyncValue.DONE)]
+        wide = WideInstruction(parcels)
+        assert wide.width == 2
+        assert wide[1].sync is SyncValue.DONE
+        assert list(wide) == list(parcels)

@@ -1,0 +1,186 @@
+"""Tests for repro.isa.opcodes: the XIMD-1 data-operation semantics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    MAXINT,
+    MININT,
+    OPCODES,
+    OpKind,
+    UnknownOpcodeError,
+    instruction_set_table,
+    lookup,
+    opcodes_of_kind,
+    to_unsigned,
+    wrap_int,
+)
+
+i32 = st.integers(min_value=MININT, max_value=MAXINT)
+
+
+class TestTable:
+    def test_figure7_opcodes_present(self):
+        # the example instructions of Figure 7
+        for mnemonic in ("iadd", "isub", "imult", "idiv", "load", "store"):
+            assert mnemonic in OPCODES
+
+    def test_common_compare_ops_present(self):
+        for mnemonic in ("eq", "ne", "lt", "le", "gt", "ge"):
+            assert OPCODES[mnemonic].kind is OpKind.COMPARE
+
+    def test_float_ops_present(self):
+        for mnemonic in ("fadd", "fsub", "fmult", "fdiv", "flt"):
+            assert OPCODES[mnemonic].is_float
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(UnknownOpcodeError):
+            lookup("frobnicate")
+
+    def test_opcodes_of_kind_partition(self):
+        total = sum(len(opcodes_of_kind(kind)) for kind in OpKind)
+        assert total == len(OPCODES)
+
+    def test_table_renders_every_mnemonic(self):
+        table = instruction_set_table()
+        for mnemonic in OPCODES:
+            assert mnemonic in table
+
+    def test_properties(self):
+        assert OPCODES["eq"].sets_condition_code
+        assert not OPCODES["iadd"].sets_condition_code
+        assert OPCODES["load"].writes_register
+        assert not OPCODES["store"].writes_register
+        assert OPCODES["nop"].num_sources == 0
+        assert OPCODES["iadd"].num_sources == 2
+
+
+class TestIntegerArithmetic:
+    def test_iadd(self):
+        assert OPCODES["iadd"].semantics(2, 3) == 5
+
+    def test_iadd_wraps(self):
+        assert OPCODES["iadd"].semantics(MAXINT, 1) == MININT
+
+    def test_isub(self):
+        assert OPCODES["isub"].semantics(2, 5) == -3
+
+    def test_imult_wraps(self):
+        assert OPCODES["imult"].semantics(1 << 16, 1 << 16) == 0
+
+    def test_idiv_truncates_toward_zero(self):
+        assert OPCODES["idiv"].semantics(7, 2) == 3
+        assert OPCODES["idiv"].semantics(-7, 2) == -3
+        assert OPCODES["idiv"].semantics(7, -2) == -3
+
+    def test_idiv_by_zero_is_zero(self):
+        assert OPCODES["idiv"].semantics(42, 0) == 0
+
+    def test_imod_sign_follows_dividend(self):
+        assert OPCODES["imod"].semantics(7, 3) == 1
+        assert OPCODES["imod"].semantics(-7, 3) == -1
+
+    def test_imod_by_zero_is_zero(self):
+        assert OPCODES["imod"].semantics(5, 0) == 0
+
+    def test_imin_imax(self):
+        assert OPCODES["imin"].semantics(-3, 4) == -3
+        assert OPCODES["imax"].semantics(-3, 4) == 4
+
+    @given(i32, i32)
+    def test_div_mod_identity(self, a, b):
+        q = OPCODES["idiv"].semantics(a, b)
+        r = OPCODES["imod"].semantics(a, b)
+        if b != 0:
+            assert wrap_int(q * b + r) == a
+
+    @given(i32, i32)
+    def test_results_in_range(self, a, b):
+        for mnemonic in ("iadd", "isub", "imult", "idiv", "and", "or",
+                         "xor", "shl", "shr", "sar"):
+            result = OPCODES[mnemonic].semantics(a, b)
+            assert MININT <= result <= MAXINT
+
+
+class TestLogical:
+    def test_and_on_bit_patterns(self):
+        assert OPCODES["and"].semantics(-1, 0x0F) == 0x0F
+
+    def test_or(self):
+        assert OPCODES["or"].semantics(0xF0, 0x0F) == 0xFF
+
+    def test_xor_self_is_zero(self):
+        assert OPCODES["xor"].semantics(-123, -123) == 0
+
+    def test_andn(self):
+        assert OPCODES["andn"].semantics(0xFF, 0x0F) == 0xF0
+
+    def test_shl(self):
+        assert OPCODES["shl"].semantics(1, 4) == 16
+
+    def test_shl_overflow_wraps(self):
+        assert OPCODES["shl"].semantics(1, 31) == MININT
+
+    def test_shr_is_logical(self):
+        # BITCOUNT1 relies on logical shift terminating for negatives
+        assert OPCODES["shr"].semantics(-1, 1) == 0x7FFFFFFF
+
+    def test_sar_is_arithmetic(self):
+        assert OPCODES["sar"].semantics(-8, 1) == -4
+
+    def test_shift_counts_mask_to_5_bits(self):
+        assert OPCODES["shr"].semantics(16, 36) == 1  # 36 & 31 == 4
+
+    @given(i32)
+    def test_shr_loop_terminates(self, value):
+        # the BITCOUNT1 inner-loop invariant: repeated shr reaches zero
+        count = 0
+        while value != 0:
+            value = OPCODES["shr"].semantics(value, 1)
+            count += 1
+            assert count <= 32
+
+
+class TestCompares:
+    def test_eq(self):
+        assert OPCODES["eq"].semantics(3, 3) is True
+        assert OPCODES["eq"].semantics(3, 4) is False
+
+    def test_lt_signed(self):
+        assert OPCODES["lt"].semantics(MININT, 0) is True
+
+    @given(i32, i32)
+    def test_compare_trichotomy(self, a, b):
+        lt = OPCODES["lt"].semantics(a, b)
+        eq = OPCODES["eq"].semantics(a, b)
+        gt = OPCODES["gt"].semantics(a, b)
+        assert [lt, eq, gt].count(True) == 1
+
+    @given(i32, i32)
+    def test_le_ge_consistency(self, a, b):
+        assert OPCODES["le"].semantics(a, b) == (
+            OPCODES["lt"].semantics(a, b) or OPCODES["eq"].semantics(a, b))
+        assert OPCODES["ge"].semantics(a, b) == \
+            OPCODES["le"].semantics(b, a)
+
+
+class TestFloat:
+    def test_fadd(self):
+        assert OPCODES["fadd"].semantics(1.5, 2.25) == 3.75
+
+    def test_fdiv_by_zero_is_inf(self):
+        assert math.isinf(OPCODES["fdiv"].semantics(1.0, 0.0))
+
+    def test_fdiv_zero_by_zero_is_nan(self):
+        assert math.isnan(OPCODES["fdiv"].semantics(0.0, 0.0))
+
+    def test_conversions(self):
+        assert OPCODES["itof"].semantics(3, 0) == 3.0
+        assert OPCODES["ftoi"].semantics(3.9, 0) == 3
+        assert OPCODES["ftoi"].semantics(-3.9, 0) == -3
+
+    def test_float_compares(self):
+        assert OPCODES["flt"].semantics(1.0, 2.0) is True
+        assert OPCODES["fge"].semantics(2.0, 2.0) is True

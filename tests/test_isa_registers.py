@@ -1,0 +1,82 @@
+"""Tests for repro.isa.registers: 32-bit wrapping and register names."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import MAXINT, MININT, NUM_REGISTERS, to_unsigned, wrap_int
+from repro.isa.registers import parse_register_name, register_name
+
+
+class TestWrapInt:
+    def test_identity_in_range(self):
+        for value in (0, 1, -1, 17, MAXINT, MININT):
+            assert wrap_int(value) == value
+
+    def test_overflow_wraps_to_minint(self):
+        assert wrap_int(MAXINT + 1) == MININT
+
+    def test_underflow_wraps_to_maxint(self):
+        assert wrap_int(MININT - 1) == MAXINT
+
+    def test_large_positive(self):
+        assert wrap_int(1 << 32) == 0
+
+    def test_large_negative(self):
+        assert wrap_int(-(1 << 32)) == 0
+
+    @given(st.integers(min_value=-(1 << 40), max_value=1 << 40))
+    def test_always_in_range(self, value):
+        wrapped = wrap_int(value)
+        assert MININT <= wrapped <= MAXINT
+
+    @given(st.integers(min_value=-(1 << 40), max_value=1 << 40))
+    def test_congruent_mod_2_32(self, value):
+        assert (wrap_int(value) - value) % (1 << 32) == 0
+
+    @given(st.integers(), st.integers())
+    def test_addition_homomorphism(self, a, b):
+        assert wrap_int(wrap_int(a) + wrap_int(b)) == wrap_int(a + b)
+
+    @given(st.integers(), st.integers())
+    def test_multiplication_homomorphism(self, a, b):
+        assert wrap_int(wrap_int(a) * wrap_int(b)) == wrap_int(a * b)
+
+
+class TestToUnsigned:
+    def test_negative_one(self):
+        assert to_unsigned(-1) == 0xFFFFFFFF
+
+    def test_minint(self):
+        assert to_unsigned(MININT) == 0x80000000
+
+    @given(st.integers(min_value=MININT, max_value=MAXINT))
+    def test_roundtrip_through_wrap(self, value):
+        assert wrap_int(to_unsigned(value)) == value
+
+    @given(st.integers())
+    def test_range(self, value):
+        assert 0 <= to_unsigned(value) < (1 << 32)
+
+
+class TestRegisterNames:
+    def test_name(self):
+        assert register_name(0) == "r0"
+        assert register_name(255) == "r255"
+
+    def test_name_out_of_range(self):
+        with pytest.raises(ValueError):
+            register_name(NUM_REGISTERS)
+        with pytest.raises(ValueError):
+            register_name(-1)
+
+    def test_parse(self):
+        assert parse_register_name("r17") == 17
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("x1", "r", "r-1", "r999", "1r", ""):
+            with pytest.raises(ValueError):
+                parse_register_name(bad)
+
+    @given(st.integers(min_value=0, max_value=NUM_REGISTERS - 1))
+    def test_roundtrip(self, index):
+        assert parse_register_name(register_name(index)) == index

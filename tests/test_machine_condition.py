@@ -1,0 +1,111 @@
+"""Tests for condition codes, sync vectors, and the branch evaluator."""
+
+import pytest
+
+from repro.isa import Condition, ControlOp, SyncValue, goto
+from repro.machine import (
+    ConditionCodes,
+    MachineError,
+    evaluate_condition,
+    sync_done_vector,
+)
+from repro.machine.condition import select_target
+
+
+class TestConditionCodes:
+    def test_end_of_cycle_commit(self):
+        cc = ConditionCodes(4)
+        cc.set(2, True)
+        assert cc.read(2) is False  # start-of-cycle value
+        cc.commit()
+        assert cc.read(2) is True
+
+    def test_undefined_prints_x(self):
+        cc = ConditionCodes(4)
+        assert cc.format() == "XXXX"
+        cc.set(1, False)
+        cc.commit()
+        assert cc.format() == "XFXX"
+        cc.set(0, True)
+        cc.commit()
+        assert cc.format() == "TFXX"
+
+    def test_snapshot_is_immutable_copy(self):
+        cc = ConditionCodes(2)
+        snap = cc.snapshot()
+        cc.set(0, True)
+        cc.commit()
+        assert snap == (False, False)
+
+    def test_multiple_sets_last_wins(self):
+        cc = ConditionCodes(2)
+        cc.set(0, True)
+        cc.set(0, False)
+        cc.commit()
+        assert cc.read(0) is False
+
+
+class TestEvaluateCondition:
+    def test_unconditional(self):
+        assert evaluate_condition(goto(1), [], []) is True
+        op = ControlOp(Condition.ALWAYS_T2, 1)
+        assert evaluate_condition(op, [], []) is False
+
+    def test_cc_true(self):
+        op = ControlOp(Condition.CC_TRUE, 1, 2, index=1)
+        assert evaluate_condition(op, [False, True], []) is True
+        assert evaluate_condition(op, [False, False], []) is False
+
+    def test_cross_fu_cc_visibility(self):
+        # MINMAX: FU3 branches on FU1's condition code
+        op = ControlOp(Condition.CC_TRUE, 1, 2, index=0)
+        assert evaluate_condition(op, [True, False, False, False], [])
+
+    def test_ss_done(self):
+        op = ControlOp(Condition.SS_DONE, 1, 2, index=2)
+        assert evaluate_condition(op, [], [False, False, True]) is True
+
+    def test_all_ss(self):
+        op = ControlOp(Condition.ALL_SS_DONE, 1, 2)
+        assert evaluate_condition(op, [], [True, True]) is True
+        assert evaluate_condition(op, [], [True, False]) is False
+
+    def test_any_ss(self):
+        op = ControlOp(Condition.ANY_SS_DONE, 1, 2)
+        assert evaluate_condition(op, [], [False, True]) is True
+        assert evaluate_condition(op, [], [False, False]) is False
+
+    def test_masked_all_ignores_outsiders(self):
+        # section 3.3: barriers among only some threads
+        op = ControlOp(Condition.ALL_SS_DONE, 1, 2, mask=(0, 1))
+        assert evaluate_condition(op, [], [True, True, False]) is True
+
+    def test_masked_any(self):
+        op = ControlOp(Condition.ANY_SS_DONE, 1, 2, mask=(2,))
+        assert evaluate_condition(op, [], [True, True, False]) is False
+
+    def test_index_out_of_range_raises(self):
+        op = ControlOp(Condition.CC_TRUE, 1, 2, index=5)
+        with pytest.raises(MachineError):
+            evaluate_condition(op, [False] * 2, [])
+
+
+class TestSelectTarget:
+    def test_conditional_selection(self):
+        op = ControlOp(Condition.CC_TRUE, 10, 20, index=0)
+        assert select_target(op, True) == 10
+        assert select_target(op, False) == 20
+
+    def test_unconditional(self):
+        assert select_target(goto(7), True) == 7
+
+
+class TestSyncVector:
+    def test_halted_fus_report_done_by_default(self):
+        vec = sync_done_vector([SyncValue.BUSY, None, SyncValue.DONE],
+                               halted_done=True)
+        assert vec == (False, True, True)
+
+    def test_halted_busy_variant(self):
+        vec = sync_done_vector([None], halted_done=False)
+        assert vec == (False,)

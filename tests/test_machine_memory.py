@@ -1,0 +1,178 @@
+"""Tests for the shared/distributed memory models and devices."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine import (
+    DeviceMap,
+    DistributedMemory,
+    InputPort,
+    MemoryConflictError,
+    MemoryError_,
+    OutputPort,
+    SharedMemory,
+    random_input_port,
+)
+
+
+class TestSharedMemory:
+    def test_initial_zero(self):
+        mem = SharedMemory(64)
+        assert mem.load(0, 5, cycle=0) == 0
+
+    def test_store_commits_end_of_cycle(self):
+        mem = SharedMemory(64)
+        mem.store(0, 5, 42, cycle=0)
+        # same-cycle load sees the old value (section 2.3 semantics)
+        assert mem.load(1, 5, cycle=0) == 0
+        mem.commit(0)
+        assert mem.load(1, 5, cycle=1) == 42
+
+    def test_conflicting_stores_raise(self):
+        mem = SharedMemory(64)
+        mem.store(0, 5, 1, cycle=0)
+        mem.store(1, 5, 2, cycle=0)
+        with pytest.raises(MemoryConflictError):
+            mem.commit(0)
+
+    def test_conflicts_tolerated_when_detection_off(self):
+        mem = SharedMemory(64, detect_conflicts=False)
+        mem.store(0, 5, 1, cycle=0)
+        mem.store(1, 5, 2, cycle=0)
+        mem.commit(0)
+        assert mem.conflicts_dropped == 1
+        assert mem.peek(5) == 2  # highest-numbered FU wins
+
+    def test_same_fu_rewrites_not_a_conflict(self):
+        # two stores from distinct FUs conflict; re-commit of one FU's
+        # value to different addresses never does
+        mem = SharedMemory(64)
+        mem.store(0, 4, 1, cycle=0)
+        mem.store(1, 5, 2, cycle=0)
+        mem.commit(0)
+        assert mem.peek(4) == 1 and mem.peek(5) == 2
+
+    def test_out_of_range_raises(self):
+        mem = SharedMemory(16)
+        with pytest.raises(MemoryError_):
+            mem.load(0, 16, cycle=0)
+        with pytest.raises(MemoryError_):
+            mem.store(0, -1, 0, cycle=0)
+
+    def test_non_integer_address_raises(self):
+        mem = SharedMemory(16)
+        with pytest.raises(MemoryError_):
+            mem.load(0, 1.5, cycle=0)
+
+    def test_poke_peek_block(self):
+        mem = SharedMemory(64)
+        mem.poke_block(10, [1, 2, 3])
+        assert mem.peek_block(10, 3) == [1, 2, 3]
+
+    @given(st.dictionaries(st.integers(min_value=0, max_value=63),
+                           st.integers(), max_size=16))
+    def test_store_load_consistency(self, writes):
+        mem = SharedMemory(64)
+        for cycle, (address, value) in enumerate(writes.items()):
+            mem.store(0, address, value, cycle)
+            mem.commit(cycle)
+        for address, value in writes.items():
+            assert mem.peek(address) == value
+
+
+class TestDistributedMemory:
+    def test_banks_are_private(self):
+        mem = DistributedMemory(4, 64)
+        mem.store(0, 5, 111, cycle=0)
+        mem.store(1, 5, 222, cycle=0)
+        mem.commit(0)
+        assert mem.load(0, 5, cycle=1) == 111
+        assert mem.load(1, 5, cycle=1) == 222
+
+    def test_no_bank_raises(self):
+        mem = DistributedMemory(2, 64)
+        with pytest.raises(MemoryError_):
+            mem.load(2, 0, cycle=0)
+
+    def test_poke_targets_bank(self):
+        mem = DistributedMemory(2, 64)
+        mem.poke(3, 9, bank=1)
+        assert mem.peek(3, bank=1) == 9
+        assert mem.peek(3, bank=0) == 0
+
+
+class TestDevices:
+    def test_input_port_protocol(self):
+        port = InputPort([(5, 42), (9, 43)])
+        assert port.read(0, cycle=0) == 0      # not ready
+        assert port.read(0, cycle=4) == 0
+        assert port.read(0, cycle=5) == 42     # ready, consumed
+        assert port.read(0, cycle=6) == 0      # next not ready
+        assert port.read(0, cycle=9) == 43
+        assert port.delivered == 2
+        assert port.polls_failed == 3
+
+    def test_input_port_rejects_zero_values(self):
+        with pytest.raises(ValueError):
+            InputPort([(0, 0)])
+
+    def test_input_port_write_rejected(self):
+        with pytest.raises(IOError):
+            InputPort([]).write(0, 1, cycle=0)
+
+    def test_input_port_reset(self):
+        port = InputPort([(0, 7)])
+        assert port.read(0, cycle=1) == 7
+        port.reset()
+        assert port.read(0, cycle=1) == 7
+
+    def test_output_port_records_cycles(self):
+        port = OutputPort()
+        port.write(0, 10, cycle=3)
+        port.write(0, 11, cycle=5)
+        assert port.writes == [(3, 10), (5, 11)]
+        assert port.values == [10, 11]
+
+    def test_output_port_read_rejected(self):
+        with pytest.raises(IOError):
+            OutputPort().read(0, cycle=0)
+
+    def test_random_input_port_reproducible(self):
+        a = random_input_port(5, 3.0, seed=7)
+        b = random_input_port(5, 3.0, seed=7)
+        assert a.arrivals == b.arrivals
+        assert all(v != 0 for _, v in a.arrivals)
+        ready = [c for c, _ in a.arrivals]
+        assert ready == sorted(ready)
+
+
+class TestDeviceMap:
+    def test_routing(self):
+        devices = DeviceMap()
+        port = InputPort([(0, 9)])
+        devices.map(0x10, 2, port)
+        mem = SharedMemory(64, devices=devices)
+        assert mem.load(0, 0x10, cycle=1) == 9
+        assert mem.load(0, 5, cycle=1) == 0  # normal memory
+
+    def test_overlap_rejected(self):
+        devices = DeviceMap()
+        devices.map(0x10, 4, OutputPort())
+        with pytest.raises(ValueError):
+            devices.map(0x12, 2, OutputPort())
+
+    def test_device_store_bypasses_commit_buffer(self):
+        devices = DeviceMap()
+        out = OutputPort()
+        devices.map(0x20, 1, out)
+        mem = SharedMemory(64, devices=devices)
+        mem.store(0, 0x20, 5, cycle=2)
+        assert out.values == [5]  # visible before commit
+
+    def test_lookup_offset(self):
+        devices = DeviceMap()
+        out = OutputPort()
+        devices.map(0x20, 4, out)
+        device, offset = devices.lookup(0x22)
+        assert device is out and offset == 2
+        assert devices.lookup(0x24) is None

@@ -1,0 +1,118 @@
+"""Tests for the multiported register file model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine import (
+    PortOverflowError,
+    RegisterConflictError,
+    RegisterFile,
+)
+
+
+class TestBasicSemantics:
+    def test_reads_see_start_of_cycle_state(self):
+        rf = RegisterFile(16)
+        rf.write(0, 3, 42)
+        assert rf.read(1, 3) == 0  # not committed yet
+        rf.commit(0)
+        assert rf.read(1, 3) == 42
+
+    def test_write_latency_two_exposes_delay_slot(self):
+        rf = RegisterFile(16, write_latency=2)
+        rf.write(0, 3, 42)
+        rf.commit(0)
+        assert rf.read(0, 3) == 0  # one delay slot (prototype pipeline)
+        rf.commit(1)
+        assert rf.read(0, 3) == 42
+
+    def test_drain_retires_all_inflight(self):
+        rf = RegisterFile(16, write_latency=3)
+        rf.write(0, 3, 7)
+        rf.drain()
+        assert rf.peek(3) == 7
+
+    def test_conflicting_writes_raise(self):
+        rf = RegisterFile(16)
+        rf.write(0, 3, 1)
+        rf.write(1, 3, 2)
+        with pytest.raises(RegisterConflictError):
+            rf.commit(0)
+
+    def test_conflicts_counted_when_detection_off(self):
+        rf = RegisterFile(16, detect_conflicts=False)
+        rf.write(0, 3, 1)
+        rf.write(1, 3, 2)
+        rf.commit(0)
+        assert rf.conflicts_dropped == 1
+        assert rf.peek(3) == 2
+
+    def test_same_fu_double_write_not_a_conflict(self):
+        rf = RegisterFile(16)
+        rf.write(0, 3, 1)
+        rf.write(0, 3, 2)
+        rf.commit(0)
+        assert rf.peek(3) == 2
+
+    def test_out_of_range(self):
+        rf = RegisterFile(16)
+        with pytest.raises(RegisterConflictError):
+            rf.read(0, 16)
+
+
+class TestPorts:
+    def test_read_port_budget(self):
+        rf = RegisterFile(16, max_read_ports=2)
+        rf.read(0, 0)
+        rf.read(0, 1)
+        with pytest.raises(PortOverflowError):
+            rf.read(1, 2)
+
+    def test_write_port_budget(self):
+        rf = RegisterFile(16, max_write_ports=1)
+        rf.write(0, 0, 1)
+        with pytest.raises(PortOverflowError):
+            rf.write(1, 1, 2)
+
+    def test_ports_reset_each_cycle(self):
+        rf = RegisterFile(16, max_read_ports=1)
+        rf.read(0, 0)
+        rf.commit(0)
+        rf.read(0, 0)  # fresh budget
+
+    def test_peak_statistics(self):
+        rf = RegisterFile(16)
+        rf.read(0, 0)
+        rf.read(0, 1)
+        rf.write(0, 2, 9)
+        rf.commit(0)
+        rf.read(0, 0)
+        rf.commit(1)
+        assert rf.peak_reads == 2
+        assert rf.peak_writes == 1
+        assert rf.total_reads == 3
+
+
+class TestPipelineOrdering:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=7),
+                              st.integers()), min_size=1, max_size=20))
+    def test_last_commit_wins_in_program_order(self, writes):
+        """Sequential writes to one register: the last one is final."""
+        rf = RegisterFile(8, write_latency=1)
+        final = {}
+        for cycle, (register, value) in enumerate(writes):
+            rf.write(0, register, value)
+            rf.commit(cycle)
+            final[register] = value
+        for register, value in final.items():
+            assert rf.peek(register) == value
+
+    def test_interleaved_latency_commits_in_issue_order(self):
+        rf = RegisterFile(8, write_latency=2)
+        rf.write(0, 1, "first")
+        rf.commit(0)
+        rf.write(0, 1, "second")
+        rf.commit(1)   # "first" retires
+        assert rf.peek(1) == "first"
+        rf.commit(2)   # "second" retires
+        assert rf.peek(1) == "second"

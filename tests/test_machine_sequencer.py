@@ -1,0 +1,49 @@
+"""Tests for the two sequencer styles."""
+
+from repro.isa import Condition, ControlOp, goto
+from repro.machine import Sequencer, SequencerStyle
+
+
+class TestExplicitTwoTarget:
+    seq = Sequencer(SequencerStyle.EXPLICIT_TWO_TARGET)
+
+    def test_no_incrementer(self):
+        # the research model has no PC+1 path: targets are explicit
+        op = ControlOp(Condition.CC_TRUE, 8, 2, index=0)
+        assert self.seq.next_pc(5, op, True) == 8
+        assert self.seq.next_pc(5, op, False) == 2
+
+    def test_goto(self):
+        assert self.seq.next_pc(5, goto(0), True) == 0
+
+    def test_possible_next_conditional(self):
+        op = ControlOp(Condition.CC_TRUE, 8, 2, index=0)
+        assert set(self.seq.possible_next(5, op)) == {8, 2}
+
+    def test_possible_next_halt_keeps_pc(self):
+        assert self.seq.possible_next(5, None) == (5,)
+
+
+class TestIncrementOneTarget:
+    seq = Sequencer(SequencerStyle.INCREMENT_ONE_TARGET)
+
+    def test_taken_uses_explicit_target(self):
+        op = ControlOp(Condition.CC_TRUE, 8, 2, index=0)
+        assert self.seq.next_pc(5, op, True) == 8
+
+    def test_untaken_falls_through(self):
+        # the prototype ignores the second target: PC+1
+        op = ControlOp(Condition.CC_TRUE, 8, 2, index=0)
+        assert self.seq.next_pc(5, op, False) == 6
+
+    def test_always_t2_means_fall_through(self):
+        op = ControlOp(Condition.ALWAYS_T2, 99)
+        assert self.seq.next_pc(5, op, False) == 6
+
+    def test_possible_next(self):
+        op = ControlOp(Condition.CC_TRUE, 8, 2, index=0)
+        assert set(self.seq.possible_next(5, op)) == {8, 6}
+
+    def test_possible_next_dedup_when_target_is_fallthrough(self):
+        op = ControlOp(Condition.CC_TRUE, 6, 2, index=0)
+        assert self.seq.possible_next(5, op) == (6,)

@@ -1,0 +1,138 @@
+"""Tests for the VLIW simulator (vsim)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.machine import (
+    MachineError,
+    SimulationLimitError,
+    VliwMachine,
+    run_vliw,
+)
+
+
+def run(source, registers=None, memory=None, **kw):
+    return run_vliw(assemble(source), registers=registers,
+                    memory_init=memory, **kw)
+
+
+class TestSingleStream:
+    def test_wide_instruction_executes_all_parcels(self):
+        result = run("""
+.width 4
+=> -> .
+| iadd #1,#0,r0
+| iadd #2,#0,r1
+| iadd #3,#0,r2
+| iadd #4,#0,r3
+=> halt
+| nop
+| nop
+| nop
+| nop
+""")
+        assert [result.register(i) for i in range(4)] == [1, 2, 3, 4]
+        assert result.cycles == 2
+
+    def test_control_comes_from_first_populated_column(self):
+        # per-FU control fields differ; the machine follows FU0's
+        result = run("""
+.width 2
+-
+| -> @02 ; nop
+| -> @01 ; nop
+-
+| empty
+| halt ; iadd #1,#0,r0
+-
+| halt ; iadd #2,#0,r0
+| empty
+""")
+        assert result.register(0) == 2
+
+    def test_branch_on_any_fu_condition_code(self):
+        # the single sequencer sees every FU's CC (Figure 4 model)
+        result = run("""
+.width 2
+=> -> .
+| nop
+| gt #5,#1
+=> if cc1 @02, @03
+| nop
+| nop
+-
+| halt ; iadd #10,#0,r0
+| empty
+-
+| halt ; iadd #20,#0,r0
+| empty
+""")
+        assert result.register(0) == 10
+
+    def test_sync_conditions_rejected(self):
+        program = assemble("""
+.width 1
+-
+| if all @00, @00 ; nop
+""")
+        machine = VliwMachine(program)
+        with pytest.raises(MachineError):
+            machine.run(10)
+
+    def test_empty_row_halts(self):
+        result = run("""
+.width 1
+-
+| -> @05 ; iadd #1,#0,r0
+""")
+        assert result.halted
+        assert result.register(0) == 1
+
+    def test_watchdog(self):
+        with pytest.raises(SimulationLimitError):
+            run(".width 1\nspin:\n| -> spin ; nop\n", max_cycles=50)
+
+
+class TestSharedDatapathSemantics:
+    def test_end_of_cycle_commit_matches_ximd(self):
+        result = run("""
+.width 2
+=> -> .
+| iadd r1,#0,r0
+| iadd r0,#0,r1
+=> halt
+| nop
+| nop
+""", registers={0: 1, 1: 2})
+        assert result.register(0) == 2
+        assert result.register(1) == 1
+
+    def test_memory_ops(self):
+        result = run("""
+.width 2
+=> -> .
+| store #7,#30
+| nop
+=> -> .
+| load #30,#0,r0
+| nop
+=> halt
+| nop
+| nop
+""")
+        assert result.register(0) == 7
+
+    def test_trace_single_partition(self):
+        program = assemble("""
+.width 2
+=> -> .
+| nop
+| nop
+=> halt
+| nop
+| nop
+""")
+        machine = VliwMachine(program, trace=True)
+        result = machine.run(10)
+        assert all(record.partition == ((0, 1),)
+                   for record in result.trace)

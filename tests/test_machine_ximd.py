@@ -1,0 +1,326 @@
+"""Tests for the XIMD simulator (xsim) using hand-built programs."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.machine import (
+    MachineConfig,
+    SimulationLimitError,
+    TrackerKind,
+    XimdMachine,
+    prototype_config,
+    research_config,
+    run_ximd,
+)
+
+
+def run(source, registers=None, memory=None, config=None, **kw):
+    return run_ximd(assemble(source), registers=registers,
+                    memory_init=memory, config=config, **kw)
+
+
+class TestBasics:
+    def test_single_op_then_halt(self):
+        result = run("""
+.width 1
+-
+| -> . ; iadd #2,#3,r0
+-
+| halt ; nop
+""")
+        assert result.register(0) == 5
+        assert result.cycles == 2
+        assert result.halted
+
+    def test_empty_slot_halts_fu(self):
+        result = run("""
+.width 2
+-
+| -> . ; iadd #1,#0,r0
+| halt ; iadd #2,#0,r1
+-
+| halt ; iadd #9,#0,r2
+""")
+        # FU0 runs two cycles; FU1 halts after the first
+        assert result.register(0) == 1
+        assert result.register(1) == 2
+        assert result.register(2) == 9
+
+    def test_pc_out_of_range_halts(self):
+        result = run("""
+.width 1
+-
+| -> @20 ; iadd #1,#0,r0
+""")
+        assert result.register(0) == 1
+        assert result.halted
+
+    def test_watchdog(self):
+        with pytest.raises(SimulationLimitError):
+            run("""
+.width 1
+spin:
+| -> spin ; nop
+""", max_cycles=100)
+
+
+class TestDatapathTiming:
+    def test_same_cycle_reads_see_old_values(self):
+        # FU0 writes r0 while FU1 reads it: end-of-cycle commit
+        result = run("""
+.width 2
+-
+| -> . ; iadd #7,#0,r0
+| -> . ; iadd r0,#0,r1
+-
+=> halt
+| nop
+| nop
+""", registers={0: 100})
+        assert result.register(0) == 7
+        assert result.register(1) == 100  # old value
+
+    def test_swap_in_one_cycle(self):
+        # the classic: two FUs exchange registers in a single cycle
+        result = run("""
+.width 2
+-
+| -> . ; iadd r1,#0,r0
+| -> . ; iadd r0,#0,r1
+-
+=> halt
+| nop
+| nop
+""", registers={0: 1, 1: 2})
+        assert result.register(0) == 2
+        assert result.register(1) == 1
+
+    def test_load_sees_same_cycle_store_old_value(self):
+        result = run("""
+.width 2
+-
+| -> . ; store #42,#10
+| -> . ; load #10,#0,r0
+-
+=> halt
+| nop
+| nop
+""")
+        assert result.register(0) == 0
+
+    def test_store_then_load_next_cycle(self):
+        result = run("""
+.width 1
+-
+| -> . ; store #42,#10
+-
+| -> . ; load #10,#0,r0
+-
+| halt ; nop
+""")
+        assert result.register(0) == 42
+
+
+class TestControlTiming:
+    def test_branch_reads_previous_cycle_compare(self):
+        # compare at 00 commits end of cycle; branch at 01 reads it
+        result = run("""
+.width 1
+-
+| -> . ; lt #1,#2
+-
+| if cc0 @02, @03 ; nop
+-
+| halt ; iadd #111,#0,r0
+-
+| halt ; iadd #222,#0,r0
+""")
+        assert result.register(0) == 111
+
+    def test_branch_same_cycle_compare_uses_stale_cc(self):
+        # the compare in the SAME cycle as the branch is not visible
+        result = run("""
+.width 1
+-
+| if cc0 @01, @02 ; lt #1,#2
+-
+| halt ; iadd #111,#0,r0
+-
+| halt ; iadd #222,#0,r0
+""")
+        assert result.register(0) == 222  # cc0 still FALSE (undefined)
+
+    def test_cross_fu_branch(self):
+        # FU1 branches on FU0's condition code
+        result = run("""
+.width 2
+-
+| -> . ; gt #5,#3
+| -> . ; nop
+-
+| halt ; nop
+| if cc0 @02, @03 ; nop
+-
+| empty
+| halt ; iadd #1,#0,r0
+-
+| empty
+| halt ; iadd #2,#0,r0
+""")
+        assert result.register(0) == 1
+
+
+class TestSynchronization:
+    BARRIER = """
+.width 2
+// FU0 loops 3 times; FU1 waits at the barrier
+-
+| -> . ; iadd #0,#0,r0
+| -> @04 ; nop
+-
+| -> . ; iadd r0,#1,r0
+-
+| -> . ; ge r0,#3
+-
+| if cc0 @04, @01 ; nop
+-
+| if all @05, @04 ; nop ; done
+| if all @05, @04 ; nop ; done
+-
+=> halt
+| iadd #100,r0,r1
+| nop
+"""
+
+    def test_barrier_joins_streams(self):
+        result = run(self.BARRIER)
+        assert result.register(0) == 3
+        assert result.register(1) == 103
+
+    def test_trace_shows_fork_and_join(self):
+        program = assemble(self.BARRIER)
+        machine = XimdMachine(program, trace=True,
+                              tracker=TrackerKind.ADAPTIVE)
+        result = machine.run(1000)
+        partitions = [r.partition for r in result.trace]
+        assert any(len(p) == 2 for p in partitions)   # forked
+        assert len(partitions[-1]) == 1                # joined
+
+    def test_ss_done_condition(self):
+        # FU1 spins until FU0's parcel carries DONE
+        result = run("""
+.width 2
+-
+| -> . ; nop
+| if ss0 @02, @01 ; nop
+-
+| -> . ; nop ; done
+| if ss0 @02, @01 ; nop
+-
+| halt ; nop ; done
+| halt ; iadd #5,#0,r0
+""")
+        assert result.register(0) == 5
+
+    def test_registered_ss_delays_visibility(self):
+        config = research_config(2, ss_registered=True)
+        # with registered sync, FU1 sees FU0's DONE one cycle later
+        result = run("""
+.width 2
+-
+| -> . ; nop ; done
+| if ss0 @02, @01 ; iadd r0,#1,r0
+-
+| -> . ; nop ; done
+| if ss0 @02, @01 ; iadd r0,#1,r0
+-
+| halt ; nop ; done
+| halt ; nop
+""", config=config)
+        # registered distribution: one extra poll vs the combinational
+        # default (which would leave r0 == 1)
+        assert result.register(0) == 2
+
+    def test_halted_fu_counts_as_done_in_barrier(self):
+        result = run("""
+.width 2
+-
+| halt ; nop
+| if all @01, @00 ; nop ; done
+-
+| empty
+| halt ; iadd #9,#0,r0
+""")
+        assert result.register(0) == 9
+
+
+class TestPrototypeConfig:
+    def test_write_latency_exposes_delay_slot(self):
+        config = prototype_config(1, memory_words=64)
+        result = run("""
+.width 1
+-
+| -> . ; iadd #5,#0,r0
+-
+| -> . ; iadd r0,#0,r1
+-
+| -> . ; iadd r0,#0,r2
+-
+| halt ; nop
+""", config=config)
+        assert result.register(1) == 0   # read in the delay slot
+        assert result.register(2) == 5   # committed by now
+
+    def test_incrementing_sequencer_falls_through(self):
+        config = prototype_config(1, memory_words=64)
+        result = run("""
+.width 1
+-
+| if cc0 @03, @03 ; nop
+-
+| -> . ; iadd #1,#0,r0
+-
+| halt ; nop
+-
+| halt ; iadd #2,#0,r0
+""", config=config)
+        # cc0 false -> PC+1, the @03 untaken target is ignored
+        assert result.register(0) == 1
+
+
+class TestStats:
+    def test_op_and_branch_counts(self):
+        program = assemble("""
+.width 2
+-
+| -> . ; iadd #1,#2,r0
+| -> . ; nop
+-
+| if cc0 @02, @02 ; lt #1,#2
+| -> @02 ; nop
+-
+=> halt
+| nop
+| nop
+""")
+        machine = XimdMachine(program)
+        result = machine.run(100)
+        assert result.stats.data_ops == 2
+        assert result.stats.nops >= 3
+        assert result.stats.branches_conditional == 1
+        assert result.stats.branches_unconditional == 3
+        assert 0 < result.stats.utilization(2) < 1
+
+
+class TestConfigValidation:
+    def test_width_mismatch_rejected(self):
+        program = assemble(".width 2\n-\n| halt ; nop\n| halt ; nop\n")
+        from repro.machine import ProgramError
+        with pytest.raises(ProgramError):
+            XimdMachine(program, config=research_config(4))
+
+    def test_bad_config_values(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_fus=0)
+        with pytest.raises(ValueError):
+            MachineConfig(write_latency=0)

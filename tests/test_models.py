@@ -1,0 +1,249 @@
+"""Tests for the section 2 state-machine models and emulation theorems."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble
+from repro.machine import VliwMachine, XimdMachine
+from repro.models import (
+    HALT,
+    MicroKind,
+    MicroOp,
+    MimdMachine,
+    MimdProgram,
+    SimdMachine,
+    SimdProgram,
+    SisdMachine,
+    SisdProgram,
+    VliwModelMachine,
+    VliwModelProgram,
+    XimdModelMachine,
+    XimdModelProgram,
+    duplicate_control,
+    embed_mimd_in_ximd,
+    embed_simd_in_vliw,
+    embed_vliw_in_ximd,
+    equivalent_runs,
+    goto,
+    if_cc,
+    is_mimd_expressible,
+    is_vliw_expressible,
+)
+
+
+def ldi(dst, imm):
+    return MicroOp(MicroKind.LDI, dst=dst, imm=imm)
+
+
+def add(dst, a, b):
+    return MicroOp(MicroKind.ADD, dst=dst, src1=a, src2=b)
+
+
+def cmp_gt(a, b):
+    return MicroOp(MicroKind.CMP_GT, src1=a, src2=b)
+
+
+class TestSisd:
+    def test_straight_line(self):
+        program = SisdProgram((
+            (ldi(0, 5), goto(1)),
+            (ldi(1, 7), goto(2)),
+            (add(2, 0, 1), HALT),
+        ))
+        result = SisdMachine(program).run()
+        (regs, cc), = result.final_datapath_state()
+        assert regs[2] == 12
+        assert result.halted
+
+    def test_conditional_loop(self):
+        # count r0 down: r0 > 0 loop
+        program = SisdProgram((
+            (MicroOp(MicroKind.SUB, dst=0, src1=0, src2=1), goto(1)),
+            (cmp_gt(0, 2), goto(2)),
+            (MicroOp(), if_cc(0, 0, 3)),
+            (MicroOp(), HALT),
+        ))
+        machine = SisdMachine(program, registers=[5, 1, 0, 0])
+        result = machine.run()
+        (regs, _), = result.final_datapath_state()
+        assert regs[0] == 0
+
+    def test_sisd_delta_restricted_to_own_state(self):
+        with pytest.raises(ValueError):
+            SisdProgram(((MicroOp(), if_cc(1, 0, 0)),))
+
+    def test_bad_target(self):
+        with pytest.raises(ValueError):
+            SisdProgram(((MicroOp(), goto(7)),))
+
+
+class TestEmulationTheorems:
+    def _simd_program(self):
+        return SimdProgram((
+            (ldi(0, 3), goto(1)),
+            (add(1, 0, 0), goto(2)),
+            (add(1, 1, 1), HALT),
+        ), n_units=4)
+
+    def test_simd_runs(self):
+        result = SimdMachine(self._simd_program()).run()
+        for regs, _ in result.final_datapath_state():
+            assert regs[1] == 12
+
+    def test_vliw_supersets_simd(self):
+        """Identical lambda_i == lambda: functionally equivalent."""
+        simd = self._simd_program()
+        registers = [[i, 0, 0, 0] for i in range(4)]
+        run_simd = SimdMachine(simd, registers).run()
+        run_vliw = VliwModelMachine(embed_simd_in_vliw(simd),
+                                    registers).run()
+        assert equivalent_runs(run_simd, run_vliw)
+
+    def _vliw_program(self):
+        return VliwModelProgram((
+            ((ldi(0, 2), cmp_gt(0, 1)), goto(1)),
+            ((add(1, 0, 0), MicroOp()), if_cc(1, 2, 1)),
+            ((MicroOp(), add(0, 0, 0)), HALT),
+        ))
+
+    def test_ximd_supersets_vliw(self):
+        """Identical delta_i and S_i(0): functionally equivalent."""
+        vliw = self._vliw_program()
+        registers = [[4, 1, 0, 0], [9, 2, 0, 0]]
+        run_v = VliwModelMachine(vliw, registers).run()
+        run_x = XimdModelMachine(embed_vliw_in_ximd(vliw),
+                                 registers).run()
+        assert equivalent_runs(run_v, run_x)
+
+    def test_embedded_vliw_is_syntactically_vliw(self):
+        assert is_vliw_expressible(embed_vliw_in_ximd(self._vliw_program()))
+
+    def _mimd_program(self):
+        # two fully independent countdown streams (each delta_i watches
+        # only its own condition code, per the MIMD restriction)
+        def unit(index):
+            return (
+                (MicroOp(MicroKind.SUB, dst=0, src1=0, src2=1), goto(1)),
+                (MicroOp(MicroKind.CMP_GT, src1=0, src2=2), goto(2)),
+                (MicroOp(), if_cc(index, 0, 3)),
+                (MicroOp(), HALT),
+            )
+        return MimdProgram((unit(0), unit(1)))
+
+    def test_mimd_streams_independent(self):
+        program = self._mimd_program()
+        registers = [[3, 1, 0, 0], [7, 1, 0, 0]]
+        result = MimdMachine(program, registers).run()
+        states = result.final_datapath_state()
+        assert states[0][0][0] == 0 and states[1][0][0] == 0
+        assert result.halted
+
+    def test_ximd_supersets_mimd(self):
+        program = self._mimd_program()
+        registers = [[3, 1, 0, 0], [7, 1, 0, 0]]
+        run_m = MimdMachine(program, registers).run()
+        run_x = XimdModelMachine(embed_mimd_in_ximd(program),
+                                 registers).run()
+        assert equivalent_runs(run_m, run_x)
+
+    def test_mimd_restriction_enforced(self):
+        with pytest.raises(ValueError):
+            MimdProgram((
+                ((MicroOp(), if_cc(1, 0, 0)),),
+                ((MicroOp(), HALT),),
+            ))
+
+    def test_mimd_expressibility_predicate(self):
+        assert is_mimd_expressible(embed_mimd_in_ximd(self._mimd_program()))
+        cross = XimdModelProgram((
+            ((MicroOp(), if_cc(1, 0, 0)),),
+            ((MicroOp(), HALT),),
+        ))
+        assert not is_mimd_expressible(cross)
+
+
+@st.composite
+def simd_programs(draw):
+    """Random terminating SIMD programs: forward-jumping rows."""
+    length = draw(st.integers(min_value=1, max_value=6))
+    rows = []
+    for index in range(length):
+        kind = draw(st.sampled_from([MicroKind.NOP, MicroKind.LDI,
+                                     MicroKind.ADD, MicroKind.SUB,
+                                     MicroKind.CMP_GT]))
+        op = MicroOp(kind,
+                     dst=draw(st.integers(0, 3)),
+                     src1=draw(st.integers(0, 3)),
+                     src2=draw(st.integers(0, 3)),
+                     imm=draw(st.integers(-5, 5)))
+        if index == length - 1:
+            spec = HALT
+        else:
+            # forward targets only: guaranteed termination
+            t1 = draw(st.integers(index + 1, length - 1))
+            t2 = draw(st.integers(index + 1, length - 1))
+            unit = draw(st.integers(0, 3))
+            spec = draw(st.sampled_from([goto(t1), if_cc(unit, t1, t2)]))
+        rows.append((op, spec))
+    return SimdProgram(tuple(rows), n_units=4)
+
+
+class TestEmulationProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(simd_programs(),
+           st.lists(st.lists(st.integers(-8, 8), min_size=4, max_size=4),
+                    min_size=4, max_size=4))
+    def test_simd_vliw_ximd_tower(self, simd, registers):
+        """SIMD == its VLIW embedding == that embedding's XIMD form,
+        on random programs and initial states."""
+        run_s = SimdMachine(simd, registers).run()
+        vliw = embed_simd_in_vliw(simd)
+        run_v = VliwModelMachine(vliw, registers).run()
+        run_x = XimdModelMachine(embed_vliw_in_ximd(vliw),
+                                 registers).run()
+        assert equivalent_runs(run_s, run_v)
+        assert equivalent_runs(run_v, run_x)
+
+
+class TestConcreteDuplicateControl:
+    def test_vliw_code_runs_identically_on_ximd(self):
+        """The Example 1 recipe on the real machines."""
+        source = """
+.width 2
+-
+| -> . ; iadd #1,#2,r0
+| empty
+-
+| -> . ; lt r0,#10
+| -> . ; iadd r0,r0,r1
+-
+| if cc0 @03, @04 ; nop
+| empty
+-
+| -> @04 ; iadd r1,#1,r2
+| empty
+-
+=> halt
+| nop
+| nop
+"""
+        program = assemble(source)
+        vliw_run = VliwMachine(program).run(100)
+        ximd_run = XimdMachine(duplicate_control(program)).run(100)
+        assert vliw_run.registers == ximd_run.registers
+        assert vliw_run.cycles == ximd_run.cycles
+
+    def test_paper_examples_equivalence(self):
+        from repro.workloads import (MINMAX_REGS, minmax_memory,
+                                     minmax_vliw_source)
+        program = assemble(minmax_vliw_source())
+        init = minmax_memory((5, 3, 4, 7))
+        vm = VliwMachine(program)
+        xm = XimdMachine(duplicate_control(program))
+        for machine in (vm, xm):
+            machine.regfile.poke(MINMAX_REGS["n"], 4)
+            for address, value in init.items():
+                machine.memory.poke(address, value)
+        rv, rx = vm.run(1000), xm.run(1000)
+        assert rv.cycles == rx.cycles
+        assert rv.registers == rx.registers

@@ -1,0 +1,328 @@
+"""The paper's worked examples, validated against oracles and Figure 10."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble
+from repro.machine import (
+    TrackerKind,
+    VliwMachine,
+    XimdMachine,
+    run_ximd,
+)
+from repro.workloads import (
+    B_BASE,
+    BITCOUNT_REGS,
+    FIGURE10_DATA,
+    FIGURE10_EXPECTED,
+    LL12_REGS,
+    MINMAX_REGS,
+    TPROC_REGS,
+    X_BASE,
+    bitcount1_reference,
+    bitcount1_source,
+    bitcount_memory,
+    bitcount_total_reference,
+    bitcount_total_source,
+    bitcount_vliw_source,
+    livermore12_memory,
+    livermore12_reference,
+    livermore12_source,
+    minmax_memory,
+    minmax_reference,
+    minmax_source,
+    minmax_vliw_source,
+    random_ints,
+    random_words,
+    tproc_reference,
+    tproc_source,
+)
+
+i32small = st.integers(min_value=-10_000, max_value=10_000)
+
+
+# ---------------------------------------------------------------------------
+# Example 1: TPROC
+
+
+class TestTproc:
+    def run_tproc(self, a, b, c, d):
+        result = run_ximd(
+            assemble(tproc_source()),
+            registers={TPROC_REGS["a"]: a, TPROC_REGS["b"]: b,
+                       TPROC_REGS["c"]: c, TPROC_REGS["d"]: d})
+        return result
+
+    def test_paper_schedule_is_five_cycles_plus_halt(self):
+        assert self.run_tproc(1, 2, 3, 4).cycles == 6
+
+    def test_example_values(self):
+        result = self.run_tproc(7, 3, -2, 11)
+        assert result.register(TPROC_REGS["f"]) == tproc_reference(
+            7, 3, -2, 11)
+
+    @given(i32small, i32small, i32small, i32small)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference(self, a, b, c, d):
+        result = self.run_tproc(a, b, c, d)
+        assert result.register(TPROC_REGS["f"]) == tproc_reference(
+            a, b, c, d)
+
+    def test_runs_identically_on_vliw(self):
+        # Example 1 is VLIW-mode code: same cycles on both machines
+        program = assemble(tproc_source())
+        regs = {TPROC_REGS[n]: v for n, v in
+                zip("abcd", (9, 8, 7, 6))}
+        xm = XimdMachine(program)
+        vm = VliwMachine(assemble(tproc_source()))
+        for machine in (xm, vm):
+            for index, value in regs.items():
+                machine.regfile.poke(index, value)
+        rx, rv = xm.run(100), vm.run(100)
+        assert rx.cycles == rv.cycles
+        assert rx.registers == rv.registers
+
+
+# ---------------------------------------------------------------------------
+# Example 2: MINMAX and Figure 10
+
+
+def run_minmax(data, source=None, machine_cls=XimdMachine, **kw):
+    program = assemble(source if source is not None
+                       else minmax_source("halt"))
+    machine = machine_cls(program, **kw)
+    machine.regfile.poke(MINMAX_REGS["n"], len(data))
+    for address, value in minmax_memory(data).items():
+        machine.memory.poke(address, value)
+    result = machine.run(100_000)
+    return (machine.regfile.peek(MINMAX_REGS["min"]),
+            machine.regfile.peek(MINMAX_REGS["max"]), result, machine)
+
+
+class TestMinMax:
+    def test_paper_data_set(self):
+        lo, hi, result, _ = run_minmax(FIGURE10_DATA)
+        assert (lo, hi) == (3, 7)
+
+    def test_single_element(self):
+        lo, hi, _, _ = run_minmax((42,))
+        assert (lo, hi) == (42, 42)
+
+    def test_two_elements(self):
+        lo, hi, _, _ = run_minmax((9, -9))
+        assert (lo, hi) == (-9, 9)
+
+    def test_sorted_and_reversed(self):
+        for data in ([1, 2, 3, 4, 5], [5, 4, 3, 2, 1]):
+            lo, hi, _, _ = run_minmax(data)
+            assert (lo, hi) == (1, 5)
+
+    def test_all_equal(self):
+        lo, hi, _, _ = run_minmax([7] * 6)
+        assert (lo, hi) == (7, 7)
+
+    @given(st.lists(i32small, min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_reference(self, data):
+        lo, hi, _, _ = run_minmax(data)
+        assert (lo, hi) == minmax_reference(data)
+
+    @given(st.lists(i32small, min_size=1, max_size=25))
+    @settings(max_examples=20, deadline=None)
+    def test_vliw_version_matches_reference(self, data):
+        lo, hi, _, _ = run_minmax(data, source=minmax_vliw_source(),
+                                  machine_cls=VliwMachine)
+        assert (lo, hi) == minmax_reference(data)
+
+    def test_ximd_beats_vliw(self):
+        """The paper's point: two parallel control ops per iteration."""
+        data = random_ints(30, seed=11)[1:]
+        _, _, rx, _ = run_minmax(data)
+        _, _, rv, _ = run_minmax(data, source=minmax_vliw_source(),
+                                 machine_cls=VliwMachine)
+        assert rx.cycles < rv.cycles
+
+
+class TestFigure10:
+    """Cell-for-cell reproduction of the published address trace."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        machine = XimdMachine(assemble(minmax_source("loop")),
+                              trace=True, tracker=TrackerKind.EXACT)
+        machine.regfile.poke(MINMAX_REGS["n"], len(FIGURE10_DATA))
+        for address, value in minmax_memory(FIGURE10_DATA).items():
+            machine.memory.poke(address, value)
+        for _ in range(len(FIGURE10_EXPECTED)):
+            machine.step()
+        return machine.trace
+
+    def test_cycle_count(self, trace):
+        assert len(trace) == 14
+
+    def test_addresses_match(self, trace):
+        for record, (pcs, _, _) in zip(trace, FIGURE10_EXPECTED):
+            assert tuple(record.pcs) == pcs, f"cycle {record.cycle}"
+
+    def test_condition_codes_match(self, trace):
+        for record, (_, cc, _) in zip(trace, FIGURE10_EXPECTED):
+            assert record.condition_codes == cc, f"cycle {record.cycle}"
+
+    def test_partitions_match(self, trace):
+        for record, (_, _, partition) in zip(trace, FIGURE10_EXPECTED):
+            assert record.partition_text() == partition, \
+                f"cycle {record.cycle}"
+
+    def test_fork_cycles_have_three_ssets(self, trace):
+        fork_cycles = [r.cycle for r in trace if len(r.partition) == 3]
+        assert fork_cycles == [3, 6, 9, 12]
+
+    def test_heuristic_tracker_identical(self):
+        machine = XimdMachine(assemble(minmax_source("loop")),
+                              trace=True, tracker=TrackerKind.HEURISTIC)
+        machine.regfile.poke(MINMAX_REGS["n"], len(FIGURE10_DATA))
+        for address, value in minmax_memory(FIGURE10_DATA).items():
+            machine.memory.poke(address, value)
+        for _ in range(len(FIGURE10_EXPECTED)):
+            machine.step()
+        for record, (_, _, partition) in zip(machine.trace,
+                                             FIGURE10_EXPECTED):
+            assert record.partition_text() == partition
+
+    def test_formatted_table_renders(self, trace):
+        table = trace.format()
+        assert "{0,1}{2}{3}" in table
+        assert "Cycle 13" in table
+
+
+# ---------------------------------------------------------------------------
+# Example 3: BITCOUNT1
+
+
+def run_bitcount(data, n, source):
+    machine = XimdMachine(assemble(source))
+    machine.regfile.poke(BITCOUNT_REGS["n"], n)
+    for address, value in bitcount_memory(data).items():
+        machine.memory.poke(address, value)
+    result = machine.run(2_000_000)
+    got = {k: machine.memory.peek(B_BASE + k) for k in range(n + 1)}
+    return got, result
+
+
+class TestBitcount:
+    def test_small_n_goes_through_cleanup(self):
+        data = random_words(5, seed=1)
+        got, _ = run_bitcount(data, 5, bitcount1_source())
+        assert got == bitcount1_reference(data, 5)
+
+    def test_boundary_n8_is_all_cleanup(self):
+        data = random_words(8, seed=2)
+        got, _ = run_bitcount(data, 8, bitcount1_source())
+        assert got == bitcount1_reference(data, 8)
+
+    def test_boundary_n9_enters_main_loop(self):
+        data = random_words(9, seed=3)
+        got, _ = run_bitcount(data, 9, bitcount1_source())
+        assert got == bitcount1_reference(data, 9)
+
+    @pytest.mark.parametrize("n", [10, 12, 13, 16, 21, 32])
+    def test_various_lengths(self, n):
+        data = random_words(n, seed=n)
+        got, _ = run_bitcount(data, n, bitcount1_source())
+        assert got == bitcount1_reference(data, n)
+
+    def test_zero_words(self):
+        data = [0] + [0] * 12
+        got, _ = run_bitcount(data, 12, bitcount1_source())
+        assert got == bitcount1_reference(data, 12)
+
+    def test_all_ones_words(self):
+        data = [0] + [0xFFFFFFFF] * 12
+        got, _ = run_bitcount(data, 12, bitcount1_source())
+        assert got == bitcount1_reference(data, 12)
+
+    def test_total_variant_is_running_total(self):
+        data = random_words(14, seed=9)
+        got, _ = run_bitcount(data, 14, bitcount_total_source())
+        assert got == bitcount_total_reference(data, 14)
+
+    def test_vliw_version_matches_total_reference(self):
+        data = random_words(11, seed=5)
+        machine = VliwMachine(assemble(bitcount_vliw_source()))
+        machine.regfile.poke(BITCOUNT_REGS["n"], 11)
+        for address, value in bitcount_memory(data).items():
+            machine.memory.poke(address, value)
+        machine.run(2_000_000)
+        got = {k: machine.memory.peek(B_BASE + k) for k in range(12)}
+        assert got == bitcount_total_reference(data, 11)
+
+    def test_ximd_beats_vliw(self):
+        data = random_words(16, seed=21)
+        _, rx = run_bitcount(data, 16, bitcount_total_source())
+        machine = VliwMachine(assemble(bitcount_vliw_source()))
+        machine.regfile.poke(BITCOUNT_REGS["n"], 16)
+        for address, value in bitcount_memory(data).items():
+            machine.memory.poke(address, value)
+        rv = machine.run(2_000_000)
+        assert rx.cycles < rv.cycles
+
+    def test_barrier_produces_fork_then_join(self):
+        """Figure 11's shape: one SSET, a fork into four, a barrier
+        join back to one."""
+        data = random_words(12, seed=4)
+        program = assemble(bitcount1_source())
+        machine = XimdMachine(program, trace=True,
+                              tracker=TrackerKind.ADAPTIVE)
+        machine.regfile.poke(BITCOUNT_REGS["n"], 12)
+        for address, value in bitcount_memory(data).items():
+            machine.memory.poke(address, value)
+        machine.run(2_000_000)
+        sizes = [len(r.partition) for r in machine.trace]
+        assert sizes[0] == 1          # single SSET at startup
+        assert max(sizes) == 4        # full four-way fork
+        # after every fork the streams rejoin (barrier or cleanup)
+        joins = [i for i in range(1, len(sizes))
+                 if sizes[i] == 1 and sizes[i - 1] > 1]
+        assert joins
+
+
+# ---------------------------------------------------------------------------
+# Livermore Loop 12 (hand-pipelined version)
+
+
+class TestLivermore12:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 20])
+    def test_matches_reference(self, n):
+        y = random_ints(n + 1, seed=n)
+        machine = XimdMachine(assemble(livermore12_source()))
+        machine.regfile.poke(LL12_REGS["n"], n)
+        for address, value in livermore12_memory(y).items():
+            machine.memory.poke(address, value)
+        machine.run(100_000)
+        got = [0] + [machine.memory.peek(X_BASE + k)
+                     for k in range(1, n + 1)]
+        assert got == livermore12_reference(y, n)
+
+    def test_kernel_is_two_cycles_per_iteration(self):
+        y = random_ints(101, seed=0)
+        machine = XimdMachine(assemble(livermore12_source()))
+        machine.regfile.poke(LL12_REGS["n"], 100)
+        for address, value in livermore12_memory(y).items():
+            machine.memory.poke(address, value)
+        result = machine.run(100_000)
+        # II = 2 software pipeline: 2n + small constant
+        assert result.cycles <= 2 * 100 + 8
+
+    def test_identical_on_vliw_machine(self):
+        """Software-pipelined VLIW-mode code: XIMD == VLIW exactly."""
+        n = 30
+        y = random_ints(n + 1, seed=3)
+        runs = []
+        for cls in (XimdMachine, VliwMachine):
+            machine = cls(assemble(livermore12_source()))
+            machine.regfile.poke(LL12_REGS["n"], n)
+            for address, value in livermore12_memory(y).items():
+                machine.memory.poke(address, value)
+            runs.append(machine.run(100_000))
+        assert runs[0].cycles == runs[1].cycles
+        assert runs[0].registers == runs[1].registers

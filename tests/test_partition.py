@@ -1,0 +1,181 @@
+"""Tests for SSET partition tracking (the section 2.4 formalism)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble
+from repro.machine import (
+    TrackerKind,
+    XimdMachine,
+    format_partition,
+    is_valid_partition,
+    normalize_partition,
+    parse_partition,
+    refines,
+)
+
+
+class TestNotation:
+    def test_format(self):
+        assert format_partition(((0, 1), (2,), (3, 6, 7), (4, 5))) == \
+            "{0,1}{2}{3,6,7}{4,5}"
+
+    def test_parse(self):
+        assert parse_partition("{0,1}{2}{3,6,7}{4,5}") == \
+            ((0, 1), (2,), (3, 6, 7), (4, 5))
+
+    def test_parse_normalizes_order(self):
+        assert parse_partition("{4,5}{1,0}") == ((0, 1), (4, 5))
+
+    def test_roundtrip(self):
+        for text in ("{0,1,2,3,4,5,6,7}", "{0}{1,2,3}{4}{5,6,7}"):
+            assert format_partition(parse_partition(text)) == text
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_partition("0,1}{2")
+        with pytest.raises(ValueError):
+            parse_partition("{}")
+
+    def test_validity(self):
+        assert is_valid_partition(((0, 1), (2,)), 3)
+        assert not is_valid_partition(((0, 1),), 3)        # missing 2
+        assert not is_valid_partition(((0,), (0, 1)), 2)   # duplicate 0
+
+    def test_refinement(self):
+        fine = ((0,), (1,), (2, 3))
+        coarse = ((0, 1), (2, 3))
+        assert refines(fine, coarse)
+        assert not refines(coarse, fine)
+        assert refines(coarse, coarse)
+
+
+def partitions_of(machine):
+    machine.run(10_000)
+    return [record.partition for record in machine.trace]
+
+
+def tracked(source, kind):
+    return XimdMachine(assemble(source), trace=True, tracker=kind)
+
+
+FORK_JOIN = """
+.width 2
+// both FUs branch on the same condition: stay one SSET
+-
+| -> . ; lt #1,#2
+| -> . ; nop
+-
+| if cc0 @02, @02 ; nop
+| if cc0 @02, @02 ; nop
+// data-dependent split: different conditions
+-
+| if cc0 @03, @04 ; nop
+| if cc1 @03, @04 ; gt #1,#2
+// reconverge unconditionally
+-
+| -> @05 ; nop
+| -> @05 ; nop
+-
+| -> @05 ; nop
+| -> @05 ; nop
+.org @05
+-
+=> halt
+| nop
+| nop
+"""
+
+
+class TestExactTracker:
+    def test_identical_branches_keep_one_sset(self):
+        parts = partitions_of(tracked(FORK_JOIN, TrackerKind.EXACT))
+        assert parts[0] == ((0, 1),)
+        assert parts[1] == ((0, 1),)
+        assert parts[2] == ((0, 1),)   # branching cycle itself
+
+    def test_different_conditions_split(self):
+        parts = partitions_of(tracked(FORK_JOIN, TrackerKind.EXACT))
+        assert parts[3] == ((0,), (1,))
+
+    def test_unconditional_reconvergence_joins(self):
+        parts = partitions_of(tracked(FORK_JOIN, TrackerKind.EXACT))
+        assert parts[4] == ((0, 1),)
+
+    def test_same_address_is_not_same_sset(self):
+        # the Figure 10 subtlety: both FUs at one address can still be
+        # distinct SSETs when they arrived by data-dependent branches
+        source = """
+.width 2
+-
+| if cc0 @01, @02 ; nop
+| if cc1 @01, @02 ; nop
+-
+| -> @03 ; nop
+| -> @03 ; nop
+-
+| -> @03 ; nop
+| -> @03 ; nop
+.org @03
+-
+=> halt
+| nop
+| nop
+"""
+        parts = partitions_of(tracked(source, TrackerKind.EXACT))
+        assert parts[1] == ((0,), (1,))  # wherever they landed
+
+    def test_all_partitions_valid(self):
+        for kind in (TrackerKind.EXACT, TrackerKind.HEURISTIC,
+                     TrackerKind.ADAPTIVE):
+            for partition in partitions_of(tracked(FORK_JOIN, kind)):
+                assert is_valid_partition(partition, 2)
+
+
+class TestHeuristicAgreement:
+    @pytest.mark.parametrize("source", [FORK_JOIN])
+    def test_matches_exact_on_structured_code(self, source):
+        exact = partitions_of(tracked(source, TrackerKind.EXACT))
+        heuristic = partitions_of(tracked(source, TrackerKind.HEURISTIC))
+        assert exact == heuristic
+
+    def test_heuristic_barrier_join(self):
+        source = """
+.width 2
+-
+| -> @02 ; nop
+| if cc1 @01, @02 ; nop
+-
+| empty
+| -> @02 ; nop
+-
+| if all @03, @02 ; nop ; done
+| if all @03, @02 ; nop ; done
+-
+=> halt
+| nop
+| nop
+"""
+        heuristic = partitions_of(tracked(source, TrackerKind.HEURISTIC))
+        assert heuristic[-1] == ((0, 1),)
+
+
+class TestMinMaxFigure10:
+    """The canonical validation: Figure 10, via the workloads module
+    (the cell-for-cell comparison lives in test_paper_examples; here we
+    check tracker-vs-tracker agreement)."""
+
+    def test_exact_and_heuristic_agree(self):
+        from repro.workloads import (FIGURE10_DATA, MINMAX_REGS,
+                                     minmax_memory, minmax_source)
+        results = []
+        for kind in (TrackerKind.EXACT, TrackerKind.HEURISTIC):
+            machine = XimdMachine(assemble(minmax_source("loop")),
+                                  trace=True, tracker=kind)
+            machine.regfile.poke(MINMAX_REGS["n"], len(FIGURE10_DATA))
+            for address, value in minmax_memory(FIGURE10_DATA).items():
+                machine.memory.poke(address, value)
+            for _ in range(14):
+                machine.step()
+            results.append([r.partition for r in machine.trace])
+        assert results[0] == results[1]

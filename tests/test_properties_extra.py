@@ -1,0 +1,199 @@
+"""Extra property tests: trackers on random programs, generators,
+trace rendering, and disassembler round-trips over random programs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble, disassemble
+from repro.isa import (
+    Condition,
+    Const,
+    ControlOp,
+    DataOp,
+    Parcel,
+    Reg,
+    SyncValue,
+    lookup,
+)
+from repro.machine import (
+    Program,
+    TrackerKind,
+    XimdMachine,
+    is_valid_partition,
+    research_config,
+    run_ximd,
+)
+from repro.workloads import (
+    branchy_loop_sources,
+    popcount32,
+    random_dag_source,
+    random_ints,
+    random_words,
+)
+
+
+def lenient(width):
+    """Random programs may hit the architecture's undefined same-cycle
+    write conflicts; tolerate them (last FU wins) so the properties
+    under test — tracking, rendering, round-trips — are what fails."""
+    return research_config(width, detect_register_conflicts=False,
+                           detect_memory_conflicts=False)
+
+# ---------------------------------------------------------------------------
+# random XIMD programs: every FU gets a short column of forward-jumping
+# parcels with random conditional branches; programs always terminate.
+
+
+@st.composite
+def random_programs(draw):
+    n_fus = draw(st.integers(min_value=1, max_value=3))
+    length = draw(st.integers(min_value=2, max_value=6))
+    columns = []
+    for fu in range(n_fus):
+        column = []
+        for address in range(length):
+            reg = draw(st.integers(0, 3))
+            kind = draw(st.integers(0, 2))
+            if kind == 0:
+                data = DataOp(lookup("iadd"), Reg(reg),
+                              Const(draw(st.integers(-3, 3))),
+                              Reg(draw(st.integers(0, 3))))
+            elif kind == 1:
+                data = DataOp(lookup("lt"), Reg(reg),
+                              Const(draw(st.integers(-2, 2))))
+            else:
+                data = DataOp(lookup("nop"))
+            if address == length - 1:
+                control = None  # halt
+            else:
+                t1 = draw(st.integers(address + 1, length - 1))
+                if draw(st.booleans()):
+                    control = ControlOp(Condition.ALWAYS_T1, t1)
+                else:
+                    t2 = draw(st.integers(address + 1, length - 1))
+                    control = ControlOp(Condition.CC_TRUE, t1, t2,
+                                        index=draw(st.integers(0, n_fus - 1)))
+            sync = draw(st.sampled_from([SyncValue.BUSY, SyncValue.DONE]))
+            column.append(Parcel(data, control, sync))
+        columns.append(column)
+    return Program(columns)
+
+
+class TestTrackerProperties:
+    @given(random_programs())
+    @settings(max_examples=40, deadline=None)
+    def test_exact_partitions_always_valid(self, program):
+        machine = XimdMachine(program, config=lenient(program.width),
+                              trace=True, tracker=TrackerKind.EXACT)
+        machine.run(200)
+        for record in machine.trace:
+            assert is_valid_partition(record.partition, program.width)
+
+    @given(random_programs())
+    @settings(max_examples=40, deadline=None)
+    def test_heuristic_partitions_always_valid(self, program):
+        machine = XimdMachine(program, config=lenient(program.width),
+                              trace=True, tracker=TrackerKind.HEURISTIC)
+        machine.run(200)
+        for record in machine.trace:
+            assert is_valid_partition(record.partition, program.width)
+
+    @given(random_programs())
+    @settings(max_examples=40, deadline=None)
+    def test_tracking_never_changes_execution(self, program):
+        """Trackers observe; results must be identical with and
+        without them."""
+        results = []
+        for tracker in (TrackerKind.NONE, TrackerKind.EXACT,
+                        TrackerKind.HEURISTIC):
+            machine = XimdMachine(program, config=lenient(program.width),
+                                  tracker=tracker)
+            result = machine.run(200)
+            results.append((result.cycles, tuple(result.registers)))
+        assert results[0] == results[1] == results[2]
+
+    @given(random_programs())
+    @settings(max_examples=30, deadline=None)
+    def test_first_cycle_is_single_sset(self, program):
+        machine = XimdMachine(program, config=lenient(program.width),
+                              trace=True, tracker=TrackerKind.EXACT)
+        machine.run(200)
+        if machine.trace.records:
+            assert machine.trace[0].partition == \
+                (tuple(range(program.width)),)
+
+
+class TestDisassemblyProperty:
+    @given(random_programs())
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_execution_equivalence(self, program):
+        text = disassemble(program)
+        rebuilt = assemble(text)
+        r1 = run_ximd(program, config=lenient(program.width),
+                      max_cycles=200)
+        r2 = run_ximd(rebuilt, config=lenient(program.width),
+                      max_cycles=200)
+        assert r1.cycles == r2.cycles
+        assert r1.registers == r2.registers
+
+
+class TestGenerators:
+    def test_random_words_reproducible_and_one_indexed(self):
+        a = random_words(10, seed=3)
+        b = random_words(10, seed=3)
+        assert a == b
+        assert a[0] == 0 and len(a) == 11
+
+    def test_random_ints_range(self):
+        values = random_ints(50, seed=1, lo=-5, hi=5)
+        assert all(-5 <= v < 5 for v in values[1:])
+
+    def test_popcount(self):
+        assert popcount32(0) == 0
+        assert popcount32(0xFFFFFFFF) == 32
+        assert popcount32(-1) == 32  # masked to 32-bit pattern
+        assert popcount32(0b1011) == 3
+
+    def test_branchy_sources_parse_and_distinct_bases(self):
+        from repro.compiler import lower_unit, parse_xc
+        sources, oracles, bases = branchy_loop_sources(4, seed=5)
+        assert len(set(bases)) == 4
+        for i, source in enumerate(sources):
+            functions = lower_unit(parse_xc(source))
+            assert f"loop{i}" in functions
+
+    def test_dag_oracle_agrees_with_itself(self):
+        source, oracle = random_dag_source(20, seed=4)
+        assert oracle(1, 2, 3, 4, 5, 6) == oracle(1, 2, 3, 4, 5, 6)
+
+    @given(st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_dag_sources_always_compile(self, seed):
+        from repro.compiler import compile_xc
+        source, _ = random_dag_source(12, seed=seed)
+        compile_xc(source, width=4)
+
+
+class TestTraceRendering:
+    def test_halted_fu_renders_dashes(self):
+        program = assemble("""
+.width 2
+-
+| halt ; nop
+| -> . ; nop
+-
+| empty
+| halt ; nop
+""")
+        machine = XimdMachine(program, trace=True,
+                              tracker=TrackerKind.HEURISTIC)
+        machine.run(10)
+        text = machine.trace.format()
+        assert "--:" in text  # FU0 halted in cycle 1
+
+    def test_comments_column(self):
+        program = assemble(".width 1\n-\n| halt ; nop\n")
+        machine = XimdMachine(program, trace=True)
+        machine.run(10)
+        text = machine.trace.format(comments=["startup"])
+        assert "startup" in text

@@ -1,0 +1,234 @@
+"""Tests for multi-stream composition, tiles, and Figure 13 packing."""
+
+import pytest
+
+from repro.compiler import (
+    CompilerError,
+    Tile,
+    compile_ir,
+    compose_threads,
+    generate_tiles,
+    is_executable_packing,
+    lower_unit,
+    pack_exhaustive,
+    pack_in_order,
+    pack_skyline,
+    pack_stacks,
+    packed_program,
+    pareto_tiles,
+    parse_xc,
+)
+from repro.machine import TrackerKind, XimdMachine
+
+SUM_SRC = """
+func sumup(n) {
+  var i, acc;
+  array A @ {base};
+  i = 1; acc = 0;
+  while (i <= n) {{ acc = acc + A[i]; i = i + 1; }}
+  return acc;
+}
+"""
+
+
+def make_thread(name, base, width):
+    source = f"""
+func {name}(n) {{
+  var i, acc;
+  array A @ {base};
+  i = 1; acc = 0;
+  while (i <= n) {{ acc = acc + A[i]; i = i + 1; }}
+  return acc;
+}}
+"""
+    fn = lower_unit(parse_xc(source))[name]
+    return compile_ir(fn, width)
+
+
+class TestComposeThreads:
+    def test_two_threads_compute_independently(self):
+        t1 = make_thread("left", 0x1000, 2)
+        t2 = make_thread("right", 0x1800, 2)
+        program, placements = compose_threads([t1, t2], total_width=4)
+        machine = XimdMachine(program)
+        a = list(range(1, 11))
+        b = list(range(100, 105))
+        machine.regfile.poke(placements[0].register(t1, "n"), len(a))
+        machine.regfile.poke(placements[1].register(t2, "n"), len(b))
+        for i, value in enumerate(a, start=1):
+            machine.memory.poke(0x1000 + i, value)
+        for i, value in enumerate(b, start=1):
+            machine.memory.poke(0x1800 + i, value)
+        machine.run(10_000)
+        assert machine.regfile.peek(
+            placements[0].register(t1, "__ret")) == sum(a)
+        assert machine.regfile.peek(
+            placements[1].register(t2, "__ret")) == sum(b)
+
+    def test_register_windows_disjoint(self):
+        t1 = make_thread("p", 0x1000, 2)
+        t2 = make_thread("q", 0x1800, 2)
+        _, placements = compose_threads([t1, t2], total_width=4)
+        end0 = placements[0].register_base + placements[0].registers_used
+        assert placements[1].register_base >= end0
+
+    def test_barrier_joins_unequal_threads(self):
+        """Threads with different running times halt together."""
+        t1 = make_thread("short", 0x1000, 2)
+        t2 = make_thread("long", 0x1800, 2)
+        program, placements = compose_threads([t1, t2], total_width=4)
+        machine = XimdMachine(program, trace=True,
+                              tracker=TrackerKind.HEURISTIC)
+        machine.regfile.poke(placements[0].register(t1, "n"), 2)
+        machine.regfile.poke(placements[1].register(t2, "n"), 30)
+        for i in range(1, 31):
+            machine.memory.poke(0x1000 + i, 1)
+            machine.memory.poke(0x1800 + i, 1)
+        machine.run(10_000)
+        # both streams visible, then joined at the end
+        assert machine.trace[-1].partition == ((0, 1, 2, 3),)
+        assert any(len(r.partition) == 2 for r in machine.trace)
+
+    def test_too_wide_rejected(self):
+        t1 = make_thread("w", 0x1000, 8)
+        with pytest.raises(CompilerError):
+            compose_threads([t1, t1], total_width=8)
+
+
+class TestTiles:
+    def _fn(self):
+        return lower_unit(parse_xc("""
+func work(n) {
+  var i, acc;
+  array A @ 0x1000;
+  i = 1; acc = 0;
+  while (i <= n) { acc = acc + A[i] * A[i]; i = i + 1; }
+  return acc;
+}
+"""))["work"]
+
+    def test_tiles_cover_requested_widths(self):
+        tiles = generate_tiles(self._fn(), widths=(1, 2, 4))
+        assert [t.width for t in tiles] == [1, 2, 4]
+        assert all(t.height == t.compiled.program.length for t in tiles)
+
+    def test_wider_tiles_are_shorter_or_equal(self):
+        tiles = generate_tiles(self._fn(), widths=(1, 2, 4))
+        heights = [t.height for t in tiles]
+        assert heights[0] >= heights[1] >= heights[2]
+
+    def test_pareto_removes_dominated(self):
+        tiles = [Tile("t", 1, 10, None), Tile("t", 2, 10, None),
+                 Tile("t", 2, 6, None), Tile("t", 4, 6, None)]
+        frontier = pareto_tiles(tiles)
+        assert Tile("t", 2, 10, None) not in frontier
+        assert Tile("t", 4, 6, None) not in frontier
+        assert len(frontier) == 2
+
+    def test_measure_callback(self):
+        tiles = generate_tiles(self._fn(), widths=(2,),
+                               measure=lambda cf: cf.program.length * 10)
+        assert tiles[0].est_cycles == tiles[0].height * 10
+
+
+class TestPacking:
+    def _tiles(self):
+        return [Tile("a", 2, 8, None), Tile("b", 2, 5, None),
+                Tile("c", 4, 6, None), Tile("d", 2, 3, None)]
+
+    def test_in_order_shelves(self):
+        packing = pack_in_order(self._tiles(), total_width=8)
+        assert packing.height >= 8
+        assert len(packing.placements) == 4
+
+    def test_skyline_no_overlaps(self):
+        packing = pack_skyline(self._tiles(), total_width=8)
+        for a in packing.placements:
+            for b in packing.placements:
+                if a is b:
+                    continue
+                cols = set(a.columns()) & set(b.columns())
+                rows = (max(a.base_address, b.base_address) <
+                        min(a.top, b.top))
+                assert not (cols and rows), "tiles overlap"
+
+    def test_skyline_beats_or_ties_in_order(self):
+        tiles = self._tiles()
+        assert pack_skyline(tiles, 8).height <= \
+            pack_in_order(tiles, 8).height
+
+    def test_exhaustive_beats_or_ties_skyline(self):
+        menu = [[t] for t in self._tiles()]
+        best = pack_exhaustive(menu, total_width=8)
+        assert best.height <= pack_skyline(self._tiles(), 8).height
+
+    def test_exhaustive_explores_tile_choices(self):
+        menu = [[Tile("a", 2, 8, None), Tile("a", 4, 4, None)],
+                [Tile("b", 2, 8, None), Tile("b", 4, 4, None)]]
+        best = pack_exhaustive(menu, total_width=8)
+        assert best.height == 4  # both wide variants side by side
+
+    def test_utilization_bounds(self):
+        packing = pack_skyline(self._tiles(), 8)
+        assert 0 < packing.utilization <= 1
+
+    def test_describe_mentions_threads(self):
+        text = pack_skyline(self._tiles(), 8).describe()
+        for name in "abcd":
+            assert name in text
+
+
+class TestExecutablePacking:
+    def test_stacks_are_executable(self):
+        tiles = [Tile(f"t{i}", 2, 4 + i, None) for i in range(3)]
+        packing = pack_stacks(tiles, total_width=4)
+        assert is_executable_packing(packing)
+
+    def test_partial_overlap_not_executable(self):
+        tiles = [Tile("a", 4, 4, None), Tile("b", 2, 4, None)]
+        packing = pack_in_order(tiles, total_width=4)
+        # b lands on a shelf above a, overlapping half of a's columns
+        if packing.height > 4:
+            assert not is_executable_packing(packing)
+
+    def test_mixed_widths_rejected_by_stack_packer(self):
+        with pytest.raises(CompilerError):
+            pack_stacks([Tile("a", 2, 4, None), Tile("b", 4, 4, None)], 8)
+
+    def test_packed_program_runs_stacked_threads(self):
+        threads = [make_thread(f"job{i}", 0x1000 + i * 0x200, 2)
+                   for i in range(4)]
+        tiles = [Tile(t.function.name, 2, t.program.length, t)
+                 for t in threads]
+        packing = pack_stacks(tiles, total_width=4)
+        program, by_thread = packed_program(packing)
+        machine = XimdMachine(program)
+        expected = {}
+        for i, thread in enumerate(threads):
+            name = thread.function.name
+            placement = by_thread[name]
+            base = 0x1000 + i * 0x200
+            values = list(range(i + 1, i + 6))
+            for j, value in enumerate(values, start=1):
+                machine.memory.poke(base + j, value)
+            machine.regfile.poke(
+                thread.compiled_register_n(placement)
+                if hasattr(thread, "compiled_register_n")
+                else thread.register("n") + placement.register_base,
+                len(values))
+            expected[name] = (thread, placement, sum(values))
+        machine.run(100_000)
+        for name, (thread, placement, total) in expected.items():
+            got = machine.regfile.peek(
+                thread.register("__ret") + placement.register_base)
+            assert got == total
+
+    def test_nonexecutable_packing_rejected(self):
+        threads = [make_thread("wide", 0x1000, 4),
+                   make_thread("narrow", 0x1800, 2)]
+        tiles = [Tile(t.function.name, t.width, t.program.length, t)
+                 for t in threads]
+        packing = pack_in_order(tiles, total_width=4)
+        if not is_executable_packing(packing):
+            with pytest.raises(CompilerError):
+                packed_program(packing)

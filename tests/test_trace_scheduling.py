@@ -1,0 +1,117 @@
+"""Tests for superblock formation (trace scheduling)."""
+
+import pytest
+
+from repro.compiler import (
+    compile_xc,
+    estimate_profile,
+    lower_unit,
+    parse_xc,
+    pick_trace,
+    tail_duplicate,
+    trace_schedule,
+)
+from repro.compiler.dataflow import predecessors
+from repro.machine import run_ximd
+
+DIAMOND = """
+func f(a, b) {
+  var r, s;
+  r = 0; s = 0;
+  if (a < b) { r = a * 2; } else { r = b * 3; }
+  s = r + a;
+  if (s > 10) { s = s - 10; }
+  return s + r;
+}
+"""
+
+
+def oracle(a, b):
+    r = a * 2 if a < b else b * 3
+    s = r + a
+    if s > 10:
+        s -= 10
+    return s + r
+
+
+class TestProfile:
+    def test_loops_weighted_heavier(self):
+        fn = lower_unit(parse_xc("""
+func f(n) {
+  var i;
+  i = 0;
+  while (i < n) { i = i + 1; }
+  return i;
+}
+"""))["f"]
+        profile = estimate_profile(fn)
+        loop_blocks = [n for n in fn.blocks if "loop" in n]
+        straight = [n for n in fn.blocks if "loop" not in n]
+        assert max(profile[n] for n in loop_blocks) > \
+            max(profile[n] for n in straight)
+
+
+class TestPickTrace:
+    def test_starts_at_entry(self):
+        fn = lower_unit(parse_xc(DIAMOND))["f"]
+        trace = pick_trace(fn, estimate_profile(fn))
+        assert trace[0] == fn.entry
+        assert len(trace) >= 2
+
+    def test_no_repeats(self):
+        fn = lower_unit(parse_xc(DIAMOND))["f"]
+        trace = pick_trace(fn, estimate_profile(fn))
+        assert len(trace) == len(set(trace))
+
+
+class TestTailDuplication:
+    def test_removes_side_entrances(self):
+        fn = lower_unit(parse_xc(DIAMOND))["f"]
+        profile = estimate_profile(fn)
+        trace = pick_trace(fn, profile)
+        tail_duplicate(fn, trace)
+        fn.validate()
+        preds = predecessors(fn)
+        for position in range(1, len(trace)):
+            name = trace[position]
+            if name in fn.blocks:
+                on_trace = [p for p in preds[name]
+                            if p == trace[position - 1]]
+                others = [p for p in preds[name]
+                          if p != trace[position - 1]]
+                assert not others, f"{name} still side-entered"
+
+    def test_duplication_preserves_semantics(self):
+        for a, b in ((1, 5), (5, 1), (7, 7), (-3, 2), (100, 1)):
+            fn = lower_unit(parse_xc(DIAMOND))["f"]
+            trace_schedule(fn)
+            fn.validate()
+            from repro.compiler import compile_ir
+            cf = compile_ir(fn, 4)
+            result = run_ximd(cf.program, registers={
+                cf.register("a"): a, cf.register("b"): b})
+            assert result.register(cf.register("__ret")) == oracle(a, b)
+
+    def test_compile_after_trace_schedule_full_pipeline(self):
+        fn = lower_unit(parse_xc(DIAMOND))["f"]
+        formed, duplicated = trace_schedule(fn)
+        assert formed >= 1
+        from repro.compiler import compile_ir
+        cf = compile_ir(fn, 4)
+        result = run_ximd(cf.program, registers={
+            cf.register("a"): 2, cf.register("b"): 9})
+        assert result.register(cf.register("__ret")) == oracle(2, 9)
+
+    def test_trace_scheduling_can_shorten_hot_path(self):
+        """Superblock + percolation compacts the likely path at least
+        as well as plain block-at-a-time compilation."""
+        baseline = compile_xc(DIAMOND, width=8)
+        fn = lower_unit(parse_xc(DIAMOND))["f"]
+        trace_schedule(fn)
+        from repro.compiler import compile_ir
+        traced = compile_ir(fn, 8)
+        r0 = run_ximd(baseline.program, registers={
+            baseline.register("a"): 1, baseline.register("b"): 5})
+        r1 = run_ximd(traced.program, registers={
+            traced.register("a"): 1, traced.register("b"): 5})
+        assert r1.cycles <= r0.cycles + 1  # never meaningfully worse

@@ -1,0 +1,196 @@
+"""Tests for the XC language frontend: lexer, parser, lowering."""
+
+import pytest
+
+from repro.compiler import (
+    Branch,
+    Halt,
+    IRError,
+    Jump,
+    XcSemanticError,
+    XcSyntaxError,
+    lower_unit,
+    parse_xc,
+)
+from repro.compiler.ir import IRConst, IROp, VReg
+from repro.compiler.xc_ast import (
+    AssignStmt,
+    BinaryExpr,
+    IfStmt,
+    NumberExpr,
+    ReturnStmt,
+    WhileStmt,
+)
+
+
+def lower_one(source):
+    functions = lower_unit(parse_xc(source))
+    assert len(functions) == 1
+    return next(iter(functions.values()))
+
+
+class TestParser:
+    def test_function_shape(self):
+        decls = parse_xc("func f(a, b) { var t; t = a + b; return t; }")
+        assert decls[0].name == "f"
+        assert decls[0].params == ["a", "b"]
+        assert decls[0].variables == ["t"]
+
+    def test_array_declaration(self):
+        decls = parse_xc("func f() { array A @ 0x100; A[0] = 1; }")
+        assert decls[0].arrays == [("A", 256)]
+
+    def test_precedence(self):
+        decls = parse_xc("func f(a, b, c) { return a + b * c; }")
+        expr = decls[0].body[0].value
+        assert isinstance(expr, BinaryExpr) and expr.op == "+"
+        assert isinstance(expr.right, BinaryExpr) and expr.right.op == "*"
+
+    def test_parenthesized(self):
+        decls = parse_xc("func f(a, b, c) { return (a + b) * c; }")
+        expr = decls[0].body[0].value
+        assert expr.op == "*"
+
+    def test_if_else_and_while(self):
+        decls = parse_xc("""
+func f(n) {
+  var i;
+  i = 0;
+  while (i < n) {
+    if (i > 3) { i = i + 2; } else { i = i + 1; }
+  }
+  return i;
+}
+""")
+        body = decls[0].body
+        assert isinstance(body[1], WhileStmt)
+        assert isinstance(body[1].body[0], IfStmt)
+
+    def test_multiple_functions(self):
+        decls = parse_xc("func a() { return 1; } func b() { return 2; }")
+        assert [d.name for d in decls] == ["a", "b"]
+
+    def test_comments_ignored(self):
+        decls = parse_xc("func f() { // nothing\n return 0; }")
+        assert isinstance(decls[0].body[0], ReturnStmt)
+
+    def test_syntax_errors(self):
+        for bad in (
+            "func f( { }",
+            "func f() { x = ; }",
+            "func f() { if x > 1 { } }",        # missing parens
+            "func f() { while (1) { } }",       # condition needs relop
+            "func f() { return 1 }",            # missing semicolon
+            "f() {}",                           # missing func keyword
+            "",                                 # empty unit
+        ):
+            with pytest.raises(XcSyntaxError):
+                parse_xc(bad)
+
+
+class TestLowering:
+    def test_straight_line(self):
+        fn = lower_one("func f(a, b) { return a + b; }")
+        fn.validate()
+        entry = fn.blocks["entry"]
+        assert any(op.opcode == "iadd" for op in entry.ops)
+        assert isinstance(fn.blocks["exit"].terminator, Halt)
+
+    def test_constant_folding(self):
+        fn = lower_one("func f() { return 2 + 3 * 4; }")
+        copies = [op for op in fn.blocks["entry"].ops
+                  if op.opcode == "copy"]
+        assert copies[0].a == IRConst(14)
+
+    def test_unary_minus_constant(self):
+        fn = lower_one("func f() { return -5; }")
+        assert fn.blocks["entry"].ops[0].a == IRConst(-5)
+
+    def test_array_load_store(self):
+        fn = lower_one("""
+func f(i, v) { array A @ 512; A[i] = v; return A[i + 1]; }
+""")
+        opcodes = [op.opcode for block in fn.blocks.values()
+                   for op in block.ops]
+        assert "store" in opcodes and "load" in opcodes
+
+    def test_store_constant_index_folds_address(self):
+        fn = lower_one("func f(v) { array A @ 512; A[3] = v; }")
+        stores = [op for op in fn.blocks["entry"].ops if op.is_store]
+        assert stores[0].b == IRConst(515)
+
+    def test_if_builds_diamond(self):
+        fn = lower_one("""
+func f(a) { var r; if (a > 0) { r = 1; } else { r = 2; } return r; }
+""")
+        branches = [b for b in fn.blocks.values()
+                    if isinstance(b.terminator, Branch)]
+        assert len(branches) == 1
+        assert branches[0].terminator.cmp == "gt"
+
+    def test_while_builds_loop(self):
+        fn = lower_one("""
+func f(n) { var i; i = 0; while (i < n) { i = i + 1; } return i; }
+""")
+        fn.validate()
+        # some block targets itself or a cycle exists
+        from repro.compiler import successors
+        succs = successors(fn)
+        assert any(
+            name in _reachable_from(succs, child)
+            for name, children in succs.items() for child in children)
+
+    def test_relops_map(self):
+        for relop, mnemonic in (("<", "lt"), ("<=", "le"), (">", "gt"),
+                                (">=", "ge"), ("==", "eq"), ("!=", "ne")):
+            fn = lower_one(
+                f"func f(a, b) {{ if (a {relop} b) {{ }} return 0; }}")
+            branches = [b.terminator for b in fn.blocks.values()
+                        if isinstance(b.terminator, Branch)]
+            assert branches[0].cmp == mnemonic
+
+    def test_undefined_variable(self):
+        with pytest.raises(XcSemanticError):
+            lower_one("func f() { return ghost; }")
+
+    def test_undefined_array(self):
+        with pytest.raises(XcSemanticError):
+            lower_one("func f(i) { return A[i]; }")
+
+    def test_duplicate_variable(self):
+        with pytest.raises(XcSemanticError):
+            lower_one("func f(a) { var a; return a; }")
+
+    def test_code_after_return_is_unreachable_not_fatal(self):
+        fn = lower_one("func f() { return 1; return 2; }")
+        fn.validate()
+
+
+def _reachable_from(succs, start):
+    seen = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for child in succs.get(node, ()):
+            if child not in seen:
+                seen.add(child)
+                stack.append(child)
+    return seen
+
+
+class TestIRValidation:
+    def test_compare_in_body_rejected(self):
+        with pytest.raises(IRError):
+            IROp("lt", IRConst(1), IRConst(2))
+
+    def test_missing_operand_rejected(self):
+        with pytest.raises(IRError):
+            IROp("iadd", IRConst(1), None, VReg("x"))
+
+    def test_store_with_dest_rejected(self):
+        with pytest.raises(IRError):
+            IROp("store", IRConst(1), IRConst(2), VReg("x"))
+
+    def test_branch_requires_compare_op(self):
+        with pytest.raises(IRError):
+            Branch("iadd", IRConst(1), IRConst(2), "a", "b")
