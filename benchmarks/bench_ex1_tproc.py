@@ -33,7 +33,7 @@ def _run_paper_schedule():
         TPROC_REGS[n]: v for n, v in zip("abcd", INPUTS)})
 
 
-def test_tproc_schedules(benchmark, record_table):
+def test_tproc_schedules(benchmark, record_table, record_json):
     result = benchmark(_run_paper_schedule)
     expected = tproc_reference(*INPUTS)
     assert result.register(TPROC_REGS["f"]) == expected
@@ -55,6 +55,15 @@ def test_tproc_schedules(benchmark, record_table):
         ["schedule", "FUs", "code rows (excl. halt)", "cycles", "result"],
         rows, title="E1: TPROC (Example 1) — paper vs repro compiler")
     record_table("ex1_tproc", table)
+    record_json("ex1_tproc", {
+        "inputs": list(INPUTS),
+        "expected": expected,
+        "schedules": [
+            {"schedule": name, "fus": fus, "code_rows": code_rows,
+             "cycles": cycles, "result": value}
+            for name, fus, code_rows, cycles, value in rows
+        ],
+    })
 
     # shape: our width-4 compilation matches (in fact slightly beats:
     # 4 rows vs 5) the paper's percolation-scheduled 5-row schedule

@@ -37,7 +37,7 @@ def _ximd_once(data):
     return _run(XimdMachine, minmax_source("halt"), data)
 
 
-def test_minmax_ximd_vs_vliw(benchmark, record_table):
+def test_minmax_ximd_vs_vliw(benchmark, record_table, record_json):
     data_for_benchmark = random_ints(64, seed=7)[1:]
     benchmark(_ximd_once, data_for_benchmark)
 
@@ -52,6 +52,10 @@ def test_minmax_ximd_vs_vliw(benchmark, record_table):
         ["n", "XIMD cycles", "VLIW cycles", "speedup"],
         rows, title="E3: MINMAX (Example 2) — xsim vs vsim")
     record_table("ex2_minmax", table)
+    record_json("ex2_minmax", [
+        {"n": n, "ximd_cycles": xc, "vliw_cycles": vc, "speedup": s}
+        for n, xc, vc, s in rows
+    ])
 
     # shape: XIMD wins everywhere, settling around ~1.7x (3-cycle
     # iterations vs the VLIW version's serialized 5-7 cycles)

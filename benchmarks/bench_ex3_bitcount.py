@@ -46,7 +46,7 @@ def _run_vliw(data, n):
     return result
 
 
-def test_bitcount_barrier_sync(benchmark, record_table):
+def test_bitcount_barrier_sync(benchmark, record_table, record_json):
     bench_data = random_words(24, seed=1)
     benchmark(_run_ximd, bench_data, 24, bitcount1_source(),
               bitcount1_reference)
@@ -65,6 +65,10 @@ def test_bitcount_barrier_sync(benchmark, record_table):
         title="E5: BITCOUNT1 (Example 3) — barrier-joined streams "
               "vs single stream")
     record_table("ex3_bitcount", table)
+    record_json("ex3_bitcount", [
+        {"n": n, "ximd_cycles": xc, "vliw_cycles": vc, "speedup": s}
+        for n, xc, vc, s in rows
+    ])
 
     # shape: XIMD wins on every size, and the advantage grows as the
     # 4-wide main loop amortizes the sequential cleanup (1.2x at n=12

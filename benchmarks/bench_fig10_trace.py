@@ -28,10 +28,16 @@ def _traced_run():
     return machine
 
 
-def test_figure10_trace(benchmark, record_table):
+def test_figure10_trace(benchmark, record_table, record_json):
     machine = benchmark(_traced_run)
     table = machine.trace.format(show_sync=True)
     record_table("fig10_minmax_trace", table)
+    record_json("fig10_minmax_trace", [
+        {"cycle": record.cycle, "pcs": list(record.pcs),
+         "cc": record.condition_codes, "ss": record.sync_signals,
+         "partition": record.partition_text()}
+        for record in machine.trace
+    ])
 
     for record, (pcs, cc, partition) in zip(machine.trace,
                                             FIGURE10_EXPECTED):

@@ -38,7 +38,7 @@ def _tracked_run():
     return machine
 
 
-def test_bitcount_control_flow(benchmark, record_table):
+def test_bitcount_control_flow(benchmark, record_table, record_json):
     machine = benchmark(_tracked_run)
     trace = machine.trace
     stats = PartitionStats.from_trace(trace)
@@ -63,6 +63,17 @@ def test_bitcount_control_flow(benchmark, record_table):
          ("join cycles", str(joins)),
          ("cycles touching barrier 10:", barrier_cycles)])
     record_table("fig11_bitcount_flow", text)
+    record_json("fig11_bitcount_flow", {
+        "cycles": stats.cycles,
+        "stream_histogram": {str(k): v
+                             for k, v in stats.stream_histogram.items()},
+        "mean_streams": stats.mean_streams,
+        "max_streams": stats.max_streams,
+        "multi_stream_fraction": stats.multi_stream_fraction,
+        "first_fork_cycle": first_fork,
+        "join_cycles": joins,
+        "barrier_cycles": barrier_cycles,
+    })
 
     # Figure 11 shape assertions
     assert sizes[0] == 1                   # single SSET start

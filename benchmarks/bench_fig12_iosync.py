@@ -42,7 +42,7 @@ def _run(source, arrivals):
     return result, out1, out2
 
 
-def test_iosync_sync_vs_memory_flags(benchmark, record_table):
+def test_iosync_sync_vs_memory_flags(benchmark, record_table, record_json):
     benchmark(_run, iosync_sync_source(),
               SCENARIOS["interleaved"])
 
@@ -58,6 +58,11 @@ def test_iosync_sync_vs_memory_flags(benchmark, record_table):
         rows, title="E7: Figure 12 dual-process exchange — "
                     "sync-bit vs memory-flag synchronization")
     record_table("fig12_iosync", table)
+    record_json("fig12_iosync", [
+        {"scenario": name, "sync_cycles": sc, "flag_cycles": fc,
+         "speedup": s}
+        for name, sc, fc, s in rows
+    ])
 
     # the paper's claim: sync bits win in every scenario
     assert all(row[3] > 1.0 for row in rows)

@@ -46,7 +46,7 @@ def _tile_menu():
     return menu, oracles, bases
 
 
-def test_tile_packing(benchmark, record_table):
+def test_tile_packing(benchmark, record_table, record_json):
     menu, oracles, bases = benchmark(_tile_menu)
 
     # pick the width-2 tile of each thread for the order-based packers
@@ -72,6 +72,12 @@ def test_tile_packing(benchmark, record_table):
         f"-- {name} --\n{packing.describe()}"
         for name, packing in packings.items())
     record_table("fig13_packing", table + "\n\n" + details)
+    record_json("fig13_packing", {
+        name: {"height": packing.height,
+               "utilization": packing.utilization,
+               "tiles": len(packing.placements)}
+        for name, packing in packings.items()
+    })
 
     # shape: the smarter packers dominate the naive shelf order
     assert packings["skyline FFD"].height <= \

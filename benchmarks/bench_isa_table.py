@@ -10,7 +10,7 @@ from repro.isa import OPCODES, instruction_set_table
 from repro.isa.encoding import PARCEL_BITS, PARCEL_BYTES
 
 
-def test_instruction_set_table(benchmark, record_table):
+def test_instruction_set_table(benchmark, record_table, record_json):
     table = benchmark(instruction_set_table)
     extra = render_kv("parcel encoding", [
         ("defined opcodes", len(OPCODES)),
@@ -18,6 +18,12 @@ def test_instruction_set_table(benchmark, record_table):
         ("parcel bytes", PARCEL_BYTES)])
     record_table("isa_table", "E12: instruction set (Figure 7)\n"
                  + table + "\n\n" + extra)
+    record_json("isa_table", {
+        "defined_opcodes": len(OPCODES),
+        "parcel_bits": PARCEL_BITS,
+        "parcel_bytes": PARCEL_BYTES,
+        "mnemonics": sorted(OPCODES),
+    })
 
     # Figure 7's exact rows
     assert "a + b -> d" in table

@@ -51,7 +51,7 @@ def _compiled_run(n, pipeline):
     return result
 
 
-def test_ll12_hand_pipelined(benchmark, record_table):
+def test_ll12_hand_pipelined(benchmark, record_table, record_json):
     result = benchmark(_hand_run, N)
     rows = [["hand-pipelined listing (II=2)", N, result.cycles,
              result.cycles / N]]
@@ -63,6 +63,11 @@ def test_ll12_hand_pipelined(benchmark, record_table):
         ["version", "n", "cycles", "cycles/iter"],
         rows, title="E2: Livermore Loop 12 — software pipelining")
     record_table("ll12_pipeline", table)
+    record_json("ll12_pipeline", [
+        {"version": version, "n": n, "cycles": cycles,
+         "cycles_per_iter": per_iter}
+        for version, n, cycles, per_iter in rows
+    ])
 
     hand, unpiped, piped = rows
     assert hand[3] <= 2.2              # II = 2 steady state

@@ -21,7 +21,7 @@ def _model_numbers():
     return (model.cycle_time_ns, model.peak_mips(), model.limiting_path)
 
 
-def test_prototype_performance_model(benchmark, record_table):
+def test_prototype_performance_model(benchmark, record_table, record_json):
     cycle_ns, peak, limiter = benchmark(_model_numbers)
 
     model = PrototypeModel()
@@ -59,6 +59,18 @@ def test_prototype_performance_model(benchmark, record_table):
         [("LL12 n=16 cycles", machine_result.cycles),
          ("halted", machine_result.halted)])
     record_table("prototype_model", text)
+    record_json("prototype_model", {
+        "cycle_time_ns": cycle_ns,
+        "limiting_structure": limiter,
+        "clock_mhz": model.clock_mhz,
+        "peak_mips": peak,
+        "peak_mflops": model.peak_mflops(),
+        "sustained_mips": {
+            f"{u:.0%}": model.sustained_mips(u)
+            for u in (0.25, 0.5, 0.75)},
+        "ll12_n16_cycles": machine_result.cycles,
+        "halted": machine_result.halted,
+    })
 
     assert cycle_ns == pytest.approx(85.0)     # the paper's number
     assert peak > 90.0                         # "in excess of 90"

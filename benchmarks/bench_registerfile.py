@@ -27,7 +27,7 @@ def _chip_math():
             minimum_chips(requirement))
 
 
-def test_register_file_chip_model(benchmark, record_table):
+def test_register_file_chip_model(benchmark, record_table, record_json):
     reads, writes, parallel, chips = benchmark(_chip_math)
 
     # measured port pressure from a real run (TPROC saturates FU0-3)
@@ -47,6 +47,15 @@ def test_register_file_chip_model(benchmark, record_table):
          ("peak writes observed (TPROC)", machine.regfile.peak_writes)])
     text += "\n\nscaling:\n" + chip_table()
     record_table("registerfile_chips", text)
+    record_json("registerfile_chips", {
+        "machine_read_ports": reads,
+        "machine_write_ports": writes,
+        "chips_in_parallel_reads": parallel,
+        "minimum_chips": chips,
+        "total_transistors": total_transistors(),
+        "peak_reads_observed": machine.regfile.peak_reads,
+        "peak_writes_observed": machine.regfile.peak_writes,
+    })
 
     assert (reads, writes) == (16, 8)   # paper's port totals
     assert parallel == 2                # two chips wired in parallel

@@ -36,6 +36,17 @@ from repro.workloads import (
 )
 
 
+def _pair_stats(ximd_result, ximd_fus, vliw_result, vliw_fus):
+    """One workload's machine-readable row."""
+    return {
+        "ximd_cycles": ximd_result.cycles,
+        "vliw_cycles": vliw_result.cycles,
+        "speedup": speedup(vliw_result.cycles, ximd_result.cycles),
+        "ximd_utilization": ximd_result.stats.utilization(ximd_fus),
+        "vliw_utilization": vliw_result.stats.utilization(vliw_fus),
+    }
+
+
 def _minmax(n=64):
     data = random_ints(n, seed=3)[1:]
     out = []
@@ -45,8 +56,8 @@ def _minmax(n=64):
         machine.regfile.poke(MINMAX_REGS["n"], len(data))
         for address, value in minmax_memory(data).items():
             machine.memory.poke(address, value)
-        out.append(machine.run(1_000_000).cycles)
-    return out
+        out.append((machine.run(1_000_000), machine.config.n_fus))
+    return _pair_stats(*out[0], *out[1])
 
 
 def _bitcount(n=48):
@@ -58,8 +69,8 @@ def _bitcount(n=48):
         machine.regfile.poke(BITCOUNT_REGS["n"], n)
         for address, value in bitcount_memory(data).items():
             machine.memory.poke(address, value)
-        out.append(machine.run(5_000_000).cycles)
-    return out
+        out.append((machine.run(5_000_000), machine.config.n_fus))
+    return _pair_stats(*out[0], *out[1])
 
 
 def _threads(n_threads=4):
@@ -77,11 +88,14 @@ def _threads(n_threads=4):
             machine.memory.poke(base + k, k * 7 % 101)
         machine.regfile.poke(placements[i].register(threads[i], "n"),
                              lengths[i])
-    ximd_cycles = machine.run(1_000_000).cycles
+    ximd_result = machine.run(1_000_000)
+    ximd_fus = machine.config.n_fus
 
     from repro.machine import Program
 
     vliw_cycles = 0
+    vliw_data_ops = 0
+    vliw_fus = 0
     for i, thread in enumerate(threads):
         machine = VliwMachine(Program(
             [list(col) for col in thread.program.columns],
@@ -89,19 +103,28 @@ def _threads(n_threads=4):
         for k in range(1, 30):
             machine.memory.poke(bases[i] + k, k * 7 % 101)
         machine.regfile.poke(thread.register("n"), lengths[i])
-        vliw_cycles += machine.run(1_000_000).cycles
-    return [ximd_cycles, vliw_cycles]
+        result = machine.run(1_000_000)
+        vliw_cycles += result.cycles
+        vliw_data_ops += result.stats.data_ops
+        vliw_fus = machine.config.n_fus
+    return {
+        "ximd_cycles": ximd_result.cycles,
+        "vliw_cycles": vliw_cycles,
+        "speedup": speedup(vliw_cycles, ximd_result.cycles),
+        "ximd_utilization": ximd_result.stats.utilization(ximd_fus),
+        "vliw_utilization": (vliw_data_ops / (vliw_cycles * vliw_fus)
+                             if vliw_cycles and vliw_fus else 0.0),
+    }
 
 
 def _tproc():
-    program = assemble(tproc_source())
     out = []
     for cls in (XimdMachine, VliwMachine):
         machine = cls(assemble(tproc_source()))
         for name, value in zip("abcd", (5, 6, 7, 8)):
             machine.regfile.poke(TPROC_REGS[name], value)
-        out.append(machine.run(1_000).cycles)
-    return out
+        out.append((machine.run(1_000), machine.config.n_fus))
+    return _pair_stats(*out[0], *out[1])
 
 
 def _ll12(n=100):
@@ -112,8 +135,8 @@ def _ll12(n=100):
         machine.regfile.poke(LL12_REGS["n"], n)
         for address, value in livermore12_memory(y).items():
             machine.memory.poke(address, value)
-        out.append(machine.run(1_000_000).cycles)
-    return out
+        out.append((machine.run(1_000_000), machine.config.n_fus))
+    return _pair_stats(*out[0], *out[1])
 
 
 WORKLOADS = (
@@ -125,19 +148,23 @@ WORKLOADS = (
 )
 
 
-def test_speedup_suite(benchmark, record_table):
+def test_speedup_suite(benchmark, record_table, record_json, bench_summary):
     benchmark(_minmax, 32)
 
     rows = []
+    payload = {}
     for name, runner in WORKLOADS:
-        ximd_cycles, vliw_cycles = runner()
-        rows.append([name, ximd_cycles, vliw_cycles,
-                     speedup(vliw_cycles, ximd_cycles)])
+        stats = runner()
+        rows.append([name, stats["ximd_cycles"], stats["vliw_cycles"],
+                     stats["speedup"]])
+        payload[name] = stats
+        bench_summary(name, stats)
     table = render_table(
         ["workload", "XIMD cycles", "VLIW cycles", "speedup"],
         rows, title="E9: xsim vs vsim across the workload suite "
                     "(section 4.1)")
     record_table("speedup_suite", table)
+    record_json("speedup_suite", payload)
 
     # fully synchronous code ties exactly (XIMD emulates VLIW)
     assert rows[0][3] == 1.0

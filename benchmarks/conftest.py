@@ -4,13 +4,22 @@ Every benchmark regenerates one of the paper's tables or figures.  The
 rendered tables are written to ``benchmarks/results/<name>.txt`` (and
 echoed to stdout) so a ``pytest benchmarks/ --benchmark-only`` run
 leaves a complete, diffable record; EXPERIMENTS.md quotes these files.
+
+Alongside each table, benchmarks record a machine-readable twin via
+``record_json`` (``benchmarks/results/<name>.json``), and register
+headline numbers with ``bench_summary``; at session end those merge
+into the repo-root ``BENCH_SUMMARY.json`` so the performance
+trajectory (cycles, speedups, utilization per workload) is diffable
+across PRs without parsing prose.
 """
 
+import json
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SUMMARY_PATH = pathlib.Path(__file__).parent.parent / "BENCH_SUMMARY.json"
 
 
 @pytest.fixture(scope="session")
@@ -23,3 +32,48 @@ def record_table():
         print(f"\n[{name}]\n{text}")
 
     return record
+
+
+@pytest.fixture(scope="session")
+def record_json():
+    """Write ``benchmarks/results/<name>.json`` (the table's data twin)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def record(name: str, payload) -> pathlib.Path:
+        path = RESULTS_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                                   default=str) + "\n")
+        return path
+
+    return record
+
+
+@pytest.fixture(scope="session")
+def bench_summary():
+    """Register headline numbers for the repo-root BENCH_SUMMARY.json.
+
+    ``summary(name, payload, section="workloads")`` — entries merge
+    into any existing summary at session end, so partial benchmark
+    runs update their own entries without clobbering the rest.
+    """
+    collected = {}
+
+    def register(name: str, payload: dict,
+                 section: str = "workloads") -> None:
+        collected.setdefault(section, {})[name] = payload
+
+    yield register
+
+    if not collected:
+        return
+    summary = {}
+    if SUMMARY_PATH.exists():
+        try:
+            summary = json.loads(SUMMARY_PATH.read_text())
+        except (ValueError, OSError):
+            summary = {}
+    for section, entries in collected.items():
+        summary.setdefault(section, {}).update(entries)
+    summary["generated_by"] = "pytest benchmarks/ --benchmark-only"
+    SUMMARY_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True,
+                                       default=str) + "\n")

@@ -10,6 +10,8 @@ comparison), and the executable stack packing is actually run on the
 XIMD with a closing barrier.
 """
 
+from collections import defaultdict
+
 from repro.compiler import (
     generate_tiles,
     lower_unit,
@@ -21,12 +23,40 @@ from repro.compiler import (
     parse_xc,
 )
 from repro.machine import XimdMachine
+from repro.obs import observed, recording_observer
 from repro.workloads import branchy_loop_sources, random_ints
 
 N_THREADS = 6
 
 
+def print_pass_telemetry(obs) -> None:
+    """Aggregate PassEvents into a per-pass wall-time/IR-size table."""
+    stats = defaultdict(lambda: {"calls": 0, "seconds": 0.0,
+                                 "ops_in": 0, "ops_out": 0})
+    for event in obs.sinks[0].of_kind("pass"):
+        entry = stats[event.name]
+        entry["calls"] += 1
+        entry["seconds"] += event.seconds
+        entry["ops_in"] += event.ops_in
+        entry["ops_out"] += event.ops_out
+    print("\n=== compiler-pass telemetry (repro.obs) ===")
+    print(f"{'pass':<20} {'calls':>5} {'wall ms':>9} "
+          f"{'ops in':>7} {'ops out':>8}")
+    for name, entry in sorted(stats.items(),
+                              key=lambda kv: -kv[1]["seconds"]):
+        print(f"{name:<20} {entry['calls']:>5} "
+              f"{entry['seconds'] * 1e3:>9.3f} "
+              f"{entry['ops_in']:>7} {entry['ops_out']:>8}")
+
+
 def main():
+    obs = recording_observer()
+    with observed(obs):
+        compile_pack_and_run()
+    print_pass_telemetry(obs)
+
+
+def compile_pack_and_run():
     sources, oracles, bases = branchy_loop_sources(N_THREADS, seed=13)
 
     print("=== tile generation (compile each thread at several widths) ===")

@@ -9,11 +9,27 @@ cycle counts and speedups.  The shape to observe:
 * programs with independent conditional updates (MINMAX) or multiple
   data-dependent loops (BITCOUNT, thread fleets) win on XIMD because
   the machine executes several control operations per cycle.
+
+With ``--obs DIR`` the MINMAX run is re-executed under a
+:mod:`repro.obs` observer, leaving three artifacts in DIR: a JSONL
+event stream, a Chrome trace (one Perfetto track per FU), and a JSON
+run report — then cross-checks the report against the post-hoc
+``RunMetrics``/``PartitionStats`` aggregates.
 """
 
-from repro.analysis import render_table, speedup
+import argparse
+import pathlib
+
+from repro.analysis import PartitionStats, RunMetrics, render_table, speedup
 from repro.asm import assemble
-from repro.machine import VliwMachine, XimdMachine
+from repro.machine import TrackerKind, VliwMachine, XimdMachine
+from repro.obs import (
+    JsonlSink,
+    Observer,
+    RingBufferSink,
+    RunReport,
+    write_chrome_trace,
+)
 from repro.workloads import (
     BITCOUNT_REGS,
     MINMAX_REGS,
@@ -46,7 +62,54 @@ def run_pair(ximd_source, vliw_source, pokes, memory):
     return cycles
 
 
+def observe_minmax(out_dir: pathlib.Path) -> None:
+    """Re-run MINMAX traced; write JSONL + Chrome trace + run report."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    jsonl_path = out_dir / "minmax_ximd.jsonl"
+    buffer = RingBufferSink()
+    obs = Observer([buffer, JsonlSink(jsonl_path)])
+
+    data = random_ints(64, seed=2)[1:]
+    machine = XimdMachine(assemble(minmax_source("halt")), trace=True,
+                          tracker=TrackerKind.HEURISTIC, obs=obs)
+    machine.regfile.poke(MINMAX_REGS["n"], len(data))
+    for address, value in minmax_memory(data).items():
+        machine.memory.poke(address, value)
+    result = machine.run(5_000_000)
+    obs.close()
+
+    chrome_path = write_chrome_trace(out_dir / "minmax_ximd.chrome.json",
+                                     buffer.events)
+    report = RunReport.from_events(buffer.events, obs.registry)
+    report_path = report.write_json(out_dir / "minmax_ximd.report.json")
+
+    print(f"\n=== observability artifacts ({out_dir}) ===")
+    print(f"  events : {jsonl_path}")
+    print(f"  chrome : {chrome_path}  (load in chrome://tracing / Perfetto)")
+    print(f"  report : {report_path}")
+    print()
+    print(report.render_text())
+
+    # the report must agree with the post-hoc aggregates
+    metrics = RunMetrics.from_result(result, machine.config.n_fus)
+    partition_stats = PartitionStats.from_trace(result.trace)
+    assert report.cycles == metrics.cycles, "cycle count mismatch"
+    assert abs(report.utilization - metrics.utilization) < 1e-12, \
+        "utilization mismatch"
+    assert report.sset_histogram == partition_stats.stream_histogram, \
+        "SSET histogram mismatch"
+    print("\nreport agrees with RunMetrics/PartitionStats "
+          f"(cycles={report.cycles}, utilization={report.utilization:.3f}, "
+          f"ssets={report.sset_histogram})")
+
+
 def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--obs", metavar="DIR", default=None,
+                        help="write JSONL/Chrome/report artifacts for a "
+                             "traced MINMAX run into DIR")
+    args = parser.parse_args()
+
     rows = []
 
     pokes = {TPROC_REGS[n]: v for n, v in zip("abcd", (5, 6, 7, 8))}
@@ -72,6 +135,9 @@ def main():
     print(render_table(
         ["workload", "XIMD cycles", "VLIW cycles", "speedup"],
         rows, title="xsim vs vsim (section 4.1)"))
+
+    if args.obs:
+        observe_minmax(pathlib.Path(args.obs))
 
 
 if __name__ == "__main__":

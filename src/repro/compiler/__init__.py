@@ -14,6 +14,7 @@ from .codegen import (
     compile_xc,
     convert_slot,
     emit_segments,
+    function_op_count,
 )
 from .dataflow import (
     liveness,
@@ -130,6 +131,7 @@ __all__ = [
     "eliminate_dead_ops",
     "emit_segments",
     "estimate_profile",
+    "function_op_count",
     "generate_tiles",
     "is_compare_slot",
     "is_executable_packing",

@@ -32,6 +32,7 @@ from ..isa import (
     lookup,
 )
 from ..machine.program import Program
+from ..obs.core import current_observer
 from .errors import CompilerError, SchedulingError
 from .ir import (
     Branch,
@@ -55,6 +56,12 @@ from .regalloc import RegisterAssignment, allocate_registers
 
 #: a schedule slot: an op, a branch compare, or empty.
 Slot = Union[IROp, CompareSlot, None]
+
+
+def function_op_count(function: Function) -> int:
+    """IR size: ops across all blocks, terminators included (for the
+    per-pass telemetry's ops-in/ops-out accounting)."""
+    return sum(len(block.ops) + 1 for block in function.blocks.values())
 
 
 @dataclass
@@ -224,44 +231,66 @@ def compile_ir(function: Function, width: int,
         pipeline: modulo-schedule eligible self-loop blocks (loop
             versioning guards fall back to the list-scheduled body).
     """
+    obs = current_observer()
     function.validate()
     remove_unreachable(function)
     if simplify:
         from .simplify import simplify_function
-        simplify_function(function)
+        with obs.pass_span("simplify",
+                           ops_in=function_op_count(function)) as span:
+            simplify_function(function)
+            span.ops_out = function_op_count(function)
     if percolate:
         from .percolation import percolate_function
-        percolate_function(function)
+        with obs.pass_span("percolation",
+                           ops_in=function_op_count(function)) as span:
+            percolate_function(function)
+            span.ops_out = function_op_count(function)
         if simplify:
             from .simplify import simplify_function
-            simplify_function(function)
+            with obs.pass_span("simplify",
+                               ops_in=function_op_count(function)) as span:
+                simplify_function(function)
+                span.ops_out = function_op_count(function)
     pipeline_artifacts: Dict[str, "object"] = {}
     if pipeline:
         from .software_pipeline import pipeline_function
-        pipeline_artifacts = pipeline_function(function, width,
-                                               write_latency)
+        with obs.pass_span("software_pipeline",
+                           ops_in=function_op_count(function)) as span:
+            pipeline_artifacts = pipeline_function(function, width,
+                                                   write_latency)
+            span.ops_out = function_op_count(function)
+            span.extra["pipelined_loops"] = len(pipeline_artifacts)
 
-    assignment = allocate_registers(function, n_registers,
-                                    coalesce=coalesce)
+    with obs.pass_span("regalloc",
+                       ops_in=function_op_count(function)) as span:
+        assignment = allocate_registers(function, n_registers,
+                                        coalesce=coalesce)
+        span.extra["registers"] = len(assignment.register_names())
 
     segments: List[Segment] = []
     schedules: Dict[str, BlockSchedule] = {}
-    for name in function.block_order():
-        if name not in function.blocks:
-            continue
-        artifact = pipeline_artifacts.get(name)
-        if artifact is not None:
-            # the placeholder block exists for liveness/allocation; its
-            # executable form is the prologue/kernel/epilogue region.
-            segments.extend(artifact.segments(width))
-            continue
-        block = function.blocks[name]
-        schedule = schedule_block(block, width, write_latency)
-        schedules[name] = schedule
-        segments.append(_schedule_to_segment(name, schedule))
+    with obs.pass_span("list_schedule",
+                       ops_in=function_op_count(function)) as span:
+        for name in function.block_order():
+            if name not in function.blocks:
+                continue
+            artifact = pipeline_artifacts.get(name)
+            if artifact is not None:
+                # the placeholder block exists for liveness/allocation; its
+                # executable form is the prologue/kernel/epilogue region.
+                segments.extend(artifact.segments(width))
+                continue
+            block = function.blocks[name]
+            schedule = schedule_block(block, width, write_latency)
+            schedules[name] = schedule
+            segments.append(_schedule_to_segment(name, schedule))
+        span.ops_out = sum(len(segment.rows) for segment in segments)
 
-    program, addresses = emit_segments(segments, assignment, width,
-                                       function.entry)
+    with obs.pass_span("emit", ops_in=function_op_count(function)) as span:
+        program, addresses = emit_segments(segments, assignment, width,
+                                           function.entry)
+        span.ops_out = program.length
     return CompiledFunction(program, assignment, function, width,
                             addresses, schedules)
 

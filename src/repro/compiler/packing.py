@@ -26,15 +26,32 @@ joins a global barrier, and register windows are disjoint.
 
 from __future__ import annotations
 
+import functools
 import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..isa import Condition, ControlOp, Parcel, SyncValue
 from ..machine.program import Program
+from ..obs.core import current_observer
 from .errors import CompilerError
 from .threads import registers_used, relocate_parcel
 from .tiles import Tile
+
+
+def _observed_packer(fn):
+    """Report a packer's wall time (tiles in, packed rows out)."""
+    @functools.wraps(fn)
+    def packed(tiles, total_width: int = 8, **kwargs):
+        obs = current_observer()
+        if not obs.enabled:
+            return fn(tiles, total_width, **kwargs)
+        with obs.pass_span(fn.__name__, ops_in=len(tiles)) as span:
+            packing = fn(tiles, total_width, **kwargs)
+            span.ops_out = packing.height
+            span.extra["total_width"] = total_width
+        return packing
+    return packed
 
 
 @dataclass
@@ -119,6 +136,7 @@ def _skyline_place(tiles: Sequence[Tile], total_width: int,
     return Packing(placements, total_width)
 
 
+@_observed_packer
 def pack_in_order(tiles: Sequence[Tile], total_width: int = 8) -> Packing:
     """Naive shelf packing in the given thread order."""
     shelf_base = 0
@@ -136,12 +154,14 @@ def pack_in_order(tiles: Sequence[Tile], total_width: int = 8) -> Packing:
     return Packing(placements, total_width)
 
 
+@_observed_packer
 def pack_skyline(tiles: Sequence[Tile], total_width: int = 8) -> Packing:
     """First-fit decreasing height onto a skyline."""
     ordered = sorted(tiles, key=lambda t: (-t.height, -t.width))
     return _skyline_place(ordered, total_width)
 
 
+@_observed_packer
 def pack_exhaustive(menu: Sequence[Sequence[Tile]],
                     total_width: int = 8,
                     max_combinations: int = 200_000) -> Packing:
@@ -197,6 +217,7 @@ def is_executable_packing(packing: Packing) -> bool:
     return all(base == 0 for base in bottoms.values())
 
 
+@_observed_packer
 def pack_stacks(tiles: Sequence[Tile], total_width: int = 8) -> Packing:
     """An always-executable packer: equal-width column stacks.
 

@@ -145,24 +145,31 @@ def trace_schedule(function: Function,
     and lets the percolation pass (run afterwards by ``compile_ir``)
     merge and compact it.  Returns (traces formed, blocks duplicated).
     """
+    from ..obs.core import current_observer
+    from .codegen import function_op_count
     from .percolation import percolate_function
 
     if profile is None:
         profile = estimate_profile(function)
-    covered: Set[str] = set()
-    formed = 0
-    duplicated = 0
-    for _ in range(max_traces):
-        candidates = [n for n in function.blocks if n not in covered]
-        if not candidates:
-            break
-        start = max(candidates, key=lambda n: profile.get(n, 0.0))
-        trace = pick_trace(function, profile, start)
-        if len(trace) < 2:
+    with current_observer().pass_span(
+            "trace_schedule", ops_in=function_op_count(function)) as span:
+        covered: Set[str] = set()
+        formed = 0
+        duplicated = 0
+        for _ in range(max_traces):
+            candidates = [n for n in function.blocks if n not in covered]
+            if not candidates:
+                break
+            start = max(candidates, key=lambda n: profile.get(n, 0.0))
+            trace = pick_trace(function, profile, start)
+            if len(trace) < 2:
+                covered.update(trace)
+                continue
+            duplicated += tail_duplicate(function, trace)
             covered.update(trace)
-            continue
-        duplicated += tail_duplicate(function, trace)
-        covered.update(trace)
-        formed += 1
-    percolate_function(function)
+            formed += 1
+        percolate_function(function)
+        span.ops_out = function_op_count(function)
+        span.extra["traces"] = formed
+        span.extra["duplicated_blocks"] = duplicated
     return formed, duplicated

@@ -47,8 +47,13 @@ class DatapathStats:
             self.stores += 1
 
     def utilization(self, n_fus: int) -> float:
-        """Fraction of FU-cycles doing useful (non-nop) data work."""
-        if self.cycles == 0:
+        """Fraction of FU-cycles doing useful (non-nop) data work.
+
+        Zero-cycle runs (an empty program halts before executing
+        anything) and degenerate machine widths report 0.0 rather than
+        dividing by zero.
+        """
+        if self.cycles <= 0 or n_fus <= 0:
             return 0.0
         return self.data_ops / (self.cycles * n_fus)
 

@@ -29,7 +29,8 @@ class RegisterFile:
     def __init__(self, n_registers: int = 256, write_latency: int = 1,
                  max_read_ports: Optional[int] = None,
                  max_write_ports: Optional[int] = None,
-                 detect_conflicts: bool = True):
+                 detect_conflicts: bool = True,
+                 obs=None):
         if n_registers <= 0:
             raise ValueError("need at least one register")
         if write_latency < 1:
@@ -44,6 +45,10 @@ class RegisterFile:
         self._inflight: List[List[Tuple[int, object, int]]] = [
             [] for _ in range(write_latency)
         ]
+        #: optional repro.obs Observer (port-pressure histograms).
+        self._obs = obs
+        self._read_hist = None
+        self._write_hist = None
         self._reads_this_cycle = 0
         self._writes_this_cycle = 0
         self.total_reads = 0
@@ -99,6 +104,14 @@ class RegisterFile:
         self._inflight[-1] = []
         self.peak_reads = max(self.peak_reads, self._reads_this_cycle)
         self.peak_writes = max(self.peak_writes, self._writes_this_cycle)
+        if self._obs is not None and self._obs.enabled:
+            if self._read_hist is None:
+                self._read_hist = self._obs.registry.histogram(
+                    "regfile.read_ports")
+                self._write_hist = self._obs.registry.histogram(
+                    "regfile.write_ports")
+            self._read_hist.observe(self._reads_this_cycle)
+            self._write_hist.observe(self._writes_this_cycle)
         self._reads_this_cycle = 0
         self._writes_this_cycle = 0
 

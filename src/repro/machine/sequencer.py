@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..isa import Condition, ControlOp
+from ..obs.core import Observer
 from .condition import select_target
 from .config import SequencerStyle
 from .errors import MachineError
@@ -24,11 +25,18 @@ from .errors import MachineError
 class Sequencer:
     """Computes the next PC for one functional unit."""
 
-    def __init__(self, style: SequencerStyle):
+    def __init__(self, style: SequencerStyle,
+                 obs: Optional[Observer] = None):
         self.style = style
+        self._obs = obs
 
     def next_pc(self, pc: int, control: ControlOp, taken: bool) -> int:
         """The address to fetch next, given the condition outcome."""
+        if self._obs is not None and self._obs.enabled:
+            registry = self._obs.registry
+            registry.counter("sequencer.resolved").inc()
+            if taken:
+                registry.counter("sequencer.taken").inc()
         if self.style is SequencerStyle.EXPLICIT_TWO_TARGET:
             return select_target(control, taken)
         if self.style is SequencerStyle.INCREMENT_ONE_TARGET:

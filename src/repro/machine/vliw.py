@@ -19,9 +19,12 @@ that running VLIW code on an XIMD just duplicates the control fields.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Tuple
 
 from ..isa import Parcel
+from ..obs.core import Observer, current_observer
+from ..obs.events import BranchEvent, CycleEvent
 from .condition import ConditionCodes, evaluate_condition
 from .config import MachineConfig, MemoryStyle, research_config
 from .datapath import DatapathStats, execute_data_op
@@ -41,7 +44,8 @@ class VliwMachine:
     def __init__(self, program: Program,
                  config: Optional[MachineConfig] = None,
                  devices: Optional[DeviceMap] = None,
-                 trace: bool = False):
+                 trace: bool = False,
+                 obs: Optional[Observer] = None):
         self.config = config if config is not None else research_config(
             program.width)
         if program.width != self.config.n_fus:
@@ -49,13 +53,15 @@ class VliwMachine:
                 f"program has {program.width} columns but machine has "
                 f"{self.config.n_fus} FUs")
         self.program = program
-        self.sequencer = Sequencer(self.config.sequencer)
+        self.obs = obs if obs is not None else current_observer()
+        self.sequencer = Sequencer(self.config.sequencer, obs=self.obs)
         self.regfile = RegisterFile(
             self.config.n_registers,
             write_latency=self.config.write_latency,
             max_read_ports=self.config.max_read_ports,
             max_write_ports=self.config.max_write_ports,
             detect_conflicts=self.config.detect_register_conflicts,
+            obs=self.obs,
         )
         self.cc = ConditionCodes(self.config.n_fus)
         device_map = devices if devices is not None else DeviceMap()
@@ -81,16 +87,20 @@ class VliwMachine:
         return self.pc is None
 
     def _machine_control(self, parcels: List[Optional[Parcel]]):
-        """The single machine-wide control op at the current address."""
-        for parcel in parcels:
+        """The single machine-wide control op at the current address.
+
+        Returns ``(fu, control)`` — the lowest-numbered FU carrying the
+        control fields (always FU0 for assembler-emitted VLIW code).
+        """
+        for fu, parcel in enumerate(parcels):
             if parcel is not None and parcel.control is not None:
                 control = parcel.control
                 if control.condition.uses_sync:
                     raise MachineError(
                         "VLIW machine has no synchronization signals "
                         f"(at address {self.pc:#04x})")
-                return control
-        return None
+                return fu, control
+        return 0, None
 
     def step(self) -> None:
         """Execute one wide instruction."""
@@ -105,6 +115,7 @@ class VliwMachine:
             return
 
         cc_start = self.cc.snapshot()
+        obs_on = self.obs.enabled
         if self.trace is not None:
             self.trace.append(TraceRecord(
                 cycle=self.cycle,
@@ -114,6 +125,7 @@ class VliwMachine:
                 partition=(tuple(range(n)),),
             ))
 
+        ops_before = self.stats.data_ops
         for fu in range(n):
             parcel = parcels[fu]
             if parcel is None:
@@ -121,7 +133,7 @@ class VliwMachine:
             execute_data_op(fu, parcel.data, self.regfile, self.cc,
                             self.memory, self.cycle, self.stats)
 
-        control = self._machine_control(parcels)
+        control_fu, control = self._machine_control(parcels)
         if control is None:
             next_pc: Optional[int] = None
         else:
@@ -131,6 +143,20 @@ class VliwMachine:
             else:
                 self.stats.branches_conditional += 1
             next_pc = self.sequencer.next_pc(self.pc, control, taken)
+            if obs_on:
+                self.obs.emit(BranchEvent(
+                    machine="vliw", cycle=self.cycle, fu=control_fu,
+                    pc=self.pc,
+                    branch_kind=("uncond" if control.is_unconditional
+                                 else "cond"),
+                    taken=taken, target=next_pc))
+
+        if obs_on:
+            self.obs.emit(CycleEvent(
+                machine="vliw", cycle=self.cycle,
+                pcs=tuple([self.pc] * n), cc=self.cc.format(),
+                ss="-" * n, partition=(tuple(range(n)),),
+                data_ops=self.stats.data_ops - ops_before))
 
         self.regfile.commit(self.cycle)
         self.cc.commit()
@@ -142,12 +168,23 @@ class VliwMachine:
     def run(self, max_cycles: Optional[int] = None) -> ExecutionResult:
         """Run until the machine halts (or the watchdog trips)."""
         limit = max_cycles if max_cycles is not None else self.config.max_cycles
+        obs_on = self.obs.enabled
+        wall_start = time.perf_counter() if obs_on else 0.0
         while not self.halted:
             if self.cycle >= limit:
                 raise SimulationLimitError(
                     f"program did not halt within {limit} cycles")
             self.step()
         self.regfile.drain(self.cycle)
+        if obs_on:
+            registry = self.obs.registry
+            registry.timer("vliw.run_wall").observe(
+                time.perf_counter() - wall_start)
+            registry.counter("vliw.runs").inc()
+            registry.counter("vliw.cycles").inc(self.cycle)
+            registry.counter("vliw.data_ops").inc(self.stats.data_ops)
+            registry.gauge("vliw.utilization").set(
+                self.stats.utilization(self.config.n_fus))
         final: Tuple[Optional[int], ...] = tuple([None] * self.config.n_fus)
         return ExecutionResult(
             cycles=self.cycle,
@@ -165,10 +202,11 @@ def run_vliw(program: Program, *,
              memory_init: Optional[dict] = None,
              devices: Optional[DeviceMap] = None,
              trace: bool = False,
+             obs: Optional[Observer] = None,
              max_cycles: Optional[int] = None) -> ExecutionResult:
     """One-call convenience wrapper mirroring :func:`run_ximd`."""
     machine = VliwMachine(program, config=config, devices=devices,
-                          trace=trace)
+                          trace=trace, obs=obs)
     for index, value in (registers or {}).items():
         machine.regfile.poke(index, value)
     for address, value in (memory_init or {}).items():

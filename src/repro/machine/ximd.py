@@ -25,10 +25,18 @@ Cycle semantics (validated against the Figure 10 trace):
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..isa import Condition, Parcel, SyncValue
+from ..obs.core import Observer, current_observer
+from ..obs.events import (
+    BranchEvent,
+    CycleEvent,
+    PartitionChangeEvent,
+    SyncEvent,
+)
 from .condition import ConditionCodes, evaluate_condition, sync_done_vector
 from .config import MachineConfig, MemoryStyle, research_config
 from .datapath import DatapathStats, execute_data_op
@@ -78,7 +86,8 @@ class XimdMachine:
                  config: Optional[MachineConfig] = None,
                  devices: Optional[DeviceMap] = None,
                  trace: bool = False,
-                 tracker: TrackerKind = TrackerKind.NONE):
+                 tracker: TrackerKind = TrackerKind.NONE,
+                 obs: Optional[Observer] = None):
         self.config = config if config is not None else research_config(
             program.width)
         if program.width != self.config.n_fus:
@@ -86,13 +95,15 @@ class XimdMachine:
                 f"program has {program.width} columns but machine has "
                 f"{self.config.n_fus} FUs")
         self.program = program
-        self.sequencer = Sequencer(self.config.sequencer)
+        self.obs = obs if obs is not None else current_observer()
+        self.sequencer = Sequencer(self.config.sequencer, obs=self.obs)
         self.regfile = RegisterFile(
             self.config.n_registers,
             write_latency=self.config.write_latency,
             max_read_ports=self.config.max_read_ports,
             max_write_ports=self.config.max_write_ports,
             detect_conflicts=self.config.detect_register_conflicts,
+            obs=self.obs,
         )
         self.cc = ConditionCodes(self.config.n_fus)
         device_map = devices if devices is not None else DeviceMap()
@@ -113,6 +124,8 @@ class XimdMachine:
         self.trace: Optional[AddressTrace] = (
             AddressTrace(self.config.n_fus) if trace else None)
         self.tracker = self._make_tracker(tracker)
+        #: last partition emitted, for fork/join change events.
+        self._last_partition: Optional[object] = None
         # previous cycle's sync vector, for the registered-SS variant
         self._prev_ss: Tuple[bool, ...] = tuple(
             [not self.config.halted_sync_done] * 0) or tuple(
@@ -159,22 +172,31 @@ class XimdMachine:
         visible_ss = self._prev_ss if self.config.ss_registered else current_ss
         cc_start = self.cc.snapshot()
 
-        if self.trace is not None or self.tracker is not None:
+        obs_on = self.obs.enabled
+        partition = None
+        cc_text = ss_text = ""
+        pcs_start: Tuple[Optional[int], ...] = ()
+        if obs_on or self.trace is not None or self.tracker is not None:
             partition = (self.tracker.partition(self._pc_vector())
                          if self.tracker is not None else None)
+            if obs_on or self.trace is not None:
+                cc_text = self.cc.format()
+                ss_text = "".join(
+                    "-" if p is None else
+                    ("D" if p.sync is SyncValue.DONE else "B")
+                    for p in parcels)
+                pcs_start = tuple(self.pcs)
             if self.trace is not None:
                 self.trace.append(TraceRecord(
                     cycle=self.cycle,
-                    pcs=tuple(self.pcs),
-                    condition_codes=self.cc.format(),
-                    sync_signals="".join(
-                        "-" if p is None else
-                        ("D" if p.sync is SyncValue.DONE else "B")
-                        for p in parcels),
+                    pcs=pcs_start,
+                    condition_codes=cc_text,
+                    sync_signals=ss_text,
                     partition=partition,
                 ))
 
         # --- data path -----------------------------------------------------
+        ops_before = self.stats.data_ops
         for fu in range(n):
             parcel = parcels[fu]
             if parcel is None:
@@ -204,12 +226,41 @@ class XimdMachine:
             if control.condition is Condition.ALL_SS_DONE and taken:
                 barrier_taken[fu] = True
             next_pcs[fu] = self.sequencer.next_pc(self.pcs[fu], control, taken)
+            if obs_on:
+                branch_kind = ("uncond" if control.is_unconditional
+                               else "sync" if control.condition.uses_sync
+                               else "cond")
+                self.obs.emit(BranchEvent(
+                    machine="ximd", cycle=self.cycle, fu=fu,
+                    pc=self.pcs[fu], branch_kind=branch_kind,
+                    taken=taken, target=next_pcs[fu]))
 
         if self.tracker is not None:
             self.tracker.step(actual_pcs,
                               [pc if pc is not None else -1
                                for pc in next_pcs],
                               parcels, barrier_taken)
+
+        if obs_on:
+            self.obs.emit(CycleEvent(
+                machine="ximd", cycle=self.cycle, pcs=pcs_start,
+                cc=cc_text, ss=ss_text, partition=partition,
+                data_ops=self.stats.data_ops - ops_before))
+            for fu in range(n):
+                parcel = parcels[fu]
+                if parcel is not None and parcel.sync is SyncValue.DONE:
+                    self.obs.emit(SyncEvent(
+                        machine="ximd", cycle=self.cycle, fu=fu,
+                        pc=pcs_start[fu], what="done"))
+                if barrier_taken[fu]:
+                    self.obs.emit(SyncEvent(
+                        machine="ximd", cycle=self.cycle, fu=fu,
+                        pc=pcs_start[fu], what="barrier"))
+            if partition is not None and partition != self._last_partition:
+                self.obs.emit(PartitionChangeEvent(
+                    machine="ximd", cycle=self.cycle, partition=partition,
+                    n_ssets=len(partition)))
+                self._last_partition = partition
 
         # --- commit -----------------------------------------------------------
         self.regfile.commit(self.cycle)
@@ -227,12 +278,23 @@ class XimdMachine:
     def run(self, max_cycles: Optional[int] = None) -> ExecutionResult:
         """Run until every FU halts (or the watchdog trips)."""
         limit = max_cycles if max_cycles is not None else self.config.max_cycles
+        obs_on = self.obs.enabled
+        wall_start = time.perf_counter() if obs_on else 0.0
         while not self.halted:
             if self.cycle >= limit:
                 raise SimulationLimitError(
                     f"program did not halt within {limit} cycles")
             self.step()
         self.regfile.drain(self.cycle)
+        if obs_on:
+            registry = self.obs.registry
+            registry.timer("ximd.run_wall").observe(
+                time.perf_counter() - wall_start)
+            registry.counter("ximd.runs").inc()
+            registry.counter("ximd.cycles").inc(self.cycle)
+            registry.counter("ximd.data_ops").inc(self.stats.data_ops)
+            registry.gauge("ximd.utilization").set(
+                self.stats.utilization(self.config.n_fus))
         return ExecutionResult(
             cycles=self.cycle,
             halted=True,
@@ -263,6 +325,7 @@ def run_ximd(program: Program, *,
              devices: Optional[DeviceMap] = None,
              trace: bool = False,
              tracker: TrackerKind = TrackerKind.NONE,
+             obs: Optional[Observer] = None,
              max_cycles: Optional[int] = None) -> ExecutionResult:
     """One-call convenience wrapper: build, initialize, run.
 
@@ -271,7 +334,7 @@ def run_ximd(program: Program, *,
         memory_init: address -> initial word (bank 0 when distributed).
     """
     machine = XimdMachine(program, config=config, devices=devices,
-                          trace=trace, tracker=tracker)
+                          trace=trace, tracker=tracker, obs=obs)
     for index, value in (registers or {}).items():
         machine.regfile.poke(index, value)
     for address, value in (memory_init or {}).items():

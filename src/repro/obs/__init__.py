@@ -1,0 +1,94 @@
+"""``repro.obs`` — structured tracing, metrics, and run reports.
+
+The observability layer the paper's evaluation implies (section 4.1's
+per-cycle traces and partition statistics) generalized into a
+subsystem:
+
+* typed events (:mod:`~repro.obs.events`) flowing through pluggable
+  sinks (:mod:`~repro.obs.sinks`): in-memory ring buffer, JSONL file,
+  and nothing at all — the default null observer costs one guarded
+  attribute load per emit site;
+* a metrics registry (:mod:`~repro.obs.metrics`): counters, gauges,
+  histograms, and wall-clock timers with context-manager/decorator
+  APIs;
+* a Chrome trace-event exporter (:mod:`~repro.obs.chrome`) that
+  renders each functional unit as a Perfetto track;
+* run reports (:mod:`~repro.obs.report`) merging trace + metrics into
+  one JSON/text artifact;
+* a CLI (``python -m repro.obs``) replaying saved JSONL traces into
+  Figure-10 tables, Chrome traces, or reports.
+
+Enable by passing an :class:`Observer` to a machine, or ambiently::
+
+    from repro.obs import Observer, JsonlSink, observed
+
+    obs = Observer(JsonlSink("run.jsonl"))
+    with observed(obs):
+        machine = XimdMachine(program, obs=obs)
+        machine.run()
+    obs.close()
+"""
+
+from .chrome import (
+    CYCLE_US,
+    chrome_trace,
+    chrome_trace_events,
+    write_chrome_trace,
+)
+from .core import (
+    NULL_OBSERVER,
+    NullObserver,
+    Observer,
+    PassSpan,
+    current_observer,
+    observed,
+    recording_observer,
+    set_observer,
+)
+from .events import (
+    BranchEvent,
+    CycleEvent,
+    Event,
+    PartitionChangeEvent,
+    PassEvent,
+    SyncEvent,
+    event_from_dict,
+    event_to_dict,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Timer
+from .report import RunReport, events_to_trace
+from .sinks import JsonlSink, RingBufferSink, Sink, read_jsonl
+
+__all__ = [
+    "BranchEvent",
+    "CYCLE_US",
+    "Counter",
+    "CycleEvent",
+    "Event",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "NullObserver",
+    "Observer",
+    "PartitionChangeEvent",
+    "PassEvent",
+    "PassSpan",
+    "RingBufferSink",
+    "RunReport",
+    "Sink",
+    "SyncEvent",
+    "Timer",
+    "chrome_trace",
+    "chrome_trace_events",
+    "current_observer",
+    "event_from_dict",
+    "event_to_dict",
+    "events_to_trace",
+    "observed",
+    "read_jsonl",
+    "recording_observer",
+    "set_observer",
+    "write_chrome_trace",
+]

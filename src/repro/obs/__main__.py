@@ -1,0 +1,114 @@
+"""``python -m repro.obs`` — replay saved JSONL traces.
+
+Commands:
+
+* ``fig10 TRACE.jsonl``  — render the stream as a Figure-10 table;
+* ``chrome TRACE.jsonl`` — convert to a Chrome trace-event JSON for
+  ``chrome://tracing`` / https://ui.perfetto.dev;
+* ``report TRACE.jsonl`` — print (or ``--json``-dump) the run report;
+* ``summary TRACE.jsonl`` — one-line event census (quick sanity check).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from typing import List, Optional
+
+from .chrome import CYCLE_US, write_chrome_trace
+from .report import RunReport, events_to_trace
+from .sinks import read_jsonl
+
+
+def _cmd_fig10(args) -> int:
+    events = read_jsonl(args.trace)
+    trace = events_to_trace(events)
+    print(trace.format(show_sync=args.sync))
+    return 0
+
+
+def _cmd_chrome(args) -> int:
+    events = read_jsonl(args.trace)
+    path = write_chrome_trace(args.output, events, cycle_us=args.cycle_us)
+    print(f"wrote {path} ({len(events)} events) — load it at "
+          "chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    events = read_jsonl(args.trace)
+    report = RunReport.from_events(events)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    if args.output:
+        report.write_json(args.output)
+        print(f"\nwrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_summary(args) -> int:
+    events = read_jsonl(args.trace)
+    census = Counter(e.kind for e in events)
+    parts = ", ".join(f"{count} {kind}" for kind, count
+                      in sorted(census.items()))
+    print(f"{args.trace}: {len(events)} events ({parts or 'empty'})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Replay saved repro.obs JSONL traces into Figure-10 "
+                    "tables, Chrome traces, or run reports.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig10 = sub.add_parser(
+        "fig10", help="render a trace as a Figure-10 address table")
+    fig10.add_argument("trace", help="JSONL trace file")
+    fig10.add_argument("--sync", action="store_true",
+                       help="include the sync-signal column")
+    fig10.set_defaults(func=_cmd_fig10)
+
+    chrome = sub.add_parser(
+        "chrome", help="export a Chrome trace-event JSON (Perfetto)")
+    chrome.add_argument("trace", help="JSONL trace file")
+    chrome.add_argument("-o", "--output", default="trace.chrome.json",
+                        help="output path (default: trace.chrome.json)")
+    chrome.add_argument("--cycle-us", type=float, default=CYCLE_US,
+                        help="trace microseconds per machine cycle")
+    chrome.set_defaults(func=_cmd_chrome)
+
+    report = sub.add_parser("report", help="print the run report")
+    report.add_argument("trace", help="JSONL trace file")
+    report.add_argument("--json", action="store_true",
+                        help="print JSON instead of text")
+    report.add_argument("-o", "--output", default=None,
+                        help="also write the JSON report to this path")
+    report.set_defaults(func=_cmd_report)
+
+    summary = sub.add_parser("summary", help="one-line event census")
+    summary.add_argument("trace", help="JSONL trace file")
+    summary.set_defaults(func=_cmd_summary)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # downstream pager/head closed early; not an error
+        sys.stderr.close()
+        return 0
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""Chrome trace-event export (``chrome://tracing`` / Perfetto).
+
+Renders a recorded event stream on a timeline: one track (thread) per
+functional unit, one slice per fetched parcel, instants for branches and
+sync signals, and a counter track for the number of SSETs — so the
+fork/join behavior of Figures 10–12 and barrier stalls are *visible*
+rather than tabulated.  Compiler :class:`~repro.obs.events.PassEvent`
+telemetry renders as a second process with real wall-clock durations.
+
+One simulated cycle maps to :data:`CYCLE_US` microseconds of trace
+time, which keeps Perfetto's zoom behavior sane on long runs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterable, List, Optional, Union
+
+from .events import (
+    BranchEvent,
+    CycleEvent,
+    Event,
+    PartitionChangeEvent,
+    PassEvent,
+    SyncEvent,
+)
+
+#: trace microseconds per simulated machine cycle.
+CYCLE_US = 10.0
+
+_MACHINE_PID = 1
+_COMPILER_PID = 2
+
+
+def _machine_metadata(n_fus: int, machine_name: str) -> List[dict]:
+    meta = [{
+        "ph": "M", "pid": _MACHINE_PID, "name": "process_name",
+        "args": {"name": f"{machine_name} simulator"},
+    }]
+    for fu in range(n_fus):
+        meta.append({
+            "ph": "M", "pid": _MACHINE_PID, "tid": fu,
+            "name": "thread_name", "args": {"name": f"FU{fu}"},
+        })
+        meta.append({
+            "ph": "M", "pid": _MACHINE_PID, "tid": fu,
+            "name": "thread_sort_index", "args": {"sort_index": fu},
+        })
+    return meta
+
+
+def chrome_trace_events(events: Iterable[Event],
+                        cycle_us: float = CYCLE_US) -> List[dict]:
+    """Convert typed events to Chrome trace-event dicts."""
+    out: List[dict] = []
+    n_fus = 0
+    machine_name = "ximd"
+    pass_starts: List[float] = []
+    for event in events:
+        if isinstance(event, PassEvent) and event.start:
+            pass_starts.append(event.start)
+    pass_epoch = min(pass_starts) if pass_starts else 0.0
+    pass_clock = 0.0  # fallback ordering when no start stamps exist
+
+    for event in events:
+        if isinstance(event, CycleEvent):
+            n_fus = max(n_fus, len(event.pcs))
+            machine_name = event.machine
+            ts = event.cycle * cycle_us
+            for fu, pc in enumerate(event.pcs):
+                if pc is None:
+                    continue
+                out.append({
+                    "ph": "X", "pid": _MACHINE_PID, "tid": fu,
+                    "name": f"{pc:#04x}", "cat": "fetch",
+                    "ts": ts, "dur": cycle_us,
+                    "args": {"cycle": event.cycle, "cc": event.cc,
+                             "ss": event.ss},
+                })
+            n_ssets = (len(event.partition)
+                       if event.partition is not None else None)
+            counters = {"data_ops": event.data_ops}
+            if n_ssets is not None:
+                counters["ssets"] = n_ssets
+            out.append({
+                "ph": "C", "pid": _MACHINE_PID, "name": "machine",
+                "ts": ts, "args": counters,
+            })
+        elif isinstance(event, BranchEvent):
+            out.append({
+                "ph": "i", "pid": _MACHINE_PID, "tid": event.fu,
+                "name": f"branch {event.branch_kind}"
+                        f"{' taken' if event.taken else ''}",
+                "cat": "branch", "s": "t",
+                "ts": (event.cycle + 1) * cycle_us - cycle_us / 4,
+                "args": {"pc": event.pc, "target": event.target},
+            })
+        elif isinstance(event, SyncEvent):
+            out.append({
+                "ph": "i", "pid": _MACHINE_PID, "tid": event.fu,
+                "name": "barrier" if event.what == "barrier" else "SS=DONE",
+                "cat": "sync", "s": "t" if event.what == "done" else "p",
+                "ts": event.cycle * cycle_us + cycle_us / 2,
+                "args": {"pc": event.pc},
+            })
+        elif isinstance(event, PartitionChangeEvent):
+            out.append({
+                "ph": "i", "pid": _MACHINE_PID,
+                "name": f"partition -> {event.n_ssets} SSETs",
+                "cat": "partition", "s": "g",
+                "ts": event.cycle * cycle_us,
+                "args": {"partition": event.partition},
+            })
+        elif isinstance(event, PassEvent):
+            if event.start:
+                ts = (event.start - pass_epoch) * 1e6
+            else:
+                ts = pass_clock
+                pass_clock += event.seconds * 1e6
+            out.append({
+                "ph": "X", "pid": _COMPILER_PID, "tid": 0,
+                "name": event.name, "cat": "compiler",
+                "ts": ts, "dur": max(event.seconds * 1e6, 0.01),
+                "args": {"ops_in": event.ops_in, "ops_out": event.ops_out,
+                         **event.extra},
+            })
+
+    meta: List[dict] = []
+    if any(e.get("pid") == _MACHINE_PID for e in out):
+        meta += _machine_metadata(n_fus, machine_name)
+    if any(e.get("pid") == _COMPILER_PID for e in out):
+        meta += [
+            {"ph": "M", "pid": _COMPILER_PID, "name": "process_name",
+             "args": {"name": "compiler"}},
+            {"ph": "M", "pid": _COMPILER_PID, "tid": 0,
+             "name": "thread_name", "args": {"name": "passes"}},
+        ]
+    return meta + out
+
+
+def chrome_trace(events: Iterable[Event],
+                 cycle_us: float = CYCLE_US) -> dict:
+    """The complete JSON-object trace Perfetto/chrome://tracing loads."""
+    return {
+        "traceEvents": chrome_trace_events(list(events), cycle_us),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.obs",
+            "cycle_us": cycle_us,
+        },
+    }
+
+
+def write_chrome_trace(path: Union[str, pathlib.Path],
+                       events: Iterable[Event],
+                       cycle_us: float = CYCLE_US) -> pathlib.Path:
+    """Serialize :func:`chrome_trace` to *path*; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(chrome_trace(events, cycle_us), stream)
+    return path

@@ -1,0 +1,149 @@
+"""The observer: sinks + metrics behind one guarded emit point.
+
+Instrumented code holds an :class:`Observer` (or the shared
+:data:`NULL_OBSERVER`) and guards every event construction with
+``if obs.enabled:`` — the disabled path is one attribute load, so the
+simulators pay nothing when nobody is watching (the tier-1 timing
+requirement).  A module-level *current observer* (in the spirit of
+``logging``'s root logger) lets deep call chains — compiler passes in
+particular — report telemetry without threading an argument through
+every signature; :func:`observed` scopes it.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence, Union
+
+from .events import Event, PassEvent
+from .metrics import MetricsRegistry
+from .sinks import RingBufferSink, Sink
+
+
+class PassSpan:
+    """Mutable record handed to an in-flight compiler pass."""
+
+    __slots__ = ("name", "ops_in", "ops_out", "extra")
+
+    def __init__(self, name: str, ops_in: int = 0):
+        self.name = name
+        self.ops_in = ops_in
+        self.ops_out = ops_in
+        self.extra: dict = {}
+
+
+class Observer:
+    """Fan events out to sinks and keep a metrics registry."""
+
+    enabled = True
+
+    def __init__(self, sinks: Union[Sink, Sequence[Sink], None] = None,
+                 registry: Optional[MetricsRegistry] = None):
+        if sinks is None:
+            sinks = []
+        elif isinstance(sinks, Sink):
+            sinks = [sinks]
+        self.sinks: List[Sink] = list(sinks)
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def add_sink(self, sink: Sink) -> Sink:
+        self.sinks.append(sink)
+        return sink
+
+    def emit(self, event: Event) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+    # -- metrics shorthands ------------------------------------------------
+
+    def counter(self, name: str):
+        return self.registry.counter(name)
+
+    def gauge(self, name: str):
+        return self.registry.gauge(name)
+
+    def histogram(self, name: str):
+        return self.registry.histogram(name)
+
+    def timer(self, name: str):
+        return self.registry.timer(name)
+
+    # -- compiler-pass telemetry ------------------------------------------
+
+    @contextmanager
+    def pass_span(self, name: str, ops_in: int = 0) -> Iterator[PassSpan]:
+        """Time one compiler pass; emits a :class:`PassEvent` on exit.
+
+        The pass body may set ``span.ops_out`` (defaults to ``ops_in``)
+        and stash details in ``span.extra``.
+        """
+        span = PassSpan(name, ops_in)
+        if not self.enabled:
+            yield span
+            return
+        start = time.perf_counter()
+        try:
+            yield span
+        finally:
+            seconds = time.perf_counter() - start
+            self.registry.timer(f"pass.{name}").observe(seconds)
+            self.emit(PassEvent(name=name, seconds=seconds,
+                                ops_in=span.ops_in, ops_out=span.ops_out,
+                                start=start, extra=dict(span.extra)))
+
+    def __enter__(self) -> "Observer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullObserver(Observer):
+    """The default: drops everything, guards short-circuit on it."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__()
+
+    def emit(self, event: Event) -> None:  # pragma: no cover - never hot
+        pass
+
+
+#: Shared disabled observer; identity-comparable, never emits.
+NULL_OBSERVER = NullObserver()
+
+_current: Observer = NULL_OBSERVER
+
+
+def current_observer() -> Observer:
+    """The ambient observer (the null observer unless one is installed)."""
+    return _current
+
+
+def set_observer(observer: Optional[Observer]) -> Observer:
+    """Install *observer* globally; returns the previous one."""
+    global _current
+    previous = _current
+    _current = observer if observer is not None else NULL_OBSERVER
+    return previous
+
+
+@contextmanager
+def observed(observer: Observer) -> Iterator[Observer]:
+    """Scope the ambient observer to a ``with`` block."""
+    previous = set_observer(observer)
+    try:
+        yield observer
+    finally:
+        set_observer(previous)
+
+
+def recording_observer(capacity: Optional[int] = None) -> Observer:
+    """An observer with a single in-memory ring buffer (test helper)."""
+    return Observer(RingBufferSink(capacity))

@@ -1,0 +1,134 @@
+"""Typed trace events — the vocabulary of the observability subsystem.
+
+Everything the paper's evaluation *observes* about an execution
+(section 4.1: per-cycle addresses, condition codes, sync signals, SSET
+partitions) plus what the compiler does to a program on its way to the
+machine is expressed as one of these event types.  Events are plain
+frozen dataclasses with a stable ``kind`` tag and a lossless
+dict/JSON round-trip (:func:`event_to_dict` / :func:`event_from_dict`)
+so a recorded JSONL stream can be replayed into a Figure-10 table, a
+Chrome trace, or a run report long after the simulator is gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple, Type
+
+#: JSON-friendly partition: a list of FU-index lists, or None.
+PartitionJson = Optional[Tuple[Tuple[int, ...], ...]]
+
+
+@dataclass(frozen=True)
+class CycleEvent:
+    """One machine cycle: the Figure-10 row, in structured form."""
+
+    kind = "cycle"
+
+    machine: str                       #: "ximd" or "vliw"
+    cycle: int
+    #: PC per FU at the start of the cycle; None = halted.
+    pcs: Tuple[Optional[int], ...]
+    #: condition codes at the start of the cycle, e.g. ``"TTFX"``.
+    cc: str
+    #: sync signals asserted during the cycle, ``"B"``/``"D"``/``"-"``.
+    ss: str
+    #: the SSET partition, or None when no tracker is attached.
+    partition: PartitionJson = None
+    #: non-nop data operations executed this cycle (for utilization).
+    data_ops: int = 0
+
+
+@dataclass(frozen=True)
+class BranchEvent:
+    """One control operation resolved by a sequencer."""
+
+    kind = "branch"
+
+    machine: str
+    cycle: int
+    fu: int
+    pc: int
+    #: "uncond" | "cond" | "sync" (condition reads the sync signals).
+    branch_kind: str
+    taken: bool
+    target: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SyncEvent:
+    """A synchronization signal asserted, or a barrier passed."""
+
+    kind = "sync"
+
+    machine: str
+    cycle: int
+    fu: int
+    pc: Optional[int]
+    #: "done" = FU asserted SS DONE; "barrier" = ALL_SS_DONE branch taken.
+    what: str = "done"
+
+
+@dataclass(frozen=True)
+class PartitionChangeEvent:
+    """The SSET partition changed between cycles (fork or join)."""
+
+    kind = "partition"
+
+    machine: str
+    cycle: int
+    partition: PartitionJson
+    n_ssets: int
+
+
+@dataclass(frozen=True)
+class PassEvent:
+    """One compiler pass finished (wall time + IR size in/out)."""
+
+    kind = "pass"
+
+    name: str
+    seconds: float
+    ops_in: int = 0
+    ops_out: int = 0
+    #: perf_counter() at pass start, for ordering on a timeline.
+    start: float = 0.0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+Event = object  # any of the dataclasses above
+
+_EVENT_TYPES: Dict[str, Type] = {
+    cls.kind: cls
+    for cls in (CycleEvent, BranchEvent, SyncEvent,
+                PartitionChangeEvent, PassEvent)
+}
+
+
+def event_to_dict(event) -> dict:
+    """Serialize an event to a JSON-ready dict (with its ``kind`` tag)."""
+    payload = asdict(event)
+    payload["kind"] = event.kind
+    return payload
+
+
+def _tuplify_partition(value) -> PartitionJson:
+    if value is None:
+        return None
+    return tuple(tuple(int(fu) for fu in sset) for sset in value)
+
+
+def event_from_dict(payload: dict):
+    """Rebuild a typed event from :func:`event_to_dict` output."""
+    payload = dict(payload)
+    kind = payload.pop("kind")
+    try:
+        cls = _EVENT_TYPES[kind]
+    except KeyError:
+        raise ValueError(f"unknown event kind {kind!r}") from None
+    if "pcs" in payload:
+        payload["pcs"] = tuple(
+            None if pc is None else int(pc) for pc in payload["pcs"])
+    if "partition" in payload:
+        payload["partition"] = _tuplify_partition(payload["partition"])
+    return cls(**payload)

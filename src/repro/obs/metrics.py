@@ -1,0 +1,198 @@
+"""A small metrics registry: counters, gauges, histograms, timers.
+
+The simulators and the compiler report *how much* and *how long*
+through these instruments; the registry renders to a dict (for the JSON
+run report) or a fixed-width text table (matching the repo's other
+output).  Instruments are created lazily by name, so instrumented code
+never has to pre-declare what it measures.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """A distribution of observed values (exact, value -> count).
+
+    The quantities observed here (register-file port counts, SSET
+    sizes, rows per pass) are small integers, so an exact histogram is
+    both cheaper and more faithful than bucketing.
+    """
+
+    __slots__ = ("name", "counts", "total", "_sum")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.counts: Dict[float, int] = {}
+        self.total = 0
+        self._sum = 0.0
+
+    def observe(self, value) -> None:
+        self.counts[value] = self.counts.get(value, 0) + 1
+        self.total += 1
+        self._sum += value
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self.total if self.total else 0.0
+
+    @property
+    def max(self):
+        return max(self.counts) if self.counts else 0
+
+    @property
+    def min(self):
+        return min(self.counts) if self.counts else 0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "counts": {str(k): v for k, v in sorted(self.counts.items())},
+        }
+
+
+class Timer:
+    """Accumulated wall-clock time, usable as context manager/decorator."""
+
+    __slots__ = ("name", "total_seconds", "count", "max_seconds")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.total_seconds = 0.0
+        self.count = 0
+        self.max_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.total_seconds += seconds
+        self.count += 1
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    @contextmanager
+    def time(self):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.observe(time.perf_counter() - start)
+
+    def wrap(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def timed(*args, **kwargs):
+            with self.time():
+                return fn(*args, **kwargs)
+        return timed
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "timer",
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "max_seconds": self.max_seconds,
+        }
+
+
+class MetricsRegistry:
+    """Lazily-created named instruments, one flat namespace."""
+
+    def __init__(self):
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}")
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer)
+
+    def timed(self, name: str) -> Callable:
+        """Decorator: accumulate the wrapped function's wall time."""
+        def decorate(fn):
+            return self.timer(name).wrap(fn)
+        return decorate
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def to_dict(self) -> dict:
+        return {name: self._instruments[name].to_dict()
+                for name in self.names()}
+
+    def render_text(self, title: str = "metrics") -> str:
+        lines = [title]
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                detail = f"{instrument.value}"
+            elif isinstance(instrument, Gauge):
+                detail = f"{instrument.value}"
+            elif isinstance(instrument, Histogram):
+                detail = (f"n={instrument.total} mean={instrument.mean:.2f} "
+                          f"min={instrument.min} max={instrument.max}")
+            else:
+                detail = (f"n={instrument.count} "
+                          f"total={instrument.total_seconds * 1e3:.3f}ms "
+                          f"max={instrument.max_seconds * 1e3:.3f}ms")
+            lines.append(f"  {name:<32} {detail}")
+        return "\n".join(lines)

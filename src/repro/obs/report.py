@@ -1,0 +1,267 @@
+"""Run reports: one merged view of a traced execution.
+
+Collapses a recorded event stream (plus, optionally, a metrics
+registry) into the numbers the paper's evaluation cares about — cycle
+count, FU utilization, the SSET histogram that makes a run "XIMD-like",
+the branch/sync mix, hot instruction addresses — as one JSON-able
+object with a fixed-width text rendering.  Also replays a stream back
+into a Figure-10 :class:`~repro.machine.trace.AddressTrace`, which is
+what the ``python -m repro.obs fig10`` command prints.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .events import (
+    BranchEvent,
+    CycleEvent,
+    Event,
+    PartitionChangeEvent,
+    PassEvent,
+    SyncEvent,
+)
+from .metrics import MetricsRegistry
+
+#: buckets in the occupancy sparkline (FU activity over run time).
+SPARKLINE_BUCKETS = 60
+_SPARK_GLYPHS = " ▁▂▃▄▅▆▇█"
+
+
+def events_to_trace(events: Iterable[Event]):
+    """Rebuild a Figure-10 address trace from recorded cycle events."""
+    from ..machine.trace import AddressTrace, TraceRecord
+
+    cycles = [e for e in events if isinstance(e, CycleEvent)]
+    if not cycles:
+        raise ValueError("event stream contains no cycle events")
+    n_fus = max(len(e.pcs) for e in cycles)
+    trace = AddressTrace(n_fus)
+    for event in sorted(cycles, key=lambda e: e.cycle):
+        trace.append(TraceRecord(
+            cycle=event.cycle,
+            pcs=tuple(event.pcs),
+            condition_codes=event.cc,
+            sync_signals=event.ss,
+            partition=event.partition,
+        ))
+    return trace
+
+
+def _sparkline(per_cycle: Sequence[float],
+               buckets: int = SPARKLINE_BUCKETS) -> str:
+    """Downsample a 0..1 series into a unicode bar sparkline."""
+    if not per_cycle:
+        return ""
+    buckets = min(buckets, len(per_cycle))
+    out = []
+    n = len(per_cycle)
+    for b in range(buckets):
+        lo = b * n // buckets
+        hi = max(lo + 1, (b + 1) * n // buckets)
+        mean = sum(per_cycle[lo:hi]) / (hi - lo)
+        index = min(int(mean * (len(_SPARK_GLYPHS) - 1) + 0.5),
+                    len(_SPARK_GLYPHS) - 1)
+        out.append(_SPARK_GLYPHS[index])
+    return "".join(out)
+
+
+@dataclass
+class RunReport:
+    """Headline observations from one traced run."""
+
+    machine: str
+    n_fus: int
+    cycles: int
+    data_ops: int
+    utilization: float                     #: data_ops / (cycles * n_fus)
+    occupancy: float                       #: non-halted FU-cycles fraction
+    fu_busy_cycles: List[int]              #: per-FU non-halted cycles
+    occupancy_sparkline: str               #: activity over run time
+    sset_histogram: Dict[int, int]         #: #SSETs -> cycles
+    mean_streams: float
+    max_streams: int
+    multi_stream_fraction: float
+    partition_changes: int
+    branch_mix: Dict[str, int]             #: cond / uncond / sync -> count
+    branches_taken: int
+    sync_done: int
+    barriers: int
+    hot_pcs: List[Tuple[int, int]]         #: (pc, fetches), descending
+    passes: List[Dict[str, object]] = field(default_factory=list)
+    metrics: Dict[str, dict] = field(default_factory=dict)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_events(cls, events: Iterable[Event],
+                    registry: Optional[MetricsRegistry] = None,
+                    hot_pc_limit: int = 10) -> "RunReport":
+        events = list(events)
+        cycles = sorted((e for e in events if isinstance(e, CycleEvent)),
+                        key=lambda e: e.cycle)
+        machine = cycles[0].machine if cycles else "?"
+        n_fus = max((len(e.pcs) for e in cycles), default=0)
+
+        fu_busy = [0] * n_fus
+        pc_tally: TallyCounter = TallyCounter()
+        sset_histogram: TallyCounter = TallyCounter()
+        per_cycle_occupancy: List[float] = []
+        data_ops = 0
+        for event in cycles:
+            busy = 0
+            for fu, pc in enumerate(event.pcs):
+                if pc is not None:
+                    fu_busy[fu] += 1
+                    pc_tally[pc] += 1
+                    busy += 1
+            per_cycle_occupancy.append(busy / n_fus if n_fus else 0.0)
+            data_ops += event.data_ops
+            if event.partition is not None:
+                sset_histogram[len(event.partition)] += 1
+
+        n_cycles = len(cycles)
+        denominator = n_cycles * n_fus
+        utilization = data_ops / denominator if denominator else 0.0
+        occupancy = (sum(fu_busy) / denominator) if denominator else 0.0
+
+        sset_total = sum(sset_histogram.values())
+        if sset_total:
+            mean_streams = (sum(k * v for k, v in sset_histogram.items())
+                            / sset_total)
+            multi = sum(v for k, v in sset_histogram.items() if k > 1)
+            multi_fraction = multi / sset_total
+            max_streams = max(sset_histogram)
+        else:
+            mean_streams = 0.0
+            multi_fraction = 0.0
+            max_streams = 0
+
+        branch_mix = {"cond": 0, "uncond": 0, "sync": 0}
+        branches_taken = 0
+        for event in events:
+            if isinstance(event, BranchEvent):
+                branch_mix[event.branch_kind] = (
+                    branch_mix.get(event.branch_kind, 0) + 1)
+                branches_taken += event.taken
+
+        sync_done = sum(1 for e in events
+                        if isinstance(e, SyncEvent) and e.what == "done")
+        barriers = sum(1 for e in events
+                       if isinstance(e, SyncEvent) and e.what == "barrier")
+        partition_changes = sum(
+            1 for e in events if isinstance(e, PartitionChangeEvent))
+
+        passes = [
+            {"name": e.name, "seconds": e.seconds,
+             "ops_in": e.ops_in, "ops_out": e.ops_out}
+            for e in events if isinstance(e, PassEvent)
+        ]
+
+        return cls(
+            machine=machine,
+            n_fus=n_fus,
+            cycles=n_cycles,
+            data_ops=data_ops,
+            utilization=utilization,
+            occupancy=occupancy,
+            fu_busy_cycles=fu_busy,
+            occupancy_sparkline=_sparkline(per_cycle_occupancy),
+            sset_histogram=dict(sorted(sset_histogram.items())),
+            mean_streams=mean_streams,
+            max_streams=max_streams,
+            multi_stream_fraction=multi_fraction,
+            partition_changes=partition_changes,
+            branch_mix=branch_mix,
+            branches_taken=branches_taken,
+            sync_done=sync_done,
+            barriers=barriers,
+            hot_pcs=[(pc, count) for pc, count
+                     in pc_tally.most_common(hot_pc_limit)],
+            passes=passes,
+            metrics=registry.to_dict() if registry is not None else {},
+        )
+
+    # -- rendering ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "machine": self.machine,
+            "n_fus": self.n_fus,
+            "cycles": self.cycles,
+            "data_ops": self.data_ops,
+            "utilization": self.utilization,
+            "occupancy": self.occupancy,
+            "fu_busy_cycles": list(self.fu_busy_cycles),
+            "sset_histogram": {str(k): v
+                               for k, v in self.sset_histogram.items()},
+            "mean_streams": self.mean_streams,
+            "max_streams": self.max_streams,
+            "multi_stream_fraction": self.multi_stream_fraction,
+            "partition_changes": self.partition_changes,
+            "branch_mix": dict(self.branch_mix),
+            "branches_taken": self.branches_taken,
+            "sync_done": self.sync_done,
+            "barriers": self.barriers,
+            "hot_pcs": [[pc, count] for pc, count in self.hot_pcs],
+            "passes": list(self.passes),
+            "metrics": dict(self.metrics),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def write_json(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    def render_text(self) -> str:
+        lines = [
+            f"run report — {self.machine} machine, {self.n_fus} FUs",
+            f"  cycles            : {self.cycles}",
+            f"  data ops          : {self.data_ops}",
+            f"  utilization       : {self.utilization:.1%} "
+            "(non-nop data ops / FU-cycles)",
+            f"  occupancy         : {self.occupancy:.1%} "
+            "(non-halted FU-cycles)",
+            f"  activity timeline : |{self.occupancy_sparkline}|",
+        ]
+        if self.n_fus:
+            busy = "  ".join(
+                f"FU{fu}={count}" for fu, count
+                in enumerate(self.fu_busy_cycles))
+            lines.append(f"  busy cycles/FU    : {busy}")
+        if self.sset_histogram:
+            bars = ", ".join(f"{k} streams: {v}cy"
+                             for k, v in self.sset_histogram.items())
+            lines += [
+                f"  SSET histogram    : {bars}",
+                f"  streams           : mean {self.mean_streams:.2f}, "
+                f"max {self.max_streams}, "
+                f"{self.multi_stream_fraction:.0%} multi-stream "
+                f"({self.partition_changes} forks/joins)",
+            ]
+        mix = ", ".join(f"{name}={count}"
+                        for name, count in self.branch_mix.items() if count)
+        lines.append(f"  branches          : {mix or 'none'} "
+                     f"({self.branches_taken} taken)")
+        lines.append(f"  sync              : {self.sync_done} DONE signals, "
+                     f"{self.barriers} barrier passes")
+        if self.hot_pcs:
+            hot = ", ".join(f"{pc:#04x}×{count}"
+                            for pc, count in self.hot_pcs[:6])
+            lines.append(f"  hot PCs           : {hot}")
+        if self.passes:
+            lines.append("  compiler passes   :")
+            for entry in self.passes:
+                lines.append(
+                    f"    {entry['name']:<20} "
+                    f"{entry['seconds'] * 1e3:8.3f} ms   "
+                    f"ops {entry['ops_in']} -> {entry['ops_out']}")
+        return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Event sinks: where emitted trace events go.
+
+Three implementations, matching three uses:
+
+* :class:`RingBufferSink` — bounded in-memory buffer, for tests and for
+  building a run report at the end of an execution;
+* :class:`JsonlSink` — one JSON object per line, the durable format the
+  ``python -m repro.obs`` CLI replays;
+* the *null* sink is the absence of sinks — :class:`~repro.obs.core.NullObserver`
+  short-circuits before any event object is even constructed, so the
+  disabled path costs one attribute load per guard.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+from collections import deque
+from typing import Iterable, Iterator, List, Optional, Union
+
+from .events import Event, event_from_dict, event_to_dict
+
+
+class Sink:
+    """Interface: receives every emitted event."""
+
+    def emit(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class RingBufferSink(Sink):
+    """Keep the last *capacity* events in memory."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        self._events: deque = deque(maxlen=capacity)
+
+    def emit(self, event: Event) -> None:
+        self._events.append(event)
+
+    @property
+    def events(self) -> List[Event]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [e for e in self._events if e.kind == kind]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+
+class JsonlSink(Sink):
+    """Append events to a JSONL file (or any text stream)."""
+
+    def __init__(self, target: Union[str, pathlib.Path, io.TextIOBase]):
+        if isinstance(target, (str, pathlib.Path)):
+            self.path: Optional[pathlib.Path] = pathlib.Path(target)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = open(self.path, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self.path = None
+            self._stream = target
+            self._owns_stream = False
+        self.emitted = 0
+
+    def emit(self, event: Event) -> None:
+        json.dump(event_to_dict(event), self._stream,
+                  separators=(",", ":"), default=str)
+        self._stream.write("\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._owns_stream and not self._stream.closed:
+            self._stream.close()
+
+
+def read_jsonl(source: Union[str, pathlib.Path, Iterable[str]]) -> List[Event]:
+    """Load a JSONL event stream back into typed events."""
+    if isinstance(source, (str, pathlib.Path)):
+        with open(source, "r", encoding="utf-8") as stream:
+            lines = stream.readlines()
+    else:
+        lines = list(source)
+    events = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            events.append(event_from_dict(json.loads(line)))
+    return events

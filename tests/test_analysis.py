@@ -106,6 +106,31 @@ class TestMetrics:
         assert stats.multi_stream_fraction == pytest.approx(0.5)
         assert "streams" in stats.describe()
 
+    def test_partition_stats_zero_cycle_trace(self):
+        # regression: an empty (or untracked) trace must not divide by 0
+        from repro.machine.trace import AddressTrace, TraceRecord
+        stats = PartitionStats.from_trace(AddressTrace(4))
+        assert stats.cycles == 0
+        assert stats.stream_histogram == {}
+        assert stats.max_streams == 0
+        assert stats.mean_streams == 0.0
+        assert stats.multi_stream_fraction == 0.0
+        # untracked: records exist but carry no partitions
+        trace = AddressTrace(2)
+        trace.append(TraceRecord(0, (0, 0), "XX", "--", None))
+        assert PartitionStats.from_trace(trace).cycles == 0
+
+    def test_utilization_zero_cycle_run(self):
+        # regression: zero-cycle stats (and degenerate n_fus) return 0.0
+        from repro.machine.datapath import DatapathStats
+        stats = DatapathStats()
+        assert stats.utilization(4) == 0.0
+        assert stats.utilization(0) == 0.0
+        stats.cycles = 10
+        stats.data_ops = 20
+        assert stats.utilization(0) == 0.0
+        assert stats.utilization(4) == pytest.approx(0.5)
+
     def test_compare_runs(self):
         from repro.asm import assemble
         from repro.machine import run_ximd, run_vliw

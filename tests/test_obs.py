@@ -1,0 +1,408 @@
+"""Tests for the observability subsystem (``repro.obs``).
+
+Covers the event vocabulary and its JSON round-trip, the sinks, the
+metrics registry, observer scoping and pass spans, the Chrome trace
+exporter, run reports (including agreement with the analysis-layer
+aggregates on a real instrumented run), Figure-10 replay, and the
+``python -m repro.obs`` CLI.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis import PartitionStats, RunMetrics
+from repro.asm import assemble
+from repro.machine import TrackerKind, XimdMachine, run_vliw
+from repro.obs import (
+    BranchEvent,
+    Counter,
+    CycleEvent,
+    Gauge,
+    Histogram,
+    JsonlSink,
+    MetricsRegistry,
+    NULL_OBSERVER,
+    NullObserver,
+    Observer,
+    PartitionChangeEvent,
+    PassEvent,
+    RingBufferSink,
+    RunReport,
+    SyncEvent,
+    Timer,
+    chrome_trace,
+    chrome_trace_events,
+    current_observer,
+    event_from_dict,
+    event_to_dict,
+    events_to_trace,
+    observed,
+    read_jsonl,
+    recording_observer,
+    set_observer,
+    write_chrome_trace,
+)
+from repro.obs.__main__ import main as obs_main
+from repro.workloads import (
+    FIGURE10_DATA,
+    MINMAX_REGS,
+    minmax_memory,
+    minmax_source,
+)
+
+ALL_EVENTS = [
+    CycleEvent(machine="ximd", cycle=3, pcs=(4, None, 5, 6), cc="TFXT",
+               ss="-D--", partition=((0, 2), (3,)), data_ops=2),
+    BranchEvent(machine="ximd", cycle=3, fu=1, pc=4, branch_kind="cond",
+                taken=True, target=9),
+    SyncEvent(machine="ximd", cycle=5, fu=0, pc=7, what="barrier"),
+    PartitionChangeEvent(machine="ximd", cycle=6,
+                         partition=((0, 1, 2, 3),), n_ssets=1),
+    PassEvent(name="simplify", seconds=0.001, ops_in=12, ops_out=9,
+              start=1.5, extra={"note": "x"}),
+]
+
+
+def minmax_machine(**kwargs):
+    machine = XimdMachine(assemble(minmax_source("halt")), **kwargs)
+    machine.regfile.poke(MINMAX_REGS["n"], len(FIGURE10_DATA))
+    for address, value in minmax_memory(FIGURE10_DATA).items():
+        machine.memory.poke(address, value)
+    return machine
+
+
+class TestEvents:
+    @pytest.mark.parametrize("event", ALL_EVENTS,
+                             ids=[e.kind for e in ALL_EVENTS])
+    def test_round_trip(self, event):
+        payload = event_to_dict(event)
+        assert payload["kind"] == event.kind
+        # must survive actual JSON serialization, not just dict copy
+        restored = event_from_dict(json.loads(json.dumps(payload)))
+        assert restored == event
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            event_from_dict({"kind": "bogus"})
+
+    def test_partition_and_pcs_are_tuples_after_replay(self):
+        event = event_from_dict(json.loads(
+            json.dumps(event_to_dict(ALL_EVENTS[0]))))
+        assert event.pcs == (4, None, 5, 6)
+        assert event.partition == ((0, 2), (3,))
+
+
+class TestSinks:
+    def test_ring_buffer_keeps_last_n(self):
+        sink = RingBufferSink(capacity=2)
+        for cycle in range(4):
+            sink.emit(CycleEvent("ximd", cycle, (0,), "X", "-"))
+        assert len(sink) == 2
+        assert [e.cycle for e in sink.events] == [2, 3]
+
+    def test_of_kind_filters(self):
+        sink = RingBufferSink()
+        for event in ALL_EVENTS:
+            sink.emit(event)
+        assert len(sink.of_kind("cycle")) == 1
+        assert sink.of_kind("pass")[0].name == "simplify"
+
+    def test_jsonl_file_round_trip(self, tmp_path):
+        path = tmp_path / "sub" / "trace.jsonl"
+        sink = JsonlSink(path)     # creates parent directories
+        for event in ALL_EVENTS:
+            sink.emit(event)
+        sink.close()
+        assert sink.emitted == len(ALL_EVENTS)
+        assert read_jsonl(path) == ALL_EVENTS
+
+    def test_jsonl_stream_target(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream)
+        sink.emit(ALL_EVENTS[0])
+        sink.close()               # must not close a borrowed stream
+        assert not stream.closed
+        assert read_jsonl(stream.getvalue().splitlines()) == [ALL_EVENTS[0]]
+
+
+class TestMetrics:
+    def test_counter_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        registry.gauge("g").set(2.5)
+        assert registry.counter("c").value == 5
+        assert registry.gauge("g").value == 2.5
+
+    def test_histogram_stats(self):
+        h = Histogram("ports")
+        for value in (1, 2, 2, 3):
+            h.observe(value)
+        assert h.total == 4
+        assert h.mean == 2.0
+        assert (h.min, h.max) == (1, 3)
+        assert h.to_dict()["counts"] == {"1": 1, "2": 2, "3": 1}
+
+    def test_timer_context_manager_and_decorator(self):
+        registry = MetricsRegistry()
+        with registry.timer("t").time():
+            pass
+
+        @registry.timed("t")
+        def work():
+            return 7
+
+        assert work() == 7
+        timer = registry.timer("t")
+        assert timer.count == 2
+        assert timer.total_seconds >= 0.0
+
+    def test_name_collision_across_types_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("x")
+
+    def test_render_and_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc(3)
+        registry.histogram("ports").observe(2)
+        registry.timer("wall").observe(0.5)
+        registry.gauge("util").set(0.25)
+        as_dict = registry.to_dict()
+        assert as_dict["runs"] == {"type": "counter", "value": 3}
+        text = registry.render_text()
+        for name in registry.names():
+            assert name in text
+
+
+class TestObserver:
+    def test_pass_span_emits_event_and_timer(self):
+        obs = recording_observer()
+        with obs.pass_span("simplify", ops_in=10) as span:
+            span.ops_out = 7
+            span.extra["blocks"] = 2
+        (event,) = obs.sinks[0].of_kind("pass")
+        assert (event.ops_in, event.ops_out) == (10, 7)
+        assert event.extra == {"blocks": 2}
+        assert event.seconds >= 0.0
+        assert obs.registry.timer("pass.simplify").count == 1
+
+    def test_null_observer_pass_span_is_inert(self):
+        span_obs = NullObserver()
+        with span_obs.pass_span("simplify", ops_in=10) as span:
+            span.ops_out = 7
+        assert not span_obs.enabled
+        assert len(span_obs.registry) == 0
+
+    def test_observed_scoping(self):
+        assert current_observer() is NULL_OBSERVER
+        obs = recording_observer()
+        with observed(obs):
+            assert current_observer() is obs
+            inner = Observer()
+            previous = set_observer(inner)
+            assert previous is obs
+            set_observer(previous)
+        assert current_observer() is NULL_OBSERVER
+
+    def test_sink_fanout(self):
+        ring1, ring2 = RingBufferSink(), RingBufferSink()
+        obs = Observer([ring1])
+        obs.add_sink(ring2)
+        obs.emit(ALL_EVENTS[0])
+        assert ring1.events == ring2.events == [ALL_EVENTS[0]]
+
+
+class TestInstrumentedRun:
+    def test_ximd_run_emits_cycle_events_and_metrics(self):
+        obs = recording_observer()
+        machine = minmax_machine(trace=True, tracker=TrackerKind.EXACT,
+                                 obs=obs)
+        result = machine.run(10_000)
+        assert result.halted
+        cycles = obs.sinks[0].of_kind("cycle")
+        assert len(cycles) == result.cycles
+        assert all(e.machine == "ximd" for e in cycles)
+        # per-cycle data_ops deltas must sum to the datapath total
+        assert sum(e.data_ops for e in cycles) == result.stats.data_ops
+        assert obs.registry.counter("ximd.cycles").value == result.cycles
+        assert obs.registry.timer("ximd.run_wall").count == 1
+        # MINMAX forks and joins: partition changes and branches observed
+        assert obs.sinks[0].of_kind("partition")
+        assert obs.sinks[0].of_kind("branch")
+
+    def test_report_agrees_with_analysis_aggregates(self):
+        obs = recording_observer()
+        machine = minmax_machine(trace=True, tracker=TrackerKind.EXACT,
+                                 obs=obs)
+        result = machine.run(10_000)
+        events = obs.sinks[0].events
+        report = RunReport.from_events(events, registry=obs.registry)
+
+        metrics = RunMetrics.from_result(result, machine.config.n_fus)
+        stats = PartitionStats.from_trace(machine.trace)
+        assert report.machine == "ximd"
+        assert report.n_fus == machine.config.n_fus
+        assert report.cycles == metrics.cycles
+        assert report.data_ops == metrics.data_ops
+        assert report.utilization == pytest.approx(metrics.utilization)
+        assert report.sset_histogram == stats.stream_histogram
+        assert report.mean_streams == pytest.approx(stats.mean_streams)
+        assert report.max_streams == stats.max_streams
+        assert report.multi_stream_fraction == pytest.approx(
+            stats.multi_stream_fraction)
+        assert "ximd.cycles" in report.metrics
+        # renderings exist and serialize
+        json.loads(report.to_json())
+        assert "run report" in report.render_text()
+
+    def test_events_replay_to_identical_figure10_table(self):
+        obs = recording_observer()
+        machine = minmax_machine(trace=True, tracker=TrackerKind.EXACT,
+                                 obs=obs)
+        machine.run(10_000)
+        replayed = events_to_trace(obs.sinks[0].events)
+        assert replayed.format(show_sync=True) == \
+            machine.trace.format(show_sync=True)
+
+    def test_events_to_trace_requires_cycle_events(self):
+        with pytest.raises(ValueError, match="no cycle events"):
+            events_to_trace([ALL_EVENTS[1]])
+
+    def test_vliw_run_emits_vliw_events(self):
+        obs = recording_observer()
+        result = run_vliw(assemble("""
+.width 2
+=> -> .
+| iadd #1,#0,r0
+| iadd #2,#0,r1
+=> halt
+| nop
+| nop
+"""), obs=obs)
+        cycles = obs.sinks[0].of_kind("cycle")
+        assert len(cycles) == result.cycles
+        assert all(e.machine == "vliw" for e in cycles)
+        # a VLIW machine is always one stream
+        assert all(len(e.partition) == 1 for e in cycles)
+
+    def test_disabled_observer_changes_nothing(self):
+        baseline = minmax_machine(tracker=TrackerKind.EXACT).run(10_000)
+        quiet = minmax_machine(tracker=TrackerKind.EXACT,
+                               obs=NULL_OBSERVER).run(10_000)
+        assert quiet.cycles == baseline.cycles
+        assert quiet.stats.data_ops == baseline.stats.data_ops
+        assert len(NULL_OBSERVER.registry) == 0
+
+    def test_default_observer_is_ambient(self):
+        obs = recording_observer()
+        with observed(obs):
+            machine = minmax_machine()   # no obs= argument
+        assert machine.obs is obs
+
+
+class TestChromeTrace:
+    def _events(self):
+        obs = recording_observer()
+        machine = minmax_machine(trace=True, tracker=TrackerKind.EXACT,
+                                 obs=obs)
+        machine.run(10_000)
+        return obs.sinks[0].events, machine
+
+    def test_one_track_per_fu(self):
+        events, machine = self._events()
+        trace = chrome_trace(events)
+        payload = json.loads(json.dumps(trace))  # must be JSON-clean
+        assert payload["traceEvents"]
+        slices = [e for e in payload["traceEvents"]
+                  if e["ph"] == "X" and e.get("cat") == "fetch"]
+        tracks = {e["tid"] for e in slices}
+        assert tracks == set(range(machine.config.n_fus))
+        names = {e["args"]["name"]
+                 for e in payload["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert {f"FU{i}" for i in range(machine.config.n_fus)} <= names
+
+    def test_counter_and_instant_events(self):
+        events, _ = self._events()
+        chrome = chrome_trace_events(events)
+        assert any(e["ph"] == "C" and "ssets" in e["args"] for e in chrome)
+        assert any(e["ph"] == "i" and e["cat"] == "partition"
+                   for e in chrome)
+
+    def test_pass_events_render_on_compiler_process(self):
+        chrome = chrome_trace_events([ALL_EVENTS[4]])
+        slices = [e for e in chrome if e["ph"] == "X"]
+        assert slices[0]["cat"] == "compiler"
+        assert slices[0]["dur"] == pytest.approx(1000.0)
+
+    def test_write_chrome_trace(self, tmp_path):
+        events, _ = self._events()
+        path = write_chrome_trace(tmp_path / "t.json", events)
+        payload = json.loads(path.read_text())
+        assert payload["otherData"]["source"] == "repro.obs"
+
+
+class TestCli:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        obs = Observer(JsonlSink(tmp_path / "trace.jsonl"))
+        machine = minmax_machine(trace=True, tracker=TrackerKind.EXACT,
+                                 obs=obs)
+        machine.run(10_000)
+        obs.close()
+        return tmp_path / "trace.jsonl"
+
+    def test_summary(self, trace_path, capsys):
+        assert obs_main(["summary", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out and "cycle" in out
+
+    def test_fig10(self, trace_path, capsys):
+        assert obs_main(["fig10", "--sync", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "FU0" in out and "Partition" in out and "SS" in out
+
+    def test_report_json(self, trace_path, capsys):
+        assert obs_main(["report", "--json", str(trace_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["machine"] == "ximd"
+        assert payload["cycles"] > 0
+
+    def test_chrome(self, trace_path, tmp_path, capsys):
+        out_path = tmp_path / "out.chrome.json"
+        assert obs_main(["chrome", str(trace_path),
+                         "-o", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["traceEvents"]
+
+
+class TestCompilerTelemetry:
+    def test_compile_xc_reports_passes(self):
+        from repro.compiler import compile_xc
+        from repro.workloads import LL12_XC
+
+        obs = recording_observer()
+        with observed(obs):
+            compile_xc(LL12_XC, width=4)
+        names = {e.name for e in obs.sinks[0].of_kind("pass")}
+        assert {"simplify", "regalloc", "list_schedule", "emit"} <= names
+        for event in obs.sinks[0].of_kind("pass"):
+            assert event.seconds >= 0.0
+            assert event.ops_in >= 0
+
+    def test_packers_report_height(self):
+        from repro.compiler import pack_skyline
+        from repro.compiler.tiles import Tile
+
+        obs = recording_observer()
+        tiles = [Tile(f"t{i}", 2, 3 + i, None) for i in range(3)]
+        with observed(obs):
+            packing = pack_skyline(tiles, total_width=8)
+        (event,) = obs.sinks[0].of_kind("pass")
+        assert event.name == "pack_skyline"
+        assert event.ops_in == 3
+        assert event.ops_out == packing.height

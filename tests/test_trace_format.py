@@ -1,0 +1,85 @@
+"""Tests for :meth:`AddressTrace.format` — the Figure-10 renderer.
+
+Exercises the optional columns (sync signals, per-cycle comments) and
+the halted-FU ``--:`` cells that the figure itself never shows but the
+simulators produce once streams finish at different times.
+"""
+
+from repro.machine.trace import AddressTrace, TraceRecord
+
+
+def two_fu_trace(partitions=True):
+    trace = AddressTrace(2)
+    rows = [
+        ((0x00, 0x00), "XX", "--", ((0, 1),)),
+        ((0x01, 0x03), "TF", "-D", ((0,), (1,))),
+        ((0x02, None), "TX", "B-", ((0,),)),
+    ]
+    for cycle, (pcs, cc, ss, partition) in enumerate(rows):
+        trace.append(TraceRecord(cycle, pcs, cc, ss,
+                                 partition if partitions else None))
+    return trace
+
+
+class TestFormat:
+    def test_basic_columns(self):
+        text = two_fu_trace().format()
+        lines = text.splitlines()
+        assert lines[0].split() == ["Cycle", "FU0", "FU1", "CC",
+                                    "Partition"]
+        assert set(lines[1]) == {"-"}          # the separator rule
+        assert "Cycle 0" in lines[2]
+        assert "00:" in lines[2]
+        # no sync column unless asked for
+        assert "SS" not in lines[0]
+
+    def test_show_sync_column(self):
+        text = two_fu_trace().format(show_sync=True)
+        header = text.splitlines()[0].split()
+        assert header == ["Cycle", "FU0", "FU1", "CC", "SS", "Partition"]
+        body = text.splitlines()[3]            # cycle 1 row
+        assert "-D" in body
+
+    def test_halted_fu_renders_dashes(self):
+        trace = two_fu_trace()
+        assert trace[2].pc_text(1) == "--:"
+        text = trace.format()
+        last = text.splitlines()[-1]
+        assert "02:" in last and "--:" in last
+
+    def test_comments_aligned_to_cycles(self):
+        comments = ["start", "fork", "FU1 done"]
+        text = two_fu_trace().format(comments=comments)
+        lines = text.splitlines()
+        assert lines[0].split()[-1] == "Comment"
+        assert lines[2].endswith("start")
+        assert lines[3].endswith("fork")
+        assert lines[4].endswith("FU1 done")
+
+    def test_comments_shorter_than_trace(self):
+        # missing entries render as empty cells, not IndexError
+        text = two_fu_trace().format(comments=["only cycle 0"])
+        lines = text.splitlines()
+        assert lines[2].endswith("only cycle 0")
+        for row in lines[3:]:
+            assert not row.endswith("only cycle 0")
+        # rows with no comment are right-stripped, no trailing pad
+        assert lines[3] == lines[3].rstrip()
+
+    def test_empty_comments_and_sync_together(self):
+        text = two_fu_trace().format(show_sync=True, comments=[])
+        header = text.splitlines()[0].split()
+        assert header[-2:] == ["SS", "Partition"] or \
+            header[-1] == "Comment"
+        assert "Comment" in text.splitlines()[0]
+
+    def test_untracked_partition_column_empty(self):
+        text = two_fu_trace(partitions=False).format()
+        for line in text.splitlines()[2:]:
+            assert line.rstrip() == line
+            assert "{" not in line
+
+    def test_partition_text(self):
+        trace = two_fu_trace()
+        assert trace[1].partition_text()       # non-empty when tracked
+        assert TraceRecord(0, (0,), "X", "-", None).partition_text() == ""
