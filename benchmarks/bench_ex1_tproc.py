@@ -33,7 +33,8 @@ def _run_paper_schedule():
         TPROC_REGS[n]: v for n, v in zip("abcd", INPUTS)})
 
 
-def test_tproc_schedules(benchmark, record_table, record_json):
+def test_tproc_schedules(benchmark, record_table, record_json,
+                         bench_summary):
     result = benchmark(_run_paper_schedule)
     expected = tproc_reference(*INPUTS)
     assert result.register(TPROC_REGS["f"]) == expected
@@ -64,6 +65,12 @@ def test_tproc_schedules(benchmark, record_table, record_json):
             for name, fus, code_rows, cycles, value in rows
         ],
     })
+
+    bench_summary("ex1_tproc", {
+        "paper_cycles": rows[0][3],
+        "width4_code_rows": rows[3][2],
+        "width4_cycles": rows[3][3],
+    }, section="figures")
 
     # shape: our width-4 compilation matches (in fact slightly beats:
     # 4 rows vs 5) the paper's percolation-scheduled 5-row schedule

@@ -37,7 +37,8 @@ def _ximd_once(data):
     return _run(XimdMachine, minmax_source("halt"), data)
 
 
-def test_minmax_ximd_vs_vliw(benchmark, record_table, record_json):
+def test_minmax_ximd_vs_vliw(benchmark, record_table, record_json,
+                             bench_summary):
     data_for_benchmark = random_ints(64, seed=7)[1:]
     benchmark(_ximd_once, data_for_benchmark)
 
@@ -56,6 +57,12 @@ def test_minmax_ximd_vs_vliw(benchmark, record_table, record_json):
         {"n": n, "ximd_cycles": xc, "vliw_cycles": vc, "speedup": s}
         for n, xc, vc, s in rows
     ])
+
+    bench_summary("ex2_minmax_n256", {
+        "ximd_cycles": rows[-1][1],
+        "vliw_cycles": rows[-1][2],
+        "speedup": rows[-1][3],
+    }, section="figures")
 
     # shape: XIMD wins everywhere, settling around ~1.7x (3-cycle
     # iterations vs the VLIW version's serialized 5-7 cycles)

@@ -46,7 +46,8 @@ def _run_vliw(data, n):
     return result
 
 
-def test_bitcount_barrier_sync(benchmark, record_table, record_json):
+def test_bitcount_barrier_sync(benchmark, record_table, record_json,
+                               bench_summary):
     bench_data = random_words(24, seed=1)
     benchmark(_run_ximd, bench_data, 24, bitcount1_source(),
               bitcount1_reference)
@@ -69,6 +70,12 @@ def test_bitcount_barrier_sync(benchmark, record_table, record_json):
         {"n": n, "ximd_cycles": xc, "vliw_cycles": vc, "speedup": s}
         for n, xc, vc, s in rows
     ])
+
+    bench_summary("ex3_bitcount_n96", {
+        "ximd_cycles": rows[-1][1],
+        "vliw_cycles": rows[-1][2],
+        "speedup": rows[-1][3],
+    }, section="figures")
 
     # shape: XIMD wins on every size, and the advantage grows as the
     # 4-wide main loop amortizes the sequential cleanup (1.2x at n=12

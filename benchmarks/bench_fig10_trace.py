@@ -28,7 +28,8 @@ def _traced_run():
     return machine
 
 
-def test_figure10_trace(benchmark, record_table, record_json):
+def test_figure10_trace(benchmark, record_table, record_json,
+                        bench_summary):
     machine = benchmark(_traced_run)
     table = machine.trace.format(show_sync=True)
     record_table("fig10_minmax_trace", table)
@@ -38,6 +39,12 @@ def test_figure10_trace(benchmark, record_table, record_json):
          "partition": record.partition_text()}
         for record in machine.trace
     ])
+
+    bench_summary("fig10_minmax_trace", {
+        "trace_cycles": len(machine.trace),
+        "max_streams": max(len(record.partition)
+                           for record in machine.trace),
+    }, section="figures")
 
     for record, (pcs, cc, partition) in zip(machine.trace,
                                             FIGURE10_EXPECTED):

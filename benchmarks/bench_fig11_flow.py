@@ -38,7 +38,8 @@ def _tracked_run():
     return machine
 
 
-def test_bitcount_control_flow(benchmark, record_table, record_json):
+def test_bitcount_control_flow(benchmark, record_table, record_json,
+                               bench_summary):
     machine = benchmark(_tracked_run)
     trace = machine.trace
     stats = PartitionStats.from_trace(trace)
@@ -74,6 +75,13 @@ def test_bitcount_control_flow(benchmark, record_table, record_json):
         "join_cycles": joins,
         "barrier_cycles": barrier_cycles,
     })
+
+    bench_summary("fig11_bitcount_flow", {
+        "cycles": stats.cycles,
+        "max_streams": stats.max_streams,
+        "mean_streams": stats.mean_streams,
+        "barrier_cycles": barrier_cycles,
+    }, section="figures")
 
     # Figure 11 shape assertions
     assert sizes[0] == 1                   # single SSET start

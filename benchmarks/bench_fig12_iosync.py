@@ -42,7 +42,8 @@ def _run(source, arrivals):
     return result, out1, out2
 
 
-def test_iosync_sync_vs_memory_flags(benchmark, record_table, record_json):
+def test_iosync_sync_vs_memory_flags(benchmark, record_table, record_json,
+                                     bench_summary):
     benchmark(_run, iosync_sync_source(),
               SCENARIOS["interleaved"])
 
@@ -63,6 +64,12 @@ def test_iosync_sync_vs_memory_flags(benchmark, record_table, record_json):
          "speedup": s}
         for name, sc, fc, s in rows
     ])
+
+    bench_summary("fig12_iosync", {
+        "sync_cycles_total": sum(row[1] for row in rows),
+        "flag_cycles_total": sum(row[2] for row in rows),
+        "min_speedup": min(row[3] for row in rows),
+    }, section="figures")
 
     # the paper's claim: sync bits win in every scenario
     assert all(row[3] > 1.0 for row in rows)

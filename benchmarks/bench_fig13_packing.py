@@ -46,7 +46,8 @@ def _tile_menu():
     return menu, oracles, bases
 
 
-def test_tile_packing(benchmark, record_table, record_json):
+def test_tile_packing(benchmark, record_table, record_json,
+                      bench_summary):
     menu, oracles, bases = benchmark(_tile_menu)
 
     # pick the width-2 tile of each thread for the order-based packers
@@ -78,6 +79,12 @@ def test_tile_packing(benchmark, record_table, record_json):
                "tiles": len(packing.placements)}
         for name, packing in packings.items()
     })
+
+    bench_summary("fig13_packing", {
+        "skyline_height": packings["skyline FFD"].height,
+        "exhaustive_height": packings["exhaustive (menu)"].height,
+        "skyline_utilization": packings["skyline FFD"].utilization,
+    }, section="figures")
 
     # shape: the smarter packers dominate the naive shelf order
     assert packings["skyline FFD"].height <= \

@@ -10,7 +10,8 @@ from repro.isa import OPCODES, instruction_set_table
 from repro.isa.encoding import PARCEL_BITS, PARCEL_BYTES
 
 
-def test_instruction_set_table(benchmark, record_table, record_json):
+def test_instruction_set_table(benchmark, record_table, record_json,
+                               bench_summary):
     table = benchmark(instruction_set_table)
     extra = render_kv("parcel encoding", [
         ("defined opcodes", len(OPCODES)),
@@ -24,6 +25,11 @@ def test_instruction_set_table(benchmark, record_table, record_json):
         "parcel_bytes": PARCEL_BYTES,
         "mnemonics": sorted(OPCODES),
     })
+
+    bench_summary("isa_table", {
+        "defined_opcodes": len(OPCODES),
+        "parcel_bits": PARCEL_BITS,
+    }, section="models")
 
     # Figure 7's exact rows
     assert "a + b -> d" in table

@@ -51,7 +51,8 @@ def _compiled_run(n, pipeline):
     return result
 
 
-def test_ll12_hand_pipelined(benchmark, record_table, record_json):
+def test_ll12_hand_pipelined(benchmark, record_table, record_json,
+                             bench_summary):
     result = benchmark(_hand_run, N)
     rows = [["hand-pipelined listing (II=2)", N, result.cycles,
              result.cycles / N]]
@@ -68,6 +69,12 @@ def test_ll12_hand_pipelined(benchmark, record_table, record_json):
          "cycles_per_iter": per_iter}
         for version, n, cycles, per_iter in rows
     ])
+
+    bench_summary("ll12_pipeline", {
+        "hand_cycles": rows[0][2],
+        "unpipelined_cycles": rows[1][2],
+        "pipelined_cycles": rows[2][2],
+    }, section="figures")
 
     hand, unpiped, piped = rows
     assert hand[3] <= 2.2              # II = 2 steady state

@@ -21,7 +21,8 @@ def _model_numbers():
     return (model.cycle_time_ns, model.peak_mips(), model.limiting_path)
 
 
-def test_prototype_performance_model(benchmark, record_table, record_json):
+def test_prototype_performance_model(benchmark, record_table, record_json,
+                                     bench_summary):
     cycle_ns, peak, limiter = benchmark(_model_numbers)
 
     model = PrototypeModel()
@@ -71,6 +72,12 @@ def test_prototype_performance_model(benchmark, record_table, record_json):
         "ll12_n16_cycles": machine_result.cycles,
         "halted": machine_result.halted,
     })
+
+    bench_summary("prototype_model", {
+        "cycle_time_ns": cycle_ns,
+        "peak_mips": peak,
+        "ll12_n16_cycles": machine_result.cycles,
+    }, section="models")
 
     assert cycle_ns == pytest.approx(85.0)     # the paper's number
     assert peak > 90.0                         # "in excess of 90"

@@ -27,7 +27,8 @@ def _chip_math():
             minimum_chips(requirement))
 
 
-def test_register_file_chip_model(benchmark, record_table, record_json):
+def test_register_file_chip_model(benchmark, record_table, record_json,
+                                  bench_summary):
     reads, writes, parallel, chips = benchmark(_chip_math)
 
     # measured port pressure from a real run (TPROC saturates FU0-3)
@@ -56,6 +57,12 @@ def test_register_file_chip_model(benchmark, record_table, record_json):
         "peak_reads_observed": machine.regfile.peak_reads,
         "peak_writes_observed": machine.regfile.peak_writes,
     })
+
+    bench_summary("registerfile_chips", {
+        "minimum_chips": chips,
+        "peak_reads_observed": machine.regfile.peak_reads,
+        "peak_writes_observed": machine.regfile.peak_writes,
+    }, section="models")
 
     assert (reads, writes) == (16, 8)   # paper's port totals
     assert parallel == 2                # two chips wired in parallel

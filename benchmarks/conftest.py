@@ -6,20 +6,30 @@ echoed to stdout) so a ``pytest benchmarks/ --benchmark-only`` run
 leaves a complete, diffable record; EXPERIMENTS.md quotes these files.
 
 Alongside each table, benchmarks record a machine-readable twin via
-``record_json`` (``benchmarks/results/<name>.json``), and register
-headline numbers with ``bench_summary``; at session end those merge
-into the repo-root ``BENCH_SUMMARY.json`` so the performance
-trajectory (cycles, speedups, utilization per workload) is diffable
-across PRs without parsing prose.
+``record_json`` (``benchmarks/results/<name>.json``) — a
+schema-versioned ``bench_result`` artifact the ``python -m repro.obs
+diff`` engine can compare — and register headline numbers with
+``bench_summary``.  At session end those merge into the repo-root
+``BENCH_SUMMARY.json`` (a versioned ``bench_summary`` artifact), and
+when the speedup suite ran, one deterministic record is appended to the
+``BENCH_HISTORY.jsonl`` ledger (git SHA from ``$REPRO_GIT_SHA``,
+deduplicated, no wall-clock fields) for ``python -m repro.obs
+history``/``gate`` to consume.
 """
 
 import json
+import os
 import pathlib
 
 import pytest
 
+from repro.obs.history import append_record, make_record
+from repro.obs.schema import SCHEMA_VERSION
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-SUMMARY_PATH = pathlib.Path(__file__).parent.parent / "BENCH_SUMMARY.json"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+SUMMARY_PATH = REPO_ROOT / "BENCH_SUMMARY.json"
+HISTORY_PATH = REPO_ROOT / "BENCH_HISTORY.jsonl"
 
 
 @pytest.fixture(scope="session")
@@ -36,12 +46,23 @@ def record_table():
 
 @pytest.fixture(scope="session")
 def record_json():
-    """Write ``benchmarks/results/<name>.json`` (the table's data twin)."""
+    """Write ``benchmarks/results/<name>.json`` (the table's data twin).
+
+    The payload is wrapped as a schema-versioned ``bench_result``
+    artifact so ``python -m repro.obs diff`` can compare two of them
+    and reject drifted formats cleanly.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def record(name: str, payload) -> pathlib.Path:
         path = RESULTS_DIR / f"{name}.json"
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True,
+        artifact = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "bench_result",
+            "name": name,
+            "data": payload,
+        }
+        path.write_text(json.dumps(artifact, indent=2, sort_keys=True,
                                    default=str) + "\n")
         return path
 
@@ -54,7 +75,10 @@ def bench_summary():
 
     ``summary(name, payload, section="workloads")`` — entries merge
     into any existing summary at session end, so partial benchmark
-    runs update their own entries without clobbering the rest.
+    runs update their own entries without clobbering the rest.  When
+    the ``workloads`` section was refreshed this session (the speedup
+    suite ran), a deterministic history record is also appended to
+    BENCH_HISTORY.jsonl.
     """
     collected = {}
 
@@ -66,14 +90,25 @@ def bench_summary():
 
     if not collected:
         return
-    summary = {}
+    sections = {}
     if SUMMARY_PATH.exists():
         try:
-            summary = json.loads(SUMMARY_PATH.read_text())
+            previous = json.loads(SUMMARY_PATH.read_text())
         except (ValueError, OSError):
-            summary = {}
+            previous = {}
+        # keep only section dicts; bookkeeping keys are re-stamped
+        sections = {key: value for key, value in previous.items()
+                    if isinstance(value, dict) and key != "timing"}
     for section, entries in collected.items():
-        summary.setdefault(section, {}).update(entries)
+        sections.setdefault(section, {}).update(entries)
+    summary = dict(sections)
+    summary["schema_version"] = SCHEMA_VERSION
+    summary["kind"] = "bench_summary"
     summary["generated_by"] = "pytest benchmarks/ --benchmark-only"
     SUMMARY_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True,
                                        default=str) + "\n")
+
+    if "workloads" in collected:
+        git_sha = os.environ.get("REPRO_GIT_SHA", "local")
+        append_record(HISTORY_PATH,
+                      make_record(sections, git_sha=git_sha))

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Record an instrumented MINMAX run and export every obs artifact.
+
+Produces, in the chosen output directory (default ``./obs_out``):
+
+* ``minmax_run.jsonl``    — the raw event trace;
+* ``minmax_report.json``  — the deterministic run report (schema-
+  versioned; wall-clock quarantined under ``timing`` and excluded);
+* ``dashboard.html``      — the offline, stdlib-only HTML dashboard
+  with per-FU stall attribution and the SSET timeline (pass
+  ``--history BENCH_HISTORY.jsonl`` to add the benchmark trend panel).
+
+The same flow is what CI runs to publish its dashboard artifact.
+"""
+
+import argparse
+import pathlib
+
+from repro.asm import assemble
+from repro.machine import TrackerKind, XimdMachine
+from repro.obs import JsonlSink, Observer, RunReport, write_dashboard
+from repro.obs.history import read_history
+from repro.workloads import (
+    FIGURE10_DATA,
+    MINMAX_REGS,
+    minmax_memory,
+    minmax_source,
+)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default="obs_out",
+                        help="output directory (default: obs_out)")
+    parser.add_argument("--history", default=None,
+                        help="BENCH_HISTORY.jsonl to chart in the "
+                             "dashboard's trend panel")
+    args = parser.parse_args()
+
+    out = pathlib.Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    trace_path = out / "minmax_run.jsonl"
+
+    obs = Observer(JsonlSink(trace_path))
+    machine = XimdMachine(assemble(minmax_source("halt")), obs=obs,
+                          trace=True, tracker=TrackerKind.EXACT)
+    machine.regfile.poke(MINMAX_REGS["n"], len(FIGURE10_DATA))
+    for address, value in minmax_memory(FIGURE10_DATA).items():
+        machine.memory.poke(address, value)
+    result = machine.run(10_000)
+    obs.close()
+    assert result.halted
+
+    from repro.obs import read_jsonl
+
+    events = read_jsonl(trace_path)
+    report = RunReport.from_events(events)
+    report_path = report.write_json(out / "minmax_report.json")
+
+    timeline = [(e.cycle, len(e.partition)) for e in events
+                if e.kind == "cycle" and e.partition is not None]
+    history = read_history(args.history) if args.history else None
+    dash_path = write_dashboard(out / "dashboard.html",
+                                report.to_dict(include_timing=False),
+                                timeline=timeline, history=history,
+                                title="XIMD MINMAX — instrumented run")
+
+    print(report.render_text())
+    print()
+    for path in (trace_path, report_path, dash_path):
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,7 @@ class DatapathStats:
     branches_unconditional: int = 0
     branches_sync: int = 0
     per_fu_ops: Dict[int, int] = field(default_factory=dict)
+    per_opcode: Dict[str, int] = field(default_factory=dict)
 
     def count_op(self, fu: int, op: DataOp) -> None:
         if op.is_nop:
@@ -38,6 +39,8 @@ class DatapathStats:
             return
         self.data_ops += 1
         self.per_fu_ops[fu] = self.per_fu_ops.get(fu, 0) + 1
+        mnemonic = op.opcode.mnemonic
+        self.per_opcode[mnemonic] = self.per_opcode.get(mnemonic, 0) + 1
         kind = op.opcode.kind
         if kind is OpKind.COMPARE:
             self.compares += 1

@@ -133,7 +133,26 @@ class VliwMachine:
             execute_data_op(fu, parcel.data, self.regfile, self.cc,
                             self.memory, self.cycle, self.stats)
 
+        # cycle attribution (observe-only): the VLIW machine has no sync
+        # signals, so a nop slot is idle unless it carries the machine's
+        # single control op (branch-resolve).
+        fu_class: List[str] = []
+        fu_ops: List[Optional[str]] = []
+        if obs_on:
+            for parcel in parcels:
+                if parcel is None:
+                    fu_class.append(".")
+                    fu_ops.append(None)
+                elif parcel.data.is_nop:
+                    fu_class.append("I")
+                    fu_ops.append(None)
+                else:
+                    fu_class.append("U")
+                    fu_ops.append(parcel.data.opcode.mnemonic)
+
         control_fu, control = self._machine_control(parcels)
+        if obs_on and control is not None and fu_class[control_fu] == "I":
+            fu_class[control_fu] = "B"
         if control is None:
             next_pc: Optional[int] = None
         else:
@@ -156,7 +175,8 @@ class VliwMachine:
                 machine="vliw", cycle=self.cycle,
                 pcs=tuple([self.pc] * n), cc=self.cc.format(),
                 ss="-" * n, partition=(tuple(range(n)),),
-                data_ops=self.stats.data_ops - ops_before))
+                data_ops=self.stats.data_ops - ops_before,
+                fu_class="".join(fu_class), ops=tuple(fu_ops)))
 
         self.regfile.commit(self.cycle)
         self.cc.commit()

@@ -208,15 +208,30 @@ class XimdMachine:
         actual_pcs = self._pc_vector()
         next_pcs: List[Optional[int]] = list(self.pcs)
         barrier_taken = [False] * n
+        # cycle attribution (observe-only): why each FU spent this cycle
+        fu_class = ["."] * n if obs_on else None
+        fu_ops: List[Optional[str]] = [None] * n if obs_on else None
         for fu in range(n):
             parcel = parcels[fu]
             if parcel is None:
                 continue
+            useful = not parcel.data.is_nop
+            if obs_on and useful:
+                fu_class[fu] = "U"
+                fu_ops[fu] = parcel.data.opcode.mnemonic
             control = parcel.control
             if control is None:
+                if obs_on and not useful:
+                    fu_class[fu] = "I"
                 next_pcs[fu] = None  # halt after final data op
                 continue
             taken = evaluate_condition(control, cc_start, visible_ss)
+            if obs_on and not useful:
+                # a nop parcel spent purely on control: spinning on an
+                # untaken sync branch is a sync wait, anything else is
+                # branch-resolve overhead.
+                fu_class[fu] = ("S" if control.condition.uses_sync
+                                and not taken else "B")
             if control.is_unconditional:
                 self.stats.branches_unconditional += 1
             else:
@@ -245,7 +260,8 @@ class XimdMachine:
             self.obs.emit(CycleEvent(
                 machine="ximd", cycle=self.cycle, pcs=pcs_start,
                 cc=cc_text, ss=ss_text, partition=partition,
-                data_ops=self.stats.data_ops - ops_before))
+                data_ops=self.stats.data_ops - ops_before,
+                fu_class="".join(fu_class), ops=tuple(fu_ops)))
             for fu in range(n):
                 parcel = parcels[fu]
                 if parcel is not None and parcel.sync is SyncValue.DONE:

@@ -14,9 +14,20 @@ subsystem:
 * a Chrome trace-event exporter (:mod:`~repro.obs.chrome`) that
   renders each functional unit as a Perfetto track;
 * run reports (:mod:`~repro.obs.report`) merging trace + metrics into
-  one JSON/text artifact;
+  one JSON/text artifact, with per-FU/per-SSET/per-opcode stall
+  attribution (why every FU-cycle was spent);
+* the differential tier: a run-diff engine (:mod:`~repro.obs.diff`)
+  with a threshold-based regression policy, the benchmark history
+  ledger (:mod:`~repro.obs.history`, ``BENCH_HISTORY.jsonl``), and a
+  stdlib-only offline HTML dashboard (:mod:`~repro.obs.html`);
 * a CLI (``python -m repro.obs``) replaying saved JSONL traces into
-  Figure-10 tables, Chrome traces, or reports.
+  Figure-10 tables, Chrome traces, or reports — and comparing runs
+  (``diff``), gating CI on perf regressions (``gate``), trending the
+  ledger (``history``), and exporting the dashboard (``html``).
+
+All JSON artifacts are schema-versioned (:mod:`~repro.obs.schema`);
+wall-clock measurements are quarantined under a ``timing`` key so
+everything else is byte-deterministic and safely comparable.
 
 Enable by passing an :class:`Observer` to a machine, or ambiently::
 
@@ -45,7 +56,17 @@ from .core import (
     recording_observer,
     set_observer,
 )
+from .diff import (
+    DiffResult,
+    MetricDelta,
+    WorkloadMismatchError,
+    diff_artifacts,
+    diff_files,
+    flatten_numeric,
+)
 from .events import (
+    FU_CLASS_NAMES,
+    FU_CLASS_ORDER,
     BranchEvent,
     CycleEvent,
     Event,
@@ -55,8 +76,23 @@ from .events import (
     event_from_dict,
     event_to_dict,
 )
+from .history import (
+    DEFAULT_HISTORY,
+    append_record,
+    latest_record,
+    make_record,
+    read_history,
+    render_trend,
+)
+from .html import render_dashboard, write_dashboard
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Timer
 from .report import RunReport, events_to_trace
+from .schema import (
+    SCHEMA_VERSION,
+    SchemaError,
+    check_artifact,
+    load_artifact,
+)
 from .sinks import JsonlSink, RingBufferSink, Sink, read_jsonl
 
 __all__ = [
@@ -64,10 +100,15 @@ __all__ = [
     "CYCLE_US",
     "Counter",
     "CycleEvent",
+    "DEFAULT_HISTORY",
+    "DiffResult",
     "Event",
+    "FU_CLASS_NAMES",
+    "FU_CLASS_ORDER",
     "Gauge",
     "Histogram",
     "JsonlSink",
+    "MetricDelta",
     "MetricsRegistry",
     "NULL_OBSERVER",
     "NullObserver",
@@ -77,18 +118,33 @@ __all__ = [
     "PassSpan",
     "RingBufferSink",
     "RunReport",
+    "SCHEMA_VERSION",
+    "SchemaError",
     "Sink",
     "SyncEvent",
     "Timer",
+    "WorkloadMismatchError",
+    "append_record",
+    "check_artifact",
     "chrome_trace",
     "chrome_trace_events",
     "current_observer",
+    "diff_artifacts",
+    "diff_files",
     "event_from_dict",
     "event_to_dict",
     "events_to_trace",
+    "flatten_numeric",
+    "latest_record",
+    "load_artifact",
+    "make_record",
     "observed",
+    "read_history",
     "read_jsonl",
     "recording_observer",
+    "render_dashboard",
+    "render_trend",
     "set_observer",
     "write_chrome_trace",
+    "write_dashboard",
 ]

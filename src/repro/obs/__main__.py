@@ -1,12 +1,25 @@
-"""``python -m repro.obs`` — replay saved JSONL traces.
+"""``python -m repro.obs`` — replay traces, compare runs, gate perf.
 
-Commands:
+Replay commands:
 
 * ``fig10 TRACE.jsonl``  — render the stream as a Figure-10 table;
 * ``chrome TRACE.jsonl`` — convert to a Chrome trace-event JSON for
   ``chrome://tracing`` / https://ui.perfetto.dev;
 * ``report TRACE.jsonl`` — print (or ``--json``-dump) the run report;
 * ``summary TRACE.jsonl`` — one-line event census (quick sanity check).
+
+Differential-analysis commands:
+
+* ``diff A.json B.json`` — structured delta between two schema-versioned
+  artifacts (run reports, benchmark results, summaries);
+* ``gate --baseline S.json`` — the CI perf-regression gate: compare a
+  candidate summary (or the latest ``BENCH_HISTORY.jsonl`` record)
+  against a committed baseline;
+* ``history`` — render the benchmark-history trend table;
+* ``html`` — export the offline HTML dashboard.
+
+Exit codes: 0 = OK / within tolerance, 1 = usage, I/O, schema, or
+workload-mismatch error, 2 = perf regression beyond threshold.
 """
 
 from __future__ import annotations
@@ -18,8 +31,20 @@ from collections import Counter
 from typing import List, Optional
 
 from .chrome import CYCLE_US, write_chrome_trace
+from .diff import WorkloadMismatchError, diff_files
+from .history import (
+    DEFAULT_HISTORY,
+    latest_record,
+    read_history,
+    render_trend,
+)
+from .html import write_dashboard
 from .report import RunReport, events_to_trace
+from .schema import SchemaError, load_artifact
 from .sinks import read_jsonl
+
+#: Exit code for a perf regression beyond threshold (1 = plain error).
+EXIT_REGRESSION = 2
 
 
 def _cmd_fig10(args) -> int:
@@ -41,12 +66,92 @@ def _cmd_report(args) -> int:
     events = read_jsonl(args.trace)
     report = RunReport.from_events(events)
     if args.json:
-        print(report.to_json())
+        print(report.to_json(include_timing=args.timing))
     else:
         print(report.render_text())
     if args.output:
-        report.write_json(args.output)
+        report.write_json(args.output, include_timing=args.timing)
         print(f"\nwrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    try:
+        result = diff_files(args.baseline, args.candidate,
+                            tolerance=args.tolerance,
+                            include_timing=args.include_timing,
+                            require_matching_workloads=not args.any_workloads)
+    except WorkloadMismatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.render_text())
+    if result.regressions:
+        print(f"\nFAIL: {len(result.regressions)} metric(s) regressed "
+              f"beyond {args.tolerance:.1%} tolerance", file=sys.stderr)
+        return EXIT_REGRESSION
+    return 0
+
+
+def _cmd_gate(args) -> int:
+    if args.candidate:
+        candidate = load_artifact(args.candidate)
+        candidate_label = args.candidate
+    else:
+        candidate = latest_record(args.history)
+        candidate_label = (f"{args.history} (latest record, "
+                           f"sha {candidate.get('git_sha', '?')[:12]})")
+    baseline = load_artifact(args.baseline)
+    from .diff import diff_artifacts
+
+    try:
+        result = diff_artifacts(baseline, candidate,
+                                tolerance=args.tolerance,
+                                include_timing=True,
+                                require_matching_workloads=not args.allow_new)
+    except WorkloadMismatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"perf gate: {args.baseline} vs {candidate_label}")
+    print(result.render_text())
+    for delta in result.timing_regressions:
+        print(f"warning: wall-time metric worsened (non-blocking): "
+              f"{delta.path} {delta.before:.4g} -> {delta.after:.4g}",
+              file=sys.stderr)
+    if result.regressions:
+        print(f"\nGATE FAILED: {len(result.regressions)} deterministic "
+              f"metric(s) regressed beyond {args.tolerance:.1%} tolerance",
+              file=sys.stderr)
+        return EXIT_REGRESSION
+    print("\ngate passed")
+    return 0
+
+
+def _cmd_history(args) -> int:
+    records = read_history(args.ledger)
+    if args.json:
+        print(json.dumps(records, indent=2, sort_keys=True))
+    else:
+        print(render_trend(records, metrics=args.metrics))
+    return 0
+
+
+def _cmd_html(args) -> int:
+    timeline = None
+    if args.input.endswith(".jsonl"):
+        events = read_jsonl(args.input)
+        report = RunReport.from_events(events).to_dict(include_timing=False)
+        timeline = [(e.cycle, len(e.partition))
+                    for e in events
+                    if e.kind == "cycle" and e.partition is not None]
+    else:
+        report = load_artifact(args.input, expect_kind="run_report")
+    history = read_history(args.history) if args.history else None
+    path = write_dashboard(args.output, report, timeline=timeline,
+                           history=history, title=args.title)
+    print(f"wrote {path} — self-contained, open it straight from disk")
     return 0
 
 
@@ -88,11 +193,69 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print JSON instead of text")
     report.add_argument("-o", "--output", default=None,
                         help="also write the JSON report to this path")
+    report.add_argument("--timing", action="store_true",
+                        help="include the wall-clock `timing` key "
+                             "(non-deterministic)")
     report.set_defaults(func=_cmd_report)
 
     summary = sub.add_parser("summary", help="one-line event census")
     summary.add_argument("trace", help="JSONL trace file")
     summary.set_defaults(func=_cmd_summary)
+
+    diff = sub.add_parser(
+        "diff", help="structured delta between two obs JSON artifacts")
+    diff.add_argument("baseline", help="baseline artifact (.json)")
+    diff.add_argument("candidate", help="candidate artifact (.json)")
+    diff.add_argument("--tolerance", type=float, default=0.0,
+                      help="relative worsening allowed before a metric "
+                           "counts as regressed (default: 0, i.e. any)")
+    diff.add_argument("--include-timing", action="store_true",
+                      help="also compare wall-clock (timing) metrics")
+    diff.add_argument("--any-workloads", action="store_true",
+                      help="do not require matching workload sets")
+    diff.add_argument("--json", action="store_true",
+                      help="print the delta as JSON")
+    diff.set_defaults(func=_cmd_diff)
+
+    gate = sub.add_parser(
+        "gate", help="CI perf-regression gate against a baseline summary")
+    gate.add_argument("--baseline", required=True,
+                      help="committed baseline (BENCH_SUMMARY.json)")
+    gate.add_argument("--candidate", default=None,
+                      help="candidate summary JSON (default: latest "
+                           "history record)")
+    gate.add_argument("--history", default=DEFAULT_HISTORY,
+                      help=f"history ledger (default: {DEFAULT_HISTORY})")
+    gate.add_argument("--tolerance", type=float, default=0.0,
+                      help="relative regression allowed on deterministic "
+                           "metrics (default: 0)")
+    gate.add_argument("--allow-new", action="store_true",
+                      help="tolerate added/removed workloads")
+    gate.set_defaults(func=_cmd_gate)
+
+    history = sub.add_parser(
+        "history", help="render the benchmark-history trend")
+    history.add_argument("ledger", nargs="?", default=DEFAULT_HISTORY,
+                         help=f"JSONL ledger (default: {DEFAULT_HISTORY})")
+    history.add_argument("--json", action="store_true",
+                         help="dump raw records instead of the table")
+    history.add_argument("--metrics", nargs="+",
+                         default=["speedup", "ximd_cycles"],
+                         help="metrics to trend (default: speedup "
+                              "ximd_cycles)")
+    history.set_defaults(func=_cmd_history)
+
+    html = sub.add_parser(
+        "html", help="export the offline HTML dashboard")
+    html.add_argument("input",
+                      help="a JSONL trace or a run-report .json artifact")
+    html.add_argument("-o", "--output", default="dashboard.html",
+                      help="output path (default: dashboard.html)")
+    html.add_argument("--history", default=None,
+                      help="also chart this BENCH_HISTORY.jsonl ledger")
+    html.add_argument("--title", default="repro.obs dashboard",
+                      help="page title")
+    html.set_defaults(func=_cmd_html)
     return parser
 
 

@@ -1,0 +1,370 @@
+"""The run-diff engine: structured deltas between two obs artifacts.
+
+The paper's evaluation is *comparative* (XIMD vs VLIW cycles,
+utilization, synchronization cost across workloads), and the ROADMAP's
+"every PR makes a hot path measurably faster" only means something if a
+change that makes any workload *slower* is caught.  This module
+compares two run reports, two benchmark-result artifacts, or two
+benchmark summaries and produces a structured delta — per-metric
+before/after/ratio — plus a regression verdict under a configurable
+threshold policy.
+
+Direction matters: more ``cycles`` is a regression, more ``speedup`` is
+an improvement, and anything under a ``timing`` key (wall-clock) is
+*never* blocking — simulated cycle counts are deterministic, wall time
+is not.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .schema import SchemaError, artifact_kind, check_artifact
+
+#: Metric-name fragments whose *increase* is a regression.
+LOWER_IS_BETTER = (
+    "cycles", "nops", "stall", "sync_wait", "branch_resolve", "idle",
+    "halted", "partition_changes", "barriers", "height", "code_rows",
+    "chips", "transistors", "cycle_time",
+)
+
+#: Metric-name fragments whose *decrease* is a regression.
+HIGHER_IS_BETTER = ("speedup", "utilization", "occupancy", "mips",
+                    "mflops")
+
+#: Path fragments that mark wall-clock measurements (warn-only).
+TIMING_MARKERS = ("timing", "seconds", "wall")
+
+
+class WorkloadMismatchError(ValueError):
+    """The two artifacts do not describe the same workload set."""
+
+
+def metric_direction(path: str) -> str:
+    """``"lower"`` / ``"higher"`` / ``"neutral"`` for a metric path.
+
+    Compared against the *last* path component so that e.g.
+    ``workloads.minmax.ximd_cycles`` is judged by ``ximd_cycles``.
+    Wall-clock (timing) paths are always lower-is-better — more seconds
+    is worse — though they never block (see :class:`DiffResult`).
+    """
+    if is_timing_path(path):
+        return "lower"
+    leaf = path.rsplit(".", 1)[-1]
+    for marker in HIGHER_IS_BETTER:
+        if marker in leaf:
+            return "higher"
+    for marker in LOWER_IS_BETTER:
+        if marker in leaf:
+            return "lower"
+    return "neutral"
+
+
+def is_timing_path(path: str) -> bool:
+    """Whether *path* measures wall-clock time (never blocking)."""
+    return any(marker in part
+               for part in path.lower().split(".")
+               for marker in TIMING_MARKERS)
+
+
+def flatten_numeric(payload: object, prefix: str = "",
+                    skip_keys: Iterable[str] = (
+                        "schema_version", "kind", "generated_by",
+                        "git_sha", "label")) -> Dict[str, float]:
+    """All numeric leaves of a JSON payload as ``dotted.path -> value``.
+
+    Recurses into dicts and lists (list positions become numeric path
+    components); strings, booleans, and None are ignored, as are the
+    bookkeeping keys in *skip_keys*.
+    """
+    skip = frozenset(skip_keys)
+    out: Dict[str, float] = {}
+
+    def walk(node: object, path: str) -> None:
+        if isinstance(node, bool):
+            return
+        if isinstance(node, (int, float)):
+            out[path] = node
+            return
+        if isinstance(node, dict):
+            for key, value in node.items():
+                if key in skip:
+                    continue
+                walk(value, f"{path}.{key}" if path else str(key))
+            return
+        if isinstance(node, list):
+            for index, value in enumerate(node):
+                walk(value, f"{path}.{index}" if path else str(index))
+
+    walk(payload, prefix)
+    return out
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's before/after pair."""
+
+    path: str
+    before: float
+    after: float
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """after/before, or None when the baseline is zero."""
+        if self.before == 0:
+            return None
+        return self.after / self.before
+
+    @property
+    def direction(self) -> str:
+        return metric_direction(self.path)
+
+    @property
+    def timing(self) -> bool:
+        return is_timing_path(self.path)
+
+    def relative_change(self) -> float:
+        """|delta| / |before| (∞ when the baseline is zero)."""
+        if self.before == 0:
+            return float("inf") if self.after != 0 else 0.0
+        return abs(self.delta) / abs(self.before)
+
+    def regressed(self, tolerance: float = 0.0) -> bool:
+        """Whether this delta worsens the metric beyond *tolerance*.
+
+        *tolerance* is relative: 0.02 lets a metric worsen by up to 2%
+        of its baseline value before counting as a regression.  Neutral
+        metrics never regress.
+        """
+        direction = self.direction
+        if direction == "neutral":
+            return False
+        worse = (self.delta > 0) if direction == "lower" else (self.delta < 0)
+        return worse and self.relative_change() > tolerance
+
+    def improved(self) -> bool:
+        direction = self.direction
+        if direction == "neutral":
+            return False
+        return (self.delta < 0) if direction == "lower" else (self.delta > 0)
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "before": self.before,
+            "after": self.after,
+            "delta": self.delta,
+            "ratio": self.ratio,
+            "direction": self.direction,
+            "timing": self.timing,
+        }
+
+
+@dataclass
+class DiffResult:
+    """The structured comparison of two artifacts."""
+
+    deltas: List[MetricDelta] = field(default_factory=list)
+    only_before: List[str] = field(default_factory=list)
+    only_after: List[str] = field(default_factory=list)
+    tolerance: float = 0.0
+
+    @property
+    def changed(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.delta != 0]
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        """Deterministic-metric regressions beyond tolerance (blocking)."""
+        return [d for d in self.deltas
+                if not d.timing and d.regressed(self.tolerance)]
+
+    @property
+    def timing_regressions(self) -> List[MetricDelta]:
+        """Wall-clock worsening — reported, never blocking."""
+        return [d for d in self.deltas
+                if d.timing and d.regressed(self.tolerance)]
+
+    @property
+    def improvements(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if not d.timing and d.improved()]
+
+    @property
+    def identical(self) -> bool:
+        return (not self.changed and not self.only_before
+                and not self.only_after)
+
+    def to_dict(self) -> dict:
+        return {
+            "tolerance": self.tolerance,
+            "identical": self.identical,
+            "changed": [d.to_dict() for d in self.changed],
+            "regressions": [d.to_dict() for d in self.regressions],
+            "timing_regressions": [d.to_dict()
+                                   for d in self.timing_regressions],
+            "improvements": [d.to_dict() for d in self.improvements],
+            "only_before": list(self.only_before),
+            "only_after": list(self.only_after),
+        }
+
+    def render_text(self, max_rows: int = 40) -> str:
+        """A fixed-width delta table (changed metrics only)."""
+        if self.identical:
+            return "no differences"
+        lines: List[str] = []
+        changed = self.changed
+        if changed:
+            regressed = {d.path for d in self.regressions}
+            width = max(len(d.path) for d in changed)
+            width = min(max(width, 6), 56)
+            lines.append(f"{'metric':<{width}} {'before':>14} "
+                         f"{'after':>14} {'delta':>12}  verdict")
+            lines.append("-" * (width + 14 + 14 + 12 + 11))
+            shown = changed[:max_rows]
+            for d in shown:
+                if d.path in regressed:
+                    verdict = "REGRESSED"
+                elif d.timing:
+                    verdict = "timing"
+                elif d.improved():
+                    verdict = "improved"
+                else:
+                    verdict = "changed"
+                lines.append(
+                    f"{d.path:<{width}} {_num(d.before):>14} "
+                    f"{_num(d.after):>14} {_num(d.delta, sign=True):>12}"
+                    f"  {verdict}")
+            if len(changed) > max_rows:
+                lines.append(f"... {len(changed) - max_rows} more "
+                             "changed metrics")
+        for label, paths in (("only in baseline", self.only_before),
+                             ("only in candidate", self.only_after)):
+            if paths:
+                preview = ", ".join(paths[:6])
+                more = f" (+{len(paths) - 6} more)" if len(paths) > 6 else ""
+                lines.append(f"{label}: {preview}{more}")
+        lines.append(
+            f"summary: {len(changed)} changed, "
+            f"{len(self.regressions)} regressed, "
+            f"{len(self.improvements)} improved, "
+            f"{len(self.timing_regressions)} timing-only "
+            f"(tolerance {self.tolerance:.1%})")
+        return "\n".join(lines)
+
+
+def _num(value: float, sign: bool = False) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        text = f"{value:+.4f}" if sign else f"{value:.4f}"
+    else:
+        text = f"{int(value):+d}" if sign else f"{int(value)}"
+    return text
+
+
+def comparison_payload(artifact: dict) -> Tuple[dict, List[str]]:
+    """Reduce an artifact to its comparable payload + workload labels.
+
+    Returns ``(payload, workloads)`` where *workloads* is the label set
+    used to detect apples-to-oranges diffs: section entry names for
+    summaries/history records, the result name for ``bench_result``,
+    and ``machine×n_fus`` for run reports.
+    """
+    kind = artifact_kind(artifact)
+    if kind == "run_report":
+        labels = [f"{artifact.get('machine', '?')}"
+                  f"×{artifact.get('n_fus', '?')}fus"]
+        return artifact, labels
+    if kind == "bench_result":
+        return ({"data": artifact.get("data")},
+                [str(artifact.get("name", "?"))])
+    if kind in ("bench_summary", "bench_history"):
+        sections = artifact.get("sections")
+        if not isinstance(sections, dict):
+            # flat summaries keep sections at top level
+            sections = {key: value for key, value in artifact.items()
+                        if isinstance(value, dict)
+                        and key not in ("timing",)}
+        labels = sorted(
+            f"{section}/{entry}"
+            for section, entries in sections.items()
+            if isinstance(entries, dict)
+            for entry in entries)
+        payload = {"sections": sections}
+        if isinstance(artifact.get("timing"), dict):
+            payload["timing"] = artifact["timing"]
+        return payload, labels
+    raise SchemaError(f"cannot compare artifact of kind {kind!r}")
+
+
+def diff_artifacts(baseline: dict, candidate: dict,
+                   tolerance: float = 0.0,
+                   include_timing: bool = False,
+                   require_matching_workloads: bool = True) -> DiffResult:
+    """Compare two schema-checked artifacts.
+
+    Raises :class:`WorkloadMismatchError` when the two artifacts cover
+    different workload sets (unless *require_matching_workloads* is
+    False, in which case the mismatch is reported through
+    ``only_before``/``only_after``) and :class:`SchemaError` when the
+    kinds are incomparable.
+    """
+    check_artifact(baseline, "baseline")
+    check_artifact(candidate, "candidate")
+    kind_a = artifact_kind(baseline)
+    kind_b = artifact_kind(candidate)
+    comparable = {kind_a, kind_b}
+    # summaries and history records share the sections shape
+    if not (kind_a == kind_b
+            or comparable <= {"bench_summary", "bench_history"}):
+        raise SchemaError(
+            f"cannot diff a {kind_a!r} artifact against a {kind_b!r} one")
+
+    payload_a, workloads_a = comparison_payload(baseline)
+    payload_b, workloads_b = comparison_payload(candidate)
+    if require_matching_workloads and set(workloads_a) != set(workloads_b):
+        missing = sorted(set(workloads_a) - set(workloads_b))
+        added = sorted(set(workloads_b) - set(workloads_a))
+        detail = []
+        if missing:
+            detail.append(f"missing from candidate: {', '.join(missing)}")
+        if added:
+            detail.append(f"new in candidate: {', '.join(added)}")
+        raise WorkloadMismatchError(
+            "workload sets differ — " + "; ".join(detail))
+
+    flat_a = flatten_numeric(payload_a)
+    flat_b = flatten_numeric(payload_b)
+    if not include_timing:
+        flat_a = {p: v for p, v in flat_a.items() if not is_timing_path(p)}
+        flat_b = {p: v for p, v in flat_b.items() if not is_timing_path(p)}
+
+    deltas = [MetricDelta(path, flat_a[path], flat_b[path])
+              for path in sorted(flat_a.keys() & flat_b.keys())]
+    return DiffResult(
+        deltas=deltas,
+        only_before=sorted(flat_a.keys() - flat_b.keys()),
+        only_after=sorted(flat_b.keys() - flat_a.keys()),
+        tolerance=tolerance,
+    )
+
+
+def diff_files(baseline: Union[str, pathlib.Path],
+               candidate: Union[str, pathlib.Path],
+               tolerance: float = 0.0,
+               include_timing: bool = False,
+               require_matching_workloads: bool = True) -> DiffResult:
+    """File-path convenience wrapper around :func:`diff_artifacts`."""
+    from .schema import load_artifact
+
+    return diff_artifacts(
+        load_artifact(baseline),
+        load_artifact(candidate),
+        tolerance=tolerance,
+        include_timing=include_timing,
+        require_matching_workloads=require_matching_workloads,
+    )

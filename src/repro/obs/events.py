@@ -18,6 +18,23 @@ from typing import Dict, List, Optional, Tuple, Type
 #: JSON-friendly partition: a list of FU-index lists, or None.
 PartitionJson = Optional[Tuple[Tuple[int, ...], ...]]
 
+#: Per-FU cycle classification characters (:attr:`CycleEvent.fu_class`)
+#: and their spelled-out names, as used by stall attribution in run
+#: reports.  ``U`` = executed a useful (non-nop) data op; ``S`` = spun
+#: on an untaken sync branch (waiting on BUSY signals); ``B`` = spent
+#: the cycle resolving a branch with no data work; ``I`` = idle (nop,
+#: no pending control transfer); ``.`` = halted.
+FU_CLASS_NAMES: Dict[str, str] = {
+    "U": "useful",
+    "S": "sync_wait",
+    "B": "branch_resolve",
+    "I": "idle",
+    ".": "halted",
+}
+
+#: Stable column order for stall-mix renderings.
+FU_CLASS_ORDER: Tuple[str, ...] = tuple(FU_CLASS_NAMES.values())
+
 
 @dataclass(frozen=True)
 class CycleEvent:
@@ -37,6 +54,12 @@ class CycleEvent:
     partition: PartitionJson = None
     #: non-nop data operations executed this cycle (for utilization).
     data_ops: int = 0
+    #: per-FU cycle classification, one :data:`FU_CLASS_NAMES` char per
+    #: FU (empty string on streams recorded before attribution existed).
+    fu_class: str = ""
+    #: per-FU executed opcode mnemonic; None = nop or halted.  Empty
+    #: tuple on pre-attribution streams.
+    ops: Tuple[Optional[str], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -131,4 +154,7 @@ def event_from_dict(payload: dict):
             None if pc is None else int(pc) for pc in payload["pcs"])
     if "partition" in payload:
         payload["partition"] = _tuplify_partition(payload["partition"])
+    if "ops" in payload:
+        payload["ops"] = tuple(
+            None if op is None else str(op) for op in payload["ops"])
     return cls(**payload)

@@ -1,0 +1,200 @@
+"""The benchmark history ledger: ``BENCH_HISTORY.jsonl``.
+
+Each speedup-suite run appends one schema-versioned record — the git
+SHA it ran at (passed in, never shelled out) plus the benchmark
+sections — so the repo carries its own performance trajectory.  Records
+deliberately contain **no wall-clock fields**: two runs of the same
+tree at the same SHA produce byte-identical records, which both keeps
+the ledger diffable and lets :func:`append_record` skip exact
+duplicates instead of growing the file on every local rerun.
+
+The CI perf gate consumes the latest record (``latest_record``); the
+trend renderer (``render_trend``) summarizes the whole trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional, Sequence, Union
+
+from .schema import SCHEMA_VERSION, SchemaError, check_artifact
+
+#: Default ledger location, relative to the repo root.
+DEFAULT_HISTORY = "BENCH_HISTORY.jsonl"
+
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def make_record(sections: Dict[str, dict],
+                git_sha: str = "local",
+                label: Optional[str] = None) -> dict:
+    """Build one deterministic, schema-versioned history record."""
+    clean_sections = {
+        section: {name: dict(payload) for name, payload
+                  in sorted(entries.items())}
+        for section, entries in sorted(sections.items())
+        if isinstance(entries, dict)
+    }
+    record = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "bench_history",
+        "git_sha": git_sha,
+        "sections": clean_sections,
+    }
+    if label:
+        record["label"] = label
+    return record
+
+
+def _dump(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def append_record(path: Union[str, pathlib.Path], record: dict,
+                  dedupe: bool = True) -> bool:
+    """Append *record* to the ledger; returns False on a skipped dupe.
+
+    With *dedupe* (the default) an append is skipped when the last
+    record in the ledger is byte-identical — reruns of an unchanged
+    tree do not grow the file.
+    """
+    check_artifact(record, "history record")
+    path = pathlib.Path(path)
+    line = _dump(record)
+    if dedupe and path.exists():
+        existing = path.read_text(encoding="utf-8").rstrip("\n")
+        if existing:
+            last = existing.rsplit("\n", 1)[-1]
+            if last == line:
+                return False
+    with open(path, "a", encoding="utf-8") as stream:
+        stream.write(line + "\n")
+    return True
+
+
+def read_history(path: Union[str, pathlib.Path]) -> List[dict]:
+    """Load + validate every record in the ledger, oldest first."""
+    path = pathlib.Path(path)
+    records = []
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(
+                f"{path}:{lineno}: malformed JSON ({exc})") from None
+        record = check_artifact(payload, source=f"{path}:{lineno}")
+        if record.get("kind") != "bench_history":
+            raise SchemaError(
+                f"{path}:{lineno}: expected a bench_history record, "
+                f"found kind={record.get('kind')!r}")
+        records.append(record)
+    return records
+
+
+def latest_record(path: Union[str, pathlib.Path]) -> dict:
+    """The newest record in the ledger (raises on an empty one)."""
+    records = read_history(path)
+    if not records:
+        raise SchemaError(f"{path}: history ledger is empty")
+    return records[-1]
+
+
+def series(records: Sequence[dict], section: str,
+           entry: str, metric: str) -> List[Optional[float]]:
+    """One metric's value per record (None where absent)."""
+    out: List[Optional[float]] = []
+    for record in records:
+        value = (record.get("sections", {})
+                 .get(section, {})
+                 .get(entry, {})
+                 .get(metric))
+        out.append(float(value) if isinstance(value, (int, float))
+                   and not isinstance(value, bool) else None)
+    return out
+
+
+def _scaled_sparkline(values: Sequence[Optional[float]]) -> str:
+    """Min-max scale a series into unicode bars ('·' where absent)."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return "·" * len(values)
+    lo, hi = min(present), max(present)
+    out = []
+    for value in values:
+        if value is None:
+            out.append("·")
+        elif hi == lo:
+            out.append(_SPARK_GLYPHS[len(_SPARK_GLYPHS) // 2])
+        else:
+            index = int((value - lo) / (hi - lo)
+                        * (len(_SPARK_GLYPHS) - 1) + 0.5)
+            out.append(_SPARK_GLYPHS[index])
+    return "".join(out)
+
+
+def trend_rows(records: Sequence[dict],
+               metrics: Sequence[str] = ("speedup", "ximd_cycles"),
+               ) -> List[dict]:
+    """Per-workload trend summaries across the ledger.
+
+    Each row: section, entry, metric, first, last, spark — one row per
+    (workload, metric) that appears anywhere in the history.
+    """
+    keys = sorted({
+        (section, entry)
+        for record in records
+        for section, entries in record.get("sections", {}).items()
+        if isinstance(entries, dict)
+        for entry in entries
+    })
+    rows = []
+    for section, entry in keys:
+        for metric in metrics:
+            values = series(records, section, entry, metric)
+            present = [v for v in values if v is not None]
+            if not present:
+                continue
+            rows.append({
+                "section": section,
+                "entry": entry,
+                "metric": metric,
+                "first": present[0],
+                "last": present[-1],
+                "spark": _scaled_sparkline(values),
+            })
+    return rows
+
+
+def render_trend(records: Sequence[dict],
+                 metrics: Sequence[str] = ("speedup", "ximd_cycles"),
+                 ) -> str:
+    """A fixed-width trajectory table over the whole ledger."""
+    if not records:
+        return "history is empty"
+    rows = trend_rows(records, metrics)
+    if not rows:
+        return (f"{len(records)} records, but none carry the metrics "
+                f"{', '.join(metrics)}")
+    name_width = min(max(len(f"{r['section']}/{r['entry']}")
+                         for r in rows), 44)
+    lines = [
+        f"benchmark history — {len(records)} records "
+        f"({records[0].get('git_sha', '?')[:12]} .. "
+        f"{records[-1].get('git_sha', '?')[:12]})",
+        f"{'workload':<{name_width}} {'metric':<12} {'first':>10} "
+        f"{'last':>10} {'change':>8}  trend",
+    ]
+    for row in rows:
+        name = f"{row['section']}/{row['entry']}"[:name_width]
+        first, last = row["first"], row["last"]
+        change = ((last - first) / first) if first else 0.0
+        lines.append(
+            f"{name:<{name_width}} {row['metric']:<12} "
+            f"{first:>10.4g} {last:>10.4g} {change:>+8.1%}  "
+            f"|{row['spark']}|")
+    return "\n".join(lines)

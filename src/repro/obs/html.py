@@ -1,0 +1,324 @@
+"""Static HTML dashboard exporter — stdlib-only, fully offline.
+
+Renders a run report (and optionally the raw cycle timeline plus the
+benchmark history ledger) into one self-contained HTML file: headline
+stat cards, a per-FU utilization/stall heatmap, the SSET-count
+timeline, the dynamic opcode census, and the cross-PR speedup trend.
+No JavaScript frameworks, no CDN fonts, no third-party anything — the
+file opens from disk in any browser, which is exactly what a CI
+artifact needs to be.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import pathlib
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .events import FU_CLASS_ORDER
+from .history import series as history_series
+
+#: Heatmap/timeline colors per cycle class (colorblind-safe-ish).
+CLASS_COLORS: Dict[str, str] = {
+    "useful": "#2a9d8f",
+    "sync_wait": "#e9c46a",
+    "branch_resolve": "#e76f51",
+    "idle": "#8d99ae",
+    "halted": "#d8dee9",
+}
+
+_CSS = """
+:root { color-scheme: light; }
+body { font: 14px/1.5 -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; padding: 0 1rem;
+       color: #1b263b; background: #fafafa; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+.cards { display: flex; flex-wrap: wrap; gap: .8rem; }
+.card { background: #fff; border: 1px solid #e0e0e0; border-radius: 8px;
+        padding: .7rem 1.1rem; min-width: 7.5rem; }
+.card .v { font-size: 1.3rem; font-weight: 600; }
+.card .k { color: #6b7280; font-size: .8rem; }
+table { border-collapse: collapse; background: #fff; }
+th, td { border: 1px solid #e0e0e0; padding: .35rem .7rem;
+         text-align: right; font-variant-numeric: tabular-nums; }
+th { background: #f1f5f9; }
+td.name, th.name { text-align: left; }
+.legend span { display: inline-block; margin-right: 1rem; }
+.legend i { display: inline-block; width: .8rem; height: .8rem;
+            border-radius: 2px; margin-right: .3rem;
+            vertical-align: -1px; }
+.bar { height: .8rem; border-radius: 2px; display: inline-block;
+       vertical-align: middle; }
+svg text { font: 11px sans-serif; fill: #6b7280; }
+footer { margin-top: 3rem; color: #9ca3af; font-size: .8rem; }
+"""
+
+
+def _esc(value: object) -> str:
+    return _html.escape(str(value))
+
+
+def _card(value: str, label: str) -> str:
+    return (f'<div class="card"><div class="v">{_esc(value)}</div>'
+            f'<div class="k">{_esc(label)}</div></div>')
+
+
+def _heat(color: str, alpha: float) -> str:
+    """CSS color-mix-free heat: blend *color* towards white by alpha."""
+    alpha = max(0.0, min(1.0, alpha))
+    r, g, b = (int(color[i:i + 2], 16) for i in (1, 3, 5))
+    blend = tuple(int(255 - (255 - c) * alpha) for c in (r, g, b))
+    return f"rgb({blend[0]},{blend[1]},{blend[2]})"
+
+
+def _summary_cards(report: dict) -> str:
+    cards = [
+        _card(str(report.get("machine", "?")), "machine"),
+        _card(f"{report.get('cycles', 0):,}", "cycles"),
+        _card(f"{report.get('data_ops', 0):,}", "data ops"),
+        _card(f"{report.get('utilization', 0.0):.1%}", "utilization"),
+        _card(f"{report.get('occupancy', 0.0):.1%}", "occupancy"),
+        _card(f"{report.get('mean_streams', 0.0):.2f}", "mean streams"),
+        _card(f"{report.get('sync_done', 0):,}", "DONE signals"),
+    ]
+    return '<div class="cards">' + "".join(cards) + "</div>"
+
+
+def _stall_heatmap(report: dict) -> str:
+    stall_mix: List[dict] = report.get("stall_mix") or []
+    if not any(stall_mix):
+        return ("<p>no stall attribution in this report — record the "
+                "trace with the current tree to get per-FU cycle "
+                "classification.</p>")
+    head = "".join(f"<th>{_esc(name)}</th>" for name in FU_CLASS_ORDER)
+    rows = []
+    for fu, mix in enumerate(stall_mix):
+        total = sum(mix.values()) or 1
+        cells = []
+        for name in FU_CLASS_ORDER:
+            count = mix.get(name, 0)
+            frac = count / total
+            color = _heat(CLASS_COLORS.get(name, "#888888"), frac)
+            cells.append(f'<td style="background:{color}">'
+                         f"{count:,}<br><small>{frac:.0%}</small></td>")
+        useful = mix.get("useful", 0) / total
+        rows.append(f'<tr><td class="name">FU{fu}</td>'
+                    + "".join(cells)
+                    + f"<td>{useful:.1%}</td></tr>")
+    legend = "".join(
+        f'<span><i style="background:{CLASS_COLORS[name]}"></i>'
+        f"{_esc(name)}</span>"
+        for name in FU_CLASS_ORDER)
+    return (f'<div class="legend">{legend}</div>'
+            f'<table><tr><th class="name">FU</th>{head}'
+            f"<th>useful&nbsp;%</th></tr>{''.join(rows)}</table>")
+
+
+def _stall_by_streams(report: dict) -> str:
+    by_streams: Dict[str, dict] = report.get("stall_by_streams") or {}
+    if not by_streams:
+        return ""
+    head = "".join(f"<th>{_esc(name)}</th>" for name in FU_CLASS_ORDER)
+    rows = []
+    for streams in sorted(by_streams, key=lambda s: int(s)):
+        mix = by_streams[streams]
+        total = sum(mix.values()) or 1
+        cells = []
+        for name in FU_CLASS_ORDER:
+            count = mix.get(name, 0)
+            color = _heat(CLASS_COLORS.get(name, "#888888"),
+                          count / total)
+            cells.append(f'<td style="background:{color}">{count:,}</td>')
+        rows.append(f'<tr><td class="name">{_esc(streams)} streams</td>'
+                    + "".join(cells) + "</tr>")
+    return ("<h2>Attribution by concurrent-stream count</h2>"
+            f'<table><tr><th class="name">SSETs</th>{head}</tr>'
+            f"{''.join(rows)}</table>")
+
+
+def _opcode_bars(report: dict, limit: int = 14) -> str:
+    histogram: Dict[str, int] = report.get("op_histogram") or {}
+    if not histogram:
+        return ""
+    top = sorted(histogram.items(), key=lambda kv: (-kv[1], kv[0]))[:limit]
+    peak = top[0][1] or 1
+    rows = []
+    for mnemonic, count in top:
+        width = max(2, int(220 * count / peak))
+        rows.append(
+            f'<tr><td class="name"><code>{_esc(mnemonic)}</code></td>'
+            f'<td class="name"><span class="bar" '
+            f'style="width:{width}px;background:#2a9d8f"></span></td>'
+            f"<td>{count:,}</td></tr>")
+    return ("<h2>Dynamic opcode census</h2><table>"
+            + "".join(rows) + "</table>")
+
+
+def _sset_timeline_svg(timeline: Sequence[Tuple[int, int]],
+                       width: int = 860, height: int = 120) -> str:
+    """Step-line SVG of the concurrent-stream count over cycles."""
+    if not timeline:
+        return ""
+    max_streams = max(n for _, n in timeline) or 1
+    last_cycle = max(c for c, _ in timeline) or 1
+    pad = 28
+    plot_w, plot_h = width - pad - 8, height - 24
+
+    def x(cycle: int) -> float:
+        return pad + plot_w * cycle / last_cycle
+
+    def y(streams: int) -> float:
+        return 8 + plot_h * (1 - streams / max_streams)
+
+    points = []
+    prev_n: Optional[int] = None
+    for cycle, n in timeline:
+        if prev_n is not None and n != prev_n:
+            points.append(f"{x(cycle):.1f},{y(prev_n):.1f}")
+        points.append(f"{x(cycle):.1f},{y(n):.1f}")
+        prev_n = n
+    grid = "".join(
+        f'<line x1="{pad}" y1="{y(s):.1f}" x2="{width - 8}" '
+        f'y2="{y(s):.1f}" stroke="#e5e7eb"/>'
+        f'<text x="2" y="{y(s) + 4:.1f}">{s}</text>'
+        for s in range(1, max_streams + 1))
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img">{grid}'
+        f'<polyline fill="none" stroke="#264653" stroke-width="1.5" '
+        f'points="{" ".join(points)}"/>'
+        f'<text x="{pad}" y="{height - 4}">cycle 0</text>'
+        f'<text x="{width - 80}" y="{height - 4}">'
+        f"cycle {last_cycle:,}</text></svg>")
+
+
+def _sset_histogram_bars(report: dict) -> str:
+    histogram: Dict[str, int] = report.get("sset_histogram") or {}
+    if not histogram:
+        return "<p>no SSET data recorded (run with a tracker).</p>"
+    peak = max(histogram.values()) or 1
+    rows = []
+    for streams in sorted(histogram, key=lambda s: int(s)):
+        count = histogram[streams]
+        width = max(2, int(220 * count / peak))
+        rows.append(
+            f'<tr><td class="name">{_esc(streams)} streams</td>'
+            f'<td class="name"><span class="bar" '
+            f'style="width:{width}px;background:#264653"></span></td>'
+            f"<td>{count:,} cy</td></tr>")
+    return "<table>" + "".join(rows) + "</table>"
+
+
+_TREND_COLORS = ("#264653", "#2a9d8f", "#e76f51", "#e9c46a", "#8d99ae",
+                 "#6d597a", "#b56576")
+
+
+def _history_svg(records: Sequence[dict], metric: str = "speedup",
+                 width: int = 860, height: int = 220) -> str:
+    """Polyline-per-workload trend of *metric* across the ledger."""
+    if len(records) < 1:
+        return ""
+    keys = sorted({
+        (section, entry)
+        for record in records
+        for section, entries in record.get("sections", {}).items()
+        if isinstance(entries, dict)
+        for entry in entries
+    })
+    serieses = []
+    for section, entry in keys:
+        values = history_series(records, section, entry, metric)
+        if any(v is not None for v in values):
+            serieses.append((f"{entry}", values))
+    if not serieses:
+        return ""
+    all_values = [v for _, values in serieses
+                  for v in values if v is not None]
+    lo, hi = min(all_values + [0.0]), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+    pad, legend_h = 36, 18 * len(serieses)
+    plot_w = width - pad - 8
+    plot_h = height - 16
+
+    def x(index: int) -> float:
+        return pad + (plot_w * index / max(len(records) - 1, 1))
+
+    def y(value: float) -> float:
+        return 8 + plot_h * (1 - (value - lo) / (hi - lo))
+
+    parts = [
+        f'<line x1="{pad}" y1="{y(lo):.1f}" x2="{width - 8}" '
+        f'y2="{y(lo):.1f}" stroke="#e5e7eb"/>',
+        f'<text x="2" y="{y(hi) + 4:.1f}">{hi:.3g}</text>',
+        f'<text x="2" y="{y(lo) + 4:.1f}">{lo:.3g}</text>',
+    ]
+    for i, (label, values) in enumerate(serieses):
+        color = _TREND_COLORS[i % len(_TREND_COLORS)]
+        points = " ".join(f"{x(idx):.1f},{y(v):.1f}"
+                          for idx, v in enumerate(values)
+                          if v is not None)
+        parts.append(f'<polyline fill="none" stroke="{color}" '
+                     f'stroke-width="1.5" points="{points}"/>')
+        for idx, v in enumerate(values):
+            if v is not None:
+                parts.append(f'<circle cx="{x(idx):.1f}" '
+                             f'cy="{y(v):.1f}" r="2.5" fill="{color}"/>')
+    legend = "".join(
+        f'<span><i style="background:'
+        f'{_TREND_COLORS[i % len(_TREND_COLORS)]}"></i>'
+        f"{_esc(label)}</span>"
+        for i, (label, _) in enumerate(serieses))
+    shas = (f"{records[0].get('git_sha', '?')[:10]} → "
+            f"{records[-1].get('git_sha', '?')[:10]}")
+    return (
+        f'<div class="legend">{legend}</div>'
+        f'<svg viewBox="0 0 {width} {height + 8}" width="{width}" '
+        f'height="{height + 8}" role="img">{"".join(parts)}'
+        f'<text x="{pad}" y="{height + 2}">{_esc(shas)} '
+        f"({len(records)} records, {_esc(metric)})</text></svg>")
+
+
+def render_dashboard(report: dict,
+                     timeline: Optional[Sequence[Tuple[int, int]]] = None,
+                     history: Optional[Sequence[dict]] = None,
+                     title: str = "repro.obs dashboard") -> str:
+    """The complete dashboard page as one HTML string."""
+    sections = [
+        f"<h1>{_esc(title)}</h1>",
+        _summary_cards(report),
+        "<h2>Per-FU cycle attribution</h2>",
+        _stall_heatmap(report),
+        _stall_by_streams(report),
+        _opcode_bars(report),
+        "<h2>Concurrent instruction streams</h2>",
+    ]
+    if timeline:
+        sections.append(_sset_timeline_svg(list(timeline)))
+    else:
+        sections.append(_sset_histogram_bars(report))
+    if history:
+        sections.append("<h2>Benchmark history</h2>")
+        sections.append(_history_svg(list(history)))
+    sections.append(
+        "<footer>generated offline by <code>python -m repro.obs html"
+        "</code> — no external resources.</footer>")
+    body = "\n".join(part for part in sections if part)
+    return ("<!DOCTYPE html>\n<html lang=\"en\"><head>"
+            "<meta charset=\"utf-8\">"
+            f"<title>{_esc(title)}</title>"
+            f"<style>{_CSS}</style></head>\n"
+            f"<body>\n{body}\n</body></html>\n")
+
+
+def write_dashboard(path: Union[str, pathlib.Path], report: dict,
+                    timeline: Optional[Sequence[Tuple[int, int]]] = None,
+                    history: Optional[Sequence[dict]] = None,
+                    title: str = "repro.obs dashboard") -> pathlib.Path:
+    """Render and write the dashboard; returns the output path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_dashboard(report, timeline=timeline,
+                                     history=history, title=title),
+                    encoding="utf-8")
+    return path

@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .events import (
+    FU_CLASS_NAMES,
+    FU_CLASS_ORDER,
     BranchEvent,
     CycleEvent,
     Event,
@@ -26,6 +28,7 @@ from .events import (
     SyncEvent,
 )
 from .metrics import MetricsRegistry
+from .schema import SCHEMA_VERSION
 
 #: buckets in the occupancy sparkline (FU activity over run time).
 SPARKLINE_BUCKETS = 60
@@ -92,6 +95,13 @@ class RunReport:
     sync_done: int
     barriers: int
     hot_pcs: List[Tuple[int, int]]         #: (pc, fetches), descending
+    #: per-FU stall attribution: class name -> cycles, one dict per FU.
+    stall_mix: List[Dict[str, int]] = field(default_factory=list)
+    #: stall attribution grouped by concurrent-stream count:
+    #: #SSETs -> {class name -> FU-cycles}.
+    stall_by_streams: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    #: dynamic opcode census: mnemonic -> executions.
+    op_histogram: Dict[str, int] = field(default_factory=dict)
     passes: List[Dict[str, object]] = field(default_factory=list)
     metrics: Dict[str, dict] = field(default_factory=dict)
 
@@ -111,6 +121,10 @@ class RunReport:
         pc_tally: TallyCounter = TallyCounter()
         sset_histogram: TallyCounter = TallyCounter()
         per_cycle_occupancy: List[float] = []
+        stall_mix: List[TallyCounter] = [TallyCounter()
+                                         for _ in range(n_fus)]
+        stall_by_streams: Dict[int, TallyCounter] = {}
+        op_histogram: TallyCounter = TallyCounter()
         data_ops = 0
         for event in cycles:
             busy = 0
@@ -121,8 +135,21 @@ class RunReport:
                     busy += 1
             per_cycle_occupancy.append(busy / n_fus if n_fus else 0.0)
             data_ops += event.data_ops
-            if event.partition is not None:
-                sset_histogram[len(event.partition)] += 1
+            n_streams = (len(event.partition)
+                         if event.partition is not None else None)
+            if n_streams is not None:
+                sset_histogram[n_streams] += 1
+            for fu, char in enumerate(event.fu_class):
+                name = FU_CLASS_NAMES.get(char)
+                if name is None or fu >= n_fus:
+                    continue
+                stall_mix[fu][name] += 1
+                if n_streams is not None:
+                    stall_by_streams.setdefault(
+                        n_streams, TallyCounter())[name] += 1
+            for mnemonic in event.ops:
+                if mnemonic is not None:
+                    op_histogram[mnemonic] += 1
 
         n_cycles = len(cycles)
         denominator = n_cycles * n_fus
@@ -182,14 +209,36 @@ class RunReport:
             barriers=barriers,
             hot_pcs=[(pc, count) for pc, count
                      in pc_tally.most_common(hot_pc_limit)],
+            stall_mix=[dict(sorted(tally.items())) for tally in stall_mix],
+            stall_by_streams={
+                streams: dict(sorted(tally.items()))
+                for streams, tally in sorted(stall_by_streams.items())},
+            op_histogram=dict(sorted(op_histogram.items())),
             passes=passes,
             metrics=registry.to_dict() if registry is not None else {},
         )
 
     # -- rendering ---------------------------------------------------------
 
-    def to_dict(self) -> dict:
-        return {
+    def to_dict(self, include_timing: bool = True) -> dict:
+        """The report as a schema-versioned JSON-ready dict.
+
+        Wall-clock measurements (pass durations, timer metrics) are
+        quarantined under a ``timing`` key so that everything *outside*
+        it is deterministic across runs; ``include_timing=False`` drops
+        the key entirely, which is what :meth:`to_json` does by default
+        to keep report files byte-identical between identical runs.
+        """
+        metrics = {}
+        timing_metrics = {}
+        for name, payload in self.metrics.items():
+            if isinstance(payload, dict) and payload.get("type") == "timer":
+                timing_metrics[name] = dict(payload)
+            else:
+                metrics[name] = payload
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "run_report",
             "machine": self.machine,
             "n_fus": self.n_fus,
             "cycles": self.cycles,
@@ -208,17 +257,38 @@ class RunReport:
             "sync_done": self.sync_done,
             "barriers": self.barriers,
             "hot_pcs": [[pc, count] for pc, count in self.hot_pcs],
-            "passes": list(self.passes),
-            "metrics": dict(self.metrics),
+            "stall_mix": [dict(mix) for mix in self.stall_mix],
+            "stall_by_streams": {
+                str(streams): dict(mix)
+                for streams, mix in self.stall_by_streams.items()},
+            "op_histogram": dict(self.op_histogram),
+            "passes": [{"name": entry["name"],
+                        "ops_in": entry["ops_in"],
+                        "ops_out": entry["ops_out"]}
+                       for entry in self.passes],
+            "metrics": metrics,
         }
+        if include_timing:
+            payload["timing"] = {
+                "metrics": timing_metrics,
+                "passes": [{"name": entry["name"],
+                            "seconds": entry["seconds"]}
+                           for entry in self.passes],
+            }
+        return payload
 
-    def to_json(self, indent: int = 2) -> str:
-        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+    def to_json(self, indent: int = 2,
+                include_timing: bool = False) -> str:
+        """Deterministic JSON: sorted keys, no wall-clock by default."""
+        return json.dumps(self.to_dict(include_timing=include_timing),
+                          indent=indent, sort_keys=True)
 
-    def write_json(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+    def write_json(self, path: Union[str, pathlib.Path],
+                   include_timing: bool = False) -> pathlib.Path:
         path = pathlib.Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        path.write_text(self.to_json(include_timing=include_timing) + "\n",
+                        encoding="utf-8")
         return path
 
     def render_text(self) -> str:
@@ -247,6 +317,31 @@ class RunReport:
                 f"{self.multi_stream_fraction:.0%} multi-stream "
                 f"({self.partition_changes} forks/joins)",
             ]
+        if any(self.stall_mix):
+            lines.append("  cycle attribution : (why each FU-cycle "
+                         "was spent)")
+            for fu, mix in enumerate(self.stall_mix):
+                total = sum(mix.values())
+                if not total:
+                    continue
+                parts = "  ".join(
+                    f"{name}={mix[name]} ({mix[name] / total:.0%})"
+                    for name in FU_CLASS_ORDER if mix.get(name))
+                lines.append(f"    FU{fu}: {parts}")
+        if self.stall_by_streams:
+            lines.append("  attribution/SSETs : (FU-cycles by "
+                         "concurrent-stream count)")
+            for streams, mix in self.stall_by_streams.items():
+                parts = "  ".join(f"{name}={mix[name]}"
+                                  for name in FU_CLASS_ORDER
+                                  if mix.get(name))
+                lines.append(f"    {streams} stream"
+                             f"{'s' if streams != 1 else ''}: {parts}")
+        if self.op_histogram:
+            top = sorted(self.op_histogram.items(),
+                         key=lambda kv: (-kv[1], kv[0]))[:8]
+            ops = ", ".join(f"{mnemonic}×{count}" for mnemonic, count in top)
+            lines.append(f"  hot opcodes       : {ops}")
         mix = ", ".join(f"{name}={count}"
                         for name, count in self.branch_mix.items() if count)
         lines.append(f"  branches          : {mix or 'none'} "

@@ -1,0 +1,104 @@
+"""Artifact schema versioning for ``repro.obs`` JSON files.
+
+Every JSON artifact the subsystem writes — run reports, benchmark
+results, the repo-root ``BENCH_SUMMARY.json``, and each line of the
+``BENCH_HISTORY.jsonl`` ledger — carries a ``schema_version`` field and
+a ``kind`` tag.  Readers go through :func:`check_artifact` /
+:func:`load_artifact`, which reject unversioned files and unknown
+versions with a clean :class:`SchemaError` instead of failing later
+with a cryptic ``KeyError`` — format drift breaks replay loudly, not
+silently.
+
+Version history:
+
+* **1** — introduced versioning itself, the ``kind`` tag, stall/sync
+  attribution fields in run reports, and the ``timing`` quarantine key
+  (wall-clock measurements live under ``timing`` and are excluded from
+  diff/gate comparisons and from byte-deterministic output).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Optional, Union
+
+#: The schema version this tree writes.
+SCHEMA_VERSION = 1
+
+#: Versions this tree can read.
+SUPPORTED_VERSIONS = frozenset({1})
+
+#: ``kind`` tags this tree knows how to interpret.
+KNOWN_KINDS = frozenset({
+    "run_report",
+    "bench_result",
+    "bench_summary",
+    "bench_history",
+})
+
+
+class SchemaError(ValueError):
+    """An artifact is unversioned, from the future, or malformed."""
+
+
+def check_artifact(payload: object, source: str = "artifact") -> dict:
+    """Validate *payload* as a versioned obs artifact; return it.
+
+    Raises :class:`SchemaError` when the payload is not a JSON object,
+    carries no ``schema_version``, or carries one this tree does not
+    support.
+    """
+    if not isinstance(payload, dict):
+        raise SchemaError(
+            f"{source}: expected a JSON object, got "
+            f"{type(payload).__name__}")
+    version = payload.get("schema_version")
+    if version is None:
+        raise SchemaError(
+            f"{source}: no schema_version field — this is an unversioned "
+            "(pre-schema) artifact; regenerate it with the current tree")
+    if version not in SUPPORTED_VERSIONS:
+        supported = ", ".join(str(v) for v in sorted(SUPPORTED_VERSIONS))
+        raise SchemaError(
+            f"{source}: unsupported schema_version {version!r} "
+            f"(this tree supports: {supported})")
+    return payload
+
+
+def artifact_kind(payload: dict) -> Optional[str]:
+    """The artifact's ``kind`` tag (None when absent)."""
+    kind = payload.get("kind")
+    return kind if isinstance(kind, str) else None
+
+
+def load_artifact(path: Union[str, pathlib.Path],
+                  expect_kind: Optional[str] = None) -> dict:
+    """Read + validate one versioned JSON artifact from *path*.
+
+    Raises :class:`SchemaError` on malformed JSON, missing/unsupported
+    versions, or (when *expect_kind* is given) a mismatched ``kind``;
+    raises ``OSError`` when the file cannot be read.
+    """
+    path = pathlib.Path(path)
+    text = path.read_text(encoding="utf-8")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"{path}: malformed JSON ({exc})") from None
+    payload = check_artifact(payload, source=str(path))
+    if expect_kind is not None:
+        kind = artifact_kind(payload)
+        if kind != expect_kind:
+            raise SchemaError(
+                f"{path}: expected a {expect_kind!r} artifact, "
+                f"found kind={kind!r}")
+    return payload
+
+
+def stamp(payload: dict, kind: str) -> dict:
+    """Return *payload* with ``schema_version`` + ``kind`` added."""
+    stamped = dict(payload)
+    stamped["schema_version"] = SCHEMA_VERSION
+    stamped["kind"] = kind
+    return stamped

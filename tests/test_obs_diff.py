@@ -1,0 +1,468 @@
+"""Tests for the differential-analysis tier of ``repro.obs``.
+
+Covers artifact schema versioning (satellite: unknown versions are
+rejected with a clean error), the run-diff engine's direction policy
+and threshold semantics, the benchmark history ledger (determinism,
+dedupe, trend rendering), the offline HTML dashboard, and — for every
+``diff``/``gate``/``history``/``html`` subcommand — the CLI exit codes
+on the happy path, on regressions, and on each error path (missing
+file, malformed JSON, mismatched workload sets).
+"""
+
+import json
+
+import pytest
+
+from repro.asm import assemble
+from repro.machine import TrackerKind, XimdMachine
+from repro.obs import (
+    FU_CLASS_NAMES,
+    RunReport,
+    SCHEMA_VERSION,
+    SchemaError,
+    WorkloadMismatchError,
+    append_record,
+    check_artifact,
+    diff_artifacts,
+    latest_record,
+    load_artifact,
+    make_record,
+    read_history,
+    recording_observer,
+    render_dashboard,
+    render_trend,
+    write_dashboard,
+)
+from repro.obs.diff import flatten_numeric, is_timing_path, metric_direction
+from repro.obs.__main__ import EXIT_REGRESSION, main as obs_main
+from repro.workloads import (
+    FIGURE10_DATA,
+    MINMAX_REGS,
+    minmax_memory,
+    minmax_source,
+)
+
+
+def minmax_events():
+    obs = recording_observer()
+    machine = XimdMachine(assemble(minmax_source("halt")), obs=obs,
+                          trace=True, tracker=TrackerKind.EXACT)
+    machine.regfile.poke(MINMAX_REGS["n"], len(FIGURE10_DATA))
+    for address, value in minmax_memory(FIGURE10_DATA).items():
+        machine.memory.poke(address, value)
+    machine.run(10_000)
+    return list(obs.sinks[0].events)
+
+
+def summary(workloads, **extra_sections):
+    artifact = {"schema_version": SCHEMA_VERSION, "kind": "bench_summary",
+                "workloads": workloads}
+    artifact.update(extra_sections)
+    return artifact
+
+
+MINMAX = {"ximd_cycles": 193, "vliw_cycles": 329, "speedup": 1.70}
+
+
+def write_json(path, payload):
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return str(path)
+
+
+class TestSchema:
+    def test_missing_version_rejected_with_regenerate_hint(self):
+        with pytest.raises(SchemaError, match="regenerate"):
+            check_artifact({"workloads": {}}, "old.json")
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(SchemaError, match="schema_version"):
+            check_artifact({"schema_version": 999, "kind": "bench_summary"},
+                           "future.json")
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(SchemaError):
+            check_artifact([1, 2, 3], "list.json")
+
+    def test_load_artifact_malformed_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SchemaError, match="malformed"):
+            load_artifact(path)
+
+    def test_load_artifact_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            load_artifact(tmp_path / "absent.json")
+
+    def test_load_artifact_kind_check(self, tmp_path):
+        path = tmp_path / "s.json"
+        write_json(path, summary({}))
+        with pytest.raises(SchemaError, match="run_report"):
+            load_artifact(path, expect_kind="run_report")
+
+
+class TestDirectionPolicy:
+    def test_cycles_lower_is_better(self):
+        assert metric_direction("workloads.minmax.ximd_cycles") == "lower"
+        assert metric_direction("sections.figures.p.skyline_height") == \
+            "lower"
+
+    def test_speedup_higher_is_better(self):
+        assert metric_direction("workloads.minmax.speedup") == "higher"
+        assert metric_direction("models.proto.peak_mips") == "higher"
+
+    def test_unknown_metric_is_neutral(self):
+        assert metric_direction("schedules.0.result") == "neutral"
+
+    def test_timing_paths(self):
+        assert is_timing_path("timing.metrics.sim.seconds")
+        assert not is_timing_path("workloads.minmax.ximd_cycles")
+
+    def test_flatten_skips_bookkeeping_and_strings(self):
+        flat = flatten_numeric({"schema_version": 1, "kind": "x",
+                                "a": {"b": 2, "note": "text", "ok": True}})
+        assert flat == {"a.b": 2}
+
+
+class TestDiff:
+    def test_equal_artifacts_are_identical(self):
+        result = diff_artifacts(summary({"minmax": dict(MINMAX)}),
+                                summary({"minmax": dict(MINMAX)}))
+        assert result.identical
+        assert not result.regressions
+        assert "no differences" in result.render_text()
+
+    def test_more_cycles_is_a_regression(self):
+        worse = dict(MINMAX, ximd_cycles=250)
+        result = diff_artifacts(summary({"minmax": dict(MINMAX)}),
+                                summary({"minmax": worse}))
+        paths = [d.path for d in result.regressions]
+        assert paths == ["sections.workloads.minmax.ximd_cycles"]
+        assert "REGRESSED" in result.render_text()
+
+    def test_less_speedup_is_a_regression(self):
+        worse = dict(MINMAX, speedup=1.10)
+        result = diff_artifacts(summary({"minmax": dict(MINMAX)}),
+                                summary({"minmax": worse}))
+        assert [d.path for d in result.regressions] == \
+            ["sections.workloads.minmax.speedup"]
+
+    def test_fewer_cycles_is_an_improvement(self):
+        better = dict(MINMAX, ximd_cycles=150)
+        result = diff_artifacts(summary({"minmax": dict(MINMAX)}),
+                                summary({"minmax": better}))
+        assert not result.regressions
+        assert [d.path for d in result.improvements] == \
+            ["sections.workloads.minmax.ximd_cycles"]
+
+    def test_tolerance_forgives_small_worsening(self):
+        slightly_worse = dict(MINMAX, ximd_cycles=196)   # +1.6%
+        baseline = summary({"minmax": dict(MINMAX)})
+        candidate = summary({"minmax": slightly_worse})
+        assert diff_artifacts(baseline, candidate).regressions
+        assert not diff_artifacts(baseline, candidate,
+                                  tolerance=0.05).regressions
+
+    def test_timing_excluded_by_default_and_never_blocking(self):
+        baseline = summary({"minmax": dict(MINMAX)},
+                           timing={"suite_seconds": 1.0})
+        candidate = summary({"minmax": dict(MINMAX)},
+                            timing={"suite_seconds": 9.0})
+        assert diff_artifacts(baseline, candidate).identical
+        with_timing = diff_artifacts(baseline, candidate,
+                                     include_timing=True)
+        assert not with_timing.regressions          # blocking set is empty
+        assert with_timing.timing_regressions       # but it is reported
+
+    def test_workload_mismatch_raises(self):
+        with pytest.raises(WorkloadMismatchError, match="minmax"):
+            diff_artifacts(summary({"minmax": dict(MINMAX)}),
+                           summary({"bitcount": dict(MINMAX)}))
+
+    def test_workload_mismatch_tolerated_when_asked(self):
+        result = diff_artifacts(
+            summary({"minmax": dict(MINMAX)}),
+            summary({"minmax": dict(MINMAX), "bitcount": dict(MINMAX)}),
+            require_matching_workloads=False)
+        assert result.only_after
+
+    def test_incomparable_kinds_rejected(self):
+        report = {"schema_version": SCHEMA_VERSION, "kind": "run_report",
+                  "machine": "ximd", "n_fus": 4, "cycles": 10}
+        with pytest.raises(SchemaError, match="cannot diff"):
+            diff_artifacts(report, summary({"minmax": dict(MINMAX)}))
+
+    def test_summary_comparable_against_history_record(self):
+        record = make_record({"workloads": {"minmax": dict(MINMAX)}},
+                             git_sha="abc123")
+        result = diff_artifacts(summary({"minmax": dict(MINMAX)}), record)
+        assert result.identical
+
+
+class TestHistory:
+    def test_records_are_deterministic(self):
+        a = make_record({"workloads": {"m": {"speedup": 2.0}}}, "sha1")
+        b = make_record({"workloads": {"m": {"speedup": 2.0}}}, "sha1")
+        assert json.dumps(a, sort_keys=True) == json.dumps(b,
+                                                           sort_keys=True)
+        assert "timing" not in json.dumps(a)
+
+    def test_append_and_dedupe(self, tmp_path):
+        ledger = tmp_path / "h.jsonl"
+        record = make_record({"workloads": {"m": {"speedup": 2.0}}}, "sha1")
+        assert append_record(ledger, record) is True
+        assert append_record(ledger, record) is False     # exact dupe
+        changed = make_record({"workloads": {"m": {"speedup": 2.1}}},
+                              "sha2")
+        assert append_record(ledger, changed) is True
+        records = read_history(ledger)
+        assert len(records) == 2
+        assert latest_record(ledger)["git_sha"] == "sha2"
+
+    def test_read_rejects_foreign_records(self, tmp_path):
+        ledger = tmp_path / "h.jsonl"
+        ledger.write_text(json.dumps(summary({})) + "\n")
+        with pytest.raises(SchemaError, match="bench_history"):
+            read_history(ledger)
+
+    def test_latest_of_empty_ledger_raises(self, tmp_path):
+        ledger = tmp_path / "empty.jsonl"
+        ledger.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            latest_record(ledger)
+
+    def test_trend_renders_sparkline(self):
+        records = [
+            make_record({"workloads": {"m": {"speedup": s,
+                                             "ximd_cycles": c}}},
+                        f"sha{i}")
+            for i, (s, c) in enumerate([(1.5, 200), (1.7, 190),
+                                        (1.9, 180)])]
+        text = render_trend(records)
+        assert "workloads/m" in text
+        assert "speedup" in text and "ximd_cycles" in text
+        assert "3 records" in text
+
+
+class TestDashboard:
+    def report_dict(self):
+        return RunReport.from_events(minmax_events()).to_dict(
+            include_timing=False)
+
+    def test_renders_offline_with_attribution(self):
+        page = render_dashboard(self.report_dict(), title="minmax run")
+        assert page.startswith("<!DOCTYPE html>")
+        assert "minmax run" in page
+        assert "Per-FU cycle attribution" in page
+        for name in FU_CLASS_NAMES.values():
+            assert name in page
+        # self-contained: no external scripts, styles, or images
+        assert "http://" not in page and "https://" not in page
+
+    def test_history_panel(self, tmp_path):
+        records = [make_record({"workloads": {"m": {"speedup": s}}},
+                               f"sha{i}")
+                   for i, s in enumerate([1.5, 1.8])]
+        page = render_dashboard(self.report_dict(), history=records)
+        assert "Benchmark history" in page
+
+    def test_write_dashboard(self, tmp_path):
+        path = write_dashboard(tmp_path / "d.html", self.report_dict())
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestCliDiff:
+    def test_equal_files_exit_zero(self, tmp_path, capsys):
+        a = write_json(tmp_path / "a.json", summary({"m": dict(MINMAX)}))
+        b = write_json(tmp_path / "b.json", summary({"m": dict(MINMAX)}))
+        assert obs_main(["diff", a, b]) == 0
+        assert "no differences" in capsys.readouterr().out
+
+    def test_regression_exits_two_with_table(self, tmp_path, capsys):
+        a = write_json(tmp_path / "a.json", summary({"m": dict(MINMAX)}))
+        b = write_json(tmp_path / "b.json",
+                       summary({"m": dict(MINMAX, ximd_cycles=999)}))
+        assert obs_main(["diff", a, b]) == EXIT_REGRESSION
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "ximd_cycles" in captured.out
+
+    def test_tolerance_flag(self, tmp_path):
+        a = write_json(tmp_path / "a.json", summary({"m": dict(MINMAX)}))
+        b = write_json(tmp_path / "b.json",
+                       summary({"m": dict(MINMAX, ximd_cycles=196)}))
+        assert obs_main(["diff", a, b]) == EXIT_REGRESSION
+        assert obs_main(["diff", "--tolerance", "0.05", a, b]) == 0
+
+    def test_mismatched_workloads_exit_one(self, tmp_path, capsys):
+        a = write_json(tmp_path / "a.json", summary({"m": dict(MINMAX)}))
+        b = write_json(tmp_path / "b.json", summary({"x": dict(MINMAX)}))
+        assert obs_main(["diff", a, b]) == 1
+        assert "workload sets differ" in capsys.readouterr().err
+        assert obs_main(["diff", "--any-workloads", a, b]) == 0
+
+    def test_missing_file_exits_one(self, tmp_path, capsys):
+        a = write_json(tmp_path / "a.json", summary({"m": dict(MINMAX)}))
+        assert obs_main(["diff", a, str(tmp_path / "absent.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_json_exits_one(self, tmp_path, capsys):
+        a = write_json(tmp_path / "a.json", summary({"m": dict(MINMAX)}))
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        assert obs_main(["diff", a, str(broken)]) == 1
+        assert "malformed" in capsys.readouterr().err
+
+    def test_unversioned_artifact_exits_one(self, tmp_path, capsys):
+        a = write_json(tmp_path / "a.json", summary({"m": dict(MINMAX)}))
+        old = write_json(tmp_path / "old.json", {"workloads": {}})
+        assert obs_main(["diff", a, old]) == 1
+        assert "schema_version" in capsys.readouterr().err
+
+    def test_json_output(self, tmp_path, capsys):
+        a = write_json(tmp_path / "a.json", summary({"m": dict(MINMAX)}))
+        b = write_json(tmp_path / "b.json",
+                       summary({"m": dict(MINMAX, ximd_cycles=100)}))
+        assert obs_main(["diff", "--json", a, b]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["improvements"]
+
+
+class TestCliGate:
+    def test_gate_passes_on_equal(self, tmp_path, capsys):
+        base = write_json(tmp_path / "base.json",
+                          summary({"m": dict(MINMAX)}))
+        cand = write_json(tmp_path / "cand.json",
+                          summary({"m": dict(MINMAX)}))
+        assert obs_main(["gate", "--baseline", base,
+                         "--candidate", cand]) == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_gate_fails_on_regression(self, tmp_path, capsys):
+        base = write_json(tmp_path / "base.json",
+                          summary({"m": dict(MINMAX)}))
+        cand = write_json(tmp_path / "cand.json",
+                          summary({"m": dict(MINMAX, speedup=1.0)}))
+        assert obs_main(["gate", "--baseline", base,
+                         "--candidate", cand]) == EXIT_REGRESSION
+        assert "GATE FAILED" in capsys.readouterr().err
+
+    def test_gate_wall_time_warns_but_passes(self, tmp_path, capsys):
+        base = write_json(tmp_path / "base.json",
+                          summary({"m": dict(MINMAX)},
+                                  timing={"suite_seconds": 1.0}))
+        cand = write_json(tmp_path / "cand.json",
+                          summary({"m": dict(MINMAX)},
+                                  timing={"suite_seconds": 9.0}))
+        assert obs_main(["gate", "--baseline", base,
+                         "--candidate", cand]) == 0
+        assert "non-blocking" in capsys.readouterr().err
+
+    def test_gate_consumes_latest_history_record(self, tmp_path, capsys):
+        base = write_json(tmp_path / "base.json",
+                          summary({"m": dict(MINMAX)}))
+        ledger = tmp_path / "h.jsonl"
+        append_record(ledger, make_record(
+            {"workloads": {"m": dict(MINMAX, ximd_cycles=999)}}, "old"))
+        append_record(ledger, make_record(
+            {"workloads": {"m": dict(MINMAX)}}, "new"))
+        assert obs_main(["gate", "--baseline", base,
+                         "--history", str(ledger)]) == 0
+        assert "sha new" in capsys.readouterr().out
+
+    def test_gate_missing_baseline_exits_one(self, tmp_path, capsys):
+        assert obs_main(["gate", "--baseline",
+                         str(tmp_path / "absent.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCliHistory:
+    def test_trend_table(self, tmp_path, capsys):
+        ledger = tmp_path / "h.jsonl"
+        for i, s in enumerate([1.5, 1.9]):
+            append_record(ledger, make_record(
+                {"workloads": {"m": {"speedup": s}}}, f"sha{i}"))
+        assert obs_main(["history", str(ledger)]) == 0
+        assert "2 records" in capsys.readouterr().out
+
+    def test_json_dump(self, tmp_path, capsys):
+        ledger = tmp_path / "h.jsonl"
+        append_record(ledger, make_record(
+            {"workloads": {"m": {"speedup": 1.5}}}, "sha0"))
+        assert obs_main(["history", "--json", str(ledger)]) == 0
+        assert json.loads(capsys.readouterr().out)[0]["git_sha"] == "sha0"
+
+    def test_missing_ledger_exits_one(self, tmp_path, capsys):
+        assert obs_main(["history", str(tmp_path / "absent.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCliHtml:
+    def trace_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        from repro.obs import event_to_dict
+        with open(path, "w") as stream:
+            for event in minmax_events():
+                stream.write(json.dumps(event_to_dict(event)) + "\n")
+        return str(path)
+
+    def test_html_from_trace(self, tmp_path, capsys):
+        out = tmp_path / "dash.html"
+        assert obs_main(["html", self.trace_file(tmp_path),
+                         "-o", str(out)]) == 0
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_html_from_report_artifact(self, tmp_path):
+        report = RunReport.from_events(minmax_events())
+        artifact = tmp_path / "report.json"
+        report.write_json(artifact)
+        out = tmp_path / "dash.html"
+        assert obs_main(["html", str(artifact), "-o", str(out)]) == 0
+        assert "Per-FU cycle attribution" in out.read_text()
+
+    def test_html_rejects_wrong_kind(self, tmp_path, capsys):
+        wrong = write_json(tmp_path / "s.json", summary({}))
+        assert obs_main(["html", wrong,
+                         "-o", str(tmp_path / "x.html")]) == 1
+        assert "run_report" in capsys.readouterr().err
+
+    def test_html_with_history(self, tmp_path):
+        ledger = tmp_path / "h.jsonl"
+        append_record(ledger, make_record(
+            {"workloads": {"m": {"speedup": 1.5}}}, "sha0"))
+        out = tmp_path / "dash.html"
+        assert obs_main(["html", self.trace_file(tmp_path),
+                         "--history", str(ledger), "-o", str(out)]) == 0
+        assert "Benchmark history" in out.read_text()
+
+
+class TestDeterminism:
+    def test_report_json_is_byte_identical(self):
+        events = minmax_events()
+        a = RunReport.from_events(events).to_json()
+        b = RunReport.from_events(events).to_json()
+        assert a == b
+        assert '"timing"' not in a          # quarantined by default
+
+    def test_timing_key_opt_in(self):
+        report = RunReport.from_events(minmax_events())
+        with_timing = json.loads(report.to_json(include_timing=True))
+        assert "timing" in with_timing
+        without = json.loads(report.to_json())
+        assert "timing" not in without
+        without.pop("schema_version"), with_timing.pop("schema_version")
+        with_timing.pop("timing")
+        assert without == with_timing
+
+    def test_attribution_covers_every_fu_cycle(self):
+        events = minmax_events()
+        cycles = [e for e in events if e.kind == "cycle"]
+        assert cycles
+        for event in cycles:
+            assert len(event.fu_class) == len(event.pcs)
+            assert set(event.fu_class) <= set(FU_CLASS_NAMES)
+        report = RunReport.from_events(events)
+        total = sum(sum(mix.values()) for mix in report.stall_mix)
+        assert total == len(cycles) * len(cycles[0].pcs)
+        assert report.op_histogram                    # mnemonics tallied
+        assert sum(report.op_histogram.values()) == \
+            sum(mix.get("useful", 0) for mix in report.stall_mix)
