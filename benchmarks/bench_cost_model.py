@@ -1,0 +1,76 @@
+"""E13 — section 4.3: the per-opcode energy/area/latency cost model.
+
+Section 4.3 sizes the prototype from its components (register file,
+sequencer, FU data paths); :mod:`repro.analysis.cost` extends that
+decomposition to energy and area per data operation.  Regenerates the
+cost table directly from the executable model and records its headline
+shape: coverage (every defined opcode is costed), the cheapest/most
+expensive operations, and a reference fold over a known workload so
+energy regressions in the model itself are gated like cycle counts.
+"""
+
+from repro.analysis import (
+    OP_COSTS,
+    cost_of,
+    cost_table,
+    energy_report,
+    render_kv,
+)
+from repro.asm import assemble
+from repro.isa import OPCODES
+from repro.machine import XimdMachine
+from repro.workloads import MINMAX_REGS, minmax_memory, minmax_source, random_ints
+
+
+def _minmax_energy(n=64):
+    data = random_ints(n, seed=3)[1:]
+    machine = XimdMachine(assemble(minmax_source("halt")))
+    machine.regfile.poke(MINMAX_REGS["n"], len(data))
+    for address, value in minmax_memory(data).items():
+        machine.memory.poke(address, value)
+    result = machine.run(1_000_000)
+    return energy_report(result.stats.per_opcode, result.cycles)
+
+
+def test_cost_model_table(benchmark, record_table, record_json,
+                          bench_summary):
+    table = benchmark(cost_table)
+    costed = {m: c for m, c in OP_COSTS.items() if m != "nop"}
+    cheapest = min(costed.values(), key=lambda c: (c.energy_pj, c.mnemonic))
+    priciest = max(costed.values(), key=lambda c: (c.energy_pj, c.mnemonic))
+    fold = _minmax_energy()
+
+    extra = render_kv("cost model shape", [
+        ("costed opcodes", len(OP_COSTS)),
+        ("cheapest op", f"{cheapest.mnemonic} ({cheapest.energy_pj:.1f} pJ)"),
+        ("priciest op", f"{priciest.mnemonic} ({priciest.energy_pj:.1f} pJ)"),
+        ("minmax n=64 energy", f"{fold.total_energy_pj:.1f} pJ"),
+        ("minmax pJ/cycle", f"{fold.energy_per_cycle_pj:.2f}"),
+    ])
+    record_table("cost_model", "E13: per-opcode cost model (section 4.3)\n"
+                 + table + "\n\n" + extra + "\n\n" + fold.render_text())
+    record_json("cost_model", {
+        "costed_opcodes": len(OP_COSTS),
+        "table": {m: {"energy_class": c.energy_class,
+                      "energy_pj": c.energy_pj,
+                      "rel_area": c.rel_area,
+                      "latency_class": c.latency_class}
+                  for m, c in sorted(OP_COSTS.items())},
+        "minmax_n64": fold.to_dict(),
+    })
+
+    bench_summary("cost_model", {
+        "costed_opcodes": len(OP_COSTS),
+        "minmax_n64_energy_pj": round(fold.total_energy_pj, 6),
+        "minmax_n64_energy_per_cycle_pj": round(
+            fold.energy_per_cycle_pj, 6),
+    }, section="models")
+
+    # every defined opcode is costed (and nothing extra)
+    assert set(OP_COSTS) == set(OPCODES)
+    # the iterative float divider is the hungriest structure; memory
+    # and float ops cost more than the integer ALU slice
+    assert priciest.mnemonic == "fdiv"
+    assert cost_of("load").energy_pj > cost_of("iadd").energy_pj
+    assert cost_of("fadd").energy_pj > cost_of("iadd").energy_pj
+    assert "store" in table and "alu_int" in table

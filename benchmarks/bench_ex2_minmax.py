@@ -6,7 +6,7 @@ while the VLIW version serializes them through its single branch unit.
 Reported: cycles and speedup across array sizes.
 """
 
-from repro.analysis import render_table, speedup
+from repro.analysis import energy_report, render_table, speedup
 from repro.asm import assemble
 from repro.machine import VliwMachine, XimdMachine
 from repro.workloads import (
@@ -62,6 +62,10 @@ def test_minmax_ximd_vs_vliw(benchmark, record_table, record_json,
         "ximd_cycles": rows[-1][1],
         "vliw_cycles": rows[-1][2],
         "speedup": rows[-1][3],
+        "ximd_energy_pj": round(energy_report(
+            rx.stats.per_opcode, rx.cycles).total_energy_pj, 6),
+        "vliw_energy_pj": round(energy_report(
+            rv.stats.per_opcode, rv.cycles).total_energy_pj, 6),
     }, section="figures")
 
     # shape: XIMD wins everywhere, settling around ~1.7x (3-cycle

@@ -12,7 +12,7 @@ outcome is per-FU data-dependent is the ``if cci`` at 05:, and the
 trackers report the fork there.
 """
 
-from repro.analysis import PartitionStats, render_kv
+from repro.analysis import PartitionStats, energy_report, render_kv
 from repro.asm import assemble
 from repro.machine import TrackerKind, XimdMachine
 from repro.workloads import (
@@ -81,6 +81,9 @@ def test_bitcount_control_flow(benchmark, record_table, record_json,
         "max_streams": stats.max_streams,
         "mean_streams": stats.mean_streams,
         "barrier_cycles": barrier_cycles,
+        "energy_pj": round(energy_report(
+            machine.stats.per_opcode,
+            machine.stats.cycles).total_energy_pj, 6),
     }, section="figures")
 
     # Figure 11 shape assertions

@@ -11,7 +11,7 @@ programs."  The suite spans the paper's three regimes:
   VLIW — the "no regression" half of the claim.
 """
 
-from repro.analysis import render_table, speedup
+from repro.analysis import energy_report, render_table, speedup
 from repro.asm import assemble
 from repro.compiler import compile_ir, compile_xc, compose_threads, lower_unit, parse_xc
 from repro.machine import VliwMachine, XimdMachine
@@ -36,6 +36,11 @@ from repro.workloads import (
 )
 
 
+def _energy_pj(stats, cycles):
+    """Section-4.3 model energy for one run (deterministic fold)."""
+    return round(energy_report(stats.per_opcode, cycles).total_energy_pj, 6)
+
+
 def _pair_stats(ximd_result, ximd_fus, vliw_result, vliw_fus):
     """One workload's machine-readable row."""
     return {
@@ -44,6 +49,10 @@ def _pair_stats(ximd_result, ximd_fus, vliw_result, vliw_fus):
         "speedup": speedup(vliw_result.cycles, ximd_result.cycles),
         "ximd_utilization": ximd_result.stats.utilization(ximd_fus),
         "vliw_utilization": vliw_result.stats.utilization(vliw_fus),
+        "ximd_energy_pj": _energy_pj(ximd_result.stats,
+                                     ximd_result.cycles),
+        "vliw_energy_pj": _energy_pj(vliw_result.stats,
+                                     vliw_result.cycles),
     }
 
 
@@ -91,11 +100,14 @@ def _threads(n_threads=4):
     ximd_result = machine.run(1_000_000)
     ximd_fus = machine.config.n_fus
 
+    from collections import Counter
+
     from repro.machine import Program
 
     vliw_cycles = 0
     vliw_data_ops = 0
     vliw_fus = 0
+    vliw_op_histogram = Counter()
     for i, thread in enumerate(threads):
         machine = VliwMachine(Program(
             [list(col) for col in thread.program.columns],
@@ -106,6 +118,7 @@ def _threads(n_threads=4):
         result = machine.run(1_000_000)
         vliw_cycles += result.cycles
         vliw_data_ops += result.stats.data_ops
+        vliw_op_histogram.update(result.stats.per_opcode)
         vliw_fus = machine.config.n_fus
     return {
         "ximd_cycles": ximd_result.cycles,
@@ -114,6 +127,11 @@ def _threads(n_threads=4):
         "ximd_utilization": ximd_result.stats.utilization(ximd_fus),
         "vliw_utilization": (vliw_data_ops / (vliw_cycles * vliw_fus)
                              if vliw_cycles and vliw_fus else 0.0),
+        "ximd_energy_pj": _energy_pj(ximd_result.stats,
+                                     ximd_result.cycles),
+        "vliw_energy_pj": round(
+            energy_report(vliw_op_histogram,
+                          vliw_cycles).total_energy_pj, 6),
     }
 
 
@@ -156,11 +174,13 @@ def test_speedup_suite(benchmark, record_table, record_json, bench_summary):
     for name, runner in WORKLOADS:
         stats = runner()
         rows.append([name, stats["ximd_cycles"], stats["vliw_cycles"],
-                     stats["speedup"]])
+                     stats["speedup"], stats["ximd_energy_pj"],
+                     stats["vliw_energy_pj"]])
         payload[name] = stats
         bench_summary(name, stats)
     table = render_table(
-        ["workload", "XIMD cycles", "VLIW cycles", "speedup"],
+        ["workload", "XIMD cycles", "VLIW cycles", "speedup",
+         "XIMD pJ", "VLIW pJ"],
         rows, title="E9: xsim vs vsim across the workload suite "
                     "(section 4.1)")
     record_table("speedup_suite", table)

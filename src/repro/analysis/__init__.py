@@ -2,12 +2,24 @@
 
 * :mod:`~repro.analysis.metrics` — speedups, utilization, SSET
   partition statistics over simulator runs (section 4.1).
+* :mod:`~repro.analysis.cost` — the per-opcode energy/area/latency
+  cost table and :class:`~repro.analysis.cost.EnergyReport` fold
+  (section 4.3's component model, extended from time to energy).
 * :mod:`~repro.analysis.prototype` — the 85 ns / ~90 MIPS prototype
   performance model (section 4.3).
 * :mod:`~repro.analysis.registerfile` — the 24-port register-file chip
   partitioning arithmetic (section 4.4).
 """
 
+from .cost import (
+    COMPONENT_ENERGY_PJ,
+    EnergyReport,
+    OP_COSTS,
+    OpCost,
+    cost_of,
+    cost_table,
+    energy_report,
+)
 from .metrics import PartitionStats, RunMetrics, compare_runs, speedup
 from .prototype import DEFAULT_DELAYS_NS, PrototypeModel
 from .registerfile import (
@@ -21,8 +33,12 @@ from .registerfile import (
 from .report import render_kv, render_table
 
 __all__ = [
+    "COMPONENT_ENERGY_PJ",
     "DEFAULT_DELAYS_NS",
+    "EnergyReport",
     "MachineRequirement",
+    "OP_COSTS",
+    "OpCost",
     "PartitionStats",
     "PrototypeModel",
     "RegisterFileChip",
@@ -30,6 +46,9 @@ __all__ = [
     "chip_table",
     "chips_in_parallel_for_reads",
     "compare_runs",
+    "cost_of",
+    "cost_table",
+    "energy_report",
     "minimum_chips",
     "render_kv",
     "render_table",

@@ -1,0 +1,296 @@
+"""Per-opcode energy/area/latency cost model (paper section 4.3).
+
+Section 4.3 sizes the XIMD-1 prototype from its components — the
+24-port register file, the per-FU sequencers, and the functional-unit
+data paths — and argues cost/speed trade-offs from that component
+model.  This module extends the same decomposition from *time*
+(:mod:`~repro.analysis.prototype`) to *energy and area*: every data
+operation in :mod:`repro.isa.opcodes` is assigned the components it
+exercises (instruction fetch, operand-port reads, one functional-unit
+structure, one write-back path), and folding that table over a dynamic
+opcode census (``RunReport.op_histogram`` / ``DatapathStats.per_opcode``)
+yields energy-per-workload numbers the diff/gate pipeline can track
+next to cycle counts.
+
+As with the prototype delay model, the per-component energies are
+*parameters* representative of the paper's technology point (MOSIS
+2 micron scalable CMOS, standard MSI parts), not measurements; the
+reproducible content is the *structure* — which operations are
+expensive, and how workload energy decomposes across units.  All folds
+iterate in sorted order so reports are byte-deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..isa.errors import UnknownOpcodeError
+from ..isa.opcodes import OPCODES, OpKind
+
+#: Picojoules per activation for the prototype's building blocks
+#: (ca. 1990 2-micron CMOS; same technology point as
+#: :data:`~repro.analysis.prototype.DEFAULT_DELAYS_NS`).
+COMPONENT_ENERGY_PJ: Dict[str, float] = {
+    "instruction_fetch": 6.0,   # one parcel slot from instruction SRAM
+    "register_read": 2.5,       # one port of the 24-port register file
+    "register_write": 3.5,      # one write-back port
+    "cc_write": 0.8,            # condition-code register update
+    "memory_read": 20.0,        # shared-memory load
+    "memory_write": 22.0,       # shared-memory store
+}
+
+#: Functional-unit structures: energy per activation (pJ) and area
+#: relative to the 32-bit integer ALU slice.
+_UNITS: Dict[str, Tuple[float, float]] = {
+    "alu_int": (4.0, 1.0),       # add/sub/min/max/logical slice
+    "alu_shift": (3.0, 0.6),     # barrel shifter
+    "alu_compare": (2.0, 0.4),   # integer comparator
+    "fpu_compare": (3.0, 0.8),   # float comparator
+    "fpu_add": (9.0, 2.0),       # float adder/subtractor
+    "fpu_convert": (7.0, 1.5),   # int<->float conversion
+    "int_multiply": (12.0, 2.5),
+    "int_divide": (18.0, 3.0),   # iterative divider (also remainder)
+    "fpu_multiply": (16.0, 4.0),
+    "fpu_divide": (24.0, 5.0),
+    "memory_port": (0.0, 1.8),   # port logic; access energy is separate
+    "none": (0.0, 0.0),          # nop exercises no functional unit
+}
+
+#: Latency classes: ``short`` fits the 55 ns execute stage, ``long``
+#: marks structures that would be iterative/multi-cycle on the
+#: prototype's MSI parts, ``memory`` marks shared-memory access.
+_UNIT_LATENCY: Dict[str, str] = {
+    "alu_int": "short",
+    "alu_shift": "short",
+    "alu_compare": "short",
+    "fpu_compare": "short",
+    "fpu_add": "long",
+    "fpu_convert": "long",
+    "int_multiply": "long",
+    "int_divide": "long",
+    "fpu_multiply": "long",
+    "fpu_divide": "long",
+    "memory_port": "memory",
+    "none": "short",
+}
+
+#: Mnemonic -> functional-unit structure it exercises.  Every opcode in
+#: :data:`repro.isa.opcodes.OPCODES` must appear here — enforced by
+#: tests, so a new opcode cannot ship uncosted.
+_OP_UNIT: Dict[str, str] = {
+    # integer arithmetic
+    "iadd": "alu_int", "isub": "alu_int", "imin": "alu_int",
+    "imax": "alu_int",
+    "imult": "int_multiply", "idiv": "int_divide", "imod": "int_divide",
+    # floating point
+    "fadd": "fpu_add", "fsub": "fpu_add",
+    "fmult": "fpu_multiply", "fdiv": "fpu_divide",
+    # logical / shift
+    "and": "alu_int", "or": "alu_int", "xor": "alu_int",
+    "andn": "alu_int",
+    "shl": "alu_shift", "shr": "alu_shift", "sar": "alu_shift",
+    # conversions
+    "itof": "fpu_convert", "ftoi": "fpu_convert",
+    # compares
+    "eq": "alu_compare", "ne": "alu_compare", "lt": "alu_compare",
+    "le": "alu_compare", "gt": "alu_compare", "ge": "alu_compare",
+    "feq": "fpu_compare", "fne": "fpu_compare", "flt": "fpu_compare",
+    "fle": "fpu_compare", "fgt": "fpu_compare", "fge": "fpu_compare",
+    # memory
+    "load": "memory_port", "store": "memory_port",
+    # nop
+    "nop": "none",
+}
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """The section-4.3 cost figures for one data operation.
+
+    Attributes:
+        mnemonic: assembly spelling, e.g. ``"iadd"``.
+        energy_class: the functional-unit structure exercised (a key of
+            the unit table; drives the per-class energy breakdown).
+        energy_pj: total energy per execution — instruction fetch +
+            operand-port reads + functional unit + write-back.
+        rel_area: datapath area of the unit exercised, relative to the
+            integer ALU slice.
+        latency_class: ``short`` / ``long`` / ``memory`` (see module
+            docs; the behavioral simulators execute everything in one
+            cycle, so this is a hardware-model annotation, not a
+            simulated latency).
+    """
+
+    mnemonic: str
+    energy_class: str
+    energy_pj: float
+    rel_area: float
+    latency_class: str
+
+
+def _writeback_pj(kind: OpKind) -> float:
+    e = COMPONENT_ENERGY_PJ
+    if kind in (OpKind.ARITH, OpKind.LOAD):
+        return e["register_write"]
+    if kind is OpKind.COMPARE:
+        return e["cc_write"]
+    return 0.0
+
+
+def _build_table() -> Dict[str, OpCost]:
+    e = COMPONENT_ENERGY_PJ
+    table: Dict[str, OpCost] = {}
+    for mnemonic, opcode in OPCODES.items():
+        unit = _OP_UNIT.get(mnemonic)
+        if unit is None:
+            # reached only when an opcode is added without a cost
+            # entry; the coverage test catches it earlier and louder.
+            raise UnknownOpcodeError(mnemonic)
+        unit_pj, rel_area = _UNITS[unit]
+        energy = e["instruction_fetch"] + unit_pj + _writeback_pj(opcode.kind)
+        if opcode.kind is not OpKind.NOP:
+            energy += opcode.num_sources * e["register_read"]
+        if opcode.kind is OpKind.LOAD:
+            energy += e["memory_read"]
+        elif opcode.kind is OpKind.STORE:
+            energy += e["memory_write"]
+        table[mnemonic] = OpCost(
+            mnemonic=mnemonic,
+            energy_class=unit,
+            energy_pj=energy,
+            rel_area=rel_area,
+            latency_class=_UNIT_LATENCY[unit],
+        )
+    return table
+
+
+#: Mnemonic -> :class:`OpCost` for every defined data operation.
+OP_COSTS: Dict[str, OpCost] = _build_table()
+
+
+def cost_of(mnemonic: str) -> OpCost:
+    """The :class:`OpCost` for *mnemonic*.
+
+    Raises :class:`~repro.isa.errors.UnknownOpcodeError` for opcodes
+    with no cost entry, so an uncosted opcode cannot fold silently.
+    """
+    try:
+        return OP_COSTS[mnemonic]
+    except KeyError:
+        raise UnknownOpcodeError(mnemonic) from None
+
+
+def cost_table() -> str:
+    """Render the cost model as a fixed-width text table."""
+    rows = [f"{'Opcode':<8} {'Unit':<13} {'Energy pJ':>10} "
+            f"{'Rel area':>9}  Latency"]
+    rows.append("-" * 52)
+    for mnemonic in OPCODES:
+        c = OP_COSTS[mnemonic]
+        rows.append(f"{c.mnemonic:<8} {c.energy_class:<13} "
+                    f"{c.energy_pj:>10.1f} {c.rel_area:>9.1f}  "
+                    f"{c.latency_class}")
+    return "\n".join(rows)
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """The cost table folded over one run's dynamic opcode census."""
+
+    cycles: int
+    ops: int                               #: executed non-nop data ops
+    total_energy_pj: float
+    energy_per_cycle_pj: float
+    energy_per_op_pj: float
+    per_opcode_pj: Dict[str, float]        #: mnemonic -> total pJ
+    per_class_pj: Dict[str, float]         #: unit structure -> total pJ
+    per_fu_pj: Tuple[float, ...] = ()      #: per-FU totals (when known)
+
+    @classmethod
+    def from_histogram(cls, histogram: Mapping[str, int], cycles: int,
+                       per_fu_histograms: Optional[
+                           Sequence[Mapping[str, int]]] = None,
+                       ) -> "EnergyReport":
+        """Fold the cost table over ``mnemonic -> execution count``.
+
+        *histogram* is a ``RunReport.op_histogram`` /
+        ``DatapathStats.per_opcode`` census (non-nop executions only);
+        *per_fu_histograms* optionally gives the same census per FU for
+        the per-FU breakdown.  Iteration is in sorted-mnemonic order so
+        equal inputs produce bit-identical floats.  Raises
+        :class:`~repro.isa.errors.UnknownOpcodeError` on a mnemonic
+        with no cost entry.
+        """
+        per_opcode: Dict[str, float] = {}
+        per_class: Dict[str, float] = {}
+        total = 0.0
+        ops = 0
+        for mnemonic in sorted(histogram):
+            count = int(histogram[mnemonic])
+            if count <= 0:
+                continue
+            cost = cost_of(mnemonic)
+            energy = cost.energy_pj * count
+            per_opcode[mnemonic] = energy
+            per_class[cost.energy_class] = (
+                per_class.get(cost.energy_class, 0.0) + energy)
+            total += energy
+            ops += count
+        per_fu: Tuple[float, ...] = ()
+        if per_fu_histograms is not None:
+            per_fu = tuple(
+                sum(cost_of(m).energy_pj * int(c)
+                    for m, c in sorted(fu_histogram.items()) if int(c) > 0)
+                for fu_histogram in per_fu_histograms)
+        return cls(
+            cycles=cycles,
+            ops=ops,
+            total_energy_pj=total,
+            energy_per_cycle_pj=total / cycles if cycles > 0 else 0.0,
+            energy_per_op_pj=total / ops if ops > 0 else 0.0,
+            per_opcode_pj=per_opcode,
+            per_class_pj=dict(sorted(per_class.items())),
+            per_fu_pj=per_fu,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready, with values rounded for stable artifacts."""
+        return {
+            "cycles": self.cycles,
+            "ops": self.ops,
+            "total_energy_pj": round(self.total_energy_pj, 6),
+            "energy_per_cycle_pj": round(self.energy_per_cycle_pj, 6),
+            "energy_per_op_pj": round(self.energy_per_op_pj, 6),
+            "per_opcode_pj": {m: round(v, 6)
+                              for m, v in sorted(self.per_opcode_pj.items())},
+            "per_class_pj": {c: round(v, 6)
+                             for c, v in sorted(self.per_class_pj.items())},
+            "per_fu_pj": [round(v, 6) for v in self.per_fu_pj],
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"energy report — {self.ops} ops over {self.cycles} cycles",
+            f"  total energy      : {self.total_energy_pj:.1f} pJ",
+            f"  per cycle         : {self.energy_per_cycle_pj:.2f} pJ/cy",
+            f"  per op            : {self.energy_per_op_pj:.2f} pJ/op",
+        ]
+        if self.per_class_pj:
+            top = sorted(self.per_class_pj.items(),
+                         key=lambda kv: (-kv[1], kv[0]))
+            parts = ", ".join(f"{name}={pj:.0f}pJ" for name, pj in top)
+            lines.append(f"  by unit           : {parts}")
+        if self.per_fu_pj:
+            parts = "  ".join(f"FU{fu}={pj:.0f}" for fu, pj
+                              in enumerate(self.per_fu_pj))
+            lines.append(f"  by FU (pJ)        : {parts}")
+        return "\n".join(lines)
+
+
+def energy_report(histogram: Mapping[str, int], cycles: int,
+                  per_fu_histograms: Optional[
+                      Sequence[Mapping[str, int]]] = None) -> EnergyReport:
+    """Convenience alias for :meth:`EnergyReport.from_histogram`."""
+    return EnergyReport.from_histogram(
+        histogram, cycles, per_fu_histograms=per_fu_histograms)

@@ -126,10 +126,13 @@ class XimdMachine:
         self.tracker = self._make_tracker(tracker)
         #: last partition emitted, for fork/join change events.
         self._last_partition: Optional[object] = None
-        # previous cycle's sync vector, for the registered-SS variant
+        # Previous cycle's sync vector, for the registered-SS variant.
+        # Before cycle 0 no FU has asserted anything, which is the same
+        # state a halted FU presents — so the reset registers hold the
+        # halted contribution (DONE under the default halted_sync_done,
+        # matching the combinational variant's treatment of idle FUs).
         self._prev_ss: Tuple[bool, ...] = tuple(
-            [not self.config.halted_sync_done] * 0) or tuple(
-            [False] * self.config.n_fus)
+            [self.config.halted_sync_done] * self.config.n_fus)
 
     def _make_tracker(self, kind: TrackerKind):
         if kind is TrackerKind.NONE:

@@ -63,6 +63,7 @@ from .diff import (
     diff_artifacts,
     diff_files,
     flatten_numeric,
+    load_tolerance_table,
 )
 from .events import (
     FU_CLASS_NAMES,
@@ -137,6 +138,7 @@ __all__ = [
     "flatten_numeric",
     "latest_record",
     "load_artifact",
+    "load_tolerance_table",
     "make_record",
     "observed",
     "read_history",

@@ -79,6 +79,7 @@ def _cmd_diff(args) -> int:
     try:
         result = diff_files(args.baseline, args.candidate,
                             tolerance=args.tolerance,
+                            abs_tolerance=args.abs_tolerance,
                             include_timing=args.include_timing,
                             require_matching_workloads=not args.any_workloads)
     except WorkloadMismatchError as exc:
@@ -104,11 +105,27 @@ def _cmd_gate(args) -> int:
         candidate_label = (f"{args.history} (latest record, "
                            f"sha {candidate.get('git_sha', '?')[:12]})")
     baseline = load_artifact(args.baseline)
-    from .diff import diff_artifacts
+    from .diff import diff_artifacts, load_tolerance_table
+
+    # the tolerance table supplies defaults; explicit CLI flags win
+    tolerance = args.tolerance
+    abs_tolerance = args.abs_tolerance
+    per_metric = {}
+    if args.tolerance_table:
+        table = load_tolerance_table(args.tolerance_table)
+        per_metric = table["metrics"]
+        if tolerance is None:
+            tolerance = table["default_tolerance"]
+        if abs_tolerance is None:
+            abs_tolerance = table["abs_tolerance"]
+    tolerance = tolerance or 0.0
+    abs_tolerance = abs_tolerance or 0.0
 
     try:
         result = diff_artifacts(baseline, candidate,
-                                tolerance=args.tolerance,
+                                tolerance=tolerance,
+                                abs_tolerance=abs_tolerance,
+                                per_metric=per_metric,
                                 include_timing=True,
                                 require_matching_workloads=not args.allow_new)
     except WorkloadMismatchError as exc:
@@ -122,7 +139,7 @@ def _cmd_gate(args) -> int:
               file=sys.stderr)
     if result.regressions:
         print(f"\nGATE FAILED: {len(result.regressions)} deterministic "
-              f"metric(s) regressed beyond {args.tolerance:.1%} tolerance",
+              f"metric(s) regressed beyond {tolerance:.1%} tolerance",
               file=sys.stderr)
         return EXIT_REGRESSION
     print("\ngate passed")
@@ -209,6 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--tolerance", type=float, default=0.0,
                       help="relative worsening allowed before a metric "
                            "counts as regressed (default: 0, i.e. any)")
+    diff.add_argument("--abs-tolerance", type=float, default=0.0,
+                      help="absolute |delta| floor below which a metric "
+                           "never regresses (guards 0 -> epsilon moves, "
+                           "whose relative change is infinite)")
     diff.add_argument("--include-timing", action="store_true",
                       help="also compare wall-clock (timing) metrics")
     diff.add_argument("--any-workloads", action="store_true",
@@ -226,9 +247,18 @@ def build_parser() -> argparse.ArgumentParser:
                            "history record)")
     gate.add_argument("--history", default=DEFAULT_HISTORY,
                       help=f"history ledger (default: {DEFAULT_HISTORY})")
-    gate.add_argument("--tolerance", type=float, default=0.0,
+    gate.add_argument("--tolerance", type=float, default=None,
                       help="relative regression allowed on deterministic "
-                           "metrics (default: 0)")
+                           "metrics (default: the tolerance table's "
+                           "default, else 0)")
+    gate.add_argument("--abs-tolerance", type=float, default=None,
+                      help="absolute |delta| floor below which a metric "
+                           "never regresses (guards 0 -> epsilon moves; "
+                           "default: the tolerance table's, else 0)")
+    gate.add_argument("--tolerance-table", default=None,
+                      help="calibrated per-metric tolerance file (a "
+                           "tolerance_table artifact, e.g. "
+                           "benchmarks/tolerances.json)")
     gate.add_argument("--allow-new", action="store_true",
                       help="tolerate added/removed workloads")
     gate.set_defaults(func=_cmd_gate)
@@ -240,9 +270,10 @@ def build_parser() -> argparse.ArgumentParser:
     history.add_argument("--json", action="store_true",
                          help="dump raw records instead of the table")
     history.add_argument("--metrics", nargs="+",
-                         default=["speedup", "ximd_cycles"],
+                         default=["speedup", "ximd_cycles",
+                                  "ximd_energy_pj"],
                          help="metrics to trend (default: speedup "
-                              "ximd_cycles)")
+                              "ximd_cycles ximd_energy_pj)")
     history.set_defaults(func=_cmd_history)
 
     html = sub.add_parser(

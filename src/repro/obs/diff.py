@@ -23,18 +23,21 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from .schema import SchemaError, artifact_kind, check_artifact
 
-#: Metric-name fragments whose *increase* is a regression.
+#: Metric-name markers whose *increase* is a regression.  Markers are
+#: matched as anchored ``_``-token sequences against the path leaf, so
+#: ``cycles`` matches ``ximd_cycles`` but not ``cycle_time_ns`` and
+#: ``stall`` does not match an ``installed`` leaf.
 LOWER_IS_BETTER = (
     "cycles", "nops", "stall", "sync_wait", "branch_resolve", "idle",
     "halted", "partition_changes", "barriers", "height", "code_rows",
-    "chips", "transistors", "cycle_time",
+    "chips", "transistors", "cycle_time", "energy", "pj",
 )
 
-#: Metric-name fragments whose *decrease* is a regression.
+#: Metric-name markers whose *decrease* is a regression.
 HIGHER_IS_BETTER = ("speedup", "utilization", "occupancy", "mips",
                     "mflops")
 
-#: Path fragments that mark wall-clock measurements (warn-only).
+#: Path-component markers for wall-clock measurements (warn-only).
 TIMING_MARKERS = ("timing", "seconds", "wall")
 
 
@@ -42,11 +45,27 @@ class WorkloadMismatchError(ValueError):
     """The two artifacts do not describe the same workload set."""
 
 
+def _marker_matches(marker: str, component: str) -> bool:
+    """Anchored match: *marker*'s ``_``-token sequence appears
+    contiguously among *component*'s ``_``-tokens.
+
+    Substring matching silently classified any leaf merely *containing*
+    a marker (``installed`` ~ ``stall``, ``recycles`` ~ ``cycles``);
+    token anchoring only fires on whole metric words.
+    """
+    tokens = component.lower().split("_")
+    needle = marker.split("_")
+    span = len(tokens) - len(needle) + 1
+    return any(tokens[i:i + len(needle)] == needle for i in range(span))
+
+
 def metric_direction(path: str) -> str:
     """``"lower"`` / ``"higher"`` / ``"neutral"`` for a metric path.
 
     Compared against the *last* path component so that e.g.
-    ``workloads.minmax.ximd_cycles`` is judged by ``ximd_cycles``.
+    ``workloads.minmax.ximd_cycles`` is judged by ``ximd_cycles``;
+    markers match whole ``_``-separated tokens (``cycle_time_ns`` is
+    judged by the ``cycle_time`` marker, never by ``cycles``).
     Wall-clock (timing) paths are always lower-is-better — more seconds
     is worse — though they never block (see :class:`DiffResult`).
     """
@@ -54,18 +73,18 @@ def metric_direction(path: str) -> str:
         return "lower"
     leaf = path.rsplit(".", 1)[-1]
     for marker in HIGHER_IS_BETTER:
-        if marker in leaf:
+        if _marker_matches(marker, leaf):
             return "higher"
     for marker in LOWER_IS_BETTER:
-        if marker in leaf:
+        if _marker_matches(marker, leaf):
             return "lower"
     return "neutral"
 
 
 def is_timing_path(path: str) -> bool:
     """Whether *path* measures wall-clock time (never blocking)."""
-    return any(marker in part
-               for part in path.lower().split(".")
+    return any(_marker_matches(marker, part)
+               for part in path.split(".")
                for marker in TIMING_MARKERS)
 
 
@@ -135,18 +154,23 @@ class MetricDelta:
             return float("inf") if self.after != 0 else 0.0
         return abs(self.delta) / abs(self.before)
 
-    def regressed(self, tolerance: float = 0.0) -> bool:
-        """Whether this delta worsens the metric beyond *tolerance*.
+    def regressed(self, tolerance: float = 0.0,
+                  abs_tolerance: float = 0.0) -> bool:
+        """Whether this delta worsens the metric beyond the tolerances.
 
         *tolerance* is relative: 0.02 lets a metric worsen by up to 2%
-        of its baseline value before counting as a regression.  Neutral
-        metrics never regress.
+        of its baseline value before counting as a regression.
+        *abs_tolerance* is an absolute floor on |delta|: a zero
+        baseline makes the relative change infinite (0 → ε would block
+        at any relative tolerance), so movements no larger than
+        *abs_tolerance* never regress.  Neutral metrics never regress.
         """
         direction = self.direction
         if direction == "neutral":
             return False
         worse = (self.delta > 0) if direction == "lower" else (self.delta < 0)
-        return worse and self.relative_change() > tolerance
+        return (worse and abs(self.delta) > abs_tolerance
+                and self.relative_change() > tolerance)
 
     def improved(self) -> bool:
         direction = self.direction
@@ -168,12 +192,25 @@ class MetricDelta:
 
 @dataclass
 class DiffResult:
-    """The structured comparison of two artifacts."""
+    """The structured comparison of two artifacts.
+
+    ``tolerance``/``abs_tolerance`` are the default relative/absolute
+    thresholds; ``per_metric`` maps a path *leaf* (e.g.
+    ``skyline_height``) to a calibrated relative tolerance overriding
+    the default for that metric — the loaded form of a
+    ``tolerance_table`` artifact (see :func:`load_tolerance_table`).
+    """
 
     deltas: List[MetricDelta] = field(default_factory=list)
     only_before: List[str] = field(default_factory=list)
     only_after: List[str] = field(default_factory=list)
     tolerance: float = 0.0
+    abs_tolerance: float = 0.0
+    per_metric: Dict[str, float] = field(default_factory=dict)
+
+    def tolerance_for(self, path: str) -> float:
+        """The relative tolerance in force for one metric path."""
+        return self.per_metric.get(path.rsplit(".", 1)[-1], self.tolerance)
 
     @property
     def changed(self) -> List[MetricDelta]:
@@ -183,13 +220,15 @@ class DiffResult:
     def regressions(self) -> List[MetricDelta]:
         """Deterministic-metric regressions beyond tolerance (blocking)."""
         return [d for d in self.deltas
-                if not d.timing and d.regressed(self.tolerance)]
+                if not d.timing and d.regressed(self.tolerance_for(d.path),
+                                                self.abs_tolerance)]
 
     @property
     def timing_regressions(self) -> List[MetricDelta]:
         """Wall-clock worsening — reported, never blocking."""
         return [d for d in self.deltas
-                if d.timing and d.regressed(self.tolerance)]
+                if d.timing and d.regressed(self.tolerance_for(d.path),
+                                            self.abs_tolerance)]
 
     @property
     def improvements(self) -> List[MetricDelta]:
@@ -203,6 +242,8 @@ class DiffResult:
     def to_dict(self) -> dict:
         return {
             "tolerance": self.tolerance,
+            "abs_tolerance": self.abs_tolerance,
+            "per_metric_tolerances": dict(sorted(self.per_metric.items())),
             "identical": self.identical,
             "changed": [d.to_dict() for d in self.changed],
             "regressions": [d.to_dict() for d in self.regressions],
@@ -249,12 +290,17 @@ class DiffResult:
                 preview = ", ".join(paths[:6])
                 more = f" (+{len(paths) - 6} more)" if len(paths) > 6 else ""
                 lines.append(f"{label}: {preview}{more}")
+        policy = f"tolerance {self.tolerance:.1%}"
+        if self.abs_tolerance:
+            policy += f", abs floor {self.abs_tolerance:g}"
+        if self.per_metric:
+            policy += f", {len(self.per_metric)} per-metric overrides"
         lines.append(
             f"summary: {len(changed)} changed, "
             f"{len(self.regressions)} regressed, "
             f"{len(self.improvements)} improved, "
             f"{len(self.timing_regressions)} timing-only "
-            f"(tolerance {self.tolerance:.1%})")
+            f"({policy})")
         return "\n".join(lines)
 
 
@@ -301,8 +347,42 @@ def comparison_payload(artifact: dict) -> Tuple[dict, List[str]]:
     raise SchemaError(f"cannot compare artifact of kind {kind!r}")
 
 
+def load_tolerance_table(path: Union[str, pathlib.Path]) -> dict:
+    """Load a ``tolerance_table`` artifact (the calibrated per-metric
+    tolerance file the CI gate consumes).
+
+    Shape::
+
+        {"schema_version": 2, "kind": "tolerance_table",
+         "default_tolerance": 0.0, "abs_tolerance": 0.0,
+         "metrics": {"skyline_height": 0.10, ...}}
+
+    ``metrics`` keys are path leaves; values are relative tolerances
+    overriding ``default_tolerance`` for that metric.  Returns a dict
+    with normalized ``default_tolerance``/``abs_tolerance``/``metrics``
+    keys; raises :class:`SchemaError` on a malformed table.
+    """
+    from .schema import load_artifact
+
+    table = load_artifact(path, expect_kind="tolerance_table")
+    metrics = table.get("metrics", {})
+    if not isinstance(metrics, dict) or not all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in metrics.values()):
+        raise SchemaError(
+            f"{path}: 'metrics' must map metric leaves to numeric "
+            "relative tolerances")
+    return {
+        "default_tolerance": float(table.get("default_tolerance", 0.0)),
+        "abs_tolerance": float(table.get("abs_tolerance", 0.0)),
+        "metrics": {str(k): float(v) for k, v in metrics.items()},
+    }
+
+
 def diff_artifacts(baseline: dict, candidate: dict,
                    tolerance: float = 0.0,
+                   abs_tolerance: float = 0.0,
+                   per_metric: Optional[Dict[str, float]] = None,
                    include_timing: bool = False,
                    require_matching_workloads: bool = True) -> DiffResult:
     """Compare two schema-checked artifacts.
@@ -350,12 +430,16 @@ def diff_artifacts(baseline: dict, candidate: dict,
         only_before=sorted(flat_a.keys() - flat_b.keys()),
         only_after=sorted(flat_b.keys() - flat_a.keys()),
         tolerance=tolerance,
+        abs_tolerance=abs_tolerance,
+        per_metric=dict(per_metric or {}),
     )
 
 
 def diff_files(baseline: Union[str, pathlib.Path],
                candidate: Union[str, pathlib.Path],
                tolerance: float = 0.0,
+               abs_tolerance: float = 0.0,
+               per_metric: Optional[Dict[str, float]] = None,
                include_timing: bool = False,
                require_matching_workloads: bool = True) -> DiffResult:
     """File-path convenience wrapper around :func:`diff_artifacts`."""
@@ -365,6 +449,8 @@ def diff_files(baseline: Union[str, pathlib.Path],
         load_artifact(baseline),
         load_artifact(candidate),
         tolerance=tolerance,
+        abs_tolerance=abs_tolerance,
+        per_metric=per_metric,
         include_timing=include_timing,
         require_matching_workloads=require_matching_workloads,
     )

@@ -55,19 +55,20 @@ def append_record(path: Union[str, pathlib.Path], record: dict,
                   dedupe: bool = True) -> bool:
     """Append *record* to the ledger; returns False on a skipped dupe.
 
-    With *dedupe* (the default) an append is skipped when the last
-    record in the ledger is byte-identical — reruns of an unchanged
-    tree do not grow the file.
+    With *dedupe* (the default) an append is skipped when a
+    byte-identical record appears *anywhere* in the ledger — records
+    are canonical dumps, so line identity is content identity.
+    Checking only the final line would re-append a record whenever an
+    older SHA is replayed after a newer one landed; reruns of any
+    already-recorded tree must not grow the file.
     """
     check_artifact(record, "history record")
     path = pathlib.Path(path)
     line = _dump(record)
     if dedupe and path.exists():
-        existing = path.read_text(encoding="utf-8").rstrip("\n")
-        if existing:
-            last = existing.rsplit("\n", 1)[-1]
-            if last == line:
-                return False
+        existing = path.read_text(encoding="utf-8")
+        if line in (seen.strip() for seen in existing.splitlines()):
+            return False
     with open(path, "a", encoding="utf-8") as stream:
         stream.write(line + "\n")
     return True

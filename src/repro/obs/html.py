@@ -154,6 +154,53 @@ def _opcode_bars(report: dict, limit: int = 14) -> str:
             + "".join(rows) + "</table>")
 
 
+def _energy_panel(report: dict, limit: int = 14) -> str:
+    """Section-4.3 energy model: headline cards + per-opcode/per-FU
+    energy bars (empty string when the report carries no energy data,
+    e.g. a schema-version-1 artifact)."""
+    energy: Dict[str, object] = report.get("energy") or {}
+    if not energy:
+        return ""
+    cards = [
+        _card(f"{energy.get('total_energy_pj', 0.0):,.0f} pJ",
+              "total energy"),
+        _card(f"{energy.get('energy_per_cycle_pj', 0.0):,.1f} pJ",
+              "per cycle"),
+        _card(f"{energy.get('energy_per_op_pj', 0.0):,.1f} pJ", "per op"),
+    ]
+    parts = ["<h2>Energy (section 4.3 cost model)</h2>",
+             '<div class="cards">' + "".join(cards) + "</div>"]
+    per_opcode: Dict[str, float] = energy.get("per_opcode_pj") or {}
+    if per_opcode:
+        top = sorted(per_opcode.items(),
+                     key=lambda kv: (-kv[1], kv[0]))[:limit]
+        peak = top[0][1] or 1.0
+        rows = []
+        for mnemonic, pj in top:
+            width = max(2, int(220 * pj / peak))
+            rows.append(
+                f'<tr><td class="name"><code>{_esc(mnemonic)}</code></td>'
+                f'<td class="name"><span class="bar" '
+                f'style="width:{width}px;background:#e9c46a"></span></td>'
+                f"<td>{pj:,.0f} pJ</td></tr>")
+        parts.append("<h3>By opcode</h3><table>" + "".join(rows)
+                     + "</table>")
+    per_fu = energy.get("per_fu_pj") or []
+    if any(per_fu):
+        peak = max(per_fu) or 1.0
+        rows = []
+        for fu, pj in enumerate(per_fu):
+            width = max(2, int(220 * pj / peak))
+            rows.append(
+                f'<tr><td class="name">FU{fu}</td>'
+                f'<td class="name"><span class="bar" '
+                f'style="width:{width}px;background:#e76f51"></span></td>'
+                f"<td>{pj:,.0f} pJ</td></tr>")
+        parts.append("<h3>By functional unit</h3><table>"
+                     + "".join(rows) + "</table>")
+    return "".join(parts)
+
+
 def _sset_timeline_svg(timeline: Sequence[Tuple[int, int]],
                        width: int = 860, height: int = 120) -> str:
     """Step-line SVG of the concurrent-stream count over cycles."""
@@ -291,6 +338,7 @@ def render_dashboard(report: dict,
         _stall_heatmap(report),
         _stall_by_streams(report),
         _opcode_bars(report),
+        _energy_panel(report),
         "<h2>Concurrent instruction streams</h2>",
     ]
     if timeline:

@@ -102,6 +102,10 @@ class RunReport:
     stall_by_streams: Dict[int, Dict[str, int]] = field(default_factory=dict)
     #: dynamic opcode census: mnemonic -> executions.
     op_histogram: Dict[str, int] = field(default_factory=dict)
+    #: section-4.3 energy model folded over the run (see
+    #: :mod:`repro.analysis.cost`); empty when the trace carries
+    #: opcodes the cost table does not know.
+    energy: Dict[str, object] = field(default_factory=dict)
     passes: List[Dict[str, object]] = field(default_factory=list)
     metrics: Dict[str, dict] = field(default_factory=dict)
 
@@ -125,6 +129,8 @@ class RunReport:
                                          for _ in range(n_fus)]
         stall_by_streams: Dict[int, TallyCounter] = {}
         op_histogram: TallyCounter = TallyCounter()
+        per_fu_ops: List[TallyCounter] = [TallyCounter()
+                                          for _ in range(n_fus)]
         data_ops = 0
         for event in cycles:
             busy = 0
@@ -147,9 +153,11 @@ class RunReport:
                 if n_streams is not None:
                     stall_by_streams.setdefault(
                         n_streams, TallyCounter())[name] += 1
-            for mnemonic in event.ops:
+            for fu, mnemonic in enumerate(event.ops):
                 if mnemonic is not None:
                     op_histogram[mnemonic] += 1
+                    if fu < n_fus:
+                        per_fu_ops[fu][mnemonic] += 1
 
         n_cycles = len(cycles)
         denominator = n_cycles * n_fus
@@ -189,6 +197,20 @@ class RunReport:
             for e in events if isinstance(e, PassEvent)
         ]
 
+        # section-4.3 energy model over the dynamic census (lazy import
+        # keeps repro.obs importable before repro.analysis finishes
+        # initializing — the machines import obs at module level)
+        from ..analysis.cost import EnergyReport
+        from ..isa.errors import UnknownOpcodeError
+
+        try:
+            energy = EnergyReport.from_histogram(
+                op_histogram, cycles=n_cycles,
+                per_fu_histograms=per_fu_ops).to_dict()
+        except UnknownOpcodeError:
+            # a trace from a different tree: report it, just uncosted
+            energy = {}
+
         return cls(
             machine=machine,
             n_fus=n_fus,
@@ -214,6 +236,7 @@ class RunReport:
                 streams: dict(sorted(tally.items()))
                 for streams, tally in sorted(stall_by_streams.items())},
             op_histogram=dict(sorted(op_histogram.items())),
+            energy=energy,
             passes=passes,
             metrics=registry.to_dict() if registry is not None else {},
         )
@@ -262,6 +285,7 @@ class RunReport:
                 str(streams): dict(mix)
                 for streams, mix in self.stall_by_streams.items()},
             "op_histogram": dict(self.op_histogram),
+            "energy": dict(self.energy),
             "passes": [{"name": entry["name"],
                         "ops_in": entry["ops_in"],
                         "ops_out": entry["ops_out"]}
@@ -342,6 +366,18 @@ class RunReport:
                          key=lambda kv: (-kv[1], kv[0]))[:8]
             ops = ", ".join(f"{mnemonic}×{count}" for mnemonic, count in top)
             lines.append(f"  hot opcodes       : {ops}")
+        if self.energy:
+            lines.append(
+                f"  energy (4.3 model): "
+                f"{self.energy.get('total_energy_pj', 0.0):.1f} pJ total, "
+                f"{self.energy.get('energy_per_cycle_pj', 0.0):.2f} pJ/cy, "
+                f"{self.energy.get('energy_per_op_pj', 0.0):.2f} pJ/op")
+            per_class = self.energy.get("per_class_pj") or {}
+            if per_class:
+                top = sorted(per_class.items(),
+                             key=lambda kv: (-kv[1], kv[0]))[:5]
+                parts = ", ".join(f"{name}={pj:.0f}pJ" for name, pj in top)
+                lines.append(f"  energy by unit    : {parts}")
         mix = ", ".join(f"{name}={count}"
                         for name, count in self.branch_mix.items() if count)
         lines.append(f"  branches          : {mix or 'none'} "

@@ -15,6 +15,12 @@ Version history:
   attribution fields in run reports, and the ``timing`` quarantine key
   (wall-clock measurements live under ``timing`` and are excluded from
   diff/gate comparisons and from byte-deterministic output).
+* **2** — run reports gain an ``energy`` section (the section-4.3
+  per-opcode cost model folded over the dynamic opcode census),
+  benchmark payloads carry ``*_energy_pj`` metrics next to cycles, and
+  the ``tolerance_table`` kind (the perf gate's calibrated per-metric
+  tolerance file) is recognized.  Version-1 artifacts remain readable —
+  they simply carry no energy leaves.
 """
 
 from __future__ import annotations
@@ -24,10 +30,10 @@ import pathlib
 from typing import Optional, Union
 
 #: The schema version this tree writes.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Versions this tree can read.
-SUPPORTED_VERSIONS = frozenset({1})
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 #: ``kind`` tags this tree knows how to interpret.
 KNOWN_KINDS = frozenset({
@@ -35,6 +41,7 @@ KNOWN_KINDS = frozenset({
     "bench_result",
     "bench_summary",
     "bench_history",
+    "tolerance_table",
 })
 
 

@@ -1,0 +1,213 @@
+"""Tests for the section-4.3 per-opcode cost model (repro.analysis.cost).
+
+The load-bearing guarantees: the table covers every defined opcode (an
+uncosted opcode cannot ship), folds are byte-deterministic, unknown
+mnemonics fail loudly, and the RunReport energy section agrees with a
+direct fold over the same census.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    COMPONENT_ENERGY_PJ,
+    EnergyReport,
+    OP_COSTS,
+    cost_of,
+    cost_table,
+    energy_report,
+)
+from repro.analysis.cost import _OP_UNIT, _UNIT_LATENCY, _UNITS
+from repro.asm import assemble
+from repro.isa import OPCODES
+from repro.isa.errors import UnknownOpcodeError
+from repro.isa.opcodes import OpKind
+from repro.machine import XimdMachine
+from repro.obs import RunReport, recording_observer
+from repro.workloads import (
+    FIGURE10_DATA,
+    MINMAX_REGS,
+    minmax_memory,
+    minmax_source,
+)
+
+
+class TestCoverage:
+    def test_every_opcode_is_costed(self):
+        """A new opcode cannot ship without a cost entry."""
+        assert set(OP_COSTS) == set(OPCODES)
+
+    def test_unit_map_covers_exactly_the_isa(self):
+        assert set(_OP_UNIT) == set(OPCODES)
+        assert set(_OP_UNIT.values()) <= set(_UNITS)
+        assert set(_UNIT_LATENCY) == set(_UNITS)
+
+    def test_cost_entries_are_well_formed(self):
+        for mnemonic, cost in OP_COSTS.items():
+            assert cost.mnemonic == mnemonic
+            assert cost.energy_pj > 0          # fetch energy at minimum
+            assert cost.rel_area >= 0
+            assert cost.latency_class in ("short", "long", "memory")
+
+    def test_unknown_mnemonic_raises(self):
+        with pytest.raises(UnknownOpcodeError):
+            cost_of("frobnicate")
+
+
+class TestComponentDecomposition:
+    def test_iadd_energy_is_the_component_sum(self):
+        e = COMPONENT_ENERGY_PJ
+        expected = (e["instruction_fetch"] + 2 * e["register_read"]
+                    + _UNITS["alu_int"][0] + e["register_write"])
+        assert cost_of("iadd").energy_pj == expected
+
+    def test_memory_ops_carry_the_access_energy(self):
+        e = COMPONENT_ENERGY_PJ
+        assert cost_of("load").energy_pj - e["memory_read"] == \
+            pytest.approx(e["instruction_fetch"]
+                          + OPCODES["load"].num_sources * e["register_read"]
+                          + e["register_write"])
+        assert cost_of("store").energy_pj - e["memory_write"] == \
+            pytest.approx(e["instruction_fetch"] + 2 * e["register_read"])
+
+    def test_nop_costs_only_the_fetch(self):
+        assert cost_of("nop").energy_pj == \
+            COMPONENT_ENERGY_PJ["instruction_fetch"]
+        assert cost_of("nop").rel_area == 0.0
+
+    def test_compares_write_cc_not_registers(self):
+        e = COMPONENT_ENERGY_PJ
+        assert cost_of("lt").energy_pj == (
+            e["instruction_fetch"] + 2 * e["register_read"]
+            + _UNITS["alu_compare"][0] + e["cc_write"])
+
+    def test_iterative_units_are_long_latency(self):
+        for mnemonic in ("imult", "idiv", "fadd", "fmult", "fdiv"):
+            assert cost_of(mnemonic).latency_class == "long"
+        assert cost_of("load").latency_class == "memory"
+        assert cost_of("iadd").latency_class == "short"
+
+    def test_table_renders_every_opcode(self):
+        table = cost_table()
+        for mnemonic in OPCODES:
+            assert mnemonic in table
+
+
+class TestEnergyReport:
+    HIST = {"iadd": 10, "lt": 5, "load": 3, "store": 2}
+
+    def test_fold_totals(self):
+        report = EnergyReport.from_histogram(self.HIST, cycles=20)
+        expected = sum(cost_of(m).energy_pj * c
+                       for m, c in self.HIST.items())
+        assert report.total_energy_pj == pytest.approx(expected)
+        assert report.ops == 20
+        assert report.energy_per_cycle_pj == \
+            pytest.approx(expected / 20)
+        assert report.energy_per_op_pj == pytest.approx(expected / 20)
+
+    def test_per_class_breakdown_partitions_the_total(self):
+        report = EnergyReport.from_histogram(self.HIST, cycles=20)
+        assert sum(report.per_class_pj.values()) == \
+            pytest.approx(report.total_energy_pj)
+        assert set(report.per_class_pj) == {"alu_int", "alu_compare",
+                                            "memory_port"}
+
+    def test_zero_and_negative_counts_are_skipped(self):
+        report = EnergyReport.from_histogram(
+            {"iadd": 0, "isub": -1, "lt": 2}, cycles=4)
+        assert set(report.per_opcode_pj) == {"lt"}
+        assert report.ops == 2
+
+    def test_zero_cycles_guard(self):
+        report = EnergyReport.from_histogram({}, cycles=0)
+        assert report.total_energy_pj == 0.0
+        assert report.energy_per_cycle_pj == 0.0
+        assert report.energy_per_op_pj == 0.0
+
+    def test_unknown_mnemonic_fails_loudly(self):
+        with pytest.raises(UnknownOpcodeError):
+            EnergyReport.from_histogram({"bogus": 1}, cycles=1)
+
+    def test_per_fu_breakdown(self):
+        per_fu = [{"iadd": 2}, {"load": 1}, {}, {"nop": 0}]
+        report = EnergyReport.from_histogram(
+            {"iadd": 2, "load": 1}, cycles=5, per_fu_histograms=per_fu)
+        assert len(report.per_fu_pj) == 4
+        assert report.per_fu_pj[0] == \
+            pytest.approx(2 * cost_of("iadd").energy_pj)
+        assert report.per_fu_pj[1] == \
+            pytest.approx(cost_of("load").energy_pj)
+        assert report.per_fu_pj[2] == 0.0 and report.per_fu_pj[3] == 0.0
+        assert sum(report.per_fu_pj) == \
+            pytest.approx(report.total_energy_pj)
+
+    def test_fold_is_byte_deterministic(self):
+        """Equal censuses (even differently ordered) -> identical JSON."""
+        forward = dict(self.HIST)
+        backward = dict(reversed(list(self.HIST.items())))
+        a = json.dumps(EnergyReport.from_histogram(forward, 20).to_dict(),
+                       sort_keys=True)
+        b = json.dumps(EnergyReport.from_histogram(backward, 20).to_dict(),
+                       sort_keys=True)
+        assert a == b
+
+    def test_alias_matches_classmethod(self):
+        direct = EnergyReport.from_histogram(self.HIST, 20).to_dict()
+        alias = energy_report(self.HIST, 20).to_dict()
+        assert direct == alias
+
+
+class TestRunReportEnergy:
+    def run_report(self):
+        obs = recording_observer()
+        machine = XimdMachine(assemble(minmax_source("halt")), obs=obs)
+        machine.regfile.poke(MINMAX_REGS["n"], len(FIGURE10_DATA))
+        for address, value in minmax_memory(FIGURE10_DATA).items():
+            machine.memory.poke(address, value)
+        machine.run(10_000)
+        return RunReport.from_events(list(obs.sinks[0].events))
+
+    def test_report_energy_matches_direct_fold(self):
+        report = self.run_report()
+        assert report.energy, "RunReport must carry an energy section"
+        direct = EnergyReport.from_histogram(
+            report.op_histogram, cycles=report.cycles).to_dict()
+        for key in ("total_energy_pj", "energy_per_cycle_pj",
+                    "per_opcode_pj", "per_class_pj"):
+            assert report.energy[key] == direct[key]
+
+    def test_per_fu_energy_sums_to_total(self):
+        energy = self.run_report().energy
+        assert energy["per_fu_pj"], "per-FU breakdown expected from events"
+        assert sum(energy["per_fu_pj"]) == \
+            pytest.approx(energy["total_energy_pj"], abs=1e-4)
+
+    def test_energy_survives_json_round_trip(self):
+        report = self.run_report()
+        payload = json.loads(report.to_json())
+        assert payload["energy"] == report.to_dict()["energy"]
+        assert "total_energy_pj" in payload["energy"]
+
+    def test_render_text_mentions_energy(self):
+        text = self.run_report().render_text()
+        assert "energy" in text
+        assert "pJ" in text
+
+
+class TestModelShape:
+    def test_float_costs_exceed_integer_counterparts(self):
+        assert cost_of("fadd").energy_pj > cost_of("iadd").energy_pj
+        assert cost_of("fmult").energy_pj > cost_of("imult").energy_pj
+        assert cost_of("fdiv").energy_pj > cost_of("idiv").energy_pj
+
+    def test_fdiv_is_the_priciest_op(self):
+        priciest = max(OP_COSTS.values(), key=lambda c: c.energy_pj)
+        assert priciest.mnemonic == "fdiv"
+
+    def test_store_kind_consistency(self):
+        """The writeback rule keys off OpKind; spot-check the kinds."""
+        assert OPCODES["load"].kind is OpKind.LOAD
+        assert OPCODES["store"].kind is OpKind.STORE
+        assert OPCODES["lt"].kind is OpKind.COMPARE

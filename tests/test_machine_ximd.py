@@ -223,8 +223,11 @@ class TestSynchronization:
         assert result.register(0) == 5
 
     def test_registered_ss_delays_visibility(self):
-        config = research_config(2, ss_registered=True)
-        # with registered sync, FU1 sees FU0's DONE one cycle later
+        # halted_sync_done=False keeps the reset registers at BUSY so
+        # the test isolates the *delay*: FU1 sees FU0's DONE one cycle
+        # later than the combinational variant would show it
+        config = research_config(2, ss_registered=True,
+                                 halted_sync_done=False)
         result = run("""
 .width 2
 -
@@ -240,6 +243,29 @@ class TestSynchronization:
         # registered distribution: one extra poll vs the combinational
         # default (which would leave r0 == 1)
         assert result.register(0) == 2
+
+    def test_registered_ss_seed_honors_halted_sync_done(self):
+        # regression: the reset sync registers must hold the
+        # halted_sync_done contribution, not hardwired BUSY — with the
+        # default (DONE) the cycle-0 branch already observes ss0 DONE
+        # and FU1 takes the exit on its first poll
+        config = research_config(2, ss_registered=True,
+                                 halted_sync_done=True)
+        result = run("""
+.width 2
+-
+| -> . ; nop ; done
+| if ss0 @02, @01 ; iadd r0,#1,r0
+-
+| -> . ; nop ; done
+| if ss0 @02, @01 ; iadd r0,#1,r0
+-
+| halt ; nop ; done
+| halt ; nop
+""", config=config)
+        # DONE observed on cycle 0: exactly one poll (the buggy
+        # all-BUSY seed forced a second iteration, r0 == 2)
+        assert result.register(0) == 1
 
     def test_halted_fu_counts_as_done_in_barrier(self):
         result = run("""

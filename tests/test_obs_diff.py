@@ -33,7 +33,13 @@ from repro.obs import (
     render_trend,
     write_dashboard,
 )
-from repro.obs.diff import flatten_numeric, is_timing_path, metric_direction
+from repro.obs import load_tolerance_table
+from repro.obs.diff import (
+    MetricDelta,
+    flatten_numeric,
+    is_timing_path,
+    metric_direction,
+)
 from repro.obs.__main__ import EXIT_REGRESSION, main as obs_main
 from repro.workloads import (
     FIGURE10_DATA,
@@ -122,6 +128,36 @@ class TestDirectionPolicy:
                                 "a": {"b": 2, "note": "text", "ok": True}})
         assert flat == {"a.b": 2}
 
+    def test_markers_match_whole_tokens_only(self):
+        """Regression: substring matching misclassified leaves that
+        merely *contain* a marker ('installed' ~ 'stall', 'recycles' ~
+        'cycles'); anchored token matching must leave them neutral."""
+        assert metric_direction("sections.x.installed") == "neutral"
+        assert metric_direction("sections.x.recycles") == "neutral"
+        assert metric_direction("sections.x.bankchips_note") == "neutral"
+
+    def test_cycle_time_judged_by_its_own_marker(self):
+        """'cycle_time_ns' must match the cycle_time marker, not fall
+        through to 'cycles' (token 'cycle' != token 'cycles')."""
+        assert metric_direction("models.proto.cycle_time_ns") == "lower"
+        assert metric_direction("w.m.ximd_cycles") == "lower"
+        # a per-cycle rate is not a cycle count: the 'cycles' marker
+        # must not fire on the singular 'cycle' token
+        assert metric_direction("models.x.ns_per_cycle") == "neutral"
+
+    def test_stall_class_leaves_still_match(self):
+        """Multi-token leaves keep matching their anchored markers."""
+        assert metric_direction("stall_mix.0.sync_wait") == "lower"
+        assert metric_direction("stall_mix.0.halted") == "lower"
+        assert metric_direction("stall_mix.0.branch_resolve") == "lower"
+
+    def test_energy_metrics_lower_is_better(self):
+        for leaf in ("ximd_energy_pj", "vliw_energy_pj", "energy_pj",
+                     "total_energy_pj", "energy_per_cycle_pj",
+                     "minmax_n64_energy_pj"):
+            assert metric_direction(f"sections.models.x.{leaf}") == \
+                "lower", leaf
+
 
 class TestDiff:
     def test_equal_artifacts_are_identical(self):
@@ -173,6 +209,47 @@ class TestDiff:
         assert not with_timing.regressions          # blocking set is empty
         assert with_timing.timing_regressions       # but it is reported
 
+    def test_zero_baseline_blocks_at_any_relative_tolerance(self):
+        """Regression: 0 -> epsilon has infinite relative change, so a
+        purely relative tolerance can never forgive it."""
+        delta = MetricDelta("s.w.barrier_cycles", 0, 1)
+        assert delta.relative_change() == float("inf")
+        assert delta.regressed(tolerance=0.5)
+        assert delta.regressed(tolerance=1e9)
+
+    def test_abs_tolerance_forgives_zero_baseline_epsilon(self):
+        delta = MetricDelta("s.w.barrier_cycles", 0, 1)
+        assert not delta.regressed(abs_tolerance=1.0)
+        assert delta.regressed(abs_tolerance=0.5)
+        # the floor applies to nonzero baselines too
+        small = MetricDelta("s.w.ximd_cycles", 193, 194)
+        assert small.regressed()
+        assert not small.regressed(abs_tolerance=2.0)
+
+    def test_abs_tolerance_through_diff_artifacts(self):
+        baseline = summary({"m": dict(MINMAX, barrier_cycles=0)})
+        candidate = summary({"m": dict(MINMAX, barrier_cycles=1)})
+        assert diff_artifacts(baseline, candidate,
+                              tolerance=0.5).regressions
+        result = diff_artifacts(baseline, candidate, abs_tolerance=1.0)
+        assert not result.regressions
+        assert "abs floor" in result.render_text()
+
+    def test_per_metric_tolerance_overrides_default(self):
+        baseline = summary({"m": dict(MINMAX, skyline_height=10)})
+        candidate = summary({"m": dict(MINMAX, skyline_height=11)})
+        assert diff_artifacts(baseline, candidate).regressions
+        result = diff_artifacts(baseline, candidate,
+                                per_metric={"skyline_height": 0.15})
+        assert not result.regressions
+        # the override is scoped to its leaf: cycles still block
+        worse = summary({"m": dict(MINMAX, skyline_height=11,
+                                   ximd_cycles=999)})
+        scoped = diff_artifacts(baseline, worse,
+                                per_metric={"skyline_height": 0.15})
+        assert [d.path for d in scoped.regressions] == \
+            ["sections.workloads.m.ximd_cycles"]
+
     def test_workload_mismatch_raises(self):
         with pytest.raises(WorkloadMismatchError, match="minmax"):
             diff_artifacts(summary({"minmax": dict(MINMAX)}),
@@ -217,6 +294,17 @@ class TestHistory:
         records = read_history(ledger)
         assert len(records) == 2
         assert latest_record(ledger)["git_sha"] == "sha2"
+
+    def test_dedupe_scans_the_whole_ledger(self, tmp_path):
+        """Regression: dedupe checked only the final line, so replaying
+        an older record after a newer one landed re-appended it."""
+        ledger = tmp_path / "h.jsonl"
+        first = make_record({"workloads": {"m": {"speedup": 2.0}}}, "sha1")
+        second = make_record({"workloads": {"m": {"speedup": 2.1}}}, "sha2")
+        assert append_record(ledger, first) is True
+        assert append_record(ledger, second) is True
+        assert append_record(ledger, first) is False   # not the last line
+        assert len(read_history(ledger)) == 2
 
     def test_read_rejects_foreign_records(self, tmp_path):
         ledger = tmp_path / "h.jsonl"
@@ -373,6 +461,97 @@ class TestCliGate:
         assert obs_main(["gate", "--baseline",
                          str(tmp_path / "absent.json")]) == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_gate_abs_tolerance_unblocks_zero_baseline(self, tmp_path,
+                                                       capsys):
+        """Regression: a 0 -> 1 move blocked at every --tolerance; the
+        absolute floor is the only way to wave it through."""
+        base = write_json(tmp_path / "base.json",
+                          summary({"m": dict(MINMAX, barrier_cycles=0)}))
+        cand = write_json(tmp_path / "cand.json",
+                          summary({"m": dict(MINMAX, barrier_cycles=1)}))
+        assert obs_main(["gate", "--baseline", base, "--candidate", cand,
+                         "--tolerance", "0.99"]) == EXIT_REGRESSION
+        capsys.readouterr()
+        assert obs_main(["gate", "--baseline", base, "--candidate", cand,
+                         "--abs-tolerance", "1.5"]) == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_gate_energy_regression_blocks(self, tmp_path, capsys):
+        base = write_json(tmp_path / "base.json",
+                          summary({"m": dict(MINMAX,
+                                             ximd_energy_pj=1000.0)}))
+        cand = write_json(tmp_path / "cand.json",
+                          summary({"m": dict(MINMAX,
+                                             ximd_energy_pj=1010.0)}))
+        assert obs_main(["gate", "--baseline", base,
+                         "--candidate", cand]) == EXIT_REGRESSION
+        assert "ximd_energy_pj" in capsys.readouterr().out
+
+
+def tolerance_table(metrics=None, default=0.0, abs_tol=0.0):
+    return {"schema_version": SCHEMA_VERSION, "kind": "tolerance_table",
+            "default_tolerance": default, "abs_tolerance": abs_tol,
+            "metrics": dict(metrics or {})}
+
+
+class TestToleranceTable:
+    def test_load_normalizes_fields(self, tmp_path):
+        path = write_json(tmp_path / "t.json",
+                          tolerance_table({"skyline_height": 0.1},
+                                          default=0.02, abs_tol=0.5))
+        table = load_tolerance_table(path)
+        assert table == {"default_tolerance": 0.02, "abs_tolerance": 0.5,
+                         "metrics": {"skyline_height": 0.1}}
+
+    def test_load_rejects_wrong_kind(self, tmp_path):
+        path = write_json(tmp_path / "s.json", summary({}))
+        with pytest.raises(SchemaError, match="tolerance_table"):
+            load_tolerance_table(path)
+
+    def test_load_rejects_non_numeric_metrics(self, tmp_path):
+        bad = tolerance_table()
+        bad["metrics"] = {"skyline_height": "lots"}
+        path = write_json(tmp_path / "t.json", bad)
+        with pytest.raises(SchemaError, match="numeric"):
+            load_tolerance_table(path)
+
+    def test_gate_uses_table_overrides(self, tmp_path, capsys):
+        base = write_json(tmp_path / "base.json",
+                          summary({"m": dict(MINMAX, skyline_height=10)}))
+        cand = write_json(tmp_path / "cand.json",
+                          summary({"m": dict(MINMAX, skyline_height=11)}))
+        assert obs_main(["gate", "--baseline", base,
+                         "--candidate", cand]) == EXIT_REGRESSION
+        capsys.readouterr()
+        table = write_json(tmp_path / "tol.json",
+                           tolerance_table({"skyline_height": 0.15}))
+        assert obs_main(["gate", "--baseline", base, "--candidate", cand,
+                         "--tolerance-table", str(table)]) == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_explicit_flags_beat_table_defaults(self, tmp_path, capsys):
+        base = write_json(tmp_path / "base.json",
+                          summary({"m": dict(MINMAX)}))
+        cand = write_json(tmp_path / "cand.json",
+                          summary({"m": dict(MINMAX, ximd_cycles=196)}))
+        table = write_json(tmp_path / "tol.json",
+                           tolerance_table(default=0.05))
+        assert obs_main(["gate", "--baseline", base, "--candidate", cand,
+                         "--tolerance-table", str(table)]) == 0
+        capsys.readouterr()
+        assert obs_main(["gate", "--baseline", base, "--candidate", cand,
+                         "--tolerance-table", str(table),
+                         "--tolerance", "0.0"]) == EXIT_REGRESSION
+
+    def test_committed_table_is_loadable(self):
+        import pathlib
+        path = (pathlib.Path(__file__).resolve().parent.parent
+                / "benchmarks" / "tolerances.json")
+        table = load_tolerance_table(path)
+        assert table["default_tolerance"] == 0.0
+        assert table["metrics"]["ximd_energy_pj"] == 0.0
+        assert table["metrics"]["skyline_height"] > 0
 
 
 class TestCliHistory:
