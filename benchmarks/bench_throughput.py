@@ -1,0 +1,193 @@
+"""E14 — host throughput: the pre-decoded engine vs the reference path.
+
+This is the one benchmark about the *simulator*, not the simulated
+machines: how many simulated cycles per host second each execution
+engine sustains.  Every workload runs twice — ``engine="reference"``
+(the readable step() interpreter) and ``engine="fast"`` (the
+pre-decoded loop in ``repro.machine.engine``) — and the two results
+must be bit-identical before any throughput number is recorded; a fast
+engine that drifts from the reference semantics is worthless however
+fast it is.
+
+All wall-clock numbers land in the ``timing`` section of
+BENCH_SUMMARY.json / BENCH_HISTORY.jsonl, which the perf gate treats as
+warn-only: host throughput depends on the host, so it can never block
+CI.  The only hard assertions here are (a) bit-identity and (b) the
+fast engine's >=3x speedup on the synthetic long-runner, which holds
+with wide margin on any host because it is a ratio of two measurements
+taken on the same machine back to back.
+"""
+
+import dataclasses
+import time
+
+from repro.analysis import render_table
+from repro.asm import assemble
+from repro.machine import VliwMachine, XimdMachine
+from repro.workloads import (
+    BITCOUNT_REGS,
+    LL12_REGS,
+    MINMAX_REGS,
+    bitcount_memory,
+    bitcount_total_source,
+    livermore12_memory,
+    livermore12_source,
+    longrunner_program,
+    longrunner_vliw_program,
+    minmax_memory,
+    minmax_source,
+    random_ints,
+    random_words,
+)
+
+#: Synthetic long-runner size: 3 * (N + 1) simulated cycles per run.
+LONGRUNNER_ITERATIONS = 20_000
+
+#: ISSUE acceptance floor for the fast engine on the long-runner.
+MIN_FAST_SPEEDUP = 3.0
+
+#: Accumulate at least this much wall time per measurement so the tiny
+#: paper workloads (a few thousand cycles, well under a millisecond on
+#: the fast path) still produce stable rates.
+MIN_MEASURE_SECONDS = 0.25
+
+
+def _minmax_machine():
+    data = random_ints(64, seed=3)[1:]
+    machine = XimdMachine(assemble(minmax_source("halt")))
+    machine.regfile.poke(MINMAX_REGS["n"], len(data))
+    for address, value in minmax_memory(data).items():
+        machine.memory.poke(address, value)
+    return machine, 1_000_000
+
+
+def _bitcount_machine():
+    data = random_words(48, seed=4)
+    machine = XimdMachine(assemble(bitcount_total_source()))
+    machine.regfile.poke(BITCOUNT_REGS["n"], 48)
+    for address, value in bitcount_memory(data).items():
+        machine.memory.poke(address, value)
+    return machine, 5_000_000
+
+
+def _ll12_vliw_machine():
+    y = random_ints(101, seed=5)
+    machine = VliwMachine(assemble(livermore12_source()))
+    machine.regfile.poke(LL12_REGS["n"], 100)
+    for address, value in livermore12_memory(y).items():
+        machine.memory.poke(address, value)
+    return machine, 1_000_000
+
+
+def _longrunner_ximd_machine(iterations=LONGRUNNER_ITERATIONS):
+    program, registers = longrunner_program(iterations=iterations)
+    machine = XimdMachine(program)
+    for index, value in registers.items():
+        machine.regfile.poke(index, value)
+    return machine, 10_000_000
+
+
+def _longrunner_vliw_machine(iterations=LONGRUNNER_ITERATIONS):
+    program, registers = longrunner_vliw_program(iterations=iterations)
+    machine = VliwMachine(program)
+    for index, value in registers.items():
+        machine.regfile.poke(index, value)
+    return machine, 10_000_000
+
+
+WORKLOADS = (
+    ("minmax (ximd)", _minmax_machine),
+    ("bitcount (ximd)", _bitcount_machine),
+    ("livermore 12 (vliw)", _ll12_vliw_machine),
+    ("longrunner (ximd)", _longrunner_ximd_machine),
+    ("longrunner (vliw)", _longrunner_vliw_machine),
+)
+
+
+def _fingerprint(result):
+    """Everything the differential check compares, as one value.
+
+    Covers the committed architectural state *and* the stats fold —
+    including the chronological insertion order of the ``per_opcode``
+    and ``per_fu_ops`` dicts, which downstream energy reports sum in
+    dict order under a zero-tolerance gate.
+    """
+    return (
+        result.cycles,
+        result.halted,
+        tuple(result.registers),
+        tuple(result.final_pcs),
+        dataclasses.asdict(result.stats),
+        tuple(result.stats.per_opcode.items()),
+        tuple(result.stats.per_fu_ops.items()),
+    )
+
+
+def _measure(factory, engine, min_time=MIN_MEASURE_SECONDS):
+    """(result, cycles/sec, data-ops/sec) for one workload + engine.
+
+    Repeats the run on a fresh machine until *min_time* of wall clock
+    has accumulated; a single long-runner pass already exceeds it.
+    """
+    total_cycles = 0
+    total_ops = 0
+    elapsed = 0.0
+    result = None
+    while elapsed < min_time:
+        machine, limit = factory()
+        start = time.perf_counter()
+        result = machine.run(limit, engine=engine)
+        elapsed += time.perf_counter() - start
+        assert machine.engine_used == engine
+        total_cycles += result.cycles
+        total_ops += result.stats.data_ops
+    return result, total_cycles / elapsed, total_ops / elapsed
+
+
+def _bench_body():
+    """The unit pytest-benchmark times: one small fast-engine run."""
+    machine, limit = _longrunner_ximd_machine(iterations=500)
+    return machine.run(limit, engine="fast").cycles
+
+
+def test_host_throughput(benchmark, record_table, record_json,
+                         bench_summary):
+    benchmark(_bench_body)
+
+    rows = []
+    payload = {}
+    longrunner_speedups = {}
+    for name, factory in WORKLOADS:
+        ref_result, ref_rate, _ = _measure(factory, "reference")
+        fast_result, fast_rate, fast_ops = _measure(factory, "fast")
+        assert _fingerprint(fast_result) == _fingerprint(ref_result), (
+            f"{name}: fast engine diverged from reference")
+        speedup = fast_rate / ref_rate if ref_rate else 0.0
+        stats = {
+            "sim_cycles": ref_result.cycles,
+            "ref_kcycles_per_sec": round(ref_rate / 1000, 3),
+            "fast_kcycles_per_sec": round(fast_rate / 1000, 3),
+            "fast_data_kops_per_sec": round(fast_ops / 1000, 3),
+            "fast_over_ref": round(speedup, 3),
+        }
+        rows.append([name, stats["sim_cycles"],
+                     stats["ref_kcycles_per_sec"],
+                     stats["fast_kcycles_per_sec"],
+                     stats["fast_over_ref"]])
+        payload[name] = stats
+        bench_summary(name, stats, section="timing")
+        if name.startswith("longrunner"):
+            longrunner_speedups[name] = speedup
+
+    table = render_table(
+        ["workload", "sim cycles", "ref kcy/s", "fast kcy/s", "fast/ref"],
+        rows, title="E14: host throughput, reference vs fast engine "
+                    "(wall clock — warn-only)")
+    record_table("host_throughput", table)
+    record_json("host_throughput", payload)
+
+    # The acceptance floor: same-host ratio, immune to absolute speed.
+    for name, speedup in longrunner_speedups.items():
+        assert speedup >= MIN_FAST_SPEEDUP, (
+            f"{name}: fast engine only {speedup:.2f}x over reference "
+            f"(floor {MIN_FAST_SPEEDUP}x)")

@@ -75,10 +75,14 @@ def bench_summary():
 
     ``summary(name, payload, section="workloads")`` — entries merge
     into any existing summary at session end, so partial benchmark
-    runs update their own entries without clobbering the rest.  When
+    runs update their own entries without clobbering the rest.  The
+    ``timing`` section is special: it holds wall-clock measurements
+    (host throughput, E14), is re-stamped rather than merged (stale
+    wall times from another host are meaningless), and rides along in
+    history records under a separate key excluded from dedupe.  When
     the ``workloads`` section was refreshed this session (the speedup
-    suite ran), a deterministic history record is also appended to
-    BENCH_HISTORY.jsonl.
+    suite ran), a history record is appended to BENCH_HISTORY.jsonl —
+    deterministic sections plus any fresh timing.
     """
     collected = {}
 
@@ -90,18 +94,22 @@ def bench_summary():
 
     if not collected:
         return
+    timing = collected.pop("timing", None)
     sections = {}
     if SUMMARY_PATH.exists():
         try:
             previous = json.loads(SUMMARY_PATH.read_text())
         except (ValueError, OSError):
             previous = {}
-        # keep only section dicts; bookkeeping keys are re-stamped
+        # keep only section dicts; bookkeeping keys are re-stamped and
+        # stale wall-clock timing is dropped rather than merged
         sections = {key: value for key, value in previous.items()
                     if isinstance(value, dict) and key != "timing"}
     for section, entries in collected.items():
         sections.setdefault(section, {}).update(entries)
     summary = dict(sections)
+    if timing:
+        summary["timing"] = timing
     summary["schema_version"] = SCHEMA_VERSION
     summary["kind"] = "bench_summary"
     summary["generated_by"] = "pytest benchmarks/ --benchmark-only"
@@ -111,4 +119,5 @@ def bench_summary():
     if "workloads" in collected:
         git_sha = os.environ.get("REPRO_GIT_SHA", "local")
         append_record(HISTORY_PATH,
-                      make_record(sections, git_sha=git_sha))
+                      make_record(sections, git_sha=git_sha,
+                                  timing=timing))

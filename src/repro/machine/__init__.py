@@ -19,6 +19,13 @@ from .config import (
     research_config,
 )
 from .datapath import DatapathStats
+from .engine import (
+    DecodedProgram,
+    decode_vliw_program,
+    decode_ximd_program,
+    fast_path_blockers,
+    fast_path_eligible,
+)
 from .devices import (
     Device,
     DeviceMap,
@@ -60,6 +67,7 @@ __all__ = [
     "AddressTrace",
     "ConditionCodes",
     "DatapathStats",
+    "DecodedProgram",
     "Device",
     "DeviceMap",
     "DistributedMemory",
@@ -89,7 +97,11 @@ __all__ = [
     "VliwMachine",
     "WorldExplosionError",
     "XimdMachine",
+    "decode_vliw_program",
+    "decode_ximd_program",
     "evaluate_condition",
+    "fast_path_blockers",
+    "fast_path_eligible",
     "format_partition",
     "is_valid_partition",
     "normalize_partition",

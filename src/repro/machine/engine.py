@@ -1,0 +1,788 @@
+"""The fast execution engine: pre-decoded programs, allocation-free loop.
+
+The reference ``step()`` paths in :mod:`.ximd` / :mod:`.vliw` re-fetch
+every parcel from :class:`~.program.Program`, re-dispatch operands
+through ``isinstance`` checks, and build half a dozen lists, snapshot
+tuples, and format strings per cycle whether or not anybody is
+observing.  That is the classic interpreter fetch/dispatch tax, and on
+long ``xsim``/``vsim`` runs (the paper's section 4.1 evaluation) it
+dominates wall time.
+
+This module applies the two standard simulator moves:
+
+* **Pre-decode** (:func:`decode_ximd_program` /
+  :func:`decode_vliw_program`): a :class:`Program` is lowered *once*
+  into flat per-FU slot tuples — an opcode-kind int, the pre-bound
+  semantics callable, operand accessors with :class:`~repro.isa.Const`
+  values already resolved to Python values, the sync bit as a plain
+  bool, and the control op's condition index plus both branch targets
+  resolved to concrete addresses (the prototype sequencer's implicit
+  ``PC+1`` included, since the slot knows its own address).
+
+* **Allocation-free stepping** (:func:`run_ximd_fast` /
+  :func:`run_vliw_fast`): the per-cycle loop reuses a fixed set of
+  buffers, keeps ``halted`` as a live active-FU counter instead of an
+  ``all()`` scan over PCs, and defers *all* statistics to a single
+  post-run fold over per-slot visit counters (kept in first-encounter
+  order so even the ``per_opcode`` dict insertion order matches the
+  reference path byte for byte).
+
+Correctness contract: a fast run produces a **bit-identical**
+:class:`~.ximd.ExecutionResult` — registers, cycle count, final PCs,
+and the full :class:`~.datapath.DatapathStats` — and leaves the
+machine's register file, condition codes, and memory in the same state
+the reference path would.  The engine refuses (and the machines fall
+back to the reference path) whenever a feature it does not model is
+active: an enabled observer, an address trace, an SSET tracker,
+memory-mapped devices, or register-file port caps tighter than the
+structural per-FU maximum (2 reads + 1 write per FU, which the data
+path cannot exceed).  Observability semantics are therefore untouched:
+turning any of those features on simply selects the reference path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..isa import Condition, OpKind, Parcel, Reg, SyncValue
+from .config import MachineConfig, SequencerStyle
+from .errors import (
+    MachineError,
+    MemoryConflictError,
+    MemoryError_,
+    RegisterConflictError,
+    SimulationLimitError,
+)
+from .memory import SharedMemory
+from .program import Program
+
+# --- decoded-slot layout ---------------------------------------------------
+#
+# One XIMD slot is a 10-tuple (tuples index faster than objects and
+# unpack in one bytecode):
+#
+#   (dkind, sem, aval, areg, bval, breg, dest, sync_done, ctl, fold)
+#
+# dkind: _D_NOP / _D_ARITH / _D_COMPARE / _D_LOAD / _D_STORE
+# sem:   the opcode's semantics callable (None for memory ops / nop)
+# aval:  register index when areg else the resolved constant value
+# dest:  destination register index (arith/load) else -1
+# sync_done: True when the parcel's sync field is DONE
+# ctl:   None (halt after the data op) or
+#        (ckind, taken_target, untaken_target, aux, raise_message)
+#        ckind: _C_ALWAYS (taken constant-folded into the targets),
+#        _C_CC / _C_SS (aux = FU index), _C_ALL / _C_ANY (aux = member
+#        index tuple), _C_RAISE (aux unused; raise_message is the
+#        reference path's MachineError text, raised on *execution*, not
+#        at decode, so never-executed malformed slots stay legal).
+# fold:  per-slot statistics record folded post-run:
+#        (is_nop, mnemonic, stat_kind, reg_reads, reg_writes, branch_kind)
+
+_D_NOP, _D_ARITH, _D_COMPARE, _D_LOAD, _D_STORE = range(5)
+_C_ALWAYS, _C_CC, _C_SS, _C_ALL, _C_ANY, _C_RAISE = range(6)
+
+#: fold stat_kind codes
+_S_OTHER, _S_COMPARE, _S_LOAD, _S_STORE = range(4)
+#: fold branch_kind codes
+_B_NONE, _B_UNCOND, _B_COND, _B_SYNC = range(4)
+
+_DKIND = {
+    OpKind.NOP: _D_NOP,
+    OpKind.ARITH: _D_ARITH,
+    OpKind.COMPARE: _D_COMPARE,
+    OpKind.LOAD: _D_LOAD,
+    OpKind.STORE: _D_STORE,
+}
+
+_SKIND = {
+    OpKind.COMPARE: _S_COMPARE,
+    OpKind.LOAD: _S_LOAD,
+    OpKind.STORE: _S_STORE,
+}
+
+
+class DecodedProgram:
+    """A :class:`Program` lowered to flat per-FU slot arrays."""
+
+    __slots__ = ("columns", "length", "width")
+
+    def __init__(self, columns: List[List[Optional[tuple]]]):
+        self.columns = columns
+        self.width = len(columns)
+        self.length = len(columns[0]) if columns else 0
+
+
+def _decode_operand(operand) -> Tuple[object, bool]:
+    """(value-or-index, is_register) for one source operand."""
+    if isinstance(operand, Reg):
+        return operand.index, True
+    # Const (DataOp validation guarantees Reg | Const for sources)
+    return operand.value, False
+
+
+def _decode_control(control, address: int, n_fus: int,
+                    style: SequencerStyle) -> Optional[tuple]:
+    """Lower one ControlOp to a (ckind, t_taken, t_untaken, aux, msg)
+    tuple with both branch targets resolved to concrete addresses."""
+    if control is None:
+        return None
+    condition = control.condition
+    explicit = style is SequencerStyle.EXPLICIT_TWO_TARGET
+    fallthrough = address + 1
+    if condition is Condition.ALWAYS_T1:
+        target = control.target1
+        return (_C_ALWAYS, target, target, None, None)
+    if condition is Condition.ALWAYS_T2:
+        if explicit:
+            target = (control.target2 if control.target2 is not None
+                      else control.target1)
+        else:
+            target = fallthrough
+        return (_C_ALWAYS, target, target, None, None)
+    t_taken = control.target1
+    t_untaken = control.target2 if explicit else fallthrough
+    if condition is Condition.CC_TRUE or condition is Condition.SS_DONE:
+        what = "CC" if condition is Condition.CC_TRUE else "SS"
+        index = control.index
+        if index is None or not 0 <= index < n_fus:
+            # The reference path raises when the op *executes*; keep
+            # that lazily so dead malformed slots stay legal.
+            return (_C_RAISE, t_taken, t_untaken, None,
+                    f"{what} index out of range: {index}")
+        ckind = _C_CC if condition is Condition.CC_TRUE else _C_SS
+        return (ckind, t_taken, t_untaken, index, None)
+    members = (control.mask if control.mask is not None
+               else tuple(range(n_fus)))
+    if condition is Condition.ALL_SS_DONE:
+        return (_C_ALL, t_taken, t_untaken, members, None)
+    if condition is Condition.ANY_SS_DONE:
+        return (_C_ANY, t_taken, t_untaken, members, None)
+    return (_C_RAISE, t_taken, t_untaken, None,
+            f"unhandled condition: {condition}")
+
+
+def _decode_parcel(parcel: Parcel, address: int, n_fus: int,
+                   style: SequencerStyle) -> tuple:
+    """Lower one parcel to the flat slot tuple described above."""
+    op = parcel.data
+    kind = op.opcode.kind
+    dkind = _DKIND[kind]
+    if dkind == _D_NOP:
+        sem, aval, areg, bval, breg, dest = None, 0, False, 0, False, -1
+        fold = (True, None, _S_OTHER, 0, 0, _B_NONE)
+    else:
+        sem = op.opcode.semantics
+        aval, areg = _decode_operand(op.srca)
+        bval, breg = _decode_operand(op.srcb)
+        dest = op.dest.index if op.dest is not None else -1
+        reads = int(areg) + int(breg)
+        writes = 1 if dkind in (_D_ARITH, _D_LOAD) else 0
+        fold = (False, op.opcode.mnemonic, _SKIND.get(kind, _S_OTHER),
+                reads, writes, _B_NONE)
+    ctl = _decode_control(parcel.control, address, n_fus, style)
+    if ctl is not None and ctl[0] != _C_RAISE:
+        # A _C_RAISE slot keeps branch_kind _B_NONE: the reference path
+        # raises from evaluate_condition before counting the branch.
+        condition = parcel.control.condition
+        if condition.is_unconditional:
+            branch = _B_UNCOND
+        elif condition.uses_sync:
+            branch = _B_SYNC
+        else:
+            branch = _B_COND
+        fold = fold[:5] + (branch,)
+    return (dkind, sem, aval, areg, bval, breg, dest,
+            parcel.sync is SyncValue.DONE, ctl, fold)
+
+
+def decode_ximd_program(program: Program,
+                        config: MachineConfig) -> DecodedProgram:
+    """Pre-decode *program* for the XIMD fast path (per-FU columns)."""
+    n = config.n_fus
+    style = config.sequencer
+    columns: List[List[Optional[tuple]]] = []
+    for fu in range(n):
+        column = []
+        for address, parcel in enumerate(program.columns[fu]):
+            column.append(None if parcel is None
+                          else _decode_parcel(parcel, address, n, style))
+        columns.append(column)
+    return DecodedProgram(columns)
+
+
+def decode_vliw_program(program: Program,
+                        config: MachineConfig) -> DecodedProgram:
+    """Pre-decode *program* for the VLIW fast path (per-address rows).
+
+    Each row is ``None`` (all parcels empty: executing it halts the
+    machine) or ``(data_slots, ctl, fold_rows)`` where *data_slots*
+    holds the non-nop data work as ``(fu, slot)`` pairs, *ctl* is the
+    machine-wide control op of the lowest-numbered FU carrying one
+    (sync conditions lower to a ``_C_RAISE`` slot reproducing the
+    reference path's :class:`MachineError`), and *fold_rows* records
+    per-FU statistics as ``(fu, fold)`` pairs for every occupied
+    parcel, nops included.
+    """
+    n = config.n_fus
+    style = config.sequencer
+    rows: List[Optional[tuple]] = []
+    for address in range(program.length):
+        parcels = [program.columns[fu][address] for fu in range(n)]
+        if all(p is None for p in parcels):
+            rows.append(None)
+            continue
+        data_slots = []
+        fold_rows = []
+        ctl = None
+        for fu, parcel in enumerate(parcels):
+            if parcel is None:
+                continue
+            slot = _decode_parcel(parcel, address, n, style)
+            # the machine-wide control op: lowest FU carrying one
+            if ctl is None and parcel.control is not None:
+                if parcel.control.condition.uses_sync:
+                    # raises before the branch is counted -> _B_NONE
+                    ctl = (_C_RAISE, 0, 0, None,
+                           "VLIW machine has no synchronization signals "
+                           f"(at address {address:#04x})")
+                    branch = _B_NONE
+                else:
+                    ctl = slot[8]
+                    branch = slot[9][5]
+            else:
+                branch = _B_NONE
+            fold_rows.append((fu, slot[9][:5] + (branch,)))
+            if slot[0] != _D_NOP:
+                data_slots.append((fu, slot))
+        rows.append((tuple(data_slots), ctl, tuple(fold_rows)))
+    return DecodedProgram([rows])
+
+
+# --- eligibility -----------------------------------------------------------
+
+def fast_path_blockers(machine) -> List[str]:
+    """Why *machine* cannot take the fast path (empty list = eligible).
+
+    The blockers are exactly the features whose semantics the fast
+    engine does not model; with any of them active the machines run the
+    reference ``step()`` path so observability behavior is unchanged.
+    """
+    blockers = []
+    if machine.obs.enabled:
+        blockers.append("observer enabled")
+    if machine.trace is not None:
+        blockers.append("address trace recording")
+    if getattr(machine, "tracker", None) is not None:
+        blockers.append("SSET tracker attached")
+    if machine.memory.devices:
+        blockers.append("memory-mapped devices present")
+    config = machine.config
+    if (config.max_read_ports is not None
+            and config.max_read_ports < 2 * config.n_fus):
+        blockers.append("register read-port cap below structural maximum")
+    if (config.max_write_ports is not None
+            and config.max_write_ports < config.n_fus):
+        blockers.append("register write-port cap below structural maximum")
+    return blockers
+
+
+def fast_path_eligible(machine) -> bool:
+    """True when :func:`run_ximd_fast`/:func:`run_vliw_fast` may run."""
+    return not fast_path_blockers(machine)
+
+
+# --- the XIMD fast loop ----------------------------------------------------
+
+def run_ximd_fast(machine, limit: int) -> None:
+    """Run *machine* (an eligible :class:`~.ximd.XimdMachine`) to halt.
+
+    Advances the machine in place — PCs, cycle counter, stats, register
+    file, condition codes, memory — exactly as the reference path
+    would, then drains the register-file write pipeline.  Raises
+    :class:`SimulationLimitError` when *limit* is reached, and the same
+    conflict/machine errors the reference path raises, with identical
+    messages.
+    """
+    decoded = machine._decoded
+    if decoded is None:
+        decoded = machine._decoded = decode_ximd_program(
+            machine.program, machine.config)
+    config = machine.config
+    n = config.n_fus
+    cols = decoded.columns
+    length = decoded.length
+    halted_done = config.halted_sync_done
+    registered = config.ss_registered
+    detect_reg = config.detect_register_conflicts
+
+    regfile = machine.regfile
+    regv = regfile._values
+    write_latency = regfile.write_latency
+    inflight = [list(stage) for stage in regfile._inflight]
+
+    cc = machine.cc
+    ccv = cc._values
+    ccdef = cc._defined
+    cc_pending: List[Tuple[int, bool]] = []
+
+    memory = machine.memory
+    shared = isinstance(memory, SharedMemory)
+    detect_mem = shared and memory.detect_conflicts
+    mem_words = memory.words
+    mem_data = memory._data if shared else None
+    banks = None if shared else memory._banks
+    mem_pending: List[Tuple[int, int, object]] = []  # (fu, address, value)
+
+    pcs: List[Optional[int]] = list(machine.pcs)
+    active = sum(1 for pc in pcs if pc is not None)
+    cycle = machine.cycle
+    cycles_done = 0
+    prev_ss: List[bool] = list(machine._prev_ss)
+
+    # per-cycle scratch, allocated once and reused.  ss starts at the
+    # halted value for every FU: active FUs overwrite their entry at
+    # fetch before anything reads it, halted FUs keep it (matching
+    # sync_done_vector's treatment of halted FUs).
+    cur: List[Optional[tuple]] = [None] * n
+    ss: List[bool] = [halted_done] * n
+    halted_now: List[int] = []
+    seen_regs: dict = {}
+    seen_addrs: dict = {}
+    # statistics: per-slot visit counters folded once at the end, in
+    # first-encounter order so dict insertion orders match the
+    # reference path exactly
+    visits = [[0] * length for _ in range(n)]
+    first_seen: List[Tuple[int, int]] = []
+    reg_reads = reg_writes = reg_conflicts = 0
+    mem_loads = mem_stores = mem_conflicts = 0
+
+    try:
+        while active:
+            if cycle >= limit:
+                raise SimulationLimitError(
+                    f"program did not halt within {limit} cycles")
+
+            # --- fetch: halt FUs on empty slots, latch sync signals ----
+            for fu in range(n):
+                pc = pcs[fu]
+                if pc is None:
+                    cur[fu] = None
+                    continue
+                slot = cols[fu][pc] if 0 <= pc < length else None
+                if slot is None:
+                    pcs[fu] = None
+                    ss[fu] = halted_done
+                    active -= 1
+                    cur[fu] = None
+                    continue
+                cur[fu] = slot
+                ss[fu] = slot[7]
+                vfu = visits[fu]
+                count = vfu[pc]
+                vfu[pc] = count + 1
+                if not count:
+                    first_seen.append((fu, pc))
+            if not active:
+                # every FU halted at fetch: the cycle never happened
+                break
+            visible = prev_ss if registered else ss
+
+            # --- execute: data ops buffered, branches resolved ----------
+            wbuf = inflight[write_latency - 1]
+            for fu in range(n):
+                slot = cur[fu]
+                if slot is None:
+                    continue
+                dkind = slot[0]
+                if dkind:
+                    if dkind == _D_ARITH:
+                        wbuf.append((
+                            slot[6],
+                            slot[1](regv[slot[2]] if slot[3] else slot[2],
+                                    regv[slot[4]] if slot[5] else slot[4]),
+                            fu))
+                    elif dkind == _D_COMPARE:
+                        cc_pending.append((fu, bool(
+                            slot[1](regv[slot[2]] if slot[3] else slot[2],
+                                    regv[slot[4]] if slot[5] else slot[4]))))
+                    elif dkind == _D_LOAD:
+                        address = (
+                            int(regv[slot[2]] if slot[3] else slot[2])
+                            + int(regv[slot[4]] if slot[5] else slot[4]))
+                        if not 0 <= address < mem_words:
+                            raise MemoryError_(
+                                f"address {address} out of range "
+                                f"[0, {mem_words})"
+                                if shared else
+                                f"address {address!r} out of bank range "
+                                f"[0, {mem_words})")
+                        mem_loads += 1
+                        bank = mem_data if shared else banks[fu]
+                        wbuf.append((slot[6], bank.get(address, 0), fu))
+                    else:  # _D_STORE
+                        value = regv[slot[2]] if slot[3] else slot[2]
+                        address = int(
+                            regv[slot[4]] if slot[5] else slot[4])
+                        if not 0 <= address < mem_words:
+                            raise MemoryError_(
+                                f"address {address} out of range "
+                                f"[0, {mem_words})"
+                                if shared else
+                                f"address {address!r} out of bank range "
+                                f"[0, {mem_words})")
+                        mem_stores += 1
+                        mem_pending.append((fu, address, value))
+                ctl = slot[8]
+                if ctl is None:
+                    pcs[fu] = None
+                    active -= 1
+                    halted_now.append(fu)
+                    continue
+                ckind = ctl[0]
+                if ckind == _C_ALWAYS:
+                    taken = True
+                elif ckind == _C_CC:
+                    taken = ccv[ctl[3]]
+                elif ckind == _C_SS:
+                    taken = visible[ctl[3]]
+                elif ckind == _C_ALL:
+                    taken = True
+                    for member in ctl[3]:
+                        if not visible[member]:
+                            taken = False
+                            break
+                elif ckind == _C_ANY:
+                    taken = False
+                    for member in ctl[3]:
+                        if visible[member]:
+                            taken = True
+                            break
+                else:
+                    raise MachineError(ctl[4])
+                pcs[fu] = ctl[1] if taken else ctl[2]
+
+            # --- commit -------------------------------------------------
+            prev_ss[:] = ss  # this cycle's SS vector, pre-halt updates
+            due = inflight[0]
+            if due:
+                if len(due) == 1:
+                    regv[due[0][0]] = due[0][1]
+                else:
+                    seen_regs.clear()
+                    for register, value, fu in due:
+                        prev_fu = seen_regs.get(register)
+                        if prev_fu is not None and prev_fu != fu:
+                            if detect_reg:
+                                raise RegisterConflictError(
+                                    f"cycle {cycle}: FUs {prev_fu} and "
+                                    f"{fu} both write r{register} "
+                                    "(undefined)")
+                            reg_conflicts += 1
+                        seen_regs[register] = fu
+                        regv[register] = value
+                due.clear()
+            if write_latency > 1:
+                inflight.append(inflight.pop(0))
+            if cc_pending:
+                for fu, value in cc_pending:
+                    ccv[fu] = value
+                    ccdef[fu] = True
+                cc_pending.clear()
+            if mem_pending:
+                if shared:
+                    if len(mem_pending) == 1:
+                        mem_data[mem_pending[0][1]] = mem_pending[0][2]
+                    else:
+                        seen_addrs.clear()
+                        for fu, address, value in mem_pending:
+                            prev_fu = seen_addrs.get(address)
+                            if prev_fu is not None:
+                                if detect_mem:
+                                    raise MemoryConflictError(
+                                        f"cycle {cycle}: FUs {prev_fu} "
+                                        f"and {fu} both store to address "
+                                        f"{address} (undefined, "
+                                        "section 2.3)")
+                                mem_conflicts += 1
+                            seen_addrs[address] = fu
+                            mem_data[address] = value
+                else:
+                    for fu, address, value in mem_pending:
+                        banks[fu][address] = value
+                mem_pending.clear()
+            if halted_now:
+                for fu in halted_now:
+                    ss[fu] = halted_done
+                halted_now.clear()
+            cycle += 1
+            cycles_done += 1
+    finally:
+        # --- fold + write back machine state, even on an error ----------
+        stats = machine.stats
+        stats.cycles += cycles_done
+        for fu, address in first_seen:
+            count = visits[fu][address]
+            is_nop, mnemonic, skind, reads, writes, branch = \
+                cols[fu][address][9]
+            if is_nop:
+                stats.nops += count
+            else:
+                stats.data_ops += count
+                per_fu = stats.per_fu_ops
+                per_fu[fu] = per_fu.get(fu, 0) + count
+                per_op = stats.per_opcode
+                per_op[mnemonic] = per_op.get(mnemonic, 0) + count
+                if skind == _S_COMPARE:
+                    stats.compares += count
+                elif skind == _S_LOAD:
+                    stats.loads += count
+                elif skind == _S_STORE:
+                    stats.stores += count
+                reg_reads += reads * count
+                reg_writes += writes * count
+            if branch == _B_UNCOND:
+                stats.branches_unconditional += count
+            elif branch != _B_NONE:
+                stats.branches_conditional += count
+                if branch == _B_SYNC:
+                    stats.branches_sync += count
+        machine.pcs = pcs
+        machine.cycle = cycle
+        machine._prev_ss = tuple(prev_ss)
+        regfile.total_reads += reg_reads
+        regfile.total_writes += reg_writes
+        regfile.conflicts_dropped += reg_conflicts
+        regfile._inflight = inflight
+        memory.loads += mem_loads
+        memory.stores += mem_stores
+        memory.conflicts_dropped += mem_conflicts
+
+    # --- drain the write pipeline (the reference run() epilogue) --------
+    _drain_inflight(regfile, detect_reg, cycle)
+
+
+def _drain_inflight(regfile, detect_reg: bool, cycle: int) -> None:
+    """Retire every in-flight register write, conflict-checked with the
+    reference path's messages (mirrors ``RegisterFile.drain``)."""
+    regv = regfile._values
+    inflight = regfile._inflight
+    for _ in range(regfile.write_latency):
+        due = inflight[0]
+        if due:
+            seen = {}
+            for register, value, fu in due:
+                prev_fu = seen.get(register)
+                if prev_fu is not None and prev_fu != fu:
+                    if detect_reg:
+                        raise RegisterConflictError(
+                            f"cycle {cycle}: FUs {prev_fu} and {fu} "
+                            f"both write r{register} (undefined)")
+                    regfile.conflicts_dropped += 1
+                seen[register] = fu
+                regv[register] = value
+            due.clear()
+        inflight.append(inflight.pop(0))
+
+
+# --- the VLIW fast loop ----------------------------------------------------
+
+def run_vliw_fast(machine, limit: int) -> None:
+    """Run *machine* (an eligible :class:`~.vliw.VliwMachine`) to halt.
+
+    Same contract as :func:`run_ximd_fast`: in-place advance,
+    bit-identical results, identical error behavior.
+    """
+    decoded = machine._decoded
+    if decoded is None:
+        decoded = machine._decoded = decode_vliw_program(
+            machine.program, machine.config)
+    config = machine.config
+    rows = decoded.columns[0]
+    length = decoded.length
+    detect_reg = config.detect_register_conflicts
+
+    regfile = machine.regfile
+    regv = regfile._values
+    write_latency = regfile.write_latency
+    inflight = [list(stage) for stage in regfile._inflight]
+
+    cc = machine.cc
+    ccv = cc._values
+    ccdef = cc._defined
+    cc_pending: List[Tuple[int, bool]] = []
+
+    memory = machine.memory
+    shared = isinstance(memory, SharedMemory)
+    detect_mem = shared and memory.detect_conflicts
+    mem_words = memory.words
+    mem_data = memory._data if shared else None
+    banks = None if shared else memory._banks
+    mem_pending: List[Tuple[int, int, object]] = []
+
+    pc: Optional[int] = machine.pc
+    cycle = machine.cycle
+    cycles_done = 0
+    seen_regs: dict = {}
+    seen_addrs: dict = {}
+    visits = [0] * length
+    first_seen: List[int] = []
+    reg_reads = reg_writes = reg_conflicts = 0
+    mem_loads = mem_stores = mem_conflicts = 0
+
+    try:
+        while pc is not None:
+            if cycle >= limit:
+                raise SimulationLimitError(
+                    f"program did not halt within {limit} cycles")
+            row = rows[pc] if 0 <= pc < length else None
+            if row is None:
+                pc = None
+                break
+            count = visits[pc]
+            visits[pc] = count + 1
+            if not count:
+                first_seen.append(pc)
+            data_slots, ctl, _ = row
+
+            wbuf = inflight[write_latency - 1]
+            for fu, slot in data_slots:
+                dkind = slot[0]
+                if dkind == _D_ARITH:
+                    wbuf.append((
+                        slot[6],
+                        slot[1](regv[slot[2]] if slot[3] else slot[2],
+                                regv[slot[4]] if slot[5] else slot[4]),
+                        fu))
+                elif dkind == _D_COMPARE:
+                    cc_pending.append((fu, bool(
+                        slot[1](regv[slot[2]] if slot[3] else slot[2],
+                                regv[slot[4]] if slot[5] else slot[4]))))
+                elif dkind == _D_LOAD:
+                    address = (int(regv[slot[2]] if slot[3] else slot[2])
+                               + int(regv[slot[4]] if slot[5] else slot[4]))
+                    if not 0 <= address < mem_words:
+                        raise MemoryError_(
+                            f"address {address} out of range "
+                            f"[0, {mem_words})"
+                            if shared else
+                            f"address {address!r} out of bank range "
+                            f"[0, {mem_words})")
+                    mem_loads += 1
+                    bank = mem_data if shared else banks[fu]
+                    wbuf.append((slot[6], bank.get(address, 0), fu))
+                else:  # _D_STORE
+                    value = regv[slot[2]] if slot[3] else slot[2]
+                    address = int(regv[slot[4]] if slot[5] else slot[4])
+                    if not 0 <= address < mem_words:
+                        raise MemoryError_(
+                            f"address {address} out of range "
+                            f"[0, {mem_words})"
+                            if shared else
+                            f"address {address!r} out of bank range "
+                            f"[0, {mem_words})")
+                    mem_stores += 1
+                    mem_pending.append((fu, address, value))
+
+            if ctl is None:
+                next_pc: Optional[int] = None
+            else:
+                ckind = ctl[0]
+                if ckind == _C_ALWAYS:
+                    taken = True
+                elif ckind == _C_CC:
+                    taken = ccv[ctl[3]]
+                elif ckind == _C_RAISE:
+                    raise MachineError(ctl[4])
+                else:  # pragma: no cover - sync lowers to _C_RAISE
+                    raise MachineError("sync condition on a VLIW machine")
+                next_pc = ctl[1] if taken else ctl[2]
+
+            # --- commit -------------------------------------------------
+            due = inflight[0]
+            if due:
+                if len(due) == 1:
+                    regv[due[0][0]] = due[0][1]
+                else:
+                    seen_regs.clear()
+                    for register, value, fu in due:
+                        prev_fu = seen_regs.get(register)
+                        if prev_fu is not None and prev_fu != fu:
+                            if detect_reg:
+                                raise RegisterConflictError(
+                                    f"cycle {cycle}: FUs {prev_fu} and "
+                                    f"{fu} both write r{register} "
+                                    "(undefined)")
+                            reg_conflicts += 1
+                        seen_regs[register] = fu
+                        regv[register] = value
+                due.clear()
+            if write_latency > 1:
+                inflight.append(inflight.pop(0))
+            if cc_pending:
+                for fu, value in cc_pending:
+                    ccv[fu] = value
+                    ccdef[fu] = True
+                cc_pending.clear()
+            if mem_pending:
+                if shared:
+                    if len(mem_pending) == 1:
+                        mem_data[mem_pending[0][1]] = mem_pending[0][2]
+                    else:
+                        seen_addrs.clear()
+                        for fu, address, value in mem_pending:
+                            prev_fu = seen_addrs.get(address)
+                            if prev_fu is not None:
+                                if detect_mem:
+                                    raise MemoryConflictError(
+                                        f"cycle {cycle}: FUs {prev_fu} "
+                                        f"and {fu} both store to address "
+                                        f"{address} (undefined, "
+                                        "section 2.3)")
+                                mem_conflicts += 1
+                            seen_addrs[address] = fu
+                            mem_data[address] = value
+                else:
+                    for fu, address, value in mem_pending:
+                        banks[fu][address] = value
+                mem_pending.clear()
+            pc = next_pc
+            cycle += 1
+            cycles_done += 1
+    finally:
+        stats = machine.stats
+        stats.cycles += cycles_done
+        for address in first_seen:
+            count = visits[address]
+            for fu, fold in rows[address][2]:
+                is_nop, mnemonic, skind, reads, writes, branch = fold
+                if is_nop:
+                    stats.nops += count
+                else:
+                    stats.data_ops += count
+                    per_fu = stats.per_fu_ops
+                    per_fu[fu] = per_fu.get(fu, 0) + count
+                    per_op = stats.per_opcode
+                    per_op[mnemonic] = per_op.get(mnemonic, 0) + count
+                    if skind == _S_COMPARE:
+                        stats.compares += count
+                    elif skind == _S_LOAD:
+                        stats.loads += count
+                    elif skind == _S_STORE:
+                        stats.stores += count
+                    reg_reads += reads * count
+                    reg_writes += writes * count
+                if branch == _B_UNCOND:
+                    stats.branches_unconditional += count
+                elif branch != _B_NONE:
+                    stats.branches_conditional += count
+        machine.pc = pc
+        machine.cycle = cycle
+        regfile.total_reads += reg_reads
+        regfile.total_writes += reg_writes
+        regfile.conflicts_dropped += reg_conflicts
+        regfile._inflight = inflight
+        memory.loads += mem_loads
+        memory.stores += mem_stores
+        memory.conflicts_dropped += mem_conflicts
+
+    _drain_inflight(regfile, detect_reg, cycle)

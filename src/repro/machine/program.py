@@ -44,8 +44,17 @@ class Program:
         if not self.columns:
             raise ProgramError("program must have at least one column")
         length = max(len(col) for col in self.columns)
-        for col in self.columns:
-            col.extend([None] * (length - len(col)))
+        # Copy the columns rather than padding the caller's lists in
+        # place: callers may reuse (or share) the list objects they
+        # passed in, and mutating them aliases every such use.
+        self.columns = [
+            list(col) + [None] * (length - len(col))
+            for col in self.columns
+        ]
+        # label_at reverse index, built lazily (labels may be filled in
+        # after construction by the assembler).
+        self._address_labels: Optional[Dict[int, str]] = None
+        self._address_labels_size = -1
 
     @property
     def width(self) -> int:
@@ -66,11 +75,22 @@ class Program:
         return self.columns[fu][address]
 
     def label_at(self, address: int) -> Optional[str]:
-        """A label bound to *address*, if any (first match wins)."""
-        for name, addr in self.labels.items():
-            if addr == address:
-                return name
-        return None
+        """A label bound to *address*, if any (first match wins).
+
+        Backed by a lazily-built reverse index — this runs once per
+        trace row per cycle, and the linear scan it replaced dominated
+        symbolic-trace rendering.  The index keeps the *first* label
+        bound to each address (dict iteration order), matching the
+        original scan, and is rebuilt if labels are added later.
+        """
+        index = self._address_labels
+        if index is None or self._address_labels_size != len(self.labels):
+            index = {}
+            for name, addr in self.labels.items():
+                index.setdefault(addr, name)
+            self._address_labels = index
+            self._address_labels_size = len(self.labels)
+        return index.get(address)
 
     def address_of(self, label: str) -> int:
         """Resolve *label* to its address."""

@@ -29,6 +29,7 @@ from .condition import ConditionCodes, evaluate_condition
 from .config import MachineConfig, MemoryStyle, research_config
 from .datapath import DatapathStats, execute_data_op
 from .devices import DeviceMap
+from .engine import fast_path_blockers, run_vliw_fast
 from .errors import MachineError, ProgramError, SimulationLimitError
 from .memory import DistributedMemory, SharedMemory
 from .program import Program
@@ -81,6 +82,10 @@ class VliwMachine:
         self.stats = DatapathStats()
         self.trace: Optional[AddressTrace] = (
             AddressTrace(self.config.n_fus) if trace else None)
+        #: pre-decoded program for the fast engine (built lazily, cached).
+        self._decoded = None
+        #: which execution path the last run() took ("fast"/"reference").
+        self.engine_used: Optional[str] = None
 
     @property
     def halted(self) -> bool:
@@ -185,9 +190,36 @@ class VliwMachine:
         self.cycle += 1
         self.stats.cycles += 1
 
-    def run(self, max_cycles: Optional[int] = None) -> ExecutionResult:
-        """Run until the machine halts (or the watchdog trips)."""
+    def run(self, max_cycles: Optional[int] = None,
+            engine: str = "auto") -> ExecutionResult:
+        """Run until the machine halts (or the watchdog trips).
+
+        *engine* works as in :meth:`XimdMachine.run`: ``"auto"`` takes
+        the fast path when eligible, ``"reference"`` forces the
+        :meth:`step` loop, ``"fast"`` raises :class:`MachineError` when
+        the fast path is unavailable.
+        """
         limit = max_cycles if max_cycles is not None else self.config.max_cycles
+        if engine not in ("auto", "fast", "reference"):
+            raise ValueError(f"unknown engine: {engine!r}")
+        if engine != "reference":
+            blockers = fast_path_blockers(self)
+            if not blockers:
+                self.engine_used = "fast"
+                run_vliw_fast(self, limit)
+                final = tuple([None] * self.config.n_fus)
+                return ExecutionResult(
+                    cycles=self.cycle,
+                    halted=True,
+                    registers=self.regfile.snapshot(),
+                    stats=self.stats,
+                    trace=self.trace,
+                    final_pcs=final,
+                )
+            if engine == "fast":
+                raise MachineError(
+                    "fast engine unavailable: " + "; ".join(blockers))
+        self.engine_used = "reference"
         obs_on = self.obs.enabled
         wall_start = time.perf_counter() if obs_on else 0.0
         while not self.halted:

@@ -41,7 +41,8 @@ from .condition import ConditionCodes, evaluate_condition, sync_done_vector
 from .config import MachineConfig, MemoryStyle, research_config
 from .datapath import DatapathStats, execute_data_op
 from .devices import DeviceMap
-from .errors import ProgramError, SimulationLimitError
+from .engine import fast_path_blockers, run_ximd_fast
+from .errors import MachineError, ProgramError, SimulationLimitError
 from .memory import DistributedMemory, SharedMemory
 from .partition import (
     AdaptiveSSETTracker,
@@ -124,6 +125,11 @@ class XimdMachine:
         self.trace: Optional[AddressTrace] = (
             AddressTrace(self.config.n_fus) if trace else None)
         self.tracker = self._make_tracker(tracker)
+        #: pre-decoded program for the fast engine (built lazily, cached;
+        #: programs are immutable once assembled).
+        self._decoded = None
+        #: which execution path the last run() took ("fast"/"reference").
+        self.engine_used: Optional[str] = None
         #: last partition emitted, for fork/join change events.
         self._last_partition: Optional[object] = None
         # Previous cycle's sync vector, for the registered-SS variant.
@@ -294,9 +300,38 @@ class XimdMachine:
         """PCs with halted FUs frozen at -1 (for the trackers)."""
         return [pc if pc is not None else -1 for pc in self.pcs]
 
-    def run(self, max_cycles: Optional[int] = None) -> ExecutionResult:
-        """Run until every FU halts (or the watchdog trips)."""
+    def run(self, max_cycles: Optional[int] = None,
+            engine: str = "auto") -> ExecutionResult:
+        """Run until every FU halts (or the watchdog trips).
+
+        *engine* selects the execution path: ``"auto"`` (default) takes
+        the pre-decoded fast path when no observability feature needs
+        the reference path, ``"reference"`` forces the cycle-by-cycle
+        :meth:`step` loop, ``"fast"`` demands the fast path and raises
+        :class:`MachineError` when it is unavailable.  Both paths
+        produce bit-identical results; :attr:`engine_used` records
+        which one ran.
+        """
         limit = max_cycles if max_cycles is not None else self.config.max_cycles
+        if engine not in ("auto", "fast", "reference"):
+            raise ValueError(f"unknown engine: {engine!r}")
+        if engine != "reference":
+            blockers = fast_path_blockers(self)
+            if not blockers:
+                self.engine_used = "fast"
+                run_ximd_fast(self, limit)
+                return ExecutionResult(
+                    cycles=self.cycle,
+                    halted=True,
+                    registers=self.regfile.snapshot(),
+                    stats=self.stats,
+                    trace=self.trace,
+                    final_pcs=tuple(self.pcs),
+                )
+            if engine == "fast":
+                raise MachineError(
+                    "fast engine unavailable: " + "; ".join(blockers))
+        self.engine_used = "reference"
         obs_on = self.obs.enabled
         wall_start = time.perf_counter() if obs_on else 0.0
         while not self.halted:

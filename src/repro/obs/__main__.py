@@ -15,6 +15,10 @@ Differential-analysis commands:
 * ``gate --baseline S.json`` — the CI perf-regression gate: compare a
   candidate summary (or the latest ``BENCH_HISTORY.jsonl`` record)
   against a committed baseline;
+* ``gate --calibrate`` — derive per-metric tolerances from the variance
+  observed across the history ledger and rewrite the tolerance table
+  (``benchmarks/tolerances.json``), max-merging with any hand-set
+  allowances already in the file;
 * ``history`` — render the benchmark-history trend table;
 * ``html`` — export the offline HTML dashboard.
 
@@ -96,7 +100,64 @@ def _cmd_diff(args) -> int:
     return 0
 
 
+def _cmd_gate_calibrate(args) -> int:
+    """Rewrite the tolerance table from history-ledger variance.
+
+    Hand-set allowances in the existing table are floors, not stale
+    data: the rewrite max-merges them with the calibrated values (and
+    keeps the table's description) unless ``--calibrate-fresh`` asks
+    for a purely variance-derived table.
+    """
+    import pathlib
+
+    from .history import calibrate_tolerances
+
+    records = read_history(args.history)
+    if len(records) < 2:
+        print(f"error: calibration needs at least 2 history records; "
+              f"{args.history} has {len(records)}", file=sys.stderr)
+        return 1
+    out = pathlib.Path(args.calibrate_output)
+    previous = {}
+    if out.exists() and not args.calibrate_fresh:
+        try:
+            previous = json.loads(out.read_text(encoding="utf-8"))
+        except ValueError as exc:
+            print(f"error: existing {out} is not valid JSON ({exc})",
+                  file=sys.stderr)
+            return 1
+        if not isinstance(previous, dict):
+            previous = {}
+    table = calibrate_tolerances(records, margin=args.calibrate_margin,
+                                 description=previous.get("description"))
+    if isinstance(previous.get("metrics"), dict):
+        merged = dict(table["metrics"])
+        for leaf, value in previous["metrics"].items():
+            if isinstance(value, (int, float)) and not isinstance(
+                    value, bool):
+                merged[leaf] = max(float(value), merged.get(leaf, 0.0))
+        table["metrics"] = {leaf: merged[leaf] for leaf in sorted(merged)}
+        table["abs_tolerance"] = max(
+            table["abs_tolerance"],
+            float(previous.get("abs_tolerance") or 0.0))
+        table["default_tolerance"] = float(
+            previous.get("default_tolerance") or 0.0)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(table, indent=2) + "\n", encoding="utf-8")
+    print(f"calibrated {out} from {len(records)} history records "
+          f"(margin {args.calibrate_margin:g}x): "
+          f"{len(table['metrics'])} per-metric allowance(s), "
+          f"abs floor {table['abs_tolerance']:g}")
+    return 0
+
+
 def _cmd_gate(args) -> int:
+    if args.calibrate:
+        return _cmd_gate_calibrate(args)
+    if not args.baseline:
+        print("error: --baseline is required (or pass --calibrate)",
+              file=sys.stderr)
+        return 1
     if args.candidate:
         candidate = load_artifact(args.candidate)
         candidate_label = args.candidate
@@ -240,8 +301,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     gate = sub.add_parser(
         "gate", help="CI perf-regression gate against a baseline summary")
-    gate.add_argument("--baseline", required=True,
-                      help="committed baseline (BENCH_SUMMARY.json)")
+    gate.add_argument("--baseline", default=None,
+                      help="committed baseline (BENCH_SUMMARY.json); "
+                           "required unless --calibrate")
     gate.add_argument("--candidate", default=None,
                       help="candidate summary JSON (default: latest "
                            "history record)")
@@ -261,6 +323,20 @@ def build_parser() -> argparse.ArgumentParser:
                            "benchmarks/tolerances.json)")
     gate.add_argument("--allow-new", action="store_true",
                       help="tolerate added/removed workloads")
+    gate.add_argument("--calibrate", action="store_true",
+                      help="instead of gating, derive per-metric "
+                           "tolerances from history-ledger variance and "
+                           "rewrite the tolerance table")
+    gate.add_argument("--calibrate-output",
+                      default="benchmarks/tolerances.json",
+                      help="tolerance table to rewrite (default: "
+                           "benchmarks/tolerances.json)")
+    gate.add_argument("--calibrate-margin", type=float, default=2.0,
+                      help="safety multiplier on the observed spread "
+                           "(default: 2.0)")
+    gate.add_argument("--calibrate-fresh", action="store_true",
+                      help="discard the existing table's hand-set "
+                           "allowances instead of max-merging them")
     gate.set_defaults(func=_cmd_gate)
 
     history = sub.add_parser(
@@ -271,9 +347,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="dump raw records instead of the table")
     history.add_argument("--metrics", nargs="+",
                          default=["speedup", "ximd_cycles",
-                                  "ximd_energy_pj"],
+                                  "ximd_energy_pj",
+                                  "fast_kcycles_per_sec"],
                          help="metrics to trend (default: speedup "
-                              "ximd_cycles ximd_energy_pj)")
+                              "ximd_cycles ximd_energy_pj "
+                              "fast_kcycles_per_sec)")
     history.set_defaults(func=_cmd_history)
 
     html = sub.add_parser(

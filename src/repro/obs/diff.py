@@ -35,7 +35,7 @@ LOWER_IS_BETTER = (
 
 #: Metric-name markers whose *decrease* is a regression.
 HIGHER_IS_BETTER = ("speedup", "utilization", "occupancy", "mips",
-                    "mflops")
+                    "mflops", "per_sec", "throughput")
 
 #: Path-component markers for wall-clock measurements (warn-only).
 TIMING_MARKERS = ("timing", "seconds", "wall")
@@ -66,11 +66,13 @@ def metric_direction(path: str) -> str:
     ``workloads.minmax.ximd_cycles`` is judged by ``ximd_cycles``;
     markers match whole ``_``-separated tokens (``cycle_time_ns`` is
     judged by the ``cycle_time`` marker, never by ``cycles``).
-    Wall-clock (timing) paths are always lower-is-better — more seconds
-    is worse — though they never block (see :class:`DiffResult`).
+    The leaf markers are consulted *before* the timing fallback so a
+    throughput rate quarantined under ``timing`` (host kcycles/sec is
+    wall-clock-derived) still reads higher-is-better; unrecognized
+    leaves on a timing path default to lower-is-better — more seconds
+    is worse.  Timing paths never block either way (see
+    :class:`DiffResult`).
     """
-    if is_timing_path(path):
-        return "lower"
     leaf = path.rsplit(".", 1)[-1]
     for marker in HIGHER_IS_BETTER:
         if _marker_matches(marker, leaf):
@@ -78,6 +80,8 @@ def metric_direction(path: str) -> str:
     for marker in LOWER_IS_BETTER:
         if _marker_matches(marker, leaf):
             return "lower"
+    if is_timing_path(path):
+        return "lower"
     return "neutral"
 
 

@@ -2,19 +2,26 @@
 
 Each speedup-suite run appends one schema-versioned record — the git
 SHA it ran at (passed in, never shelled out) plus the benchmark
-sections — so the repo carries its own performance trajectory.  Records
-deliberately contain **no wall-clock fields**: two runs of the same
-tree at the same SHA produce byte-identical records, which both keeps
-the ledger diffable and lets :func:`append_record` skip exact
-duplicates instead of growing the file on every local rerun.
+sections — so the repo carries its own performance trajectory.  The
+``sections`` payload deliberately contains **no wall-clock fields**:
+two runs of the same tree at the same SHA produce an identical
+deterministic core, which both keeps the ledger diffable and lets
+:func:`append_record` skip duplicates instead of growing the file on
+every local rerun.  Wall-clock measurements (host throughput, E14) ride
+along under a separate top-level ``timing`` key that is **excluded from
+the dedupe identity**: a rerun whose deterministic sections are
+unchanged never grows the ledger, however much its wall times wobble.
 
 The CI perf gate consumes the latest record (``latest_record``); the
-trend renderer (``render_trend``) summarizes the whole trajectory.
+trend renderer (``render_trend``) summarizes the whole trajectory; and
+:func:`calibrate_tolerances` derives a per-metric tolerance table from
+the observed variance across the ledger.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -28,8 +35,15 @@ _SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
 
 def make_record(sections: Dict[str, dict],
                 git_sha: str = "local",
-                label: Optional[str] = None) -> dict:
-    """Build one deterministic, schema-versioned history record."""
+                label: Optional[str] = None,
+                timing: Optional[Dict[str, dict]] = None) -> dict:
+    """Build one schema-versioned history record.
+
+    *sections* must be deterministic (simulated cycles, energy, static
+    sizes); wall-clock measurements go in *timing*, which is stored
+    under a separate top-level key so :func:`append_record` can ignore
+    it when deciding whether a record duplicates an earlier run.
+    """
     clean_sections = {
         section: {name: dict(payload) for name, payload
                   in sorted(entries.items())}
@@ -44,6 +58,11 @@ def make_record(sections: Dict[str, dict],
     }
     if label:
         record["label"] = label
+    if timing:
+        record["timing"] = {
+            name: dict(payload) for name, payload in sorted(timing.items())
+            if isinstance(payload, dict)
+        }
     return record
 
 
@@ -51,26 +70,40 @@ def _dump(record: dict) -> str:
     return json.dumps(record, sort_keys=True, separators=(",", ":"))
 
 
+def _identity(record: dict) -> str:
+    """The dedupe identity: the canonical dump minus wall-clock keys."""
+    return _dump({key: value for key, value in record.items()
+                  if key != "timing"})
+
+
 def append_record(path: Union[str, pathlib.Path], record: dict,
                   dedupe: bool = True) -> bool:
     """Append *record* to the ledger; returns False on a skipped dupe.
 
-    With *dedupe* (the default) an append is skipped when a
-    byte-identical record appears *anywhere* in the ledger — records
-    are canonical dumps, so line identity is content identity.
-    Checking only the final line would re-append a record whenever an
-    older SHA is replayed after a newer one landed; reruns of any
-    already-recorded tree must not grow the file.
+    With *dedupe* (the default) an append is skipped when a record with
+    the same deterministic content — everything except the wall-clock
+    ``timing`` key — appears *anywhere* in the ledger.  Checking only
+    the final line would re-append a record whenever an older SHA is
+    replayed after a newer one landed; reruns of any already-recorded
+    tree must not grow the file, and nondeterministic wall times must
+    not defeat that.
     """
     check_artifact(record, "history record")
     path = pathlib.Path(path)
-    line = _dump(record)
+    identity = _identity(record)
     if dedupe and path.exists():
-        existing = path.read_text(encoding="utf-8")
-        if line in (seen.strip() for seen in existing.splitlines()):
-            return False
+        for seen in path.read_text(encoding="utf-8").splitlines():
+            seen = seen.strip()
+            if not seen:
+                continue
+            try:
+                previous = json.loads(seen)
+            except json.JSONDecodeError:
+                continue  # malformed line cannot be a duplicate
+            if isinstance(previous, dict) and _identity(previous) == identity:
+                return False
     with open(path, "a", encoding="utf-8") as stream:
-        stream.write(line + "\n")
+        stream.write(_dump(record) + "\n")
     return True
 
 
@@ -105,12 +138,27 @@ def latest_record(path: Union[str, pathlib.Path]) -> dict:
     return records[-1]
 
 
+def record_sections(record: dict) -> Dict[str, dict]:
+    """A record's sections with ``timing`` folded in as a pseudo-section.
+
+    Trend/series consumers address wall-clock throughput the same way
+    as deterministic sections (``series(records, "timing", entry,
+    metric)``) even though the record stores it under a separate
+    top-level key for dedupe purposes.
+    """
+    sections = dict(record.get("sections", {}))
+    timing = record.get("timing")
+    if isinstance(timing, dict):
+        sections["timing"] = timing
+    return sections
+
+
 def series(records: Sequence[dict], section: str,
            entry: str, metric: str) -> List[Optional[float]]:
     """One metric's value per record (None where absent)."""
     out: List[Optional[float]] = []
     for record in records:
-        value = (record.get("sections", {})
+        value = (record_sections(record)
                  .get(section, {})
                  .get(entry, {})
                  .get(metric))
@@ -149,7 +197,7 @@ def trend_rows(records: Sequence[dict],
     keys = sorted({
         (section, entry)
         for record in records
-        for section, entries in record.get("sections", {}).items()
+        for section, entries in record_sections(record).items()
         if isinstance(entries, dict)
         for entry in entries
     })
@@ -199,3 +247,68 @@ def render_trend(records: Sequence[dict],
             f"{first:>10.4g} {last:>10.4g} {change:>+8.1%}  "
             f"|{row['spark']}|")
     return "\n".join(lines)
+
+
+def calibrate_tolerances(records: Sequence[dict],
+                         margin: float = 2.0,
+                         description: Optional[str] = None) -> dict:
+    """Derive a ``tolerance_table`` artifact from ledger variance.
+
+    For every deterministic metric path that appears in at least two
+    records, the observed relative spread — the largest
+    ``|value - mean| / |mean|`` across the ledger — is taken as that
+    metric's natural run-to-run variability; multiplied by *margin* it
+    becomes the calibrated relative tolerance for the metric's path
+    leaf (tolerance tables key on leaves, so the spread is maximized
+    over every path sharing the leaf).  Metrics that never vary get no
+    entry — the gate's zero default keeps them exact.  Paths whose mean
+    is zero cannot express a relative spread; their largest absolute
+    deviation (times *margin*) feeds the table's ``abs_tolerance``
+    floor instead.  Wall-clock (timing) paths are excluded: the gate
+    never blocks on them.
+
+    Values are rounded *up* to 3 decimals so the emitted table is
+    stable and the calibrated allowance never undercuts the spread it
+    was derived from.
+    """
+    from .diff import flatten_numeric, is_timing_path
+
+    if margin <= 0:
+        raise ValueError("margin must be positive")
+    values_by_path: Dict[str, List[float]] = {}
+    for record in records:
+        flat = flatten_numeric({"sections": record.get("sections", {})})
+        for path, value in flat.items():
+            if is_timing_path(path):
+                continue
+            values_by_path.setdefault(path, []).append(float(value))
+
+    def _ceil3(value: float) -> float:
+        return math.ceil(value * 1000 - 1e-9) / 1000
+
+    metrics: Dict[str, float] = {}
+    abs_floor = 0.0
+    for path, values in values_by_path.items():
+        if len(values) < 2:
+            continue
+        mean = sum(values) / len(values)
+        spread = max(abs(value - mean) for value in values)
+        if spread == 0:
+            continue
+        leaf = path.rsplit(".", 1)[-1]
+        if mean == 0:
+            abs_floor = max(abs_floor, _ceil3(spread * margin))
+            continue
+        tolerance = _ceil3(spread / abs(mean) * margin)
+        metrics[leaf] = max(metrics.get(leaf, 0.0), tolerance)
+
+    table = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "tolerance_table",
+        "default_tolerance": 0.0,
+        "abs_tolerance": abs_floor,
+        "metrics": {leaf: metrics[leaf] for leaf in sorted(metrics)},
+    }
+    if description:
+        table["description"] = description
+    return table

@@ -16,6 +16,7 @@ import pathlib
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .events import FU_CLASS_ORDER
+from .history import record_sections
 from .history import series as history_series
 
 #: Heatmap/timeline colors per cycle class (colorblind-safe-ish).
@@ -268,7 +269,7 @@ def _history_svg(records: Sequence[dict], metric: str = "speedup",
     keys = sorted({
         (section, entry)
         for record in records
-        for section, entries in record.get("sections", {}).items()
+        for section, entries in record_sections(record).items()
         if isinstance(entries, dict)
         for entry in entries
     })
@@ -348,6 +349,13 @@ def render_dashboard(report: dict,
     if history:
         sections.append("<h2>Benchmark history</h2>")
         sections.append(_history_svg(list(history)))
+        throughput = _history_svg(list(history),
+                                  metric="fast_kcycles_per_sec")
+        if throughput:
+            sections.append(
+                "<h2>Host throughput (E14, fast engine, wall clock "
+                "— warn-only)</h2>")
+            sections.append(throughput)
     sections.append(
         "<footer>generated offline by <code>python -m repro.obs html"
         "</code> — no external resources.</footer>")

@@ -10,6 +10,11 @@ seeded randomness so every benchmark run is reproducible:
 * :func:`branchy_loop_sources` — N independent data-dependent loops
   (BITCOUNT-like): the XIMD version runs one loop per FU group with a
   barrier join; the VLIW version runs them back to back.
+* :func:`longrunner_program` / :func:`longrunner_vliw_program` — the
+  E14 host-throughput workload: a tight counted loop on every FU that
+  keeps the machine busy for hundreds of thousands of cycles with a
+  realistic arith/load/store/compare mix, built directly from parcels
+  so no compiler pass shapes the timing.
 """
 
 from __future__ import annotations
@@ -17,7 +22,16 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Sequence, Tuple
 
-from ..isa import wrap_int
+from ..isa import (
+    Condition,
+    Const,
+    ControlOp,
+    DataOp,
+    Parcel,
+    Reg,
+    wrap_int,
+)
+from ..isa.opcodes import OPCODES
 
 _BINOPS = ("+", "-", "*", "&", "|", "^")
 
@@ -149,3 +163,103 @@ def random_ints(count: int, seed: int, lo: int = -1000,
     """1-indexed random signed ints (slot 0 unused), reproducible."""
     rng = random.Random(seed)
     return [0] + [rng.randrange(lo, hi) for _ in range(count)]
+
+
+def _longrunner_regs(fu: int) -> Tuple[Reg, Reg, Reg]:
+    """(accumulator, limit, scratch) registers for one long-runner FU."""
+    return Reg(fu * 3), Reg(fu * 3 + 1), Reg(fu * 3 + 2)
+
+
+def longrunner_program(n_fus: int = 8, iterations: int = 20_000,
+                       mem_base: int = 0):
+    """The E14 synthetic long-runner (XIMD form).
+
+    Every FU runs an independent 3-slot counted loop — increment, one
+    varied data op (arith / load / store round-robin by FU), compare —
+    exiting when its accumulator reaches *iterations*.  The compare's
+    result commits at end of cycle, so the exit test observes the
+    previous iteration's compare and each FU runs one trailing lap:
+    exactly ``3 * (iterations + 1)`` cycles.  All FUs run in lockstep,
+    so that is also the machine's cycle count.  Returns ``(program,
+    registers)`` where *registers* is the ``regfile.poke``
+    initialization mapping.
+
+    This is deliberately built from raw parcels: no compiler pass or
+    assembler layout choice can drift and silently change what the
+    host-throughput benchmark measures.
+    """
+    from ..machine.program import Program
+
+    iadd = OPCODES["iadd"]
+    ige = OPCODES["ge"]
+    load = OPCODES["load"]
+    store = OPCODES["store"]
+    columns = []
+    registers: Dict[int, int] = {}
+    for fu in range(n_fus):
+        acc, lim, scratch = _longrunner_regs(fu)
+        registers[lim.index] = iterations
+        style = fu % 3
+        if style == 1:
+            varied = DataOp(load, Const(mem_base + fu), Const(0), scratch)
+        elif style == 2:
+            varied = DataOp(store, acc, Const(mem_base + fu))
+        else:
+            varied = DataOp(iadd, acc, acc, scratch)
+        columns.append([
+            Parcel(DataOp(iadd, acc, Const(1), acc),
+                   ControlOp(Condition.ALWAYS_T1, 1)),
+            Parcel(varied, ControlOp(Condition.ALWAYS_T1, 2)),
+            # CC commits end-of-cycle: the exit branch sees the previous
+            # iteration's compare, costing one extra (harmless) lap.
+            Parcel(DataOp(ige, acc, lim),
+                   ControlOp(Condition.CC_TRUE, 3, 0, index=fu)),
+            None,
+        ])
+    return Program(columns), registers
+
+
+def longrunner_vliw_program(n_fus: int = 8, iterations: int = 20_000,
+                            mem_base: int = 0):
+    """The E14 long-runner in VLIW form (single control stream).
+
+    Same 3-row loop shape and data-op mix as :func:`longrunner_program`,
+    but the loop control lives on FU0 alone and the exit compare tests
+    FU0's accumulator — the other FUs are pure data-path passengers, as
+    VLIW semantics require.  Returns ``(program, registers)``.
+    """
+    from ..machine.program import Program
+
+    iadd = OPCODES["iadd"]
+    ige = OPCODES["ge"]
+    load = OPCODES["load"]
+    store = OPCODES["store"]
+    columns: List[List] = [[] for _ in range(n_fus)]
+    registers: Dict[int, int] = {}
+    for fu in range(n_fus):
+        acc, lim, scratch = _longrunner_regs(fu)
+        registers[lim.index] = iterations
+        style = fu % 3
+        if style == 1:
+            varied = DataOp(load, Const(mem_base + fu), Const(0), scratch)
+        elif style == 2:
+            varied = DataOp(store, acc, Const(mem_base + fu))
+        else:
+            varied = DataOp(iadd, acc, acc, scratch)
+        acc0, lim0, _ = _longrunner_regs(0)
+        rows = [
+            DataOp(iadd, acc, Const(1), acc),
+            varied,
+            DataOp(ige, acc0, lim0) if fu == 0 else DataOp(iadd, acc,
+                                                           Const(0), acc),
+        ]
+        controls = [
+            ControlOp(Condition.ALWAYS_T1, 1),
+            ControlOp(Condition.ALWAYS_T1, 2),
+            ControlOp(Condition.CC_TRUE, 3, 0, index=0),
+        ]
+        for row, data in enumerate(rows):
+            columns[fu].append(Parcel(
+                data, controls[row] if fu == 0 else None))
+        columns[fu].append(None)
+    return Program(columns), registers

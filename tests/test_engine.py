@@ -1,0 +1,507 @@
+"""Differential tests for the pre-decoded fast engine.
+
+The fast engine (``repro.machine.engine``) promises *bit-identical*
+committed state to the reference ``step()`` interpreter: cycle counts,
+registers, final PCs, every stats field — including the chronological
+insertion order of the ``per_opcode``/``per_fu_ops`` dicts, whose
+iteration order feeds energy reports summed under a zero-tolerance CI
+gate — plus condition codes, memory contents, port counters, and the
+registered sync vector.  These tests enforce that contract on the
+paper's workloads, on the prototype-config variants, on randomized
+programs spanning the whole ISA, and on the documented fallback rules
+(observer / trace / tracker / devices / port caps force the reference
+path).
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble
+from repro.isa import (
+    Condition,
+    Const,
+    ControlOp,
+    DataOp,
+    Parcel,
+    Reg,
+    SyncValue,
+)
+from repro.isa.opcodes import ALL_MNEMONICS, OPCODES
+from repro.machine import (
+    MachineError,
+    Program,
+    TrackerKind,
+    VliwMachine,
+    XimdMachine,
+    fast_path_blockers,
+    fast_path_eligible,
+    prototype_config,
+    research_config,
+)
+from repro.obs import Observer
+from repro.workloads import (
+    BITCOUNT_REGS,
+    LL12_REGS,
+    MINMAX_REGS,
+    TPROC_REGS,
+    bitcount_memory,
+    bitcount_total_source,
+    bitcount_vliw_source,
+    livermore12_memory,
+    livermore12_source,
+    longrunner_program,
+    longrunner_vliw_program,
+    make_devices,
+    minmax_memory,
+    minmax_source,
+    minmax_vliw_source,
+    random_ints,
+    random_words,
+    tproc_source,
+)
+
+# ---------------------------------------------------------------------------
+# differential harness
+
+
+def _fresh(cls, source, regs=None, mem=None, config=None, **kwargs):
+    program = assemble(source) if isinstance(source, str) else source
+    machine = cls(program, config=config, **kwargs)
+    for index, value in (regs or {}).items():
+        machine.regfile.poke(index, value)
+    for address, value in (mem or {}).items():
+        machine.memory.poke(address, value)
+    return machine
+
+
+def _result_fingerprint(result):
+    return (
+        result.cycles,
+        result.halted,
+        tuple(result.registers),
+        tuple(result.final_pcs),
+        dataclasses.asdict(result.stats),
+        tuple(result.stats.per_opcode.items()),
+        tuple(result.stats.per_fu_ops.items()),
+    )
+
+
+def _machine_fingerprint(machine):
+    """Committed machine state beyond what ExecutionResult carries."""
+    memory = machine.memory
+    mem_words = (memory._data if hasattr(memory, "_data")
+                 else memory._banks)
+    return (
+        tuple(machine.cc._values),
+        tuple(machine.cc._defined),
+        mem_words,
+        memory.loads,
+        memory.stores,
+        memory.conflicts_dropped,
+        machine.regfile.total_reads,
+        machine.regfile.total_writes,
+        machine.regfile.conflicts_dropped,
+        getattr(machine, "_prev_ss", None),
+    )
+
+
+def _run(make, engine, limit):
+    """(machine, result-or-None, error-or-None) for one engine.
+
+    Besides :class:`MachineError`, the datapath lets Python numeric
+    errors escape (``int(inf)``, float NaN conversions); the contract
+    is that both engines raise the identical exception.
+    """
+    machine = make()
+    try:
+        result = machine.run(limit, engine=engine)
+    except (MachineError, ArithmeticError, ValueError) as exc:
+        return machine, None, (type(exc).__name__, str(exc))
+    assert machine.engine_used == engine
+    return machine, result, None
+
+
+def assert_identical(make, limit=5_000_000):
+    """Run *make()* under both engines; demand bit-identical outcomes.
+
+    Successful runs must match on every committed observable.  Runs
+    that raise must raise the same exception type and message under
+    both engines; post-exception aggregate state is documented as
+    unspecified and is not compared.
+    """
+    ref_machine, ref, ref_err = _run(make, "reference", limit)
+    fast_machine, fast, fast_err = _run(make, "fast", limit)
+    assert fast_err == ref_err
+    if ref_err is None:
+        assert _result_fingerprint(fast) == _result_fingerprint(ref)
+        assert (_machine_fingerprint(fast_machine)
+                == _machine_fingerprint(ref_machine))
+
+
+# ---------------------------------------------------------------------------
+# the paper's workloads, both machines
+
+_MM_DATA = random_ints(64, seed=3)[1:]
+_BC_DATA = random_words(48, seed=4)
+_LL12_Y = random_ints(101, seed=5)
+_TPROC_REGS = {TPROC_REGS[n]: v for n, v in zip("abcd", (5, 6, 7, 8))}
+
+PAPER_WORKLOADS = {
+    "minmax-ximd": lambda config=None: _fresh(
+        XimdMachine, minmax_source("halt"),
+        {MINMAX_REGS["n"]: len(_MM_DATA)}, minmax_memory(_MM_DATA),
+        config=config),
+    "minmax-vliw": lambda config=None: _fresh(
+        VliwMachine, minmax_vliw_source(),
+        {MINMAX_REGS["n"]: len(_MM_DATA)}, minmax_memory(_MM_DATA),
+        config=config),
+    "bitcount-ximd": lambda config=None: _fresh(
+        XimdMachine, bitcount_total_source(),
+        {BITCOUNT_REGS["n"]: 48}, bitcount_memory(_BC_DATA),
+        config=config),
+    "bitcount-vliw": lambda config=None: _fresh(
+        VliwMachine, bitcount_vliw_source(),
+        {BITCOUNT_REGS["n"]: 48}, bitcount_memory(_BC_DATA),
+        config=config),
+    "tproc-ximd": lambda config=None: _fresh(
+        XimdMachine, tproc_source(), _TPROC_REGS, config=config),
+    "tproc-vliw": lambda config=None: _fresh(
+        VliwMachine, tproc_source(), _TPROC_REGS, config=config),
+    "ll12-ximd": lambda config=None: _fresh(
+        XimdMachine, livermore12_source(),
+        {LL12_REGS["n"]: 100}, livermore12_memory(_LL12_Y), config=config),
+    "ll12-vliw": lambda config=None: _fresh(
+        VliwMachine, livermore12_source(),
+        {LL12_REGS["n"]: 100}, livermore12_memory(_LL12_Y), config=config),
+}
+
+
+class TestPaperWorkloads:
+    @pytest.mark.parametrize("name", sorted(PAPER_WORKLOADS))
+    def test_bit_identical(self, name):
+        assert_identical(PAPER_WORKLOADS[name])
+
+    @pytest.mark.parametrize("name", ["minmax-ximd", "tproc-ximd",
+                                      "tproc-vliw"])
+    def test_bit_identical_prototype_config(self, name):
+        """Increment sequencer, distributed memory, write latency 2."""
+        make = PAPER_WORKLOADS[name]
+        width = make().program.width
+        assert_identical(lambda: make(config=prototype_config(width)))
+
+    def test_bit_identical_registered_ss(self):
+        """The one-cycle-delayed sync vector (prototype control path)."""
+        make = PAPER_WORKLOADS["bitcount-ximd"]
+        width = make().program.width
+        assert_identical(lambda: make(
+            config=research_config(width, ss_registered=True)))
+
+    def test_bit_identical_write_latency_three(self):
+        make = PAPER_WORKLOADS["tproc-ximd"]
+        width = make().program.width
+        assert_identical(lambda: make(
+            config=research_config(width, write_latency=3)))
+
+
+class TestLongRunner:
+    @pytest.mark.parametrize("generator", [longrunner_program,
+                                           longrunner_vliw_program])
+    def test_bit_identical(self, generator):
+        def make():
+            program, registers = generator(iterations=300)
+            cls = (XimdMachine if generator is longrunner_program
+                   else VliwMachine)
+            machine = cls(program)
+            for index, value in registers.items():
+                machine.regfile.poke(index, value)
+            return machine
+
+        assert_identical(make)
+
+    def test_cycle_count_formula(self):
+        program, registers = longrunner_program(iterations=100)
+        machine = XimdMachine(program)
+        for index, value in registers.items():
+            machine.regfile.poke(index, value)
+        result = machine.run(10_000, engine="fast")
+        assert result.cycles == 3 * (100 + 1)
+        assert result.stats.utilization(machine.config.n_fus) == 1.0
+
+
+class TestMidRunResume:
+    """The fast engine seeds from live machine state, so it can take
+    over a machine that already executed reference cycles (including a
+    partially-filled write pipeline under write_latency > 1)."""
+
+    @pytest.mark.parametrize("config", [None, "prototype"])
+    def test_step_then_fast_matches_reference(self, config):
+        def make():
+            cfg = None
+            if config == "prototype":
+                cfg = prototype_config(
+                    assemble(minmax_source("halt")).width)
+            return PAPER_WORKLOADS["minmax-ximd"](config=cfg)
+
+        baseline = make()
+        reference = baseline.run(100_000, engine="reference")
+
+        resumed = make()
+        for _ in range(5):
+            resumed.step()
+        result = resumed.run(100_000, engine="fast")
+        assert resumed.engine_used == "fast"
+        assert result.cycles == reference.cycles
+        assert result.registers == reference.registers
+        assert tuple(result.final_pcs) == tuple(reference.final_pcs)
+        assert result.stats == reference.stats
+        assert (_machine_fingerprint(resumed)
+                == _machine_fingerprint(baseline))
+
+
+# ---------------------------------------------------------------------------
+# fallback rules: features the fast path does not model force reference
+
+
+def _tproc(**kwargs):
+    return _fresh(XimdMachine, tproc_source(), _TPROC_REGS, **kwargs)
+
+
+class TestFallback:
+    def test_default_machine_is_eligible(self):
+        machine = _tproc()
+        assert fast_path_eligible(machine)
+        assert fast_path_blockers(machine) == []
+
+    def test_trace_forces_reference(self):
+        machine = _tproc(trace=True)
+        assert not fast_path_eligible(machine)
+        machine.run(1_000)
+        assert machine.engine_used == "reference"
+
+    def test_tracker_forces_reference(self):
+        machine = _tproc(tracker=TrackerKind.EXACT)
+        machine.run(1_000)
+        assert machine.engine_used == "reference"
+
+    def test_observer_forces_reference(self):
+        machine = _tproc(obs=Observer())
+        assert machine.obs.enabled
+        machine.run(1_000)
+        assert machine.engine_used == "reference"
+
+    def test_devices_force_reference(self):
+        devices = make_devices([(0, 1)], [(0, 2)])
+        machine = _fresh(XimdMachine, tproc_source(), _TPROC_REGS,
+                         devices=devices)
+        machine.run(1_000)
+        assert machine.engine_used == "reference"
+
+    @pytest.mark.parametrize("override", [{"max_read_ports": 4},
+                                          {"max_write_ports": 2}])
+    def test_port_caps_force_reference(self, override):
+        """A port budget below the structural maximum needs the
+        reference path's per-cycle overflow policing (the run itself
+        may then legitimately die on PortOverflowError)."""
+        width = assemble(tproc_source()).width
+        machine = _tproc(config=research_config(width, **override))
+        assert not fast_path_eligible(machine)
+        assert any("port cap" in blocker
+                   for blocker in fast_path_blockers(machine))
+        with pytest.raises(MachineError, match="fast engine unavailable"):
+            machine.run(1_000, engine="fast")
+
+    def test_explicit_fast_on_ineligible_machine_raises(self):
+        machine = _tproc(trace=True)
+        with pytest.raises(MachineError, match="fast engine unavailable"):
+            machine.run(1_000, engine="fast")
+
+    def test_unknown_engine_rejected(self):
+        machine = _tproc()
+        with pytest.raises(ValueError, match="unknown engine"):
+            machine.run(1_000, engine="turbo")
+
+    def test_explicit_reference_never_uses_fast(self):
+        machine = _tproc()
+        machine.run(1_000, engine="reference")
+        assert machine.engine_used == "reference"
+
+    def test_fallback_still_bit_identical(self):
+        """auto on an ineligible machine = plain reference execution."""
+        plain = _tproc()
+        expected = plain.run(1_000, engine="reference")
+        tracked = _tproc(tracker=TrackerKind.HEURISTIC)
+        result = tracked.run(1_000)
+        assert tracked.engine_used == "reference"
+        assert result.cycles == expected.cycles
+        assert result.registers == expected.registers
+
+
+# ---------------------------------------------------------------------------
+# property-based differential: random programs over the whole ISA
+
+_CONDITIONALS = (Condition.CC_TRUE, Condition.SS_DONE,
+                 Condition.ALL_SS_DONE, Condition.ANY_SS_DONE)
+
+
+@st.composite
+def _operand(draw, *, address_like=False):
+    if address_like:
+        # mostly-valid addresses; the occasional negative one exercises
+        # the engines' matching out-of-range error messages
+        return Const(draw(st.integers(-1, 24)))
+    if draw(st.booleans()):
+        return Reg(draw(st.integers(0, 3)))
+    return Const(draw(st.integers(-3, 3)))
+
+
+@st.composite
+def _data_op(draw):
+    opcode = OPCODES[draw(st.sampled_from(ALL_MNEMONICS))]
+    from repro.isa import OpKind
+
+    if opcode.kind is OpKind.NOP:
+        return DataOp(opcode)
+    address_like = opcode.kind in (OpKind.LOAD, OpKind.STORE)
+    srca = draw(_operand(address_like=(opcode.kind is OpKind.LOAD)))
+    srcb = draw(_operand(address_like=address_like))
+    dest = (Reg(draw(st.integers(0, 3))) if opcode.writes_register
+            else None)
+    return DataOp(opcode, srca, srcb, dest)
+
+
+@st.composite
+def _control(draw, address, length, n_fus):
+    """A random forward-only branch (or unconditional fallthrough)."""
+    t1 = draw(st.integers(address + 1, length))
+    condition = draw(st.sampled_from(
+        (Condition.ALWAYS_T1, Condition.ALWAYS_T2) + _CONDITIONALS))
+    if condition in (Condition.ALWAYS_T1, Condition.ALWAYS_T2):
+        return ControlOp(condition, t1)
+    t2 = draw(st.integers(address + 1, length))
+    if condition in (Condition.CC_TRUE, Condition.SS_DONE):
+        # one-past-the-end indices exercise the matching runtime errors
+        return ControlOp(condition, t1, t2,
+                         index=draw(st.integers(0, n_fus)))
+    mask = None
+    if draw(st.booleans()):
+        mask = tuple(sorted(draw(st.sets(
+            st.integers(0, n_fus - 1), min_size=1, max_size=n_fus))))
+    return ControlOp(condition, t1, t2, mask=mask)
+
+
+@st.composite
+def random_programs(draw):
+    """Short always-terminating programs over the full ISA.
+
+    Branch targets only point forward, so every FU's PC strictly
+    increases and the program halts within ``length`` cycles; the data
+    ops still reach every opcode kind, both memory styles' error paths,
+    division by zero, and out-of-range CC/SS indices.
+    """
+    n_fus = draw(st.integers(min_value=1, max_value=3))
+    length = draw(st.integers(min_value=2, max_value=6))
+    columns = []
+    for _ in range(n_fus):
+        column = []
+        for address in range(length):
+            control = None
+            if address < length - 1 and draw(st.integers(0, 9)) > 0:
+                control = draw(_control(address, length - 1, n_fus))
+            sync = draw(st.sampled_from([SyncValue.BUSY, SyncValue.DONE]))
+            column.append(Parcel(draw(_data_op()), control, sync))
+        columns.append(column)
+    return Program(columns)
+
+
+def _lenient(width, **overrides):
+    """Random programs hit the architecture's undefined same-cycle
+    write conflicts; disable detection so the property under test is
+    engine equivalence, not conflict policing."""
+    return research_config(width, detect_register_conflicts=False,
+                           detect_memory_conflicts=False, **overrides)
+
+
+class TestRandomProgramEquivalence:
+    @given(random_programs())
+    @settings(max_examples=120, deadline=None)
+    def test_ximd(self, program):
+        assert_identical(
+            lambda: XimdMachine(program, config=_lenient(program.width)),
+            limit=64)
+
+    @given(random_programs())
+    @settings(max_examples=80, deadline=None)
+    def test_ximd_registered_ss(self, program):
+        assert_identical(
+            lambda: XimdMachine(program, config=_lenient(
+                program.width, ss_registered=True)),
+            limit=64)
+
+    @given(random_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_ximd_prototype_style(self, program):
+        config = prototype_config(
+            program.width, detect_register_conflicts=False,
+            detect_memory_conflicts=False)
+        assert_identical(
+            lambda: XimdMachine(program, config=config), limit=64)
+
+    @given(random_programs())
+    @settings(max_examples=80, deadline=None)
+    def test_vliw(self, program):
+        """Sync conditions raise on the VLIW machine — identically."""
+        assert_identical(
+            lambda: VliwMachine(program, config=_lenient(program.width)),
+            limit=64)
+
+    @given(random_programs())
+    @settings(max_examples=40, deadline=None)
+    def test_ximd_with_conflict_detection(self, program):
+        """With detection on, conflicting programs must raise the same
+        conflict error from both engines."""
+        assert_identical(
+            lambda: XimdMachine(program,
+                                config=research_config(program.width)),
+            limit=64)
+
+
+# ---------------------------------------------------------------------------
+# Program container regressions (satellites of this PR)
+
+
+class TestProgramRegressions:
+    def test_post_init_does_not_mutate_caller_columns(self):
+        """Ragged columns used to be padded in place, corrupting the
+        caller's (possibly shared) lists."""
+        short = [Parcel(DataOp(OPCODES["nop"]))]
+        long = [Parcel(DataOp(OPCODES["nop"])),
+                Parcel(DataOp(OPCODES["nop"])),
+                Parcel(DataOp(OPCODES["nop"]))]
+        program = Program([short, long])
+        assert len(short) == 1          # caller's list untouched
+        assert len(program.columns[0]) == 3
+        assert program.columns[0][1:] == [None, None]
+        # shared list objects must not alias each other either
+        shared = [Parcel(DataOp(OPCODES["nop"]))]
+        program = Program([shared, shared, long])
+        program.columns[0][0] = None
+        assert program.columns[1][0] is not None
+
+    def test_label_at_first_match_wins(self):
+        program = Program([[Parcel(DataOp(OPCODES["nop"]))] * 3],
+                          labels={"start": 0, "alias": 0, "mid": 1})
+        assert program.label_at(0) == "start"
+        assert program.label_at(1) == "mid"
+        assert program.label_at(2) is None
+
+    def test_label_at_index_tracks_late_additions(self):
+        """The assembler fills labels in after construction; the cached
+        reverse index must notice."""
+        program = Program([[Parcel(DataOp(OPCODES["nop"]))] * 3])
+        assert program.label_at(2) is None
+        program.labels["end"] = 2
+        assert program.label_at(2) == "end"
+        program.labels["other_end"] = 2
+        assert program.label_at(2) == "end"   # first match still wins

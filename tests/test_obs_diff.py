@@ -34,6 +34,11 @@ from repro.obs import (
     write_dashboard,
 )
 from repro.obs import load_tolerance_table
+from repro.obs.history import (
+    calibrate_tolerances,
+    record_sections,
+    series,
+)
 from repro.obs.diff import (
     MetricDelta,
     flatten_numeric,
@@ -329,6 +334,168 @@ class TestHistory:
         assert "workloads/m" in text
         assert "speedup" in text and "ximd_cycles" in text
         assert "3 records" in text
+
+
+class TestHistoryTiming:
+    """Wall-clock throughput rides along in records but never affects
+    the dedupe identity (E14)."""
+
+    SECTIONS = {"workloads": {"m": {"speedup": 2.0}}}
+
+    def _timed(self, kcps):
+        return make_record(self.SECTIONS, "sha1",
+                           timing={"lr": {"fast_kcycles_per_sec": kcps}})
+
+    def test_timing_stored_under_separate_key(self):
+        record = self._timed(170.0)
+        assert record["timing"]["lr"]["fast_kcycles_per_sec"] == 170.0
+        assert "timing" not in record["sections"]
+
+    def test_dedupe_ignores_timing_wobble(self, tmp_path):
+        ledger = tmp_path / "h.jsonl"
+        assert append_record(ledger, self._timed(170.0)) is True
+        # same deterministic core, different wall clock: still a dupe
+        assert append_record(ledger, self._timed(99.9)) is False
+        assert append_record(ledger, make_record(self.SECTIONS,
+                                                 "sha1")) is False
+        assert len(read_history(ledger)) == 1
+
+    def test_record_sections_folds_timing_in(self):
+        sections = record_sections(self._timed(170.0))
+        assert sections["timing"]["lr"]["fast_kcycles_per_sec"] == 170.0
+        assert sections["workloads"]["m"]["speedup"] == 2.0
+        # records without timing are unchanged
+        assert "timing" not in record_sections(
+            make_record(self.SECTIONS, "sha1"))
+
+    def test_series_reads_the_timing_pseudo_section(self):
+        records = [self._timed(kcps) for kcps in (100.0, 150.0)]
+        assert series(records, "timing", "lr",
+                      "fast_kcycles_per_sec") == [100.0, 150.0]
+
+    def test_trend_includes_throughput_metric(self):
+        records = [self._timed(100.0),
+                   make_record({"workloads": {"m": {"speedup": 2.1}}},
+                               "sha2",
+                               timing={"lr": {"fast_kcycles_per_sec":
+                                              150.0}})]
+        text = render_trend(records, metrics=["fast_kcycles_per_sec"])
+        assert "timing/lr" in text
+
+
+class TestCalibration:
+    def _records(self, speedups, extra=None):
+        records = []
+        for i, s in enumerate(speedups):
+            sections = {"workloads": {"m": {"speedup": s,
+                                            "ximd_cycles": 200}}}
+            if extra:
+                sections.update(extra)
+            records.append(make_record(sections, f"sha{i}"))
+        return records
+
+    def test_varying_metric_gets_a_leaf_allowance(self):
+        # spread around mean 2.0 is 0.1 -> 5%; margin 2x -> 10%
+        table = calibrate_tolerances(self._records([1.9, 2.0, 2.1]))
+        assert table["kind"] == "tolerance_table"
+        assert table["metrics"]["speedup"] == pytest.approx(0.1)
+
+    def test_constant_metric_stays_exact(self):
+        table = calibrate_tolerances(self._records([2.0, 2.0, 2.0]))
+        assert "speedup" not in table["metrics"]
+        assert "ximd_cycles" not in table["metrics"]
+        assert table["default_tolerance"] == 0.0
+
+    def test_zero_mean_variance_feeds_abs_floor(self):
+        records = [
+            make_record({"workloads": {"m": {"drift": v}}}, f"sha{i}")
+            for i, v in enumerate([-0.001, 0.001])]
+        table = calibrate_tolerances(records)
+        assert "drift" not in table["metrics"]
+        assert table["abs_tolerance"] == pytest.approx(0.002)
+
+    def test_timing_paths_are_excluded(self):
+        records = [
+            make_record({"timing": {"lr": {"fast_kcycles_per_sec": v}}},
+                        f"sha{i}")
+            for i, v in enumerate([100.0, 900.0])]
+        table = calibrate_tolerances(records)
+        assert table["metrics"] == {}
+
+    def test_margin_must_be_positive(self):
+        with pytest.raises(ValueError, match="margin"):
+            calibrate_tolerances(self._records([1.9, 2.1]), margin=0)
+
+    def test_emitted_table_loads_and_gates(self, tmp_path):
+        table = calibrate_tolerances(self._records([1.9, 2.0, 2.1]),
+                                     description="calibrated")
+        path = tmp_path / "tolerances.json"
+        write_json(path, table)
+        loaded = load_tolerance_table(path)
+        assert loaded["metrics"]["speedup"] == pytest.approx(0.1)
+
+
+class TestCliGateCalibrate:
+    def _ledger(self, tmp_path, speedups):
+        ledger = tmp_path / "h.jsonl"
+        for i, s in enumerate(speedups):
+            append_record(ledger, make_record(
+                {"workloads": {"m": {"speedup": s}}}, f"sha{i}"))
+        return ledger
+
+    def test_calibrate_writes_table(self, tmp_path, capsys):
+        ledger = self._ledger(tmp_path, [1.9, 2.0, 2.1])
+        out = tmp_path / "tolerances.json"
+        assert obs_main(["gate", "--calibrate",
+                         "--history", str(ledger),
+                         "--calibrate-output", str(out)]) == 0
+        table = load_tolerance_table(out)
+        assert table["metrics"]["speedup"] == pytest.approx(0.1)
+        assert "calibrated" in capsys.readouterr().out
+
+    def test_calibrate_max_merges_hand_set_allowances(self, tmp_path):
+        ledger = self._ledger(tmp_path, [1.9, 2.0, 2.1])
+        out = tmp_path / "tolerances.json"
+        write_json(out, {
+            "schema_version": SCHEMA_VERSION, "kind": "tolerance_table",
+            "description": "hand-tuned", "default_tolerance": 0.0,
+            "abs_tolerance": 0.5,
+            "metrics": {"speedup": 0.25, "skyline_height": 0.1}})
+        assert obs_main(["gate", "--calibrate",
+                         "--history", str(ledger),
+                         "--calibrate-output", str(out)]) == 0
+        table = load_tolerance_table(out)
+        assert table["metrics"]["speedup"] == 0.25        # hand floor wins
+        assert table["metrics"]["skyline_height"] == 0.1  # preserved
+        assert table["abs_tolerance"] == 0.5
+        raw = json.loads(out.read_text())
+        assert raw["description"] == "hand-tuned"
+
+    def test_calibrate_fresh_discards_hand_set_entries(self, tmp_path):
+        ledger = self._ledger(tmp_path, [1.9, 2.0, 2.1])
+        out = tmp_path / "tolerances.json"
+        write_json(out, {
+            "schema_version": SCHEMA_VERSION, "kind": "tolerance_table",
+            "default_tolerance": 0.0, "abs_tolerance": 0.5,
+            "metrics": {"skyline_height": 0.1}})
+        assert obs_main(["gate", "--calibrate", "--calibrate-fresh",
+                         "--history", str(ledger),
+                         "--calibrate-output", str(out)]) == 0
+        table = load_tolerance_table(out)
+        assert "skyline_height" not in table["metrics"]
+        assert table["abs_tolerance"] == 0.0
+
+    def test_calibrate_needs_two_records(self, tmp_path, capsys):
+        ledger = self._ledger(tmp_path, [2.0])
+        assert obs_main(["gate", "--calibrate",
+                         "--history", str(ledger),
+                         "--calibrate-output",
+                         str(tmp_path / "t.json")]) == 1
+        assert "at least 2" in capsys.readouterr().err
+
+    def test_gate_without_baseline_or_calibrate_errors(self, capsys):
+        assert obs_main(["gate"]) == 1
+        assert "--baseline" in capsys.readouterr().err
 
 
 class TestDashboard:
