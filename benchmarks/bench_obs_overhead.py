@@ -1,0 +1,100 @@
+"""E15 — what each telemetry tier costs on the fast engine.
+
+The tiered-telemetry design claims observability no longer forces the
+slow path: tier-0 (counter-only observers) and tier-1 (sampled tracing)
+stay on the pre-decoded fast engine, and only tier-2 (full per-cycle
+event streams) falls back to the reference interpreter.  This benchmark
+measures the actual price of each tier on the synthetic long-runner:
+
+* ``bare fast``       — no observer at all (the baseline);
+* ``tier-0 counters`` — ``Observer()`` with no sinks, fast engine;
+* ``tier-1 sampled``  — ring-buffer sink at ``sample_every=64``, fast;
+* ``tier-2 trace``    — unsampled ring-buffer sink, reference engine.
+
+All rates are wall-clock and land in the warn-only ``timing`` section;
+the README "Observability" tier table quotes the overhead ratios
+measured here.  The only hard assertions are the engine-selection
+facts themselves (which tier runs on which engine) — those are host-
+independent policy, not timing.
+"""
+
+import time
+
+from repro.analysis import render_table
+from repro.machine import XimdMachine
+from repro.obs import Observer, recording_observer
+from repro.workloads import longrunner_program
+
+LONGRUNNER_ITERATIONS = 20_000
+
+#: Accumulate at least this much wall time per configuration.
+MIN_MEASURE_SECONDS = 0.25
+
+
+def _longrunner(obs=None):
+    program, registers = longrunner_program(
+        iterations=LONGRUNNER_ITERATIONS)
+    machine = XimdMachine(program, **({"obs": obs} if obs is not None
+                                      else {}))
+    for index, value in registers.items():
+        machine.regfile.poke(index, value)
+    return machine
+
+
+TIERS = (
+    ("bare fast", "fast", lambda: None),
+    ("tier-0 counters", "fast", Observer),
+    ("tier-1 sampled (1/64)", "fast",
+     lambda: recording_observer(sample_every=64)),
+    ("tier-2 full trace", "reference", recording_observer),
+)
+
+
+def _measure(make_obs, engine, min_time=MIN_MEASURE_SECONDS):
+    """Simulated cycles per host second for one telemetry tier."""
+    total_cycles = 0
+    elapsed = 0.0
+    while elapsed < min_time:
+        machine = _longrunner(obs=make_obs())
+        start = time.perf_counter()
+        result = machine.run(10_000_000)
+        elapsed += time.perf_counter() - start
+        assert machine.engine_used == engine, (
+            f"expected {engine}, ran {machine.engine_used}")
+        total_cycles += result.cycles
+    return total_cycles / elapsed
+
+
+def _bench_body():
+    machine = _longrunner(obs=Observer())
+    return machine.run(10_000_000, engine="fast").cycles
+
+
+def test_obs_overhead(benchmark, record_table, record_json, bench_summary):
+    benchmark(_bench_body)
+
+    rates = {name: (_measure(make_obs, engine), engine)
+             for name, engine, make_obs in TIERS}
+    baseline = rates["bare fast"][0]
+
+    rows = []
+    payload = {}
+    for name, engine, _ in TIERS:
+        rate, _engine = rates[name]
+        overhead = baseline / rate if rate else 0.0
+        stats = {
+            "engine": engine,
+            "kcycles_per_sec": round(rate / 1000, 3),
+            "overhead_vs_bare_fast": round(overhead, 3),
+        }
+        rows.append([name, engine, stats["kcycles_per_sec"],
+                     stats["overhead_vs_bare_fast"]])
+        payload[name] = stats
+        bench_summary(f"obs overhead: {name}", stats, section="timing")
+
+    table = render_table(
+        ["tier", "engine", "kcy/s", "overhead (x)"],
+        rows, title="E15: telemetry tier overhead on the long-runner "
+                    "(wall clock — warn-only)")
+    record_table("obs_overhead", table)
+    record_json("obs_overhead", payload)

@@ -17,6 +17,7 @@ from repro.analysis import (
 )
 from repro.asm import assemble
 from repro.machine import XimdMachine
+from repro.obs import Observer
 from repro.workloads import TPROC_REGS, tproc_source
 
 
@@ -31,13 +32,14 @@ def test_register_file_chip_model(benchmark, record_table, record_json,
                                   bench_summary):
     reads, writes, parallel, chips = benchmark(_chip_math)
 
-    # measured port pressure from a real run (TPROC saturates FU0-3)
-    machine = XimdMachine(assemble(tproc_source()))
+    # measured port pressure from a real run (TPROC saturates FU0-3).
+    # A counter-only observer is tier-0 telemetry: the fast engine folds
+    # the port peaks natively, so no engine pin is needed any more.
+    machine = XimdMachine(assemble(tproc_source()), obs=Observer())
     for name, value in zip("abcd", (1, 2, 3, 4)):
         machine.regfile.poke(TPROC_REGS[name], value)
-    # peak port pressure is a reference-interpreter observable; the fast
-    # engine skips the per-cycle counters its eligibility rules make moot
-    machine.run(100, engine="reference")
+    machine.run(100)
+    assert machine.engine_used == "fast"
 
     text = render_kv(
         "E11: register-file chip partitioning (section 4.4)",
@@ -58,6 +60,7 @@ def test_register_file_chip_model(benchmark, record_table, record_json,
         "total_transistors": total_transistors(),
         "peak_reads_observed": machine.regfile.peak_reads,
         "peak_writes_observed": machine.regfile.peak_writes,
+        "engine_used": machine.engine_used,
     })
 
     bench_summary("registerfile_chips", {

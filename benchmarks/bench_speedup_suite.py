@@ -193,3 +193,30 @@ def test_speedup_suite(benchmark, record_table, record_json, bench_summary):
     assert rows[2][3] > 1.5
     assert rows[3][3] > 1.5
     assert rows[4][3] > 1.5
+
+
+def test_pass_telemetry(record_json, bench_summary):
+    """Per-pass IR-size telemetry for the ROADMAP trend dashboard.
+
+    Compiles one branchy loop under a recording observer and registers
+    each pass's ops_in/ops_out in the summary's ``passes`` section —
+    deterministic, so it rides into BENCH_HISTORY.jsonl where the
+    ``history`` CLI and the HTML dashboard trend it (IR growth is an
+    advisory, warn-only signal in the perf gate).  A pass that runs
+    more than once keeps its last occurrence: the final pipeline state.
+    """
+    from repro.obs import RunReport, observed, recording_observer
+
+    source = branchy_loop_sources(1, seed=6)[0][0]
+    obs = recording_observer()
+    with observed(obs):
+        compile_ir(lower_unit(parse_xc(source))["loop0"], 2)
+    report = RunReport.from_events(obs.sinks[0].events)
+    latest = {}
+    for entry in report.passes:
+        latest[entry["name"]] = {"ops_in": entry["ops_in"],
+                                 "ops_out": entry["ops_out"]}
+    assert latest, "compiler emitted no pass telemetry"
+    for name, payload in sorted(latest.items()):
+        bench_summary(name, payload, section="passes")
+    record_json("pass_telemetry", latest)

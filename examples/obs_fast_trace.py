@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Tiered telemetry on the fast engine: counters + sampled tracing.
+
+Demonstrates (and, in CI, smoke-tests) the telemetry tier policy:
+
+* a counter-only observer (tier-0) keeps ``run(engine="auto")`` on the
+  pre-decoded fast engine while folding op censuses, per-FU cycle-class
+  attribution, and register-file port peaks bit-identically to the
+  reference interpreter;
+* a sampled ring-buffer sink (tier-1, ``sample_every=N``) still runs
+  fast while emitting the full typed-event vocabulary every Nth cycle.
+
+Both runs assert ``engine_used == "fast"`` — if a future change demotes
+either tier to the reference path, this script fails loudly.
+"""
+
+from repro.asm import assemble
+from repro.machine import XimdMachine
+from repro.obs import (
+    CycleEvent,
+    Observer,
+    RunReport,
+    recording_observer,
+)
+from repro.workloads import (
+    BITCOUNT_REGS,
+    bitcount_memory,
+    bitcount_total_source,
+    random_words,
+)
+
+
+def _machine(obs):
+    data = random_words(48, seed=4)
+    machine = XimdMachine(assemble(bitcount_total_source()), obs=obs)
+    machine.regfile.poke(BITCOUNT_REGS["n"], 48)
+    for address, value in bitcount_memory(data).items():
+        machine.memory.poke(address, value)
+    return machine
+
+
+def main():
+    # tier-0: counters only — native on the fast engine
+    obs = Observer()
+    machine = _machine(obs)
+    machine.run(1_000_000)
+    assert machine.engine_used == "fast", machine.engine_used
+
+    print("=== tier-0 counter report (fast engine) ===")
+    report = RunReport.from_machine(machine, registry=obs.registry)
+    print(report.render_text())
+    print()
+
+    # tier-1: sampled tracing — full events every 32nd cycle, still fast
+    sampled = recording_observer(sample_every=32)
+    machine = _machine(sampled)
+    machine.run(1_000_000)
+    assert machine.engine_used == "fast", machine.engine_used
+
+    events = sampled.sinks[0].events
+    cycles = [e.cycle for e in events if isinstance(e, CycleEvent)]
+    assert cycles and all(c % 32 == 0 for c in cycles)
+    print(f"=== tier-1 sampled trace (fast engine) ===")
+    print(f"{len(events)} events across {len(cycles)} sampled cycles "
+          f"of {machine.cycle} simulated")
+    print(f"engine_used = {machine.engine_used}")
+
+
+if __name__ == "__main__":
+    main()

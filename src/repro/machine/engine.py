@@ -31,13 +31,19 @@ Correctness contract: a fast run produces a **bit-identical**
 :class:`~.ximd.ExecutionResult` — registers, cycle count, final PCs,
 and the full :class:`~.datapath.DatapathStats` — and leaves the
 machine's register file, condition codes, and memory in the same state
-the reference path would.  The engine refuses (and the machines fall
-back to the reference path) whenever a feature it does not model is
-active: an enabled observer, an address trace, an SSET tracker,
-memory-mapped devices, or register-file port caps tighter than the
-structural per-FU maximum (2 reads + 1 write per FU, which the data
-path cannot exceed).  Observability semantics are therefore untouched:
-turning any of those features on simply selects the reference path.
+the reference path would.  The cheap observability tiers run natively:
+a counter-only observer (tier-0) fills the same
+:class:`~.telemetry.RunCounters` / metrics-registry shapes the
+reference path fills, bit-identically, from flat in-loop accumulators
+and a post-run fold, and register-file port peaks are tracked always
+(observer or not).  A sampling observer (tier-1,
+``Observer(sinks, sample_every=N)``) additionally emits the full typed
+events on every Nth cycle.  The engine refuses — and the machines fall
+back to the reference path — only for the genuinely expensive
+features: full per-cycle event tracing (sinks at ``sample_every=1``),
+an address trace, an SSET tracker, memory-mapped devices, or
+register-file port caps tighter than the structural per-FU maximum
+(2 reads + 1 write per FU, which the data path cannot exceed).
 """
 
 from __future__ import annotations
@@ -45,7 +51,16 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..isa import Condition, OpKind, Parcel, Reg, SyncValue
+from ..obs.events import BranchEvent, CycleEvent, SyncEvent
 from .config import MachineConfig, SequencerStyle
+from .telemetry import (
+    CLASS_CHARS,
+    CLS_BRANCH,
+    CLS_HALTED,
+    CLS_IDLE,
+    CLS_SYNC,
+    CLS_USEFUL,
+)
 from .errors import (
     MachineError,
     MemoryConflictError,
@@ -58,10 +73,11 @@ from .program import Program
 
 # --- decoded-slot layout ---------------------------------------------------
 #
-# One XIMD slot is a 10-tuple (tuples index faster than objects and
+# One XIMD slot is a 14-tuple (tuples index faster than objects and
 # unpack in one bytecode):
 #
-#   (dkind, sem, aval, areg, bval, breg, dest, sync_done, ctl, fold)
+#   (dkind, sem, aval, areg, bval, breg, dest, sync_done, ctl, fold,
+#    reads, writes, cls_taken, cls_untaken)
 #
 # dkind: _D_NOP / _D_ARITH / _D_COMPARE / _D_LOAD / _D_STORE
 # sem:   the opcode's semantics callable (None for memory ops / nop)
@@ -70,13 +86,24 @@ from .program import Program
 # sync_done: True when the parcel's sync field is DONE
 # ctl:   None (halt after the data op) or
 #        (ckind, taken_target, untaken_target, aux, raise_message)
-#        ckind: _C_ALWAYS (taken constant-folded into the targets),
-#        _C_CC / _C_SS (aux = FU index), _C_ALL / _C_ANY (aux = member
-#        index tuple), _C_RAISE (aux unused; raise_message is the
-#        reference path's MachineError text, raised on *execution*, not
-#        at decode, so never-executed malformed slots stay legal).
+#        ckind: _C_ALWAYS (taken constant-folded into the targets;
+#        aux = the reference evaluate_condition value, False for
+#        ALWAYS_T2, kept for branch-taken telemetry), _C_CC / _C_SS
+#        (aux = FU index), _C_ALL / _C_ANY (aux = member index tuple),
+#        _C_RAISE (aux unused; raise_message is the reference path's
+#        MachineError text, raised on *execution*, not at decode, so
+#        never-executed malformed slots stay legal).
 # fold:  per-slot statistics record folded post-run:
 #        (is_nop, mnemonic, stat_kind, reg_reads, reg_writes, branch_kind)
+# reads/writes: register ports the data op uses per execution (fold's
+#        reg_reads/reg_writes hoisted to a flat index for the per-cycle
+#        port-pressure accumulators)
+# cls_taken/cls_untaken: tier-0 cycle-class codes (telemetry.CLS_*)
+#        this slot contributes when its branch is taken / untaken; they
+#        differ only for nop parcels on sync-conditioned branches
+#        (branch_resolve vs sync_wait, matching the reference
+#        attribution).  For ctl-None slots both hold the halt-cycle
+#        class (useful or idle).
 
 _D_NOP, _D_ARITH, _D_COMPARE, _D_LOAD, _D_STORE = range(5)
 _C_ALWAYS, _C_CC, _C_SS, _C_ALL, _C_ANY, _C_RAISE = range(6)
@@ -85,6 +112,8 @@ _C_ALWAYS, _C_CC, _C_SS, _C_ALL, _C_ANY, _C_RAISE = range(6)
 _S_OTHER, _S_COMPARE, _S_LOAD, _S_STORE = range(4)
 #: fold branch_kind codes
 _B_NONE, _B_UNCOND, _B_COND, _B_SYNC = range(4)
+#: fold branch_kind code -> BranchEvent.branch_kind string
+_B_KIND_NAMES = (None, "uncond", "cond", "sync")
 
 _DKIND = {
     OpKind.NOP: _D_NOP,
@@ -131,14 +160,18 @@ def _decode_control(control, address: int, n_fus: int,
     fallthrough = address + 1
     if condition is Condition.ALWAYS_T1:
         target = control.target1
-        return (_C_ALWAYS, target, target, None, None)
+        # aux records the reference evaluate_condition value (True for
+        # ALWAYS_T1, False for ALWAYS_T2) so branch-taken telemetry
+        # matches the reference path even though the target selection
+        # is constant-folded.
+        return (_C_ALWAYS, target, target, True, None)
     if condition is Condition.ALWAYS_T2:
         if explicit:
             target = (control.target2 if control.target2 is not None
                       else control.target1)
         else:
             target = fallthrough
-        return (_C_ALWAYS, target, target, None, None)
+        return (_C_ALWAYS, target, target, False, None)
     t_taken = control.target1
     t_untaken = control.target2 if explicit else fallthrough
     if condition is Condition.CC_TRUE or condition is Condition.SS_DONE:
@@ -169,6 +202,7 @@ def _decode_parcel(parcel: Parcel, address: int, n_fus: int,
     dkind = _DKIND[kind]
     if dkind == _D_NOP:
         sem, aval, areg, bval, breg, dest = None, 0, False, 0, False, -1
+        reads = writes = 0
         fold = (True, None, _S_OTHER, 0, 0, _B_NONE)
     else:
         sem = op.opcode.semantics
@@ -191,8 +225,21 @@ def _decode_parcel(parcel: Parcel, address: int, n_fus: int,
         else:
             branch = _B_COND
         fold = fold[:5] + (branch,)
+    # tier-0 cycle-class attribution, mirroring the reference rules:
+    # non-nop = useful; nop with no control = idle; a nop spent purely
+    # on a sync-conditioned branch is sync-wait when untaken, else
+    # branch-resolve.
+    if dkind != _D_NOP:
+        cls_taken = cls_untaken = CLS_USEFUL
+    elif ctl is None:
+        cls_taken = cls_untaken = CLS_IDLE
+    elif ctl[0] in (_C_SS, _C_ALL, _C_ANY):
+        cls_taken, cls_untaken = CLS_BRANCH, CLS_SYNC
+    else:
+        cls_taken = cls_untaken = CLS_BRANCH
     return (dkind, sem, aval, areg, bval, breg, dest,
-            parcel.sync is SyncValue.DONE, ctl, fold)
+            parcel.sync is SyncValue.DONE, ctl, fold,
+            reads, writes, cls_taken, cls_untaken)
 
 
 def decode_ximd_program(program: Program,
@@ -215,13 +262,18 @@ def decode_vliw_program(program: Program,
     """Pre-decode *program* for the VLIW fast path (per-address rows).
 
     Each row is ``None`` (all parcels empty: executing it halts the
-    machine) or ``(data_slots, ctl, fold_rows)`` where *data_slots*
-    holds the non-nop data work as ``(fu, slot)`` pairs, *ctl* is the
-    machine-wide control op of the lowest-numbered FU carrying one
-    (sync conditions lower to a ``_C_RAISE`` slot reproducing the
-    reference path's :class:`MachineError`), and *fold_rows* records
-    per-FU statistics as ``(fu, fold)`` pairs for every occupied
-    parcel, nops included.
+    machine) or ``(data_slots, ctl, fold_rows, meta)`` where
+    *data_slots* holds the non-nop data work as ``(fu, slot)`` pairs,
+    *ctl* is the machine-wide control op of the lowest-numbered FU
+    carrying one (sync conditions lower to a ``_C_RAISE`` slot
+    reproducing the reference path's :class:`MachineError`),
+    *fold_rows* records per-FU statistics as ``(fu, fold)`` pairs for
+    every occupied parcel, nops included, and *meta* is the row's
+    static telemetry record
+    ``(reads, writes, class_str, class_codes, ops, data_ops, ctl_fu,
+    branch_kind)`` — every per-cycle observation of a VLIW row except
+    the condition codes is a constant of the row, so tier-0 class/port
+    accumulation folds entirely from visit counts post-run.
     """
     n = config.n_fus
     style = config.sequencer
@@ -234,6 +286,11 @@ def decode_vliw_program(program: Program,
         data_slots = []
         fold_rows = []
         ctl = None
+        ctl_fu = 0
+        ctl_branch = _B_NONE
+        row_reads = row_writes = 0
+        class_codes = [CLS_HALTED] * n
+        ops_row: List[Optional[str]] = [None] * n
         for fu, parcel in enumerate(parcels):
             if parcel is None:
                 continue
@@ -249,12 +306,28 @@ def decode_vliw_program(program: Program,
                 else:
                     ctl = slot[8]
                     branch = slot[9][5]
+                ctl_fu = fu
+                ctl_branch = branch
             else:
                 branch = _B_NONE
             fold_rows.append((fu, slot[9][:5] + (branch,)))
             if slot[0] != _D_NOP:
                 data_slots.append((fu, slot))
-        rows.append((tuple(data_slots), ctl, tuple(fold_rows)))
+                class_codes[fu] = CLS_USEFUL
+                ops_row[fu] = slot[9][1]
+                row_reads += slot[10]
+                row_writes += slot[11]
+            else:
+                class_codes[fu] = CLS_IDLE
+        if ctl is not None and class_codes[ctl_fu] == CLS_IDLE:
+            # the reference attribution upgrades the control-carrying
+            # FU's idle cycle to branch-resolve
+            class_codes[ctl_fu] = CLS_BRANCH
+        meta = (row_reads, row_writes,
+                "".join(CLASS_CHARS[code] for code in class_codes),
+                tuple(class_codes), tuple(ops_row), len(data_slots),
+                ctl_fu, _B_KIND_NAMES[ctl_branch])
+        rows.append((tuple(data_slots), ctl, tuple(fold_rows), meta))
     return DecodedProgram([rows])
 
 
@@ -266,24 +339,42 @@ def fast_path_blockers(machine) -> List[str]:
     The blockers are exactly the features whose semantics the fast
     engine does not model; with any of them active the machines run the
     reference ``step()`` path so observability behavior is unchanged.
+    Counter-only observers (tier-0) and sampling observers (tier-1,
+    ``sample_every > 1``) are *not* blockers: the engine accumulates
+    those natively.  The list is sorted for deterministic error
+    messages, and each entry names the knob that would clear it.
     """
     blockers = []
-    if machine.obs.enabled:
-        blockers.append("observer enabled")
+    obs = machine.obs
+    if obs.enabled and obs.sinks and obs.sample_every <= 1:
+        blockers.append(
+            "full event tracing: observer has sinks at sample_every=1 "
+            "(set Observer(sample_every=N) for sampled tracing, or drop "
+            "the sinks for counter-only telemetry)")
     if machine.trace is not None:
-        blockers.append("address trace recording")
+        blockers.append(
+            "address trace recording (construct the machine with "
+            "trace=False)")
     if getattr(machine, "tracker", None) is not None:
-        blockers.append("SSET tracker attached")
+        blockers.append(
+            "SSET tracker attached (construct the machine with "
+            "tracker=TrackerKind.NONE)")
     if machine.memory.devices:
-        blockers.append("memory-mapped devices present")
+        blockers.append(
+            "memory-mapped devices present (construct the machine "
+            "without a devices= map)")
     config = machine.config
     if (config.max_read_ports is not None
             and config.max_read_ports < 2 * config.n_fus):
-        blockers.append("register read-port cap below structural maximum")
+        blockers.append(
+            "register read-port cap below structural maximum (set "
+            f"max_read_ports to None or >= {2 * config.n_fus})")
     if (config.max_write_ports is not None
             and config.max_write_ports < config.n_fus):
-        blockers.append("register write-port cap below structural maximum")
-    return blockers
+        blockers.append(
+            "register write-port cap below structural maximum (set "
+            f"max_write_ports to None or >= {config.n_fus})")
+    return sorted(blockers)
 
 
 def fast_path_eligible(machine) -> bool:
@@ -356,6 +447,22 @@ def run_ximd_fast(machine, limit: int) -> None:
     reg_reads = reg_writes = reg_conflicts = 0
     mem_loads = mem_stores = mem_conflicts = 0
 
+    # telemetry: port peaks are tracked always (they are plain machine
+    # state, like stats); tier-0 class/branch/sync counters and the
+    # port-pressure histograms only when the observer is enabled, and
+    # full typed events only every emit_every cycles (tier-1 sampling;
+    # 0 = no sinks, never emit).
+    obs = machine.obs
+    obs_on = obs.enabled
+    emit_every = obs.sample_every if (obs_on and obs.sinks) else 0
+    ccounts = machine.counters.class_counts
+    btaken = nbarriers = nresolved = 0
+    peak_r = regfile.peak_reads
+    peak_w = regfile.peak_writes
+    rcounts: dict = {}
+    wcounts: dict = {}
+    barrier_now: List[bool] = [False] * n
+
     try:
         while active:
             if cycle >= limit:
@@ -387,14 +494,19 @@ def run_ximd_fast(machine, limit: int) -> None:
                 break
             visible = prev_ss if registered else ss
 
-            # --- execute: data ops buffered, branches resolved ----------
+            # --- execute: all data ops run before any control op is ----
+            # evaluated, matching the reference step()'s phase order
+            # (data-path errors must surface before control-op errors)
             wbuf = inflight[write_latency - 1]
+            creads = cwrites = 0
             for fu in range(n):
                 slot = cur[fu]
                 if slot is None:
                     continue
                 dkind = slot[0]
                 if dkind:
+                    creads += slot[10]
+                    cwrites += slot[11]
                     if dkind == _D_ARITH:
                         wbuf.append((
                             slot[6],
@@ -432,11 +544,39 @@ def run_ximd_fast(machine, limit: int) -> None:
                                 f"[0, {mem_words})")
                         mem_stores += 1
                         mem_pending.append((fu, address, value))
+
+            emit = emit_every and cycle % emit_every == 0
+            if emit:
+                # sampled cycle: capture the start-of-cycle view the
+                # reference CycleEvent carries, before branches retarget
+                # the PCs
+                pcs_start = tuple(pcs)
+                cc_text = "".join(
+                    ("T" if value else "F") if defined else "X"
+                    for value, defined in zip(ccv, ccdef))
+                ss_text = "".join(
+                    "-" if s is None else ("D" if s[7] else "B")
+                    for s in cur)
+                cls_now = [CLS_HALTED] * n
+                cyc_ops = 0
+                for s in cur:
+                    if s is not None and s[0]:
+                        cyc_ops += 1
+
+            # --- control: branches resolved after every data op ---------
+            for fu in range(n):
+                slot = cur[fu]
+                if slot is None:
+                    continue
                 ctl = slot[8]
                 if ctl is None:
                     pcs[fu] = None
                     active -= 1
                     halted_now.append(fu)
+                    if obs_on:
+                        ccounts[fu * 5 + slot[12]] += 1
+                        if emit:
+                            cls_now[fu] = slot[12]
                     continue
                 ckind = ctl[0]
                 if ckind == _C_ALWAYS:
@@ -459,7 +599,49 @@ def run_ximd_fast(machine, limit: int) -> None:
                             break
                 else:
                     raise MachineError(ctl[4])
-                pcs[fu] = ctl[1] if taken else ctl[2]
+                target = ctl[1] if taken else ctl[2]
+                if obs_on:
+                    nresolved += 1
+                    cls = slot[12] if taken else slot[13]
+                    ccounts[fu * 5 + cls] += 1
+                    # _C_ALWAYS folds both targets, so report the
+                    # reference evaluate_condition value from aux
+                    reported = ctl[3] if ckind == _C_ALWAYS else taken
+                    if reported:
+                        btaken += 1
+                    if ckind == _C_ALL and taken:
+                        nbarriers += 1
+                        if emit:
+                            barrier_now[fu] = True
+                    if emit:
+                        cls_now[fu] = cls
+                        obs.emit(BranchEvent(
+                            machine="ximd", cycle=cycle, fu=fu,
+                            pc=pcs[fu],
+                            branch_kind=_B_KIND_NAMES[slot[9][5]],
+                            taken=reported, target=target))
+                pcs[fu] = target
+
+            if emit:
+                obs.emit(CycleEvent(
+                    machine="ximd", cycle=cycle, pcs=pcs_start,
+                    cc=cc_text, ss=ss_text, partition=None,
+                    data_ops=cyc_ops,
+                    fu_class="".join(CLASS_CHARS[c] for c in cls_now),
+                    ops=tuple(
+                        s[9][1] if s is not None and s[0] else None
+                        for s in cur)))
+                for fu in range(n):
+                    s = cur[fu]
+                    if s is not None and s[7]:
+                        obs.emit(SyncEvent(
+                            machine="ximd", cycle=cycle, fu=fu,
+                            pc=pcs_start[fu], what="done"))
+                    if barrier_now[fu]:
+                        obs.emit(SyncEvent(
+                            machine="ximd", cycle=cycle, fu=fu,
+                            pc=pcs_start[fu], what="barrier"))
+                        barrier_now[fu] = False
 
             # --- commit -------------------------------------------------
             prev_ss[:] = ss  # this cycle's SS vector, pre-halt updates
@@ -514,16 +696,24 @@ def run_ximd_fast(machine, limit: int) -> None:
                 for fu in halted_now:
                     ss[fu] = halted_done
                 halted_now.clear()
+            if creads > peak_r:
+                peak_r = creads
+            if cwrites > peak_w:
+                peak_w = cwrites
+            if obs_on:
+                rcounts[creads] = rcounts.get(creads, 0) + 1
+                wcounts[cwrites] = wcounts.get(cwrites, 0) + 1
             cycle += 1
             cycles_done += 1
     finally:
         # --- fold + write back machine state, even on an error ----------
         stats = machine.stats
         stats.cycles += cycles_done
+        counters = machine.counters
         for fu, address in first_seen:
             count = visits[fu][address]
-            is_nop, mnemonic, skind, reads, writes, branch = \
-                cols[fu][address][9]
+            slot = cols[fu][address]
+            is_nop, mnemonic, skind, reads, writes, branch = slot[9]
             if is_nop:
                 stats.nops += count
             else:
@@ -546,12 +736,40 @@ def run_ximd_fast(machine, limit: int) -> None:
                 stats.branches_conditional += count
                 if branch == _B_SYNC:
                     stats.branches_sync += count
+            if obs_on and slot[7]:
+                # DONE assertions are a static property of the slot, so
+                # the sync tally folds straight from visit counts
+                counters.sync_done += count
+        if obs_on:
+            counters.branches_taken += btaken
+            counters.barriers += nbarriers
+            # the reference Sequencer counts live, per run (no re-fold)
+            if nresolved:
+                obs.registry.counter("sequencer.resolved").inc(nresolved)
+            if btaken:
+                obs.registry.counter("sequencer.taken").inc(btaken)
+            for fu in range(n):
+                # halted-FU cycles are the executed cycles the FU did
+                # not fetch in (fetches == visits); max() guards the
+                # partially-accounted error cycle
+                idle = cycles_done - sum(visits[fu])
+                if idle > 0:
+                    ccounts[fu * 5 + CLS_HALTED] += idle
+            if rcounts or wcounts:
+                read_hist, write_hist = regfile.port_histograms()
+                if read_hist is not None:
+                    for value, count in rcounts.items():
+                        read_hist.observe_many(value, count)
+                    for value, count in wcounts.items():
+                        write_hist.observe_many(value, count)
         machine.pcs = pcs
         machine.cycle = cycle
         machine._prev_ss = tuple(prev_ss)
         regfile.total_reads += reg_reads
         regfile.total_writes += reg_writes
         regfile.conflicts_dropped += reg_conflicts
+        regfile.peak_reads = peak_r
+        regfile.peak_writes = peak_w
         regfile._inflight = inflight
         memory.loads += mem_loads
         memory.stores += mem_stores
@@ -559,6 +777,12 @@ def run_ximd_fast(machine, limit: int) -> None:
 
     # --- drain the write pipeline (the reference run() epilogue) --------
     _drain_inflight(regfile, detect_reg, cycle)
+    if obs_on:
+        # the reference drain() commits observe zero port activity
+        read_hist, write_hist = regfile.port_histograms()
+        if read_hist is not None:
+            read_hist.observe_many(0, write_latency)
+            write_hist.observe_many(0, write_latency)
 
 
 def _drain_inflight(regfile, detect_reg: bool, cycle: int) -> None:
@@ -597,6 +821,7 @@ def run_vliw_fast(machine, limit: int) -> None:
         decoded = machine._decoded = decode_vliw_program(
             machine.program, machine.config)
     config = machine.config
+    n = config.n_fus
     rows = decoded.columns[0]
     length = decoded.length
     detect_reg = config.detect_register_conflicts
@@ -629,6 +854,17 @@ def run_vliw_fast(machine, limit: int) -> None:
     reg_reads = reg_writes = reg_conflicts = 0
     mem_loads = mem_stores = mem_conflicts = 0
 
+    # telemetry: every per-cycle VLIW observation except the condition
+    # codes is a static property of the row, so tier-0 class counts and
+    # port pressure fold entirely from visit counts post-run; only the
+    # branch-taken tally and tier-1 sampled events cost per-cycle work.
+    obs = machine.obs
+    obs_on = obs.enabled
+    emit_every = obs.sample_every if (obs_on and obs.sinks) else 0
+    btaken = nresolved = 0
+    ss_const = "-" * n
+    part_const = (tuple(range(n)),)
+
     try:
         while pc is not None:
             if cycle >= limit:
@@ -642,7 +878,8 @@ def run_vliw_fast(machine, limit: int) -> None:
             visits[pc] = count + 1
             if not count:
                 first_seen.append(pc)
-            data_slots, ctl, _ = row
+            data_slots = row[0]
+            ctl = row[1]
 
             wbuf = inflight[write_latency - 1]
             for fu, slot in data_slots:
@@ -683,6 +920,7 @@ def run_vliw_fast(machine, limit: int) -> None:
                     mem_stores += 1
                     mem_pending.append((fu, address, value))
 
+            emit = emit_every and cycle % emit_every == 0
             if ctl is None:
                 next_pc: Optional[int] = None
             else:
@@ -696,6 +934,29 @@ def run_vliw_fast(machine, limit: int) -> None:
                 else:  # pragma: no cover - sync lowers to _C_RAISE
                     raise MachineError("sync condition on a VLIW machine")
                 next_pc = ctl[1] if taken else ctl[2]
+                if obs_on:
+                    nresolved += 1
+                    # _C_ALWAYS folds both targets; aux keeps the
+                    # reference evaluate_condition value
+                    reported = ctl[3] if ckind == _C_ALWAYS else taken
+                    if reported:
+                        btaken += 1
+                    if emit:
+                        meta = row[3]
+                        obs.emit(BranchEvent(
+                            machine="vliw", cycle=cycle, fu=meta[6],
+                            pc=pc, branch_kind=meta[7],
+                            taken=reported, target=next_pc))
+
+            if emit:
+                meta = row[3]
+                cc_text = "".join(
+                    ("T" if value else "F") if defined else "X"
+                    for value, defined in zip(ccv, ccdef))
+                obs.emit(CycleEvent(
+                    machine="vliw", cycle=cycle, pcs=(pc,) * n,
+                    cc=cc_text, ss=ss_const, partition=part_const,
+                    data_ops=meta[5], fu_class=meta[2], ops=meta[4]))
 
             # --- commit -------------------------------------------------
             due = inflight[0]
@@ -751,9 +1012,17 @@ def run_vliw_fast(machine, limit: int) -> None:
     finally:
         stats = machine.stats
         stats.cycles += cycles_done
+        counters = machine.counters
+        ccounts = counters.class_counts
+        peak_r = regfile.peak_reads
+        peak_w = regfile.peak_writes
+        read_hist = write_hist = None
+        if obs_on and first_seen:
+            read_hist, write_hist = regfile.port_histograms()
         for address in first_seen:
             count = visits[address]
-            for fu, fold in rows[address][2]:
+            row = rows[address]
+            for fu, fold in row[2]:
                 is_nop, mnemonic, skind, reads, writes, branch = fold
                 if is_nop:
                     stats.nops += count
@@ -775,14 +1044,40 @@ def run_vliw_fast(machine, limit: int) -> None:
                     stats.branches_unconditional += count
                 elif branch != _B_NONE:
                     stats.branches_conditional += count
+            meta = row[3]
+            if meta[0] > peak_r:
+                peak_r = meta[0]
+            if meta[1] > peak_w:
+                peak_w = meta[1]
+            if obs_on:
+                for fu, code in enumerate(meta[3]):
+                    ccounts[fu * 5 + code] += count
+                if read_hist is not None:
+                    read_hist.observe_many(meta[0], count)
+                    write_hist.observe_many(meta[1], count)
+        if obs_on:
+            counters.branches_taken += btaken
+            # the reference Sequencer counts live, per run (no re-fold)
+            if nresolved:
+                obs.registry.counter("sequencer.resolved").inc(nresolved)
+            if btaken:
+                obs.registry.counter("sequencer.taken").inc(btaken)
         machine.pc = pc
         machine.cycle = cycle
         regfile.total_reads += reg_reads
         regfile.total_writes += reg_writes
         regfile.conflicts_dropped += reg_conflicts
+        regfile.peak_reads = peak_r
+        regfile.peak_writes = peak_w
         regfile._inflight = inflight
         memory.loads += mem_loads
         memory.stores += mem_stores
         memory.conflicts_dropped += mem_conflicts
 
     _drain_inflight(regfile, detect_reg, cycle)
+    if obs_on:
+        # the reference drain() commits observe zero port activity
+        read_hist, write_hist = regfile.port_histograms()
+        if read_hist is not None:
+            read_hist.observe_many(0, write_latency)
+            write_hist.observe_many(0, write_latency)

@@ -104,16 +104,26 @@ class RegisterFile:
         self._inflight[-1] = []
         self.peak_reads = max(self.peak_reads, self._reads_this_cycle)
         self.peak_writes = max(self.peak_writes, self._writes_this_cycle)
-        if self._obs is not None and self._obs.enabled:
-            if self._read_hist is None:
-                self._read_hist = self._obs.registry.histogram(
-                    "regfile.read_ports")
-                self._write_hist = self._obs.registry.histogram(
-                    "regfile.write_ports")
-            self._read_hist.observe(self._reads_this_cycle)
-            self._write_hist.observe(self._writes_this_cycle)
+        read_hist, write_hist = self.port_histograms()
+        if read_hist is not None:
+            read_hist.observe(self._reads_this_cycle)
+            write_hist.observe(self._writes_this_cycle)
         self._reads_this_cycle = 0
         self._writes_this_cycle = 0
+
+    def port_histograms(self):
+        """The lazily-bound port-pressure histograms as a
+        ``(read, write)`` pair, or ``(None, None)`` when no enabled
+        observer is attached.  Shared by :meth:`commit` and the fast
+        engine's post-run fold so both bind the same registry names."""
+        if self._obs is None or not self._obs.enabled:
+            return None, None
+        if self._read_hist is None:
+            self._read_hist = self._obs.registry.histogram(
+                "regfile.read_ports")
+            self._write_hist = self._obs.registry.histogram(
+                "regfile.write_ports")
+        return self._read_hist, self._write_hist
 
     def drain(self, cycle: int = -1) -> None:
         """Retire every in-flight write (used when the machine halts, so

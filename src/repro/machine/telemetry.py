@@ -1,0 +1,116 @@
+"""Tier-0 run telemetry shared by both execution engines.
+
+The observability tiers (see README "Observability"):
+
+* **tier-0** — counter-only: an enabled :class:`~repro.obs.core.Observer`
+  with no sinks.  Both the reference interpreters and the fast engine
+  accumulate the same flat counters (per-FU cycle-class attribution,
+  branch/sync tallies) into a :class:`RunCounters` and fold them — plus
+  the op census already kept by
+  :class:`~repro.machine.datapath.DatapathStats` — into the metrics
+  registry through :func:`fold_run_metrics`, so the registry contents
+  are bit-identical whichever engine ran.
+* **tier-1** — sampled tracing: ``Observer(sinks, sample_every=N)``
+  additionally emits the full typed-event vocabulary every Nth cycle.
+* **tier-2** — full tracing: sinks at ``sample_every=1`` (or an address
+  trace / SSET tracker), which still forces the reference path.
+
+Like :class:`~repro.machine.datapath.DatapathStats`, a
+:class:`RunCounters` accumulates across multiple ``run()`` calls on the
+same machine and is only filled while the machine's observer is
+enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Cycle-class codes, ordered to match the characters of
+#: :data:`repro.obs.events.FU_CLASS_NAMES`: useful / sync-wait /
+#: branch-resolve / idle / halted.
+CLS_USEFUL, CLS_SYNC, CLS_BRANCH, CLS_IDLE, CLS_HALTED = range(5)
+
+#: code -> fu_class character (as carried by CycleEvent.fu_class).
+CLASS_CHARS = "USBI."
+
+#: code -> spelled-out class name (as used by stall-mix renderings).
+CLASS_NAMES = ("useful", "sync_wait", "branch_resolve", "idle", "halted")
+
+#: fu_class character -> code (for the reference interpreters).
+CLASS_INDEX: Dict[str, int] = {char: i for i, char in enumerate(CLASS_CHARS)}
+
+
+class RunCounters:
+    """Flat tier-0 counters accumulated inside the step loops.
+
+    ``class_counts`` is one flat list with 5 slots per FU (indexed
+    ``fu * 5 + code``) so the fast engine's per-cycle update is a single
+    list-index add — no dicts, no allocation.
+    """
+
+    __slots__ = ("machine_name", "n_fus", "class_counts",
+                 "branches_taken", "sync_done", "barriers")
+
+    def __init__(self, machine_name: str, n_fus: int):
+        self.machine_name = machine_name
+        self.n_fus = n_fus
+        self.class_counts: List[int] = [0] * (5 * n_fus)
+        self.branches_taken = 0
+        self.sync_done = 0
+        self.barriers = 0
+
+    def busy_cycles(self) -> List[int]:
+        """Per-FU cycles spent non-halted (classes U/S/B/I)."""
+        counts = self.class_counts
+        return [sum(counts[fu * 5:fu * 5 + 4]) for fu in range(self.n_fus)]
+
+    def class_mix(self) -> List[Dict[str, int]]:
+        """Per-FU ``{class name: cycles}`` with zero entries dropped and
+        keys sorted — the exact shape of ``RunReport.stall_mix``."""
+        mix = []
+        for fu in range(self.n_fus):
+            base = fu * 5
+            tally = {CLASS_NAMES[code]: self.class_counts[base + code]
+                     for code in range(5) if self.class_counts[base + code]}
+            mix.append(dict(sorted(tally.items())))
+        return mix
+
+
+def fold_run_metrics(observer, machine, wall_seconds: float) -> None:
+    """Fold one finished ``run()`` into *observer*'s metrics registry.
+
+    Both the reference interpreters and the fast engine call this same
+    fold, so the registry contents (everything except the wall-clock
+    timer) are bit-identical whichever engine executed the run.  The
+    census counters re-fold the machine's cumulative
+    :class:`~repro.machine.datapath.DatapathStats`, matching the
+    long-standing ``{machine}.cycles`` / ``{machine}.data_ops``
+    semantics on repeated runs of one machine.
+    """
+    registry = observer.registry
+    counters = machine.counters
+    name = counters.machine_name
+    stats = machine.stats
+    registry.timer(f"{name}.run_wall").observe(wall_seconds)
+    registry.counter(f"{name}.runs").inc()
+    registry.counter(f"{name}.cycles").inc(machine.cycle)
+    registry.counter(f"{name}.data_ops").inc(stats.data_ops)
+    registry.gauge(f"{name}.utilization").set(
+        stats.utilization(counters.n_fus))
+    for mnemonic, count in stats.per_opcode.items():
+        registry.counter(f"{name}.op.{mnemonic}").inc(count)
+    class_counts = counters.class_counts
+    for fu in range(counters.n_fus):
+        base = fu * 5
+        for code in range(5):
+            value = class_counts[base + code]
+            if value:
+                registry.counter(
+                    f"{name}.class.fu{fu}.{CLASS_NAMES[code]}").inc(value)
+    if counters.branches_taken:
+        registry.counter(f"{name}.branches_taken").inc(
+            counters.branches_taken)
+    if counters.sync_done:
+        registry.counter(f"{name}.sync_done").inc(counters.sync_done)
+    if counters.barriers:
+        registry.counter(f"{name}.barriers").inc(counters.barriers)

@@ -35,6 +35,7 @@ from .memory import DistributedMemory, SharedMemory
 from .program import Program
 from .register_file import RegisterFile
 from .sequencer import Sequencer
+from .telemetry import CLASS_INDEX, RunCounters, fold_run_metrics
 from .trace import AddressTrace, TraceRecord
 from .ximd import ExecutionResult
 
@@ -80,6 +81,9 @@ class VliwMachine:
         self.pc: Optional[int] = program.entry
         self.cycle = 0
         self.stats = DatapathStats()
+        #: tier-0 telemetry counters, filled (by either engine) while
+        #: the observer is enabled; cumulative like stats.
+        self.counters = RunCounters("vliw", self.config.n_fus)
         self.trace: Optional[AddressTrace] = (
             AddressTrace(self.config.n_fus) if trace else None)
         #: pre-decoded program for the fast engine (built lazily, cached).
@@ -121,6 +125,9 @@ class VliwMachine:
 
         cc_start = self.cc.snapshot()
         obs_on = self.obs.enabled
+        # tier-1 sampling: typed events only every sample_every cycles;
+        # the counter tallies below stay unsampled.
+        emit_on = obs_on and self.cycle % self.obs.sample_every == 0
         if self.trace is not None:
             self.trace.append(TraceRecord(
                 cycle=self.cycle,
@@ -168,14 +175,21 @@ class VliwMachine:
                 self.stats.branches_conditional += 1
             next_pc = self.sequencer.next_pc(self.pc, control, taken)
             if obs_on:
-                self.obs.emit(BranchEvent(
-                    machine="vliw", cycle=self.cycle, fu=control_fu,
-                    pc=self.pc,
-                    branch_kind=("uncond" if control.is_unconditional
-                                 else "cond"),
-                    taken=taken, target=next_pc))
+                if taken:
+                    self.counters.branches_taken += 1
+                if emit_on:
+                    self.obs.emit(BranchEvent(
+                        machine="vliw", cycle=self.cycle, fu=control_fu,
+                        pc=self.pc,
+                        branch_kind=("uncond" if control.is_unconditional
+                                     else "cond"),
+                        taken=taken, target=next_pc))
 
         if obs_on:
+            class_counts = self.counters.class_counts
+            for fu, char in enumerate(fu_class):
+                class_counts[fu * 5 + CLASS_INDEX[char]] += 1
+        if emit_on:
             self.obs.emit(CycleEvent(
                 machine="vliw", cycle=self.cycle,
                 pcs=tuple([self.pc] * n), cc=self.cc.format(),
@@ -206,7 +220,12 @@ class VliwMachine:
             blockers = fast_path_blockers(self)
             if not blockers:
                 self.engine_used = "fast"
+                obs_on = self.obs.enabled
+                wall_start = time.perf_counter() if obs_on else 0.0
                 run_vliw_fast(self, limit)
+                if obs_on:
+                    fold_run_metrics(self.obs, self,
+                                     time.perf_counter() - wall_start)
                 final = tuple([None] * self.config.n_fus)
                 return ExecutionResult(
                     cycles=self.cycle,
@@ -229,14 +248,8 @@ class VliwMachine:
             self.step()
         self.regfile.drain(self.cycle)
         if obs_on:
-            registry = self.obs.registry
-            registry.timer("vliw.run_wall").observe(
-                time.perf_counter() - wall_start)
-            registry.counter("vliw.runs").inc()
-            registry.counter("vliw.cycles").inc(self.cycle)
-            registry.counter("vliw.data_ops").inc(self.stats.data_ops)
-            registry.gauge("vliw.utilization").set(
-                self.stats.utilization(self.config.n_fus))
+            fold_run_metrics(self.obs, self,
+                             time.perf_counter() - wall_start)
         final: Tuple[Optional[int], ...] = tuple([None] * self.config.n_fus)
         return ExecutionResult(
             cycles=self.cycle,

@@ -52,6 +52,7 @@ from .partition import (
 from .program import Program
 from .register_file import RegisterFile
 from .sequencer import Sequencer
+from .telemetry import CLASS_INDEX, RunCounters, fold_run_metrics
 from .trace import AddressTrace, TraceRecord
 
 
@@ -122,6 +123,9 @@ class XimdMachine:
         self.pcs: List[Optional[int]] = [program.entry] * self.config.n_fus
         self.cycle = 0
         self.stats = DatapathStats()
+        #: tier-0 telemetry counters, filled (by either engine) while
+        #: the observer is enabled; cumulative like stats.
+        self.counters = RunCounters("ximd", self.config.n_fus)
         self.trace: Optional[AddressTrace] = (
             AddressTrace(self.config.n_fus) if trace else None)
         self.tracker = self._make_tracker(tracker)
@@ -182,13 +186,16 @@ class XimdMachine:
         cc_start = self.cc.snapshot()
 
         obs_on = self.obs.enabled
+        # tier-1 sampling: typed events are emitted only every
+        # sample_every cycles; counters/metrics below stay unsampled.
+        emit_on = obs_on and self.cycle % self.obs.sample_every == 0
         partition = None
         cc_text = ss_text = ""
         pcs_start: Tuple[Optional[int], ...] = ()
         if obs_on or self.trace is not None or self.tracker is not None:
             partition = (self.tracker.partition(self._pc_vector())
                          if self.tracker is not None else None)
-            if obs_on or self.trace is not None:
+            if emit_on or self.trace is not None:
                 cc_text = self.cc.format()
                 ss_text = "".join(
                     "-" if p is None else
@@ -251,13 +258,16 @@ class XimdMachine:
                 barrier_taken[fu] = True
             next_pcs[fu] = self.sequencer.next_pc(self.pcs[fu], control, taken)
             if obs_on:
-                branch_kind = ("uncond" if control.is_unconditional
-                               else "sync" if control.condition.uses_sync
-                               else "cond")
-                self.obs.emit(BranchEvent(
-                    machine="ximd", cycle=self.cycle, fu=fu,
-                    pc=self.pcs[fu], branch_kind=branch_kind,
-                    taken=taken, target=next_pcs[fu]))
+                if taken:
+                    self.counters.branches_taken += 1
+                if emit_on:
+                    branch_kind = ("uncond" if control.is_unconditional
+                                   else "sync" if control.condition.uses_sync
+                                   else "cond")
+                    self.obs.emit(BranchEvent(
+                        machine="ximd", cycle=self.cycle, fu=fu,
+                        pc=self.pcs[fu], branch_kind=branch_kind,
+                        taken=taken, target=next_pcs[fu]))
 
         if self.tracker is not None:
             self.tracker.step(actual_pcs,
@@ -266,6 +276,17 @@ class XimdMachine:
                               parcels, barrier_taken)
 
         if obs_on:
+            counters = self.counters
+            class_counts = counters.class_counts
+            for fu, char in enumerate(fu_class):
+                class_counts[fu * 5 + CLASS_INDEX[char]] += 1
+            for fu in range(n):
+                parcel = parcels[fu]
+                if parcel is not None and parcel.sync is SyncValue.DONE:
+                    counters.sync_done += 1
+                if barrier_taken[fu]:
+                    counters.barriers += 1
+        if emit_on:
             self.obs.emit(CycleEvent(
                 machine="ximd", cycle=self.cycle, pcs=pcs_start,
                 cc=cc_text, ss=ss_text, partition=partition,
@@ -319,7 +340,12 @@ class XimdMachine:
             blockers = fast_path_blockers(self)
             if not blockers:
                 self.engine_used = "fast"
+                obs_on = self.obs.enabled
+                wall_start = time.perf_counter() if obs_on else 0.0
                 run_ximd_fast(self, limit)
+                if obs_on:
+                    fold_run_metrics(self.obs, self,
+                                     time.perf_counter() - wall_start)
                 return ExecutionResult(
                     cycles=self.cycle,
                     halted=True,
@@ -341,14 +367,8 @@ class XimdMachine:
             self.step()
         self.regfile.drain(self.cycle)
         if obs_on:
-            registry = self.obs.registry
-            registry.timer("ximd.run_wall").observe(
-                time.perf_counter() - wall_start)
-            registry.counter("ximd.runs").inc()
-            registry.counter("ximd.cycles").inc(self.cycle)
-            registry.counter("ximd.data_ops").inc(self.stats.data_ops)
-            registry.gauge("ximd.utilization").set(
-                self.stats.utilization(self.config.n_fus))
+            fold_run_metrics(self.obs, self,
+                             time.perf_counter() - wall_start)
         return ExecutionResult(
             cycles=self.cycle,
             halted=True,

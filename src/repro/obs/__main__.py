@@ -198,6 +198,10 @@ def _cmd_gate(args) -> int:
         print(f"warning: wall-time metric worsened (non-blocking): "
               f"{delta.path} {delta.before:.4g} -> {delta.after:.4g}",
               file=sys.stderr)
+    for delta in result.advisory_regressions:
+        print(f"warning: advisory metric worsened (non-blocking): "
+              f"{delta.path} {delta.before:.4g} -> {delta.after:.4g}",
+              file=sys.stderr)
     if result.regressions:
         print(f"\nGATE FAILED: {len(result.regressions)} deterministic "
               f"metric(s) regressed beyond {tolerance:.1%} tolerance",
@@ -348,10 +352,10 @@ def build_parser() -> argparse.ArgumentParser:
     history.add_argument("--metrics", nargs="+",
                          default=["speedup", "ximd_cycles",
                                   "ximd_energy_pj",
-                                  "fast_kcycles_per_sec"],
+                                  "fast_kcycles_per_sec", "ops_out"],
                          help="metrics to trend (default: speedup "
                               "ximd_cycles ximd_energy_pj "
-                              "fast_kcycles_per_sec)")
+                              "fast_kcycles_per_sec ops_out)")
     history.set_defaults(func=_cmd_history)
 
     html = sub.add_parser(

@@ -34,18 +34,39 @@ class PassSpan:
 
 
 class Observer:
-    """Fan events out to sinks and keep a metrics registry."""
+    """Fan events out to sinks and keep a metrics registry.
+
+    *sample_every* selects the tracing tier for the machine simulators:
+    ``1`` (the default) emits every cycle's events (tier-2, full
+    tracing), ``N > 1`` emits the full typed-event set only on cycles
+    where ``cycle % N == 0`` (tier-1, sampled tracing — cheap enough
+    for the fast engine).  An observer with no sinks at all is tier-0:
+    only counters/metrics are kept, which the fast engine accumulates
+    natively.  Sampling never thins metrics — counters and histograms
+    always cover every cycle.
+    """
 
     enabled = True
+    sample_every = 1
 
     def __init__(self, sinks: Union[Sink, Sequence[Sink], None] = None,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None,
+                 sample_every: int = 1):
         if sinks is None:
             sinks = []
         elif isinstance(sinks, Sink):
             sinks = [sinks]
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
         self.sinks: List[Sink] = list(sinks)
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.sample_every = int(sample_every)
+
+    @property
+    def counters_only(self) -> bool:
+        """True when this observer keeps metrics but has no sinks — the
+        tier-0 subset the fast engine supports natively."""
+        return not self.sinks
 
     def add_sink(self, sink: Sink) -> Sink:
         self.sinks.append(sink)
@@ -144,6 +165,7 @@ def observed(observer: Observer) -> Iterator[Observer]:
         set_observer(previous)
 
 
-def recording_observer(capacity: Optional[int] = None) -> Observer:
+def recording_observer(capacity: Optional[int] = None,
+                       sample_every: int = 1) -> Observer:
     """An observer with a single in-memory ring buffer (test helper)."""
-    return Observer(RingBufferSink(capacity))
+    return Observer(RingBufferSink(capacity), sample_every=sample_every)

@@ -31,6 +31,7 @@ LOWER_IS_BETTER = (
     "cycles", "nops", "stall", "sync_wait", "branch_resolve", "idle",
     "halted", "partition_changes", "barriers", "height", "code_rows",
     "chips", "transistors", "cycle_time", "energy", "pj",
+    "ops_in", "ops_out",
 )
 
 #: Metric-name markers whose *decrease* is a regression.
@@ -39,6 +40,13 @@ HIGHER_IS_BETTER = ("speedup", "utilization", "occupancy", "mips",
 
 #: Path-component markers for wall-clock measurements (warn-only).
 TIMING_MARKERS = ("timing", "seconds", "wall")
+
+#: Path-component markers for advisory metrics: deterministic, with a
+#: real direction (per-pass IR growth is worth flagging), but judged by
+#: a coarser yardstick than end-to-end results — a pass may legitimately
+#: grow the IR so a later pass can shrink it.  Advisory regressions are
+#: reported but never block.
+ADVISORY_MARKERS = ("passes",)
 
 
 class WorkloadMismatchError(ValueError):
@@ -90,6 +98,14 @@ def is_timing_path(path: str) -> bool:
     return any(_marker_matches(marker, part)
                for part in path.split(".")
                for marker in TIMING_MARKERS)
+
+
+def is_advisory_path(path: str) -> bool:
+    """Whether *path* is advisory: reported on regression, never
+    blocking (per-pass compiler telemetry)."""
+    return any(_marker_matches(marker, part)
+               for part in path.split(".")
+               for marker in ADVISORY_MARKERS)
 
 
 def flatten_numeric(payload: object, prefix: str = "",
@@ -152,6 +168,10 @@ class MetricDelta:
     def timing(self) -> bool:
         return is_timing_path(self.path)
 
+    @property
+    def advisory(self) -> bool:
+        return is_advisory_path(self.path)
+
     def relative_change(self) -> float:
         """|delta| / |before| (∞ when the baseline is zero)."""
         if self.before == 0:
@@ -191,6 +211,7 @@ class MetricDelta:
             "ratio": self.ratio,
             "direction": self.direction,
             "timing": self.timing,
+            "advisory": self.advisory,
         }
 
 
@@ -224,8 +245,9 @@ class DiffResult:
     def regressions(self) -> List[MetricDelta]:
         """Deterministic-metric regressions beyond tolerance (blocking)."""
         return [d for d in self.deltas
-                if not d.timing and d.regressed(self.tolerance_for(d.path),
-                                                self.abs_tolerance)]
+                if not d.timing and not d.advisory
+                and d.regressed(self.tolerance_for(d.path),
+                                self.abs_tolerance)]
 
     @property
     def timing_regressions(self) -> List[MetricDelta]:
@@ -233,6 +255,14 @@ class DiffResult:
         return [d for d in self.deltas
                 if d.timing and d.regressed(self.tolerance_for(d.path),
                                             self.abs_tolerance)]
+
+    @property
+    def advisory_regressions(self) -> List[MetricDelta]:
+        """Per-pass IR growth and friends — reported, never blocking."""
+        return [d for d in self.deltas
+                if d.advisory and not d.timing
+                and d.regressed(self.tolerance_for(d.path),
+                                self.abs_tolerance)]
 
     @property
     def improvements(self) -> List[MetricDelta]:
@@ -253,6 +283,8 @@ class DiffResult:
             "regressions": [d.to_dict() for d in self.regressions],
             "timing_regressions": [d.to_dict()
                                    for d in self.timing_regressions],
+            "advisory_regressions": [d.to_dict()
+                                     for d in self.advisory_regressions],
             "improvements": [d.to_dict() for d in self.improvements],
             "only_before": list(self.only_before),
             "only_after": list(self.only_after),
@@ -266,6 +298,7 @@ class DiffResult:
         changed = self.changed
         if changed:
             regressed = {d.path for d in self.regressions}
+            advisory = {d.path for d in self.advisory_regressions}
             width = max(len(d.path) for d in changed)
             width = min(max(width, 6), 56)
             lines.append(f"{'metric':<{width}} {'before':>14} "
@@ -275,6 +308,8 @@ class DiffResult:
             for d in shown:
                 if d.path in regressed:
                     verdict = "REGRESSED"
+                elif d.path in advisory:
+                    verdict = "advisory"
                 elif d.timing:
                     verdict = "timing"
                 elif d.improved():
@@ -303,6 +338,7 @@ class DiffResult:
             f"summary: {len(changed)} changed, "
             f"{len(self.regressions)} regressed, "
             f"{len(self.improvements)} improved, "
+            f"{len(self.advisory_regressions)} advisory, "
             f"{len(self.timing_regressions)} timing-only "
             f"({policy})")
         return "\n".join(lines)

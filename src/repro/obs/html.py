@@ -202,6 +202,37 @@ def _energy_panel(report: dict, limit: int = 14) -> str:
     return "".join(parts)
 
 
+def _passes_panel(report: dict) -> str:
+    """Per-pass IR-size table: ops in/out and the shrink per compiler
+    pass, with a bar scaled to the pipeline's largest IR (empty string
+    when the report carries no pass telemetry)."""
+    passes: List[dict] = report.get("passes") or []
+    if not passes:
+        return ""
+    peak = max((max(p.get("ops_in", 0), p.get("ops_out", 0))
+                for p in passes), default=0) or 1
+    rows = []
+    for entry in passes:
+        ops_in = entry.get("ops_in", 0)
+        ops_out = entry.get("ops_out", 0)
+        delta = ops_out - ops_in
+        width = max(2, int(220 * ops_out / peak))
+        color = ("#2a9d8f" if delta < 0
+                 else "#e76f51" if delta > 0 else "#8d99ae")
+        rows.append(
+            f'<tr><td class="name"><code>{_esc(entry.get("name", "?"))}'
+            f"</code></td><td>{ops_in:,}</td><td>{ops_out:,}</td>"
+            f"<td>{delta:+,}</td>"
+            f'<td class="name"><span class="bar" '
+            f'style="width:{width}px;background:{color}"></span></td>'
+            "</tr>")
+    return ("<h2>Compiler passes (IR size)</h2>"
+            '<table><tr><th class="name">pass</th><th>ops in</th>'
+            "<th>ops out</th><th>&Delta;</th>"
+            '<th class="name">ops out</th></tr>'
+            + "".join(rows) + "</table>")
+
+
 def _sset_timeline_svg(timeline: Sequence[Tuple[int, int]],
                        width: int = 860, height: int = 120) -> str:
     """Step-line SVG of the concurrent-stream count over cycles."""
@@ -340,6 +371,7 @@ def render_dashboard(report: dict,
         _stall_by_streams(report),
         _opcode_bars(report),
         _energy_panel(report),
+        _passes_panel(report),
         "<h2>Concurrent instruction streams</h2>",
     ]
     if timeline:
@@ -356,6 +388,12 @@ def render_dashboard(report: dict,
                 "<h2>Host throughput (E14, fast engine, wall clock "
                 "— warn-only)</h2>")
             sections.append(throughput)
+        ir_trend = _history_svg(list(history), metric="ops_out")
+        if ir_trend:
+            sections.append(
+                "<h2>Compiler-pass IR size across PRs "
+                "(ops_out — advisory)</h2>")
+            sections.append(ir_trend)
     sections.append(
         "<footer>generated offline by <code>python -m repro.obs html"
         "</code> — no external resources.</footer>")

@@ -68,6 +68,16 @@ class Histogram:
         self.total += 1
         self._sum += value
 
+    def observe_many(self, value, count: int) -> None:
+        """Observe *value* *count* times in one update (the fast
+        engine's post-run fold; all observed values here are small
+        integers, so the sum stays exact)."""
+        if count <= 0:
+            return
+        self.counts[value] = self.counts.get(value, 0) + count
+        self.total += count
+        self._sum += value * count
+
     @property
     def mean(self) -> float:
         return self._sum / self.total if self.total else 0.0

@@ -241,6 +241,75 @@ class RunReport:
             metrics=registry.to_dict() if registry is not None else {},
         )
 
+    @classmethod
+    def from_machine(cls, machine,
+                     registry: Optional[MetricsRegistry] = None,
+                     ) -> "RunReport":
+        """Build a report from tier-0 counter telemetry alone.
+
+        The counter tier (an enabled observer with no sinks — fast-engine
+        native) carries no event stream, so the event-derived extras are
+        absent: no occupancy sparkline, hot PCs, SSET histogram,
+        stall-by-streams breakdown, compiler passes, or per-FU energy
+        split.  Every field both tiers can compute matches
+        :meth:`from_events` over a full reference trace exactly.
+        """
+        counters = machine.counters
+        stats = machine.stats
+        n_fus = counters.n_fus
+        cycles = machine.cycle
+        if counters.machine_name == "vliw":
+            # one machine-wide PC: every FU is busy until the halt
+            fu_busy = [cycles] * n_fus
+        else:
+            fu_busy = counters.busy_cycles()
+        denominator = cycles * n_fus
+        occupancy = (sum(fu_busy) / denominator) if denominator else 0.0
+
+        # sync branches are counted inside branches_conditional by the
+        # datapath census; the event vocabulary reports them apart
+        sync = stats.branches_sync
+        branch_mix = {"cond": stats.branches_conditional - sync,
+                      "uncond": stats.branches_unconditional,
+                      "sync": sync}
+
+        op_histogram = dict(sorted(stats.per_opcode.items()))
+        from ..analysis.cost import EnergyReport
+        from ..isa.errors import UnknownOpcodeError
+
+        try:
+            energy = EnergyReport.from_histogram(
+                op_histogram, cycles=cycles).to_dict()
+        except UnknownOpcodeError:
+            energy = {}
+
+        return cls(
+            machine=counters.machine_name,
+            n_fus=n_fus,
+            cycles=cycles,
+            data_ops=stats.data_ops,
+            utilization=stats.utilization(n_fus),
+            occupancy=occupancy,
+            fu_busy_cycles=fu_busy,
+            occupancy_sparkline="",
+            sset_histogram={},
+            mean_streams=0.0,
+            max_streams=0,
+            multi_stream_fraction=0.0,
+            partition_changes=0,
+            branch_mix=branch_mix,
+            branches_taken=counters.branches_taken,
+            sync_done=counters.sync_done,
+            barriers=counters.barriers,
+            hot_pcs=[],
+            stall_mix=counters.class_mix(),
+            stall_by_streams={},
+            op_histogram=op_histogram,
+            energy=energy,
+            passes=[],
+            metrics=registry.to_dict() if registry is not None else {},
+        )
+
     # -- rendering ---------------------------------------------------------
 
     def to_dict(self, include_timing: bool = True) -> dict:

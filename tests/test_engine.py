@@ -9,8 +9,9 @@ gate — plus condition codes, memory contents, port counters, and the
 registered sync vector.  These tests enforce that contract on the
 paper's workloads, on the prototype-config variants, on randomized
 programs spanning the whole ISA, and on the documented fallback rules
-(observer / trace / tracker / devices / port caps force the reference
-path).
+(full-trace observer / trace / tracker / devices / port caps force the
+reference path; counter-only and sampled observers do not), and on the
+tier-0 telemetry the fast engine now accumulates natively.
 """
 
 import dataclasses
@@ -40,7 +41,7 @@ from repro.machine import (
     prototype_config,
     research_config,
 )
-from repro.obs import Observer
+from repro.obs import Observer, observed, recording_observer
 from repro.workloads import (
     BITCOUNT_REGS,
     LL12_REGS,
@@ -76,11 +77,24 @@ def _fresh(cls, source, regs=None, mem=None, config=None, **kwargs):
     return machine
 
 
+def _canon(value):
+    """Make NaN comparable: ``float('nan') != float('nan')``, so two
+    engines that both compute NaN (``fdiv 0/0`` then arithmetic on the
+    result allocates fresh NaN objects) would spuriously diverge."""
+    if isinstance(value, float) and value != value:
+        return "NaN"
+    if isinstance(value, tuple) or isinstance(value, list):
+        return tuple(_canon(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _canon(v) for k, v in value.items()}
+    return value
+
+
 def _result_fingerprint(result):
     return (
         result.cycles,
         result.halted,
-        tuple(result.registers),
+        _canon(result.registers),
         tuple(result.final_pcs),
         dataclasses.asdict(result.stats),
         tuple(result.stats.per_opcode.items()),
@@ -94,15 +108,17 @@ def _machine_fingerprint(machine):
     mem_words = (memory._data if hasattr(memory, "_data")
                  else memory._banks)
     return (
-        tuple(machine.cc._values),
+        _canon(machine.cc._values),
         tuple(machine.cc._defined),
-        mem_words,
+        _canon(mem_words),
         memory.loads,
         memory.stores,
         memory.conflicts_dropped,
         machine.regfile.total_reads,
         machine.regfile.total_writes,
         machine.regfile.conflicts_dropped,
+        machine.regfile.peak_reads,
+        machine.regfile.peak_writes,
         getattr(machine, "_prev_ss", None),
     )
 
@@ -261,6 +277,102 @@ class TestMidRunResume:
 
 
 # ---------------------------------------------------------------------------
+# tier-0 telemetry: the fast engine's native counters vs the reference
+
+
+def _telemetry_snapshot(obs):
+    """``registry.to_dict()`` minus wall-clock timers — the only
+    instruments whose values are legitimately nondeterministic."""
+    return {name: data for name, data in obs.registry.to_dict().items()
+            if data.get("type") != "timer"}
+
+
+def _counters_fingerprint(machine):
+    counters = machine.counters
+    return (
+        counters.machine_name,
+        tuple(counters.class_counts),
+        counters.branches_taken,
+        counters.sync_done,
+        counters.barriers,
+    )
+
+
+class TestTelemetryDifferential:
+    """A counter-only observer must see bit-identical telemetry from
+    both engines: every metric in the registry (timers aside), the raw
+    RunCounters, and the register-file port peaks."""
+
+    @pytest.mark.parametrize("name", sorted(PAPER_WORKLOADS))
+    def test_counter_telemetry_bit_identical(self, name):
+        machines = {}
+        snaps = {}
+        for engine in ("reference", "fast"):
+            obs = Observer()
+            with observed(obs):
+                machine = PAPER_WORKLOADS[name]()
+            machine.run(5_000_000, engine=engine)
+            assert machine.engine_used == engine
+            machines[engine] = machine
+            snaps[engine] = _telemetry_snapshot(obs)
+        assert snaps["fast"] == snaps["reference"]
+        assert (_counters_fingerprint(machines["fast"])
+                == _counters_fingerprint(machines["reference"]))
+        assert (_machine_fingerprint(machines["fast"])
+                == _machine_fingerprint(machines["reference"]))
+
+    @pytest.mark.parametrize("name", ["minmax-ximd", "tproc-vliw"])
+    def test_counter_telemetry_prototype_config(self, name):
+        """write_latency=2 exercises the drain-cycle port histogram."""
+        make = PAPER_WORKLOADS[name]
+        width = make().program.width
+        snaps = {}
+        for engine in ("reference", "fast"):
+            obs = Observer()
+            with observed(obs):
+                machine = make(config=prototype_config(width))
+            machine.run(5_000_000, engine=engine)
+            assert machine.engine_used == engine
+            snaps[engine] = _telemetry_snapshot(obs)
+        assert snaps["fast"] == snaps["reference"]
+
+    def test_sampling_never_thins_counters(self):
+        """Tier-1 sampling thins the event stream only: the registry
+        must match a counter-only (tier-0) run exactly."""
+        obs_sampled = recording_observer(sample_every=16)
+        with observed(obs_sampled):
+            sampled = PAPER_WORKLOADS["tproc-ximd"]()
+        sampled.run(5_000_000, engine="fast")
+
+        obs_counter = Observer()
+        with observed(obs_counter):
+            counted = PAPER_WORKLOADS["tproc-ximd"]()
+        counted.run(5_000_000, engine="fast")
+        assert (_telemetry_snapshot(obs_sampled)
+                == _telemetry_snapshot(obs_counter))
+
+    def test_error_ordering_deterministic(self):
+        """All data ops execute before any control resolves (the
+        reference phase order): FU1's bad store must win over FU0's
+        bad SS index under both engines."""
+        bad_ss = ControlOp(Condition.SS_DONE, 1, 1, index=7)
+        program = Program([
+            [Parcel(DataOp(OPCODES["nop"]), bad_ss, SyncValue.BUSY)],
+            [Parcel(DataOp(OPCODES["store"], Const(1), Const(-3), None),
+                    None, SyncValue.BUSY)],
+        ])
+        errors = {}
+        for engine in ("reference", "fast"):
+            machine = XimdMachine(program, config=_lenient(2))
+            try:
+                machine.run(64, engine=engine)
+            except MachineError as exc:
+                errors[engine] = (type(exc).__name__, str(exc))
+        assert errors["fast"] == errors["reference"]
+        assert errors["reference"][0] == "MemoryError_"
+
+
+# ---------------------------------------------------------------------------
 # fallback rules: features the fast path does not model force reference
 
 
@@ -285,11 +397,29 @@ class TestFallback:
         machine.run(1_000)
         assert machine.engine_used == "reference"
 
-    def test_observer_forces_reference(self):
+    def test_counter_only_observer_stays_fast(self):
+        """Tier-0: an enabled observer with no sinks costs nothing the
+        fast engine cannot account natively."""
         machine = _tproc(obs=Observer())
         assert machine.obs.enabled
+        assert fast_path_blockers(machine) == []
+        machine.run(1_000)
+        assert machine.engine_used == "fast"
+
+    def test_full_tracing_observer_forces_reference(self):
+        """Tier-2: sinks at sample_every=1 need the reference path's
+        per-cycle event stream."""
+        machine = _tproc(obs=recording_observer())
+        assert machine.obs.sinks
         machine.run(1_000)
         assert machine.engine_used == "reference"
+
+    def test_sampled_tracing_observer_stays_fast(self):
+        """Tier-1: sinks with sample_every > 1 are fast-eligible."""
+        machine = _tproc(obs=recording_observer(sample_every=8))
+        assert machine.obs.sinks
+        machine.run(1_000)
+        assert machine.engine_used == "fast"
 
     def test_devices_force_reference(self):
         devices = make_devices([(0, 1)], [(0, 2)])

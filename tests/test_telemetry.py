@@ -1,0 +1,169 @@
+"""Tiered telemetry: sampled tracing fidelity and counter-tier reports.
+
+Satellite coverage for the telemetry tiers (see README "Observability"):
+
+* tier-1 sampled tracing emits the full typed-event vocabulary exactly
+  on cycles where ``cycle % sample_every == 0`` — event counts, cycle
+  stamps at the sample boundaries, and ``sample_every=1`` degenerating
+  to the unsampled tier-2 stream are all pinned here;
+* the fast engine's sampled stream is event-identical to the reference
+  interpreter sampled at the same rate;
+* :meth:`RunReport.from_machine` (tier-0, counter-only) agrees with
+  :meth:`RunReport.from_events` (tier-2, full trace) on every field the
+  counter tier can compute.
+"""
+
+import math
+
+import pytest
+
+from repro.asm import assemble
+from repro.machine import VliwMachine, XimdMachine
+from repro.obs import (
+    CycleEvent,
+    Observer,
+    RunReport,
+    event_to_dict,
+    recording_observer,
+)
+from repro.workloads import (
+    BITCOUNT_REGS,
+    FIGURE10_DATA,
+    MINMAX_REGS,
+    bitcount_memory,
+    bitcount_total_source,
+    bitcount_vliw_source,
+    minmax_memory,
+    minmax_source,
+    random_words,
+)
+
+_BC_DATA = random_words(48, seed=4)
+
+
+def _minmax(**kwargs):
+    machine = XimdMachine(assemble(minmax_source("halt")), **kwargs)
+    machine.regfile.poke(MINMAX_REGS["n"], len(FIGURE10_DATA))
+    for address, value in minmax_memory(FIGURE10_DATA).items():
+        machine.memory.poke(address, value)
+    return machine
+
+
+def _bitcount_vliw(**kwargs):
+    machine = VliwMachine(assemble(bitcount_vliw_source()), **kwargs)
+    machine.regfile.poke(BITCOUNT_REGS["n"], 48)
+    for address, value in bitcount_memory(_BC_DATA).items():
+        machine.memory.poke(address, value)
+    return machine
+
+
+def _run_traced(factory, engine, sample_every=1):
+    obs = recording_observer(sample_every=sample_every)
+    machine = factory(obs=obs)
+    machine.run(1_000_000, engine=engine)
+    assert machine.engine_used == engine
+    return machine, obs.sinks[0].events
+
+
+def _event_dicts(events):
+    return [event_to_dict(e) for e in events]
+
+
+class TestSampledTracing:
+    @pytest.mark.parametrize("factory", [_minmax, _bitcount_vliw],
+                             ids=["ximd", "vliw"])
+    @pytest.mark.parametrize("sample_every", [4, 7])
+    def test_event_counts_and_boundaries(self, factory, sample_every):
+        """Every sampled cycle is a multiple of N, and every multiple
+        of N up to the halt is sampled — no drift at the boundaries."""
+        machine, events = _run_traced(factory, "fast",
+                                      sample_every=sample_every)
+        cycle_events = [e for e in events if isinstance(e, CycleEvent)]
+        stamps = [e.cycle for e in cycle_events]
+        assert all(stamp % sample_every == 0 for stamp in stamps)
+        assert stamps == sorted(stamps)
+        assert len(stamps) == len(set(stamps))
+        assert len(cycle_events) == math.ceil(machine.cycle / sample_every)
+        # non-cycle events obey the same gate
+        assert all(e.cycle % sample_every == 0
+                   for e in events if hasattr(e, "cycle"))
+
+    @pytest.mark.parametrize("factory", [_minmax, _bitcount_vliw],
+                             ids=["ximd", "vliw"])
+    def test_sample_every_one_is_unsampled_reference(self, factory):
+        """``sample_every=1`` must reproduce the tier-2 stream (which
+        forces the reference engine) event for event."""
+        _, full = _run_traced(factory, "reference")
+        obs = recording_observer(sample_every=1)
+        machine = factory(obs=obs)
+        machine.run(1_000_000)
+        assert machine.engine_used == "reference"
+        assert _event_dicts(obs.sinks[0].events) == _event_dicts(full)
+
+    @pytest.mark.parametrize("factory", [_minmax, _bitcount_vliw],
+                             ids=["ximd", "vliw"])
+    @pytest.mark.parametrize("sample_every", [2, 5, 16])
+    def test_fast_sampled_matches_reference_sampled(self, factory,
+                                                    sample_every):
+        _, fast = _run_traced(factory, "fast", sample_every=sample_every)
+        _, ref = _run_traced(factory, "reference",
+                             sample_every=sample_every)
+        assert _event_dicts(fast) == _event_dicts(ref)
+
+    @pytest.mark.parametrize("factory", [_minmax, _bitcount_vliw],
+                             ids=["ximd", "vliw"])
+    def test_sampled_is_subsequence_of_full_trace(self, factory):
+        """Sampling selects cycles; it never alters their contents."""
+        _, full = _run_traced(factory, "reference")
+        _, sampled = _run_traced(factory, "fast", sample_every=3)
+        full_dicts = _event_dicts(full)
+        for payload in _event_dicts(sampled):
+            assert payload in full_dicts
+
+    def test_sample_every_validated(self):
+        with pytest.raises(ValueError, match="sample_every"):
+            Observer(sample_every=0)
+
+
+class TestCounterTierReport:
+    """RunReport.from_machine vs from_events, across tiers and engines."""
+
+    #: fields from_machine cannot compute at the counter tier.
+    EVENT_ONLY = {"occupancy_sparkline", "hot_pcs", "sset_histogram",
+                  "mean_streams", "max_streams", "multi_stream_fraction",
+                  "partition_changes", "stall_by_streams", "passes",
+                  "metrics", "energy"}
+
+    @pytest.mark.parametrize("factory", [_minmax, _bitcount_vliw],
+                             ids=["ximd", "vliw"])
+    def test_cross_tier_agreement(self, factory):
+        counted = factory(obs=Observer())
+        counted.run(1_000_000, engine="fast")
+        report = RunReport.from_machine(counted)
+
+        _, events = _run_traced(factory, "reference")
+        full = RunReport.from_events(events)
+
+        for name in ("machine", "n_fus", "cycles", "data_ops",
+                     "utilization", "occupancy", "fu_busy_cycles",
+                     "branch_mix", "branches_taken", "sync_done",
+                     "barriers", "stall_mix", "op_histogram"):
+            assert getattr(report, name) == getattr(full, name), name
+        # the energy model agrees except for the per-FU split, which
+        # needs the event stream's per-FU op census
+        trimmed = {k: v for k, v in full.energy.items() if k != "per_fu_pj"}
+        ours = {k: v for k, v in report.energy.items() if k != "per_fu_pj"}
+        assert ours == trimmed
+        assert report.energy.get("per_fu_pj") in ((), [], None)
+
+    def test_counter_report_renders(self):
+        machine = _minmax(obs=Observer())
+        machine.run(1_000_000, engine="fast")
+        report = RunReport.from_machine(
+            machine, registry=machine.obs.registry)
+        text = report.render_text()
+        assert "run report" in text
+        assert "cycle attribution" in text
+        payload = report.to_dict(include_timing=False)
+        assert payload["machine"] == "ximd"
+        assert payload["metrics"]
