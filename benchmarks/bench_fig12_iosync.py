@@ -39,7 +39,7 @@ def _run(source, arrivals):
         [v for _, v in p1], [v for _, v in p2])
     assert out1.values == expected1
     assert out2.values == expected2
-    return result, out1, out2
+    return result, out1, out2, (in1, in2)
 
 
 def test_iosync_sync_vs_memory_flags(benchmark, record_table, record_json,
@@ -48,11 +48,21 @@ def test_iosync_sync_vs_memory_flags(benchmark, record_table, record_json,
               SCENARIOS["interleaved"])
 
     rows = []
+    port_stats = {}
     for name, arrivals in SCENARIOS.items():
-        sync_result, _, out2 = _run(iosync_sync_source(), arrivals)
-        flag_result, _, _ = _run(iosync_memory_source(), arrivals)
+        sync_result, _, out2, inputs = _run(iosync_sync_source(),
+                                            arrivals)
+        flag_result, _, _, _ = _run(iosync_memory_source(), arrivals)
         rows.append([name, sync_result.cycles, flag_result.cycles,
                      speedup(flag_result.cycles, sync_result.cycles)])
+        if name == "interleaved":
+            # Figure-12 polling visibility: how hard each process
+            # hammered its input port before the value arrived
+            port_stats = {
+                "port_reads": sum(port.reads for port in inputs),
+                "port_polls_failed": sum(port.polls_failed
+                                         for port in inputs),
+            }
     table = render_table(
         ["port scenario", "sync bits (cycles)", "memory flags (cycles)",
          "speedup"],
@@ -69,6 +79,7 @@ def test_iosync_sync_vs_memory_flags(benchmark, record_table, record_json,
         "sync_cycles_total": sum(row[1] for row in rows),
         "flag_cycles_total": sum(row[2] for row in rows),
         "min_speedup": min(row[3] for row in rows),
+        **port_stats,
     }, section="figures")
 
     # the paper's claim: sync bits win in every scenario
@@ -78,6 +89,6 @@ def test_iosync_sync_vs_memory_flags(benchmark, record_table, record_json,
     # Process 2 acquires x (producer was never stalled by the consumer)
     p1 = [(2, 11), (4, 12), (6, 13)]
     p2 = [(60, 21), (62, 22), (64, 23)]
-    _, _, out2 = _run(iosync_sync_source(), (p1, p2))
+    _, _, out2, _ = _run(iosync_sync_source(), (p1, p2))
     first_write_cycle = out2.writes[0][0]
     assert 60 <= first_write_cycle <= 68

@@ -1,0 +1,178 @@
+"""E16 — synchronization profiles on the paper's sync-built workloads.
+
+The sync-observability layer answers *who waited on whom*: a per-FU
+wait matrix (tier-0 counters), per-barrier-site skew profiles, and a
+critical-path estimate over the blocker graph.  This benchmark runs the
+three workloads whose behavior the paper's Figures 10–12 tabulate —
+MINMAX's fork/join partition, BITCOUNT1's four-way ALL-sync barrier,
+and the Figure-12 dual-process sync-bit exchange — under a tier-0
+observer and records their sync profiles.
+
+The numbers land in the advisory ``sync`` section of
+``BENCH_SUMMARY.json`` (structure drifts when workloads change; the
+gate reports but never fails on them).  Hard assertions cover the
+contract instead: device-free workloads must produce bit-identical
+wait matrices and barrier profiles on both engines, and the barrier
+workload must actually observe its four-way join.
+"""
+
+from repro.analysis import render_table
+from repro.asm import assemble
+from repro.machine import XimdMachine
+from repro.machine.telemetry import CLS_SYNC
+from repro.obs import Observer, critical_path_from_matrix
+from repro.workloads import (
+    B_BASE,
+    BITCOUNT_REGS,
+    MINMAX_REGS,
+    bitcount_memory,
+    bitcount_total_reference,
+    bitcount_total_source,
+    iosync_reference,
+    iosync_sync_source,
+    make_devices,
+    minmax_memory,
+    minmax_reference,
+    minmax_source,
+    random_ints,
+    random_words,
+)
+
+BITCOUNT_N = 24
+MINMAX_N = 64
+
+#: the Figure-12 "interleaved" port-arrival scenario.
+IOSYNC_ARRIVALS = ([(2, 11), (18, 12), (34, 13)],
+                   [(10, 21), (26, 22), (42, 23)])
+
+
+def _minmax(obs):
+    data = random_ints(MINMAX_N, seed=7)[1:]
+    machine = XimdMachine(assemble(minmax_source("halt")), obs=obs)
+    machine.regfile.poke(MINMAX_REGS["n"], len(data))
+    for address, value in minmax_memory(data).items():
+        machine.memory.poke(address, value)
+
+    def verify():
+        got = (machine.regfile.peek(MINMAX_REGS["min"]),
+               machine.regfile.peek(MINMAX_REGS["max"]))
+        assert got == minmax_reference(data)
+
+    return machine, verify
+
+
+def _bitcount(obs):
+    data = random_words(BITCOUNT_N, seed=BITCOUNT_N)
+    machine = XimdMachine(assemble(bitcount_total_source()), obs=obs)
+    machine.regfile.poke(BITCOUNT_REGS["n"], BITCOUNT_N)
+    for address, value in bitcount_memory(data).items():
+        machine.memory.poke(address, value)
+
+    def verify():
+        got = {k: machine.memory.peek(B_BASE + k)
+               for k in range(BITCOUNT_N + 1)}
+        assert got == bitcount_total_reference(data, BITCOUNT_N)
+
+    return machine, verify
+
+
+def _iosync(obs):
+    p1, p2 = IOSYNC_ARRIVALS
+    devices, _in1, _in2, out1, out2 = make_devices(p1, p2)
+    machine = XimdMachine(assemble(iosync_sync_source()), obs=obs,
+                          devices=devices)
+
+    def verify():
+        expected1, expected2 = iosync_reference(
+            [v for _, v in p1], [v for _, v in p2])
+        assert out1.values == expected1
+        assert out2.values == expected2
+
+    return machine, verify
+
+
+#: (summary key, figure label, machine factory, fast-path eligible)
+WORKLOADS = (
+    ("fig10_minmax", "Fig 10 MINMAX", _minmax, True),
+    ("fig11_bitcount", "Fig 11 BITCOUNT1", _bitcount, True),
+    ("fig12_iosync", "Fig 12 iosync", _iosync, False),
+)
+
+
+def _run(factory, engine):
+    machine, verify = factory(Observer())
+    machine.run(5_000_000, engine=engine)
+    verify()
+    return machine
+
+
+def _sync_fingerprint(machine):
+    counters = machine.counters
+    return (tuple(counters.wait_matrix),
+            tuple((site, tuple(cells))
+                  for site, cells in counters.barrier_profiles.items()))
+
+
+def _profile(machine):
+    counters = machine.counters
+    rows = counters.wait_rows()
+    n = counters.n_fus
+    column_sums = [sum(rows[i][j] for i in range(n)) for j in range(n)]
+    top_blocker = (max(range(n), key=lambda j: (column_sums[j], -j))
+                   if any(column_sums) else None)
+    barriers = counters.barrier_profile_rows()
+    path = critical_path_from_matrix(rows)
+    return {
+        "wait_edges": counters.wait_total(),
+        "sync_wait_cycles": sum(counters.class_counts[CLS_SYNC::5]),
+        "barrier_releases": sum(row["count"] for row in barriers),
+        "max_barrier_skew": max([row["max_skew"] for row in barriers],
+                                default=0),
+        "top_blocker_fu": top_blocker,
+        "critpath_cycles": path.total_cycles,
+        "critpath_links": len(path.links),
+    }
+
+
+def test_sync_profiles(benchmark, record_table, record_json,
+                       bench_summary):
+    benchmark(_run, _bitcount, "auto")
+
+    rows = []
+    payload = {}
+    for key, label, factory, fast_ok in WORKLOADS:
+        machine = _run(factory, "auto")
+        if fast_ok:
+            # tier-0 contract: the wait matrix and barrier profiles fold
+            # bit-identically on both engines
+            assert machine.engine_used == "fast"
+            reference = _run(factory, "reference")
+            assert (_sync_fingerprint(machine)
+                    == _sync_fingerprint(reference))
+        else:
+            assert machine.engine_used == "reference"
+        stats = _profile(machine)
+        payload[key] = dict(stats, engine=machine.engine_used)
+        bench_summary(key, stats, section="sync")
+        rows.append([label, stats["sync_wait_cycles"],
+                     stats["wait_edges"], stats["barrier_releases"],
+                     stats["max_barrier_skew"],
+                     "-" if stats["top_blocker_fu"] is None
+                     else f"FU{stats['top_blocker_fu']}",
+                     stats["critpath_cycles"]])
+
+    table = render_table(
+        ["workload", "sync-wait cy", "wait edges", "barrier rel",
+         "max skew", "top blocker", "critpath cy"],
+        rows, title="E16: synchronization profiles — wait attribution "
+                    "and barrier skew (Figures 10-12 workloads)")
+    record_table("sync_profile", table)
+    record_json("sync_profile", payload)
+
+    # BITCOUNT1's four-way join: every loop FU releases through the
+    # ALL-sync barrier, and the data-dependent loop lengths skew
+    bc = payload["fig11_bitcount"]
+    assert bc["barrier_releases"] >= 4
+    assert bc["wait_edges"] > 0
+    assert bc["max_barrier_skew"] > 0
+    assert bc["critpath_cycles"] > 0

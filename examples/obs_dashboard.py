@@ -1,14 +1,19 @@
 #!/usr/bin/env python3
-"""Record an instrumented MINMAX run and export every obs artifact.
+"""Record instrumented runs and export every obs artifact.
 
 Produces, in the chosen output directory (default ``./obs_out``):
 
-* ``minmax_run.jsonl``    — the raw event trace;
+* ``minmax_run.jsonl``    — the raw Figure-10 event trace;
 * ``minmax_report.json``  — the deterministic run report (schema-
   versioned; wall-clock quarantined under ``timing`` and excluded);
 * ``dashboard.html``      — the offline, stdlib-only HTML dashboard
   with per-FU stall attribution and the SSET timeline (pass
-  ``--history BENCH_HISTORY.jsonl`` to add the benchmark trend panel).
+  ``--history BENCH_HISTORY.jsonl`` to add the benchmark trend panel);
+* ``bitcount_run.jsonl`` / ``bitcount_report.json`` /
+  ``dashboard_bitcount.html`` — the same artifacts for the BITCOUNT1
+  barrier workload, whose report exercises the synchronization panels
+  (wait-matrix heatmap, barrier skew) that MINMAX's partition-only
+  fork/join never populates.
 
 The same flow is what CI runs to publish its dashboard artifact.
 """
@@ -21,10 +26,14 @@ from repro.machine import TrackerKind, XimdMachine
 from repro.obs import JsonlSink, Observer, RunReport, write_dashboard
 from repro.obs.history import read_history
 from repro.workloads import (
+    BITCOUNT_REGS,
     FIGURE10_DATA,
     MINMAX_REGS,
+    bitcount_memory,
+    bitcount_total_source,
     minmax_memory,
     minmax_source,
+    random_words,
 )
 
 
@@ -65,9 +74,30 @@ def main():
                                 timeline=timeline, history=history,
                                 title="XIMD MINMAX — instrumented run")
 
+    # second artifact set: the barrier workload, for the sync panels
+    bc_trace = out / "bitcount_run.jsonl"
+    obs = Observer(JsonlSink(bc_trace))
+    machine = XimdMachine(assemble(bitcount_total_source()), obs=obs)
+    machine.regfile.poke(BITCOUNT_REGS["n"], 24)
+    for address, value in bitcount_memory(
+            random_words(24, seed=4)).items():
+        machine.memory.poke(address, value)
+    assert machine.run(1_000_000).halted
+    obs.close()
+
+    bc_events = read_jsonl(bc_trace)
+    bc_report = RunReport.from_events(bc_events)
+    assert bc_report.sync, "barrier workload must populate sync panels"
+    bc_report_path = bc_report.write_json(out / "bitcount_report.json")
+    bc_dash_path = write_dashboard(
+        out / "dashboard_bitcount.html",
+        bc_report.to_dict(include_timing=False), history=history,
+        title="XIMD BITCOUNT1 — barrier synchronization")
+
     print(report.render_text())
     print()
-    for path in (trace_path, report_path, dash_path):
+    for path in (trace_path, report_path, dash_path,
+                 bc_trace, bc_report_path, bc_dash_path):
         print(f"wrote {path}")
 
 

@@ -153,3 +153,7 @@ class DeviceMap:
 
     def devices(self) -> List[Device]:
         return [device for _, _, device in self._ranges]
+
+    def ranges(self) -> List[Tuple[int, int, Device]]:
+        """The claimed ``(base, end, device)`` ranges, address-sorted."""
+        return list(self._ranges)

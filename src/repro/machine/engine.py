@@ -51,7 +51,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..isa import Condition, OpKind, Parcel, Reg, SyncValue
-from ..obs.events import BranchEvent, CycleEvent, SyncEvent
+from ..obs.events import BranchEvent, CycleEvent, SyncEdgeEvent, SyncEvent
 from .config import MachineConfig, SequencerStyle
 from .telemetry import (
     CLASS_CHARS,
@@ -462,6 +462,13 @@ def run_ximd_fast(machine, limit: int) -> None:
     rcounts: dict = {}
     wcounts: dict = {}
     barrier_now: List[bool] = [False] * n
+    barrier_waiting: List[bool] = [False] * n
+    # sync observability: the wait matrix and barrier-episode state are
+    # shared with (and mutated in place for) the reference path, so
+    # mid-run engine switches continue the same episodes
+    wmat = machine.counters.wait_matrix
+    bprof = machine.counters.barrier_profiles
+    bwait = machine._barrier_wait
 
     try:
         while active:
@@ -609,10 +616,33 @@ def run_ximd_fast(machine, limit: int) -> None:
                     reported = ctl[3] if ckind == _C_ALWAYS else taken
                     if reported:
                         btaken += 1
-                    if ckind == _C_ALL and taken:
-                        nbarriers += 1
-                        if emit:
-                            barrier_now[fu] = True
+                    if ckind == _C_ALL:
+                        # barrier episode tracking (XimdMachine
+                        # ._track_barrier, inlined)
+                        wpc = pcs[fu]
+                        state = bwait[fu]
+                        if state is not None and state[0] != wpc:
+                            state = None
+                        if taken:
+                            nbarriers += 1
+                            skew = (cycle - state[1]
+                                    if state is not None else 0)
+                            entry = bprof.get((wpc, fu))
+                            if entry is None:
+                                bprof[(wpc, fu)] = [1, skew, skew]
+                            else:
+                                entry[0] += 1
+                                entry[1] += skew
+                                if skew > entry[2]:
+                                    entry[2] = skew
+                            bwait[fu] = None
+                            if emit:
+                                barrier_now[fu] = True
+                        else:
+                            bwait[fu] = (state if state is not None
+                                         else (wpc, cycle))
+                            if emit:
+                                barrier_waiting[fu] = True
                     if emit:
                         cls_now[fu] = cls
                         obs.emit(BranchEvent(
@@ -620,6 +650,35 @@ def run_ximd_fast(machine, limit: int) -> None:
                             pc=pcs[fu],
                             branch_kind=_B_KIND_NAMES[slot[9][5]],
                             taken=reported, target=target))
+                    if cls == CLS_SYNC:
+                        # sync-edge attribution: charge each BUSY
+                        # blocker (see RunCounters.wait_matrix docs)
+                        base = fu * n
+                        if ckind == _C_SS:
+                            blocker = ctl[3]
+                            wmat[base + blocker] += 1
+                            if emit:
+                                obs.emit(SyncEdgeEvent(
+                                    machine="ximd", cycle=cycle,
+                                    waiter=fu, blocker=blocker,
+                                    pc=pcs[fu], cond="ss"))
+                        elif ckind == _C_ALL:
+                            for member in ctl[3]:
+                                if not visible[member]:
+                                    wmat[base + member] += 1
+                                    if emit:
+                                        obs.emit(SyncEdgeEvent(
+                                            machine="ximd", cycle=cycle,
+                                            waiter=fu, blocker=member,
+                                            pc=pcs[fu], cond="all"))
+                        else:
+                            for member in ctl[3]:
+                                wmat[base + member] += 1
+                                if emit:
+                                    obs.emit(SyncEdgeEvent(
+                                        machine="ximd", cycle=cycle,
+                                        waiter=fu, blocker=member,
+                                        pc=pcs[fu], cond="any"))
                 pcs[fu] = target
 
             if emit:
@@ -637,6 +696,11 @@ def run_ximd_fast(machine, limit: int) -> None:
                         obs.emit(SyncEvent(
                             machine="ximd", cycle=cycle, fu=fu,
                             pc=pcs_start[fu], what="done"))
+                    if barrier_waiting[fu]:
+                        obs.emit(SyncEvent(
+                            machine="ximd", cycle=cycle, fu=fu,
+                            pc=pcs_start[fu], what="barrier_wait"))
+                        barrier_waiting[fu] = False
                     if barrier_now[fu]:
                         obs.emit(SyncEvent(
                             machine="ximd", cycle=cycle, fu=fu,

@@ -23,7 +23,7 @@ enabled.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 #: Cycle-class codes, ordered to match the characters of
 #: :data:`repro.obs.events.FU_CLASS_NAMES`: useful / sync-wait /
@@ -46,10 +46,29 @@ class RunCounters:
     ``class_counts`` is one flat list with 5 slots per FU (indexed
     ``fu * 5 + code``) so the fast engine's per-cycle update is a single
     list-index add — no dicts, no allocation.
+
+    ``wait_matrix`` is the sync-edge attribution: a flat ``n_fus *
+    n_fus`` list where ``wait_matrix[i * n_fus + j]`` counts the
+    sync-wait cycles FU *i* spent blocked on FU *j*'s BUSY signal.  An
+    edge is charged only on cycles classed ``sync_wait`` (a nop parcel
+    spinning on an untaken sync branch): ``SS_DONE(j)`` charges *j*,
+    ``ALL_SS_DONE`` charges every still-BUSY member, and an untaken
+    ``ANY_SS_DONE`` — which means *no* member was DONE — charges every
+    member.  A VLIW machine has no sync signals, so its matrix stays
+    all-zero.
+
+    ``barrier_profiles`` maps ``(pc, fu) -> [count, total_skew,
+    max_skew]`` for every ``ALL_SS_DONE`` barrier site: *skew* is the
+    cycles between the FU's first arrival at the barrier (its first
+    consecutive evaluation of that site) and the release cycle where
+    the branch finally took — the paper's §3.2 fork/join path-padding
+    imbalance, measured.  Keys are inserted in release order (cycle-
+    major, FU-ascending), identically by both engines.
     """
 
     __slots__ = ("machine_name", "n_fus", "class_counts",
-                 "branches_taken", "sync_done", "barriers")
+                 "branches_taken", "sync_done", "barriers",
+                 "wait_matrix", "barrier_profiles")
 
     def __init__(self, machine_name: str, n_fus: int):
         self.machine_name = machine_name
@@ -58,11 +77,40 @@ class RunCounters:
         self.branches_taken = 0
         self.sync_done = 0
         self.barriers = 0
+        self.wait_matrix: List[int] = [0] * (n_fus * n_fus)
+        self.barrier_profiles: Dict[Tuple[int, int], List[int]] = {}
 
     def busy_cycles(self) -> List[int]:
         """Per-FU cycles spent non-halted (classes U/S/B/I)."""
         counts = self.class_counts
         return [sum(counts[fu * 5:fu * 5 + 4]) for fu in range(self.n_fus)]
+
+    def wait_rows(self) -> List[List[int]]:
+        """The wait matrix as nested per-waiter rows."""
+        n = self.n_fus
+        matrix = self.wait_matrix
+        return [list(matrix[fu * n:(fu + 1) * n]) for fu in range(n)]
+
+    def wait_total(self) -> int:
+        """Total sync-edge charges (>= sync_wait cycles: a barrier
+        cycle may charge several blockers)."""
+        return sum(self.wait_matrix)
+
+    def barrier_profile_rows(self) -> List[Dict[str, object]]:
+        """Barrier-site skew profiles as JSON-ready dicts, sorted by
+        (pc, fu) — the exact shape of ``RunReport.sync['barriers']``."""
+        rows = []
+        for (pc, fu), (count, total, peak) in sorted(
+                self.barrier_profiles.items()):
+            rows.append({
+                "pc": pc,
+                "fu": fu,
+                "count": count,
+                "total_skew": total,
+                "mean_skew": total / count if count else 0.0,
+                "max_skew": peak,
+            })
+        return rows
 
     def class_mix(self) -> List[Dict[str, int]]:
         """Per-FU ``{class name: cycles}`` with zero entries dropped and
@@ -114,3 +162,37 @@ def fold_run_metrics(observer, machine, wall_seconds: float) -> None:
         registry.counter(f"{name}.sync_done").inc(counters.sync_done)
     if counters.barriers:
         registry.counter(f"{name}.barriers").inc(counters.barriers)
+    wait_matrix = counters.wait_matrix
+    n = counters.n_fus
+    for waiter in range(n):
+        base = waiter * n
+        for blocker in range(n):
+            value = wait_matrix[base + blocker]
+            if value:
+                registry.counter(
+                    f"{name}.wait.fu{waiter}.on_fu{blocker}").inc(value)
+    for (pc, fu), (count, total_skew, _max_skew) in sorted(
+            counters.barrier_profiles.items()):
+        registry.counter(
+            f"{name}.barrier.pc{pc}.fu{fu}.releases").inc(count)
+        if total_skew:
+            registry.counter(
+                f"{name}.barrier.pc{pc}.fu{fu}.skew_cycles").inc(total_skew)
+    devices = getattr(machine.memory, "devices", None)
+    if devices:
+        # the paper's Figure-12 polling loops live or die by port
+        # timing; surface each port's census next to the machine's
+        for index, (base, _hi, device) in enumerate(devices.ranges()):
+            prefix = f"{name}.port{index}@{base:#x}"
+            reads = getattr(device, "reads", 0)
+            if reads:
+                registry.counter(f"{prefix}.reads").inc(reads)
+            failed = getattr(device, "polls_failed", 0)
+            if failed:
+                registry.counter(f"{prefix}.polls_failed").inc(failed)
+            delivered = getattr(device, "delivered", 0)
+            if delivered:
+                registry.counter(f"{prefix}.delivered").inc(delivered)
+            writes = getattr(device, "writes", None)
+            if isinstance(writes, list) and writes:
+                registry.counter(f"{prefix}.writes").inc(len(writes))

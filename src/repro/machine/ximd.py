@@ -35,6 +35,7 @@ from ..obs.events import (
     BranchEvent,
     CycleEvent,
     PartitionChangeEvent,
+    SyncEdgeEvent,
     SyncEvent,
 )
 from .condition import ConditionCodes, evaluate_condition, sync_done_vector
@@ -143,6 +144,12 @@ class XimdMachine:
         # matching the combinational variant's treatment of idle FUs).
         self._prev_ss: Tuple[bool, ...] = tuple(
             [self.config.halted_sync_done] * self.config.n_fus)
+        # Per-FU open barrier episode, (pc, first_arrival_cycle) or
+        # None, feeding counters.barrier_profiles.  Lives on the
+        # machine (like _prev_ss) so mid-run resumes — and the fast
+        # engine — continue the same episode.
+        self._barrier_wait: List[Optional[Tuple[int, int]]] = (
+            [None] * self.config.n_fus)
 
     def _make_tracker(self, kind: TrackerKind):
         if kind is TrackerKind.NONE:
@@ -224,6 +231,7 @@ class XimdMachine:
         actual_pcs = self._pc_vector()
         next_pcs: List[Optional[int]] = list(self.pcs)
         barrier_taken = [False] * n
+        barrier_waiting = [False] * n if emit_on else None
         # cycle attribution (observe-only): why each FU spent this cycle
         fu_class = ["."] * n if obs_on else None
         fu_ops: List[Optional[str]] = [None] * n if obs_on else None
@@ -242,32 +250,67 @@ class XimdMachine:
                 next_pcs[fu] = None  # halt after final data op
                 continue
             taken = evaluate_condition(control, cc_start, visible_ss)
+            condition = control.condition
+            blockers: Tuple[int, ...] = ()
+            edge_cond = ""
             if obs_on and not useful:
                 # a nop parcel spent purely on control: spinning on an
                 # untaken sync branch is a sync wait, anything else is
                 # branch-resolve overhead.
-                fu_class[fu] = ("S" if control.condition.uses_sync
-                                and not taken else "B")
+                if condition.uses_sync and not taken:
+                    fu_class[fu] = "S"
+                    # sync-edge attribution: which BUSY signals held
+                    # this FU?  SS_DONE names its blocker; an untaken
+                    # ALL charges every still-BUSY member; an untaken
+                    # ANY means *no* member was DONE, so all of them.
+                    if condition is Condition.SS_DONE:
+                        blockers = (control.index,)
+                        edge_cond = "ss"
+                    else:
+                        members = (control.mask if control.mask is not None
+                                   else tuple(range(n)))
+                        if condition is Condition.ALL_SS_DONE:
+                            blockers = tuple(m for m in members
+                                             if not visible_ss[m])
+                            edge_cond = "all"
+                        else:
+                            blockers = members
+                            edge_cond = "any"
+                    wait_matrix = self.counters.wait_matrix
+                    for blocker in blockers:
+                        wait_matrix[fu * n + blocker] += 1
+                else:
+                    fu_class[fu] = "B"
             if control.is_unconditional:
                 self.stats.branches_unconditional += 1
             else:
                 self.stats.branches_conditional += 1
-                if control.condition.uses_sync:
+                if condition.uses_sync:
                     self.stats.branches_sync += 1
-            if control.condition is Condition.ALL_SS_DONE and taken:
-                barrier_taken[fu] = True
+            if condition is Condition.ALL_SS_DONE:
+                if taken:
+                    barrier_taken[fu] = True
+                elif emit_on:
+                    barrier_waiting[fu] = True
+                if obs_on:
+                    self._track_barrier(fu, taken)
             next_pcs[fu] = self.sequencer.next_pc(self.pcs[fu], control, taken)
             if obs_on:
                 if taken:
                     self.counters.branches_taken += 1
                 if emit_on:
                     branch_kind = ("uncond" if control.is_unconditional
-                                   else "sync" if control.condition.uses_sync
+                                   else "sync" if condition.uses_sync
                                    else "cond")
                     self.obs.emit(BranchEvent(
                         machine="ximd", cycle=self.cycle, fu=fu,
                         pc=self.pcs[fu], branch_kind=branch_kind,
                         taken=taken, target=next_pcs[fu]))
+                    for blocker in blockers:
+                        self.obs.emit(SyncEdgeEvent(
+                            machine="ximd", cycle=self.cycle, waiter=fu,
+                            blocker=blocker, pc=self.pcs[fu],
+                            cond=edge_cond))
 
         if self.tracker is not None:
             self.tracker.step(actual_pcs,
@@ -298,6 +341,10 @@ class XimdMachine:
                     self.obs.emit(SyncEvent(
                         machine="ximd", cycle=self.cycle, fu=fu,
                         pc=pcs_start[fu], what="done"))
+                if barrier_waiting[fu]:
+                    self.obs.emit(SyncEvent(
+                        machine="ximd", cycle=self.cycle, fu=fu,
+                        pc=pcs_start[fu], what="barrier_wait"))
                 if barrier_taken[fu]:
                     self.obs.emit(SyncEvent(
                         machine="ximd", cycle=self.cycle, fu=fu,
@@ -320,6 +367,30 @@ class XimdMachine:
     def _pc_vector(self) -> List[int]:
         """PCs with halted FUs frozen at -1 (for the trackers)."""
         return [pc if pc is not None else -1 for pc in self.pcs]
+
+    def _track_barrier(self, fu: int, taken: bool) -> None:
+        """Advance FU *fu*'s barrier episode at an ALL_SS_DONE
+        evaluation this cycle (release when *taken*)."""
+        pc = self.pcs[fu]
+        state = self._barrier_wait[fu]
+        if state is not None and state[0] != pc:
+            state = None  # moved to a different barrier site: abandon
+        if taken:
+            start = state[1] if state is not None else self.cycle
+            skew = self.cycle - start
+            profiles = self.counters.barrier_profiles
+            entry = profiles.get((pc, fu))
+            if entry is None:
+                profiles[(pc, fu)] = [1, skew, skew]
+            else:
+                entry[0] += 1
+                entry[1] += skew
+                if skew > entry[2]:
+                    entry[2] = skew
+            self._barrier_wait[fu] = None
+        else:
+            self._barrier_wait[fu] = (state if state is not None
+                                      else (pc, self.cycle))
 
     def run(self, max_cycles: Optional[int] = None,
             engine: str = "auto") -> ExecutionResult:

@@ -56,6 +56,14 @@ from .core import (
     recording_observer,
     set_observer,
 )
+from .critpath import (
+    CriticalPath,
+    WaitInterval,
+    critical_path_from_events,
+    critical_path_from_matrix,
+    format_wait_matrix,
+    intervals_from_events,
+)
 from .diff import (
     DiffResult,
     MetricDelta,
@@ -73,6 +81,7 @@ from .events import (
     Event,
     PartitionChangeEvent,
     PassEvent,
+    SyncEdgeEvent,
     SyncEvent,
     event_from_dict,
     event_to_dict,
@@ -100,6 +109,7 @@ __all__ = [
     "BranchEvent",
     "CYCLE_US",
     "Counter",
+    "CriticalPath",
     "CycleEvent",
     "DEFAULT_HISTORY",
     "DiffResult",
@@ -122,13 +132,17 @@ __all__ = [
     "SCHEMA_VERSION",
     "SchemaError",
     "Sink",
+    "SyncEdgeEvent",
     "SyncEvent",
     "Timer",
+    "WaitInterval",
     "WorkloadMismatchError",
     "append_record",
     "check_artifact",
     "chrome_trace",
     "chrome_trace_events",
+    "critical_path_from_events",
+    "critical_path_from_matrix",
     "current_observer",
     "diff_artifacts",
     "diff_files",
@@ -136,6 +150,8 @@ __all__ = [
     "event_to_dict",
     "events_to_trace",
     "flatten_numeric",
+    "format_wait_matrix",
+    "intervals_from_events",
     "latest_record",
     "load_artifact",
     "load_tolerance_table",

@@ -6,7 +6,10 @@ Replay commands:
 * ``chrome TRACE.jsonl`` — convert to a Chrome trace-event JSON for
   ``chrome://tracing`` / https://ui.perfetto.dev;
 * ``report TRACE.jsonl`` — print (or ``--json``-dump) the run report;
-* ``summary TRACE.jsonl`` — one-line event census (quick sanity check).
+* ``summary TRACE.jsonl`` — one-line event census (quick sanity check);
+* ``sync TRACE.jsonl|REPORT.json`` — the synchronization profile: text
+  wait matrix, top blockers, barrier skew, and the critical wait chain
+  (cycle-resolved from a trace, aggregate from a report's matrix).
 
 Differential-analysis commands:
 
@@ -237,6 +240,62 @@ def _cmd_html(args) -> int:
     return 0
 
 
+def _cmd_sync(args) -> int:
+    from .critpath import (
+        critical_path_from_events,
+        critical_path_from_matrix,
+        format_wait_matrix,
+    )
+
+    if args.input.endswith(".jsonl"):
+        events = read_jsonl(args.input)
+        report = RunReport.from_events(events)
+        sync = report.sync
+        critpath = critical_path_from_events(events)
+        source = f"{args.input} (typed-event trace)"
+    else:
+        payload = load_artifact(args.input, expect_kind="run_report")
+        sync = payload.get("sync") or {}
+        critpath = critical_path_from_matrix(
+            sync.get("wait_matrix") or [])
+        source = f"{args.input} (run report)"
+    if args.json:
+        print(json.dumps({"sync": sync, "critical_path": critpath.to_dict()},
+                         indent=2, sort_keys=True))
+        return 0
+    print(f"synchronization profile — {source}")
+    if not sync:
+        print("  no sync activity observed (wait matrix empty, "
+              "no barrier sites)")
+        print(critpath.render())
+        return 0
+    print(f"  blocked FU-cycle charges: {sync.get('wait_cycles', 0)}")
+    blockers = sync.get("top_blockers") or []
+    if blockers:
+        parts = ", ".join(f"FU{fu} ({count} cy)" for fu, count in blockers)
+        print(f"  top blockers            : {parts}")
+    waiters = sync.get("top_waiters") or []
+    if waiters:
+        parts = ", ".join(f"FU{fu} ({count} cy)" for fu, count in waiters)
+        print(f"  top waiters             : {parts}")
+    matrix = sync.get("wait_matrix") or []
+    if any(any(row) for row in matrix):
+        print()
+        print(format_wait_matrix(matrix))
+    barriers = sync.get("barriers") or []
+    if barriers:
+        print()
+        print("barrier skew (first arrival -> release):")
+        for row in barriers:
+            print(f"  pc {row['pc']:#04x} FU{row['fu']}: "
+                  f"{row['count']} releases, "
+                  f"mean {row['mean_skew']:.1f} cy, "
+                  f"max {row['max_skew']} cy")
+    print()
+    print(critpath.render())
+    return 0
+
+
 def _cmd_summary(args) -> int:
     events = read_jsonl(args.trace)
     census = Counter(e.kind for e in events)
@@ -283,6 +342,16 @@ def build_parser() -> argparse.ArgumentParser:
     summary = sub.add_parser("summary", help="one-line event census")
     summary.add_argument("trace", help="JSONL trace file")
     summary.set_defaults(func=_cmd_summary)
+
+    sync = sub.add_parser(
+        "sync", help="synchronization profile: wait matrix, barrier "
+                     "skew, critical wait chain")
+    sync.add_argument("input",
+                      help="a JSONL trace (cycle-resolved critical path) "
+                           "or a run-report .json (aggregate fallback)")
+    sync.add_argument("--json", action="store_true",
+                      help="print the profile as JSON")
+    sync.set_defaults(func=_cmd_sync)
 
     diff = sub.add_parser(
         "diff", help="structured delta between two obs JSON artifacts")
@@ -352,10 +421,12 @@ def build_parser() -> argparse.ArgumentParser:
     history.add_argument("--metrics", nargs="+",
                          default=["speedup", "ximd_cycles",
                                   "ximd_energy_pj",
-                                  "fast_kcycles_per_sec", "ops_out"],
+                                  "fast_kcycles_per_sec", "ops_out",
+                                  "overhead_vs_bare_fast"],
                          help="metrics to trend (default: speedup "
                               "ximd_cycles ximd_energy_pj "
-                              "fast_kcycles_per_sec ops_out)")
+                              "fast_kcycles_per_sec ops_out "
+                              "overhead_vs_bare_fast)")
     history.set_defaults(func=_cmd_history)
 
     html = sub.add_parser(

@@ -23,8 +23,13 @@ from .events import (
     Event,
     PartitionChangeEvent,
     PassEvent,
+    SyncEdgeEvent,
     SyncEvent,
 )
+
+#: SyncEvent.what -> instant name on the FU track.
+_SYNC_NAMES = {"done": "SS=DONE", "barrier": "barrier",
+               "barrier_wait": "barrier wait"}
 
 #: trace microseconds per simulated machine cycle.
 CYCLE_US = 10.0
@@ -62,6 +67,7 @@ def chrome_trace_events(events: Iterable[Event],
             pass_starts.append(event.start)
     pass_epoch = min(pass_starts) if pass_starts else 0.0
     pass_clock = 0.0  # fallback ordering when no start stamps exist
+    flow_id = 0       # one flow pair per sync edge (blocker ~> waiter)
 
     for event in events:
         if isinstance(event, CycleEvent):
@@ -99,10 +105,28 @@ def chrome_trace_events(events: Iterable[Event],
         elif isinstance(event, SyncEvent):
             out.append({
                 "ph": "i", "pid": _MACHINE_PID, "tid": event.fu,
-                "name": "barrier" if event.what == "barrier" else "SS=DONE",
+                "name": _SYNC_NAMES.get(event.what, event.what),
                 "cat": "sync", "s": "t" if event.what == "done" else "p",
                 "ts": event.cycle * cycle_us + cycle_us / 2,
                 "args": {"pc": event.pc},
+            })
+        elif isinstance(event, SyncEdgeEvent):
+            # a flow arrow from the blocking FU's track to the waiting
+            # FU's — Perfetto draws the dependency the wait matrix
+            # only tallies
+            flow_id += 1
+            ts = event.cycle * cycle_us + cycle_us / 2
+            args = {"pc": event.pc, "cond": event.cond}
+            out.append({
+                "ph": "s", "pid": _MACHINE_PID, "tid": event.blocker,
+                "name": "blocks", "cat": "sync_edge", "id": flow_id,
+                "ts": ts, "args": args,
+            })
+            out.append({
+                "ph": "f", "bp": "e", "pid": _MACHINE_PID,
+                "tid": event.waiter, "name": "blocks",
+                "cat": "sync_edge", "id": flow_id,
+                "ts": ts + cycle_us / 4, "args": args,
             })
         elif isinstance(event, PartitionChangeEvent):
             out.append({

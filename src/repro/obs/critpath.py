@@ -1,0 +1,303 @@
+"""Synchronization critical-path analysis.
+
+The wait matrix says how long each FU was blocked and on whom; this
+module answers the follow-up question — *which chain of waits bounded
+the run*.  From a typed-event stream it merges per-(waiter, blocker,
+site) :class:`~repro.obs.events.SyncEdgeEvent` runs into
+:class:`WaitInterval` s, builds the cycle-resolved wait-for graph, and
+extracts the longest release→wait chain (FU *a* could only stop
+waiting once FU *b* released, and *b* itself had been waiting on *c*
+earlier — the paper's §3.2 fork/join imbalance, composed across
+barriers).  From a bare tier-0 wait matrix — no cycle resolution — it
+falls back to the heaviest simple path through the aggregate wait-for
+graph.
+
+Intervals tolerate tier-1 sampling: the merge stride is inferred from
+the smallest observed gap between edge events, so a stream sampled
+every N cycles yields intervals whose ``cycles`` estimate scales back
+up by N.  On a full (tier-2) trace the reconstruction is exact.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .events import Event, PartitionChangeEvent, SyncEdgeEvent
+
+#: largest FU count the exact longest-simple-path search will take on
+#: (2^n * n^2 states); larger machines fall back to a greedy walk.
+_EXACT_PATH_LIMIT = 12
+
+
+@dataclass(frozen=True)
+class WaitInterval:
+    """One maximal run of consecutive sync-edge charges: FU *waiter*
+    blocked on FU *blocker* at barrier/branch site *pc* from cycle
+    *start* through cycle *end*."""
+
+    waiter: int
+    blocker: int
+    pc: Optional[int]
+    cond: str                   #: "ss" | "all" | "any"
+    start: int
+    end: int
+    edges: int                  #: merged edge events
+    cycles: int                 #: estimated blocked cycles (edges × stride)
+
+    def to_dict(self) -> dict:
+        return {
+            "waiter": self.waiter, "blocker": self.blocker,
+            "pc": self.pc, "cond": self.cond,
+            "start": self.start, "end": self.end,
+            "edges": self.edges, "cycles": self.cycles,
+        }
+
+
+@dataclass
+class CriticalPath:
+    """The longest release→wait chain found, as JSON-ready links."""
+
+    total_cycles: int
+    links: List[dict]
+    source: str                 #: "events" | "matrix"
+
+    def to_dict(self) -> dict:
+        return {"total_cycles": self.total_cycles,
+                "links": list(self.links), "source": self.source}
+
+    def render(self) -> str:
+        if not self.links:
+            return "critical path: none (no sync waits observed)"
+        lines = [f"critical path: {self.total_cycles} blocked cycles "
+                 f"across {len(self.links)} link"
+                 f"{'s' if len(self.links) != 1 else ''} "
+                 f"(from {self.source})"]
+        for link in self.links:
+            where = (f" @{link['pc']:#04x}" if link.get("pc") is not None
+                     else "")
+            cond = f" ({link['cond']})" if link.get("cond") else ""
+            span = ""
+            if link.get("start", -1) >= 0:
+                span = f"  cycles {link['start']}..{link['end']}"
+            sset = link.get("sset")
+            sset_text = (
+                "  sset={" + ",".join(str(fu) for fu in sset) + "}"
+                if sset else "")
+            lines.append(
+                f"  FU{link['waiter']} waited on FU{link['blocker']}"
+                f"{where}{cond}{span}  [{link['cycles']} cy]{sset_text}")
+        return "\n".join(lines)
+
+
+def infer_stride(cycles: Sequence[int]) -> int:
+    """The sampling stride of an edge stream: the smallest positive
+    gap between observed cycles (1 when indeterminate)."""
+    distinct = sorted(set(cycles))
+    stride = 0
+    for before, after in zip(distinct, distinct[1:]):
+        gap = after - before
+        if gap > 0 and (stride == 0 or gap < stride):
+            stride = gap
+    return stride or 1
+
+
+def intervals_from_events(events: Iterable[Event]) -> List[WaitInterval]:
+    """Merge a stream's sync-edge events into maximal wait intervals."""
+    edges = [e for e in events if isinstance(e, SyncEdgeEvent)]
+    if not edges:
+        return []
+    stride = infer_stride([e.cycle for e in edges])
+    by_key: Dict[Tuple[int, int, Optional[int], str], List[int]] = {}
+    for event in edges:
+        by_key.setdefault(
+            (event.waiter, event.blocker, event.pc, event.cond),
+            []).append(event.cycle)
+    intervals: List[WaitInterval] = []
+    for (waiter, blocker, pc, cond), cycles in by_key.items():
+        cycles.sort()
+        run_start = prev = cycles[0]
+        count = 1
+        for cycle in cycles[1:]:
+            if cycle - prev <= stride:
+                prev = cycle
+                count += 1
+                continue
+            intervals.append(WaitInterval(
+                waiter, blocker, pc, cond, run_start, prev,
+                count, count * stride))
+            run_start = prev = cycle
+            count = 1
+        intervals.append(WaitInterval(
+            waiter, blocker, pc, cond, run_start, prev,
+            count, count * stride))
+    intervals.sort(key=lambda iv: (iv.end, iv.start, iv.waiter, iv.blocker))
+    return intervals
+
+
+def _partition_timeline(events: Iterable[Event]):
+    """(cycles, partitions) arrays for bisecting the active partition."""
+    changes = sorted(
+        ((e.cycle, e.partition) for e in events
+         if isinstance(e, PartitionChangeEvent)),
+        key=lambda pair: pair[0])
+    return [c for c, _ in changes], [p for _, p in changes]
+
+
+def _sset_of(partition, fu: int) -> Optional[Tuple[int, ...]]:
+    if partition is None:
+        return None
+    for sset in partition:
+        if fu in sset:
+            return tuple(sset)
+    return None
+
+
+def critical_path_from_events(events: Iterable[Event]) -> CriticalPath:
+    """The longest release→wait chain in a typed-event stream.
+
+    A chain may extend a wait on FU *b* with an earlier-ending wait
+    *by* FU *b*: *b*'s own blocking had to resolve before *b* could
+    release anyone else.  Links carry SSET attribution when the stream
+    recorded partition changes.
+    """
+    events = list(events)
+    intervals = intervals_from_events(events)
+    # longest-chain DP: process intervals in ascending end order; equal
+    # ends are batched so a predecessor must strictly precede its
+    # successor's release (the graph stays acyclic)
+    best: Dict[int, Tuple[int, List[WaitInterval]]] = {}
+    index = 0
+    while index < len(intervals):
+        stop = index
+        end = intervals[index].end
+        staged = []
+        while stop < len(intervals) and intervals[stop].end == end:
+            interval = intervals[stop]
+            pred = best.get(interval.blocker)
+            if pred is not None:
+                staged.append((pred[0] + interval.cycles,
+                               pred[1] + [interval]))
+            else:
+                staged.append((interval.cycles, [interval]))
+            stop += 1
+        for total, chain in staged:
+            current = best.get(chain[-1].waiter)
+            if current is None or total > current[0]:
+                best[chain[-1].waiter] = (total, chain)
+        index = stop
+    if not best:
+        return CriticalPath(0, [], "events")
+    total, chain = max(best.values(), key=lambda pair: pair[0])
+    change_cycles, partitions = _partition_timeline(events)
+    links = []
+    for interval in chain:
+        link = interval.to_dict()
+        if change_cycles:
+            at = bisect_right(change_cycles, interval.start) - 1
+            sset = (_sset_of(partitions[at], interval.waiter)
+                    if at >= 0 else None)
+            link["sset"] = list(sset) if sset is not None else None
+        links.append(link)
+    return CriticalPath(total, links, "events")
+
+
+def critical_path_from_matrix(
+        wait_rows: Sequence[Sequence[int]]) -> CriticalPath:
+    """Heaviest simple blocker→waiter path through an aggregate wait
+    matrix (tier-0 fallback: no cycle resolution, so the chain is a
+    weight argument, not a proven temporal ordering)."""
+    n = len(wait_rows)
+    if not n or not any(any(row) for row in wait_rows):
+        return CriticalPath(0, [], "matrix")
+    if n <= _EXACT_PATH_LIMIT:
+        path, weight = _heaviest_path_exact(wait_rows)
+    else:
+        path, weight = _heaviest_path_greedy(wait_rows)
+    links = [
+        {"waiter": waiter, "blocker": blocker, "pc": None, "cond": "",
+         "start": -1, "end": -1, "edges": wait_rows[waiter][blocker],
+         "cycles": wait_rows[waiter][blocker]}
+        for blocker, waiter in zip(path, path[1:])
+    ]
+    return CriticalPath(weight, links, "matrix")
+
+
+def _heaviest_path_exact(wait_rows) -> Tuple[List[int], int]:
+    """Exact heaviest simple path by subset DP (blocker→waiter edges,
+    edge weight = wait cycles charged)."""
+    n = len(wait_rows)
+    # dp[(mask, last)] = (weight, path) — paths ending at `last` having
+    # visited `mask`
+    dp: Dict[Tuple[int, int], Tuple[int, List[int]]] = {
+        (1 << node, node): (0, [node]) for node in range(n)}
+    best_weight = 0
+    best_path = [0]
+    frontier = list(dp.items())
+    while frontier:
+        next_frontier = []
+        for (mask, last), (weight, path) in frontier:
+            for waiter in range(n):
+                if mask & (1 << waiter):
+                    continue
+                edge = wait_rows[waiter][last]
+                if not edge:
+                    continue
+                key = (mask | (1 << waiter), waiter)
+                candidate = (weight + edge, path + [waiter])
+                current = dp.get(key)
+                if current is None or candidate[0] > current[0]:
+                    dp[key] = candidate
+                    next_frontier.append((key, candidate))
+                    if candidate[0] > best_weight:
+                        best_weight, best_path = candidate
+        frontier = next_frontier
+    return best_path, best_weight
+
+
+def _heaviest_path_greedy(wait_rows) -> Tuple[List[int], int]:
+    """Greedy fallback for wide machines: start at the heaviest edge,
+    extend both ends by the heaviest unused edge."""
+    n = len(wait_rows)
+    waiter, blocker = max(
+        ((i, j) for i in range(n) for j in range(n)),
+        key=lambda ij: wait_rows[ij[0]][ij[1]])
+    path = [blocker, waiter]
+    weight = wait_rows[waiter][blocker]
+    used = set(path)
+    grew = True
+    while grew:
+        grew = False
+        head, tail = path[-1], path[0]
+        nxt = max((w for w in range(n) if w not in used
+                   and wait_rows[w][head]),
+                  key=lambda w: wait_rows[w][head], default=None)
+        if nxt is not None:
+            weight += wait_rows[nxt][head]
+            path.append(nxt)
+            used.add(nxt)
+            grew = True
+        prev = max((b for b in range(n) if b not in used
+                    and wait_rows[tail][b]),
+                   key=lambda b: wait_rows[tail][b], default=None)
+        if prev is not None:
+            weight += wait_rows[tail][prev]
+            path.insert(0, prev)
+            used.add(prev)
+            grew = True
+    return path, weight
+
+
+def format_wait_matrix(wait_rows: Sequence[Sequence[int]]) -> str:
+    """Fixed-width text grid: rows are waiters, columns are blockers."""
+    n = len(wait_rows)
+    cell = max([5] + [len(str(value)) + 2
+                      for row in wait_rows for value in row])
+    header = "waits on:".rjust(10) + "".join(
+        f"FU{j}".rjust(cell) for j in range(n))
+    lines = [header]
+    for i, row in enumerate(wait_rows):
+        lines.append(f"FU{i}".rjust(10) + "".join(
+            (str(value) if value else ".").rjust(cell) for value in row))
+    return "\n".join(lines)

@@ -31,7 +31,7 @@ LOWER_IS_BETTER = (
     "cycles", "nops", "stall", "sync_wait", "branch_resolve", "idle",
     "halted", "partition_changes", "barriers", "height", "code_rows",
     "chips", "transistors", "cycle_time", "energy", "pj",
-    "ops_in", "ops_out",
+    "ops_in", "ops_out", "skew", "polls_failed",
 )
 
 #: Metric-name markers whose *decrease* is a regression.
@@ -47,6 +47,12 @@ TIMING_MARKERS = ("timing", "seconds", "wall")
 #: grow the IR so a later pass can shrink it.  Advisory regressions are
 #: reported but never block.
 ADVISORY_MARKERS = ("passes",)
+
+#: Exact *non-leaf* path components whose whole subtree is advisory.
+#: ``sync`` must match only the section name: token matching would also
+#: catch blocking leaves like ``sync_done`` or ``sync_cycles_total``,
+#: and leaf exclusion keeps ``branch_mix.sync`` blocking.
+ADVISORY_SECTIONS = ("passes", "sync")
 
 
 class WorkloadMismatchError(ValueError):
@@ -102,9 +108,12 @@ def is_timing_path(path: str) -> bool:
 
 def is_advisory_path(path: str) -> bool:
     """Whether *path* is advisory: reported on regression, never
-    blocking (per-pass compiler telemetry)."""
+    blocking (per-pass compiler telemetry, sync-wait profiles)."""
+    parts = path.split(".")
+    if any(part in ADVISORY_SECTIONS for part in parts[:-1]):
+        return True
     return any(_marker_matches(marker, part)
-               for part in path.split(".")
+               for part in parts
                for marker in ADVISORY_MARKERS)
 
 

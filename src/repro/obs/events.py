@@ -88,8 +88,32 @@ class SyncEvent:
     cycle: int
     fu: int
     pc: Optional[int]
-    #: "done" = FU asserted SS DONE; "barrier" = ALL_SS_DONE branch taken.
+    #: "done" = FU asserted SS DONE; "barrier" = ALL_SS_DONE branch
+    #: taken; "barrier_wait" = ALL_SS_DONE branch evaluated untaken
+    #: (the FU is parked at the barrier this cycle).
     what: str = "done"
+
+
+@dataclass(frozen=True)
+class SyncEdgeEvent:
+    """One cycle of FU *waiter* blocked on FU *blocker*'s BUSY signal.
+
+    Emitted (on sampled cycles) for each blocker charged in the tier-0
+    wait matrix: a ``sync_wait``-classed cycle spinning on an untaken
+    sync branch at *pc*.  ``cond`` names the condition shape —
+    ``"ss"`` (SS_DONE, one blocker), ``"all"`` (ALL_SS_DONE, every
+    still-BUSY member), or ``"any"`` (ANY_SS_DONE untaken: no member
+    was DONE, so every member blocks).
+    """
+
+    kind = "sync_edge"
+
+    machine: str
+    cycle: int
+    waiter: int
+    blocker: int
+    pc: Optional[int]
+    cond: str = "ss"
 
 
 @dataclass(frozen=True)
@@ -123,7 +147,7 @@ Event = object  # any of the dataclasses above
 
 _EVENT_TYPES: Dict[str, Type] = {
     cls.kind: cls
-    for cls in (CycleEvent, BranchEvent, SyncEvent,
+    for cls in (CycleEvent, BranchEvent, SyncEvent, SyncEdgeEvent,
                 PartitionChangeEvent, PassEvent)
 }
 

@@ -202,6 +202,95 @@ def _energy_panel(report: dict, limit: int = 14) -> str:
     return "".join(parts)
 
 
+def _sync_panel(report: dict) -> str:
+    """Wait-matrix heatmap + barrier-skew table (empty string when the
+    report carries no sync section — pre-v3 artifacts, or runs with no
+    sync activity)."""
+    sync: Dict[str, object] = report.get("sync") or {}
+    if not sync:
+        return ""
+    parts = ["<h2>Synchronization: who waited on whom</h2>"]
+    matrix: List[List[int]] = sync.get("wait_matrix") or []
+    if any(any(row) for row in matrix):
+        peak = max(max(row) for row in matrix) or 1
+        n = len(matrix)
+        head = "".join(f"<th>on FU{j}</th>" for j in range(n))
+        rows = []
+        for i, row in enumerate(matrix):
+            cells = []
+            for value in row:
+                color = _heat(CLASS_COLORS["sync_wait"], value / peak)
+                cells.append(
+                    f'<td style="background:{color}">'
+                    f"{value:,}</td>" if value else "<td></td>")
+            rows.append(f'<tr><td class="name">FU{i} waited</td>'
+                        + "".join(cells) + "</tr>")
+        blockers = sync.get("top_blockers") or []
+        caption = ""
+        if blockers:
+            top = ", ".join(f"FU{fu} ({count:,} cy)"
+                            for fu, count in blockers[:4])
+            caption = (f"<p>{sync.get('wait_cycles', 0):,} blocked "
+                       f"FU-cycle charges — top blockers: {top}</p>")
+        parts.append(caption
+                     + f'<table><tr><th class="name"></th>{head}</tr>'
+                     + "".join(rows) + "</table>")
+    barriers: List[dict] = sync.get("barriers") or []
+    if barriers:
+        peak_skew = max(row.get("max_skew", 0) for row in barriers) or 1
+        rows = []
+        for row in barriers:
+            width = max(2, int(220 * row.get("max_skew", 0) / peak_skew))
+            rows.append(
+                f'<tr><td class="name"><code>'
+                f"{row.get('pc', 0):#04x}</code></td>"
+                f'<td class="name">FU{row.get("fu", "?")}</td>'
+                f"<td>{row.get('count', 0):,}</td>"
+                f"<td>{row.get('mean_skew', 0.0):.1f}</td>"
+                f"<td>{row.get('max_skew', 0):,}</td>"
+                f'<td class="name"><span class="bar" '
+                f'style="width:{width}px;background:#e9c46a"></span></td>'
+                "</tr>")
+        parts.append(
+            "<h3>Barrier skew (first arrival &rarr; release)</h3>"
+            '<table><tr><th class="name">pc</th><th class="name">FU</th>'
+            "<th>releases</th><th>mean skew</th><th>max skew</th>"
+            '<th class="name">max skew (cy)</th></tr>'
+            + "".join(rows) + "</table>")
+    return "".join(parts)
+
+
+def _io_panel(report: dict) -> str:
+    """Memory-mapped device census (Fig-12 port polling); empty string
+    when the report has no io section."""
+    io: Dict[str, object] = report.get("io") or {}
+    ports: List[dict] = io.get("ports") or []
+    if not ports:
+        return ""
+    rows = []
+    for port in ports:
+        if "reads" in port:
+            reads = port.get("reads", 0)
+            failed = port.get("polls_failed", 0)
+            stats = (f"<td>{reads:,}</td><td>{failed:,}</td>"
+                     f"<td>{port.get('delivered', 0):,}</td>"
+                     f"<td>{failed / reads if reads else 0.0:.0%}</td>")
+        else:
+            stats = (f"<td colspan=\"3\">{port.get('writes', 0):,} "
+                     "writes</td><td></td>")
+        rows.append(
+            f'<tr><td class="name"><code>{port.get("base", 0):#06x}'
+            f"</code></td>"
+            f'<td class="name">{_esc(port.get("kind", "?"))}</td>'
+            + stats + "</tr>")
+    return ("<h2>I/O ports (Fig-12 polling)</h2>"
+            '<table><tr><th class="name">base</th>'
+            '<th class="name">device</th><th>reads</th>'
+            "<th>failed polls</th><th>delivered</th>"
+            "<th>miss&nbsp;rate</th></tr>"
+            + "".join(rows) + "</table>")
+
+
 def _passes_panel(report: dict) -> str:
     """Per-pass IR-size table: ops in/out and the shrink per compiler
     pass, with a bar scaled to the pipeline's largest IR (empty string
@@ -369,6 +458,8 @@ def render_dashboard(report: dict,
         "<h2>Per-FU cycle attribution</h2>",
         _stall_heatmap(report),
         _stall_by_streams(report),
+        _sync_panel(report),
+        _io_panel(report),
         _opcode_bars(report),
         _energy_panel(report),
         _passes_panel(report),
@@ -394,6 +485,13 @@ def render_dashboard(report: dict,
                 "<h2>Compiler-pass IR size across PRs "
                 "(ops_out — advisory)</h2>")
             sections.append(ir_trend)
+        overhead = _history_svg(list(history),
+                                metric="overhead_vs_bare_fast")
+        if overhead:
+            sections.append(
+                "<h2>Observability overhead across PRs (E15 tier cost "
+                "over bare fast engine — warn-only)</h2>")
+            sections.append(overhead)
     sections.append(
         "<footer>generated offline by <code>python -m repro.obs html"
         "</code> — no external resources.</footer>")

@@ -25,6 +25,7 @@ from .events import (
     Event,
     PartitionChangeEvent,
     PassEvent,
+    SyncEdgeEvent,
     SyncEvent,
 )
 from .metrics import MetricsRegistry
@@ -53,6 +54,112 @@ def events_to_trace(events: Iterable[Event]):
             partition=event.partition,
         ))
     return trace
+
+
+def _sync_section(wait_rows: List[List[int]],
+                  barrier_rows: List[Dict[str, object]]) -> Dict[str, object]:
+    """The ``RunReport.sync`` section from a wait matrix (nested
+    per-waiter rows) and barrier-site profile rows; ``{}`` when the run
+    had no sync activity at all."""
+    total = sum(sum(row) for row in wait_rows)
+    if not total and not barrier_rows:
+        return {}
+    n = len(wait_rows)
+    blocked_by = [sum(row) for row in wait_rows]
+    blocking = [sum(wait_rows[i][j] for i in range(n)) for j in range(n)]
+    top_blockers = [[fu, blocking[fu]] for fu in
+                    sorted(range(n), key=lambda f: (-blocking[f], f))
+                    if blocking[fu]]
+    top_waiters = [[fu, blocked_by[fu]] for fu in
+                   sorted(range(n), key=lambda f: (-blocked_by[f], f))
+                   if blocked_by[fu]]
+    return {
+        "wait_matrix": [list(row) for row in wait_rows],
+        "wait_cycles": total,
+        "top_blockers": top_blockers,
+        "top_waiters": top_waiters,
+        "barriers": barrier_rows,
+    }
+
+
+def _sync_from_events(events: Iterable[Event],
+                      n_fus: int) -> Dict[str, object]:
+    """Rebuild the sync section from a (full) typed-event stream,
+    mirroring the engines' tier-0 accumulation rules exactly."""
+    edges = [e for e in events if isinstance(e, SyncEdgeEvent)]
+    syncs = [e for e in events if isinstance(e, SyncEvent)
+             and e.what in ("barrier_wait", "barrier")]
+    for event in edges:
+        n_fus = max(n_fus, event.waiter + 1, event.blocker + 1)
+    wait_rows = [[0] * n_fus for _ in range(n_fus)]
+    for event in edges:
+        wait_rows[event.waiter][event.blocker] += 1
+    # replay each FU's barrier episodes (first arrival -> release) in
+    # chronological order, the same state machine the engines run
+    open_wait: Dict[int, Tuple[Optional[int], int]] = {}
+    profiles: Dict[Tuple[int, int], List[int]] = {}
+    for event in sorted(syncs, key=lambda e: (e.cycle, e.fu)):
+        state = open_wait.get(event.fu)
+        if state is not None and state[0] != event.pc:
+            state = None
+        if event.what == "barrier_wait":
+            if state is None:
+                open_wait[event.fu] = (event.pc, event.cycle)
+        else:  # release
+            skew = event.cycle - (state[1] if state is not None
+                                  else event.cycle)
+            entry = profiles.get((event.pc, event.fu))
+            if entry is None:
+                profiles[(event.pc, event.fu)] = [1, skew, skew]
+            else:
+                entry[0] += 1
+                entry[1] += skew
+                if skew > entry[2]:
+                    entry[2] = skew
+            open_wait[event.fu] = None
+    barrier_rows = []
+    for (pc, fu), (count, total, peak) in sorted(profiles.items()):
+        barrier_rows.append({
+            "pc": pc, "fu": fu, "count": count, "total_skew": total,
+            "mean_skew": total / count if count else 0.0,
+            "max_skew": peak,
+        })
+    return _sync_section(wait_rows, barrier_rows)
+
+
+def _io_section(machine) -> Dict[str, object]:
+    """Per-port device census (Fig-12 polling visibility); ``{}`` when
+    the machine has no mapped devices."""
+    devices = getattr(machine.memory, "devices", None)
+    if not devices:
+        return {}
+    ports = []
+    total_reads = total_failed = total_writes = 0
+    for base, end, device in devices.ranges():
+        entry: Dict[str, object] = {
+            "base": base,
+            "length": end - base,
+            "kind": type(device).__name__,
+        }
+        reads = getattr(device, "reads", None)
+        if reads is not None:
+            failed = getattr(device, "polls_failed", 0)
+            entry["reads"] = reads
+            entry["polls_failed"] = failed
+            entry["delivered"] = getattr(device, "delivered", 0)
+            total_reads += reads
+            total_failed += failed
+        writes = getattr(device, "writes", None)
+        if isinstance(writes, list):
+            entry["writes"] = len(writes)
+            total_writes += len(writes)
+        ports.append(entry)
+    return {
+        "ports": ports,
+        "reads": total_reads,
+        "polls_failed": total_failed,
+        "writes": total_writes,
+    }
 
 
 def _sparkline(per_cycle: Sequence[float],
@@ -106,6 +213,14 @@ class RunReport:
     #: :mod:`repro.analysis.cost`); empty when the trace carries
     #: opcodes the cost table does not know.
     energy: Dict[str, object] = field(default_factory=dict)
+    #: synchronization observability: the FU×FU wait matrix, top
+    #: blockers/waiters, and per-(pc, FU) barrier skew profiles (see
+    #: :class:`~repro.machine.telemetry.RunCounters`); empty when the
+    #: run had no sync activity.
+    sync: Dict[str, object] = field(default_factory=dict)
+    #: memory-mapped device census (Fig-12 port polling); empty when no
+    #: devices were mapped or the report was built from events alone.
+    io: Dict[str, object] = field(default_factory=dict)
     passes: List[Dict[str, object]] = field(default_factory=list)
     metrics: Dict[str, dict] = field(default_factory=dict)
 
@@ -237,6 +352,8 @@ class RunReport:
                 for streams, tally in sorted(stall_by_streams.items())},
             op_histogram=dict(sorted(op_histogram.items())),
             energy=energy,
+            sync=_sync_from_events(events, n_fus),
+            io={},
             passes=passes,
             metrics=registry.to_dict() if registry is not None else {},
         )
@@ -306,6 +423,9 @@ class RunReport:
             stall_by_streams={},
             op_histogram=op_histogram,
             energy=energy,
+            sync=_sync_section(counters.wait_rows(),
+                               counters.barrier_profile_rows()),
+            io=_io_section(machine),
             passes=[],
             metrics=registry.to_dict() if registry is not None else {},
         )
@@ -355,6 +475,8 @@ class RunReport:
                 for streams, mix in self.stall_by_streams.items()},
             "op_histogram": dict(self.op_histogram),
             "energy": dict(self.energy),
+            "sync": dict(self.sync),
+            "io": dict(self.io),
             "passes": [{"name": entry["name"],
                         "ops_in": entry["ops_in"],
                         "ops_out": entry["ops_out"]}
@@ -453,6 +575,30 @@ class RunReport:
                      f"({self.branches_taken} taken)")
         lines.append(f"  sync              : {self.sync_done} DONE signals, "
                      f"{self.barriers} barrier passes")
+        if self.sync:
+            blockers = self.sync.get("top_blockers") or []
+            if blockers:
+                parts = ", ".join(f"FU{fu}×{count}"
+                                  for fu, count in blockers[:4])
+                lines.append(
+                    f"  sync waits        : "
+                    f"{self.sync.get('wait_cycles', 0)} blocked FU-cycle "
+                    f"charges (top blockers: {parts})")
+            for row in (self.sync.get("barriers") or [])[:6]:
+                lines.append(
+                    f"  barrier {row['pc']:#04x} / FU{row['fu']} : "
+                    f"{row['count']} releases, skew mean "
+                    f"{row['mean_skew']:.1f} max {row['max_skew']} cy")
+        if self.io:
+            for port in self.io.get("ports", []):
+                stats = (f"{port['reads']} reads, "
+                         f"{port['polls_failed']} failed polls, "
+                         f"{port['delivered']} delivered"
+                         if "reads" in port
+                         else f"{port.get('writes', 0)} writes")
+                lines.append(
+                    f"  port @{port['base']:#06x}      : "
+                    f"{port['kind']}: {stats}")
         if self.hot_pcs:
             hot = ", ".join(f"{pc:#04x}×{count}"
                             for pc, count in self.hot_pcs[:6])

@@ -21,6 +21,13 @@ Version history:
   the ``tolerance_table`` kind (the perf gate's calibrated per-metric
   tolerance file) is recognized.  Version-1 artifacts remain readable —
   they simply carry no energy leaves.
+* **3** — run reports gain ``sync`` (the FU×FU sync-wait matrix, top
+  blockers/waiters, and per-(pc, FU) barrier skew profiles) and ``io``
+  (per-port device census) sections, the event vocabulary gains
+  ``sync_edge`` events and the ``barrier_wait`` sync event, and
+  benchmark payloads may carry a ``sync`` section (advisory at the
+  gate, like ``passes``).  Older artifacts remain readable — they
+  simply carry no sync/io leaves.
 """
 
 from __future__ import annotations
@@ -30,10 +37,10 @@ import pathlib
 from typing import Optional, Union
 
 #: The schema version this tree writes.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Versions this tree can read.
-SUPPORTED_VERSIONS = frozenset({1, 2})
+SUPPORTED_VERSIONS = frozenset({1, 2, 3})
 
 #: ``kind`` tags this tree knows how to interpret.
 KNOWN_KINDS = frozenset({

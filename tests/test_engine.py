@@ -295,6 +295,10 @@ def _counters_fingerprint(machine):
         counters.branches_taken,
         counters.sync_done,
         counters.barriers,
+        tuple(counters.wait_matrix),
+        # insertion order is part of the contract (first-release order)
+        tuple((site, tuple(cells))
+              for site, cells in counters.barrier_profiles.items()),
     )
 
 

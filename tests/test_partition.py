@@ -50,6 +50,34 @@ class TestNotation:
         assert refines(coarse, coarse)
 
 
+@st.composite
+def _partitions(draw):
+    """A normalized partition of some 1..10-FU machine."""
+    n = draw(st.integers(min_value=1, max_value=10))
+    labels = draw(st.lists(st.integers(0, n - 1), min_size=n, max_size=n))
+    groups = {}
+    for fu, label in enumerate(labels):
+        groups.setdefault(label, []).append(fu)
+    return normalize_partition(groups.values())
+
+
+class TestNotationRoundTrip:
+    @given(partition=_partitions(), rng=st.randoms())
+    @settings(max_examples=200, deadline=None)
+    def test_format_parse_normalize_round_trip(self, partition, rng):
+        assert is_valid_partition(partition, sum(map(len, partition)))
+        assert parse_partition(format_partition(partition)) == partition
+        # scrambled member and SSET order must normalize back — both
+        # through normalize_partition and through the text notation
+        scrambled = [list(sset) for sset in partition]
+        for sset in scrambled:
+            rng.shuffle(sset)
+        rng.shuffle(scrambled)
+        assert normalize_partition(scrambled) == partition
+        assert parse_partition(format_partition(
+            tuple(tuple(sset) for sset in scrambled))) == partition
+
+
 def partitions_of(machine):
     machine.run(10_000)
     return [record.partition for record in machine.trace]

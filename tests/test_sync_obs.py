@@ -1,0 +1,323 @@
+"""Sync observability: wait attribution, barrier skew, critical path.
+
+Satellite coverage for the synchronization profiler (see README
+"Observability"):
+
+* the tier-0 wait matrix and barrier-site skew profiles fold
+  bit-identically on the fast engine and the reference interpreter,
+  and ``RunReport.sync`` agrees across tiers (counters vs full trace);
+* barrier skew means what it says: first arrival at the barrier site
+  to the release cycle, per FU, with the early arriver charged;
+* the critical-path analyzer: interval building from sync-edge events,
+  chain ordering, and the aggregate matrix fallback;
+* the ``python -m repro.obs sync`` CLI on both input kinds;
+* diff policy: the ``sync`` report/summary section is advisory while
+  sync-named *metrics* (``branch_mix.sync``, ``sync_done``) stay
+  blocking; skew and failed polls count as lower-is-better;
+* device-port counters (Fig-12 polling) fold into the metrics
+  registry and the ``RunReport.io`` section.
+"""
+
+import json
+
+import pytest
+
+from repro.asm import assemble
+from repro.machine import XimdMachine
+from repro.obs import (
+    JsonlSink,
+    Observer,
+    RunReport,
+    SyncEdgeEvent,
+    critical_path_from_events,
+    critical_path_from_matrix,
+    format_wait_matrix,
+    intervals_from_events,
+    recording_observer,
+)
+from repro.obs.__main__ import main as obs_main
+from repro.obs.diff import is_advisory_path, metric_direction
+from repro.workloads import (
+    BITCOUNT_REGS,
+    bitcount_memory,
+    bitcount_total_source,
+    iosync_sync_source,
+    make_devices,
+    random_words,
+)
+
+_BC_DATA = random_words(24, seed=3)
+
+
+def _bitcount(**kwargs):
+    """The four-way ALL-sync barrier workload (Example 3)."""
+    machine = XimdMachine(assemble(bitcount_total_source()), **kwargs)
+    machine.regfile.poke(BITCOUNT_REGS["n"], len(_BC_DATA))
+    for address, value in bitcount_memory(_BC_DATA).items():
+        machine.memory.poke(address, value)
+    return machine
+
+
+def _iosync(**kwargs):
+    p1 = [(2, 11), (18, 12), (34, 13)]
+    p2 = [(10, 21), (26, 22), (42, 23)]
+    devices, _in1, _in2, _out1, _out2 = make_devices(p1, p2)
+    return XimdMachine(assemble(iosync_sync_source()), devices=devices,
+                       **kwargs)
+
+
+#: 2-FU skew fixture: FU0 signals DONE and parks at the @01 barrier on
+#: cycle 1; FU1 detours through a delay chain, signals DONE on cycle 2,
+#: and reaches the same barrier a cycle later.  FU0 therefore waits on
+#: FU1 alone and accrues all the skew; FU1 releases with none.  (The
+#: halt row keeps FU0 DONE so the late arriver never sees it BUSY
+#: between its release and the halted-FUs-read-DONE rule kicking in.)
+SKEWED_BARRIER = """
+.width 2
+-
+| -> @01 ; nop ; done
+| -> @02 ; nop
+-
+| if all @04, @01 ; nop ; done
+| if all @04, @01 ; nop ; done
+-
+| empty
+| -> @03 ; nop
+-
+| empty
+| -> @01 ; nop ; done
+-
+=> halt
+| nop ; done
+| nop ; done
+"""
+
+
+def _sync_state(machine):
+    counters = machine.counters
+    return (tuple(counters.wait_matrix),
+            tuple((site, tuple(cells))
+                  for site, cells in counters.barrier_profiles.items()))
+
+
+class TestWaitMatrixDifferential:
+    @pytest.mark.parametrize("factory", [_bitcount],
+                             ids=["bitcount-ximd"])
+    def test_fast_matches_reference(self, factory):
+        machines = {}
+        for engine in ("reference", "fast"):
+            machine = factory(obs=Observer())
+            machine.run(1_000_000, engine=engine)
+            assert machine.engine_used == engine
+            machines[engine] = machine
+        assert (_sync_state(machines["fast"])
+                == _sync_state(machines["reference"]))
+        # the workload actually exercises the matrix
+        assert sum(machines["fast"].counters.wait_matrix) > 0
+        assert machines["fast"].counters.barrier_profiles
+        fast = RunReport.from_machine(machines["fast"])
+        ref = RunReport.from_machine(machines["reference"])
+        assert fast.sync == ref.sync
+
+    def test_sync_section_cross_tier(self):
+        counted = _bitcount(obs=Observer())
+        counted.run(1_000_000, engine="fast")
+        tier0 = RunReport.from_machine(counted)
+
+        obs = recording_observer()
+        traced = _bitcount(obs=obs)
+        traced.run(1_000_000, engine="reference")
+        tier2 = RunReport.from_events(obs.sinks[0].events)
+
+        assert tier0.sync == tier2.sync
+        assert tier0.sync["wait_cycles"] > 0
+        assert tier0.sync["barriers"]
+
+    def test_edges_equal_matrix(self):
+        """Every wait-matrix charge has exactly one SyncEdgeEvent twin
+        in the full trace."""
+        obs = recording_observer()
+        machine = _bitcount(obs=obs)
+        machine.run(1_000_000, engine="reference")
+        edges = [e for e in obs.sinks[0].events
+                 if isinstance(e, SyncEdgeEvent)]
+        rows = machine.counters.wait_rows()
+        assert len(edges) == sum(sum(row) for row in rows)
+        rebuilt = [[0] * len(rows) for _ in rows]
+        for edge in edges:
+            rebuilt[edge.waiter][edge.blocker] += 1
+        assert rebuilt == rows
+
+
+class TestBarrierSkew:
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_early_arriver_accrues_the_skew(self, engine):
+        machine = XimdMachine(assemble(SKEWED_BARRIER), obs=Observer())
+        machine.run(1_000, engine=engine)
+        counters = machine.counters
+        n = counters.n_fus
+        # FU0 waited on FU1 only; FU1 never waited
+        waited_on = {(w, b): counters.wait_matrix[w * n + b]
+                     for w in range(n) for b in range(n)
+                     if counters.wait_matrix[w * n + b]}
+        assert set(waited_on) == {(0, 1)}
+        profiles = counters.barrier_profiles
+        assert set(profiles) == {(1, 0), (1, 1)}
+        count0, total0, max0 = profiles[(1, 0)]
+        count1, total1, max1 = profiles[(1, 1)]
+        assert (count0, count1) == (1, 1)
+        # first arrival -> release: FU0's skew is exactly its charged
+        # wait cycles at the barrier; the late arriver releases clean
+        assert total0 == max0 == waited_on[(0, 1)] > 0
+        assert total1 == max1 == 0
+
+    def test_skew_identical_across_engines(self):
+        states = []
+        for engine in ("reference", "fast"):
+            machine = XimdMachine(assemble(SKEWED_BARRIER),
+                                  obs=Observer())
+            machine.run(1_000, engine=engine)
+            states.append(_sync_state(machine))
+        assert states[0] == states[1]
+
+
+def _edge(cycle, waiter, blocker, pc=0x10, cond="all"):
+    return SyncEdgeEvent(machine="ximd", cycle=cycle, waiter=waiter,
+                         blocker=blocker, pc=pc, cond=cond)
+
+
+class TestCriticalPath:
+    def test_interval_merging(self):
+        events = ([_edge(c, 0, 1) for c in (10, 11, 12, 13)]
+                  + [_edge(c, 0, 1) for c in (30, 31)])
+        intervals = intervals_from_events(events)
+        assert [(i.start, i.end, i.edges, i.cycles) for i in intervals] \
+            == [(10, 13, 4, 4), (30, 31, 2, 2)]
+
+    def test_sampled_stride_scales_cycles(self):
+        """Edges observed every 4th cycle stand for 4 cycles each."""
+        events = [_edge(c, 0, 1) for c in (8, 12, 16)]
+        (interval,) = intervals_from_events(events)
+        assert interval.edges == 3
+        assert interval.cycles == 12
+
+    def test_chain_follows_the_release_order(self):
+        """FU2 held FU1, then FU1 held FU0: one 9-cycle chain."""
+        events = ([_edge(c, 1, 2) for c in range(0, 5)]
+                  + [_edge(c, 0, 1) for c in range(5, 9)])
+        path = critical_path_from_events(events)
+        assert path.source == "events"
+        assert path.total_cycles == 9
+        assert [(l["blocker"], l["waiter"]) for l in path.links] \
+            == [(2, 1), (1, 0)]
+
+    def test_concurrent_waits_do_not_chain(self):
+        """Two overlapping waits on different blockers: the path is the
+        heavier single interval, not their sum."""
+        events = ([_edge(c, 0, 1) for c in range(0, 6)]
+                  + [_edge(c, 2, 3) for c in range(0, 4)])
+        path = critical_path_from_events(events)
+        assert path.total_cycles == 6
+        assert len(path.links) == 1
+
+    def test_matrix_fallback_heaviest_path(self):
+        rows = [[0, 5, 0],
+                [0, 0, 7],
+                [0, 0, 0]]
+        path = critical_path_from_matrix(rows)
+        assert path.source == "matrix"
+        assert path.total_cycles == 12
+        assert [(l["blocker"], l["waiter"]) for l in path.links] \
+            == [(2, 1), (1, 0)]
+
+    def test_empty_inputs(self):
+        assert critical_path_from_events([]).total_cycles == 0
+        assert critical_path_from_matrix([]).total_cycles == 0
+        assert critical_path_from_matrix([[0, 0], [0, 0]]).links == []
+
+    def test_render_and_matrix_format(self):
+        rows = [[0, 3], [0, 0]]
+        text = format_wait_matrix(rows)
+        assert "waits on:" in text
+        assert "." in text           # zeros render as dots
+        assert "3" in text
+        rendered = critical_path_from_matrix(rows).render()
+        assert "critical" in rendered
+
+
+class TestSyncCli:
+    def _trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs = Observer(JsonlSink(path))
+        machine = _bitcount(obs=obs)
+        machine.run(1_000_000, engine="reference")
+        obs.close()
+        return path
+
+    def test_trace_input(self, tmp_path, capsys):
+        path = self._trace(tmp_path)
+        assert obs_main(["sync", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "synchronization profile" in out
+        assert "waits on:" in out
+        assert "barrier skew" in out
+        assert "critical path" in out
+
+    def test_report_input(self, tmp_path, capsys):
+        machine = _bitcount(obs=Observer())
+        machine.run(1_000_000, engine="fast")
+        report = tmp_path / "report.json"
+        report.write_text(json.dumps(
+            RunReport.from_machine(machine).to_dict()))
+        assert obs_main(["sync", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "run report" in out
+        assert "waits on:" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = self._trace(tmp_path)
+        assert obs_main(["sync", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sync"]["wait_cycles"] > 0
+        assert payload["critical_path"]["total_cycles"] > 0
+        assert payload["critical_path"]["links"]
+
+
+class TestDiffPolicy:
+    def test_sync_section_is_advisory(self):
+        assert is_advisory_path("sync.wait_cycles")
+        assert is_advisory_path("sync.fig11_bitcount.wait_edges")
+        assert is_advisory_path("sync.barriers.0.max_skew")
+
+    def test_sync_named_metrics_stay_blocking(self):
+        assert not is_advisory_path("branch_mix.sync")
+        assert not is_advisory_path("sync_done")
+        assert not is_advisory_path("workloads.minmax.sync_cycles_total")
+
+    def test_skew_and_polls_are_lower_is_better(self):
+        assert metric_direction("sync.barriers.0.max_skew") == "lower"
+        assert metric_direction("io.polls_failed") == "lower"
+
+
+class TestIoSection:
+    def test_device_ports_fold_into_registry_and_report(self):
+        obs = Observer()
+        machine = _iosync(obs=obs)
+        machine.run(1_000_000)
+        assert machine.engine_used == "reference"  # devices block fast
+        metrics = obs.registry.to_dict()
+        port_metrics = {name for name in metrics
+                        if ".port" in name and name.endswith(".reads")}
+        assert port_metrics
+        report = RunReport.from_machine(machine)
+        assert report.io["reads"] > 0
+        assert report.io["writes"] > 0
+        assert any(port.get("polls_failed", 0) >= 0
+                   for port in report.io["ports"])
+        payload = report.to_dict()
+        assert payload["io"]["reads"] == report.io["reads"]
+
+    def test_no_devices_no_io_section(self):
+        machine = _bitcount(obs=Observer())
+        machine.run(1_000_000)
+        assert RunReport.from_machine(machine).io == {}

@@ -147,7 +147,8 @@ class TestCounterTierReport:
         for name in ("machine", "n_fus", "cycles", "data_ops",
                      "utilization", "occupancy", "fu_busy_cycles",
                      "branch_mix", "branches_taken", "sync_done",
-                     "barriers", "stall_mix", "op_histogram"):
+                     "barriers", "stall_mix", "op_histogram",
+                     "sync", "io"):
             assert getattr(report, name) == getattr(full, name), name
         # the energy model agrees except for the per-FU split, which
         # needs the event stream's per-FU op census
