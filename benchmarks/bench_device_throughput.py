@@ -1,0 +1,202 @@
+"""E17 — device-path throughput: memory-mapped I/O on the fast engine.
+
+The fast engine models memory-mapped devices natively (the device
+table is pre-resolved into the flat per-FU loop), so Figure-12-style
+port-polling workloads no longer fall back to the reference
+interpreter.  This benchmark pins that down twice over:
+
+* **identity** — for the Figure-12 exchange and a synthetic port pump,
+  a fast run must match a reference run bit-for-bit: architectural
+  result, every port's census (``reads`` / ``polls_failed`` /
+  ``delivered`` / ``writes``), and the ``RunReport.io`` section;
+* **throughput** — the fast engine must sustain >= 3x the reference
+  interpreter's simulated-cycles-per-second on the device path, the
+  same floor E14 holds on the device-free long-runner.  Same-host
+  ratio, so it can never flake on absolute host speed.
+
+Wall-clock rates land in the warn-only ``timing`` section of
+BENCH_SUMMARY.json; the bit-identity and speedup-floor assertions are
+the hard contract.
+"""
+
+import dataclasses
+import time
+
+from repro.analysis import render_table
+from repro.asm import assemble
+from repro.machine import (
+    DeviceMap,
+    InputPort,
+    OutputPort,
+    VliwMachine,
+    XimdMachine,
+)
+from repro.obs import Observer, RunReport
+from repro.workloads import iosync_sync_source, make_devices
+
+#: ISSUE acceptance floor for the fast engine on device workloads.
+MIN_FAST_SPEEDUP = 3.0
+
+#: Accumulate at least this much wall time per measurement (the
+#: Figure-12 run is only ~200 simulated cycles, so it repeats a lot).
+MIN_MEASURE_SECONDS = 0.25
+
+#: the Figure-12 "interleaved" port-arrival scenario.
+IOSYNC_ARRIVALS = ([(2, 11), (18, 12), (34, 13)],
+                   [(10, 21), (26, 22), (42, 23)])
+
+#: Synthetic port pump: a width-1 poll/store loop that drains an input
+#: port into an output port, five cycles per value, halting on the
+#: first empty read.  Every simulated cycle but the branch touches a
+#: device, making this the worst case for the device-range guard.
+PUMP_VALUES = 2_000
+
+_PUMP_SOURCE = """\
+.width 1
+.const IN 0x10
+.const OUT 0x11
+poll:
+| -> . ; load #IN,#0,r0 ; done
+-
+| -> . ; eq r0,#0 ; done
+-
+| if cc0 drain, . ; nop ; done
+-
+| -> . ; store r0,#OUT ; done
+-
+| -> poll ; nop ; done
+drain:
+| halt ; nop ; done
+"""
+
+
+# Assembled once: machines sharing a Program share one fast-engine
+# decode, so the repeat loop times the run, not the lowering.
+_IOSYNC_PROGRAM = assemble(iosync_sync_source())
+_PUMP_PROGRAM = assemble(_PUMP_SOURCE)
+
+
+def _iosync_machine(obs=None):
+    p1, p2 = IOSYNC_ARRIVALS
+    devices, in1, in2, out1, out2 = make_devices(p1, p2)
+    machine = XimdMachine(_IOSYNC_PROGRAM, devices=devices,
+                          **({"obs": obs} if obs is not None else {}))
+    return machine, (in1, in2), (out1, out2), 1_000_000
+
+
+def _pump_machine(machine_cls, obs=None):
+    values = [1 + (i % 997) for i in range(PUMP_VALUES)]
+    port = InputPort([(0, value) for value in values])
+    out = OutputPort()
+    devices = DeviceMap()
+    devices.map(0x10, 1, port)
+    devices.map(0x11, 1, out)
+    machine = machine_cls(_PUMP_PROGRAM, devices=devices,
+                          **({"obs": obs} if obs is not None else {}))
+    return machine, (port,), (out,), 100_000
+
+
+WORKLOADS = (
+    ("fig12 iosync (ximd)", lambda obs=None: _iosync_machine(obs)),
+    ("port pump (ximd)", lambda obs=None: _pump_machine(XimdMachine, obs)),
+    ("port pump (vliw)", lambda obs=None: _pump_machine(VliwMachine, obs)),
+)
+
+
+def _fingerprint(result):
+    return (
+        result.cycles,
+        result.halted,
+        tuple(result.registers),
+        tuple(result.final_pcs),
+        dataclasses.asdict(result.stats),
+        tuple(result.stats.per_opcode.items()),
+        tuple(result.stats.per_fu_ops.items()),
+    )
+
+
+def _port_census(inputs, outs):
+    return {
+        "port_reads": sum(port.reads for port in inputs),
+        "port_polls_failed": sum(port.polls_failed for port in inputs),
+        "port_delivered": sum(port.delivered for port in inputs),
+        "port_writes": sum(len(port.writes) for port in outs),
+    }
+
+
+def _identity_run(factory, engine):
+    """One observed run: (fingerprint, port census, io report section)."""
+    machine, inputs, outs, limit = factory(obs=Observer())
+    result = machine.run(limit, engine=engine)
+    assert machine.engine_used == engine
+    return (_fingerprint(result), _port_census(inputs, outs),
+            RunReport.from_machine(machine).io)
+
+
+def _measure(factory, engine, min_time=MIN_MEASURE_SECONDS):
+    """(result, cycles/sec) for one device workload + engine."""
+    total_cycles = 0
+    elapsed = 0.0
+    result = None
+    while elapsed < min_time:
+        machine, _inputs, _outs, limit = factory()
+        start = time.perf_counter()
+        result = machine.run(limit, engine=engine)
+        elapsed += time.perf_counter() - start
+        assert machine.engine_used == engine
+        total_cycles += result.cycles
+    return result, total_cycles / elapsed
+
+
+def _bench_body():
+    machine, _inputs, _outs, limit = _pump_machine(XimdMachine)
+    return machine.run(limit, engine="fast").cycles
+
+
+def test_device_throughput(benchmark, record_table, record_json,
+                           bench_summary):
+    benchmark(_bench_body)
+
+    rows = []
+    payload = {}
+    for name, factory in WORKLOADS:
+        ref_identity = _identity_run(factory, "reference")
+        fast_identity = _identity_run(factory, "fast")
+        assert fast_identity == ref_identity, (
+            f"{name}: fast engine diverged from reference on the "
+            f"device path")
+        assert fast_identity[1]["port_reads"] > 0
+        assert fast_identity[2]["writes"] > 0
+
+        ref_result, ref_rate = _measure(factory, "reference")
+        fast_result, fast_rate = _measure(factory, "fast")
+        assert _fingerprint(fast_result) == _fingerprint(ref_result)
+        speedup = fast_rate / ref_rate if ref_rate else 0.0
+        stats = {
+            "sim_cycles": ref_result.cycles,
+            "ref_kcycles_per_sec": round(ref_rate / 1000, 3),
+            "fast_kcycles_per_sec": round(fast_rate / 1000, 3),
+            "fast_over_ref": round(speedup, 3),
+            **fast_identity[1],
+        }
+        rows.append([name, stats["sim_cycles"],
+                     stats["ref_kcycles_per_sec"],
+                     stats["fast_kcycles_per_sec"],
+                     stats["fast_over_ref"]])
+        payload[name] = stats
+        bench_summary(f"device {name}", stats, section="timing")
+
+    table = render_table(
+        ["workload", "sim cycles", "ref kcy/s", "fast kcy/s", "fast/ref"],
+        rows, title="E17: device-path throughput, reference vs fast "
+                    "engine (wall clock — warn-only)")
+    record_table("device_throughput", table)
+    record_json("device_throughput", payload)
+
+    # The acceptance floor: devices must not give back the fast
+    # engine's win.  Same-host ratio, immune to absolute speed.
+    for name, stats in payload.items():
+        assert stats["fast_over_ref"] >= MIN_FAST_SPEEDUP, (
+            f"{name}: fast engine only {stats['fast_over_ref']:.2f}x "
+            f"over reference on the device path "
+            f"(floor {MIN_FAST_SPEEDUP}x)")

@@ -30,16 +30,28 @@ SCENARIOS = {
 }
 
 
-def _run(source, arrivals):
+def _run(source, arrivals, engine="auto"):
     p1, p2 = arrivals
     devices, in1, in2, out1, out2 = make_devices(p1, p2)
     machine = XimdMachine(assemble(source), devices=devices)
-    result = machine.run(1_000_000)
+    result = machine.run(1_000_000, engine=engine)
+    # devices no longer block the fast path: auto must take it
+    assert machine.engine_used == (
+        "reference" if engine == "reference" else "fast")
     expected1, expected2 = iosync_reference(
         [v for _, v in p1], [v for _, v in p2])
     assert out1.values == expected1
     assert out2.values == expected2
     return result, out1, out2, (in1, in2)
+
+
+def _port_census(inputs, outs):
+    return {
+        "port_reads": sum(port.reads for port in inputs),
+        "port_polls_failed": sum(port.polls_failed for port in inputs),
+        "port_delivered": sum(port.delivered for port in inputs),
+        "port_writes": sum(len(port.writes) for port in outs),
+    }
 
 
 def test_iosync_sync_vs_memory_flags(benchmark, record_table, record_json,
@@ -50,19 +62,22 @@ def test_iosync_sync_vs_memory_flags(benchmark, record_table, record_json,
     rows = []
     port_stats = {}
     for name, arrivals in SCENARIOS.items():
-        sync_result, _, out2, inputs = _run(iosync_sync_source(),
-                                            arrivals)
+        sync_result, out1, out2, inputs = _run(iosync_sync_source(),
+                                               arrivals)
         flag_result, _, _, _ = _run(iosync_memory_source(), arrivals)
         rows.append([name, sync_result.cycles, flag_result.cycles,
                      speedup(flag_result.cycles, sync_result.cycles)])
         if name == "interleaved":
             # Figure-12 polling visibility: how hard each process
             # hammered its input port before the value arrived
-            port_stats = {
-                "port_reads": sum(port.reads for port in inputs),
-                "port_polls_failed": sum(port.polls_failed
-                                         for port in inputs),
-            }
+            port_stats = _port_census(inputs, (out1, out2))
+            # fast-path identity: a reference rerun must agree on the
+            # cycle count and every port counter
+            ref_result, ref_out1, ref_out2, ref_inputs = _run(
+                iosync_sync_source(), arrivals, engine="reference")
+            assert ref_result.cycles == sync_result.cycles
+            assert _port_census(ref_inputs,
+                                (ref_out1, ref_out2)) == port_stats
     table = render_table(
         ["port scenario", "sync bits (cycles)", "memory flags (cycles)",
          "speedup"],

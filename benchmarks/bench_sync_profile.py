@@ -11,9 +11,11 @@ observer and records their sync profiles.
 The numbers land in the advisory ``sync`` section of
 ``BENCH_SUMMARY.json`` (structure drifts when workloads change; the
 gate reports but never fails on them).  Hard assertions cover the
-contract instead: device-free workloads must produce bit-identical
-wait matrices and barrier profiles on both engines, and the barrier
-workload must actually observe its four-way join.
+contract instead: every workload — the device-backed Figure-12
+exchange included, now that the fast engine models memory-mapped
+ports natively — must produce bit-identical wait matrices and barrier
+profiles on both engines, and the barrier workload must actually
+observe its four-way join.
 """
 
 from repro.analysis import render_table
@@ -91,11 +93,11 @@ def _iosync(obs):
     return machine, verify
 
 
-#: (summary key, figure label, machine factory, fast-path eligible)
+#: (summary key, figure label, machine factory)
 WORKLOADS = (
-    ("fig10_minmax", "Fig 10 MINMAX", _minmax, True),
-    ("fig11_bitcount", "Fig 11 BITCOUNT1", _bitcount, True),
-    ("fig12_iosync", "Fig 12 iosync", _iosync, False),
+    ("fig10_minmax", "Fig 10 MINMAX", _minmax),
+    ("fig11_bitcount", "Fig 11 BITCOUNT1", _bitcount),
+    ("fig12_iosync", "Fig 12 iosync", _iosync),
 )
 
 
@@ -140,17 +142,15 @@ def test_sync_profiles(benchmark, record_table, record_json,
 
     rows = []
     payload = {}
-    for key, label, factory, fast_ok in WORKLOADS:
+    for key, label, factory in WORKLOADS:
         machine = _run(factory, "auto")
-        if fast_ok:
-            # tier-0 contract: the wait matrix and barrier profiles fold
-            # bit-identically on both engines
-            assert machine.engine_used == "fast"
-            reference = _run(factory, "reference")
-            assert (_sync_fingerprint(machine)
-                    == _sync_fingerprint(reference))
-        else:
-            assert machine.engine_used == "reference"
+        # tier-0 contract: the wait matrix and barrier profiles fold
+        # bit-identically on both engines (devices no longer force the
+        # reference path, so this now covers the Fig-12 exchange too)
+        assert machine.engine_used == "fast"
+        reference = _run(factory, "reference")
+        assert (_sync_fingerprint(machine)
+                == _sync_fingerprint(reference))
         stats = _profile(machine)
         payload[key] = dict(stats, engine=machine.engine_used)
         bench_summary(key, stats, section="sync")

@@ -41,11 +41,15 @@ class InputPort(Device):
     """A polled input port that becomes ready at a scheduled cycle.
 
     Attributes:
-        arrivals: list of (ready_cycle, value) pairs, consumed in order.
-            A read before the current head's ready cycle returns 0
-            ("invalid"); a read at or after it returns the value and
-            advances to the next pair.  Values must be non-zero, per the
-            paper's valid-value convention.
+        arrivals: list of (ready_cycle, value) pairs, consumed in
+            ready-cycle order.  A read before the current head's ready
+            cycle returns 0 ("invalid"); a read at or after it returns
+            the value and advances to the next pair.  Values must be
+            non-zero, per the paper's valid-value convention.  The list
+            is sorted by ready cycle on construction (stable, so values
+            sharing a cycle keep their listed order): an out-of-order
+            list would strand an already-ready value behind a
+            later-ready head and starve the poll loop.
     """
 
     arrivals: List[Tuple[int, int]] = field(default_factory=list)
@@ -60,6 +64,7 @@ class InputPort(Device):
                                  "(0 means 'not ready')")
             if ready < 0:
                 raise ValueError("ready cycle must be >= 0")
+        self.arrivals = sorted(self.arrivals, key=lambda pair: pair[0])
 
     def read(self, offset: int, cycle: int):
         self.reads += 1
@@ -109,12 +114,21 @@ def random_input_port(n_values: int, mean_gap: float, seed: int,
                       first_ready: int = 0) -> InputPort:
     """An :class:`InputPort` with geometrically distributed inter-arrival
     gaps — the "bounded but still non-deterministic" peripheral behavior
-    of paper section 1.3, made reproducible with a seed."""
+    of paper section 1.3, made reproducible with a seed.
+
+    *first_ready* is the earliest ready cycle: the first value is ready
+    at exactly that cycle, and each later value follows after a gap of
+    at least one cycle.
+    """
+    if first_ready < 0:
+        raise ValueError("first_ready must be >= 0")
     rng = random.Random(seed)
     arrivals = []
     cycle = first_ready
-    for _ in range(n_values):
-        cycle += max(1, int(rng.expovariate(1.0 / max(mean_gap, 1e-9))))
+    for index in range(n_values):
+        if index:
+            cycle += max(1, int(rng.expovariate(1.0 /
+                                                max(mean_gap, 1e-9))))
         arrivals.append((cycle, rng.randrange(1, 1 << 16)))
     return InputPort(arrivals)
 

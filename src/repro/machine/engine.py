@@ -38,12 +38,30 @@ reference path fills, bit-identically, from flat in-loop accumulators
 and a post-run fold, and register-file port peaks are tracked always
 (observer or not).  A sampling observer (tier-1,
 ``Observer(sinks, sample_every=N)``) additionally emits the full typed
-events on every Nth cycle.  The engine refuses — and the machines fall
-back to the reference path — only for the genuinely expensive
-features: full per-cycle event tracing (sinks at ``sample_every=1``),
-an address trace, an SSET tracker, memory-mapped devices, or
-register-file port caps tighter than the structural per-FU maximum
-(2 reads + 1 write per FU, which the data path cannot exceed).
+events on every Nth cycle.
+
+Memory-mapped devices run natively: the :class:`~.devices.DeviceMap`'s
+sorted range table is resolved once at engine entry into a flat scan
+tuple plus a covering ``[lo, hi)`` envelope, so the common non-device
+access pays two int compares and no allocation, while a device-range
+load/store calls the device directly in FU order — program order
+within the cycle, bypassing the end-of-cycle store buffer, exactly
+like the reference data path (``IOError`` type, message, and ordering
+included).
+
+SSET trackers run natively too, via a snapshot-at-sample-boundary
+protocol (:class:`~.partition.DeferredTrackerFeed`): the loop records
+each cycle's tracker inputs as flat vectors and reconstructs tracker
+state by replay only when a partition is observed — at tier-1 sample
+cycles, at a flush cap, and at run end — instead of stepping the
+tracker every cycle.
+
+The engine refuses — and the machines fall back to the reference path
+— only for the genuinely expensive features: full per-cycle event
+tracing (sinks at ``sample_every=1``, which with a tracker attached
+would need the tracker reconstructed every cycle anyway), an address
+trace, or register-file port caps tighter than the structural per-FU
+maximum (2 reads + 1 write per FU, which the data path cannot exceed).
 """
 
 from __future__ import annotations
@@ -51,8 +69,15 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..isa import Condition, OpKind, Parcel, Reg, SyncValue
-from ..obs.events import BranchEvent, CycleEvent, SyncEdgeEvent, SyncEvent
+from ..obs.events import (
+    BranchEvent,
+    CycleEvent,
+    PartitionChangeEvent,
+    SyncEdgeEvent,
+    SyncEvent,
+)
 from .config import MachineConfig, SequencerStyle
+from .partition import DeferredTrackerFeed
 from .telemetry import (
     CLASS_CHARS,
     CLS_BRANCH,
@@ -139,6 +164,31 @@ class DecodedProgram:
         self.columns = columns
         self.width = len(columns)
         self.length = len(columns[0]) if columns else 0
+
+
+def _decoded_for(machine, kind: str, decoder) -> DecodedProgram:
+    """The machine's decoded program, shared across same-shape users.
+
+    Decoding depends only on the program text plus two config knobs
+    (FU count and sequencer style), and the decoded slots are immutable
+    tuples, so machines sharing one :class:`Program` (the
+    fresh-machine-per-rep benchmark idiom) share one decode instead of
+    paying the lowering again per instance.  The cache lives on the
+    program object — ``{(kind, n_fus, sequencer): DecodedProgram}`` —
+    and dies with it.
+    """
+    decoded = machine._decoded
+    if decoded is None:
+        program = machine.program
+        per_program = getattr(program, "_decoded_cache", None)
+        if per_program is None:
+            per_program = program._decoded_cache = {}
+        key = (kind, machine.config.n_fus, machine.config.sequencer)
+        decoded = per_program.get(key)
+        if decoded is None:
+            decoded = per_program[key] = decoder(program, machine.config)
+        machine._decoded = decoded
+    return decoded
 
 
 def _decode_operand(operand) -> Tuple[object, bool]:
@@ -339,9 +389,12 @@ def fast_path_blockers(machine) -> List[str]:
     The blockers are exactly the features whose semantics the fast
     engine does not model; with any of them active the machines run the
     reference ``step()`` path so observability behavior is unchanged.
-    Counter-only observers (tier-0) and sampling observers (tier-1,
-    ``sample_every > 1``) are *not* blockers: the engine accumulates
-    those natively.  The list is sorted for deterministic error
+    Counter-only observers (tier-0), sampling observers (tier-1,
+    ``sample_every > 1``), memory-mapped devices, and SSET trackers are
+    *not* blockers: the engine handles those natively (trackers via
+    deferred replay, so they fall back only when full per-cycle tracing
+    — ``sample_every <= 1`` with sinks — demands per-cycle tracker
+    state anyway).  The list is sorted for deterministic error
     messages, and each entry names the knob that would clear it.
     """
     blockers = []
@@ -355,14 +408,6 @@ def fast_path_blockers(machine) -> List[str]:
         blockers.append(
             "address trace recording (construct the machine with "
             "trace=False)")
-    if getattr(machine, "tracker", None) is not None:
-        blockers.append(
-            "SSET tracker attached (construct the machine with "
-            "tracker=TrackerKind.NONE)")
-    if machine.memory.devices:
-        blockers.append(
-            "memory-mapped devices present (construct the machine "
-            "without a devices= map)")
     config = machine.config
     if (config.max_read_ports is not None
             and config.max_read_ports < 2 * config.n_fus):
@@ -384,6 +429,21 @@ def fast_path_eligible(machine) -> bool:
 
 # --- the XIMD fast loop ----------------------------------------------------
 
+def _device_table(memory) -> Tuple[tuple, int, int]:
+    """Flatten the memory's :class:`~.devices.DeviceMap` into a scan
+    tuple plus the covering ``[lo, hi)`` envelope.
+
+    The ranges come out address-sorted and non-overlapping (DeviceMap
+    enforces both), so the envelope is first-lo to last-hi and the
+    common non-device access is rejected by two int compares; only an
+    address inside the envelope pays the short linear scan.
+    """
+    ranges = tuple(memory.devices.ranges())
+    if not ranges:
+        return (), 0, 0
+    return ranges, ranges[0][0], ranges[-1][1]
+
+
 def run_ximd_fast(machine, limit: int) -> None:
     """Run *machine* (an eligible :class:`~.ximd.XimdMachine`) to halt.
 
@@ -394,10 +454,7 @@ def run_ximd_fast(machine, limit: int) -> None:
     conflict/machine errors the reference path raises, with identical
     messages.
     """
-    decoded = machine._decoded
-    if decoded is None:
-        decoded = machine._decoded = decode_ximd_program(
-            machine.program, machine.config)
+    decoded = _decoded_for(machine, "ximd", decode_ximd_program)
     config = machine.config
     n = config.n_fus
     cols = decoded.columns
@@ -423,6 +480,15 @@ def run_ximd_fast(machine, limit: int) -> None:
     mem_data = memory._data if shared else None
     banks = None if shared else memory._banks
     mem_pending: List[Tuple[int, int, object]] = []  # (fu, address, value)
+    devs, dev_lo, dev_hi = _device_table(memory)
+
+    # SSET tracker: inputs are buffered and replayed in batches (state
+    # reconstructed only at sample cycles / flush cap / run end)
+    tracker = getattr(machine, "tracker", None)
+    feed = (DeferredTrackerFeed(machine.program, tracker)
+            if tracker is not None else None)
+    actual_t: List[int] = []
+    barrier_mask = 0
 
     pcs: List[Optional[int]] = list(machine.pcs)
     active = sum(1 for pc in pcs if pc is not None)
@@ -500,6 +566,10 @@ def run_ximd_fast(machine, limit: int) -> None:
                 # every FU halted at fetch: the cycle never happened
                 break
             visible = prev_ss if registered else ss
+            if feed is not None:
+                # post-fetch PC vector (-1 = halted), the reference
+                # path's tracker/partition input for this cycle
+                actual_t = [pc if pc is not None else -1 for pc in pcs]
 
             # --- execute: all data ops run before any control op is ----
             # evaluated, matching the reference step()'s phase order
@@ -528,36 +598,70 @@ def run_ximd_fast(machine, limit: int) -> None:
                         address = (
                             int(regv[slot[2]] if slot[3] else slot[2])
                             + int(regv[slot[4]] if slot[5] else slot[4]))
-                        if not 0 <= address < mem_words:
+                        # device ranges take precedence over the bounds
+                        # check (they may live outside data memory) and
+                        # see program order within the cycle; device
+                        # hits bypass the memory counters, like the
+                        # reference load()
+                        device = None
+                        if devs and dev_lo <= address < dev_hi:
+                            for d_lo, d_hi, d_dev in devs:
+                                if d_lo <= address < d_hi:
+                                    device = d_dev
+                                    d_base = d_lo
+                                    break
+                        if device is not None:
+                            wbuf.append((
+                                slot[6],
+                                device.read(address - d_base, cycle),
+                                fu))
+                        elif not 0 <= address < mem_words:
                             raise MemoryError_(
                                 f"address {address} out of range "
                                 f"[0, {mem_words})"
                                 if shared else
                                 f"address {address!r} out of bank range "
                                 f"[0, {mem_words})")
-                        mem_loads += 1
-                        bank = mem_data if shared else banks[fu]
-                        wbuf.append((slot[6], bank.get(address, 0), fu))
+                        else:
+                            mem_loads += 1
+                            bank = mem_data if shared else banks[fu]
+                            wbuf.append(
+                                (slot[6], bank.get(address, 0), fu))
                     else:  # _D_STORE
                         value = regv[slot[2]] if slot[3] else slot[2]
                         address = int(
                             regv[slot[4]] if slot[5] else slot[4])
-                        if not 0 <= address < mem_words:
+                        device = None
+                        if devs and dev_lo <= address < dev_hi:
+                            for d_lo, d_hi, d_dev in devs:
+                                if d_lo <= address < d_hi:
+                                    device = d_dev
+                                    d_base = d_lo
+                                    break
+                        if device is not None:
+                            # immediate, not end-of-cycle: devices see
+                            # program order within the cycle
+                            device.write(address - d_base, value, cycle)
+                        elif not 0 <= address < mem_words:
                             raise MemoryError_(
                                 f"address {address} out of range "
                                 f"[0, {mem_words})"
                                 if shared else
                                 f"address {address!r} out of bank range "
                                 f"[0, {mem_words})")
-                        mem_stores += 1
-                        mem_pending.append((fu, address, value))
+                        else:
+                            mem_stores += 1
+                            mem_pending.append((fu, address, value))
 
             emit = emit_every and cycle % emit_every == 0
             if emit:
                 # sampled cycle: capture the start-of-cycle view the
                 # reference CycleEvent carries, before branches retarget
-                # the PCs
+                # the PCs.  The partition query replays the tracker up
+                # to this cycle (snapshot-at-sample-boundary).
                 pcs_start = tuple(pcs)
+                partition = (feed.partition_now(actual_t)
+                             if feed is not None else None)
                 cc_text = "".join(
                     ("T" if value else "F") if defined else "X"
                     for value, defined in zip(ccv, ccdef))
@@ -607,6 +711,8 @@ def run_ximd_fast(machine, limit: int) -> None:
                 else:
                     raise MachineError(ctl[4])
                 target = ctl[1] if taken else ctl[2]
+                if feed is not None and ckind == _C_ALL and taken:
+                    barrier_mask |= 1 << fu
                 if obs_on:
                     nresolved += 1
                     cls = slot[12] if taken else slot[13]
@@ -681,10 +787,19 @@ def run_ximd_fast(machine, limit: int) -> None:
                                         pc=pcs[fu], cond="any"))
                 pcs[fu] = target
 
+            if feed is not None:
+                # buffer this cycle's tracker inputs; a data- or
+                # control-op error skips this (the reference path never
+                # reaches tracker.step on the error cycle either)
+                feed.record(actual_t,
+                            [pc if pc is not None else -1 for pc in pcs],
+                            barrier_mask)
+                barrier_mask = 0
+
             if emit:
                 obs.emit(CycleEvent(
                     machine="ximd", cycle=cycle, pcs=pcs_start,
-                    cc=cc_text, ss=ss_text, partition=None,
+                    cc=cc_text, ss=ss_text, partition=partition,
                     data_ops=cyc_ops,
                     fu_class="".join(CLASS_CHARS[c] for c in cls_now),
                     ops=tuple(
@@ -706,6 +821,12 @@ def run_ximd_fast(machine, limit: int) -> None:
                             machine="ximd", cycle=cycle, fu=fu,
                             pc=pcs_start[fu], what="barrier"))
                         barrier_now[fu] = False
+                if (partition is not None
+                        and partition != machine._last_partition):
+                    obs.emit(PartitionChangeEvent(
+                        machine="ximd", cycle=cycle,
+                        partition=partition, n_ssets=len(partition)))
+                    machine._last_partition = partition
 
             # --- commit -------------------------------------------------
             prev_ss[:] = ss  # this cycle's SS vector, pre-halt updates
@@ -750,6 +871,8 @@ def run_ximd_fast(machine, limit: int) -> None:
                                         f"{address} (undefined, "
                                         "section 2.3)")
                                 mem_conflicts += 1
+                                if fu < prev_fu:
+                                    continue  # highest-numbered FU wins
                             seen_addrs[address] = fu
                             mem_data[address] = value
                 else:
@@ -771,6 +894,10 @@ def run_ximd_fast(machine, limit: int) -> None:
             cycles_done += 1
     finally:
         # --- fold + write back machine state, even on an error ----------
+        if feed is not None:
+            # reconstruct the tracker through the last executed cycle,
+            # so its post-run state matches the reference path's
+            feed.flush()
         stats = machine.stats
         stats.cycles += cycles_done
         counters = machine.counters
@@ -880,10 +1007,7 @@ def run_vliw_fast(machine, limit: int) -> None:
     Same contract as :func:`run_ximd_fast`: in-place advance,
     bit-identical results, identical error behavior.
     """
-    decoded = machine._decoded
-    if decoded is None:
-        decoded = machine._decoded = decode_vliw_program(
-            machine.program, machine.config)
+    decoded = _decoded_for(machine, "vliw", decode_vliw_program)
     config = machine.config
     n = config.n_fus
     rows = decoded.columns[0]
@@ -907,6 +1031,7 @@ def run_vliw_fast(machine, limit: int) -> None:
     mem_data = memory._data if shared else None
     banks = None if shared else memory._banks
     mem_pending: List[Tuple[int, int, object]] = []
+    devs, dev_lo, dev_hi = _device_table(memory)
 
     pc: Optional[int] = machine.pc
     cycle = machine.cycle
@@ -961,28 +1086,54 @@ def run_vliw_fast(machine, limit: int) -> None:
                 elif dkind == _D_LOAD:
                     address = (int(regv[slot[2]] if slot[3] else slot[2])
                                + int(regv[slot[4]] if slot[5] else slot[4]))
-                    if not 0 <= address < mem_words:
+                    # device ranges take precedence over the bounds
+                    # check and bypass the memory counters (see the
+                    # XIMD loop)
+                    device = None
+                    if devs and dev_lo <= address < dev_hi:
+                        for d_lo, d_hi, d_dev in devs:
+                            if d_lo <= address < d_hi:
+                                device = d_dev
+                                d_base = d_lo
+                                break
+                    if device is not None:
+                        wbuf.append((
+                            slot[6],
+                            device.read(address - d_base, cycle), fu))
+                    elif not 0 <= address < mem_words:
                         raise MemoryError_(
                             f"address {address} out of range "
                             f"[0, {mem_words})"
                             if shared else
                             f"address {address!r} out of bank range "
                             f"[0, {mem_words})")
-                    mem_loads += 1
-                    bank = mem_data if shared else banks[fu]
-                    wbuf.append((slot[6], bank.get(address, 0), fu))
+                    else:
+                        mem_loads += 1
+                        bank = mem_data if shared else banks[fu]
+                        wbuf.append((slot[6], bank.get(address, 0), fu))
                 else:  # _D_STORE
                     value = regv[slot[2]] if slot[3] else slot[2]
                     address = int(regv[slot[4]] if slot[5] else slot[4])
-                    if not 0 <= address < mem_words:
+                    device = None
+                    if devs and dev_lo <= address < dev_hi:
+                        for d_lo, d_hi, d_dev in devs:
+                            if d_lo <= address < d_hi:
+                                device = d_dev
+                                d_base = d_lo
+                                break
+                    if device is not None:
+                        # immediate: devices see program order in-cycle
+                        device.write(address - d_base, value, cycle)
+                    elif not 0 <= address < mem_words:
                         raise MemoryError_(
                             f"address {address} out of range "
                             f"[0, {mem_words})"
                             if shared else
                             f"address {address!r} out of bank range "
                             f"[0, {mem_words})")
-                    mem_stores += 1
-                    mem_pending.append((fu, address, value))
+                    else:
+                        mem_stores += 1
+                        mem_pending.append((fu, address, value))
 
             emit = emit_every and cycle % emit_every == 0
             if ctl is None:
@@ -1064,6 +1215,8 @@ def run_vliw_fast(machine, limit: int) -> None:
                                         f"{address} (undefined, "
                                         "section 2.3)")
                                 mem_conflicts += 1
+                                if fu < prev_fu:
+                                    continue  # highest-numbered FU wins
                             seen_addrs[address] = fu
                             mem_data[address] = value
                 else:

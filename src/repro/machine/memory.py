@@ -76,18 +76,27 @@ class SharedMemory:
         self._pending.append((address, value, fu))
 
     def commit(self, cycle: int) -> None:
-        """Apply the cycle's buffered stores (end-of-cycle semantics)."""
+        """Apply the cycle's buffered stores (end-of-cycle semantics).
+
+        With conflict detection off, same-cycle stores to one address
+        resolve by FU number — the highest-numbered FU wins — no matter
+        what order the stores were issued in; the loser is dropped and
+        counted.
+        """
         if not self._pending:
             return
         seen: Dict[int, int] = {}
         for address, value, fu in self._pending:
-            if address in seen:
+            prev_fu = seen.get(address)
+            if prev_fu is not None:
                 if self.detect_conflicts:
                     raise MemoryConflictError(
-                        f"cycle {cycle}: FUs {seen[address]} and {fu} both "
+                        f"cycle {cycle}: FUs {prev_fu} and {fu} both "
                         f"store to address {address} (undefined, "
                         f"section 2.3)")
                 self.conflicts_dropped += 1
+                if fu < prev_fu:
+                    continue
             seen[address] = fu
             self._data[address] = value
         self._pending.clear()

@@ -44,6 +44,13 @@ Two trackers implement the definition:
 
 :class:`AdaptiveSSETTracker` runs the exact analysis until its world set
 exceeds a budget, then falls over to the heuristic.
+
+:class:`DeferredTrackerFeed` is the fast engine's
+snapshot-at-sample-boundary adapter: it buffers the per-cycle tracker
+inputs as the flat loop produces them and replays them in batches, so
+tracker state is only reconstructed when a partition is actually
+observed (tier-1 sample cycles, flush-cap overflow, or run end) rather
+than advanced every cycle.
 """
 
 from __future__ import annotations
@@ -376,3 +383,61 @@ class AdaptiveSSETTracker:
                 self.fell_back_at = self._cycle
         self._heuristic.step(actual_pcs, next_pcs, parcels, barrier_taken)
         self._cycle += 1
+
+
+class DeferredTrackerFeed:
+    """Batches tracker input for the fast engine.
+
+    The reference interpreter advances its SSET tracker every cycle.
+    The fast engine instead records each executed cycle's tracker
+    inputs — the post-fetch PC vector, the post-branch PC vector (−1
+    for halted FUs), and a bitmask of FUs that released an ALL-sync
+    barrier — and replays them with :meth:`flush` only when tracker
+    state is actually needed: at a tier-1 sample cycle (via
+    :meth:`partition_now`), when the buffer reaches *flush_every*
+    recorded cycles, or at run end.  Replay re-fetches each cycle's
+    parcels from the program and calls ``tracker.step`` with exactly
+    the arguments the reference path would have passed, so the
+    tracker's state after a flush is bit-identical to the reference
+    interpreter's at the same cycle — only *when* the steps execute
+    moves.  A consequence: a :class:`WorldExplosionError` from the
+    exact tracker surfaces at the flush, possibly later than the cycle
+    the reference path would have raised it on.
+    """
+
+    __slots__ = ("_program", "_tracker", "_fus", "_pending",
+                 "flush_every")
+
+    def __init__(self, program: Program, tracker,
+                 flush_every: int = 2048):
+        self._program = program
+        self._tracker = tracker
+        self._fus = range(program.width)
+        self._pending: List[Tuple[List[int], List[int], int]] = []
+        self.flush_every = flush_every
+
+    def record(self, actual_pcs: List[int], next_pcs: List[int],
+               barrier_mask: int) -> None:
+        """Buffer one executed cycle (PC vectors use −1 for halted)."""
+        self._pending.append((actual_pcs, next_pcs, barrier_mask))
+        if len(self._pending) >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Replay every buffered cycle into the tracker."""
+        if not self._pending:
+            return
+        program = self._program
+        tracker = self._tracker
+        fus = self._fus
+        for actual, nxt, mask in self._pending:
+            parcels = [program.fetch(fu, actual[fu])
+                       if actual[fu] >= 0 else None for fu in fus]
+            tracker.step(actual, nxt, parcels,
+                         [bool(mask >> fu & 1) for fu in fus])
+        self._pending.clear()
+
+    def partition_now(self, actual_pcs: Sequence[int]) -> Partition:
+        """The partition at the current cycle: replay, then query."""
+        self.flush()
+        return self._tracker.partition(actual_pcs)

@@ -11,9 +11,11 @@ The observability tiers (see README "Observability"):
   registry through :func:`fold_run_metrics`, so the registry contents
   are bit-identical whichever engine ran.
 * **tier-1** — sampled tracing: ``Observer(sinks, sample_every=N)``
-  additionally emits the full typed-event vocabulary every Nth cycle.
+  additionally emits the full typed-event vocabulary every Nth cycle
+  (SSET-tracker partitions included: the fast engine reconstructs
+  tracker state at sample boundaries by deferred replay).
 * **tier-2** — full tracing: sinks at ``sample_every=1`` (or an address
-  trace / SSET tracker), which still forces the reference path.
+  trace), which still forces the reference path.
 
 Like :class:`~repro.machine.datapath.DatapathStats`, a
 :class:`RunCounters` accumulates across multiple ``run()`` calls on the

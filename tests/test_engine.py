@@ -8,10 +8,14 @@ iteration order feeds energy reports summed under a zero-tolerance CI
 gate — plus condition codes, memory contents, port counters, and the
 registered sync vector.  These tests enforce that contract on the
 paper's workloads, on the prototype-config variants, on randomized
-programs spanning the whole ISA, and on the documented fallback rules
-(full-trace observer / trace / tracker / devices / port caps force the
-reference path; counter-only and sampled observers do not), and on the
-tier-0 telemetry the fast engine now accumulates natively.
+programs spanning the whole ISA (memory-mapped device layouts
+included: port counters, the ``io`` report section, and ``IOError``
+paths), on SSET trackers (replayed through the deferred feed, end
+state and sampled partition events identical), and on the documented
+fallback rules (full-trace observer / trace / port caps force the
+reference path; counter-only and sampled observers, devices, and
+trackers do not), and on the tier-0 telemetry the fast engine
+accumulates natively.
 """
 
 import dataclasses
@@ -31,7 +35,10 @@ from repro.isa import (
 )
 from repro.isa.opcodes import ALL_MNEMONICS, OPCODES
 from repro.machine import (
+    DeviceMap,
+    InputPort,
     MachineError,
+    OutputPort,
     Program,
     TrackerKind,
     VliwMachine,
@@ -41,7 +48,7 @@ from repro.machine import (
     prototype_config,
     research_config,
 )
-from repro.obs import Observer, observed, recording_observer
+from repro.obs import Observer, RunReport, observed, recording_observer
 from repro.workloads import (
     BITCOUNT_REGS,
     LL12_REGS,
@@ -52,6 +59,7 @@ from repro.workloads import (
     bitcount_vliw_source,
     livermore12_memory,
     livermore12_source,
+    iosync_sync_source,
     longrunner_program,
     longrunner_vliw_program,
     make_devices,
@@ -102,6 +110,20 @@ def _result_fingerprint(result):
     )
 
 
+def _device_fingerprint(memory):
+    """End state of every mapped device: kind, range, and counters."""
+    out = []
+    for base, end, device in memory.devices.ranges():
+        if isinstance(device, InputPort):
+            out.append((base, end, "in", device.reads,
+                        device.polls_failed, device.delivered))
+        elif isinstance(device, OutputPort):
+            out.append((base, end, "out", tuple(device.writes)))
+        else:
+            out.append((base, end, type(device).__name__))
+    return tuple(out)
+
+
 def _machine_fingerprint(machine):
     """Committed machine state beyond what ExecutionResult carries."""
     memory = machine.memory
@@ -120,6 +142,7 @@ def _machine_fingerprint(machine):
         machine.regfile.peak_reads,
         machine.regfile.peak_writes,
         getattr(machine, "_prev_ss", None),
+        _device_fingerprint(memory),
     )
 
 
@@ -127,13 +150,14 @@ def _run(make, engine, limit):
     """(machine, result-or-None, error-or-None) for one engine.
 
     Besides :class:`MachineError`, the datapath lets Python numeric
-    errors escape (``int(inf)``, float NaN conversions); the contract
-    is that both engines raise the identical exception.
+    errors escape (``int(inf)``, float NaN conversions), and device
+    accesses may raise ``IOError`` (an ``OSError``); the contract is
+    that both engines raise the identical exception.
     """
     machine = make()
     try:
         result = machine.run(limit, engine=engine)
-    except (MachineError, ArithmeticError, ValueError) as exc:
+    except (MachineError, ArithmeticError, ValueError, OSError) as exc:
         return machine, None, (type(exc).__name__, str(exc))
     assert machine.engine_used == engine
     return machine, result, None
@@ -396,8 +420,18 @@ class TestFallback:
         machine.run(1_000)
         assert machine.engine_used == "reference"
 
-    def test_tracker_forces_reference(self):
+    def test_tracker_stays_fast(self):
+        """SSET trackers run natively via the deferred replay feed."""
         machine = _tproc(tracker=TrackerKind.EXACT)
+        assert fast_path_blockers(machine) == []
+        machine.run(1_000)
+        assert machine.engine_used == "fast"
+
+    def test_tracker_with_full_tracing_forces_reference(self):
+        """sample_every=1 sinks would need per-cycle tracker state, so
+        the full-tracing blocker still applies with a tracker on."""
+        machine = _tproc(tracker=TrackerKind.EXACT,
+                         obs=recording_observer())
         machine.run(1_000)
         assert machine.engine_used == "reference"
 
@@ -425,12 +459,13 @@ class TestFallback:
         machine.run(1_000)
         assert machine.engine_used == "fast"
 
-    def test_devices_force_reference(self):
-        devices = make_devices([(0, 1)], [(0, 2)])
+    def test_devices_stay_fast(self):
+        devices, *_ports = make_devices([(0, 1)], [(0, 2)])
         machine = _fresh(XimdMachine, tproc_source(), _TPROC_REGS,
                          devices=devices)
+        assert fast_path_blockers(machine) == []
         machine.run(1_000)
-        assert machine.engine_used == "reference"
+        assert machine.engine_used == "fast"
 
     @pytest.mark.parametrize("override", [{"max_read_ports": 4},
                                           {"max_write_ports": 2}])
@@ -465,9 +500,9 @@ class TestFallback:
         """auto on an ineligible machine = plain reference execution."""
         plain = _tproc()
         expected = plain.run(1_000, engine="reference")
-        tracked = _tproc(tracker=TrackerKind.HEURISTIC)
-        result = tracked.run(1_000)
-        assert tracked.engine_used == "reference"
+        traced = _tproc(trace=True)
+        result = traced.run(1_000)
+        assert traced.engine_used == "reference"
         assert result.cycles == expected.cycles
         assert result.registers == expected.registers
 
@@ -599,6 +634,254 @@ class TestRandomProgramEquivalence:
             lambda: XimdMachine(program,
                                 config=research_config(program.width)),
             limit=64)
+
+
+# ---------------------------------------------------------------------------
+# memory-mapped devices on the fast path: Figure 12 and random layouts
+
+
+_IOSYNC_P1 = [(2, 11), (18, 12), (34, 13)]
+_IOSYNC_P2 = [(10, 21), (26, 22), (42, 23)]
+
+
+def _iosync_machine(**kwargs):
+    devices, _in1, _in2, _out1, _out2 = make_devices(
+        _IOSYNC_P1, _IOSYNC_P2)
+    return _fresh(XimdMachine, iosync_sync_source(), devices=devices,
+                  **kwargs)
+
+
+@st.composite
+def _port_layouts(draw):
+    """1-3 single-word ports at distinct addresses inside the random
+    programs' address range, so loads and stores actually hit them —
+    including the read-an-OutputPort / write-an-InputPort IOError
+    paths."""
+    bases = draw(st.lists(st.integers(0, 24), unique=True,
+                          min_size=1, max_size=3))
+    layout = []
+    for base in bases:
+        if draw(st.booleans()):
+            arrivals = draw(st.lists(
+                st.tuples(st.integers(0, 40), st.integers(1, 99)),
+                max_size=3))
+            layout.append(("in", base, tuple(arrivals)))
+        else:
+            layout.append(("out", base, None))
+    return tuple(layout)
+
+
+def _layout_devices(layout):
+    """A fresh (stateful!) DeviceMap from a layout spec — each engine
+    run must get its own."""
+    devices = DeviceMap()
+    for kind, base, arrivals in layout:
+        device = (InputPort(list(arrivals)) if kind == "in"
+                  else OutputPort())
+        devices.map(base, 1, device)
+    return devices
+
+
+class TestDeviceDifferential:
+    def test_iosync_bit_identical(self):
+        """Figure 12's polled-I/O workload, devices and all."""
+        assert_identical(_iosync_machine)
+
+    def test_iosync_telemetry_and_io_section_identical(self):
+        machines = {}
+        snaps = {}
+        for engine in ("reference", "fast"):
+            obs = Observer()
+            machine = _iosync_machine(obs=obs)
+            machine.run(1_000_000, engine=engine)
+            assert machine.engine_used == engine
+            machines[engine] = machine
+            snaps[engine] = _telemetry_snapshot(obs)
+        assert snaps["fast"] == snaps["reference"]
+        assert (_counters_fingerprint(machines["fast"])
+                == _counters_fingerprint(machines["reference"]))
+        fast_io = RunReport.from_machine(machines["fast"]).io
+        ref_io = RunReport.from_machine(machines["reference"]).io
+        assert fast_io == ref_io
+        assert fast_io["reads"] > 0 and fast_io["writes"] > 0
+
+    def test_iosync_sampled_events_identical(self):
+        events = {}
+        for engine in ("reference", "fast"):
+            obs = recording_observer(sample_every=4)
+            machine = _iosync_machine(obs=obs)
+            machine.run(1_000_000, engine=engine)
+            assert machine.engine_used == engine
+            events[engine] = [dataclasses.asdict(event)
+                              for event in obs.sinks[0].events]
+        assert events["fast"] == events["reference"]
+
+    def test_write_to_input_port_raises_identically(self):
+        def make():
+            devices = DeviceMap()
+            devices.map(5, 1, InputPort([(0, 7)]))
+            program = Program([[Parcel(
+                DataOp(OPCODES["store"], Const(1), Const(5), None),
+                None, SyncValue.BUSY)]])
+            return XimdMachine(program, config=_lenient(1),
+                               devices=devices)
+
+        assert_identical(make, limit=16)
+        machine, _, error = _run(make, "fast", 16)
+        assert error == ("OSError", "InputPort is read-only")
+
+    def test_read_from_output_port_raises_identically(self):
+        def make():
+            devices = DeviceMap()
+            devices.map(6, 1, OutputPort())
+            program = Program([[Parcel(
+                DataOp(OPCODES["load"], Const(6), Const(0), Reg(0)),
+                None, SyncValue.BUSY)]])
+            return XimdMachine(program, config=_lenient(1),
+                               devices=devices)
+
+        assert_identical(make, limit=16)
+        machine, _, error = _run(make, "fast", 16)
+        assert error == ("OSError", "OutputPort is write-only")
+
+    def test_device_outside_memory_range_reachable(self):
+        """Device lookup precedes the bounds check, so a port above
+        the memory size must serve instead of raising — identically."""
+
+        def make():
+            words = research_config(1).memory_words
+            devices = DeviceMap()
+            devices.map(words + 3, 1, InputPort([(0, 9)]))
+            program = Program([[Parcel(
+                DataOp(OPCODES["load"], Const(words + 3), Const(0),
+                       Reg(0)),
+                None, SyncValue.BUSY)]])
+            return XimdMachine(program, config=_lenient(1),
+                               devices=devices)
+
+        assert_identical(make, limit=16)
+        machine, result, error = _run(make, "fast", 16)
+        assert error is None
+        assert result.register(0) == 9
+        assert machine.memory.loads == 0  # device hits bypass counters
+
+    @given(random_programs(), _port_layouts())
+    @settings(max_examples=60, deadline=None)
+    def test_ximd_random_device_layouts(self, program, layout):
+        assert_identical(
+            lambda: XimdMachine(program, config=_lenient(program.width),
+                                devices=_layout_devices(layout)),
+            limit=64)
+
+    @given(random_programs(), _port_layouts())
+    @settings(max_examples=40, deadline=None)
+    def test_vliw_random_device_layouts(self, program, layout):
+        assert_identical(
+            lambda: VliwMachine(program, config=_lenient(program.width),
+                                devices=_layout_devices(layout)),
+            limit=64)
+
+
+# ---------------------------------------------------------------------------
+# SSET trackers on the fast path: deferred replay, identical end state
+
+
+def _tracker_state(machine):
+    """Partition now, exact world set (when present), fallback point."""
+    tracker = machine.tracker
+    partition = tracker.partition(machine._pc_vector())
+    exact = getattr(tracker, "_exact", None)
+    worlds = (frozenset(exact.worlds) if exact is not None else None)
+    return (partition, worlds, getattr(tracker, "fell_back_at", "n/a"))
+
+
+_TRACKER_WORKLOADS = {
+    "bitcount": lambda kind: _fresh(
+        XimdMachine, bitcount_total_source(), {BITCOUNT_REGS["n"]: 48},
+        bitcount_memory(_BC_DATA), tracker=kind),
+    "tproc": lambda kind: _fresh(
+        XimdMachine, tproc_source(), _TPROC_REGS, tracker=kind),
+    "minmax": lambda kind: _fresh(
+        XimdMachine, minmax_source("halt"),
+        {MINMAX_REGS["n"]: len(_MM_DATA)}, minmax_memory(_MM_DATA),
+        tracker=kind),
+}
+
+
+class TestTrackerDifferential:
+    @pytest.mark.parametrize("kind", [TrackerKind.EXACT,
+                                      TrackerKind.HEURISTIC,
+                                      TrackerKind.ADAPTIVE])
+    @pytest.mark.parametrize("name", sorted(_TRACKER_WORKLOADS))
+    def test_end_state_identical(self, name, kind):
+        states = {}
+        for engine in ("reference", "fast"):
+            machine = _TRACKER_WORKLOADS[name](kind)
+            result = machine.run(5_000_000, engine=engine)
+            assert machine.engine_used == engine
+            states[engine] = (_result_fingerprint(result),
+                              _tracker_state(machine))
+        assert states["fast"] == states["reference"]
+
+    @pytest.mark.parametrize("kind", [TrackerKind.EXACT,
+                                      TrackerKind.HEURISTIC])
+    def test_sampled_partition_events_identical(self, kind):
+        """Tier-1 sampled CycleEvent.partition and the
+        PartitionChangeEvent stream must match the reference path."""
+        events = {}
+        for engine in ("reference", "fast"):
+            obs = recording_observer(sample_every=4)
+            machine = _fresh(XimdMachine, bitcount_total_source(),
+                             {BITCOUNT_REGS["n"]: 48},
+                             bitcount_memory(_BC_DATA),
+                             tracker=kind, obs=obs)
+            machine.run(5_000_000, engine=engine)
+            assert machine.engine_used == engine
+            events[engine] = [dataclasses.asdict(event)
+                              for event in obs.sinks[0].events]
+        assert events["fast"] == events["reference"]
+        assert any(e.get("partition") for e in events["fast"])
+
+    def test_tracker_with_devices_and_counters(self):
+        """The Figure 12 combination: devices + tracker + tier-0
+        observer, all on the fast path, telemetry identical."""
+        snaps = {}
+        for engine in ("reference", "fast"):
+            obs = Observer()
+            machine = _iosync_machine(tracker=TrackerKind.EXACT,
+                                      obs=obs)
+            machine.run(1_000_000, engine=engine)
+            assert machine.engine_used == engine
+            snaps[engine] = (_telemetry_snapshot(obs),
+                             _tracker_state(machine),
+                             _machine_fingerprint(machine))
+        assert snaps["fast"] == snaps["reference"]
+
+    def test_error_cycle_not_replayed(self):
+        """A run that dies mid-cycle must leave the tracker advanced
+        only through the last completed cycle, like the reference: the
+        error cycle's (never-taken) branch back to 0 must not appear
+        in the exact tracker's worlds."""
+
+        def make():
+            program = Program([[
+                Parcel(DataOp(OPCODES["nop"]),
+                       ControlOp(Condition.ALWAYS_T1, 1),
+                       SyncValue.BUSY),
+                Parcel(DataOp(OPCODES["store"], Const(1), Const(-3),
+                              None),
+                       ControlOp(Condition.ALWAYS_T1, 0),
+                       SyncValue.BUSY),
+            ]])
+            return XimdMachine(program, config=_lenient(1),
+                               tracker=TrackerKind.EXACT)
+
+        states = {}
+        for engine in ("reference", "fast"):
+            machine, result, error = _run(make, engine, 16)
+            assert result is None and error[0] == "MemoryError_"
+            states[engine] = frozenset(machine.tracker._exact.worlds)
+        assert states["fast"] == states["reference"] == {(1,)}
 
 
 # ---------------------------------------------------------------------------

@@ -43,6 +43,18 @@ class TestSharedMemory:
         assert mem.conflicts_dropped == 1
         assert mem.peek(5) == 2  # highest-numbered FU wins
 
+    def test_conflict_winner_independent_of_issue_order(self):
+        """The documented rule is highest-numbered FU wins — not
+        last-appended-to-the-buffer wins.  A lower-numbered FU whose
+        store lands in the buffer later must still lose."""
+        mem = SharedMemory(64, detect_conflicts=False)
+        mem.store(3, 5, 33, cycle=0)
+        mem.store(0, 5, 10, cycle=0)   # issued later, lower FU: loses
+        mem.store(2, 5, 22, cycle=0)
+        mem.commit(0)
+        assert mem.peek(5) == 33
+        assert mem.conflicts_dropped == 2
+
     def test_same_fu_rewrites_not_a_conflict(self):
         # two stores from distinct FUs conflict; re-commit of one FU's
         # value to different addresses never does
@@ -144,6 +156,39 @@ class TestDevices:
         assert all(v != 0 for _, v in a.arrivals)
         ready = [c for c, _ in a.arrivals]
         assert ready == sorted(ready)
+
+    @pytest.mark.parametrize("first_ready", [0, 1, 17])
+    def test_random_input_port_first_ready_is_exact(self, first_ready):
+        """first_ready is the earliest ready cycle itself, not a base
+        the first inter-arrival gap is added to."""
+        port = random_input_port(4, 6.0, seed=3,
+                                 first_ready=first_ready)
+        assert port.arrivals[0][0] == first_ready
+        # a poll at exactly first_ready must deliver
+        assert port.read(0, cycle=first_ready) != 0
+
+    def test_random_input_port_rejects_negative_first_ready(self):
+        with pytest.raises(ValueError):
+            random_input_port(1, 1.0, seed=0, first_ready=-1)
+
+    def test_input_port_serves_out_of_order_arrivals_by_ready_cycle(self):
+        """A value listed later but ready earlier must not wait behind
+        the listed head (which would starve the poll loop)."""
+        port = InputPort([(10, 5), (3, 6)])
+        assert port.read(0, cycle=3) == 6    # earlier-ready serves first
+        assert port.read(0, cycle=4) == 0    # (10, 5) not ready yet
+        assert port.read(0, cycle=10) == 5
+        assert port.delivered == 2
+        assert port.polls_failed == 1
+
+    def test_input_port_same_cycle_arrivals_keep_listed_order(self):
+        port = InputPort([(5, 1), (5, 2)])
+        assert port.read(0, cycle=5) == 1
+        assert port.read(0, cycle=5) == 2
+
+    def test_input_port_rejects_negative_ready(self):
+        with pytest.raises(ValueError):
+            InputPort([(-1, 7)])
 
 
 class TestDeviceMap:
