@@ -1,0 +1,219 @@
+"""E18 — the specializing code generator vs the fast engine.
+
+The fast engine (E14) removed the per-cycle fetch/decode tax; the
+specializing code generator (``repro.machine.codegen``) removes the
+residual *generic dispatch* by compiling one flat Python step loop per
+program.  This benchmark measures what that buys on the same host:
+every workload runs under ``engine="fast"`` and ``engine="specialized"``,
+the two results must be bit-identical before any number is recorded,
+and the ratio lands as ``specialized_over_fast`` next to
+``specialized_kcycles_per_sec`` in the warn-only ``timing`` section of
+BENCH_SUMMARY.json / BENCH_HISTORY.jsonl.
+
+Methodology: programs are assembled (or generated) **once** and shared
+across repetitions, because the compiled loop is cached on the program
+object — re-assembling per repetition would re-pay compilation each
+time and measure the generator, not the generated code.  That matches
+real use: ``engine="auto"`` compiles on first run and reuses the loop
+for every subsequent machine over the same program.  Each measurement
+accumulates :data:`MIN_MEASURE_SECONDS` of wall clock on fresh
+machines over the shared program.
+
+The hard assertions are same-host ratios, immune to absolute speed:
+``specialized_over_fast >= 1.5`` on each paper workload and ``>= 2.0``
+on at least one E14 long-runner.  Ratios are still wall-clock
+quotients, so a failed floor is re-measured once before failing —
+the generous margins (measured 1.8–2.5x) only trip on structural
+regressions, not host noise.
+"""
+
+import dataclasses
+import time
+
+from repro.analysis import render_table
+from repro.asm import assemble
+from repro.machine import VliwMachine, XimdMachine
+from repro.workloads import (
+    BITCOUNT_REGS,
+    LL12_REGS,
+    MINMAX_REGS,
+    bitcount_memory,
+    bitcount_total_source,
+    livermore12_memory,
+    livermore12_source,
+    longrunner_program,
+    longrunner_vliw_program,
+    minmax_memory,
+    minmax_source,
+    random_ints,
+    random_words,
+)
+
+LONGRUNNER_ITERATIONS = 20_000
+
+#: ISSUE 9 acceptance floors (same-host wall-clock ratios).
+MIN_PAPER_RATIO = 1.5
+MIN_LONGRUNNER_RATIO = 2.0
+
+MIN_MEASURE_SECONDS = 0.25
+
+# shared programs: assembled/generated once so repetitions reuse the
+# per-program compiled loop instead of re-paying codegen
+_MINMAX_PROGRAM = assemble(minmax_source("halt"))
+_BITCOUNT_PROGRAM = assemble(bitcount_total_source())
+_LL12_PROGRAM = assemble(livermore12_source())
+_LONG_XIMD = longrunner_program(iterations=LONGRUNNER_ITERATIONS)
+_LONG_VLIW = longrunner_vliw_program(iterations=LONGRUNNER_ITERATIONS)
+
+_MINMAX_DATA = random_ints(64, seed=3)[1:]
+_BITCOUNT_DATA = random_words(48, seed=4)
+_LL12_Y = random_ints(101, seed=5)
+
+
+def _minmax_machine():
+    machine = XimdMachine(_MINMAX_PROGRAM)
+    machine.regfile.poke(MINMAX_REGS["n"], len(_MINMAX_DATA))
+    for address, value in minmax_memory(_MINMAX_DATA).items():
+        machine.memory.poke(address, value)
+    return machine, 1_000_000
+
+
+def _bitcount_machine():
+    machine = XimdMachine(_BITCOUNT_PROGRAM)
+    machine.regfile.poke(BITCOUNT_REGS["n"], 48)
+    for address, value in bitcount_memory(_BITCOUNT_DATA).items():
+        machine.memory.poke(address, value)
+    return machine, 5_000_000
+
+
+def _ll12_vliw_machine():
+    machine = VliwMachine(_LL12_PROGRAM)
+    machine.regfile.poke(LL12_REGS["n"], 100)
+    for address, value in livermore12_memory(_LL12_Y).items():
+        machine.memory.poke(address, value)
+    return machine, 1_000_000
+
+
+def _longrunner_machine(cls, bundle):
+    program, registers = bundle
+    machine = cls(program)
+    for index, value in registers.items():
+        machine.regfile.poke(index, value)
+    return machine, 10_000_000
+
+
+#: (name, factory, long-runner?) — the E14 workload set.
+WORKLOADS = (
+    ("minmax (ximd)", _minmax_machine, False),
+    ("bitcount (ximd)", _bitcount_machine, False),
+    ("livermore 12 (vliw)", _ll12_vliw_machine, False),
+    ("longrunner (ximd)",
+     lambda: _longrunner_machine(XimdMachine, _LONG_XIMD), True),
+    ("longrunner (vliw)",
+     lambda: _longrunner_machine(VliwMachine, _LONG_VLIW), True),
+)
+
+
+def _fingerprint(result):
+    return (
+        result.cycles,
+        result.halted,
+        tuple(result.registers),
+        tuple(result.final_pcs),
+        dataclasses.asdict(result.stats),
+        tuple(result.stats.per_opcode.items()),
+        tuple(result.stats.per_fu_ops.items()),
+    )
+
+
+def _measure(factory, engine, min_time=MIN_MEASURE_SECONDS):
+    """(result, best simulated-cycles-per-host-second) for one engine.
+
+    The first (untimed) run warms the per-program caches — decode for
+    the fast engine, the compiled loop for the specialized one — so
+    the recorded rate is the steady state both engines reach from the
+    second machine onward.  Best-of-N is the standard defence against
+    scheduler noise on a shared host; N grows until *min_time* of
+    timed wall clock has accumulated.
+    """
+    machine, limit = factory()
+    result = machine.run(limit, engine=engine)
+    assert machine.engine_used == engine
+    best_rate = 0.0
+    elapsed = 0.0
+    while elapsed < min_time:
+        machine, limit = factory()
+        start = time.perf_counter()
+        result = machine.run(limit, engine=engine)
+        delta = time.perf_counter() - start
+        elapsed += delta
+        assert machine.engine_used == engine
+        best_rate = max(best_rate, result.cycles / delta)
+    return result, best_rate
+
+
+def _ratio(factory):
+    """(fast rate, specialized rate, ratio) with identity asserted."""
+    fast_result, fast_rate = _measure(factory, "fast")
+    spec_result, spec_rate = _measure(factory, "specialized")
+    assert _fingerprint(spec_result) == _fingerprint(fast_result), (
+        "specialized engine diverged from fast")
+    return fast_rate, spec_rate, (spec_rate / fast_rate
+                                  if fast_rate else 0.0)
+
+
+def _bench_body():
+    machine, limit = _minmax_machine()
+    return machine.run(limit, engine="specialized").cycles
+
+
+def test_codegen_throughput(benchmark, record_table, record_json,
+                            bench_summary):
+    benchmark(_bench_body)
+
+    rows = []
+    payload = {}
+    ratios = {}
+    for name, factory, is_longrunner in WORKLOADS:
+        fast_rate, spec_rate, ratio = _ratio(factory)
+        floor = (MIN_LONGRUNNER_RATIO if is_longrunner
+                 else MIN_PAPER_RATIO)
+        if ratio < floor and not is_longrunner:
+            # wall-clock quotient: re-measure once before believing it
+            fast_rate, spec_rate, ratio = _ratio(factory)
+        stats = {
+            "fast_kcycles_per_sec": round(fast_rate / 1000, 3),
+            "specialized_kcycles_per_sec": round(spec_rate / 1000, 3),
+            "specialized_over_fast": round(ratio, 3),
+        }
+        rows.append([name, stats["fast_kcycles_per_sec"],
+                     stats["specialized_kcycles_per_sec"],
+                     stats["specialized_over_fast"]])
+        payload[name] = stats
+        bench_summary(f"codegen: {name}", stats, section="timing")
+        ratios[name] = (ratio, is_longrunner)
+
+    table = render_table(
+        ["workload", "fast kcy/s", "spec kcy/s", "spec/fast"],
+        rows, title="E18: specialized vs fast engine throughput "
+                    "(wall clock — warn-only)")
+    record_table("codegen_throughput", table)
+    record_json("codegen_throughput", payload)
+
+    # paper workloads: every one must clear 1.5x (re-measured above)
+    for name, (ratio, is_longrunner) in ratios.items():
+        if not is_longrunner:
+            assert ratio >= MIN_PAPER_RATIO, (
+                f"{name}: specialized only {ratio:.2f}x over fast "
+                f"(floor {MIN_PAPER_RATIO}x)")
+    # long-runners: at least one must clear 2.0x; re-measure the best
+    # candidate once if the first pass missed
+    long_ratios = {name: ratio
+                   for name, (ratio, is_lr) in ratios.items() if is_lr}
+    if max(long_ratios.values()) < MIN_LONGRUNNER_RATIO:
+        best = max(long_ratios, key=long_ratios.get)
+        factory = dict((n, f) for n, f, _ in WORKLOADS)[best]
+        *_rates, long_ratios[best] = _ratio(factory)
+    assert max(long_ratios.values()) >= MIN_LONGRUNNER_RATIO, (
+        f"no long-runner reached {MIN_LONGRUNNER_RATIO}x "
+        f"(best: {max(long_ratios.values()):.2f}x)")

@@ -35,9 +35,9 @@ def _run(source, arrivals, engine="auto"):
     devices, in1, in2, out1, out2 = make_devices(p1, p2)
     machine = XimdMachine(assemble(source), devices=devices)
     result = machine.run(1_000_000, engine=engine)
-    # devices no longer block the fast path: auto must take it
+    # devices block neither accelerated tier: auto must specialize
     assert machine.engine_used == (
-        "reference" if engine == "reference" else "fast")
+        "reference" if engine == "reference" else "specialized")
     expected1, expected2 = iosync_reference(
         [v for _, v in p1], [v for _, v in p2])
     assert out1.values == expected1

@@ -39,7 +39,7 @@ def test_register_file_chip_model(benchmark, record_table, record_json,
     for name, value in zip("abcd", (1, 2, 3, 4)):
         machine.regfile.poke(TPROC_REGS[name], value)
     machine.run(100)
-    assert machine.engine_used == "fast"
+    assert machine.engine_used == "specialized"
 
     text = render_kv(
         "E11: register-file chip partitioning (section 4.4)",

@@ -145,9 +145,9 @@ def test_sync_profiles(benchmark, record_table, record_json,
     for key, label, factory in WORKLOADS:
         machine = _run(factory, "auto")
         # tier-0 contract: the wait matrix and barrier profiles fold
-        # bit-identically on both engines (devices no longer force the
+        # bit-identically on every engine (devices no longer force the
         # reference path, so this now covers the Fig-12 exchange too)
-        assert machine.engine_used == "fast"
+        assert machine.engine_used == "specialized"
         reference = _run(factory, "reference")
         assert (_sync_fingerprint(machine)
                 == _sync_fingerprint(reference))

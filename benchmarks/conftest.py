@@ -15,6 +15,13 @@ when the speedup suite ran, one deterministic record is appended to the
 ``BENCH_HISTORY.jsonl`` ledger (git SHA from ``$REPRO_GIT_SHA``,
 deduplicated, no wall-clock fields) for ``python -m repro.obs
 history``/``gate`` to consume.
+
+Under the parallel suite driver (``benchmarks/run_suite.py``) each
+bench file runs in its own pytest subprocess; the driver sets
+``$REPRO_BENCH_PARTIAL`` and this conftest then writes the session's
+collected sections to that partial artifact instead of touching the
+shared summary or ledger — the driver merges all partials
+deterministically and lands them exactly once.
 """
 
 import json
@@ -23,8 +30,8 @@ import pathlib
 
 import pytest
 
-from repro.obs.history import append_record, make_record
 from repro.obs.schema import SCHEMA_VERSION
+from repro.obs.suite import write_partial, write_summary
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 REPO_ROOT = pathlib.Path(__file__).parent.parent
@@ -83,6 +90,10 @@ def bench_summary():
     the ``workloads`` section was refreshed this session (the speedup
     suite ran), a history record is appended to BENCH_HISTORY.jsonl —
     deterministic sections plus any fresh timing.
+
+    When ``$REPRO_BENCH_PARTIAL`` is set (a run_suite.py worker), the
+    collected sections go to that partial artifact instead and the
+    driver owns the merge + single history append.
     """
     collected = {}
 
@@ -94,30 +105,9 @@ def bench_summary():
 
     if not collected:
         return
-    timing = collected.pop("timing", None)
-    sections = {}
-    if SUMMARY_PATH.exists():
-        try:
-            previous = json.loads(SUMMARY_PATH.read_text())
-        except (ValueError, OSError):
-            previous = {}
-        # keep only section dicts; bookkeeping keys are re-stamped and
-        # stale wall-clock timing is dropped rather than merged
-        sections = {key: value for key, value in previous.items()
-                    if isinstance(value, dict) and key != "timing"}
-    for section, entries in collected.items():
-        sections.setdefault(section, {}).update(entries)
-    summary = dict(sections)
-    if timing:
-        summary["timing"] = timing
-    summary["schema_version"] = SCHEMA_VERSION
-    summary["kind"] = "bench_summary"
-    summary["generated_by"] = "pytest benchmarks/ --benchmark-only"
-    SUMMARY_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True,
-                                       default=str) + "\n")
-
-    if "workloads" in collected:
-        git_sha = os.environ.get("REPRO_GIT_SHA", "local")
-        append_record(HISTORY_PATH,
-                      make_record(sections, git_sha=git_sha,
-                                  timing=timing))
+    partial_path = os.environ.get("REPRO_BENCH_PARTIAL")
+    if partial_path:
+        write_partial(partial_path, collected)
+        return
+    write_summary(SUMMARY_PATH, collected, history_path=HISTORY_PATH,
+                  git_sha=os.environ.get("REPRO_GIT_SHA", "local"))

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Benchmark-suite driver: run every bench file, land one summary.
+
+``pytest benchmarks/ --benchmark-only`` runs the whole suite in one
+process; fine for CI, but the files are independent and a development
+host with spare cores can overlap them.  This driver runs each
+``bench_*.py`` in its own pytest subprocess:
+
+* ``--jobs N`` overlaps up to N files (default 1 — serial, the CI
+  setting, so the default behavior is identical scheduling to the
+  plain pytest invocation just with process isolation per file);
+* each worker gets ``$REPRO_BENCH_PARTIAL`` pointing at a per-file
+  partial artifact, so the benchmark conftest writes its collected
+  sections there instead of racing on ``BENCH_SUMMARY.json``;
+* after all workers finish the driver merges the partials
+  deterministically (sorted by suite and bench id — worker completion
+  order cannot change the output; duplicate bench ids across files
+  are an error) and writes ``BENCH_SUMMARY.json`` plus at most one
+  ``BENCH_HISTORY.jsonl`` record, exactly like a serial session.
+
+If any bench file fails, its output is replayed, no summary or
+history is written, and the driver exits non-zero.
+
+Usage::
+
+    python benchmarks/run_suite.py [--jobs N] [--keep-partials]
+                                   [pytest args...]
+
+Extra arguments are forwarded to every pytest invocation (e.g.
+``-k pattern`` or ``--benchmark-disable`` for a smoke pass).
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+SRC_DIR = REPO_ROOT / "src"
+
+sys.path.insert(0, str(SRC_DIR))
+
+from repro.obs.suite import (  # noqa: E402
+    load_partial,
+    merge_partials,
+    write_summary,
+)
+
+SUMMARY_PATH = REPO_ROOT / "BENCH_SUMMARY.json"
+HISTORY_PATH = REPO_ROOT / "BENCH_HISTORY.jsonl"
+
+
+def discover_benchmarks(bench_dir: pathlib.Path = BENCH_DIR):
+    """The suite's bench files, in deterministic (sorted) order."""
+    return sorted(bench_dir.glob("bench_*.py"))
+
+
+def _worker_env(partial: pathlib.Path) -> dict:
+    env = dict(os.environ)
+    env["REPRO_BENCH_PARTIAL"] = str(partial)
+    pythonpath = env.get("PYTHONPATH", "")
+    if str(SRC_DIR) not in pythonpath.split(os.pathsep):
+        env["PYTHONPATH"] = (str(SRC_DIR) + os.pathsep + pythonpath
+                             if pythonpath else str(SRC_DIR))
+    return env
+
+
+def _run_one(bench: pathlib.Path, partial_dir: pathlib.Path,
+             pytest_args):
+    """Run one bench file in a pytest subprocess; returns its report."""
+    partial = partial_dir / f"{bench.stem}.json"
+    command = [sys.executable, "-m", "pytest", str(bench),
+               "--benchmark-only", "-q", *pytest_args]
+    proc = subprocess.run(command, cwd=REPO_ROOT,
+                          env=_worker_env(partial),
+                          capture_output=True, text=True)
+    return {
+        "bench": bench,
+        "returncode": proc.returncode,
+        "output": proc.stdout + proc.stderr,
+        "partial": partial,
+    }
+
+
+def run_suite(jobs: int = 1, pytest_args=(), keep_partials: bool = False,
+              benchmarks=None) -> int:
+    benchmarks = list(benchmarks if benchmarks is not None
+                      else discover_benchmarks())
+    if not benchmarks:
+        print("run_suite: no bench_*.py files found", file=sys.stderr)
+        return 2
+
+    partial_dir = pathlib.Path(tempfile.mkdtemp(prefix="bench-partials-"))
+    try:
+        if jobs <= 1:
+            reports = [_run_one(bench, partial_dir, pytest_args)
+                       for bench in benchmarks]
+        else:
+            # threads only marshal subprocesses; the parallelism is the
+            # per-file pytest processes themselves
+            with concurrent.futures.ThreadPoolExecutor(
+                    max_workers=jobs) as pool:
+                reports = list(pool.map(
+                    lambda bench: _run_one(bench, partial_dir,
+                                           pytest_args),
+                    benchmarks))
+
+        failed = [r for r in reports if r["returncode"] != 0]
+        # replay outputs in file order, not completion order
+        for report in reports:
+            status = ("ok" if report["returncode"] == 0
+                      else f"FAILED (exit {report['returncode']})")
+            print(f"=== {report['bench'].name}: {status} ===")
+            if report["returncode"] != 0:
+                print(report["output"])
+        if failed:
+            names = ", ".join(r["bench"].name for r in failed)
+            print(f"run_suite: {len(failed)} file(s) failed ({names}); "
+                  f"summary and history left untouched", file=sys.stderr)
+            return 1
+
+        partials = [load_partial(r["partial"]) for r in reports
+                    if r["partial"].exists()]
+        collected = merge_partials(partials)
+        if collected:
+            write_summary(SUMMARY_PATH, collected,
+                          history_path=HISTORY_PATH,
+                          git_sha=os.environ.get("REPRO_GIT_SHA",
+                                                 "local"))
+            print(f"run_suite: merged {len(partials)} partial(s) into "
+                  f"{SUMMARY_PATH.name}")
+        else:
+            print("run_suite: no summary sections collected "
+                  "(benchmark-disabled smoke pass?)")
+        return 0
+    finally:
+        if not keep_partials:
+            shutil.rmtree(partial_dir, ignore_errors=True)
+        else:
+            print(f"run_suite: partials kept in {partial_dir}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run the benchmark suite file-by-file and merge "
+                    "one BENCH_SUMMARY.json")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="bench files to overlap (default: 1, "
+                             "serial)")
+    parser.add_argument("--keep-partials", action="store_true",
+                        help="leave the per-file partial artifacts on "
+                             "disk for inspection")
+    args, pytest_args = parser.parse_known_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    return run_suite(jobs=args.jobs, pytest_args=pytest_args,
+                     keep_partials=args.keep_partials)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
 """Record instrumented runs and export every obs artifact.
 
-Produces, in the chosen output directory (default ``./obs_out``):
+Produces, in the chosen output directory (default
+``benchmarks/results/obs_out``, next to the other generated
+artifacts and git-ignored):
 
 * ``minmax_run.jsonl``    — the raw Figure-10 event trace;
 * ``minmax_report.json``  — the deterministic run report (schema-
@@ -39,8 +41,10 @@ from repro.workloads import (
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("-o", "--output", default="obs_out",
-                        help="output directory (default: obs_out)")
+    parser.add_argument("-o", "--output",
+                        default="benchmarks/results/obs_out",
+                        help="output directory (default: "
+                             "benchmarks/results/obs_out)")
     parser.add_argument("--history", default=None,
                         help="BENCH_HISTORY.jsonl to chart in the "
                              "dashboard's trend panel")

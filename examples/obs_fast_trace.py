@@ -1,17 +1,18 @@
 #!/usr/bin/env python3
-"""Tiered telemetry on the fast engine: counters + sampled tracing.
+"""Tiered telemetry on the specialized engine: counters + sampling.
 
 Demonstrates (and, in CI, smoke-tests) the telemetry tier policy:
 
 * a counter-only observer (tier-0) keeps ``run(engine="auto")`` on the
-  pre-decoded fast engine while folding op censuses, per-FU cycle-class
-  attribution, and register-file port peaks bit-identically to the
-  reference interpreter;
-* a sampled ring-buffer sink (tier-1, ``sample_every=N``) still runs
-  fast while emitting the full typed-event vocabulary every Nth cycle.
+  specialized code-generated engine while folding op censuses, per-FU
+  cycle-class attribution, and register-file port peaks bit-identically
+  to the reference interpreter;
+* a sampled ring-buffer sink (tier-1, ``sample_every=N``) still
+  specializes — the generated loop emits the full typed-event
+  vocabulary every Nth cycle.
 
-Both runs assert ``engine_used == "fast"`` — if a future change demotes
-either tier to the reference path, this script fails loudly.
+Both runs assert ``engine_used == "specialized"`` — if a future change
+demotes either tier to a slower path, this script fails loudly.
 """
 
 from repro.asm import assemble
@@ -40,27 +41,28 @@ def _machine(obs):
 
 
 def main():
-    # tier-0: counters only — native on the fast engine
+    # tier-0: counters only — folded into the generated loop
     obs = Observer()
     machine = _machine(obs)
     machine.run(1_000_000)
-    assert machine.engine_used == "fast", machine.engine_used
+    assert machine.engine_used == "specialized", machine.engine_used
 
-    print("=== tier-0 counter report (fast engine) ===")
+    print("=== tier-0 counter report (specialized engine) ===")
     report = RunReport.from_machine(machine, registry=obs.registry)
     print(report.render_text())
     print()
 
-    # tier-1: sampled tracing — full events every 32nd cycle, still fast
+    # tier-1: sampled tracing — full events every 32nd cycle, still
+    # specialized (the modulo guard is generated into the loop)
     sampled = recording_observer(sample_every=32)
     machine = _machine(sampled)
     machine.run(1_000_000)
-    assert machine.engine_used == "fast", machine.engine_used
+    assert machine.engine_used == "specialized", machine.engine_used
 
     events = sampled.sinks[0].events
     cycles = [e.cycle for e in events if isinstance(e, CycleEvent)]
     assert cycles and all(c % 32 == 0 for c in cycles)
-    print(f"=== tier-1 sampled trace (fast engine) ===")
+    print(f"=== tier-1 sampled trace (specialized engine) ===")
     print(f"{len(events)} events across {len(cycles)} sampled cycles "
           f"of {machine.cycle} simulated")
     print(f"engine_used = {machine.engine_used}")

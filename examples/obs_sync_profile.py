@@ -4,12 +4,13 @@
 Runs the BITCOUNT1 fork/join workload (Example 3 — four data-dependent
 loops joined by an ALL-sync barrier) twice:
 
-* tier-0: a counter-only observer on the fast engine accumulates the
-  per-FU wait matrix and per-barrier-site skew profiles natively; the
-  aggregate critical path is estimated from the matrix;
-* tier-2: a full typed-event trace on the reference interpreter yields
-  cycle-resolved ``SyncEdgeEvent``s, so the critical wait chain is a
-  proven temporal ordering rather than a weight argument.
+* tier-0: a counter-only observer on the specialized engine
+  accumulates the per-FU wait matrix and per-barrier-site skew
+  profiles natively; the aggregate critical path is estimated from
+  the matrix;
+* tier-2: a full typed-event ring-buffer trace on the fast engine
+  yields cycle-resolved ``SyncEdgeEvent``s, so the critical wait
+  chain is a proven temporal ordering rather than a weight argument.
 
 Both tiers must agree on the sync section of the run report — the
 script asserts it, then prints the wait matrix, the barrier skew
@@ -44,17 +45,18 @@ def _machine(obs):
 
 
 def main():
-    # tier-0: the wait matrix folds natively on the fast engine
+    # tier-0: the wait matrix folds natively in the generated loop
     counted = _machine(Observer())
     counted.run(1_000_000)
-    assert counted.engine_used == "fast", counted.engine_used
+    assert counted.engine_used == "specialized", counted.engine_used
     tier0 = RunReport.from_machine(counted)
 
-    # tier-2: full trace on the reference path, cycle-resolved edges
+    # tier-2: full ring-buffer trace on the fast engine (unsampled
+    # tracing is the one tier the specialized loop does not generate)
     obs = recording_observer()
     traced = _machine(obs)
     traced.run(1_000_000)
-    assert traced.engine_used == "reference", traced.engine_used
+    assert traced.engine_used == "fast", traced.engine_used
     events = obs.sinks[0].events
     tier2 = RunReport.from_events(events)
 

@@ -105,9 +105,13 @@ def observe_minmax(out_dir: pathlib.Path) -> None:
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--obs", metavar="DIR", default=None,
+    parser.add_argument("--obs", metavar="DIR", nargs="?",
+                        default=None,
+                        const="benchmarks/results/vliw_vs_ximd",
                         help="write JSONL/Chrome/report artifacts for a "
-                             "traced MINMAX run into DIR")
+                             "traced MINMAX run into DIR (default when "
+                             "the flag is given bare: "
+                             "benchmarks/results/vliw_vs_ximd)")
     args = parser.parse_args()
 
     rows = []

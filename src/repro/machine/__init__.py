@@ -18,6 +18,12 @@ from .config import (
     prototype_config,
     research_config,
 )
+from .codegen import (
+    MAX_SPECIALIZED_SLOTS,
+    specialized_eligible,
+    specialized_path_blockers,
+    specialized_source,
+)
 from .datapath import DatapathStats
 from .engine import (
     DecodedProgram,
@@ -75,6 +81,7 @@ __all__ = [
     "ExecutionResult",
     "HeuristicSSETTracker",
     "InputPort",
+    "MAX_SPECIALIZED_SLOTS",
     "MachineConfig",
     "MachineError",
     "MemoryConflictError",
@@ -112,5 +119,8 @@ __all__ = [
     "research_config",
     "run_vliw",
     "run_ximd",
+    "specialized_eligible",
+    "specialized_path_blockers",
+    "specialized_source",
     "sync_done_vector",
 ]

@@ -1,0 +1,1357 @@
+"""The specializing code generator: per-program compiled step loops.
+
+The fast engine (:mod:`.engine`) removed the reference interpreter's
+fetch/decode tax but still pays *generic dispatch* on every cycle of
+every FU: slot-kind branching, operand-shape tests (``regv[i] if reg
+else const``), observer-tier checks, and tuple indexing into the
+decoded slot.  The paper's prototype wins by moving exactly this class
+of work out of the per-cycle control path and into decode time; SLAP
+(PAPERS.md) shows the same lesson for software pipelines.
+
+This module finishes the move: it takes the pre-decoded program (the
+per-:class:`~.program.Program` decode-cache entry) plus the machine
+and observer configuration and **emits Python source for a flat step
+loop specialized to exactly that program**, then ``compile()``\\ s it
+once and caches the resulting runner on the program object:
+
+* every FU gets straight-line fetch/execute/control code — no per-FU
+  loop, no slot tuples, no ``cur`` scratch list;
+* constant operands are folded to literals at generation time, and the
+  35 opcode semantics are inlined as expressions (``wrap_int(a + b)``)
+  instead of nested closure calls;
+* per-FU control flow dispatches on the PC through an ``if/elif``
+  chain (small columns) or a binary decision tree (large ones), with
+  branch targets baked in as literals;
+* dead slot kinds and unused FU columns generate no code at all;
+* the telemetry tier is folded in at generation time: tier-0 counter
+  increments are emitted inline as plain local-int bumps, tier-1
+  sampling is emitted as a single modulo guard per cycle, and tier-2
+  (unsampled tracing) is not generated at all — it stays a blocker.
+
+Correctness contract — identical to the fast engine's: a specialized
+run produces **bit-identical** architectural state, statistics (dict
+insertion order included), telemetry counters, sync/wait-matrix and
+barrier-skew folds, device state, and exception type/message/ordering.
+The generated loops preserve the reference phase order (all data ops,
+then all control ops, then commit) so even error cycles unwind with
+the same partially-accounted state, and they delegate the entire
+post-run fold to the same :func:`~.engine._finish_ximd` /
+:func:`~.engine._finish_vliw` helpers the hand-written fast loops use,
+making the fold identical across engines by construction.
+
+Cache key: runners live in the per-program codegen cache
+(:func:`~.engine.refresh_program_caches`, invalidated whenever the
+program's columns are mutated) keyed on every knob the generated
+source bakes in — engine kind, FU count, sequencer style, sync/halt
+semantics, conflict detection, write latency, memory shape, device
+presence, and the telemetry tier.  Everything else (register values,
+memory contents, device tables, conflict-detection *of memory*, the
+watchdog limit) is read from the live machine at call time, so one
+compiled runner serves mid-run resumes and fresh-machine-per-rep
+benchmarking alike.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..isa.opcodes import (
+    OPCODES,
+    _fdiv,
+    _idiv,
+    _imod,
+    _sar,
+    _shl,
+    _shr,
+)
+from ..isa.registers import to_unsigned, wrap_int
+from ..obs.events import BranchEvent, CycleEvent, SyncEdgeEvent, SyncEvent
+from ..obs.sinks import RingBufferSink
+from .engine import (
+    _B_KIND_NAMES,
+    _C_ALL,
+    _C_ALWAYS,
+    _C_ANY,
+    _C_CC,
+    _C_RAISE,
+    _C_SS,
+    _D_ARITH,
+    _D_COMPARE,
+    _D_LOAD,
+    _D_NOP,
+    _D_STORE,
+    _decoded_for,
+    _device_table,
+    _drain_epilogue,
+    _finish_ximd,
+    _finish_vliw,
+    decode_ximd_program,
+    decode_vliw_program,
+    fast_path_blockers,
+    refresh_program_caches,
+    run_ximd_fast,
+    run_vliw_fast,
+)
+from .errors import (
+    MachineError,
+    MemoryConflictError,
+    MemoryError_,
+    RegisterConflictError,
+    SimulationLimitError,
+)
+from .memory import SharedMemory
+from .telemetry import CLASS_CHARS, CLS_HALTED, CLS_SYNC
+
+#: Occupied-slot ceiling above which specialization is refused.  The
+#: generated source grows linearly with the program (roughly 20 lines
+#: per occupied slot) and ``compile()`` time with it; beyond this the
+#: one-time cost stops amortizing and the fast engine is the right
+#: tier.  Far above every paper workload and the E14 long-runners.
+MAX_SPECIALIZED_SLOTS = 1024
+
+#: linear ``if/elif`` dispatch up to this many live cases; binary
+#: decision tree beyond (leaves are exhaustive over the occupied
+#: addresses, so they execute without a final equality check)
+_LINEAR_MAX = 4
+
+# Inline expression templates for the canonical opcode semantics
+# (:mod:`repro.isa.opcodes`).  ``{ia}``/``{ib}`` are the int-coerced
+# operands, ``{fa}``/``{fb}`` the float-coerced ones; each template is
+# the corresponding semantics closure unfolded by hand.  A parcel
+# whose opcode is not in the table (or whose semantics callable is not
+# the canonical one) falls back to calling the bound callable, so the
+# generator never changes behavior — it only removes call overhead.
+_ARITH_TEMPLATES: Dict[str, str] = {
+    "iadd": "wrap_int({ia} + {ib})",
+    "isub": "wrap_int({ia} - {ib})",
+    "imult": "wrap_int({ia} * {ib})",
+    "idiv": "wrap_int(_idiv({ia}, {ib}))",
+    "imod": "wrap_int(_imod({ia}, {ib}))",
+    "imin": "wrap_int(min({ia}, {ib}))",
+    "imax": "wrap_int(max({ia}, {ib}))",
+    "fadd": "float({fa} + {fb})",
+    "fsub": "float({fa} - {fb})",
+    "fmult": "float({fa} * {fb})",
+    "fdiv": "float(_fdiv({fa}, {fb}))",
+    "and": "wrap_int(to_unsigned({ia}) & to_unsigned({ib}))",
+    "or": "wrap_int(to_unsigned({ia}) | to_unsigned({ib}))",
+    "xor": "wrap_int(to_unsigned({ia}) ^ to_unsigned({ib}))",
+    "andn": "wrap_int(to_unsigned({ia}) & ~to_unsigned({ib}))",
+    "shl": "wrap_int(_shl({ia}, {ib}))",
+    "shr": "wrap_int(_shr({ia}, {ib}))",
+    "sar": "wrap_int(_sar({ia}, {ib}))",
+    "itof": "float({ia})",
+    "ftoi": "wrap_int(int({fa}))",
+}
+
+_COMPARE_TEMPLATES: Dict[str, str] = {
+    "eq": "({ia} == {ib})",
+    "ne": "({ia} != {ib})",
+    "lt": "({ia} < {ib})",
+    "le": "({ia} <= {ib})",
+    "gt": "({ia} > {ib})",
+    "ge": "({ia} >= {ib})",
+    "feq": "({fa} == {fb})",
+    "fne": "({fa} != {fb})",
+    "flt": "({fa} < {fb})",
+    "fle": "({fa} <= {fb})",
+    "fgt": "({fa} > {fb})",
+    "fge": "({fa} >= {fb})",
+}
+
+#: names every generated module-namespace starts with
+_SEED = {
+    "wrap_int": wrap_int,
+    "to_unsigned": to_unsigned,
+    "_idiv": _idiv,
+    "_imod": _imod,
+    "_fdiv": _fdiv,
+    "_shl": _shl,
+    "_shr": _shr,
+    "_sar": _sar,
+    "MachineError": MachineError,
+    "MemoryError_": MemoryError_,
+    "MemoryConflictError": MemoryConflictError,
+    "RegisterConflictError": RegisterConflictError,
+    "SimulationLimitError": SimulationLimitError,
+    "BranchEvent": BranchEvent,
+    "CycleEvent": CycleEvent,
+    "SyncEdgeEvent": SyncEdgeEvent,
+    "SyncEvent": SyncEvent,
+    "CLASS_CHARS": CLASS_CHARS,
+    "_device_table": _device_table,
+    "_finish_ximd": _finish_ximd,
+    "_finish_vliw": _finish_vliw,
+    "_drain_epilogue": _drain_epilogue,
+}
+
+
+# --- eligibility -----------------------------------------------------------
+
+def occupied_slot_count(program) -> int:
+    """Number of non-empty parcels in *program* (generated-code size)."""
+    return sum(1 for column in program.columns
+               for parcel in column if parcel is not None)
+
+
+def specialized_path_blockers(machine) -> List[str]:
+    """Why *machine* cannot run a generated loop (empty = eligible).
+
+    A superset of :func:`~.engine.fast_path_blockers`: everything the
+    fast engine refuses, the specialized engine refuses too, plus the
+    features whose cost model only makes sense interpreted — unsampled
+    event tracing (the telemetry tier is folded at generation time, and
+    tier-2 emits every cycle, so nothing would be left to specialize),
+    SSET trackers (deferred replay buffers per-cycle vectors; a
+    generated loop would re-grow the interpretive bookkeeping), and
+    programs too large for one-time compilation to amortize.  Sorted,
+    with each entry naming the knob that clears it.
+    """
+    blockers = fast_path_blockers(machine)
+    obs = machine.obs
+    tracker = getattr(machine, "tracker", None)
+    if tracker is not None:
+        blockers.append(
+            "SSET tracker attached: deferred tracker replay is a "
+            'fast-engine feature (run engine="fast" or detach the '
+            "tracker)")
+    elif (obs.enabled and obs.sinks and obs.sample_every <= 1
+            and all(isinstance(sink, RingBufferSink)
+                    for sink in obs.sinks)):
+        blockers.append(
+            "unsampled event tracing: the specialized engine folds the "
+            "telemetry tier at generation time (set "
+            'Observer(sample_every=N) or run engine="fast" for '
+            "chunk-buffered full tracing)")
+    occupied = occupied_slot_count(machine.program)
+    if occupied > MAX_SPECIALIZED_SLOTS:
+        blockers.append(
+            f"program too large to specialize: {occupied} occupied "
+            f"slots exceed {MAX_SPECIALIZED_SLOTS} "
+            '(run engine="fast")')
+    return sorted(blockers)
+
+
+def specialized_eligible(machine) -> bool:
+    """True when a generated loop may run *machine*."""
+    return not specialized_path_blockers(machine)
+
+
+def select_runner(machine, engine: str,
+                  kind: str) -> Tuple[str, Optional[Callable]]:
+    """Resolve *engine* to ``(engine_used, runner)`` for ``run()``.
+
+    ``"auto"`` prefers specialized, falls back to fast, then to the
+    reference path (``runner=None``).  Explicit ``"specialized"`` /
+    ``"fast"`` raise :class:`MachineError` with the sorted blocker
+    list when their tier is unavailable.
+    """
+    if engine in ("auto", "specialized"):
+        blockers = specialized_path_blockers(machine)
+        if not blockers:
+            return "specialized", specialized_runner(machine, kind)
+        if engine == "specialized":
+            raise MachineError(
+                "specialized engine unavailable: " + "; ".join(blockers))
+    if engine in ("auto", "fast"):
+        blockers = fast_path_blockers(machine)
+        if not blockers:
+            return "fast", (run_ximd_fast if kind == "ximd"
+                            else run_vliw_fast)
+        if engine == "fast":
+            raise MachineError(
+                "fast engine unavailable: " + "; ".join(blockers))
+    return "reference", None
+
+
+# --- source assembly helpers -----------------------------------------------
+
+class _Writer:
+    """Indentation-tracking line collector for generated source."""
+
+    def __init__(self, indent: int = 0):
+        self.lines: List[str] = []
+        self.indent = indent
+
+    def w(self, text: str = "") -> None:
+        self.lines.append("    " * self.indent + text if text else "")
+
+    @contextmanager
+    def block(self, header: str):
+        self.w(header)
+        self.indent += 1
+        try:
+            yield
+        finally:
+            self.indent -= 1
+
+
+class _Namespace:
+    """The generated module's globals: seeded helpers plus values the
+    source cannot spell as literals (semantics callables, per-FU
+    lookup tables, non-finite floats), bound under fresh names."""
+
+    def __init__(self):
+        self.ns = dict(_SEED)
+        self._next = 0
+
+    def bind(self, value, prefix: str = "g") -> str:
+        name = f"_{prefix}{self._next}"
+        self._next += 1
+        self.ns[name] = value
+        return name
+
+
+def _emit_linear(w: _Writer, var: str, cases: Dict[int, Callable]) -> None:
+    keyword = "if"
+    for address in sorted(cases):
+        with w.block(f"{keyword} {var} == {address}:"):
+            cases[address](w)
+        keyword = "elif"
+
+
+def _emit_tree(w: _Writer, var: str, addresses: List[int],
+               cases: Dict[int, Callable]) -> None:
+    """Binary decision tree over *addresses* (which must be exhaustive
+    for *var* at this point; leaves run without an equality check)."""
+    if len(addresses) == 1:
+        body = cases.get(addresses[0])
+        if body is None:
+            w.w("pass")
+        else:
+            body(w)
+        return
+    mid = len(addresses) // 2
+    with w.block(f"if {var} < {addresses[mid]}:"):
+        _emit_tree(w, var, addresses[:mid], cases)
+    with w.block("else:"):
+        _emit_tree(w, var, addresses[mid:], cases)
+
+
+def _emit_dispatch(w: _Writer, var: str, cases: Dict[int, Callable],
+                   all_addresses: List[int]) -> None:
+    """Dispatch on *var* (an ``Optional[int]`` PC local) to per-address
+    bodies.  Small case sets use equality chains (``None == int`` is
+    safely false); larger ones a ``None`` guard plus a decision tree
+    over *all_addresses*, the exhaustive set of values *var* can hold.
+    """
+    if not cases:
+        return
+    if len(cases) <= _LINEAR_MAX:
+        _emit_linear(w, var, cases)
+        return
+    with w.block(f"if {var} is not None:"):
+        _emit_tree(w, var, sorted(all_addresses), cases)
+
+
+# --- operand / expression lowering -----------------------------------------
+
+def _int_expr(value, is_reg: bool, ns: _Namespace) -> Tuple[str, object]:
+    """(source expression, folded value or None) for ``int(operand)``."""
+    if is_reg:
+        return f"int(regv[{value}])", None
+    try:
+        folded = int(value)
+    except Exception:
+        # the reference path would raise at runtime; preserve that
+        return f"int({ns.bind(value, 'k')})", None
+    return repr(folded), folded
+
+
+def _float_expr(value, is_reg: bool, ns: _Namespace) -> str:
+    if is_reg:
+        return f"float(regv[{value}])"
+    try:
+        folded = float(value)
+    except Exception:
+        return f"float({ns.bind(value, 'k')})"
+    if not math.isfinite(folded):
+        return ns.bind(folded, "k")
+    return repr(folded)
+
+
+def _raw_expr(value, is_reg: bool, ns: _Namespace) -> str:
+    """The operand itself, uncoerced (store values, fallback calls)."""
+    if is_reg:
+        return f"regv[{value}]"
+    if isinstance(value, float) and not math.isfinite(value):
+        return ns.bind(value, "k")
+    if isinstance(value, (bool, int, float, str)):
+        return repr(value)
+    return ns.bind(value, "k")
+
+
+def _value_expr(slot: tuple, ns: _Namespace) -> str:
+    """Inline expression for an ARITH/COMPARE slot's computed value.
+
+    Falls back to calling the slot's bound semantics when the mnemonic
+    has no template or carries non-canonical semantics; compares stay
+    plain bools either way (the templates are comparison operators, the
+    fallback is wrapped in ``bool``), matching the fast loop's staging.
+    """
+    mnemonic = slot[9][1]
+    canonical = OPCODES.get(mnemonic)
+    if canonical is not None and canonical.semantics is slot[1]:
+        template = (_ARITH_TEMPLATES.get(mnemonic)
+                    or _COMPARE_TEMPLATES.get(mnemonic))
+        if template is not None:
+            kwargs = {}
+            if "{ia}" in template:
+                kwargs["ia"] = _int_expr(slot[2], slot[3], ns)[0]
+            if "{ib}" in template:
+                kwargs["ib"] = _int_expr(slot[4], slot[5], ns)[0]
+            if "{fa}" in template:
+                kwargs["fa"] = _float_expr(slot[2], slot[3], ns)
+            if "{fb}" in template:
+                kwargs["fb"] = _float_expr(slot[4], slot[5], ns)
+            return template.format(**kwargs)
+    call = (f"{ns.bind(slot[1], 'm')}({_raw_expr(slot[2], slot[3], ns)}, "
+            f"{_raw_expr(slot[4], slot[5], ns)})")
+    return call if slot[0] == _D_ARITH else f"bool({call})"
+
+
+def _load_addr_expr(slot: tuple, ns: _Namespace) -> str:
+    ea, fa = _int_expr(slot[2], slot[3], ns)
+    eb, fb = _int_expr(slot[4], slot[5], ns)
+    if fa is not None and fb is not None:
+        return repr(fa + fb)
+    return f"{ea} + {eb}"
+
+
+# --- shared data-op body ---------------------------------------------------
+
+class _MemShape:
+    """Memory-access code parameters shared by both generators."""
+
+    def __init__(self, shared: bool, has_devices: bool):
+        self.shared = shared
+        self.has_devices = has_devices
+        #: FUs whose loads need a hoisted distributed bank local
+        self.bank_fus: set = set()
+
+    def bounds_raise(self, w: _Writer) -> None:
+        if self.shared:
+            w.w("raise MemoryError_(")
+            w.w("    f\"address {address} out of range "
+                "[0, {mem_words})\")")
+        else:
+            w.w("raise MemoryError_(")
+            w.w("    f\"address {address!r} out of bank range "
+                "[0, {mem_words})\")")
+
+    def device_scan(self, w: _Writer) -> None:
+        w.w("device = None")
+        with w.block("if dev_lo <= address < dev_hi:"):
+            with w.block("for d_lo, d_hi, d_dev in devs:"):
+                with w.block("if d_lo <= address < d_hi:"):
+                    w.w("device = d_dev")
+                    w.w("d_base = d_lo")
+                    w.w("break")
+
+    def load_body(self, w: _Writer, slot: tuple, fu: int,
+                  ns: _Namespace) -> None:
+        w.w(f"address = {_load_addr_expr(slot, ns)}")
+        bank = "mem_data" if self.shared else f"b{fu}"
+        if not self.shared:
+            self.bank_fus.add(fu)
+        fetch = f"wbuf.append(({slot[6]}, {bank}.get(address, 0), {fu}))"
+        if self.has_devices:
+            self.device_scan(w)
+            with w.block("if device is not None:"):
+                w.w(f"wbuf.append(({slot[6]}, "
+                    f"device.read(address - d_base, cycle), {fu}))")
+            with w.block("elif not 0 <= address < mem_words:"):
+                self.bounds_raise(w)
+            with w.block("else:"):
+                w.w("mem_loads += 1")
+                w.w(fetch)
+        else:
+            with w.block("if not 0 <= address < mem_words:"):
+                self.bounds_raise(w)
+            w.w("mem_loads += 1")
+            w.w(fetch)
+
+    def store_body(self, w: _Writer, slot: tuple, fu: int,
+                   ns: _Namespace) -> None:
+        value = _raw_expr(slot[2], slot[3], ns)
+        w.w(f"address = {_int_expr(slot[4], slot[5], ns)[0]}")
+        pend = f"mem_pending.append(({fu}, address, {value}))"
+        if self.has_devices:
+            self.device_scan(w)
+            with w.block("if device is not None:"):
+                w.w(f"device.write(address - d_base, {value}, cycle)")
+            with w.block("elif not 0 <= address < mem_words:"):
+                self.bounds_raise(w)
+            with w.block("else:"):
+                w.w("mem_stores += 1")
+                w.w(pend)
+        else:
+            with w.block("if not 0 <= address < mem_words:"):
+                self.bounds_raise(w)
+            w.w("mem_stores += 1")
+            w.w(pend)
+
+
+def _data_body(w: _Writer, slot: tuple, fu: int, ns: _Namespace,
+               mem: _MemShape, count_ports: bool) -> None:
+    """One non-nop data slot's execute-phase code (either machine)."""
+    if count_ports:
+        if slot[10]:
+            w.w(f"creads += {slot[10]}")
+        if slot[11]:
+            w.w("cwrites += 1")
+    dkind = slot[0]
+    if dkind == _D_ARITH:
+        w.w(f"wbuf.append(({slot[6]}, {_value_expr(slot, ns)}, {fu}))")
+    elif dkind == _D_COMPARE:
+        w.w(f"e{fu} = {_value_expr(slot, ns)}")
+    elif dkind == _D_LOAD:
+        mem.load_body(w, slot, fu, ns)
+    else:  # _D_STORE
+        mem.store_body(w, slot, fu, ns)
+
+
+def _commit_registers(w: _Writer, detect_reg: bool,
+                      single_writer: bool) -> None:
+    with w.block("if due:"):
+        if single_writer:
+            # at most one FU ever stages a register write per cycle
+            w.w("regv[due[0][0]] = due[0][1]")
+        else:
+            with w.block("if len(due) == 1:"):
+                w.w("regv[due[0][0]] = due[0][1]")
+            with w.block("else:"):
+                w.w("seen_regs.clear()")
+                with w.block("for register, value, fu in due:"):
+                    w.w("prev_fu = seen_regs.get(register)")
+                    with w.block(
+                            "if prev_fu is not None and prev_fu != fu:"):
+                        if detect_reg:
+                            w.w("raise RegisterConflictError(")
+                            w.w("    f\"cycle {cycle}: FUs {prev_fu} and "
+                                "{fu} both write r{register} "
+                                "(undefined)\")")
+                        else:
+                            w.w("reg_conflicts += 1")
+                    w.w("seen_regs[register] = fu")
+                    w.w("regv[register] = value")
+        w.w("due.clear()")
+
+
+def _commit_memory(w: _Writer, shared: bool, single_storer: bool) -> None:
+    with w.block("if mem_pending:"):
+        if not shared:
+            with w.block("for fu, address, value in mem_pending:"):
+                w.w("banks[fu][address] = value")
+        elif single_storer:
+            w.w("mem_data[mem_pending[0][1]] = mem_pending[0][2]")
+        else:
+            with w.block("if len(mem_pending) == 1:"):
+                w.w("mem_data[mem_pending[0][1]] = mem_pending[0][2]")
+            with w.block("else:"):
+                w.w("seen_addrs.clear()")
+                with w.block("for fu, address, value in mem_pending:"):
+                    w.w("prev_fu = seen_addrs.get(address)")
+                    with w.block("if prev_fu is not None:"):
+                        with w.block("if detect_mem:"):
+                            w.w("raise MemoryConflictError(")
+                            w.w("    f\"cycle {cycle}: FUs {prev_fu} and "
+                                "{fu} both store to address {address} "
+                                "(undefined, section 2.3)\")")
+                        w.w("mem_conflicts += 1")
+                        with w.block("if fu < prev_fu:"):
+                            w.w("continue  # highest-numbered FU wins")
+                    w.w("seen_addrs[address] = fu")
+                    w.w("mem_data[address] = value")
+        w.w("mem_pending.clear()")
+
+
+def _cc_text_line(w: _Writer) -> None:
+    w.w('cc_text = "".join(')
+    w.w('    ("T" if value else "F") if defined else "X"')
+    w.w("    for value, defined in zip(ccv, ccdef))")
+
+
+# --- the XIMD generator ----------------------------------------------------
+
+class _XimdGen:
+    """Generate the specialized XIMD step loop for one decoded program
+    under one (config, memory shape, telemetry tier) fingerprint."""
+
+    def __init__(self, decoded, config, shared: bool, has_devices: bool,
+                 write_latency: int, obs_on: bool, emit_every: int):
+        self.cols = decoded.columns
+        self.length = decoded.length
+        self.n = config.n_fus
+        self.halted_done = config.halted_sync_done
+        self.registered = config.ss_registered
+        self.detect_reg = config.detect_register_conflicts
+        self.shared = shared
+        self.wl = write_latency
+        self.obs = obs_on
+        self.emit = emit_every if obs_on else 0  # 0 or >= 2
+        self.ns = _Namespace()
+        self.mem = _MemShape(shared, has_devices)
+        # per-FU structure discovered while walking the columns
+        self.occupied = [
+            [address for address, slot in enumerate(column)
+             if slot is not None]
+            for column in self.cols]
+        self.compare_fus: List[int] = []
+        self.halt_fus: List[int] = []
+        self.barrier_fus: List[int] = []
+        self.writer_fus: List[int] = []
+        self.storer_fus: List[int] = []
+        self.data_fus: List[int] = []
+        self.kc_pairs: List[Tuple[int, int]] = []  # (fu, cls) counters
+        self.w_pairs: List[Tuple[int, int]] = []   # (waiter, blocker)
+        for fu, column in enumerate(self.cols):
+            for address in self.occupied[fu]:
+                slot = column[address]
+                dkind = slot[0]
+                if dkind and fu not in self.data_fus:
+                    self.data_fus.append(fu)
+                if dkind == _D_COMPARE and fu not in self.compare_fus:
+                    self.compare_fus.append(fu)
+                if (dkind in (_D_ARITH, _D_LOAD)
+                        and fu not in self.writer_fus):
+                    self.writer_fus.append(fu)
+                if dkind == _D_STORE and fu not in self.storer_fus:
+                    self.storer_fus.append(fu)
+                ctl = slot[8]
+                if ctl is None:
+                    if fu not in self.halt_fus:
+                        self.halt_fus.append(fu)
+                    self._note_kc(fu, slot[12])
+                    continue
+                ckind = ctl[0]
+                if ckind == _C_RAISE:
+                    continue
+                self._note_kc(fu, slot[12])
+                if ckind != _C_ALWAYS:
+                    self._note_kc(fu, slot[13])
+                if ckind == _C_ALL and fu not in self.barrier_fus:
+                    self.barrier_fus.append(fu)
+                if slot[13] == CLS_SYNC:
+                    if ckind == _C_SS:
+                        self._note_wm(fu, ctl[3])
+                    elif ckind in (_C_ALL, _C_ANY):
+                        for member in ctl[3]:
+                            self._note_wm(fu, member)
+
+    def _note_kc(self, fu: int, cls: int) -> None:
+        if self.obs and (fu, cls) not in self.kc_pairs:
+            self.kc_pairs.append((fu, cls))
+
+    def _note_wm(self, waiter: int, blocker: int) -> None:
+        if self.obs and (waiter, blocker) not in self.w_pairs:
+            self.w_pairs.append((waiter, blocker))
+
+    def _visible(self, fu: int) -> str:
+        return f"q{fu}" if self.registered else f"s{fu}"
+
+    # -- source sections ---------------------------------------------------
+
+    def generate(self) -> Tuple[str, dict]:
+        body = _Writer(indent=3)
+        self._loop_body(body)
+        pre = _Writer(indent=1)
+        self._preamble(pre)
+        fin = _Writer(indent=2)
+        self._finish(fin)
+        lines = ["def _runner(machine, limit):"]
+        lines += pre.lines
+        lines.append("    try:")
+        lines.append("        while active:")
+        lines += body.lines
+        lines.append("    finally:")
+        lines += fin.lines
+        lines.append(f"    _drain_epilogue(regfile, {self.detect_reg!r}, "
+                     f"cycle, {self.obs!r})")
+        return "\n".join(lines) + "\n", self.ns.ns
+
+    def _preamble(self, w: _Writer) -> None:
+        n = self.n
+        w.w("regfile = machine.regfile")
+        w.w("regv = regfile._values")
+        w.w("inflight = [list(stage) for stage in regfile._inflight]")
+        w.w("ccv = machine.cc._values")
+        w.w("ccdef = machine.cc._defined")
+        w.w("memory = machine.memory")
+        w.w("mem_words = memory.words")
+        if self.shared:
+            w.w("mem_data = memory._data")
+            if self.storer_fus and len(self.storer_fus) > 1:
+                w.w("detect_mem = memory.detect_conflicts")
+        else:
+            w.w("banks = memory._banks")
+            for fu in sorted(self.mem.bank_fus):
+                w.w(f"b{fu} = banks[{fu}]")
+        if self.mem.has_devices:
+            w.w("devs, dev_lo, dev_hi = _device_table(memory)")
+        w.w("_pcs = machine.pcs")
+        for fu in range(n):
+            w.w(f"p{fu} = _pcs[{fu}]")
+        w.w("active = " + " + ".join(
+            f"(p{fu} is not None)" for fu in range(n)))
+        w.w("cycle = machine.cycle")
+        w.w("cycles_done = 0")
+        w.w("_pss = machine._prev_ss")
+        for fu in range(n):
+            w.w(f"q{fu} = _pss[{fu}]")
+        w.w(" = ".join(f"s{fu}" for fu in range(n))
+            + f" = {self.halted_done!r}")
+        for fu in self.compare_fus:
+            w.w(f"e{fu} = None")
+        for fu in self.halt_fus:
+            w.w(f"h{fu} = False")
+        for fu in range(n):
+            w.w(f"v{fu} = [0] * {self.length}")
+        w.w("fs = []")
+        w.w("fsa = fs.append")
+        if len(self.writer_fus) > 1:
+            w.w("seen_regs = {}")
+        if self.shared and len(self.storer_fus) > 1:
+            w.w("seen_addrs = {}")
+        if self.storer_fus:
+            w.w("mem_pending = []")
+        w.w("reg_conflicts = 0")
+        w.w("mem_loads = mem_stores = mem_conflicts = 0")
+        w.w("peak_r = regfile.peak_reads")
+        w.w("peak_w = regfile.peak_writes")
+        w.w("btaken = nbarriers = nresolved = 0")
+        w.w("rcounts = {}")
+        w.w("wcounts = {}")
+        if self.wl == 1:
+            w.w("wbuf = inflight[0]")
+        if self.obs:
+            if self.barrier_fus:
+                w.w("bwait = machine._barrier_wait")
+                w.w("bprof = machine.counters.barrier_profiles")
+            for fu, cls in self.kc_pairs:
+                w.w(f"kc{fu}_{cls} = 0")
+            for fu, blocker in self.w_pairs:
+                w.w(f"w{fu}_{blocker} = 0")
+        if self.emit:
+            w.w("emit_fn = machine.obs.emit")
+            for fu in self.barrier_fus:
+                w.w(f"bq{fu} = bn{fu} = False")
+        # per-FU lookup tables: sync value (None = unoccupied), and for
+        # tier-1 cycles the data-op flag and mnemonic at each address
+        for fu, column in enumerate(self.cols):
+            if not self.occupied[fu]:
+                continue
+            sync_table = tuple(None if s is None else s[7] for s in column)
+            self.ns.ns[f"_y{fu}"] = sync_table
+            if self.emit and fu in self.data_fus:
+                self.ns.ns[f"_d{fu}"] = tuple(
+                    0 if s is None else (1 if s[0] else 0) for s in column)
+                self.ns.ns[f"_o{fu}"] = tuple(
+                    s[9][1] if s is not None and s[0] else None
+                    for s in column)
+        self.ns.ns["_cols"] = self.cols
+
+    def _loop_body(self, w: _Writer) -> None:
+        with w.block("if cycle >= limit:"):
+            w.w("raise SimulationLimitError(")
+            w.w('    f"program did not halt within {limit} cycles")')
+        # --- fetch (FU order fixes first_seen order) -------------------
+        for fu in range(self.n):
+            with w.block(f"if p{fu} is not None:"):
+                if not self.occupied[fu]:
+                    w.w(f"p{fu} = None")
+                    w.w(f"s{fu} = {self.halted_done!r}")
+                    w.w("active -= 1")
+                    continue
+                w.w(f"a = _y{fu}[p{fu}] "
+                    f"if 0 <= p{fu} < {self.length} else None")
+                with w.block("if a is None:"):
+                    w.w(f"p{fu} = None")
+                    w.w(f"s{fu} = {self.halted_done!r}")
+                    w.w("active -= 1")
+                with w.block("else:"):
+                    w.w(f"s{fu} = a")
+                    w.w(f"c = v{fu}[p{fu}]")
+                    w.w(f"v{fu}[p{fu}] = c + 1")
+                    with w.block("if not c:"):
+                        w.w(f"fsa(({fu}, p{fu}))")
+        with w.block("if not active:"):
+            w.w("break  # every FU halted at fetch: cycle never happened")
+        # --- execute: all data ops before any control op ---------------
+        if self.wl > 1:
+            w.w(f"wbuf = inflight[{self.wl - 1}]")
+        w.w("creads = cwrites = 0")
+        for fu in range(self.n):
+            cases = {}
+            for address in self.occupied[fu]:
+                slot = self.cols[fu][address]
+                if slot[0]:
+                    cases[address] = self._data_case(fu, slot)
+            _emit_dispatch(w, f"p{fu}", cases, self.occupied[fu])
+        if self.emit:
+            self._emit_capture(w)
+        # --- control: branches resolved after every data op ------------
+        for fu in range(self.n):
+            cases = {
+                address: self._ctl_case(fu, self.cols[fu][address])
+                for address in self.occupied[fu]}
+            _emit_dispatch(w, f"p{fu}", cases, self.occupied[fu])
+        if self.emit:
+            self._emit_tail(w)
+        self._commit(w)
+
+    def _data_case(self, fu: int, slot: tuple) -> Callable:
+        def body(w: _Writer) -> None:
+            _data_body(w, slot, fu, self.ns, self.mem, count_ports=True)
+        return body
+
+    def _emit_capture(self, w: _Writer) -> None:
+        w.w(f"emit = not cycle % {self.emit}")
+        with w.block("if emit:"):
+            w.w("ps = (" + ", ".join(
+                f"p{fu}" for fu in range(self.n)) + ("," if self.n == 1
+                                                    else "") + ")")
+            _cc_text_line(w)
+            parts = []
+            for fu in range(self.n):
+                if self.occupied[fu]:
+                    parts.append(f'("-" if p{fu} is None else '
+                                 f'("D" if s{fu} else "B"))')
+                else:
+                    parts.append('"-"')
+            w.w("ss_text = " + " + ".join(parts))
+            w.w(f"clsn = [{CLS_HALTED}] * {self.n}")
+            ops_terms = [f"(_d{fu}[p{fu}] if p{fu} is not None else 0)"
+                         for fu in range(self.n) if fu in self.data_fus]
+            w.w("cyc_ops = " + (" + ".join(ops_terms) if ops_terms
+                                else "0"))
+            tup = []
+            for fu in range(self.n):
+                if fu in self.data_fus:
+                    tup.append(f"_o{fu}[p{fu}] "
+                               f"if p{fu} is not None else None")
+                else:
+                    tup.append("None")
+            w.w("ops_t = (" + ", ".join(tup)
+                + ("," if self.n == 1 else "") + ")")
+
+    # -- control-phase arms ------------------------------------------------
+
+    def _branch_event(self, fu: int, address: int, slot: tuple,
+                      taken: str, target) -> str:
+        kind = _B_KIND_NAMES[slot[9][5]]
+        return (f'emit_fn(BranchEvent(machine="ximd", cycle=cycle, '
+                f"fu={fu}, pc={address}, branch_kind={kind!r}, "
+                f"taken={taken}, target={target!r}))")
+
+    def _sync_edge(self, fu: int, address: int, blocker: int,
+                   cond: str) -> str:
+        return (f'emit_fn(SyncEdgeEvent(machine="ximd", cycle=cycle, '
+                f"waiter={fu}, blocker={blocker}, pc={address}, "
+                f"cond={cond!r}))")
+
+    def _ctl_case(self, fu: int, slot: tuple) -> Callable:
+        # bind loop variables now; emitted later at dispatch indent
+        def body(w: _Writer) -> None:
+            self._ctl_body(w, fu, slot)
+        return body
+
+    def _ctl_body(self, w: _Writer, fu: int, slot: tuple) -> None:
+        ctl = slot[8]
+        address = None
+        # recover the slot's address (dispatch key) from its column —
+        # cheaper to pass explicitly, so find it once here
+        column = self.cols[fu]
+        for pc in self.occupied[fu]:
+            if column[pc] is slot:
+                address = pc
+                break
+        cls_t, cls_u = slot[12], slot[13]
+        if ctl is None:
+            w.w(f"p{fu} = None")
+            w.w("active -= 1")
+            w.w(f"h{fu} = True")
+            if self.obs:
+                w.w(f"kc{fu}_{cls_t} += 1")
+                if self.emit:
+                    with w.block("if emit:"):
+                        w.w(f"clsn[{fu}] = {cls_t}")
+            return
+        ckind, t_taken, t_untaken, aux, message = ctl
+        if ckind == _C_RAISE:
+            w.w(f"raise MachineError({message!r})")
+            return
+        if ckind == _C_ALWAYS:
+            if self.obs:
+                w.w("nresolved += 1")
+                if aux:
+                    w.w("btaken += 1")
+                w.w(f"kc{fu}_{cls_t} += 1")
+                if self.emit:
+                    with w.block("if emit:"):
+                        w.w(f"clsn[{fu}] = {cls_t}")
+                        w.w(self._branch_event(fu, address, slot,
+                                               repr(bool(aux)), t_taken))
+            w.w(f"p{fu} = {t_taken!r}")
+            return
+        if ckind == _C_CC:
+            test = f"ccv[{aux}]"
+        elif ckind == _C_SS:
+            test = self._visible(aux)
+        elif ckind == _C_ALL:
+            test = (" and ".join(self._visible(m) for m in aux)
+                    if aux else "True")
+        else:  # _C_ANY
+            test = (" or ".join(self._visible(m) for m in aux)
+                    if aux else "False")
+        if not self.obs:
+            if t_taken == t_untaken:
+                w.w(f"p{fu} = {t_taken!r}")
+            else:
+                w.w(f"p{fu} = {t_taken!r} if {test} else {t_untaken!r}")
+            return
+        w.w("nresolved += 1")
+        with w.block(f"if {test}:"):
+            w.w("btaken += 1")
+            w.w(f"kc{fu}_{cls_t} += 1")
+            if ckind == _C_ALL:
+                self._barrier_release(w, fu, address)
+            if self.emit:
+                with w.block("if emit:"):
+                    if ckind == _C_ALL:
+                        w.w(f"bn{fu} = True")
+                    w.w(f"clsn[{fu}] = {cls_t}")
+                    w.w(self._branch_event(fu, address, slot, "True",
+                                           t_taken))
+            w.w(f"p{fu} = {t_taken!r}")
+        with w.block("else:"):
+            w.w(f"kc{fu}_{cls_u} += 1")
+            if ckind == _C_ALL:
+                self._barrier_hold(w, fu, address)
+            if self.emit:
+                with w.block("if emit:"):
+                    if ckind == _C_ALL:
+                        w.w(f"bq{fu} = True")
+                    w.w(f"clsn[{fu}] = {cls_u}")
+                    w.w(self._branch_event(fu, address, slot, "False",
+                                           t_untaken))
+            if cls_u == CLS_SYNC:
+                if ckind == _C_SS:
+                    w.w(f"w{fu}_{aux} += 1")
+                    if self.emit:
+                        with w.block("if emit:"):
+                            w.w(self._sync_edge(fu, address, aux, "ss"))
+                elif ckind == _C_ALL:
+                    for member in aux:
+                        with w.block(
+                                f"if not {self._visible(member)}:"):
+                            w.w(f"w{fu}_{member} += 1")
+                            if self.emit:
+                                with w.block("if emit:"):
+                                    w.w(self._sync_edge(
+                                        fu, address, member, "all"))
+                else:  # _C_ANY charges every member
+                    for member in aux:
+                        w.w(f"w{fu}_{member} += 1")
+                        if self.emit:
+                            with w.block("if emit:"):
+                                w.w(self._sync_edge(
+                                    fu, address, member, "any"))
+            w.w(f"p{fu} = {t_untaken!r}")
+
+    def _barrier_release(self, w: _Writer, fu: int, address: int) -> None:
+        w.w(f"state = bwait[{fu}]")
+        with w.block(
+                f"if state is not None and state[0] != {address}:"):
+            w.w("state = None")
+        w.w("nbarriers += 1")
+        w.w("skew = cycle - state[1] if state is not None else 0")
+        w.w(f"entry = bprof.get(({address}, {fu}))")
+        with w.block("if entry is None:"):
+            w.w(f"bprof[({address}, {fu})] = [1, skew, skew]")
+        with w.block("else:"):
+            w.w("entry[0] += 1")
+            w.w("entry[1] += skew")
+            with w.block("if skew > entry[2]:"):
+                w.w("entry[2] = skew")
+        w.w(f"bwait[{fu}] = None")
+
+    def _barrier_hold(self, w: _Writer, fu: int, address: int) -> None:
+        w.w(f"state = bwait[{fu}]")
+        with w.block(
+                f"if state is not None and state[0] != {address}:"):
+            w.w("state = None")
+        w.w(f"bwait[{fu}] = state if state is not None "
+            f"else ({address}, cycle)")
+
+    def _emit_tail(self, w: _Writer) -> None:
+        with w.block("if emit:"):
+            w.w('emit_fn(CycleEvent(machine="ximd", cycle=cycle, '
+                "pcs=ps, cc=cc_text, ss=ss_text, partition=None, "
+                "data_ops=cyc_ops, "
+                'fu_class="".join(CLASS_CHARS[c] for c in clsn), '
+                "ops=ops_t))")
+            for fu in range(self.n):
+                if self.occupied[fu]:
+                    with w.block(
+                            f"if ps[{fu}] is not None and s{fu}:"):
+                        w.w(f'emit_fn(SyncEvent(machine="ximd", '
+                            f"cycle=cycle, fu={fu}, pc=ps[{fu}], "
+                            'what="done"))')
+                if fu in self.barrier_fus:
+                    with w.block(f"if bq{fu}:"):
+                        w.w(f'emit_fn(SyncEvent(machine="ximd", '
+                            f"cycle=cycle, fu={fu}, pc=ps[{fu}], "
+                            'what="barrier_wait"))')
+                        w.w(f"bq{fu} = False")
+                    with w.block(f"if bn{fu}:"):
+                        w.w(f'emit_fn(SyncEvent(machine="ximd", '
+                            f"cycle=cycle, fu={fu}, pc=ps[{fu}], "
+                            'what="barrier"))')
+                        w.w(f"bn{fu} = False")
+
+    def _commit(self, w: _Writer) -> None:
+        for fu in range(self.n):
+            w.w(f"q{fu} = s{fu}")
+        if self.writer_fus:
+            w.w("due = wbuf" if self.wl == 1 else "due = inflight[0]")
+            _commit_registers(w, self.detect_reg,
+                              len(self.writer_fus) <= 1)
+        if self.wl > 1:
+            w.w("inflight.append(inflight.pop(0))")
+        for fu in self.compare_fus:
+            with w.block(f"if e{fu} is not None:"):
+                w.w(f"ccv[{fu}] = e{fu}")
+                w.w(f"ccdef[{fu}] = True")
+                w.w(f"e{fu} = None")
+        if self.storer_fus:
+            _commit_memory(w, self.shared, len(self.storer_fus) <= 1)
+        for fu in self.halt_fus:
+            with w.block(f"if h{fu}:"):
+                w.w(f"s{fu} = {self.halted_done!r}")
+                w.w(f"h{fu} = False")
+        with w.block("if creads > peak_r:"):
+            w.w("peak_r = creads")
+        with w.block("if cwrites > peak_w:"):
+            w.w("peak_w = cwrites")
+        if self.obs:
+            w.w("rcounts[creads] = rcounts.get(creads, 0) + 1")
+            w.w("wcounts[cwrites] = wcounts.get(cwrites, 0) + 1")
+        w.w("cycle += 1")
+        w.w("cycles_done += 1")
+
+    def _finish(self, w: _Writer) -> None:
+        if self.obs and self.kc_pairs:
+            w.w("ccounts = machine.counters.class_counts")
+            for fu, cls in self.kc_pairs:
+                w.w(f"ccounts[{fu * 5 + cls}] += kc{fu}_{cls}")
+        if self.obs and self.w_pairs:
+            w.w("wmat = machine.counters.wait_matrix")
+            for fu, blocker in self.w_pairs:
+                w.w(f"wmat[{fu * self.n + blocker}] += w{fu}_{blocker}")
+        visits = "[" + ", ".join(f"v{fu}" for fu in range(self.n)) + "]"
+        pcs = "[" + ", ".join(f"p{fu}" for fu in range(self.n)) + "]"
+        prev = "[" + ", ".join(f"q{fu}" for fu in range(self.n)) + "]"
+        w.w(f"_finish_ximd(machine, _cols, {visits}, fs, cycles_done,")
+        w.w("             btaken, nbarriers, nresolved, rcounts,")
+        w.w(f"             wcounts, {pcs}, cycle, {prev},")
+        w.w("             0, 0, reg_conflicts, peak_r, peak_w,")
+        w.w("             inflight, mem_loads, mem_stores,")
+        w.w("             mem_conflicts)")
+
+
+# --- the VLIW generator ----------------------------------------------------
+
+class _VliwGen:
+    """Generate the specialized VLIW step loop (single shared PC)."""
+
+    def __init__(self, decoded, config, shared: bool, has_devices: bool,
+                 write_latency: int, obs_on: bool, emit_every: int):
+        self.rows = decoded.columns[0]
+        self.length = decoded.length
+        self.n = config.n_fus
+        self.detect_reg = config.detect_register_conflicts
+        self.shared = shared
+        self.wl = write_latency
+        self.obs = obs_on
+        self.emit = emit_every if obs_on else 0
+        self.ns = _Namespace()
+        self.mem = _MemShape(shared, has_devices)
+        self.occupied = [address for address, row in enumerate(self.rows)
+                         if row is not None]
+        self.compare_fus: List[int] = []
+        max_writers = max_storers = 0
+        for address in self.occupied:
+            row = self.rows[address]
+            writers = storers = 0
+            for fu, slot in row[0]:
+                if slot[0] == _D_COMPARE and fu not in self.compare_fus:
+                    self.compare_fus.append(fu)
+                if slot[0] in (_D_ARITH, _D_LOAD):
+                    writers += 1
+                elif slot[0] == _D_STORE:
+                    storers += 1
+            max_writers = max(max_writers, writers)
+            max_storers = max(max_storers, storers)
+        self.max_writers = max_writers
+        self.max_storers = max_storers
+        self.compare_fus.sort()
+
+    def generate(self) -> Tuple[str, dict]:
+        body = _Writer(indent=3)
+        self._loop_body(body)
+        pre = _Writer(indent=1)
+        self._preamble(pre)
+        fin = _Writer(indent=2)
+        self._finish(fin)
+        lines = ["def _runner(machine, limit):"]
+        lines += pre.lines
+        lines.append("    try:")
+        lines.append("        while pc is not None:")
+        lines += body.lines
+        lines.append("    finally:")
+        lines += fin.lines
+        lines.append(f"    _drain_epilogue(regfile, {self.detect_reg!r}, "
+                     f"cycle, {self.obs!r})")
+        return "\n".join(lines) + "\n", self.ns.ns
+
+    def _preamble(self, w: _Writer) -> None:
+        w.w("regfile = machine.regfile")
+        w.w("regv = regfile._values")
+        w.w("inflight = [list(stage) for stage in regfile._inflight]")
+        w.w("ccv = machine.cc._values")
+        w.w("ccdef = machine.cc._defined")
+        w.w("memory = machine.memory")
+        w.w("mem_words = memory.words")
+        if self.shared:
+            w.w("mem_data = memory._data")
+            if self.max_storers > 1:
+                w.w("detect_mem = memory.detect_conflicts")
+        else:
+            w.w("banks = memory._banks")
+            for fu in sorted(self.mem.bank_fus):
+                w.w(f"b{fu} = banks[{fu}]")
+        if self.mem.has_devices:
+            w.w("devs, dev_lo, dev_hi = _device_table(memory)")
+        w.w("pc = machine.pc")
+        w.w("cycle = machine.cycle")
+        w.w("cycles_done = 0")
+        w.w(f"vis = [0] * {self.length}")
+        w.w("fs = []")
+        w.w("fsa = fs.append")
+        if self.max_writers > 1:
+            w.w("seen_regs = {}")
+        if self.shared and self.max_storers > 1:
+            w.w("seen_addrs = {}")
+        if self.max_storers:
+            w.w("mem_pending = []")
+        w.w("reg_conflicts = 0")
+        w.w("mem_loads = mem_stores = mem_conflicts = 0")
+        w.w("btaken = nresolved = 0")
+        for fu in self.compare_fus:
+            w.w(f"e{fu} = None")
+        if self.wl == 1:
+            w.w("wbuf = inflight[0]")
+        if self.emit:
+            w.w("emit_fn = machine.obs.emit")
+            self.ns.ns["_part"] = (tuple(range(self.n)),)
+        self.ns.ns["_rows"] = self.rows
+        if len(self.occupied) > _LINEAR_MAX:
+            self.ns.ns["_ok"] = frozenset(self.occupied)
+
+    def _loop_body(self, w: _Writer) -> None:
+        with w.block("if cycle >= limit:"):
+            w.w("raise SimulationLimitError(")
+            w.w('    f"program did not halt within {limit} cycles")')
+        cases = {address: self._row_case(address)
+                 for address in self.occupied}
+        if not cases:
+            w.w("pc = None")
+            w.w("break")
+            return
+        if len(cases) <= _LINEAR_MAX:
+            keyword = "if"
+            for address in sorted(cases):
+                with w.block(f"{keyword} pc == {address}:"):
+                    cases[address](w)
+                keyword = "elif"
+            with w.block("else:"):
+                w.w("pc = None")
+                w.w("break  # empty row: halt, cycle never happened")
+        else:
+            with w.block("if pc in _ok:"):
+                _emit_tree(w, "pc", sorted(cases), cases)
+            with w.block("else:"):
+                w.w("pc = None")
+                w.w("break  # empty row: halt, cycle never happened")
+        self._commit(w)
+
+    def _row_case(self, address: int) -> Callable:
+        def body(w: _Writer) -> None:
+            self._row_body(w, address)
+        return body
+
+    def _row_body(self, w: _Writer, address: int) -> None:
+        row = self.rows[address]
+        data_slots, ctl, _folds, meta = row
+        w.w(f"c = vis[{address}]")
+        w.w(f"vis[{address}] = c + 1")
+        with w.block("if not c:"):
+            w.w(f"fsa({address})")
+        if self.wl > 1 and data_slots:
+            w.w(f"wbuf = inflight[{self.wl - 1}]")
+        for fu, slot in data_slots:
+            _data_body(w, slot, fu, self.ns, self.mem, count_ports=False)
+        if self.emit:
+            w.w(f"emit = not cycle % {self.emit}")
+        ctl_fu, branch_kind = meta[6], meta[7]
+
+        def branch_event(taken: str, target) -> str:
+            return (f'emit_fn(BranchEvent(machine="vliw", cycle=cycle, '
+                    f"fu={ctl_fu}, pc={address}, "
+                    f"branch_kind={branch_kind!r}, taken={taken}, "
+                    f"target={target!r}))")
+
+        if ctl is None:
+            w.w("next_pc = None")
+        else:
+            ckind, t_taken, t_untaken, aux, message = ctl
+            if ckind == _C_RAISE:
+                w.w(f"raise MachineError({message!r})")
+                return
+            if ckind == _C_ALWAYS:
+                w.w(f"next_pc = {t_taken!r}")
+                if self.obs:
+                    w.w("nresolved += 1")
+                    if aux:
+                        w.w("btaken += 1")
+                    if self.emit:
+                        with w.block("if emit:"):
+                            w.w(branch_event(repr(bool(aux)), t_taken))
+            else:  # _C_CC
+                if not self.obs:
+                    if t_taken == t_untaken:
+                        w.w(f"next_pc = {t_taken!r}")
+                    else:
+                        w.w(f"next_pc = {t_taken!r} if ccv[{aux}] "
+                            f"else {t_untaken!r}")
+                else:
+                    w.w("nresolved += 1")
+                    with w.block(f"if ccv[{aux}]:"):
+                        w.w("btaken += 1")
+                        if self.emit:
+                            with w.block("if emit:"):
+                                w.w(branch_event("True", t_taken))
+                        w.w(f"next_pc = {t_taken!r}")
+                    with w.block("else:"):
+                        if self.emit:
+                            with w.block("if emit:"):
+                                w.w(branch_event("False", t_untaken))
+                        w.w(f"next_pc = {t_untaken!r}")
+        if self.emit:
+            with w.block("if emit:"):
+                _cc_text_line(w)
+                pcs = (f"(pc,) * {self.n}" if self.n != 1 else "(pc,)")
+                w.w(f'emit_fn(CycleEvent(machine="vliw", cycle=cycle, '
+                    f"pcs={pcs}, cc=cc_text, ss={'-' * self.n!r}, "
+                    f"partition=_part, data_ops={meta[5]}, "
+                    f"fu_class={meta[2]!r}, ops={meta[4]!r}))")
+
+    def _commit(self, w: _Writer) -> None:
+        if self.max_writers:
+            w.w("due = wbuf" if self.wl == 1 else "due = inflight[0]")
+            _commit_registers(w, self.detect_reg, self.max_writers <= 1)
+        if self.wl > 1:
+            w.w("inflight.append(inflight.pop(0))")
+        for fu in self.compare_fus:
+            with w.block(f"if e{fu} is not None:"):
+                w.w(f"ccv[{fu}] = e{fu}")
+                w.w(f"ccdef[{fu}] = True")
+                w.w(f"e{fu} = None")
+        if self.max_storers:
+            _commit_memory(w, self.shared, self.max_storers <= 1)
+        w.w("pc = next_pc")
+        w.w("cycle += 1")
+        w.w("cycles_done += 1")
+
+    def _finish(self, w: _Writer) -> None:
+        w.w("_finish_vliw(machine, _rows, vis, fs, cycles_done,")
+        w.w("             btaken, nresolved, pc, cycle, 0, 0,")
+        w.w("             reg_conflicts, inflight, mem_loads,")
+        w.w("             mem_stores, mem_conflicts)")
+
+
+# --- compilation and caching -----------------------------------------------
+
+def _generate(machine, kind: str) -> Tuple[str, dict]:
+    """Generated ``(source, namespace)`` for *machine*'s program under
+    its current configuration fingerprint (no cache)."""
+    if kind == "ximd":
+        decoded = _decoded_for(machine, "ximd", decode_ximd_program)
+        gen_cls = _XimdGen
+    else:
+        decoded = _decoded_for(machine, "vliw", decode_vliw_program)
+        gen_cls = _VliwGen
+    obs = machine.obs
+    obs_on = obs.enabled
+    emit_every = obs.sample_every if (obs_on and obs.sinks) else 0
+    memory = machine.memory
+    generator = gen_cls(
+        decoded, machine.config,
+        shared=isinstance(memory, SharedMemory),
+        has_devices=bool(_device_table(memory)[0]),
+        write_latency=machine.regfile.write_latency,
+        obs_on=obs_on, emit_every=emit_every)
+    return generator.generate()
+
+
+def specialized_source(machine, kind: str) -> str:
+    """The Python source a specialized run of *machine* would execute
+    (debugging/testing aid; does not touch the cache)."""
+    return _generate(machine, kind)[0]
+
+
+def specialized_runner(machine, kind: str) -> Callable:
+    """The compiled step loop for *machine*, cached on its program.
+
+    The cache key holds every knob the generated source bakes in; the
+    cache itself is dropped whenever the program's columns are mutated
+    (:func:`~.engine.refresh_program_caches`), so a stale compiled
+    loop can never serve an edited program.
+    """
+    config = machine.config
+    obs = machine.obs
+    obs_on = obs.enabled
+    emit_every = obs.sample_every if (obs_on and obs.sinks) else 0
+    memory = machine.memory
+    key = (
+        kind,
+        config.n_fus,
+        config.sequencer,
+        config.halted_sync_done,
+        config.ss_registered,
+        config.detect_register_conflicts,
+        isinstance(memory, SharedMemory),
+        bool(_device_table(memory)[0]),
+        machine.regfile.write_latency,
+        obs_on,
+        emit_every,
+    )
+    _, cache = refresh_program_caches(machine.program)
+    runner = cache.get(key)
+    if runner is None:
+        source, namespace = _generate(machine, kind)
+        code = compile(source, f"<repro-specialized-{kind}>", "exec")
+        exec(code, namespace)
+        runner = namespace["_runner"]
+        runner._source = source  # introspection for tests and debugging
+        cache[key] = runner
+    else:
+        # the program may have been re-decoded since (cache intact);
+        # keep machine._decoded in sync with what the runner executes
+        _decoded_for(machine, kind,
+                     decode_ximd_program if kind == "ximd"
+                     else decode_vliw_program)
+    return runner

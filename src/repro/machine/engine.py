@@ -69,6 +69,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..isa import Condition, OpKind, Parcel, Reg, SyncValue
+from ..obs.sinks import RingBufferSink
 from ..obs.events import (
     BranchEvent,
     CycleEvent,
@@ -133,6 +134,11 @@ from .program import Program
 _D_NOP, _D_ARITH, _D_COMPARE, _D_LOAD, _D_STORE = range(5)
 _C_ALWAYS, _C_CC, _C_SS, _C_ALL, _C_ANY, _C_RAISE = range(6)
 
+#: events buffered per flush when unsampled tracing runs on the fast
+#: path (ring-buffer sinks only; the chunk is drained into each sink's
+#: deque at this stride and at run end)
+_RING_CHUNK = 8192
+
 #: fold stat_kind codes
 _S_OTHER, _S_COMPARE, _S_LOAD, _S_STORE = range(4)
 #: fold branch_kind codes
@@ -166,6 +172,32 @@ class DecodedProgram:
         self.length = len(columns[0]) if columns else 0
 
 
+def program_cache_token(program: Program) -> tuple:
+    """A value-identity token for *program*'s executable text.
+
+    Parcels are frozen dataclasses, so the token compares by value: any
+    column edit (replacing, adding, or clearing a parcel) yields a
+    different token, while metadata-only mutations — the assembler's
+    late label additions, register-name bindings — do not.  Building it
+    is O(slots) per ``run()``, far below one simulated cycle's cost.
+    """
+    return tuple(map(tuple, program.columns))
+
+
+def refresh_program_caches(program: Program) -> Tuple[dict, dict]:
+    """The per-program ``(decode cache, codegen cache)`` pair, dropped
+    and rebuilt whenever the program text changed since they were
+    filled — a mutated :class:`Program` must never serve a stale
+    pre-decoded column set or compiled step loop."""
+    token = program_cache_token(program)
+    decoded = getattr(program, "_decoded_cache", None)
+    if decoded is None or getattr(program, "_cache_token", None) != token:
+        program._cache_token = token
+        decoded = program._decoded_cache = {}
+        program._codegen_cache = {}
+    return decoded, program._codegen_cache
+
+
 def _decoded_for(machine, kind: str, decoder) -> DecodedProgram:
     """The machine's decoded program, shared across same-shape users.
 
@@ -175,19 +207,16 @@ def _decoded_for(machine, kind: str, decoder) -> DecodedProgram:
     fresh-machine-per-rep benchmark idiom) share one decode instead of
     paying the lowering again per instance.  The cache lives on the
     program object — ``{(kind, n_fus, sequencer): DecodedProgram}`` —
-    and dies with it.
+    dies with it, and is invalidated (along with the compiled-loop
+    cache) when the program's columns are mutated.
     """
-    decoded = machine._decoded
+    program = machine.program
+    per_program, _ = refresh_program_caches(program)
+    key = (kind, machine.config.n_fus, machine.config.sequencer)
+    decoded = per_program.get(key)
     if decoded is None:
-        program = machine.program
-        per_program = getattr(program, "_decoded_cache", None)
-        if per_program is None:
-            per_program = program._decoded_cache = {}
-        key = (kind, machine.config.n_fus, machine.config.sequencer)
-        decoded = per_program.get(key)
-        if decoded is None:
-            decoded = per_program[key] = decoder(program, machine.config)
-        machine._decoded = decoded
+        decoded = per_program[key] = decoder(program, machine.config)
+    machine._decoded = decoded
     return decoded
 
 
@@ -394,16 +423,30 @@ def fast_path_blockers(machine) -> List[str]:
     *not* blockers: the engine handles those natively (trackers via
     deferred replay, so they fall back only when full per-cycle tracing
     — ``sample_every <= 1`` with sinks — demands per-cycle tracker
-    state anyway).  The list is sorted for deterministic error
+    state anyway).  Unsampled tracing into in-memory ring buffers runs
+    on the fast path too — events are chunk-buffered and flushed into
+    every :class:`~repro.obs.sinks.RingBufferSink` at cycle-stride
+    boundaries — so only sinks with per-event side effects (e.g.
+    ``JsonlSink``) and tracker-attached full tracing still force the
+    reference path.  The list is sorted for deterministic error
     messages, and each entry names the knob that would clear it.
     """
     blockers = []
     obs = machine.obs
     if obs.enabled and obs.sinks and obs.sample_every <= 1:
-        blockers.append(
-            "full event tracing: observer has sinks at sample_every=1 "
-            "(set Observer(sample_every=N) for sampled tracing, or drop "
-            "the sinks for counter-only telemetry)")
+        if not all(isinstance(sink, RingBufferSink) for sink in obs.sinks):
+            blockers.append(
+                "full event tracing: observer has non-ring-buffer sinks "
+                "at sample_every=1 (set Observer(sample_every=N) for "
+                "sampled tracing, use RingBufferSinks for chunk-buffered "
+                "full tracing, or drop the sinks for counter-only "
+                "telemetry)")
+        elif getattr(machine, "tracker", None) is not None:
+            blockers.append(
+                "full event tracing with an SSET tracker attached: "
+                "per-cycle partition queries need per-cycle tracker "
+                "state (set Observer(sample_every=N) or detach the "
+                "tracker)")
     if machine.trace is not None:
         blockers.append(
             "address trace recording (construct the machine with "
@@ -442,6 +485,34 @@ def _device_table(memory) -> Tuple[tuple, int, int]:
     if not ranges:
         return (), 0, 0
     return ranges, ranges[0][0], ranges[-1][1]
+
+
+def _emit_mode(obs, emit_every: int) -> Tuple[object, Optional[list], tuple]:
+    """``(emit_fn, ring_chunk, ring_sinks)`` for the fast loops.
+
+    Sampled tracing (``emit_every > 1``) pays the normal
+    ``Observer.emit`` fan-out — it fires rarely.  Unsampled tracing
+    (``emit_every == 1``) only reaches the fast path when every sink is
+    a :class:`~repro.obs.sinks.RingBufferSink` (``fast_path_blockers``
+    guarantees it), so events are chunk-buffered into a plain list —
+    one bound-method append per event on the hot path — and drained
+    into each sink's deque at :data:`_RING_CHUNK` boundaries and at run
+    end.  ``deque.extend`` honors ``maxlen`` eviction, so the sinks end
+    up byte-identical to per-event emission.
+    """
+    if emit_every != 1:
+        return obs.emit, None, ()
+    ring_chunk: list = []
+    ring_sinks = tuple(sink._events for sink in obs.sinks)
+    return ring_chunk.append, ring_chunk, ring_sinks
+
+
+def _flush_ring_chunk(ring_chunk: Optional[list], ring_sinks: tuple) -> None:
+    """Drain the buffered events into every ring sink's deque."""
+    if ring_chunk:
+        for events in ring_sinks:
+            events.extend(ring_chunk)
+        ring_chunk.clear()
 
 
 def run_ximd_fast(machine, limit: int) -> None:
@@ -521,6 +592,7 @@ def run_ximd_fast(machine, limit: int) -> None:
     obs = machine.obs
     obs_on = obs.enabled
     emit_every = obs.sample_every if (obs_on and obs.sinks) else 0
+    emit_fn, ring_chunk, ring_sinks = _emit_mode(obs, emit_every)
     ccounts = machine.counters.class_counts
     btaken = nbarriers = nresolved = 0
     peak_r = regfile.peak_reads
@@ -751,7 +823,7 @@ def run_ximd_fast(machine, limit: int) -> None:
                                 barrier_waiting[fu] = True
                     if emit:
                         cls_now[fu] = cls
-                        obs.emit(BranchEvent(
+                        emit_fn(BranchEvent(
                             machine="ximd", cycle=cycle, fu=fu,
                             pc=pcs[fu],
                             branch_kind=_B_KIND_NAMES[slot[9][5]],
@@ -764,7 +836,7 @@ def run_ximd_fast(machine, limit: int) -> None:
                             blocker = ctl[3]
                             wmat[base + blocker] += 1
                             if emit:
-                                obs.emit(SyncEdgeEvent(
+                                emit_fn(SyncEdgeEvent(
                                     machine="ximd", cycle=cycle,
                                     waiter=fu, blocker=blocker,
                                     pc=pcs[fu], cond="ss"))
@@ -773,7 +845,7 @@ def run_ximd_fast(machine, limit: int) -> None:
                                 if not visible[member]:
                                     wmat[base + member] += 1
                                     if emit:
-                                        obs.emit(SyncEdgeEvent(
+                                        emit_fn(SyncEdgeEvent(
                                             machine="ximd", cycle=cycle,
                                             waiter=fu, blocker=member,
                                             pc=pcs[fu], cond="all"))
@@ -781,7 +853,7 @@ def run_ximd_fast(machine, limit: int) -> None:
                             for member in ctl[3]:
                                 wmat[base + member] += 1
                                 if emit:
-                                    obs.emit(SyncEdgeEvent(
+                                    emit_fn(SyncEdgeEvent(
                                         machine="ximd", cycle=cycle,
                                         waiter=fu, blocker=member,
                                         pc=pcs[fu], cond="any"))
@@ -797,7 +869,7 @@ def run_ximd_fast(machine, limit: int) -> None:
                 barrier_mask = 0
 
             if emit:
-                obs.emit(CycleEvent(
+                emit_fn(CycleEvent(
                     machine="ximd", cycle=cycle, pcs=pcs_start,
                     cc=cc_text, ss=ss_text, partition=partition,
                     data_ops=cyc_ops,
@@ -808,25 +880,28 @@ def run_ximd_fast(machine, limit: int) -> None:
                 for fu in range(n):
                     s = cur[fu]
                     if s is not None and s[7]:
-                        obs.emit(SyncEvent(
+                        emit_fn(SyncEvent(
                             machine="ximd", cycle=cycle, fu=fu,
                             pc=pcs_start[fu], what="done"))
                     if barrier_waiting[fu]:
-                        obs.emit(SyncEvent(
+                        emit_fn(SyncEvent(
                             machine="ximd", cycle=cycle, fu=fu,
                             pc=pcs_start[fu], what="barrier_wait"))
                         barrier_waiting[fu] = False
                     if barrier_now[fu]:
-                        obs.emit(SyncEvent(
+                        emit_fn(SyncEvent(
                             machine="ximd", cycle=cycle, fu=fu,
                             pc=pcs_start[fu], what="barrier"))
                         barrier_now[fu] = False
                 if (partition is not None
                         and partition != machine._last_partition):
-                    obs.emit(PartitionChangeEvent(
+                    emit_fn(PartitionChangeEvent(
                         machine="ximd", cycle=cycle,
                         partition=partition, n_ssets=len(partition)))
                     machine._last_partition = partition
+                if (ring_chunk is not None
+                        and len(ring_chunk) >= _RING_CHUNK):
+                    _flush_ring_chunk(ring_chunk, ring_sinks)
 
             # --- commit -------------------------------------------------
             prev_ss[:] = ss  # this cycle's SS vector, pre-halt updates
@@ -898,82 +973,120 @@ def run_ximd_fast(machine, limit: int) -> None:
             # reconstruct the tracker through the last executed cycle,
             # so its post-run state matches the reference path's
             feed.flush()
-        stats = machine.stats
-        stats.cycles += cycles_done
-        counters = machine.counters
-        for fu, address in first_seen:
-            count = visits[fu][address]
-            slot = cols[fu][address]
-            is_nop, mnemonic, skind, reads, writes, branch = slot[9]
-            if is_nop:
-                stats.nops += count
-            else:
-                stats.data_ops += count
-                per_fu = stats.per_fu_ops
-                per_fu[fu] = per_fu.get(fu, 0) + count
-                per_op = stats.per_opcode
-                per_op[mnemonic] = per_op.get(mnemonic, 0) + count
-                if skind == _S_COMPARE:
-                    stats.compares += count
-                elif skind == _S_LOAD:
-                    stats.loads += count
-                elif skind == _S_STORE:
-                    stats.stores += count
-                reg_reads += reads * count
-                reg_writes += writes * count
-            if branch == _B_UNCOND:
-                stats.branches_unconditional += count
-            elif branch != _B_NONE:
-                stats.branches_conditional += count
-                if branch == _B_SYNC:
-                    stats.branches_sync += count
-            if obs_on and slot[7]:
-                # DONE assertions are a static property of the slot, so
-                # the sync tally folds straight from visit counts
-                counters.sync_done += count
-        if obs_on:
-            counters.branches_taken += btaken
-            counters.barriers += nbarriers
-            # the reference Sequencer counts live, per run (no re-fold)
-            if nresolved:
-                obs.registry.counter("sequencer.resolved").inc(nresolved)
-            if btaken:
-                obs.registry.counter("sequencer.taken").inc(btaken)
-            for fu in range(n):
-                # halted-FU cycles are the executed cycles the FU did
-                # not fetch in (fetches == visits); max() guards the
-                # partially-accounted error cycle
-                idle = cycles_done - sum(visits[fu])
-                if idle > 0:
-                    ccounts[fu * 5 + CLS_HALTED] += idle
-            if rcounts or wcounts:
-                read_hist, write_hist = regfile.port_histograms()
-                if read_hist is not None:
-                    for value, count in rcounts.items():
-                        read_hist.observe_many(value, count)
-                    for value, count in wcounts.items():
-                        write_hist.observe_many(value, count)
-        machine.pcs = pcs
-        machine.cycle = cycle
-        machine._prev_ss = tuple(prev_ss)
-        regfile.total_reads += reg_reads
-        regfile.total_writes += reg_writes
-        regfile.conflicts_dropped += reg_conflicts
-        regfile.peak_reads = peak_r
-        regfile.peak_writes = peak_w
-        regfile._inflight = inflight
-        memory.loads += mem_loads
-        memory.stores += mem_stores
-        memory.conflicts_dropped += mem_conflicts
+        _flush_ring_chunk(ring_chunk, ring_sinks)
+        _finish_ximd(machine, cols, visits, first_seen, cycles_done,
+                     btaken, nbarriers, nresolved, rcounts, wcounts,
+                     pcs, cycle, prev_ss,
+                     reg_reads, reg_writes, reg_conflicts,
+                     peak_r, peak_w, inflight,
+                     mem_loads, mem_stores, mem_conflicts)
 
     # --- drain the write pipeline (the reference run() epilogue) --------
+    _drain_epilogue(regfile, detect_reg, cycle, obs_on)
+
+
+def _finish_ximd(machine, cols, visits, first_seen, cycles_done,
+                 btaken, nbarriers, nresolved, rcounts, wcounts,
+                 pcs, cycle, prev_ss,
+                 reg_reads, reg_writes, reg_conflicts,
+                 peak_r, peak_w, inflight,
+                 mem_loads, mem_stores, mem_conflicts) -> None:
+    """Fold the XIMD run's per-slot visit counters into stats/telemetry
+    and write the end state back to *machine*.
+
+    Shared verbatim by the hand-written fast loop and every generated
+    specialized loop (:mod:`.codegen`), so the post-run fold — the part
+    of the differential contract with the most insertion-order traps
+    (``per_opcode`` / ``per_fu_ops`` dict order follows ``first_seen``
+    encounter order) — is identical across engines by construction.
+    Runs inside the loops' ``finally``: it must fold the partial state
+    of an error cycle exactly like the reference path's own unwinding.
+    """
+    obs = machine.obs
+    obs_on = obs.enabled
+    regfile = machine.regfile
+    memory = machine.memory
+    n = machine.config.n_fus
+    stats = machine.stats
+    stats.cycles += cycles_done
+    counters = machine.counters
+    ccounts = counters.class_counts
+    for fu, address in first_seen:
+        count = visits[fu][address]
+        slot = cols[fu][address]
+        is_nop, mnemonic, skind, reads, writes, branch = slot[9]
+        if is_nop:
+            stats.nops += count
+        else:
+            stats.data_ops += count
+            per_fu = stats.per_fu_ops
+            per_fu[fu] = per_fu.get(fu, 0) + count
+            per_op = stats.per_opcode
+            per_op[mnemonic] = per_op.get(mnemonic, 0) + count
+            if skind == _S_COMPARE:
+                stats.compares += count
+            elif skind == _S_LOAD:
+                stats.loads += count
+            elif skind == _S_STORE:
+                stats.stores += count
+            reg_reads += reads * count
+            reg_writes += writes * count
+        if branch == _B_UNCOND:
+            stats.branches_unconditional += count
+        elif branch != _B_NONE:
+            stats.branches_conditional += count
+            if branch == _B_SYNC:
+                stats.branches_sync += count
+        if obs_on and slot[7]:
+            # DONE assertions are a static property of the slot, so
+            # the sync tally folds straight from visit counts
+            counters.sync_done += count
+    if obs_on:
+        counters.branches_taken += btaken
+        counters.barriers += nbarriers
+        # the reference Sequencer counts live, per run (no re-fold)
+        if nresolved:
+            obs.registry.counter("sequencer.resolved").inc(nresolved)
+        if btaken:
+            obs.registry.counter("sequencer.taken").inc(btaken)
+        for fu in range(n):
+            # halted-FU cycles are the executed cycles the FU did
+            # not fetch in (fetches == visits); max() guards the
+            # partially-accounted error cycle
+            idle = cycles_done - sum(visits[fu])
+            if idle > 0:
+                ccounts[fu * 5 + CLS_HALTED] += idle
+        if rcounts or wcounts:
+            read_hist, write_hist = regfile.port_histograms()
+            if read_hist is not None:
+                for value, count in rcounts.items():
+                    read_hist.observe_many(value, count)
+                for value, count in wcounts.items():
+                    write_hist.observe_many(value, count)
+    machine.pcs = pcs
+    machine.cycle = cycle
+    machine._prev_ss = tuple(prev_ss)
+    regfile.total_reads += reg_reads
+    regfile.total_writes += reg_writes
+    regfile.conflicts_dropped += reg_conflicts
+    regfile.peak_reads = peak_r
+    regfile.peak_writes = peak_w
+    regfile._inflight = inflight
+    memory.loads += mem_loads
+    memory.stores += mem_stores
+    memory.conflicts_dropped += mem_conflicts
+
+
+def _drain_epilogue(regfile, detect_reg: bool, cycle: int,
+                    obs_on: bool) -> None:
+    """Post-run pipeline drain, shared by fast and specialized loops."""
     _drain_inflight(regfile, detect_reg, cycle)
     if obs_on:
         # the reference drain() commits observe zero port activity
         read_hist, write_hist = regfile.port_histograms()
         if read_hist is not None:
-            read_hist.observe_many(0, write_latency)
-            write_hist.observe_many(0, write_latency)
+            read_hist.observe_many(0, regfile.write_latency)
+            write_hist.observe_many(0, regfile.write_latency)
 
 
 def _drain_inflight(regfile, detect_reg: bool, cycle: int) -> None:
@@ -1050,6 +1163,7 @@ def run_vliw_fast(machine, limit: int) -> None:
     obs = machine.obs
     obs_on = obs.enabled
     emit_every = obs.sample_every if (obs_on and obs.sinks) else 0
+    emit_fn, ring_chunk, ring_sinks = _emit_mode(obs, emit_every)
     btaken = nresolved = 0
     ss_const = "-" * n
     part_const = (tuple(range(n)),)
@@ -1158,7 +1272,7 @@ def run_vliw_fast(machine, limit: int) -> None:
                         btaken += 1
                     if emit:
                         meta = row[3]
-                        obs.emit(BranchEvent(
+                        emit_fn(BranchEvent(
                             machine="vliw", cycle=cycle, fu=meta[6],
                             pc=pc, branch_kind=meta[7],
                             taken=reported, target=next_pc))
@@ -1168,10 +1282,13 @@ def run_vliw_fast(machine, limit: int) -> None:
                 cc_text = "".join(
                     ("T" if value else "F") if defined else "X"
                     for value, defined in zip(ccv, ccdef))
-                obs.emit(CycleEvent(
+                emit_fn(CycleEvent(
                     machine="vliw", cycle=cycle, pcs=(pc,) * n,
                     cc=cc_text, ss=ss_const, partition=part_const,
                     data_ops=meta[5], fu_class=meta[2], ops=meta[4]))
+                if (ring_chunk is not None
+                        and len(ring_chunk) >= _RING_CHUNK):
+                    _flush_ring_chunk(ring_chunk, ring_sinks)
 
             # --- commit -------------------------------------------------
             due = inflight[0]
@@ -1227,74 +1344,86 @@ def run_vliw_fast(machine, limit: int) -> None:
             cycle += 1
             cycles_done += 1
     finally:
-        stats = machine.stats
-        stats.cycles += cycles_done
-        counters = machine.counters
-        ccounts = counters.class_counts
-        peak_r = regfile.peak_reads
-        peak_w = regfile.peak_writes
-        read_hist = write_hist = None
-        if obs_on and first_seen:
-            read_hist, write_hist = regfile.port_histograms()
-        for address in first_seen:
-            count = visits[address]
-            row = rows[address]
-            for fu, fold in row[2]:
-                is_nop, mnemonic, skind, reads, writes, branch = fold
-                if is_nop:
-                    stats.nops += count
-                else:
-                    stats.data_ops += count
-                    per_fu = stats.per_fu_ops
-                    per_fu[fu] = per_fu.get(fu, 0) + count
-                    per_op = stats.per_opcode
-                    per_op[mnemonic] = per_op.get(mnemonic, 0) + count
-                    if skind == _S_COMPARE:
-                        stats.compares += count
-                    elif skind == _S_LOAD:
-                        stats.loads += count
-                    elif skind == _S_STORE:
-                        stats.stores += count
-                    reg_reads += reads * count
-                    reg_writes += writes * count
-                if branch == _B_UNCOND:
-                    stats.branches_unconditional += count
-                elif branch != _B_NONE:
-                    stats.branches_conditional += count
-            meta = row[3]
-            if meta[0] > peak_r:
-                peak_r = meta[0]
-            if meta[1] > peak_w:
-                peak_w = meta[1]
-            if obs_on:
-                for fu, code in enumerate(meta[3]):
-                    ccounts[fu * 5 + code] += count
-                if read_hist is not None:
-                    read_hist.observe_many(meta[0], count)
-                    write_hist.observe_many(meta[1], count)
-        if obs_on:
-            counters.branches_taken += btaken
-            # the reference Sequencer counts live, per run (no re-fold)
-            if nresolved:
-                obs.registry.counter("sequencer.resolved").inc(nresolved)
-            if btaken:
-                obs.registry.counter("sequencer.taken").inc(btaken)
-        machine.pc = pc
-        machine.cycle = cycle
-        regfile.total_reads += reg_reads
-        regfile.total_writes += reg_writes
-        regfile.conflicts_dropped += reg_conflicts
-        regfile.peak_reads = peak_r
-        regfile.peak_writes = peak_w
-        regfile._inflight = inflight
-        memory.loads += mem_loads
-        memory.stores += mem_stores
-        memory.conflicts_dropped += mem_conflicts
+        _flush_ring_chunk(ring_chunk, ring_sinks)
+        _finish_vliw(machine, rows, visits, first_seen, cycles_done,
+                     btaken, nresolved, pc, cycle,
+                     reg_reads, reg_writes, reg_conflicts, inflight,
+                     mem_loads, mem_stores, mem_conflicts)
 
-    _drain_inflight(regfile, detect_reg, cycle)
-    if obs_on:
-        # the reference drain() commits observe zero port activity
+    _drain_epilogue(regfile, detect_reg, cycle, obs_on)
+
+
+def _finish_vliw(machine, rows, visits, first_seen, cycles_done,
+                 btaken, nresolved, pc, cycle,
+                 reg_reads, reg_writes, reg_conflicts, inflight,
+                 mem_loads, mem_stores, mem_conflicts) -> None:
+    """Fold the VLIW run's per-row visit counters into stats/telemetry
+    and write the end state back to *machine* (see :func:`_finish_ximd`
+    for the sharing rationale)."""
+    obs = machine.obs
+    obs_on = obs.enabled
+    regfile = machine.regfile
+    memory = machine.memory
+    stats = machine.stats
+    stats.cycles += cycles_done
+    counters = machine.counters
+    ccounts = counters.class_counts
+    peak_r = regfile.peak_reads
+    peak_w = regfile.peak_writes
+    read_hist = write_hist = None
+    if obs_on and first_seen:
         read_hist, write_hist = regfile.port_histograms()
-        if read_hist is not None:
-            read_hist.observe_many(0, write_latency)
-            write_hist.observe_many(0, write_latency)
+    for address in first_seen:
+        count = visits[address]
+        row = rows[address]
+        for fu, fold in row[2]:
+            is_nop, mnemonic, skind, reads, writes, branch = fold
+            if is_nop:
+                stats.nops += count
+            else:
+                stats.data_ops += count
+                per_fu = stats.per_fu_ops
+                per_fu[fu] = per_fu.get(fu, 0) + count
+                per_op = stats.per_opcode
+                per_op[mnemonic] = per_op.get(mnemonic, 0) + count
+                if skind == _S_COMPARE:
+                    stats.compares += count
+                elif skind == _S_LOAD:
+                    stats.loads += count
+                elif skind == _S_STORE:
+                    stats.stores += count
+                reg_reads += reads * count
+                reg_writes += writes * count
+            if branch == _B_UNCOND:
+                stats.branches_unconditional += count
+            elif branch != _B_NONE:
+                stats.branches_conditional += count
+        meta = row[3]
+        if meta[0] > peak_r:
+            peak_r = meta[0]
+        if meta[1] > peak_w:
+            peak_w = meta[1]
+        if obs_on:
+            for fu, code in enumerate(meta[3]):
+                ccounts[fu * 5 + code] += count
+            if read_hist is not None:
+                read_hist.observe_many(meta[0], count)
+                write_hist.observe_many(meta[1], count)
+    if obs_on:
+        counters.branches_taken += btaken
+        # the reference Sequencer counts live, per run (no re-fold)
+        if nresolved:
+            obs.registry.counter("sequencer.resolved").inc(nresolved)
+        if btaken:
+            obs.registry.counter("sequencer.taken").inc(btaken)
+    machine.pc = pc
+    machine.cycle = cycle
+    regfile.total_reads += reg_reads
+    regfile.total_writes += reg_writes
+    regfile.conflicts_dropped += reg_conflicts
+    regfile.peak_reads = peak_r
+    regfile.peak_writes = peak_w
+    regfile._inflight = inflight
+    memory.loads += mem_loads
+    memory.stores += mem_stores
+    memory.conflicts_dropped += mem_conflicts

@@ -29,7 +29,7 @@ from .condition import ConditionCodes, evaluate_condition
 from .config import MachineConfig, MemoryStyle, research_config
 from .datapath import DatapathStats, execute_data_op
 from .devices import DeviceMap
-from .engine import fast_path_blockers, run_vliw_fast
+from .codegen import select_runner
 from .errors import MachineError, ProgramError, SimulationLimitError
 from .memory import DistributedMemory, SharedMemory
 from .program import Program
@@ -208,21 +208,22 @@ class VliwMachine:
             engine: str = "auto") -> ExecutionResult:
         """Run until the machine halts (or the watchdog trips).
 
-        *engine* works as in :meth:`XimdMachine.run`: ``"auto"`` takes
-        the fast path when eligible, ``"reference"`` forces the
-        :meth:`step` loop, ``"fast"`` raises :class:`MachineError` when
-        the fast path is unavailable.
+        *engine* works as in :meth:`XimdMachine.run`: ``"auto"``
+        prefers the per-program compiled loop, then the fast path,
+        then the reference :meth:`step` loop; ``"specialized"`` and
+        ``"fast"`` demand their tier and raise :class:`MachineError`
+        (with the blocker list) when it is unavailable.
         """
         limit = max_cycles if max_cycles is not None else self.config.max_cycles
-        if engine not in ("auto", "fast", "reference"):
+        if engine not in ("auto", "specialized", "fast", "reference"):
             raise ValueError(f"unknown engine: {engine!r}")
         if engine != "reference":
-            blockers = fast_path_blockers(self)
-            if not blockers:
-                self.engine_used = "fast"
+            engine_used, runner = select_runner(self, engine, "vliw")
+            if runner is not None:
+                self.engine_used = engine_used
                 obs_on = self.obs.enabled
                 wall_start = time.perf_counter() if obs_on else 0.0
-                run_vliw_fast(self, limit)
+                runner(self, limit)
                 if obs_on:
                     fold_run_metrics(self.obs, self,
                                      time.perf_counter() - wall_start)
@@ -235,9 +236,6 @@ class VliwMachine:
                     trace=self.trace,
                     final_pcs=final,
                 )
-            if engine == "fast":
-                raise MachineError(
-                    "fast engine unavailable: " + "; ".join(blockers))
         self.engine_used = "reference"
         obs_on = self.obs.enabled
         wall_start = time.perf_counter() if obs_on else 0.0

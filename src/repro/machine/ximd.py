@@ -42,7 +42,7 @@ from .condition import ConditionCodes, evaluate_condition, sync_done_vector
 from .config import MachineConfig, MemoryStyle, research_config
 from .datapath import DatapathStats, execute_data_op
 from .devices import DeviceMap
-from .engine import fast_path_blockers, run_ximd_fast
+from .codegen import select_runner
 from .errors import MachineError, ProgramError, SimulationLimitError
 from .memory import DistributedMemory, SharedMemory
 from .partition import (
@@ -396,24 +396,26 @@ class XimdMachine:
             engine: str = "auto") -> ExecutionResult:
         """Run until every FU halts (or the watchdog trips).
 
-        *engine* selects the execution path: ``"auto"`` (default) takes
-        the pre-decoded fast path when no observability feature needs
-        the reference path, ``"reference"`` forces the cycle-by-cycle
-        :meth:`step` loop, ``"fast"`` demands the fast path and raises
-        :class:`MachineError` when it is unavailable.  Both paths
-        produce bit-identical results; :attr:`engine_used` records
-        which one ran.
+        *engine* selects the execution path: ``"auto"`` (default)
+        prefers the per-program compiled loop from
+        :mod:`repro.machine.codegen`, falls back to the pre-decoded
+        fast path, then to the reference interpreter; ``"reference"``
+        forces the cycle-by-cycle :meth:`step` loop; ``"specialized"``
+        and ``"fast"`` demand their tier and raise
+        :class:`MachineError` (with the blocker list) when it is
+        unavailable.  Every path produces bit-identical results;
+        :attr:`engine_used` records which one ran.
         """
         limit = max_cycles if max_cycles is not None else self.config.max_cycles
-        if engine not in ("auto", "fast", "reference"):
+        if engine not in ("auto", "specialized", "fast", "reference"):
             raise ValueError(f"unknown engine: {engine!r}")
         if engine != "reference":
-            blockers = fast_path_blockers(self)
-            if not blockers:
-                self.engine_used = "fast"
+            engine_used, runner = select_runner(self, engine, "ximd")
+            if runner is not None:
+                self.engine_used = engine_used
                 obs_on = self.obs.enabled
                 wall_start = time.perf_counter() if obs_on else 0.0
-                run_ximd_fast(self, limit)
+                runner(self, limit)
                 if obs_on:
                     fold_run_metrics(self.obs, self,
                                      time.perf_counter() - wall_start)
@@ -425,9 +427,6 @@ class XimdMachine:
                     trace=self.trace,
                     final_pcs=tuple(self.pcs),
                 )
-            if engine == "fast":
-                raise MachineError(
-                    "fast engine unavailable: " + "; ".join(blockers))
         self.engine_used = "reference"
         obs_on = self.obs.enabled
         wall_start = time.perf_counter() if obs_on else 0.0

@@ -421,12 +421,16 @@ def build_parser() -> argparse.ArgumentParser:
     history.add_argument("--metrics", nargs="+",
                          default=["speedup", "ximd_cycles",
                                   "ximd_energy_pj",
-                                  "fast_kcycles_per_sec", "ops_out",
-                                  "overhead_vs_bare_fast"],
+                                  "fast_kcycles_per_sec",
+                                  "specialized_kcycles_per_sec",
+                                  "specialized_over_fast", "ops_out",
+                                  "overhead_vs_bare"],
                          help="metrics to trend (default: speedup "
                               "ximd_cycles ximd_energy_pj "
-                              "fast_kcycles_per_sec ops_out "
-                              "overhead_vs_bare_fast)")
+                              "fast_kcycles_per_sec "
+                              "specialized_kcycles_per_sec "
+                              "specialized_over_fast ops_out "
+                              "overhead_vs_bare)")
     history.set_defaults(func=_cmd_history)
 
     html = sub.add_parser(

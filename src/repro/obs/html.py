@@ -479,6 +479,13 @@ def render_dashboard(report: dict,
                 "<h2>Host throughput (E14, fast engine, wall clock "
                 "— warn-only)</h2>")
             sections.append(throughput)
+        codegen = _history_svg(list(history),
+                               metric="specialized_over_fast")
+        if codegen:
+            sections.append(
+                "<h2>Specialized-engine speedup over fast (E18, wall "
+                "clock — warn-only)</h2>")
+            sections.append(codegen)
         ir_trend = _history_svg(list(history), metric="ops_out")
         if ir_trend:
             sections.append(
@@ -486,11 +493,11 @@ def render_dashboard(report: dict,
                 "(ops_out — advisory)</h2>")
             sections.append(ir_trend)
         overhead = _history_svg(list(history),
-                                metric="overhead_vs_bare_fast")
+                                metric="overhead_vs_bare")
         if overhead:
             sections.append(
                 "<h2>Observability overhead across PRs (E15 tier cost "
-                "over bare fast engine — warn-only)</h2>")
+                "over the bare specialized engine — warn-only)</h2>")
             sections.append(overhead)
     sections.append(
         "<footer>generated offline by <code>python -m repro.obs html"

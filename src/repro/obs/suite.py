@@ -1,0 +1,182 @@
+"""Benchmark-suite result merging: partials → ``BENCH_SUMMARY.json``.
+
+The benchmark conftest collects headline numbers per session and, at
+session end, folds them into the repo-root ``BENCH_SUMMARY.json`` plus
+(when the speedup suite ran) one ``BENCH_HISTORY.jsonl`` record.  The
+parallel suite driver (``benchmarks/run_suite.py``) runs each bench
+file in its own pytest subprocess instead, so the per-session fold
+would race: every worker would read-modify-write the same summary and
+each could append its own history record.
+
+This module is the single implementation both paths share:
+
+* workers (conftest with ``$REPRO_BENCH_PARTIAL`` set) write their
+  collected sections to a *partial* artifact via :func:`write_partial`
+  and touch nothing else;
+* the driver loads the partials, combines them with
+  :func:`merge_partials` — deterministic regardless of worker
+  completion order, duplicate bench ids across files are an error —
+  and lands the result with :func:`write_summary`, which is also what
+  a plain serial ``pytest benchmarks/`` session uses directly.
+
+The ``timing`` section stays special throughout: wall-clock numbers
+are re-stamped rather than merged with a previous summary (stale wall
+times from another host are meaningless) and are excluded from the
+history dedupe identity.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from .history import append_record, make_record
+from .schema import SCHEMA_VERSION
+
+Pathish = Union[str, pathlib.Path]
+
+#: ``generated_by`` stamp on the merged summary artifact.
+GENERATED_BY = "pytest benchmarks/ --benchmark-only"
+
+
+def load_sections(path: Pathish) -> Dict[str, dict]:
+    """Section dicts from an existing summary, or ``{}``.
+
+    Bookkeeping keys (``schema_version`` …) and the wall-clock
+    ``timing`` section are dropped: timing is re-stamped by the next
+    writer, never merged across runs.  Unreadable or malformed files
+    degrade to an empty baseline rather than failing the run.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return {}
+    try:
+        previous = json.loads(path.read_text())
+    except (ValueError, OSError):
+        return {}
+    if not isinstance(previous, dict):
+        return {}
+    return {key: dict(value) for key, value in previous.items()
+            if isinstance(value, dict) and key != "timing"}
+
+
+def merge_collected(
+        collected: Dict[str, dict],
+        previous_sections: Optional[Dict[str, dict]] = None,
+) -> Tuple[Dict[str, dict], Optional[dict]]:
+    """Fold freshly collected sections over a previous baseline.
+
+    Returns ``(sections, timing)``: the deterministic sections with
+    *collected* entries layered over *previous_sections* (so partial
+    runs update their own entries without clobbering the rest), and
+    the fresh wall-clock ``timing`` payload (or ``None``).
+    """
+    fresh = {section: dict(entries)
+             for section, entries in collected.items()}
+    timing = fresh.pop("timing", None)
+    sections = {section: dict(entries)
+                for section, entries in (previous_sections or {}).items()}
+    for section in sorted(fresh):
+        target = sections.setdefault(section, {})
+        for name in sorted(fresh[section]):
+            target[name] = fresh[section][name]
+    return sections, timing
+
+
+def render_summary(sections: Dict[str, dict],
+                   timing: Optional[dict] = None) -> dict:
+    """The schema-versioned ``bench_summary`` artifact payload."""
+    summary: dict = {section: entries
+                     for section, entries in sorted(sections.items())}
+    if timing:
+        summary["timing"] = timing
+    summary["schema_version"] = SCHEMA_VERSION
+    summary["kind"] = "bench_summary"
+    summary["generated_by"] = GENERATED_BY
+    return summary
+
+
+def write_summary(summary_path: Pathish,
+                  collected: Dict[str, dict],
+                  history_path: Optional[Pathish] = None,
+                  git_sha: str = "local") -> dict:
+    """Merge *collected* into the summary file; append history if due.
+
+    A history record is appended only when the ``workloads`` section
+    was refreshed (the speedup suite ran) and *history_path* is given
+    — mirroring the serial conftest policy, but callable exactly once
+    by the parallel driver after all partials merged.
+    """
+    if not collected:
+        return {}
+    sections, timing = merge_collected(collected,
+                                       load_sections(summary_path))
+    summary = render_summary(sections, timing)
+    pathlib.Path(summary_path).write_text(
+        json.dumps(summary, indent=2, sort_keys=True, default=str) + "\n")
+    if "workloads" in collected and history_path is not None:
+        append_record(pathlib.Path(history_path),
+                      make_record(sections, git_sha=git_sha,
+                                  timing=timing))
+    return summary
+
+
+def write_partial(path: Pathish, collected: Dict[str, dict]) -> None:
+    """Write one worker's collected sections as a partial artifact.
+
+    The suite id is the partial file's stem (the driver names partials
+    after the bench file they came from), which is all
+    :func:`merge_partials` needs to attribute duplicate bench ids.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    artifact = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "bench_partial",
+        "suite": path.stem,
+        "sections": {section: {name: payload for name, payload
+                               in sorted(entries.items())}
+                     for section, entries in sorted(collected.items())},
+    }
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True,
+                               default=str) + "\n")
+
+
+def load_partial(path: Pathish) -> dict:
+    """Read one partial artifact back (raises on malformed files)."""
+    artifact = json.loads(pathlib.Path(path).read_text())
+    if (not isinstance(artifact, dict)
+            or artifact.get("kind") != "bench_partial"
+            or not isinstance(artifact.get("sections"), dict)):
+        raise ValueError(f"{path}: not a bench_partial artifact")
+    return artifact
+
+
+def merge_partials(partials: Iterable[dict]) -> Dict[str, dict]:
+    """Combine per-file partials into one ``collected`` mapping.
+
+    Deterministic by construction: partials are processed in sorted
+    suite order and entries in sorted name order, so worker completion
+    order cannot change the result.  Two partials claiming the same
+    ``(section, bench id)`` is a configuration error (two bench files
+    registering the same summary key) and raises ``ValueError`` rather
+    than letting scheduling decide the winner.
+    """
+    collected: Dict[str, dict] = {}
+    owners: Dict[Tuple[str, str], str] = {}
+    for partial in sorted(partials, key=lambda p: str(p.get("suite", ""))):
+        suite = str(partial.get("suite", "?"))
+        for section in sorted(partial.get("sections", {})):
+            entries = partial["sections"][section]
+            target = collected.setdefault(section, {})
+            for name in sorted(entries):
+                claim = (section, name)
+                if claim in owners and owners[claim] != suite:
+                    raise ValueError(
+                        f"duplicate bench id {name!r} in section "
+                        f"{section!r}: claimed by both {owners[claim]} "
+                        f"and {suite}")
+                owners[claim] = suite
+                target[name] = entries[name]
+    return collected

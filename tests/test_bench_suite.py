@@ -1,0 +1,181 @@
+"""The benchmark-suite merge layer (``repro.obs.suite``).
+
+The parallel driver (``benchmarks/run_suite.py``) runs bench files in
+separate pytest subprocesses and merges their partial artifacts into
+one ``BENCH_SUMMARY.json`` + at most one history record.  These tests
+pin the properties the driver relies on: order-independent merges,
+loud duplicate detection, timing re-stamping, and the
+single-history-append policy.
+"""
+
+import itertools
+import json
+
+import pytest
+
+from repro.obs.history import read_history
+from repro.obs.schema import SCHEMA_VERSION
+from repro.obs.suite import (
+    load_partial,
+    load_sections,
+    merge_collected,
+    merge_partials,
+    render_summary,
+    write_partial,
+    write_summary,
+)
+
+
+def _partial(suite, sections):
+    return {"schema_version": SCHEMA_VERSION, "kind": "bench_partial",
+            "suite": suite, "sections": sections}
+
+
+PARTIALS = [
+    _partial("bench_speedups", {
+        "workloads": {"minmax": {"cycles": 100},
+                      "bitcount": {"cycles": 200}},
+    }),
+    _partial("bench_throughput", {
+        "timing": {"host": {"kcycles_per_sec": 320.0}},
+    }),
+    _partial("bench_registerfile", {
+        "models": {"registerfile_chips": {"minimum_chips": 32}},
+    }),
+    _partial("bench_sync_profile", {
+        "sync": {"fig11_bitcount": {"wait_edges": 12}},
+        "timing": {"sync overhead": {"overhead_vs_bare": 1.1}},
+    }),
+]
+
+
+class TestMergePartials:
+    def test_order_independent(self):
+        """Worker completion order must not change the merged result."""
+        baseline = merge_partials(PARTIALS)
+        for ordering in itertools.permutations(PARTIALS):
+            assert merge_partials(list(ordering)) == baseline
+
+    def test_sections_combine_across_files(self):
+        collected = merge_partials(PARTIALS)
+        assert set(collected) == {"workloads", "timing", "models",
+                                  "sync"}
+        assert set(collected["workloads"]) == {"minmax", "bitcount"}
+        # timing entries from different files coexist in one section
+        assert set(collected["timing"]) == {"host", "sync overhead"}
+
+    def test_duplicate_bench_id_raises(self):
+        clash = PARTIALS + [_partial("bench_rogue", {
+            "workloads": {"minmax": {"cycles": 999}},
+        })]
+        with pytest.raises(ValueError, match="duplicate bench id "
+                                             "'minmax'"):
+            merge_partials(clash)
+
+    def test_same_suite_reloaded_twice_is_not_a_clash(self):
+        """Re-reading one file's partial twice is idempotent, not a
+        duplicate claim."""
+        twice = [PARTIALS[0], PARTIALS[0]]
+        assert merge_partials(twice) == merge_partials([PARTIALS[0]])
+
+    def test_empty(self):
+        assert merge_partials([]) == {}
+
+
+class TestPartialRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "bench_speedups.json"
+        write_partial(path, PARTIALS[0]["sections"])
+        artifact = load_partial(path)
+        assert artifact["kind"] == "bench_partial"
+        assert artifact["suite"] == "bench_speedups"
+        assert artifact["sections"] == PARTIALS[0]["sections"]
+
+    def test_load_rejects_non_partial(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"kind": "bench_summary"}))
+        with pytest.raises(ValueError, match="not a bench_partial"):
+            load_partial(path)
+
+
+class TestWriteSummary:
+    def test_merges_over_previous_and_restamps_timing(self, tmp_path):
+        summary_path = tmp_path / "BENCH_SUMMARY.json"
+        write_summary(summary_path, {
+            "workloads": {"minmax": {"cycles": 100}},
+            "models": {"chips": {"n": 32}},
+            "timing": {"host": {"kcycles_per_sec": 100.0}},
+        })
+        # a later partial run: refreshes one section, new timing
+        write_summary(summary_path, {
+            "workloads": {"bitcount": {"cycles": 200}},
+            "timing": {"codegen": {"specialized_over_fast": 2.1}},
+        })
+        summary = json.loads(summary_path.read_text())
+        assert summary["kind"] == "bench_summary"
+        # untouched section survives, refreshed section merged
+        assert summary["models"] == {"chips": {"n": 32}}
+        assert set(summary["workloads"]) == {"minmax", "bitcount"}
+        # stale wall-clock timing dropped, only the fresh run's kept
+        assert set(summary["timing"]) == {"codegen"}
+
+    def test_history_appended_once_and_only_for_workloads(self, tmp_path):
+        summary_path = tmp_path / "BENCH_SUMMARY.json"
+        history_path = tmp_path / "BENCH_HISTORY.jsonl"
+        # no workloads section -> no history record
+        write_summary(summary_path, {"models": {"chips": {"n": 32}}},
+                      history_path=history_path, git_sha="abc")
+        assert not history_path.exists()
+        # workloads refreshed -> exactly one record
+        write_summary(summary_path,
+                      merge_partials(PARTIALS),
+                      history_path=history_path, git_sha="abc")
+        records = read_history(history_path)
+        assert len(records) == 1
+        assert records[0]["git_sha"] == "abc"
+        assert "minmax" in records[0]["sections"]["workloads"]
+
+    def test_empty_collected_is_a_noop(self, tmp_path):
+        summary_path = tmp_path / "BENCH_SUMMARY.json"
+        assert write_summary(summary_path, {}) == {}
+        assert not summary_path.exists()
+
+    def test_load_sections_drops_bookkeeping(self, tmp_path):
+        summary_path = tmp_path / "BENCH_SUMMARY.json"
+        write_summary(summary_path, merge_partials(PARTIALS))
+        sections = load_sections(summary_path)
+        assert "schema_version" not in sections
+        assert "timing" not in sections
+        assert "workloads" in sections
+
+    def test_merge_collected_layering(self):
+        sections, timing = merge_collected(
+            {"workloads": {"minmax": {"cycles": 2}},
+             "timing": {"host": {"rate": 1.0}}},
+            previous_sections={"workloads": {"minmax": {"cycles": 1},
+                                             "old": {"cycles": 9}}})
+        assert sections["workloads"]["minmax"] == {"cycles": 2}
+        assert sections["workloads"]["old"] == {"cycles": 9}
+        assert timing == {"host": {"rate": 1.0}}
+
+    def test_render_summary_shape(self):
+        summary = render_summary({"workloads": {}},
+                                 {"host": {"rate": 1.0}})
+        assert summary["schema_version"] == SCHEMA_VERSION
+        assert summary["kind"] == "bench_summary"
+        assert summary["timing"] == {"host": {"rate": 1.0}}
+
+
+class TestDriverDiscovery:
+    def test_discovers_the_suite(self):
+        import importlib.util
+        import pathlib
+        repo = pathlib.Path(__file__).parent.parent
+        spec = importlib.util.spec_from_file_location(
+            "run_suite", repo / "benchmarks" / "run_suite.py")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        names = [path.name for path in module.discover_benchmarks()]
+        assert "bench_ex2_minmax.py" in names
+        assert "bench_codegen_throughput.py" in names
+        assert names == sorted(names)

@@ -1,6 +1,7 @@
-"""Differential tests for the pre-decoded fast engine.
+"""Differential tests for the fast and specialized engines.
 
-The fast engine (``repro.machine.engine``) promises *bit-identical*
+The fast engine (``repro.machine.engine``) and the specializing code
+generator (``repro.machine.codegen``) promise *bit-identical*
 committed state to the reference ``step()`` interpreter: cycle counts,
 registers, final PCs, every stats field — including the chronological
 insertion order of the ``per_opcode``/``per_fu_ops`` dicts, whose
@@ -47,6 +48,7 @@ from repro.machine import (
     fast_path_eligible,
     prototype_config,
     research_config,
+    specialized_eligible,
 )
 from repro.obs import Observer, RunReport, observed, recording_observer
 from repro.workloads import (
@@ -164,20 +166,27 @@ def _run(make, engine, limit):
 
 
 def assert_identical(make, limit=5_000_000):
-    """Run *make()* under both engines; demand bit-identical outcomes.
+    """Run *make()* under every engine; demand bit-identical outcomes.
 
     Successful runs must match on every committed observable.  Runs
     that raise must raise the same exception type and message under
-    both engines; post-exception aggregate state is documented as
-    unspecified and is not compared.
+    every engine; post-exception aggregate state is documented as
+    unspecified and is not compared.  The specialized engine joins the
+    comparison whenever the machine is eligible for it (three-way);
+    reference vs fast is always checked.
     """
     ref_machine, ref, ref_err = _run(make, "reference", limit)
-    fast_machine, fast, fast_err = _run(make, "fast", limit)
-    assert fast_err == ref_err
-    if ref_err is None:
-        assert _result_fingerprint(fast) == _result_fingerprint(ref)
-        assert (_machine_fingerprint(fast_machine)
-                == _machine_fingerprint(ref_machine))
+    engines = ["fast"]
+    if specialized_eligible(make()):
+        engines.append("specialized")
+    for engine in engines:
+        machine, result, err = _run(make, engine, limit)
+        assert err == ref_err, engine
+        if ref_err is None:
+            assert (_result_fingerprint(result)
+                    == _result_fingerprint(ref)), engine
+            assert (_machine_fingerprint(machine)
+                    == _machine_fingerprint(ref_machine)), engine
 
 
 # ---------------------------------------------------------------------------
@@ -275,8 +284,9 @@ class TestMidRunResume:
     over a machine that already executed reference cycles (including a
     partially-filled write pipeline under write_latency > 1)."""
 
+    @pytest.mark.parametrize("engine", ["fast", "specialized"])
     @pytest.mark.parametrize("config", [None, "prototype"])
-    def test_step_then_fast_matches_reference(self, config):
+    def test_step_then_engine_matches_reference(self, config, engine):
         def make():
             cfg = None
             if config == "prototype":
@@ -290,8 +300,8 @@ class TestMidRunResume:
         resumed = make()
         for _ in range(5):
             resumed.step()
-        result = resumed.run(100_000, engine="fast")
-        assert resumed.engine_used == "fast"
+        result = resumed.run(100_000, engine=engine)
+        assert resumed.engine_used == engine
         assert result.cycles == reference.cycles
         assert result.registers == reference.registers
         assert tuple(result.final_pcs) == tuple(reference.final_pcs)
@@ -335,7 +345,7 @@ class TestTelemetryDifferential:
     def test_counter_telemetry_bit_identical(self, name):
         machines = {}
         snaps = {}
-        for engine in ("reference", "fast"):
+        for engine in ("reference", "fast", "specialized"):
             obs = Observer()
             with observed(obs):
                 machine = PAPER_WORKLOADS[name]()
@@ -343,11 +353,12 @@ class TestTelemetryDifferential:
             assert machine.engine_used == engine
             machines[engine] = machine
             snaps[engine] = _telemetry_snapshot(obs)
-        assert snaps["fast"] == snaps["reference"]
-        assert (_counters_fingerprint(machines["fast"])
-                == _counters_fingerprint(machines["reference"]))
-        assert (_machine_fingerprint(machines["fast"])
-                == _machine_fingerprint(machines["reference"]))
+        for engine in ("fast", "specialized"):
+            assert snaps[engine] == snaps["reference"], engine
+            assert (_counters_fingerprint(machines[engine])
+                    == _counters_fingerprint(machines["reference"])), engine
+            assert (_machine_fingerprint(machines[engine])
+                    == _machine_fingerprint(machines["reference"])), engine
 
     @pytest.mark.parametrize("name", ["minmax-ximd", "tproc-vliw"])
     def test_counter_telemetry_prototype_config(self, name):
@@ -355,7 +366,7 @@ class TestTelemetryDifferential:
         make = PAPER_WORKLOADS[name]
         width = make().program.width
         snaps = {}
-        for engine in ("reference", "fast"):
+        for engine in ("reference", "fast", "specialized"):
             obs = Observer()
             with observed(obs):
                 machine = make(config=prototype_config(width))
@@ -363,6 +374,7 @@ class TestTelemetryDifferential:
             assert machine.engine_used == engine
             snaps[engine] = _telemetry_snapshot(obs)
         assert snaps["fast"] == snaps["reference"]
+        assert snaps["specialized"] == snaps["reference"]
 
     def test_sampling_never_thins_counters(self):
         """Tier-1 sampling thins the event stream only: the registry
@@ -390,13 +402,14 @@ class TestTelemetryDifferential:
                     None, SyncValue.BUSY)],
         ])
         errors = {}
-        for engine in ("reference", "fast"):
+        for engine in ("reference", "fast", "specialized"):
             machine = XimdMachine(program, config=_lenient(2))
             try:
                 machine.run(64, engine=engine)
             except MachineError as exc:
                 errors[engine] = (type(exc).__name__, str(exc))
         assert errors["fast"] == errors["reference"]
+        assert errors["specialized"] == errors["reference"]
         assert errors["reference"][0] == "MemoryError_"
 
 
@@ -435,37 +448,52 @@ class TestFallback:
         machine.run(1_000)
         assert machine.engine_used == "reference"
 
-    def test_counter_only_observer_stays_fast(self):
-        """Tier-0: an enabled observer with no sinks costs nothing the
-        fast engine cannot account natively."""
+    def test_counter_only_observer_specializes(self):
+        """Tier-0: an enabled observer with no sinks folds into inline
+        counter bumps in the generated loop."""
         machine = _tproc(obs=Observer())
         assert machine.obs.enabled
         assert fast_path_blockers(machine) == []
         machine.run(1_000)
-        assert machine.engine_used == "fast"
+        assert machine.engine_used == "specialized"
 
-    def test_full_tracing_observer_forces_reference(self):
-        """Tier-2: sinks at sample_every=1 need the reference path's
-        per-cycle event stream."""
+    def test_full_tracing_ring_buffer_stays_fast(self):
+        """Tier-2 into ring buffers runs fast: events are chunk-buffered
+        and flushed into the sink deques at stride boundaries."""
         machine = _tproc(obs=recording_observer())
         assert machine.obs.sinks
+        assert fast_path_blockers(machine) == []
+        machine.run(1_000)
+        assert machine.engine_used == "fast"
+
+    def test_full_tracing_non_ring_sink_forces_reference(self):
+        """Tier-2 into a sink with per-event side effects (JSONL) still
+        needs the reference path's per-cycle emission."""
+        import io
+
+        from repro.obs import JsonlSink
+
+        machine = _tproc(obs=Observer(JsonlSink(io.StringIO())))
+        blockers = fast_path_blockers(machine)
+        assert any("non-ring-buffer" in blocker for blocker in blockers)
         machine.run(1_000)
         assert machine.engine_used == "reference"
 
-    def test_sampled_tracing_observer_stays_fast(self):
-        """Tier-1: sinks with sample_every > 1 are fast-eligible."""
+    def test_sampled_tracing_observer_specializes(self):
+        """Tier-1: sinks with sample_every > 1 fold into a single
+        modulo guard in the generated loop."""
         machine = _tproc(obs=recording_observer(sample_every=8))
         assert machine.obs.sinks
         machine.run(1_000)
-        assert machine.engine_used == "fast"
+        assert machine.engine_used == "specialized"
 
-    def test_devices_stay_fast(self):
+    def test_devices_specialize(self):
         devices, *_ports = make_devices([(0, 1)], [(0, 2)])
         machine = _fresh(XimdMachine, tproc_source(), _TPROC_REGS,
                          devices=devices)
         assert fast_path_blockers(machine) == []
         machine.run(1_000)
-        assert machine.engine_used == "fast"
+        assert machine.engine_used == "specialized"
 
     @pytest.mark.parametrize("override", [{"max_read_ports": 4},
                                           {"max_write_ports": 2}])
@@ -690,24 +718,24 @@ class TestDeviceDifferential:
     def test_iosync_telemetry_and_io_section_identical(self):
         machines = {}
         snaps = {}
-        for engine in ("reference", "fast"):
+        for engine in ("reference", "fast", "specialized"):
             obs = Observer()
             machine = _iosync_machine(obs=obs)
             machine.run(1_000_000, engine=engine)
             assert machine.engine_used == engine
             machines[engine] = machine
             snaps[engine] = _telemetry_snapshot(obs)
-        assert snaps["fast"] == snaps["reference"]
-        assert (_counters_fingerprint(machines["fast"])
-                == _counters_fingerprint(machines["reference"]))
-        fast_io = RunReport.from_machine(machines["fast"]).io
         ref_io = RunReport.from_machine(machines["reference"]).io
-        assert fast_io == ref_io
-        assert fast_io["reads"] > 0 and fast_io["writes"] > 0
+        for engine in ("fast", "specialized"):
+            assert snaps[engine] == snaps["reference"], engine
+            assert (_counters_fingerprint(machines[engine])
+                    == _counters_fingerprint(machines["reference"])), engine
+            assert RunReport.from_machine(machines[engine]).io == ref_io
+        assert ref_io["reads"] > 0 and ref_io["writes"] > 0
 
     def test_iosync_sampled_events_identical(self):
         events = {}
-        for engine in ("reference", "fast"):
+        for engine in ("reference", "fast", "specialized"):
             obs = recording_observer(sample_every=4)
             machine = _iosync_machine(obs=obs)
             machine.run(1_000_000, engine=engine)
@@ -715,6 +743,7 @@ class TestDeviceDifferential:
             events[engine] = [dataclasses.asdict(event)
                               for event in obs.sinks[0].events]
         assert events["fast"] == events["reference"]
+        assert events["specialized"] == events["reference"]
 
     def test_write_to_input_port_raises_identically(self):
         def make():
@@ -727,8 +756,9 @@ class TestDeviceDifferential:
                                devices=devices)
 
         assert_identical(make, limit=16)
-        machine, _, error = _run(make, "fast", 16)
-        assert error == ("OSError", "InputPort is read-only")
+        for engine in ("fast", "specialized"):
+            machine, _, error = _run(make, engine, 16)
+            assert error == ("OSError", "InputPort is read-only")
 
     def test_read_from_output_port_raises_identically(self):
         def make():
@@ -741,8 +771,9 @@ class TestDeviceDifferential:
                                devices=devices)
 
         assert_identical(make, limit=16)
-        machine, _, error = _run(make, "fast", 16)
-        assert error == ("OSError", "OutputPort is write-only")
+        for engine in ("fast", "specialized"):
+            machine, _, error = _run(make, engine, 16)
+            assert error == ("OSError", "OutputPort is write-only")
 
     def test_device_outside_memory_range_reachable(self):
         """Device lookup precedes the bounds check, so a port above

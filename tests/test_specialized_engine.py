@@ -1,0 +1,222 @@
+"""The specializing code generator: eligibility, caching, fallback.
+
+The three-way differential identity (reference vs fast vs specialized)
+lives in ``tests/test_engine.py``; this file pins the machinery around
+the generated loops:
+
+* ``engine="specialized"`` raises with a named blocker list whenever
+  the tier is unavailable, and ``engine="auto"`` falls back
+  specialized → fast → reference transparently with ``engine_used``
+  reporting the choice;
+* compiled runners are cached on the program, keyed on the config and
+  telemetry fingerprint, and the cache is dropped when (and only
+  when) the program's columns are mutated — a late label addition
+  must *not* throw away a hot compiled loop, a column edit must;
+* the generated source itself is inspectable and structurally folds
+  the telemetry tier (no observer code at tier 0).
+"""
+
+import io
+
+import pytest
+
+from repro.asm import assemble
+from repro.isa import Const, DataOp, Parcel, Reg, SyncValue
+from repro.isa.opcodes import OPCODES
+from repro.machine import (
+    MAX_SPECIALIZED_SLOTS,
+    MachineError,
+    Program,
+    TrackerKind,
+    VliwMachine,
+    XimdMachine,
+    research_config,
+    specialized_eligible,
+    specialized_path_blockers,
+    specialized_source,
+)
+from repro.machine.codegen import specialized_runner
+from repro.machine.engine import refresh_program_caches
+from repro.obs import JsonlSink, Observer, recording_observer
+from repro.workloads import TPROC_REGS, tproc_source
+
+_TPROC_REGS = {TPROC_REGS[n]: v for n, v in zip("abcd", (5, 6, 7, 8))}
+
+
+def _tproc(**kwargs):
+    machine = XimdMachine(assemble(tproc_source()), **kwargs)
+    for index, value in _TPROC_REGS.items():
+        machine.regfile.poke(index, value)
+    return machine
+
+
+class TestEligibility:
+    def test_default_machine_is_eligible(self):
+        machine = _tproc()
+        assert specialized_eligible(machine)
+        assert specialized_path_blockers(machine) == []
+
+    def test_tracker_blocks_specialization_but_not_fast(self):
+        machine = _tproc(tracker=TrackerKind.EXACT)
+        blockers = specialized_path_blockers(machine)
+        assert any("SSET tracker" in blocker for blocker in blockers)
+        machine.run(1_000)
+        assert machine.engine_used == "fast"
+
+    def test_unsampled_ring_sink_blocks_specialization(self):
+        machine = _tproc(obs=recording_observer())
+        blockers = specialized_path_blockers(machine)
+        assert any("unsampled event tracing" in blocker
+                   for blocker in blockers)
+        machine.run(1_000)
+        assert machine.engine_used == "fast"
+
+    def test_fast_blockers_are_inherited(self):
+        """Everything the fast engine refuses, specialized refuses."""
+        machine = _tproc(obs=Observer(JsonlSink(io.StringIO())))
+        fast_only = {"trace": _tproc(trace=True), "non-ring": machine}
+        for name, blocked in fast_only.items():
+            blockers = specialized_path_blockers(blocked)
+            assert blockers, name
+            blocked.run(1_000)
+            assert blocked.engine_used == "reference", name
+
+    def test_oversized_program_blocked(self):
+        nop = OPCODES["nop"]
+        column = [Parcel(DataOp(nop), None, SyncValue.DONE)
+                  for _ in range(MAX_SPECIALIZED_SLOTS + 1)]
+        machine = XimdMachine(
+            Program([column]),
+            config=research_config(1, max_cycles=1 << 20))
+        blockers = specialized_path_blockers(machine)
+        assert any("too large to specialize" in blocker
+                   for blocker in blockers)
+        machine.run()
+        assert machine.engine_used == "fast"
+
+    def test_explicit_specialized_raises_with_blockers(self):
+        machine = _tproc(tracker=TrackerKind.EXACT)
+        with pytest.raises(MachineError,
+                           match="specialized engine unavailable: "
+                                 ".*SSET tracker"):
+            machine.run(1_000, engine="specialized")
+
+    def test_unknown_engine_still_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            _tproc().run(1_000, engine="warp")
+
+    def test_explicit_specialized_runs(self):
+        for machine in (_tproc(), VliwMachine(assemble(tproc_source()))):
+            for index, value in _TPROC_REGS.items():
+                machine.regfile.poke(index, value)
+            machine.run(10_000, engine="specialized")
+            assert machine.engine_used == "specialized"
+
+
+class TestRunnerCache:
+    def test_runner_cached_across_runs(self):
+        """The cache lives on the program object: fresh machines over
+        the same (unmutated) program reuse the compiled loop."""
+        program = assemble(tproc_source())
+        machine = XimdMachine(program)
+        runner = specialized_runner(machine, "ximd")
+        machine.run(10_000)
+        assert machine.engine_used == "specialized"
+        assert specialized_runner(XimdMachine(program),
+                                  "ximd") is runner
+
+    def test_cache_keyed_on_telemetry_tier(self):
+        program = assemble(tproc_source())
+        tier0 = XimdMachine(program, obs=Observer())
+        tier1 = XimdMachine(program,
+                            obs=recording_observer(sample_every=8))
+        bare = XimdMachine(program)
+        runners = {specialized_runner(machine, "ximd")
+                   for machine in (bare, tier0, tier1)}
+        assert len(runners) == 3
+
+    def test_cache_keyed_on_config(self):
+        program = assemble(tproc_source())
+        width = program.width
+        plain = XimdMachine(program)
+        latched = XimdMachine(
+            program, config=research_config(width, write_latency=2))
+        assert (specialized_runner(plain, "ximd")
+                is not specialized_runner(latched, "ximd"))
+
+    def test_column_edit_invalidates_compiled_loop(self):
+        """Mutating a parcel after a cached run must recompile; the
+        recompiled loop must execute the *new* program."""
+
+        def inc_parcel(amount):
+            return Parcel(
+                DataOp(OPCODES["iadd"], Reg(0), Const(amount), Reg(0)),
+                None, SyncValue.DONE)
+
+        program = Program([[inc_parcel(1)]])
+        config = research_config(1)
+        first = XimdMachine(program, config=config)
+        first.run(100)
+        assert first.engine_used == "specialized"
+        assert first.regfile.snapshot()[0] == 1
+        stale = specialized_runner(
+            XimdMachine(program, config=config), "ximd")
+
+        program.columns[0][0] = inc_parcel(7)
+        second = XimdMachine(program, config=config)
+        fresh = specialized_runner(second, "ximd")
+        assert fresh is not stale
+        second.run(100)
+        assert second.engine_used == "specialized"
+        assert second.regfile.snapshot()[0] == 7
+
+    def test_late_label_addition_keeps_compiled_loop(self):
+        """Labels are lookup metadata, not executed state: adding one
+        after a run must not drop the codegen cache."""
+        program = assemble(tproc_source())
+        runner = specialized_runner(XimdMachine(program), "ximd")
+        program.labels["late"] = 0
+        assert specialized_runner(XimdMachine(program),
+                                  "ximd") is runner
+
+    def test_decode_cache_shares_invalidation(self):
+        """The decode cache and codegen cache invalidate together."""
+        program = assemble(tproc_source())
+        decoded, codegen = refresh_program_caches(program)
+        specialized_runner(XimdMachine(program), "ximd")
+        assert codegen
+        program.columns[0][0] = None
+        decoded_after, codegen_after = refresh_program_caches(program)
+        assert decoded_after is not decoded
+        assert codegen_after == {}
+
+
+class TestGeneratedSource:
+    def test_source_attached_to_runner(self):
+        machine = _tproc()
+        runner = specialized_runner(machine, "ximd")
+        assert runner._source == specialized_source(machine, "ximd")
+        assert "def _runner(machine, limit):" in runner._source
+
+    def test_tier0_source_has_no_event_emission(self):
+        """The telemetry tier is folded at generation time: a tier-0
+        (counter-only) loop contains no emit calls and no sampling
+        guard; a tier-1 loop contains exactly the modulo guard."""
+        tier0 = specialized_source(_tproc(obs=Observer()), "ximd")
+        assert "emit_fn" not in tier0
+        assert "cycle %" not in tier0
+        tier1 = specialized_source(
+            _tproc(obs=recording_observer(sample_every=8)), "ximd")
+        assert "emit_fn" in tier1
+        assert "not cycle % 8" in tier1
+
+    def test_obs_off_source_has_no_counters(self):
+        source = specialized_source(_tproc(), "ximd")
+        assert "class_counts" not in source
+        assert "wait_matrix" not in source
+        assert "emit_fn" not in source
+
+    def test_vliw_source_compiles(self):
+        source = specialized_source(
+            VliwMachine(assemble(tproc_source())), "vliw")
+        compile(source, "<test>", "exec")

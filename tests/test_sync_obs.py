@@ -304,7 +304,7 @@ class TestIoSection:
         obs = Observer()
         machine = _iosync(obs=obs)
         machine.run(1_000_000)
-        assert machine.engine_used == "fast"  # devices run natively
+        assert machine.engine_used == "specialized"  # devices run natively
         metrics = obs.registry.to_dict()
         port_metrics = {name for name in metrics
                         if ".port" in name and name.endswith(".reads")}

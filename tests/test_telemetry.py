@@ -91,13 +91,14 @@ class TestSampledTracing:
     @pytest.mark.parametrize("factory", [_minmax, _bitcount_vliw],
                              ids=["ximd", "vliw"])
     def test_sample_every_one_is_unsampled_reference(self, factory):
-        """``sample_every=1`` must reproduce the tier-2 stream (which
-        forces the reference engine) event for event."""
+        """``sample_every=1`` into a ring buffer runs on the fast path
+        (chunk-buffered emission) yet must reproduce the reference
+        tier-2 stream event for event."""
         _, full = _run_traced(factory, "reference")
         obs = recording_observer(sample_every=1)
         machine = factory(obs=obs)
         machine.run(1_000_000)
-        assert machine.engine_used == "reference"
+        assert machine.engine_used == "fast"
         assert _event_dicts(obs.sinks[0].events) == _event_dicts(full)
 
     @pytest.mark.parametrize("factory", [_minmax, _bitcount_vliw],
