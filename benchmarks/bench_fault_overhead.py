@@ -1,0 +1,160 @@
+"""E19 — what robustness costs when nothing goes wrong.
+
+The run driver executes every program in segments so it can inject
+scheduled faults and diagnose hangs at segment boundaries
+(``repro.machine.runtime``).  The design claim is that a zero-fault
+run pays essentially nothing for that machinery: segment boundaries
+fall at geometrically spaced check cycles (O(log cycles) of them), so
+the hot loops of all three engines run exactly as before.  This
+benchmark prices the claim on the synthetic long-runner:
+
+* ``bare``      — hang detection off (one segment to the limit: the
+  pre-robustness driver shape);
+* ``watchful``  — the default config, deadlock/livelock checks armed;
+* ``faulted``   — a seeded 12-event :class:`~repro.faults.FaultPlan`
+  (deterministic advisory numbers, not a timing row).
+
+The hard assertion: the watchful run must stay within
+:data:`HANG_MAX_OVERHEAD` of the bare run on the specialized engine.
+Wall-clock rates land in the warn-only ``timing`` section; the
+deterministic fault-run facts (cycles, faults applied — identical on
+every host) land in the advisory ``faults`` section for the diff
+engine to track.
+"""
+
+import time
+
+from repro.analysis import render_table
+from repro.faults import FaultPlan
+from repro.machine import XimdMachine, research_config
+from repro.workloads import longrunner_program
+
+LONGRUNNER_ITERATIONS = 20_000
+
+#: Accumulate at least this much wall time per configuration.
+MIN_MEASURE_SECONDS = 0.25
+
+#: Hard ceiling on the hang monitor's zero-fault overhead over a
+#: detection-off run of the same engine.  The checks run O(log cycles)
+#: times, so anything above a few percent is a structural regression
+#: (e.g. a check sneaking into the per-cycle path).
+HANG_MAX_OVERHEAD = 1.05
+
+#: One program shared across repetitions, so the per-program compiled
+#: loop is reused instead of re-generated every run.
+_PROGRAM, _REGISTERS = longrunner_program(
+    iterations=LONGRUNNER_ITERATIONS)
+
+#: The chaos plan: memory and sync faults only.  Register flips are
+#: deliberately excluded — one landing on the long-runner's loop
+#: counter turns the 60k-cycle run into a billion-cycle one, and this
+#: benchmark prices overhead, not recovery (the chaos suites in
+#: tests/test_faults.py cover counter-mangling plans).
+_PLAN = FaultPlan.seeded(19, 12, mean_gap=400.0,
+                         kinds=["mem_corrupt", "ss_glitch",
+                                "spurious_wakeup"])
+
+
+def _longrunner(config=None):
+    machine = XimdMachine(_PROGRAM, config=config)
+    for index, value in _REGISTERS.items():
+        machine.regfile.poke(index, value)
+    return machine
+
+
+def _bare_config():
+    return research_config(_PROGRAM.width, hang_detection=False)
+
+
+def _measure(make, min_time=MIN_MEASURE_SECONDS, faults=None):
+    """Simulated cycles per host second for one driver configuration.
+
+    One untimed warm-up run first, so the timed window never includes
+    per-program decode or loop compilation."""
+    machine = make()
+    machine.run(10_000_000, faults=faults)
+    assert machine.engine_used == "specialized", (
+        f"expected specialized, ran {machine.engine_used}")
+    total_cycles = 0
+    elapsed = 0.0
+    while elapsed < min_time:
+        machine = make()
+        start = time.perf_counter()
+        result = machine.run(10_000_000, faults=faults)
+        elapsed += time.perf_counter() - start
+        total_cycles += result.cycles
+    return total_cycles / elapsed
+
+
+def _bench_body():
+    return _longrunner().run(10_000_000).cycles
+
+
+def test_fault_overhead(benchmark, record_table, record_json,
+                        bench_summary):
+    benchmark(_bench_body)
+
+    rates = {
+        "bare (hang detection off)": _measure(
+            lambda: _longrunner(_bare_config())),
+        "watchful (default)": _measure(_longrunner),
+        "faulted (12-event plan)": _measure(_longrunner, faults=_PLAN),
+    }
+    baseline = rates["bare (hang detection off)"]
+
+    rows = []
+    payload = {}
+    for name, rate in rates.items():
+        overhead = baseline / rate if rate else 0.0
+        stats = {
+            "engine": "specialized",
+            "kcycles_per_sec": round(rate / 1000, 3),
+            "overhead_vs_bare": round(overhead, 3),
+        }
+        rows.append([name, stats["kcycles_per_sec"],
+                     stats["overhead_vs_bare"]])
+        payload[name] = stats
+        bench_summary(f"fault overhead: {name}", stats,
+                      section="timing")
+
+    # the deterministic face of the same run: identical on every host
+    # and every engine, so it can gate via the advisory faults section
+    faulted = _longrunner()
+    result = faulted.run(10_000_000, faults=_PLAN)
+    clean_cycles = _longrunner().run(10_000_000).cycles
+    masked = sum(1 for record in faulted.fault_log
+                 if "masked" in record)
+    facts = {
+        "plan_fingerprint": _PLAN.fingerprint(),
+        "faults_applied": len(faulted.fault_log),
+        "faults_masked": masked,
+        "clean_cycles": clean_cycles,
+        "faulted_cycles": result.cycles,
+        "halted": result.halted,
+    }
+    record_json("fault_overhead", {"timing": payload, "faults": facts})
+    bench_summary("longrunner chaos", facts, section="faults")
+
+    table = render_table(
+        ["configuration", "kcy/s", "overhead (x)"],
+        rows, title="E19: fault/hang machinery overhead on the "
+                    "long-runner (wall clock — warn-only)")
+    record_table("fault_overhead",
+                 table + "\n\nseeded plan " + facts["plan_fingerprint"]
+                 + f": {facts['faults_applied']} faults "
+                 f"({facts['faults_masked']} masked), "
+                 f"{facts['clean_cycles']} -> "
+                 f"{facts['faulted_cycles']} cycles")
+
+    # timing, so re-measure before believing a failure — a noisy host
+    # beats the generous bound only transiently, and the budget holds
+    # if ANY paired measurement lands inside it
+    watchful = payload["watchful (default)"]["overhead_vs_bare"]
+    for _ in range(2):
+        if watchful <= HANG_MAX_OVERHEAD:
+            break
+        baseline = _measure(lambda: _longrunner(_bare_config()))
+        watchful = baseline / _measure(_longrunner)
+    assert watchful <= HANG_MAX_OVERHEAD, (
+        f"zero-fault hang-monitor overhead {watchful:.3f}x exceeds "
+        f"the {HANG_MAX_OVERHEAD}x budget over a detection-off run")

@@ -30,6 +30,7 @@ import pathlib
 
 import pytest
 
+from repro.obs.ioutil import atomic_write_text
 from repro.obs.schema import SCHEMA_VERSION
 from repro.obs.suite import write_partial, write_summary
 
@@ -45,7 +46,7 @@ def record_table():
 
     def record(name: str, text: str) -> None:
         path = RESULTS_DIR / f"{name}.txt"
-        path.write_text(text + "\n")
+        atomic_write_text(path, text + "\n")
         print(f"\n[{name}]\n{text}")
 
     return record
@@ -69,8 +70,9 @@ def record_json():
             "name": name,
             "data": payload,
         }
-        path.write_text(json.dumps(artifact, indent=2, sort_keys=True,
-                                   default=str) + "\n")
+        atomic_write_text(path, json.dumps(artifact, indent=2,
+                                           sort_keys=True,
+                                           default=str) + "\n")
         return path
 
     return record

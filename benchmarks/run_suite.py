@@ -12,22 +12,41 @@ host with spare cores can overlap them.  This driver runs each
 * each worker gets ``$REPRO_BENCH_PARTIAL`` pointing at a per-file
   partial artifact, so the benchmark conftest writes its collected
   sections there instead of racing on ``BENCH_SUMMARY.json``;
+* every subprocess runs under a wall-clock ``--timeout`` (default
+  900 s) — a hung worker is killed instead of wedging the whole
+  suite, which is the driver-level complement to the in-simulator
+  hang detection (``RunAbort``);
+* failed or timed-out units are retried exactly once (transient
+  flakiness — a noisy-host timing assertion, an OOM-killed worker —
+  should not cost the whole run), and whatever valid partials a
+  failed unit still produced are salvaged into the merge;
 * after all workers finish the driver merges the partials
   deterministically (sorted by suite and bench id — worker completion
   order cannot change the output; duplicate bench ids across files
   are an error) and writes ``BENCH_SUMMARY.json`` plus at most one
   ``BENCH_HISTORY.jsonl`` record, exactly like a serial session.
+  When any unit failed even after its retry, the summary still lands
+  (with a ``suite_health`` section naming the failed / retried /
+  salvaged units) but no history record is appended and the driver
+  exits non-zero.
 
-If any bench file fails, its output is replayed, no summary or
-history is written, and the driver exits non-zero.
+``--with-tests`` additionally shards the hypothesis-heavy
+differential test suites (``tests/test_engine.py`` and
+``tests/test_specialized_engine.py``) across the same worker pool:
+their node ids are collected up front and dealt round-robin into
+``--jobs`` extra pool units, run without ``--benchmark-only``.  The
+serial CI path never does this — plain ``pytest -x -q`` stays the
+deterministic reference schedule.
 
 Usage::
 
-    python benchmarks/run_suite.py [--jobs N] [--keep-partials]
+    python benchmarks/run_suite.py [--jobs N] [--timeout SECONDS]
+                                   [--with-tests] [--keep-partials]
                                    [pytest args...]
 
-Extra arguments are forwarded to every pytest invocation (e.g.
-``-k pattern`` or ``--benchmark-disable`` for a smoke pass).
+Extra arguments are forwarded to every *bench* pytest invocation
+(e.g. ``-k pattern`` or ``--benchmark-disable`` for a smoke pass);
+test shards run with plain ``-q``.
 """
 
 from __future__ import annotations
@@ -56,15 +75,28 @@ from repro.obs.suite import (  # noqa: E402
 SUMMARY_PATH = REPO_ROOT / "BENCH_SUMMARY.json"
 HISTORY_PATH = REPO_ROOT / "BENCH_HISTORY.jsonl"
 
+#: Per-subprocess wall-clock budget, seconds.  Generous: the slowest
+#: bench file finishes in a few minutes even on a cold host; a worker
+#: still running after this long is hung, not slow.
+DEFAULT_TIMEOUT = 900.0
+
+#: Test files whose hypothesis differential suites are worth sharding
+#: across the worker pool under ``--with-tests``.
+SHARDED_TEST_FILES = ("tests/test_engine.py",
+                      "tests/test_specialized_engine.py")
+
 
 def discover_benchmarks(bench_dir: pathlib.Path = BENCH_DIR):
     """The suite's bench files, in deterministic (sorted) order."""
     return sorted(bench_dir.glob("bench_*.py"))
 
 
-def _worker_env(partial: pathlib.Path) -> dict:
+def _worker_env(partial: pathlib.Path = None) -> dict:
     env = dict(os.environ)
-    env["REPRO_BENCH_PARTIAL"] = str(partial)
+    if partial is not None:
+        env["REPRO_BENCH_PARTIAL"] = str(partial)
+    else:
+        env.pop("REPRO_BENCH_PARTIAL", None)
     pythonpath = env.get("PYTHONPATH", "")
     if str(SRC_DIR) not in pythonpath.split(os.pathsep):
         env["PYTHONPATH"] = (str(SRC_DIR) + os.pathsep + pythonpath
@@ -72,73 +104,198 @@ def _worker_env(partial: pathlib.Path) -> dict:
     return env
 
 
-def _run_one(bench: pathlib.Path, partial_dir: pathlib.Path,
-             pytest_args):
-    """Run one bench file in a pytest subprocess; returns its report."""
-    partial = partial_dir / f"{bench.stem}.json"
-    command = [sys.executable, "-m", "pytest", str(bench),
-               "--benchmark-only", "-q", *pytest_args]
-    proc = subprocess.run(command, cwd=REPO_ROOT,
-                          env=_worker_env(partial),
-                          capture_output=True, text=True)
+def _bench_unit(bench: pathlib.Path, pytest_args) -> dict:
     return {
-        "bench": bench,
-        "returncode": proc.returncode,
-        "output": proc.stdout + proc.stderr,
-        "partial": partial,
+        "name": bench.name,
+        "targets": [str(bench)],
+        "args": ["--benchmark-only", "-q", *pytest_args],
+        "partial_stem": bench.stem,
     }
 
 
+def collect_test_shards(shards: int, test_files=None,
+                        repo_root: pathlib.Path = REPO_ROOT):
+    """Deal the differential suites' node ids into *shards* pool units.
+
+    Node ids are collected once up front (``pytest --collect-only -q``)
+    and dealt round-robin, so the split is deterministic for a given
+    tree and shard count.  Collection failure degrades to no shards
+    with a warning rather than failing the bench run.
+    """
+    files = [str(f) for f in (test_files or SHARDED_TEST_FILES)
+             if (repo_root / f).exists()]
+    if not files:
+        return []
+    command = [sys.executable, "-m", "pytest", "--collect-only", "-q",
+               *files]
+    proc = subprocess.run(command, cwd=repo_root, env=_worker_env(),
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        print("run_suite: test collection failed; running without "
+              "--with-tests shards", file=sys.stderr)
+        print(proc.stdout + proc.stderr, file=sys.stderr)
+        return []
+    node_ids = [line.strip() for line in proc.stdout.splitlines()
+                if "::" in line]
+    if not node_ids:
+        return []
+    shards = max(1, shards)
+    dealt = [[] for _ in range(min(shards, len(node_ids)))]
+    for index, node_id in enumerate(node_ids):
+        dealt[index % len(dealt)].append(node_id)
+    return [{
+        "name": f"tests-shard-{index + 1}of{len(dealt)}",
+        "targets": node_ids,
+        "args": ["-q"],
+        "partial_stem": None,
+    } for index, node_ids in enumerate(dealt)]
+
+
+def _text(stream) -> str:
+    if stream is None:
+        return ""
+    if isinstance(stream, bytes):
+        return stream.decode(errors="replace")
+    return stream
+
+
+def _run_unit(unit: dict, partial_dir: pathlib.Path,
+              timeout: float) -> dict:
+    """Run one pool unit in a pytest subprocess; returns its report."""
+    partial = (partial_dir / f"{unit['partial_stem']}.json"
+               if unit["partial_stem"] else None)
+    command = [sys.executable, "-m", "pytest", *unit["targets"],
+               *unit["args"]]
+    try:
+        proc = subprocess.run(
+            command, cwd=REPO_ROOT, env=_worker_env(partial),
+            capture_output=True, text=True,
+            timeout=timeout if timeout and timeout > 0 else None)
+        returncode = proc.returncode
+        output = proc.stdout + proc.stderr
+        timed_out = False
+    except subprocess.TimeoutExpired as exc:
+        returncode = -9
+        output = (_text(exc.stdout) + _text(exc.stderr)
+                  + f"\nrun_suite: {unit['name']} killed after "
+                    f"{timeout:g}s timeout\n")
+        timed_out = True
+    return {"unit": unit, "returncode": returncode, "output": output,
+            "partial": partial, "timed_out": timed_out,
+            "retried": False}
+
+
+def _run_pool(units, partial_dir, timeout, jobs):
+    if jobs <= 1 or len(units) <= 1:
+        return [_run_unit(unit, partial_dir, timeout) for unit in units]
+    # threads only marshal subprocesses; the parallelism is the
+    # per-unit pytest processes themselves
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(
+            lambda unit: _run_unit(unit, partial_dir, timeout), units))
+
+
 def run_suite(jobs: int = 1, pytest_args=(), keep_partials: bool = False,
-              benchmarks=None) -> int:
+              benchmarks=None, timeout: float = DEFAULT_TIMEOUT,
+              with_tests: bool = False,
+              summary_path: pathlib.Path = SUMMARY_PATH,
+              history_path: pathlib.Path = HISTORY_PATH,
+              test_files=None) -> int:
     benchmarks = list(benchmarks if benchmarks is not None
                       else discover_benchmarks())
     if not benchmarks:
         print("run_suite: no bench_*.py files found", file=sys.stderr)
         return 2
+    units = [_bench_unit(bench, pytest_args) for bench in benchmarks]
+    if with_tests:
+        units.extend(collect_test_shards(jobs, test_files=test_files))
 
     partial_dir = pathlib.Path(tempfile.mkdtemp(prefix="bench-partials-"))
     try:
-        if jobs <= 1:
-            reports = [_run_one(bench, partial_dir, pytest_args)
-                       for bench in benchmarks]
-        else:
-            # threads only marshal subprocesses; the parallelism is the
-            # per-file pytest processes themselves
-            with concurrent.futures.ThreadPoolExecutor(
-                    max_workers=jobs) as pool:
-                reports = list(pool.map(
-                    lambda bench: _run_one(bench, partial_dir,
-                                           pytest_args),
-                    benchmarks))
+        reports = _run_pool(units, partial_dir, timeout, jobs)
+
+        # one retry for anything that failed or timed out: transient
+        # flakiness must not cost the whole run, and the retry
+        # overwrites the unit's partial atomically so a stale one
+        # never wins over a fresh success
+        retried_names = []
+        first_failures = [r for r in reports if r["returncode"] != 0]
+        if first_failures:
+            retries = _run_pool([r["unit"] for r in first_failures],
+                                partial_dir, timeout, jobs)
+            by_name = {r["unit"]["name"]: r for r in retries}
+            for index, report in enumerate(reports):
+                if report["returncode"] != 0:
+                    fresh = by_name[report["unit"]["name"]]
+                    fresh["retried"] = True
+                    reports[index] = fresh
+                    retried_names.append(fresh["unit"]["name"])
 
         failed = [r for r in reports if r["returncode"] != 0]
-        # replay outputs in file order, not completion order
+        # replay outputs in unit order, not completion order
         for report in reports:
-            status = ("ok" if report["returncode"] == 0
-                      else f"FAILED (exit {report['returncode']})")
-            print(f"=== {report['bench'].name}: {status} ===")
+            if report["returncode"] == 0:
+                status = "ok" + (" (after retry)" if report["retried"]
+                                 else "")
+            elif report["timed_out"]:
+                status = (f"TIMED OUT after {timeout:g}s"
+                          + (" (after retry)" if report["retried"]
+                             else ""))
+            else:
+                status = (f"FAILED (exit {report['returncode']})"
+                          + (" (after retry)" if report["retried"]
+                             else ""))
+            print(f"=== {report['unit']['name']}: {status} ===")
             if report["returncode"] != 0:
                 print(report["output"])
-        if failed:
-            names = ", ".join(r["bench"].name for r in failed)
-            print(f"run_suite: {len(failed)} file(s) failed ({names}); "
-                  f"summary and history left untouched", file=sys.stderr)
-            return 1
 
-        partials = [load_partial(r["partial"]) for r in reports
-                    if r["partial"].exists()]
+        # salvage: a failed bench session that reached its session-end
+        # hook still wrote a complete partial (writes are atomic, so a
+        # partial either parses or does not exist); fold whatever
+        # survived into the summary rather than discarding it
+        partials, salvaged_names = [], []
+        for report in reports:
+            partial = report["partial"]
+            if partial is None or not partial.exists():
+                continue
+            try:
+                artifact = load_partial(partial)
+            except (ValueError, OSError):
+                continue  # no valid partial to salvage
+            if report["returncode"] != 0:
+                salvaged_names.append(report["unit"]["name"])
+            partials.append(artifact)
         collected = merge_partials(partials)
+
+        failed_names = sorted(r["unit"]["name"] for r in failed)
+        if failed_names or retried_names:
+            health = {}
+            if failed_names:
+                health["failed"] = ", ".join(failed_names)
+            if retried_names:
+                health["retried"] = ", ".join(sorted(retried_names))
+            if salvaged_names:
+                health["salvaged"] = ", ".join(sorted(salvaged_names))
+            collected.setdefault("suite_health", {})["run"] = health
+
         if collected:
-            write_summary(SUMMARY_PATH, collected,
-                          history_path=HISTORY_PATH,
-                          git_sha=os.environ.get("REPRO_GIT_SHA",
-                                                 "local"))
+            # a run with unresolved failures still lands the summary
+            # (so salvaged numbers are not lost) but never appends a
+            # history record — the ledger only records complete runs
+            write_summary(
+                summary_path, collected,
+                history_path=None if failed_names else history_path,
+                git_sha=os.environ.get("REPRO_GIT_SHA", "local"))
             print(f"run_suite: merged {len(partials)} partial(s) into "
-                  f"{SUMMARY_PATH.name}")
+                  f"{pathlib.Path(summary_path).name}")
         else:
             print("run_suite: no summary sections collected "
                   "(benchmark-disabled smoke pass?)")
+
+        if failed_names:
+            print(f"run_suite: {len(failed_names)} unit(s) failed after "
+                  f"retry ({', '.join(failed_names)})", file=sys.stderr)
+            return 1
         return 0
     finally:
         if not keep_partials:
@@ -154,14 +311,24 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", "-j", type=int, default=1,
                         help="bench files to overlap (default: 1, "
                              "serial)")
+    parser.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT,
+                        help="per-subprocess wall-clock limit in "
+                             "seconds; 0 disables (default: "
+                             f"{DEFAULT_TIMEOUT:g})")
+    parser.add_argument("--with-tests", action="store_true",
+                        help="also shard the hypothesis differential "
+                             "test suites across the worker pool")
     parser.add_argument("--keep-partials", action="store_true",
                         help="leave the per-file partial artifacts on "
                              "disk for inspection")
     args, pytest_args = parser.parse_known_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.timeout < 0:
+        parser.error("--timeout must be >= 0")
     return run_suite(jobs=args.jobs, pytest_args=pytest_args,
-                     keep_partials=args.keep_partials)
+                     keep_partials=args.keep_partials,
+                     timeout=args.timeout, with_tests=args.with_tests)
 
 
 if __name__ == "__main__":

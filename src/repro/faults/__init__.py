@@ -1,0 +1,338 @@
+"""Deterministic fault injection for the XIMD/VLIW simulators.
+
+The paper's section 1.3 motivates XIMD with workloads whose timing
+*"is not known"* at compile time — exactly the workloads where a flaky
+peripheral, a flipped bit, or a glitched sync signal turns into a hang
+or a wrong answer that is miserable to reproduce.  This package makes
+such misbehavior a first-class, replayable input: a :class:`FaultPlan`
+is an immutable schedule of :class:`FaultEvent`\\ s pinned to exact
+cycles, and the run driver (:mod:`repro.machine.runtime`) applies each
+event at the boundary *before* its cycle executes, on every engine —
+reference, fast, and specialized — so a seeded fault run is
+bit-identical no matter which execution tier ran it.
+
+Fault kinds:
+
+``reg_flip``
+    XOR one bit of a register's committed value (soft error in the
+    global register file).
+``mem_corrupt``
+    XOR one bit of a data-memory word (DRAM upset).  Addresses claimed
+    by a memory-mapped device are left alone (the event is *masked*):
+    device reads are generated, not stored.
+``port_drop``
+    An :class:`~repro.machine.devices.InputPort` loses its next
+    undelivered value in flight.
+``port_delay``
+    Every undelivered arrival of an input port slips *delay* cycles
+    (a stalled peripheral).
+``ss_glitch``
+    Flip one FU's registered sync signal (XIMD only): a spurious
+    BUSY/DONE observed by registered-SS branches the next cycle.
+``spurious_wakeup``
+    Force one FU's pending sync-conditioned branch to act taken: the
+    FU's PC jumps to the branch's taken target as if its wait
+    completed (XIMD only).
+
+Events that cannot land (halted FU, dry port, VLIW machine for sync
+faults, non-integer register value) are recorded as ``masked`` with a
+reason rather than dropped silently — the fault log stays identical
+across engines either way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..machine.devices import InputPort
+
+#: Every fault kind, in the order :meth:`FaultPlan.seeded` cycles
+#: through them when no explicit subset is requested.
+ALL_KINDS: Tuple[str, ...] = (
+    "reg_flip",
+    "mem_corrupt",
+    "port_drop",
+    "port_delay",
+    "ss_glitch",
+    "spurious_wakeup",
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``cycle`` is the machine cycle *before* which the fault applies:
+    an event at cycle *c* mutates state after cycle ``c - 1`` commits
+    and before cycle *c* executes.  Only the fields relevant to
+    ``kind`` are meaningful; the rest keep their defaults.  Index-like
+    fields (``fu``, ``reg``, ``address``, ``port``, ``bit``) are
+    reduced modulo the machine's actual dimensions at apply time, so
+    one plan is portable across configurations.
+    """
+
+    cycle: int
+    kind: str
+    fu: int = 0
+    reg: int = 0
+    bit: int = 0
+    address: int = 0
+    port: int = 0
+    delay: int = 0
+
+    def __post_init__(self):
+        if self.kind not in ALL_KINDS:
+            raise ValueError(f"unknown fault kind: {self.kind!r} "
+                             f"(expected one of {ALL_KINDS})")
+        if self.cycle < 0:
+            raise ValueError("fault cycle must be >= 0")
+        if self.delay < 0:
+            raise ValueError("fault delay must be >= 0")
+
+    def to_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+class FaultPlan:
+    """An immutable, deterministic schedule of fault events.
+
+    The plan itself is stateless during execution — the run driver
+    keeps its own cursor — so a single plan object can drive the
+    reference, fast, and specialized engines of a differential test
+    without any cross-contamination.
+    """
+
+    def __init__(self, events: Sequence[FaultEvent] = ()):
+        # stable sort: events sharing a cycle keep their listed order,
+        # which is part of the deterministic contract (fault_log order
+        # must match across engines).
+        self.events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda event: event.cycle))
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __repr__(self):
+        return f"FaultPlan({list(self.events)!r})"
+
+    def __eq__(self, other):
+        return (isinstance(other, FaultPlan)
+                and self.events == other.events)
+
+    def __hash__(self):
+        return hash(self.events)
+
+    def fingerprint(self) -> str:
+        """A short stable digest identifying this plan exactly."""
+        payload = repr([event.to_dict() for event in self.events])
+        return hashlib.blake2b(payload.encode(), digest_size=8).hexdigest()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        return cls([FaultEvent(**event) for event in data["events"]])
+
+    @classmethod
+    def seeded(cls, seed: int, n_faults: int, mean_gap: float = 50.0, *,
+               n_fus: int = 8, n_registers: int = 256,
+               memory_words: int = 1 << 16, ports: int = 0,
+               kinds: Optional[Sequence[str]] = None,
+               first_cycle: int = 1) -> "FaultPlan":
+        """A reproducible random plan (the chaos-testing front door).
+
+        Inter-fault gaps are exponentially distributed with mean
+        *mean_gap* (at least one cycle), mirroring
+        :func:`repro.machine.devices.random_input_port`'s arrival
+        model.  Port kinds are drawn only when *ports* > 0.
+        """
+        if n_faults < 0:
+            raise ValueError("n_faults must be >= 0")
+        if first_cycle < 0:
+            raise ValueError("first_cycle must be >= 0")
+        pool = tuple(kinds) if kinds is not None else ALL_KINDS
+        for kind in pool:
+            if kind not in ALL_KINDS:
+                raise ValueError(f"unknown fault kind: {kind!r}")
+        if ports == 0:
+            pool = tuple(kind for kind in pool
+                         if not kind.startswith("port_"))
+        if not pool:
+            raise ValueError("no fault kinds left to draw from")
+        rng = random.Random(seed)
+        events = []
+        cycle = first_cycle
+        for index in range(n_faults):
+            if index:
+                cycle += max(1, int(rng.expovariate(
+                    1.0 / max(mean_gap, 1e-9))))
+            events.append(FaultEvent(
+                cycle=cycle,
+                kind=rng.choice(pool),
+                fu=rng.randrange(n_fus),
+                reg=rng.randrange(n_registers),
+                bit=rng.randrange(32),
+                address=rng.randrange(memory_words),
+                port=rng.randrange(ports) if ports else 0,
+                delay=rng.randrange(1, 32),
+            ))
+        return cls(events)
+
+    # -- application (called by repro.machine.runtime) -------------------
+
+    @staticmethod
+    def apply(machine, event: FaultEvent) -> Dict[str, object]:
+        """Mutate *machine* per *event*; return the fault-log record.
+
+        Pure function of (machine state, event): no plan state is read
+        or written, so the same plan can drive several machines.  The
+        returned record is JSON-ready and, for a given program +
+        initial state + plan, identical across engines.
+        """
+        record: Dict[str, object] = {"cycle": event.cycle,
+                                     "kind": event.kind}
+        handler = _HANDLERS[event.kind]
+        handler(machine, event, record)
+        return record
+
+
+def _input_ports(machine) -> List[InputPort]:
+    """The machine's input ports in device-map (address) order."""
+    return [device for device in machine.memory.devices.devices()
+            if isinstance(device, InputPort)]
+
+
+def _mask(record: Dict[str, object], reason: str) -> None:
+    record["masked"] = reason
+
+
+def _apply_reg_flip(machine, event: FaultEvent, record) -> None:
+    reg = event.reg % machine.config.n_registers
+    bit = event.bit % 64
+    record["reg"] = reg
+    record["bit"] = bit
+    old = machine.regfile.peek(reg)
+    if not isinstance(old, int) or isinstance(old, bool):
+        _mask(record, f"register r{reg} holds a non-integer value")
+        return
+    machine.regfile.poke(reg, old ^ (1 << bit))
+    record["old"] = old
+    record["new"] = old ^ (1 << bit)
+
+
+def _apply_mem_corrupt(machine, event: FaultEvent, record) -> None:
+    address = event.address % machine.memory.words
+    bit = event.bit % 64
+    record["address"] = address
+    record["bit"] = bit
+    if machine.memory.devices.lookup(address) is not None:
+        _mask(record, f"address {address} is claimed by a device")
+        return
+    if isinstance(machine.memory, _distributed_type()):
+        bank = event.fu % machine.config.n_fus
+        record["bank"] = bank
+        old = machine.memory.peek(address, bank)
+        if not isinstance(old, int) or isinstance(old, bool):
+            _mask(record, f"word {address} holds a non-integer value")
+            return
+        machine.memory.poke(address, old ^ (1 << bit), bank)
+    else:
+        old = machine.memory.peek(address)
+        if not isinstance(old, int) or isinstance(old, bool):
+            _mask(record, f"word {address} holds a non-integer value")
+            return
+        machine.memory.poke(address, old ^ (1 << bit))
+    record["old"] = old
+    record["new"] = old ^ (1 << bit)
+
+
+def _distributed_type():
+    from ..machine.memory import DistributedMemory
+    return DistributedMemory
+
+
+def _apply_port_drop(machine, event: FaultEvent, record) -> None:
+    ports = _input_ports(machine)
+    if not ports:
+        _mask(record, "machine has no input ports")
+        return
+    index = event.port % len(ports)
+    record["port"] = index
+    dropped = ports[index].drop_next()
+    if dropped is None:
+        _mask(record, f"input port {index} has no undelivered values")
+        return
+    record["dropped_ready"] = dropped[0]
+    record["dropped_value"] = dropped[1]
+
+
+def _apply_port_delay(machine, event: FaultEvent, record) -> None:
+    ports = _input_ports(machine)
+    if not ports:
+        _mask(record, "machine has no input ports")
+        return
+    index = event.port % len(ports)
+    record["port"] = index
+    record["delay"] = event.delay
+    shifted = ports[index].delay_pending(event.delay)
+    if not shifted:
+        _mask(record, f"input port {index} has no undelivered values")
+        return
+    record["shifted"] = shifted
+
+
+def _apply_ss_glitch(machine, event: FaultEvent, record) -> None:
+    if not hasattr(machine, "_prev_ss"):
+        _mask(record, "machine has no synchronization signals")
+        return
+    fu = event.fu % machine.config.n_fus
+    record["fu"] = fu
+    old = machine._prev_ss[fu]
+    glitched = list(machine._prev_ss)
+    glitched[fu] = not old
+    machine._prev_ss = tuple(glitched)
+    record["old"] = bool(old)
+    record["new"] = not old
+
+
+def _apply_spurious_wakeup(machine, event: FaultEvent, record) -> None:
+    if not hasattr(machine, "pcs"):
+        _mask(record, "machine has no per-FU sequencers")
+        return
+    fu = event.fu % machine.config.n_fus
+    record["fu"] = fu
+    pc = machine.pcs[fu]
+    if pc is None:
+        _mask(record, f"FU {fu} has halted")
+        return
+    parcel = machine.program.fetch(fu, pc)
+    if parcel is None or parcel.control is None:
+        _mask(record, f"FU {fu} is not at a branch")
+        return
+    control = parcel.control
+    if not control.condition.uses_sync:
+        _mask(record, f"FU {fu} is not waiting on a sync condition")
+        return
+    target = machine.sequencer.preview(pc, control, True)
+    machine.pcs[fu] = target
+    record["pc"] = pc
+    record["target"] = target
+
+
+_HANDLERS = {
+    "reg_flip": _apply_reg_flip,
+    "mem_corrupt": _apply_mem_corrupt,
+    "port_drop": _apply_port_drop,
+    "port_delay": _apply_port_delay,
+    "ss_glitch": _apply_ss_glitch,
+    "spurious_wakeup": _apply_spurious_wakeup,
+}
+
+__all__ = ["ALL_KINDS", "FaultEvent", "FaultPlan"]

@@ -20,6 +20,7 @@ from .config import (
 )
 from .codegen import (
     MAX_SPECIALIZED_SLOTS,
+    resolve_engine,
     specialized_eligible,
     specialized_path_blockers,
     specialized_source,
@@ -46,6 +47,7 @@ from .errors import (
     PortOverflowError,
     ProgramError,
     RegisterConflictError,
+    RunAbort,
     SimulationLimitError,
 )
 from .memory import DistributedMemory, SharedMemory
@@ -95,6 +97,7 @@ __all__ = [
     "ProgramError",
     "RegisterConflictError",
     "RegisterFile",
+    "RunAbort",
     "Sequencer",
     "SequencerStyle",
     "SharedMemory",
@@ -117,6 +120,7 @@ __all__ = [
     "random_input_port",
     "refines",
     "research_config",
+    "resolve_engine",
     "run_vliw",
     "run_ximd",
     "specialized_eligible",

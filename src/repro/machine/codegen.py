@@ -248,22 +248,66 @@ def select_runner(machine, engine: str,
     ``"fast"`` raise :class:`MachineError` with the sorted blocker
     list when their tier is unavailable.
     """
+    engine_used, runner, _reason = resolve_engine(machine, engine, kind)
+    return engine_used, runner
+
+
+def resolve_engine(machine, engine: str,
+                   kind: str) -> Tuple[str, Optional[Callable], Optional[str]]:
+    """:func:`select_runner` hardened against tier failures.
+
+    Returns ``(engine_used, runner, fallback_reason)``.  Under
+    ``engine="auto"`` a tier that *should* work but blows up is
+    degraded instead of crashing the run: an exception while
+    generating or compiling the specialized loop falls back to the
+    fast engine, and a pre-decode failure on the fast path falls back
+    to the reference interpreter — each recorded in the returned
+    *fallback_reason* (None on a healthy resolution).  Explicitly
+    demanded tiers (``engine="specialized"``/``"fast"``) still raise:
+    the caller asked for that tier, silently running another would lie
+    about what executed.
+    """
+    reasons = []
     if engine in ("auto", "specialized"):
         blockers = specialized_path_blockers(machine)
         if not blockers:
-            return "specialized", specialized_runner(machine, kind)
-        if engine == "specialized":
+            try:
+                return ("specialized", specialized_runner(machine, kind),
+                        None)
+            except Exception as exc:  # noqa: BLE001 — degrade, never crash
+                if engine == "specialized":
+                    raise MachineError(
+                        "specialized engine failed to build: "
+                        f"{type(exc).__name__}: {exc}") from exc
+                reasons.append(
+                    "specialized codegen failed "
+                    f"({type(exc).__name__}: {exc}); degraded to fast")
+        elif engine == "specialized":
             raise MachineError(
                 "specialized engine unavailable: " + "; ".join(blockers))
     if engine in ("auto", "fast"):
         blockers = fast_path_blockers(machine)
         if not blockers:
-            return "fast", (run_ximd_fast if kind == "ximd"
-                            else run_vliw_fast)
-        if engine == "fast":
+            runner = run_ximd_fast if kind == "ximd" else run_vliw_fast
+            try:
+                # pre-decode now so a decoder failure is caught here,
+                # where it can degrade, instead of inside the run
+                _decoded_for(machine, kind,
+                             decode_ximd_program if kind == "ximd"
+                             else decode_vliw_program)
+                return "fast", runner, "; ".join(reasons) or None
+            except Exception as exc:  # noqa: BLE001 — degrade, never crash
+                if engine == "fast":
+                    raise MachineError(
+                        "fast engine failed to decode the program: "
+                        f"{type(exc).__name__}: {exc}") from exc
+                reasons.append(
+                    "fast decode failed "
+                    f"({type(exc).__name__}: {exc}); degraded to reference")
+        elif engine == "fast":
             raise MachineError(
                 "fast engine unavailable: " + "; ".join(blockers))
-    return "reference", None
+    return "reference", None, "; ".join(reasons) or None
 
 
 # --- source assembly helpers -----------------------------------------------

@@ -70,6 +70,18 @@ class MachineConfig:
         max_read_ports / max_write_ports: register-file port budget per
             cycle (paper: 16 reads + 8 writes).
         max_cycles: simulation watchdog.
+        hang_detection: run the deadlock/livelock monitor (see
+            :mod:`repro.machine.runtime`) at geometrically spaced cycle
+            boundaries, so a hung workload aborts with a structured
+            diagnosis long before ``max_cycles``.  Off, only the plain
+            watchdog remains.
+        hang_check_start: first cycle boundary at which the hang
+            monitor looks (subsequent checks double: 4096, 8192, …),
+            so runs shorter than this — every paper workload — pay
+            nothing at all and the monitor costs O(log cycles) checks
+            overall.  Each check digests the full machine state, so
+            the floor must sit well above the short-workload cycle
+            counts the throughput floors (E18) are measured on.
     """
 
     n_fus: int = 8
@@ -85,12 +97,16 @@ class MachineConfig:
     max_read_ports: int = field(default=None)  # type: ignore[assignment]
     max_write_ports: int = field(default=None)  # type: ignore[assignment]
     max_cycles: int = 1_000_000
+    hang_detection: bool = True
+    hang_check_start: int = 4096
 
     def __post_init__(self):
         if self.n_fus < 1:
             raise ValueError("n_fus must be >= 1")
         if self.write_latency < 1:
             raise ValueError("write_latency must be >= 1")
+        if self.hang_check_start < 1:
+            raise ValueError("hang_check_start must be >= 1")
         if self.max_read_ports is None:
             object.__setattr__(self, "max_read_ports", 2 * self.n_fus)
         if self.max_write_ports is None:

@@ -89,6 +89,45 @@ class InputPort(Device):
         """How many values have been consumed so far."""
         return self._next
 
+    @property
+    def pending(self) -> int:
+        """How many scheduled values have not been consumed yet."""
+        return len(self.arrivals) - self._next
+
+    def next_ready(self):
+        """Ready cycle of the next undelivered value (None when dry)."""
+        if self._next < len(self.arrivals):
+            return self.arrivals[self._next][0]
+        return None
+
+    def drop_next(self):
+        """Fault hook: discard the next undelivered value.
+
+        Models a peripheral losing a datum in flight; the poll loop
+        simply keeps polling for the value after it.  Returns the
+        dropped ``(ready, value)`` pair, or ``None`` when every value
+        was already consumed.
+        """
+        if self._next >= len(self.arrivals):
+            return None
+        return self.arrivals.pop(self._next)
+
+    def delay_pending(self, delay: int) -> int:
+        """Fault hook: push every undelivered arrival *delay* cycles out.
+
+        Shifting the whole undelivered tail (rather than one entry)
+        preserves the sorted-arrivals invariant the poll protocol
+        relies on.  Returns the number of arrivals shifted.
+        """
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        shifted = 0
+        for index in range(self._next, len(self.arrivals)):
+            ready, value = self.arrivals[index]
+            self.arrivals[index] = (ready + delay, value)
+            shifted += 1
+        return shifted
+
 
 @dataclass
 class OutputPort(Device):

@@ -33,3 +33,33 @@ class PortOverflowError(MachineError):
 
 class SimulationLimitError(MachineError):
     """Raised when a program exceeds the configured cycle limit."""
+
+
+class RunAbort(SimulationLimitError):
+    """A run was stopped with a structured diagnosis attached.
+
+    Subclasses :class:`SimulationLimitError` so existing watchdog
+    handlers keep working, but carries *why* the run stopped:
+
+    * ``kind`` — ``"watchdog"`` (the plain cycle-limit trip),
+      ``"deadlock"`` (every active FU provably blocked on an untaken
+      sync branch that loops back to itself), or ``"livelock"`` (the
+      complete architectural state recurred, so the machine can never
+      halt).
+    * ``cycle`` — the cycle at which the run was aborted.
+    * ``diagnostics`` — a JSON-ready dict with the evidence: per-FU
+      last-issue PCs, the sync wait matrix and critical wait chain,
+      open barrier episodes, and the per-FU blocked edges at abort
+      time (see :mod:`repro.machine.runtime`).
+
+    Both engines and the reference interpreter raise bit-identical
+    aborts (type, message, kind, cycle, and diagnostics) for the same
+    program and fault plan.
+    """
+
+    def __init__(self, message: str, kind: str = "watchdog",
+                 cycle: int = 0, diagnostics: dict = None):
+        super().__init__(message)
+        self.kind = kind
+        self.cycle = cycle
+        self.diagnostics = diagnostics if diagnostics is not None else {}

@@ -1,0 +1,312 @@
+"""The shared run driver: segmented execution, fault injection, and
+hang diagnosis for every engine tier.
+
+``XimdMachine.run`` / ``VliwMachine.run`` delegate here.  The driver
+executes the program in *segments*: each segment runs — on whichever
+engine tier resolved — up to the nearest of the cycle limit, the next
+scheduled fault, and the next hang-check boundary.  Engines already
+support stopping at a cycle bound and resuming (their loops check the
+limit at the top and write state back on every exit), so segmentation
+adds **zero** hot-loop cost and preserves bit-identity by
+construction: faults and checks happen only at segment boundaries,
+where all three tiers expose exactly the same architectural state.
+
+Hang diagnosis replaces the blind ``max_cycles`` watchdog with two
+cheap checks at geometrically spaced boundaries (``hang_check_start``,
+then doubling — O(log cycles) checks total):
+
+* **deadlock** (XIMD): every active FU sits on a nop parcel whose
+  sync-conditioned branch is untaken under both the visible and the
+  steady-state sync vectors and loops back to itself — no future
+  cycle can change anything, so the machine is provably stuck;
+* **livelock**: the complete architectural state (PCs, registers,
+  condition codes, in-flight writes, memory, sync registers, device
+  cursors — everything that determines future evolution) recurred
+  between two checks, so the machine can never halt.
+
+Both raise :class:`~repro.machine.errors.RunAbort` carrying a
+JSON-ready diagnosis: per-FU PCs, the sync wait matrix with its
+critical wait chain, open barrier episodes, and (for deadlock) the
+exact blocked edges.  Claims are suppressed while outside events are
+still due — pending fault-plan entries or input-port arrivals that
+have not become ready — since those can legitimately unstick a
+spinning loop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import List, Optional, Tuple
+
+from ..isa import Condition
+from ..obs.critpath import critical_path_from_matrix
+from .codegen import resolve_engine
+from .condition import evaluate_condition, sync_done_vector
+from .devices import InputPort
+from .errors import RunAbort, SimulationLimitError
+from .memory import DistributedMemory
+from .telemetry import fold_run_metrics
+
+
+def execute_run(machine, kind: str, limit: int, engine: str,
+                plan=None) -> Tuple[str, Optional[str]]:
+    """Run *machine* to halt, abort, or error.
+
+    Returns ``(engine_used, fallback_reason)``.  Raises
+    :class:`RunAbort` when the watchdog trips or a hang is diagnosed;
+    machine errors from the datapath propagate unchanged.
+    """
+    if engine == "reference":
+        engine_used, runner, fallback = "reference", None, None
+    else:
+        engine_used, runner, fallback = resolve_engine(machine, engine, kind)
+    machine.engine_used = engine_used
+    machine.last_fallback = fallback
+    obs_on = machine.obs.enabled
+    if fallback is not None and obs_on:
+        machine.obs.registry.counter(f"{kind}.engine_fallback").inc()
+
+    events = list(plan.events) if plan is not None else []
+    cursor = 0
+    while cursor < len(events) and events[cursor].cycle < machine.cycle:
+        cursor += 1  # events scheduled before a resumed run's cycle
+
+    hang_on = machine.config.hang_detection
+    check_at = machine.config.hang_check_start
+    while check_at <= machine.cycle:
+        check_at *= 2
+    anchor: Optional[Tuple[int, str]] = None
+    wall = 0.0
+
+    from ..faults import FaultPlan
+
+    while True:
+        applied = False
+        while cursor < len(events) and events[cursor].cycle <= machine.cycle:
+            record = FaultPlan.apply(machine, events[cursor])
+            machine.fault_log.append(record)
+            cursor += 1
+            applied = True
+            if obs_on:
+                machine.obs.registry.counter(
+                    f"{kind}.faults_injected").inc()
+        if applied:
+            anchor = None  # faulted state: previous digest is stale
+
+        if machine.halted:
+            break
+
+        if machine.cycle >= limit:
+            raise _abort(
+                machine, kind, "watchdog", limit,
+                f"program did not halt within {limit} cycles")
+
+        if hang_on and machine.cycle >= check_at:
+            while check_at <= machine.cycle:
+                check_at *= 2
+            faults_pending = cursor < len(events)
+            if kind == "ximd" and not faults_pending:
+                edges = _deadlock_scan(machine)
+                if edges is not None:
+                    active = len(edges)
+                    raise _abort(
+                        machine, kind, "deadlock", limit,
+                        f"sync deadlock at cycle {machine.cycle}: all "
+                        f"{active} active FUs blocked on untaken sync "
+                        "branches", blocked=edges)
+            if not faults_pending and not _ports_pending(machine):
+                digest = _state_digest(machine, kind)
+                if anchor is not None and anchor[1] == digest:
+                    period = machine.cycle - anchor[0]
+                    raise _abort(
+                        machine, kind, "livelock", limit,
+                        f"livelock at cycle {machine.cycle}: machine "
+                        f"state recurred (period divides {period} "
+                        "cycles)", period=period)
+                anchor = (machine.cycle, digest)
+
+        seg = limit
+        if hang_on and check_at < seg:
+            seg = check_at
+        if cursor < len(events) and events[cursor].cycle < seg:
+            seg = events[cursor].cycle
+        start = time.perf_counter() if obs_on else 0.0
+        try:
+            if runner is None:
+                while not machine.halted and machine.cycle < seg:
+                    machine.step()
+            else:
+                runner(machine, seg)
+        except SimulationLimitError:
+            pass  # segment boundary, not a verdict — loop decides
+        finally:
+            if obs_on:
+                wall += time.perf_counter() - start
+
+    if runner is None:
+        machine.regfile.drain(machine.cycle)
+    if obs_on:
+        fold_run_metrics(machine.obs, machine, wall)
+    return engine_used, fallback
+
+
+def _abort(machine, kind: str, abort_kind: str, limit: int,
+           message: str, blocked=None, period=None) -> RunAbort:
+    """Build a :class:`RunAbort` with the structured diagnosis.
+
+    The diagnostics dict deliberately omits which engine tier was
+    running: the same hang diagnosed on any tier must compare equal.
+    """
+    if hasattr(machine, "pcs"):
+        pcs = list(machine.pcs)
+    else:
+        pcs = [machine.pc]
+    rows = machine.counters.wait_rows()
+    if any(any(row) for row in rows):
+        source = "counters"
+    elif blocked:
+        n = machine.config.n_fus
+        rows = [[0] * n for _ in range(n)]
+        for edge in blocked:
+            for blocker in edge["blockers"]:
+                rows[edge["fu"]][blocker] += 1
+        source = "instantaneous"
+    else:
+        source = "empty"
+    open_barriers = []
+    for fu, state in enumerate(getattr(machine, "_barrier_wait", [])):
+        if state is not None:
+            open_barriers.append(
+                {"fu": fu, "pc": state[0], "since": state[1]})
+    diagnostics = {
+        "kind": abort_kind,
+        "cycle": machine.cycle,
+        "limit": limit,
+        "pcs": pcs,
+        "wait_matrix": rows,
+        "wait_matrix_source": source,
+        "critical_path": critical_path_from_matrix(rows).to_dict(),
+        "open_barriers": open_barriers,
+        "faults_applied": len(machine.fault_log),
+    }
+    if blocked is not None:
+        diagnostics["blocked"] = blocked
+    if period is not None:
+        diagnostics["period"] = period
+    abort = RunAbort(message, kind=abort_kind, cycle=machine.cycle,
+                     diagnostics=diagnostics)
+    machine.last_abort = diagnostics
+    return abort
+
+
+def _deadlock_scan(machine) -> Optional[List[dict]]:
+    """The blocked edges if every active FU is provably stuck forever.
+
+    A FU is provably stuck when its fetched parcel does no data work
+    (nop), its control is a sync-conditioned branch that stays untaken
+    under both the currently visible sync vector and the steady-state
+    one (what the registers settle to while nobody moves), and the
+    untaken target is its own PC.  If *every* active FU is in that
+    state no sync signal can ever change, so the machine is
+    deadlocked.  Returns ``None`` when any FU still has a way forward.
+    """
+    n = machine.config.n_fus
+    parcels = [None] * n
+    active = []
+    for fu in range(n):
+        pc = machine.pcs[fu]
+        if pc is None:
+            continue
+        parcel = machine.program.fetch(fu, pc)
+        if parcel is None:
+            return None  # empty slot: this FU halts next cycle
+        parcels[fu] = parcel
+        active.append(fu)
+    if not active:
+        return None
+    sync_values = [p.sync if p is not None else None for p in parcels]
+    steady = sync_done_vector(sync_values, machine.config.halted_sync_done)
+    visible = (machine._prev_ss if machine.config.ss_registered
+               else steady)
+    cc_start = machine.cc.snapshot()
+    edges = []
+    for fu in active:
+        parcel = parcels[fu]
+        if not parcel.data.is_nop:
+            return None
+        control = parcel.control
+        if control is None or not control.condition.uses_sync:
+            return None
+        if evaluate_condition(control, cc_start, visible):
+            return None
+        if visible is not steady and evaluate_condition(
+                control, cc_start, steady):
+            return None  # would unblock once the sync registers settle
+        pc = machine.pcs[fu]
+        if machine.sequencer.preview(pc, control, False) != pc:
+            return None  # untaken path goes somewhere new
+        condition = control.condition
+        if condition is Condition.SS_DONE:
+            blockers: Tuple[int, ...] = (control.index,)
+            cond = "ss"
+        else:
+            members = (control.mask if control.mask is not None
+                       else tuple(range(n)))
+            if condition is Condition.ALL_SS_DONE:
+                blockers = tuple(m for m in members if not steady[m])
+                cond = "all"
+            else:
+                blockers = tuple(members)
+                cond = "any"
+        edges.append({"fu": fu, "pc": pc, "cond": cond,
+                      "blockers": list(blockers)})
+    return edges
+
+
+def _ports_pending(machine) -> bool:
+    """True when an input port still has an arrival that has not become
+    ready — an outside event that may yet unstick a polling loop, so a
+    recurring state digest is not proof of livelock."""
+    for device in machine.memory.devices.devices():
+        if isinstance(device, InputPort):
+            ready = device.next_ready()
+            if ready is not None and ready > machine.cycle:
+                return True
+    return False
+
+
+def _state_digest(machine, kind: str) -> str:
+    """Digest of everything that determines future evolution.
+
+    Includes PCs, sync registers, condition codes, registers,
+    in-flight register writes, memory contents, and input-port
+    delivery cursors.  Deliberately excludes the cycle counter, stats,
+    telemetry counters, and output-port logs: those grow monotonically
+    without influencing control flow, and including them would make
+    every livelock invisible.
+    """
+    if kind == "ximd":
+        control_state = (tuple(machine.pcs), machine._prev_ss)
+    else:
+        control_state = (machine.pc,)
+    cc = machine.cc
+    memory = machine.memory
+    if isinstance(memory, DistributedMemory):
+        mem_state = tuple(
+            tuple(sorted(bank.items())) for bank in memory._banks)
+    else:
+        mem_state = tuple(sorted(memory._data.items()))
+    port_state = tuple(
+        device._next for device in memory.devices.devices()
+        if isinstance(device, InputPort))
+    payload = repr((
+        control_state,
+        tuple(cc._values),
+        tuple(cc._defined),
+        tuple(machine.regfile._values),
+        tuple(tuple(stage) for stage in machine.regfile._inflight),
+        mem_state,
+        port_state,
+    ))
+    return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()

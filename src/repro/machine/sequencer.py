@@ -37,6 +37,17 @@ class Sequencer:
             registry.counter("sequencer.resolved").inc()
             if taken:
                 registry.counter("sequencer.taken").inc()
+        return self.preview(pc, control, taken)
+
+    def preview(self, pc: int, control: ControlOp, taken: bool) -> int:
+        """:meth:`next_pc` without the telemetry side effects.
+
+        Used by the hang-diagnosis scan (would this blocked FU go
+        anywhere if its branch stays untaken?) and by fault injection
+        (where would a spuriously-taken sync branch land?), neither of
+        which is a real sequencer resolution and so must not perturb
+        the ``sequencer.*`` counters.
+        """
         if self.style is SequencerStyle.EXPLICIT_TWO_TARGET:
             return select_target(control, taken)
         if self.style is SequencerStyle.INCREMENT_ONE_TARGET:

@@ -19,7 +19,6 @@ that running VLIW code on an XIMD just duplicates the control fields.
 
 from __future__ import annotations
 
-import time
 from typing import List, Optional, Tuple
 
 from ..isa import Parcel
@@ -29,13 +28,13 @@ from .condition import ConditionCodes, evaluate_condition
 from .config import MachineConfig, MemoryStyle, research_config
 from .datapath import DatapathStats, execute_data_op
 from .devices import DeviceMap
-from .codegen import select_runner
-from .errors import MachineError, ProgramError, SimulationLimitError
+from .errors import MachineError, ProgramError
 from .memory import DistributedMemory, SharedMemory
+from .runtime import execute_run
 from .program import Program
 from .register_file import RegisterFile
 from .sequencer import Sequencer
-from .telemetry import CLASS_INDEX, RunCounters, fold_run_metrics
+from .telemetry import CLASS_INDEX, RunCounters
 from .trace import AddressTrace, TraceRecord
 from .ximd import ExecutionResult
 
@@ -90,6 +89,12 @@ class VliwMachine:
         self._decoded = None
         #: which execution path the last run() took ("fast"/"reference").
         self.engine_used: Optional[str] = None
+        #: cumulative fault-injection records (see repro.faults).
+        self.fault_log: List[dict] = []
+        #: diagnostics dict of the last RunAbort, or None.
+        self.last_abort: Optional[dict] = None
+        #: why the last run() degraded engine tiers, or None.
+        self.last_fallback: Optional[str] = None
 
     @property
     def halted(self) -> bool:
@@ -205,49 +210,22 @@ class VliwMachine:
         self.stats.cycles += 1
 
     def run(self, max_cycles: Optional[int] = None,
-            engine: str = "auto") -> ExecutionResult:
-        """Run until the machine halts (or the watchdog trips).
+            engine: str = "auto", faults=None) -> ExecutionResult:
+        """Run until the machine halts (or the watchdog/hang monitor
+        trips).
 
-        *engine* works as in :meth:`XimdMachine.run`: ``"auto"``
-        prefers the per-program compiled loop, then the fast path,
-        then the reference :meth:`step` loop; ``"specialized"`` and
-        ``"fast"`` demand their tier and raise :class:`MachineError`
-        (with the blocker list) when it is unavailable.
+        *engine* and *faults* work as in :meth:`XimdMachine.run`:
+        ``"auto"`` prefers the per-program compiled loop, then the
+        fast path, then the reference :meth:`step` loop, degrading
+        (with the reason recorded) when a tier fails to build;
+        ``"specialized"`` and ``"fast"`` demand their tier and raise
+        :class:`MachineError` when it is unavailable or broken.
         """
         limit = max_cycles if max_cycles is not None else self.config.max_cycles
         if engine not in ("auto", "specialized", "fast", "reference"):
             raise ValueError(f"unknown engine: {engine!r}")
-        if engine != "reference":
-            engine_used, runner = select_runner(self, engine, "vliw")
-            if runner is not None:
-                self.engine_used = engine_used
-                obs_on = self.obs.enabled
-                wall_start = time.perf_counter() if obs_on else 0.0
-                runner(self, limit)
-                if obs_on:
-                    fold_run_metrics(self.obs, self,
-                                     time.perf_counter() - wall_start)
-                final = tuple([None] * self.config.n_fus)
-                return ExecutionResult(
-                    cycles=self.cycle,
-                    halted=True,
-                    registers=self.regfile.snapshot(),
-                    stats=self.stats,
-                    trace=self.trace,
-                    final_pcs=final,
-                )
-        self.engine_used = "reference"
-        obs_on = self.obs.enabled
-        wall_start = time.perf_counter() if obs_on else 0.0
-        while not self.halted:
-            if self.cycle >= limit:
-                raise SimulationLimitError(
-                    f"program did not halt within {limit} cycles")
-            self.step()
-        self.regfile.drain(self.cycle)
-        if obs_on:
-            fold_run_metrics(self.obs, self,
-                             time.perf_counter() - wall_start)
+        faults_before = len(self.fault_log)
+        _, fallback = execute_run(self, "vliw", limit, engine, faults)
         final: Tuple[Optional[int], ...] = tuple([None] * self.config.n_fus)
         return ExecutionResult(
             cycles=self.cycle,
@@ -256,6 +234,8 @@ class VliwMachine:
             stats=self.stats,
             trace=self.trace,
             final_pcs=final,
+            fallback_reason=fallback,
+            faults=tuple(self.fault_log[faults_before:]),
         )
 
 
@@ -266,7 +246,8 @@ def run_vliw(program: Program, *,
              devices: Optional[DeviceMap] = None,
              trace: bool = False,
              obs: Optional[Observer] = None,
-             max_cycles: Optional[int] = None) -> ExecutionResult:
+             max_cycles: Optional[int] = None,
+             faults=None) -> ExecutionResult:
     """One-call convenience wrapper mirroring :func:`run_ximd`."""
     machine = VliwMachine(program, config=config, devices=devices,
                           trace=trace, obs=obs)
@@ -274,4 +255,4 @@ def run_vliw(program: Program, *,
         machine.regfile.poke(index, value)
     for address, value in (memory_init or {}).items():
         machine.memory.poke(address, value)
-    return machine.run(max_cycles)
+    return machine.run(max_cycles, faults=faults)

@@ -25,7 +25,6 @@ Cycle semantics (validated against the Figure 10 trace):
 from __future__ import annotations
 
 import enum
-import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -42,9 +41,9 @@ from .condition import ConditionCodes, evaluate_condition, sync_done_vector
 from .config import MachineConfig, MemoryStyle, research_config
 from .datapath import DatapathStats, execute_data_op
 from .devices import DeviceMap
-from .codegen import select_runner
-from .errors import MachineError, ProgramError, SimulationLimitError
+from .errors import ProgramError
 from .memory import DistributedMemory, SharedMemory
+from .runtime import execute_run
 from .partition import (
     AdaptiveSSETTracker,
     ExactSSETTracker,
@@ -53,7 +52,7 @@ from .partition import (
 from .program import Program
 from .register_file import RegisterFile
 from .sequencer import Sequencer
-from .telemetry import CLASS_INDEX, RunCounters, fold_run_metrics
+from .telemetry import CLASS_INDEX, RunCounters
 from .trace import AddressTrace, TraceRecord
 
 
@@ -76,6 +75,10 @@ class ExecutionResult:
     stats: DatapathStats
     trace: Optional[AddressTrace]
     final_pcs: Tuple[Optional[int], ...]
+    #: why run() degraded to a lower engine tier (None: none needed).
+    fallback_reason: Optional[str] = None
+    #: fault-log records injected during *this* run (see repro.faults).
+    faults: Tuple[dict, ...] = ()
 
     def register(self, index: int):
         """Final committed value of register *index*."""
@@ -135,6 +138,12 @@ class XimdMachine:
         self._decoded = None
         #: which execution path the last run() took ("fast"/"reference").
         self.engine_used: Optional[str] = None
+        #: cumulative fault-injection records (see repro.faults).
+        self.fault_log: List[dict] = []
+        #: diagnostics dict of the last RunAbort, or None.
+        self.last_abort: Optional[dict] = None
+        #: why the last run() degraded engine tiers, or None.
+        self.last_fallback: Optional[str] = None
         #: last partition emitted, for fork/join change events.
         self._last_partition: Optional[object] = None
         # Previous cycle's sync vector, for the registered-SS variant.
@@ -393,52 +402,30 @@ class XimdMachine:
                                       else (pc, self.cycle))
 
     def run(self, max_cycles: Optional[int] = None,
-            engine: str = "auto") -> ExecutionResult:
-        """Run until every FU halts (or the watchdog trips).
+            engine: str = "auto", faults=None) -> ExecutionResult:
+        """Run until every FU halts (or the watchdog/hang monitor trips).
 
         *engine* selects the execution path: ``"auto"`` (default)
         prefers the per-program compiled loop from
         :mod:`repro.machine.codegen`, falls back to the pre-decoded
-        fast path, then to the reference interpreter; ``"reference"``
-        forces the cycle-by-cycle :meth:`step` loop; ``"specialized"``
-        and ``"fast"`` demand their tier and raise
-        :class:`MachineError` (with the blocker list) when it is
-        unavailable.  Every path produces bit-identical results;
-        :attr:`engine_used` records which one ran.
+        fast path, then to the reference interpreter — degrading (and
+        recording why in :attr:`ExecutionResult.fallback_reason`) when
+        a tier that should work fails to build; ``"reference"`` forces
+        the cycle-by-cycle :meth:`step` loop; ``"specialized"`` and
+        ``"fast"`` demand their tier and raise :class:`MachineError`
+        when it is unavailable or broken.  Every path produces
+        bit-identical results; :attr:`engine_used` records which one
+        ran.
+
+        *faults* is an optional :class:`repro.faults.FaultPlan`
+        applied deterministically at segment boundaries — identically
+        on every engine tier (see :mod:`repro.machine.runtime`).
         """
         limit = max_cycles if max_cycles is not None else self.config.max_cycles
         if engine not in ("auto", "specialized", "fast", "reference"):
             raise ValueError(f"unknown engine: {engine!r}")
-        if engine != "reference":
-            engine_used, runner = select_runner(self, engine, "ximd")
-            if runner is not None:
-                self.engine_used = engine_used
-                obs_on = self.obs.enabled
-                wall_start = time.perf_counter() if obs_on else 0.0
-                runner(self, limit)
-                if obs_on:
-                    fold_run_metrics(self.obs, self,
-                                     time.perf_counter() - wall_start)
-                return ExecutionResult(
-                    cycles=self.cycle,
-                    halted=True,
-                    registers=self.regfile.snapshot(),
-                    stats=self.stats,
-                    trace=self.trace,
-                    final_pcs=tuple(self.pcs),
-                )
-        self.engine_used = "reference"
-        obs_on = self.obs.enabled
-        wall_start = time.perf_counter() if obs_on else 0.0
-        while not self.halted:
-            if self.cycle >= limit:
-                raise SimulationLimitError(
-                    f"program did not halt within {limit} cycles")
-            self.step()
-        self.regfile.drain(self.cycle)
-        if obs_on:
-            fold_run_metrics(self.obs, self,
-                             time.perf_counter() - wall_start)
+        faults_before = len(self.fault_log)
+        _, fallback = execute_run(self, "ximd", limit, engine, faults)
         return ExecutionResult(
             cycles=self.cycle,
             halted=True,
@@ -446,6 +433,8 @@ class XimdMachine:
             stats=self.stats,
             trace=self.trace,
             final_pcs=tuple(self.pcs),
+            fallback_reason=fallback,
+            faults=tuple(self.fault_log[faults_before:]),
         )
 
 
@@ -470,12 +459,14 @@ def run_ximd(program: Program, *,
              trace: bool = False,
              tracker: TrackerKind = TrackerKind.NONE,
              obs: Optional[Observer] = None,
-             max_cycles: Optional[int] = None) -> ExecutionResult:
+             max_cycles: Optional[int] = None,
+             faults=None) -> ExecutionResult:
     """One-call convenience wrapper: build, initialize, run.
 
     Args:
         registers: register index -> initial value.
         memory_init: address -> initial word (bank 0 when distributed).
+        faults: optional :class:`repro.faults.FaultPlan` to inject.
     """
     machine = XimdMachine(program, config=config, devices=devices,
                           trace=trace, tracker=tracker, obs=obs)
@@ -483,4 +474,4 @@ def run_ximd(program: Program, *,
         machine.regfile.poke(index, value)
     for address, value in (memory_init or {}).items():
         machine.memory.poke(address, value)
-    return machine.run(max_cycles)
+    return machine.run(max_cycles, faults=faults)

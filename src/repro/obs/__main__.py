@@ -9,7 +9,9 @@ Replay commands:
 * ``summary TRACE.jsonl`` — one-line event census (quick sanity check);
 * ``sync TRACE.jsonl|REPORT.json`` — the synchronization profile: text
   wait matrix, top blockers, barrier skew, and the critical wait chain
-  (cycle-resolved from a trace, aggregate from a report's matrix).
+  (cycle-resolved from a trace, aggregate from a report's matrix);
+* ``faults REPORT.json`` — the run's deterministic fault-injection log
+  and (if it aborted) the structured hang diagnosis.
 
 Differential-analysis commands:
 
@@ -46,6 +48,7 @@ from .history import (
     render_trend,
 )
 from .html import write_dashboard
+from .ioutil import atomic_write_text
 from .report import RunReport, events_to_trace
 from .schema import SchemaError, load_artifact
 from .sinks import read_jsonl
@@ -79,6 +82,57 @@ def _cmd_report(args) -> int:
     if args.output:
         report.write_json(args.output, include_timing=args.timing)
         print(f"\nwrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    """Print a run-report artifact's fault log and abort diagnosis."""
+    try:
+        payload = load_artifact(args.report, expect_kind="run_report")
+    except (OSError, SchemaError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    faults = payload.get("faults") or []
+    abort = payload.get("abort") or {}
+    if args.json:
+        print(json.dumps({"faults": faults, "abort": abort},
+                         indent=2, sort_keys=True))
+        return 0
+    if not faults and not abort:
+        print("clean run: no faults injected, no abort recorded")
+        return 0
+    if faults:
+        kinds = Counter(record.get("kind", "?") for record in faults)
+        masked = sum(1 for record in faults if "masked" in record)
+        mix = ", ".join(f"{kind}×{count}"
+                        for kind, count in sorted(kinds.items()))
+        print(f"{len(faults)} fault(s) injected ({mix}; {masked} masked)")
+        for record in faults:
+            detail = ", ".join(
+                f"{key}={value}" for key, value in record.items()
+                if key not in ("cycle", "kind", "masked"))
+            note = (f"  [masked: {record['masked']}]"
+                    if "masked" in record else "")
+            print(f"  cycle {record.get('cycle', 0):>8}: "
+                  f"{record.get('kind', '?'):<16} {detail}{note}")
+    if abort:
+        print(f"run aborted: {abort.get('kind', '?')} at cycle "
+              f"{abort.get('cycle', '?')} (limit {abort.get('limit', '?')})")
+        chain = abort.get("critical_path") or {}
+        links = chain.get("links") or []
+        if links:
+            hops = " <- ".join(
+                [f"FU{links[0]['waiter']}"]
+                + [f"FU{link['blocker']}" for link in links])
+            print(f"  critical wait chain: {hops} "
+                  f"({chain.get('total_cycles', 0)} blocked cycles)")
+        for edge in abort.get("blocked") or []:
+            blockers = ",".join(f"FU{b}" for b in edge["blockers"])
+            print(f"  FU{edge['fu']} @ {edge['pc']:#04x}: untaken "
+                  f"{edge['cond']} wait on {blockers or 'nothing'}")
+        for barrier in abort.get("open_barriers") or []:
+            print(f"  open barrier: FU{barrier['fu']} @ "
+                  f"{barrier['pc']:#04x} since cycle {barrier['since']}")
     return 0
 
 
@@ -145,8 +199,7 @@ def _cmd_gate_calibrate(args) -> int:
             float(previous.get("abs_tolerance") or 0.0))
         table["default_tolerance"] = float(
             previous.get("default_tolerance") or 0.0)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(table, indent=2) + "\n", encoding="utf-8")
+    atomic_write_text(out, json.dumps(table, indent=2) + "\n")
     print(f"calibrated {out} from {len(records)} history records "
           f"(margin {args.calibrate_margin:g}x): "
           f"{len(table['metrics'])} per-metric allowance(s), "
@@ -352,6 +405,14 @@ def build_parser() -> argparse.ArgumentParser:
     sync.add_argument("--json", action="store_true",
                       help="print the profile as JSON")
     sync.set_defaults(func=_cmd_sync)
+
+    faults = sub.add_parser(
+        "faults", help="show a run report's fault log and abort "
+                       "diagnosis")
+    faults.add_argument("report", help="run-report .json artifact")
+    faults.add_argument("--json", action="store_true",
+                        help="print the faults/abort sections as JSON")
+    faults.set_defaults(func=_cmd_faults)
 
     diff = sub.add_parser(
         "diff", help="structured delta between two obs JSON artifacts")

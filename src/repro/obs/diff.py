@@ -51,8 +51,11 @@ ADVISORY_MARKERS = ("passes",)
 #: Exact *non-leaf* path components whose whole subtree is advisory.
 #: ``sync`` must match only the section name: token matching would also
 #: catch blocking leaves like ``sync_done`` or ``sync_cycles_total``,
-#: and leaf exclusion keeps ``branch_mix.sync`` blocking.
-ADVISORY_SECTIONS = ("passes", "sync")
+#: and leaf exclusion keeps ``branch_mix.sync`` blocking.  ``faults``
+#: covers the E19 fault-injection metrics: deterministic, but their
+#: direction (more faults applied, more faulted cycles) says nothing
+#: about simulator performance.
+ADVISORY_SECTIONS = ("passes", "sync", "faults")
 
 
 class WorkloadMismatchError(ValueError):

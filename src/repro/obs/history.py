@@ -25,6 +25,7 @@ import math
 import pathlib
 from typing import Dict, List, Optional, Sequence, Union
 
+from .ioutil import atomic_append_line
 from .schema import SCHEMA_VERSION, SchemaError, check_artifact
 
 #: Default ledger location, relative to the repo root.
@@ -48,7 +49,7 @@ def make_record(sections: Dict[str, dict],
         section: {name: dict(payload) for name, payload
                   in sorted(entries.items())}
         for section, entries in sorted(sections.items())
-        if isinstance(entries, dict)
+        if isinstance(entries, dict) and section != "suite_health"
     }
     record = {
         "schema_version": SCHEMA_VERSION,
@@ -102,8 +103,7 @@ def append_record(path: Union[str, pathlib.Path], record: dict,
                 continue  # malformed line cannot be a duplicate
             if isinstance(previous, dict) and _identity(previous) == identity:
                 return False
-    with open(path, "a", encoding="utf-8") as stream:
-        stream.write(_dump(record) + "\n")
+    atomic_append_line(path, _dump(record))
     return True
 
 

@@ -291,6 +291,84 @@ def _io_panel(report: dict) -> str:
             + "".join(rows) + "</table>")
 
 
+def _faults_panel(report: dict) -> str:
+    """Deterministic fault-injection log (empty string when the run
+    injected no faults — pre-v4 artifacts included)."""
+    faults: List[dict] = report.get("faults") or []
+    if not faults:
+        return ""
+    rows = []
+    for record in faults[:40]:
+        detail = ", ".join(
+            f"{key}={value}" for key, value in record.items()
+            if key not in ("cycle", "kind", "masked"))
+        masked = record.get("masked", "")
+        rows.append(
+            f"<tr><td>{record.get('cycle', 0):,}</td>"
+            f'<td class="name"><code>{_esc(record.get("kind", "?"))}'
+            f"</code></td>"
+            f'<td class="name">{_esc(detail)}</td>'
+            f'<td class="name">{_esc(masked)}</td></tr>')
+    extra = ("" if len(faults) <= 40
+             else f"<p>… and {len(faults) - 40:,} more</p>")
+    return (f"<h2>Injected faults ({len(faults):,})</h2>"
+            '<table><tr><th>cycle</th><th class="name">kind</th>'
+            '<th class="name">detail</th><th class="name">masked</th></tr>'
+            + "".join(rows) + "</table>" + extra)
+
+
+def _abort_panel(report: dict) -> str:
+    """Structured RunAbort diagnosis (empty string when the run halted
+    cleanly)."""
+    abort: Dict[str, object] = report.get("abort") or {}
+    if not abort:
+        return ""
+    cards = [
+        _card(_esc(str(abort.get("kind", "?"))), "abort kind"),
+        _card(f"{abort.get('cycle', 0):,}", "at cycle"),
+        _card(f"{abort.get('limit', 0):,}", "cycle limit"),
+        _card(f"{abort.get('faults_applied', 0):,}", "faults applied"),
+    ]
+    parts = ["<h2>Run aborted</h2>",
+             '<div class="cards">' + "".join(cards) + "</div>"]
+    chain = abort.get("critical_path") or {}
+    links = chain.get("links") or []
+    if links:
+        hops = " &larr; ".join(
+            [f"FU{links[0]['waiter']}"]
+            + [f"FU{link['blocker']}" for link in links])
+        parts.append(f"<p>critical wait chain: {hops} "
+                     f"({chain.get('total_cycles', 0):,} blocked "
+                     "cycles)</p>")
+    blocked: List[dict] = abort.get("blocked") or []
+    if blocked:
+        rows = []
+        for edge in blocked:
+            blockers = ", ".join(f"FU{b}" for b in edge["blockers"])
+            rows.append(
+                f'<tr><td class="name">FU{edge["fu"]}</td>'
+                f"<td><code>{edge['pc']:#04x}</code></td>"
+                f'<td class="name">{_esc(edge["cond"])}</td>'
+                f'<td class="name">{_esc(blockers)}</td></tr>')
+        parts.append(
+            '<h3>Blocked edges</h3><table><tr><th class="name">waiter'
+            '</th><th>pc</th><th class="name">condition</th>'
+            '<th class="name">blocked on</th></tr>'
+            + "".join(rows) + "</table>")
+    barriers: List[dict] = abort.get("open_barriers") or []
+    if barriers:
+        rows = [
+            f'<tr><td class="name">FU{b["fu"]}</td>'
+            f"<td><code>{b['pc']:#04x}</code></td>"
+            f"<td>{b['since']:,}</td></tr>"
+            for b in barriers]
+        parts.append(
+            '<h3>Open barrier episodes</h3><table><tr><th class="name">'
+            "FU</th><th>pc</th><th>waiting since</th></tr>"
+            + "".join(rows) + "</table>")
+    return "".join(parts)
+
+
 def _passes_panel(report: dict) -> str:
     """Per-pass IR-size table: ops in/out and the shrink per compiler
     pass, with a bar scaled to the pipeline's largest IR (empty string
@@ -460,6 +538,8 @@ def render_dashboard(report: dict,
         _stall_by_streams(report),
         _sync_panel(report),
         _io_panel(report),
+        _abort_panel(report),
+        _faults_panel(report),
         _opcode_bars(report),
         _energy_panel(report),
         _passes_panel(report),

@@ -1,0 +1,66 @@
+"""Crash-safe file writes for benchmark/report artifacts.
+
+Every JSON/JSONL artifact the toolchain produces (benchmark summaries,
+history ledgers, tolerance tables, partial result files, run reports)
+is consumed by later stages — the perf gate, the trend pipeline, suite
+merges.  A run killed mid-write (timeout, OOM, ctrl-C) must never
+leave a half-written artifact for those stages to choke on, so all
+writers funnel through :func:`atomic_write_text`: write to a temp file
+in the destination directory, fsync, then :func:`os.replace` — which
+is atomic on POSIX and on Windows — so readers observe either the old
+complete file or the new complete file, never a torn one.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import tempfile
+from typing import Union
+
+Pathish = Union[str, "os.PathLike[str]"]
+
+
+def atomic_write_text(path: Pathish, text: str) -> None:
+    """Replace *path*'s contents with *text* atomically.
+
+    The temp file lives in the destination's directory so the final
+    ``os.replace`` never crosses a filesystem boundary (a cross-device
+    rename is copy+delete, which is not atomic).
+    """
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{target.name}.", suffix=".tmp", dir=str(target.parent))
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_append_line(path: Pathish, line: str) -> None:
+    """Append *line* (newline added if missing) crash-safely.
+
+    A plain ``open(path, "a")`` can be torn by a crash mid-write,
+    corrupting the last ledger record; rewriting the whole file through
+    :func:`atomic_write_text` keeps every append all-or-nothing.  The
+    ledgers this serves (benchmark history) are small and appended to a
+    handful of times per run, so the rewrite cost is noise.
+    """
+    target = pathlib.Path(path)
+    existing = ""
+    if target.exists():
+        existing = target.read_text()
+        if existing and not existing.endswith("\n"):
+            existing += "\n"
+    if not line.endswith("\n"):
+        line += "\n"
+    atomic_write_text(target, existing + line)

@@ -28,6 +28,7 @@ from .events import (
     SyncEdgeEvent,
     SyncEvent,
 )
+from .ioutil import atomic_write_text
 from .metrics import MetricsRegistry
 from .schema import SCHEMA_VERSION
 
@@ -221,6 +222,12 @@ class RunReport:
     #: memory-mapped device census (Fig-12 port polling); empty when no
     #: devices were mapped or the report was built from events alone.
     io: Dict[str, object] = field(default_factory=dict)
+    #: deterministic fault-injection log (see :mod:`repro.faults`);
+    #: empty when the run injected no faults.
+    faults: List[Dict[str, object]] = field(default_factory=list)
+    #: structured RunAbort diagnosis of a hung/aborted run (see
+    #: :mod:`repro.machine.runtime`); empty when the run halted cleanly.
+    abort: Dict[str, object] = field(default_factory=dict)
     passes: List[Dict[str, object]] = field(default_factory=list)
     metrics: Dict[str, dict] = field(default_factory=dict)
 
@@ -354,6 +361,8 @@ class RunReport:
             energy=energy,
             sync=_sync_from_events(events, n_fus),
             io={},
+            faults=[],
+            abort={},
             passes=passes,
             metrics=registry.to_dict() if registry is not None else {},
         )
@@ -426,6 +435,9 @@ class RunReport:
             sync=_sync_section(counters.wait_rows(),
                                counters.barrier_profile_rows()),
             io=_io_section(machine),
+            faults=[dict(record) for record
+                    in getattr(machine, "fault_log", [])],
+            abort=dict(getattr(machine, "last_abort", None) or {}),
             passes=[],
             metrics=registry.to_dict() if registry is not None else {},
         )
@@ -477,6 +489,8 @@ class RunReport:
             "energy": dict(self.energy),
             "sync": dict(self.sync),
             "io": dict(self.io),
+            "faults": [dict(record) for record in self.faults],
+            "abort": dict(self.abort),
             "passes": [{"name": entry["name"],
                         "ops_in": entry["ops_in"],
                         "ops_out": entry["ops_out"]}
@@ -501,9 +515,8 @@ class RunReport:
     def write_json(self, path: Union[str, pathlib.Path],
                    include_timing: bool = False) -> pathlib.Path:
         path = pathlib.Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json(include_timing=include_timing) + "\n",
-                        encoding="utf-8")
+        atomic_write_text(
+            path, self.to_json(include_timing=include_timing) + "\n")
         return path
 
     def render_text(self) -> str:
@@ -599,6 +612,33 @@ class RunReport:
                 lines.append(
                     f"  port @{port['base']:#06x}      : "
                     f"{port['kind']}: {stats}")
+        if self.faults:
+            kinds = TallyCounter(record.get("kind", "?")
+                                 for record in self.faults)
+            masked = sum(1 for record in self.faults if "masked" in record)
+            parts = ", ".join(f"{kind}×{count}" for kind, count
+                              in sorted(kinds.items()))
+            lines.append(f"  faults injected   : {len(self.faults)} "
+                         f"({parts}; {masked} masked)")
+        if self.abort:
+            lines.append(
+                f"  run aborted       : {self.abort.get('kind', '?')} at "
+                f"cycle {self.abort.get('cycle', '?')} "
+                f"(limit {self.abort.get('limit', '?')})")
+            chain = (self.abort.get("critical_path") or {})
+            links = chain.get("links") or []
+            if links:
+                hops = " <- ".join(
+                    [f"FU{links[0]['waiter']}"]
+                    + [f"FU{link['blocker']}" for link in links])
+                lines.append(
+                    f"  critical wait     : {hops} "
+                    f"({chain.get('total_cycles', 0)} blocked cycles)")
+            for edge in (self.abort.get("blocked") or [])[:8]:
+                blockers = ",".join(f"FU{b}" for b in edge["blockers"])
+                lines.append(
+                    f"    FU{edge['fu']} @ {edge['pc']:#04x}: untaken "
+                    f"{edge['cond']} wait on {blockers or 'nothing'}")
         if self.hot_pcs:
             hot = ", ".join(f"{pc:#04x}×{count}"
                             for pc, count in self.hot_pcs[:6])

@@ -28,6 +28,13 @@ Version history:
   benchmark payloads may carry a ``sync`` section (advisory at the
   gate, like ``passes``).  Older artifacts remain readable — they
   simply carry no sync/io leaves.
+* **4** — run reports gain ``faults`` (the deterministic
+  fault-injection log of :mod:`repro.faults`) and ``abort`` (the
+  structured :class:`~repro.machine.errors.RunAbort` diagnosis:
+  watchdog/deadlock/livelock kind, wait matrix, critical wait chain,
+  open barriers) sections, and benchmark payloads may carry a
+  ``faults`` section (advisory at the gate).  Older artifacts remain
+  readable — they simply carry no fault/abort leaves.
 """
 
 from __future__ import annotations
@@ -37,10 +44,10 @@ import pathlib
 from typing import Optional, Union
 
 #: The schema version this tree writes.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Versions this tree can read.
-SUPPORTED_VERSIONS = frozenset({1, 2, 3})
+SUPPORTED_VERSIONS = frozenset({1, 2, 3, 4})
 
 #: ``kind`` tags this tree knows how to interpret.
 KNOWN_KINDS = frozenset({

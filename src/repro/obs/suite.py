@@ -32,6 +32,7 @@ import pathlib
 from typing import Dict, Iterable, Optional, Tuple, Union
 
 from .history import append_record, make_record
+from .ioutil import atomic_write_text
 from .schema import SCHEMA_VERSION
 
 Pathish = Union[str, pathlib.Path]
@@ -43,10 +44,13 @@ GENERATED_BY = "pytest benchmarks/ --benchmark-only"
 def load_sections(path: Pathish) -> Dict[str, dict]:
     """Section dicts from an existing summary, or ``{}``.
 
-    Bookkeeping keys (``schema_version`` …) and the wall-clock
-    ``timing`` section are dropped: timing is re-stamped by the next
-    writer, never merged across runs.  Unreadable or malformed files
-    degrade to an empty baseline rather than failing the run.
+    Bookkeeping keys (``schema_version`` …) and the run-scoped
+    sections — wall-clock ``timing`` and the driver's
+    ``suite_health`` — are dropped: both describe one run and are
+    re-stamped by the next writer, never merged across runs (a clean
+    suite run must clear the previous run's failure report).
+    Unreadable or malformed files degrade to an empty baseline rather
+    than failing the run.
     """
     path = pathlib.Path(path)
     if not path.exists():
@@ -58,7 +62,8 @@ def load_sections(path: Pathish) -> Dict[str, dict]:
     if not isinstance(previous, dict):
         return {}
     return {key: dict(value) for key, value in previous.items()
-            if isinstance(value, dict) and key != "timing"}
+            if isinstance(value, dict)
+            and key not in ("timing", "suite_health")}
 
 
 def merge_collected(
@@ -113,7 +118,8 @@ def write_summary(summary_path: Pathish,
     sections, timing = merge_collected(collected,
                                        load_sections(summary_path))
     summary = render_summary(sections, timing)
-    pathlib.Path(summary_path).write_text(
+    atomic_write_text(
+        summary_path,
         json.dumps(summary, indent=2, sort_keys=True, default=str) + "\n")
     if "workloads" in collected and history_path is not None:
         append_record(pathlib.Path(history_path),
@@ -130,7 +136,6 @@ def write_partial(path: Pathish, collected: Dict[str, dict]) -> None:
     :func:`merge_partials` needs to attribute duplicate bench ids.
     """
     path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     artifact = {
         "schema_version": SCHEMA_VERSION,
         "kind": "bench_partial",
@@ -139,8 +144,8 @@ def write_partial(path: Pathish, collected: Dict[str, dict]) -> None:
                                in sorted(entries.items())}
                      for section, entries in sorted(collected.items())},
     }
-    path.write_text(json.dumps(artifact, indent=2, sort_keys=True,
-                               default=str) + "\n")
+    atomic_write_text(path, json.dumps(artifact, indent=2, sort_keys=True,
+                                       default=str) + "\n")
 
 
 def load_partial(path: Pathish) -> dict:

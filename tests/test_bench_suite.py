@@ -1,19 +1,23 @@
-"""The benchmark-suite merge layer (``repro.obs.suite``).
+"""The benchmark-suite merge layer (``repro.obs.suite``) and driver.
 
 The parallel driver (``benchmarks/run_suite.py``) runs bench files in
 separate pytest subprocesses and merges their partial artifacts into
 one ``BENCH_SUMMARY.json`` + at most one history record.  These tests
 pin the properties the driver relies on: order-independent merges,
-loud duplicate detection, timing re-stamping, and the
-single-history-append policy.
+loud duplicate detection, timing re-stamping, the
+single-history-append policy, crash-safe (atomic) artifact writes,
+and the driver's timeout / retry / salvage behavior.
 """
 
+import importlib.util
 import itertools
 import json
+import pathlib
 
 import pytest
 
-from repro.obs.history import read_history
+from repro.obs.history import make_record, read_history
+from repro.obs.ioutil import atomic_append_line, atomic_write_text
 from repro.obs.schema import SCHEMA_VERSION
 from repro.obs.suite import (
     load_partial,
@@ -166,16 +170,278 @@ class TestWriteSummary:
         assert summary["timing"] == {"host": {"rate": 1.0}}
 
 
+class TestAtomicWrites:
+    def test_write_replaces_and_cleans_temp_files(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_text(path, "one\n")
+        atomic_write_text(path, "two\n")
+        assert path.read_text() == "two\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.json"]
+
+    def test_append_line_preserves_existing_lines(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        atomic_append_line(path, "one")
+        atomic_append_line(path, "two\n")
+        assert path.read_text() == "one\ntwo\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["ledger.jsonl"]
+
+    def test_append_heals_a_torn_final_line(self, tmp_path):
+        """A ledger whose last line lost its newline (legacy torn
+        write) gets the newline restored before the append."""
+        path = tmp_path / "ledger.jsonl"
+        path.write_text("torn")
+        atomic_append_line(path, "fresh")
+        assert path.read_text() == "torn\nfresh\n"
+
+    def test_summary_and_history_leave_no_temp_files(self, tmp_path):
+        summary_path = tmp_path / "BENCH_SUMMARY.json"
+        history_path = tmp_path / "BENCH_HISTORY.jsonl"
+        write_summary(summary_path, merge_partials(PARTIALS),
+                      history_path=history_path, git_sha="abc")
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "BENCH_HISTORY.jsonl", "BENCH_SUMMARY.json"]
+
+    def test_suite_health_never_enters_history(self, tmp_path):
+        """run_suite's health section describes one run's scheduling
+        accidents; it lands in the summary for humans but must stay
+        out of the deterministic history ledger (and its dedupe)."""
+        summary_path = tmp_path / "BENCH_SUMMARY.json"
+        history_path = tmp_path / "BENCH_HISTORY.jsonl"
+        write_summary(summary_path, {
+            "workloads": {"minmax": {"cycles": 100}},
+            "suite_health": {"run": {"retried": "bench_x.py"}},
+        }, history_path=history_path, git_sha="abc")
+        summary = json.loads(summary_path.read_text())
+        assert summary["suite_health"] == {
+            "run": {"retried": "bench_x.py"}}
+        [record] = read_history(history_path)
+        assert "suite_health" not in record["sections"]
+        # ... and cannot defeat dedupe either
+        again = make_record(
+            {"workloads": {"minmax": {"cycles": 100}},
+             "suite_health": {"run": {"failed": "bench_y.py"}}},
+            git_sha="abc")
+        assert again["sections"] == record["sections"]
+
+    def test_clean_run_clears_stale_suite_health(self, tmp_path):
+        """suite_health is run-scoped: once the failure is fixed, the
+        next clean summary write must drop the old report instead of
+        inheriting it forever through the section merge."""
+        summary_path = tmp_path / "BENCH_SUMMARY.json"
+        write_summary(summary_path, {
+            "workloads": {"minmax": {"cycles": 100}},
+            "suite_health": {"run": {"failed": "bench_x.py"}},
+        })
+        write_summary(summary_path,
+                      {"workloads": {"minmax": {"cycles": 100}}})
+        summary = json.loads(summary_path.read_text())
+        assert "suite_health" not in summary
+        assert summary["workloads"] == {"minmax": {"cycles": 100}}
+
+
+# ---------------------------------------------------------------------------
+# the driver itself: discovery, timeout, retry, salvage, sharding
+
+REPO = pathlib.Path(__file__).parent.parent
+
+
+def _driver():
+    spec = importlib.util.spec_from_file_location(
+        "run_suite", REPO / "benchmarks" / "run_suite.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+# Fake bench files for driving run_suite end-to-end.  Each writes its
+# own partial artifact (what the benchmark conftest would do at
+# session end) so the tests need no pytest-benchmark plumbing beyond
+# the ``benchmark`` fixture that keeps ``--benchmark-only`` from
+# skipping them.
+_FAKE_OK = """\
+import json, os, pathlib
+
+
+def _emit(sections):
+    path = os.environ.get("REPRO_BENCH_PARTIAL")
+    if path:
+        from repro.obs.schema import SCHEMA_VERSION
+        pathlib.Path(path).write_text(json.dumps({
+            "schema_version": SCHEMA_VERSION, "kind": "bench_partial",
+            "suite": pathlib.Path(path).stem, "sections": sections}))
+
+
+def test_ok(benchmark):
+    benchmark(lambda: None)
+    _emit({"workloads": {"fake_ok": {"cycles": 7}}})
+"""
+
+_FAKE_HANG = """\
+import time
+
+time.sleep(120)  # hang at collection: the driver must kill us
+"""
+
+_FAKE_FLAKY = """\
+import pathlib
+
+MARKER = pathlib.Path(__file__).with_suffix(".marker")
+
+
+def test_flaky(benchmark):
+    benchmark(lambda: None)
+    if not MARKER.exists():
+        MARKER.write_text("seen")
+        raise AssertionError("synthetic first-attempt failure")
+"""
+
+_FAKE_BROKEN = """\
+import json, os, pathlib
+
+
+def _emit(sections):
+    path = os.environ.get("REPRO_BENCH_PARTIAL")
+    if path:
+        from repro.obs.schema import SCHEMA_VERSION
+        pathlib.Path(path).write_text(json.dumps({
+            "schema_version": SCHEMA_VERSION, "kind": "bench_partial",
+            "suite": pathlib.Path(path).stem, "sections": sections}))
+
+
+def test_salvageable(benchmark):
+    benchmark(lambda: None)
+    _emit({"models": {"fake_broken": {"n": 3}}})
+
+
+def test_always_fails(benchmark):
+    benchmark(lambda: None)
+    raise AssertionError("synthetic persistent failure")
+"""
+
+
+def _fake(tmp_path, name, body):
+    path = tmp_path / name
+    path.write_text(body)
+    return path
+
+
 class TestDriverDiscovery:
     def test_discovers_the_suite(self):
-        import importlib.util
-        import pathlib
-        repo = pathlib.Path(__file__).parent.parent
-        spec = importlib.util.spec_from_file_location(
-            "run_suite", repo / "benchmarks" / "run_suite.py")
-        module = importlib.util.module_from_spec(spec)
-        spec.loader.exec_module(module)
+        module = _driver()
         names = [path.name for path in module.discover_benchmarks()]
         assert "bench_ex2_minmax.py" in names
         assert "bench_codegen_throughput.py" in names
         assert names == sorted(names)
+
+
+class TestRunSuiteDriver:
+    def test_happy_path_lands_summary_and_history(self, tmp_path):
+        module = _driver()
+        bench = _fake(tmp_path, "bench_fake_ok.py", _FAKE_OK)
+        summary_path = tmp_path / "BENCH_SUMMARY.json"
+        history_path = tmp_path / "BENCH_HISTORY.jsonl"
+        rc = module.run_suite(benchmarks=[bench], timeout=120,
+                              summary_path=summary_path,
+                              history_path=history_path)
+        assert rc == 0
+        summary = json.loads(summary_path.read_text())
+        assert summary["workloads"]["fake_ok"] == {"cycles": 7}
+        assert "suite_health" not in summary
+        assert len(read_history(history_path)) == 1
+
+    def test_timeout_kills_retries_and_names_the_unit(self, tmp_path,
+                                                      capsys):
+        module = _driver()
+        bench = _fake(tmp_path, "bench_fake_hang.py", _FAKE_HANG)
+        summary_path = tmp_path / "BENCH_SUMMARY.json"
+        history_path = tmp_path / "BENCH_HISTORY.jsonl"
+        rc = module.run_suite(benchmarks=[bench], timeout=3,
+                              summary_path=summary_path,
+                              history_path=history_path)
+        assert rc == 1
+        out = capsys.readouterr()
+        assert "TIMED OUT after 3s (after retry)" in out.out
+        assert "bench_fake_hang.py" in out.err
+        # the summary still lands, carrying the health section ...
+        summary = json.loads(summary_path.read_text())
+        health = summary["suite_health"]["run"]
+        assert health["failed"] == "bench_fake_hang.py"
+        assert health["retried"] == "bench_fake_hang.py"
+        # ... but a failed run never appends to the ledger
+        assert not history_path.exists()
+
+    def test_transient_failure_recovers_on_retry(self, tmp_path):
+        module = _driver()
+        ok = _fake(tmp_path, "bench_fake_ok.py", _FAKE_OK)
+        flaky = _fake(tmp_path, "bench_fake_flaky.py", _FAKE_FLAKY)
+        summary_path = tmp_path / "BENCH_SUMMARY.json"
+        history_path = tmp_path / "BENCH_HISTORY.jsonl"
+        rc = module.run_suite(benchmarks=[ok, flaky], timeout=120,
+                              summary_path=summary_path,
+                              history_path=history_path)
+        assert rc == 0
+        summary = json.loads(summary_path.read_text())
+        # the recovered run is still named for the record ...
+        assert summary["suite_health"]["run"] == {
+            "retried": "bench_fake_flaky.py"}
+        # ... and a recovered suite is complete: history appends
+        [record] = read_history(history_path)
+        assert "suite_health" not in record["sections"]
+
+    def test_persistent_failure_salvages_its_partial(self, tmp_path):
+        module = _driver()
+        broken = _fake(tmp_path, "bench_fake_broken.py", _FAKE_BROKEN)
+        summary_path = tmp_path / "BENCH_SUMMARY.json"
+        history_path = tmp_path / "BENCH_HISTORY.jsonl"
+        rc = module.run_suite(benchmarks=[broken], timeout=120,
+                              summary_path=summary_path,
+                              history_path=history_path)
+        assert rc == 1
+        summary = json.loads(summary_path.read_text())
+        # the passing test's numbers survive the file's failure
+        assert summary["models"]["fake_broken"] == {"n": 3}
+        health = summary["suite_health"]["run"]
+        assert health["failed"] == "bench_fake_broken.py"
+        assert health["salvaged"] == "bench_fake_broken.py"
+        assert not history_path.exists()
+
+    def test_collect_test_shards_round_robin(self, tmp_path):
+        module = _driver()
+        (tmp_path / "test_fake_shard.py").write_text(
+            "def test_a(): pass\n"
+            "def test_b(): pass\n"
+            "def test_c(): pass\n"
+            "def test_d(): pass\n"
+            "def test_e(): pass\n")
+        shards = module.collect_test_shards(
+            2, test_files=["test_fake_shard.py"], repo_root=tmp_path)
+        assert [shard["name"] for shard in shards] == [
+            "tests-shard-1of2", "tests-shard-2of2"]
+        assert all(shard["partial_stem"] is None for shard in shards)
+        assert [len(shard["targets"]) for shard in shards] == [3, 2]
+        combined = shards[0]["targets"] + shards[1]["targets"]
+        assert sorted(combined) == sorted(
+            f"test_fake_shard.py::test_{letter}" for letter in "abcde")
+        # round-robin deal: consecutive node ids alternate shards
+        assert shards[0]["targets"][0].endswith("test_a")
+        assert shards[1]["targets"][0].endswith("test_b")
+
+    def test_collect_test_shards_missing_files_degrade(self, tmp_path):
+        module = _driver()
+        assert module.collect_test_shards(
+            4, test_files=["test_nope.py"], repo_root=tmp_path) == []
+
+    def test_with_tests_shards_join_the_pool(self, tmp_path):
+        """End-to-end: ``--with-tests`` runs real repo test shards as
+        extra pool units alongside the bench files."""
+        module = _driver()
+        bench = _fake(tmp_path, "bench_fake_ok.py", _FAKE_OK)
+        summary_path = tmp_path / "BENCH_SUMMARY.json"
+        rc = module.run_suite(
+            benchmarks=[bench], timeout=300, with_tests=True,
+            test_files=["tests/test_isa_registers.py"],
+            summary_path=summary_path,
+            history_path=tmp_path / "BENCH_HISTORY.jsonl")
+        assert rc == 0
+        assert json.loads(summary_path.read_text())[
+            "workloads"]["fake_ok"] == {"cycles": 7}

@@ -1,0 +1,260 @@
+"""Deterministic fault injection (``repro.faults``).
+
+The robustness contract: a :class:`FaultPlan` is a pure, replayable
+input.  The same plan on the same machine produces bit-identical
+post-fault state, an identical fault log, and — when the faulted run
+ends in an error or an abort — the identical error type, message, and
+diagnosis on the reference, fast, and specialized engines alike.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import ALL_KINDS, FaultEvent, FaultPlan
+from repro.machine import (
+    MachineError,
+    VliwMachine,
+    XimdMachine,
+    specialized_eligible,
+)
+from repro.obs import Observer, observed
+from repro.workloads import (
+    MINMAX_REGS,
+    longrunner_program,
+    longrunner_vliw_program,
+    minmax_memory,
+    minmax_source,
+)
+
+from tests.test_engine import (
+    _iosync_machine,
+    _machine_fingerprint,
+    _result_fingerprint,
+)
+
+
+def _longrunner(iterations=300):
+    program, registers = longrunner_program(iterations=iterations)
+    machine = XimdMachine(program)
+    for index, value in registers.items():
+        machine.regfile.poke(index, value)
+    return machine
+
+
+def _run_faulted(make, engine, plan, limit):
+    machine = make()
+    try:
+        result = machine.run(limit, engine=engine, faults=plan)
+    except (MachineError, ArithmeticError, ValueError, OSError) as exc:
+        return machine, None, (type(exc).__name__, str(exc))
+    return machine, result, None
+
+
+def assert_identical_faulted(make, plan, limit=200_000):
+    """Every engine must see the identical faulted execution.
+
+    Successful runs match on result and committed machine state; runs
+    that abort or error match on exception type + message and on the
+    structured abort diagnosis.  The fault log must be identical in
+    content *and order* either way.
+    """
+    ref_machine, ref, ref_err = _run_faulted(make, "reference", plan, limit)
+    engines = ["fast"]
+    if specialized_eligible(make()):
+        engines.append("specialized")
+    for engine in engines:
+        machine, result, err = _run_faulted(make, engine, plan, limit)
+        assert err == ref_err, engine
+        assert machine.fault_log == ref_machine.fault_log, engine
+        assert machine.last_abort == ref_machine.last_abort, engine
+        if ref_err is None:
+            assert (_result_fingerprint(result)
+                    == _result_fingerprint(ref)), engine
+            assert (_machine_fingerprint(machine)
+                    == _machine_fingerprint(ref_machine)), engine
+            assert result.faults == ref.faults, engine
+
+
+# ---------------------------------------------------------------------------
+# the plan itself: deterministic, serializable, validated
+
+
+class TestFaultPlan:
+    def test_seeded_is_deterministic(self):
+        a = FaultPlan.seeded(7, 12, ports=2)
+        b = FaultPlan.seeded(7, 12, ports=2)
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+        assert len(a) == 12
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.seeded(7, 12)
+        b = FaultPlan.seeded(8, 12)
+        assert a != b
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_round_trip(self):
+        plan = FaultPlan.seeded(3, 9, ports=1)
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone == plan
+        assert clone.fingerprint() == plan.fingerprint()
+
+    def test_events_sorted_stably_by_cycle(self):
+        plan = FaultPlan([
+            FaultEvent(cycle=9, kind="reg_flip", reg=1),
+            FaultEvent(cycle=3, kind="reg_flip", reg=2),
+            FaultEvent(cycle=9, kind="mem_corrupt", address=4),
+        ])
+        assert [e.cycle for e in plan] == [3, 9, 9]
+        # same-cycle events keep their listed order (stable sort)
+        assert [e.kind for e in plan][1:] == ["reg_flip", "mem_corrupt"]
+
+    def test_port_kinds_need_ports(self):
+        plan = FaultPlan.seeded(5, 40, ports=0)
+        assert not any(e.kind.startswith("port_") for e in plan)
+        with_ports = FaultPlan.seeded(5, 40, ports=2)
+        assert any(e.kind.startswith("port_") for e in with_ports)
+
+    def test_kinds_subset(self):
+        plan = FaultPlan.seeded(1, 20, kinds=["reg_flip"])
+        assert {e.kind for e in plan} == {"reg_flip"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(cycle=1, kind="gamma_ray")
+        with pytest.raises(ValueError, match="cycle must be >= 0"):
+            FaultEvent(cycle=-1, kind="reg_flip")
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.seeded(1, 4, kinds=["bogus"])
+        with pytest.raises(ValueError, match="no fault kinds left"):
+            FaultPlan.seeded(1, 4, ports=0, kinds=["port_drop"])
+
+    def test_all_kinds_complete(self):
+        assert set(ALL_KINDS) == {
+            "reg_flip", "mem_corrupt", "port_drop", "port_delay",
+            "ss_glitch", "spurious_wakeup"}
+
+
+# ---------------------------------------------------------------------------
+# three-way engine identity under faults
+
+
+class TestFaultedEngineIdentity:
+    def test_longrunner_seeded_plan(self):
+        plan = FaultPlan.seeded(7, 12, n_registers=32)
+        assert_identical_faulted(_longrunner, plan)
+
+    def test_iosync_port_faults(self):
+        plan = FaultPlan.seeded(11, 8, mean_gap=6.0, ports=2,
+                                kinds=["port_drop", "port_delay",
+                                       "ss_glitch"])
+        assert_identical_faulted(_iosync_machine, plan)
+
+    def test_vliw_plan_masks_sync_faults(self):
+        def make():
+            program, registers = longrunner_vliw_program(iterations=200)
+            machine = VliwMachine(program)
+            for index, value in registers.items():
+                machine.regfile.poke(index, value)
+            return machine
+
+        plan = FaultPlan([
+            FaultEvent(cycle=2, kind="ss_glitch", fu=1),
+            FaultEvent(cycle=3, kind="spurious_wakeup", fu=0),
+            FaultEvent(cycle=4, kind="reg_flip", reg=9, bit=3),
+        ])
+        machine, _, _ = _run_faulted(make, "reference", plan, 200_000)
+        assert machine.fault_log[0]["masked"]
+        assert machine.fault_log[1]["masked"]
+        assert "masked" not in machine.fault_log[2]
+        assert_identical_faulted(make, plan)
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 2**20), n_faults=st.integers(1, 10),
+           mean_gap=st.floats(2.0, 120.0))
+    def test_seeded_plans_identical_across_engines(self, seed, n_faults,
+                                                   mean_gap):
+        """Chaos sweep: whatever a random plan does to the longrunner —
+        clean halt, wrong-answer halt, watchdog, livelock, datapath
+        error — all three engines must agree exactly."""
+        plan = FaultPlan.seeded(seed, n_faults, mean_gap,
+                                n_registers=32)
+        assert_identical_faulted(_longrunner, plan, limit=50_000)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 2**20), n_faults=st.integers(1, 6))
+    def test_seeded_port_plans_identical_across_engines(self, seed,
+                                                        n_faults):
+        plan = FaultPlan.seeded(seed, n_faults, mean_gap=8.0, ports=2)
+        assert_identical_faulted(_iosync_machine, plan, limit=50_000)
+
+
+# ---------------------------------------------------------------------------
+# fault-log records and masking
+
+
+def _minmax(**kwargs):
+    from tests.test_engine import _MM_DATA, _fresh
+    return _fresh(XimdMachine, minmax_source("halt"),
+                  {MINMAX_REGS["n"]: len(_MM_DATA)},
+                  minmax_memory(_MM_DATA), **kwargs)
+
+
+class TestFaultRecords:
+    def test_reg_flip_record(self):
+        machine = _longrunner()
+        plan = FaultPlan([FaultEvent(cycle=1, kind="reg_flip", reg=2,
+                                     bit=5)])
+        machine.run(50_000, faults=plan)
+        [record] = machine.fault_log
+        assert record["kind"] == "reg_flip"
+        assert record["new"] == record["old"] ^ (1 << 5)
+
+    def test_mem_corrupt_masked_on_device_address(self):
+        machine = _iosync_machine()
+        base = next(base for base, _end, _dev
+                    in machine.memory.devices.ranges())
+        plan = FaultPlan([FaultEvent(cycle=1, kind="mem_corrupt",
+                                     address=base)])
+        machine.run(50_000, faults=plan)
+        [record] = machine.fault_log
+        assert "claimed by a device" in record["masked"]
+
+    def test_port_faults_masked_without_ports(self):
+        machine = _minmax()
+        plan = FaultPlan([
+            FaultEvent(cycle=1, kind="port_drop"),
+            FaultEvent(cycle=2, kind="port_delay", delay=5),
+        ])
+        machine.run(500_000, faults=plan)
+        assert [r["masked"] for r in machine.fault_log] == [
+            "machine has no input ports"] * 2
+
+    def test_indices_reduced_modulo_machine_dimensions(self):
+        machine = _longrunner()
+        n_registers = machine.config.n_registers
+        plan = FaultPlan([FaultEvent(cycle=1, kind="reg_flip",
+                                     reg=n_registers + 3, bit=70)])
+        machine.run(50_000, faults=plan)
+        [record] = machine.fault_log
+        assert record["reg"] == 3
+        assert record["bit"] == 70 % 64
+
+    def test_result_carries_only_this_runs_faults(self):
+        machine = _longrunner()
+        plan = FaultPlan([FaultEvent(cycle=1, kind="reg_flip", reg=2,
+                                     bit=0)])
+        result = machine.run(50_000, faults=plan)
+        assert result.faults == tuple(machine.fault_log)
+        assert len(result.faults) == 1
+
+    def test_faults_injected_counter(self):
+        obs = Observer()
+        with observed(obs):
+            machine = _longrunner()
+        plan = FaultPlan([
+            FaultEvent(cycle=1, kind="reg_flip", reg=2, bit=0),
+            FaultEvent(cycle=5, kind="reg_flip", reg=2, bit=0),
+        ])
+        machine.run(50_000, faults=plan)
+        assert obs.registry.counter("ximd.faults_injected").value == 2

@@ -1,0 +1,342 @@
+"""Hang diagnosis and graceful engine degradation.
+
+The run driver (``repro.machine.runtime``) replaces the blind
+``max_cycles`` watchdog with structured :class:`RunAbort` diagnoses —
+sync deadlock and state-recurrence livelock, caught at geometric
+check boundaries well before the cycle limit — and hardens
+``run(engine="auto")`` so a broken tier degrades downward instead of
+crashing.  Everything here must behave identically on the reference,
+fast, and specialized engines.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import FaultEvent, FaultPlan
+from repro.obs.__main__ import main as obs_main
+from repro.obs.html import render_dashboard
+from repro.obs.report import RunReport
+from repro.obs.schema import check_artifact
+from repro.machine import (
+    MachineError,
+    RunAbort,
+    SimulationLimitError,
+    VliwMachine,
+    XimdMachine,
+    research_config,
+    specialized_eligible,
+)
+from repro.obs import Observer, observed
+from repro.workloads import longrunner_program
+
+from tests.test_engine import PAPER_WORKLOADS, _fresh, _result_fingerprint
+
+# Two FUs spin on each other's sync signal: FU0 leaves only when FU1
+# reports DONE and vice versa, but both parcels assert BUSY forever —
+# a cyclic ss-wait deadlock (the paper's synchronization hazard).
+DEADLOCK = """
+.width 2
+spin:
+| if ss1 out, spin ; nop ; busy
+| if ss0 out, spin ; nop ; busy
+out:
+| halt ; nop
+| halt ; nop
+"""
+
+# A branch loop that never halts and never changes state: textbook
+# livelock for the state-digest monitor.
+LIVELOCK = """
+.width 1
+a:
+| -> b ; nop
+b:
+| -> a ; nop
+"""
+
+
+def _engines(make):
+    engines = ["reference", "fast"]
+    if specialized_eligible(make()):
+        engines.append("specialized")
+    return engines
+
+
+def _abort(make, engine, limit=1_000_000, faults=None):
+    machine = make()
+    with pytest.raises(RunAbort) as excinfo:
+        machine.run(limit, engine=engine, faults=faults)
+    exc = excinfo.value
+    return machine, exc
+
+
+def assert_same_abort(make, limit=1_000_000, faults=None):
+    """Run *make()* on every engine; demand the identical RunAbort."""
+    outcomes = {}
+    for engine in _engines(make):
+        machine, exc = _abort(make, engine, limit, faults)
+        outcomes[engine] = (str(exc), exc.kind, exc.cycle,
+                            exc.diagnostics)
+        assert machine.last_abort == exc.diagnostics, engine
+    reference = outcomes.pop("reference")
+    for engine, outcome in outcomes.items():
+        assert outcome == reference, engine
+    return reference
+
+
+class TestDeadlockDiagnosis:
+    def test_identical_on_all_engines(self):
+        make = lambda: _fresh(XimdMachine, DEADLOCK)  # noqa: E731
+        message, kind, cycle, diagnostics = assert_same_abort(make)
+        assert kind == "deadlock"
+        assert "sync deadlock" in message
+        assert "all 2 active FUs blocked" in message
+        assert cycle == diagnostics["cycle"]
+        assert diagnostics["blocked"] == [
+            {"fu": 0, "pc": 0, "cond": "ss", "blockers": [1]},
+            {"fu": 1, "pc": 0, "cond": "ss", "blockers": [0]},
+        ]
+        assert diagnostics["pcs"] == [0, 0]
+        assert diagnostics["faults_applied"] == 0
+
+    def test_diagnosed_long_before_the_limit(self):
+        machine = _fresh(XimdMachine, DEADLOCK)
+        with pytest.raises(RunAbort) as excinfo:
+            machine.run(10_000_000)
+        assert excinfo.value.kind == "deadlock"
+        assert excinfo.value.cycle <= 2 * machine.config.hang_check_start
+
+    def test_diagnostics_are_json_ready(self):
+        _machine, exc = _abort(lambda: _fresh(XimdMachine, DEADLOCK),
+                               "reference")
+        payload = json.loads(json.dumps(exc.diagnostics))
+        assert payload["kind"] == "deadlock"
+        assert payload["wait_matrix_source"] in ("counters",
+                                                 "instantaneous")
+        assert any(any(row) for row in payload["wait_matrix"])
+        assert "critical_path" in payload
+
+    def test_abort_is_a_simulation_limit_error(self):
+        """Existing callers catch SimulationLimitError; the richer
+        diagnosis must not slip past them."""
+        machine = _fresh(XimdMachine, DEADLOCK)
+        with pytest.raises(SimulationLimitError):
+            machine.run(1_000_000)
+
+
+class TestLivelockDiagnosis:
+    def test_identical_on_all_engines(self):
+        make = lambda: _fresh(XimdMachine, LIVELOCK)  # noqa: E731
+        message, kind, _cycle, diagnostics = assert_same_abort(make)
+        assert kind == "livelock"
+        assert "state recurred" in message
+        assert diagnostics["period"] >= 1
+
+    def test_vliw_livelock(self):
+        make = lambda: _fresh(VliwMachine, LIVELOCK)  # noqa: E731
+        _message, kind, _cycle, diagnostics = assert_same_abort(make)
+        assert kind == "livelock"
+        assert len(diagnostics["pcs"]) == 1
+
+    def test_pending_faults_defer_the_diagnosis(self):
+        """An undelivered fault event could still unstick the loop, so
+        the monitor must not claim livelock while one is pending — the
+        plain watchdog fires at the limit instead."""
+        plan = FaultPlan([FaultEvent(cycle=100_000, kind="reg_flip",
+                                     reg=1, bit=0)])
+        make = lambda: _fresh(XimdMachine, LIVELOCK)  # noqa: E731
+        _message, kind, cycle, _diag = assert_same_abort(
+            make, limit=5_000, faults=plan)
+        assert kind == "watchdog"
+        assert cycle == 5_000
+
+    def test_diagnosed_after_faults_applied(self):
+        """Once every event has landed the monitor resumes; the abort
+        reports how many faults were injected first."""
+        plan = FaultPlan([FaultEvent(cycle=10, kind="reg_flip",
+                                     reg=1, bit=0)])
+        make = lambda: _fresh(XimdMachine, LIVELOCK)  # noqa: E731
+        _message, kind, _cycle, diagnostics = assert_same_abort(
+            make, faults=plan)
+        assert kind == "livelock"
+        assert diagnostics["faults_applied"] == 1
+
+
+class TestWatchdogCompatibility:
+    def test_small_limit_keeps_the_legacy_message(self):
+        """Limits below the first check boundary never reach the
+        monitor: the watchdog fires with the historical message."""
+        machine = _fresh(XimdMachine, LIVELOCK)
+        with pytest.raises(SimulationLimitError,
+                           match="did not halt within 50 cycles"):
+            machine.run(50)
+        assert machine.last_abort["kind"] == "watchdog"
+
+    def test_hang_detection_off_restores_blind_watchdog(self):
+        config = research_config(1, hang_detection=False)
+        machine = _fresh(XimdMachine, LIVELOCK, config=config)
+        with pytest.raises(RunAbort) as excinfo:
+            machine.run(10_000)
+        assert excinfo.value.kind == "watchdog"
+        assert excinfo.value.cycle == 10_000
+
+    def test_halting_programs_are_untouched(self):
+        """The monitor must never fire on a program that halts."""
+        result = PAPER_WORKLOADS["minmax-ximd"]().run(5_000_000)
+        assert result.halted
+
+
+class TestEngineDegradation:
+    def _minmax(self, obs=None):
+        if obs is None:
+            return PAPER_WORKLOADS["minmax-ximd"]()
+        with observed(obs):
+            return PAPER_WORKLOADS["minmax-ximd"]()
+
+    def test_healthy_run_has_no_fallback(self):
+        machine = self._minmax()
+        result = machine.run(5_000_000)
+        assert result.fallback_reason is None
+        assert machine.last_fallback is None
+
+    def test_codegen_failure_degrades_to_fast(self, monkeypatch):
+        def explode(machine, kind):
+            raise RuntimeError("synthetic codegen explosion")
+
+        monkeypatch.setattr("repro.machine.codegen.specialized_runner",
+                            explode)
+        obs = Observer()
+        machine = self._minmax(obs)
+        result = machine.run(5_000_000, engine="auto")
+        assert machine.engine_used == "fast"
+        assert result.fallback_reason == (
+            "specialized codegen failed (RuntimeError: synthetic "
+            "codegen explosion); degraded to fast")
+        assert obs.registry.counter("ximd.engine_fallback").value == 1
+        # the degraded run still computes the right answer
+        reference = PAPER_WORKLOADS["minmax-ximd"]().run(
+            5_000_000, engine="reference")
+        assert _result_fingerprint(result) == _result_fingerprint(
+            reference)
+
+    def test_decode_failure_degrades_to_reference(self, monkeypatch):
+        def explode(*args, **kwargs):
+            raise ValueError("synthetic decoder failure")
+
+        monkeypatch.setattr("repro.machine.codegen.specialized_runner",
+                            explode)
+        monkeypatch.setattr("repro.machine.codegen._decoded_for",
+                            explode)
+        machine = self._minmax()
+        result = machine.run(5_000_000, engine="auto")
+        assert machine.engine_used == "reference"
+        assert "degraded to fast" in result.fallback_reason
+        assert "degraded to reference" in result.fallback_reason
+        assert result.halted
+
+    def test_explicit_specialized_still_raises(self, monkeypatch):
+        def explode(machine, kind):
+            raise RuntimeError("synthetic codegen explosion")
+
+        monkeypatch.setattr("repro.machine.codegen.specialized_runner",
+                            explode)
+        machine = self._minmax()
+        with pytest.raises(MachineError,
+                           match="specialized engine failed to build"):
+            machine.run(5_000_000, engine="specialized")
+
+    def test_explicit_fast_still_raises(self, monkeypatch):
+        def explode(*args, **kwargs):
+            raise ValueError("synthetic decoder failure")
+
+        monkeypatch.setattr("repro.machine.codegen._decoded_for",
+                            explode)
+        machine = self._minmax()
+        with pytest.raises(MachineError,
+                           match="fast engine failed to decode"):
+            machine.run(5_000_000, engine="fast")
+
+    def test_degraded_longrunner_matches_reference(self, monkeypatch):
+        """Fallback composes with the segmented driver: a degraded run
+        with hang checks enabled is still bit-identical."""
+        def explode(machine, kind):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr("repro.machine.codegen.specialized_runner",
+                            explode)
+
+        def make():
+            program, registers = longrunner_program(iterations=300)
+            machine = XimdMachine(program)
+            for index, value in registers.items():
+                machine.regfile.poke(index, value)
+            return machine
+
+        degraded = make().run(50_000, engine="auto")
+        reference = make().run(50_000, engine="reference")
+        assert _result_fingerprint(degraded) == _result_fingerprint(
+            reference)
+
+
+class TestReportSurfaces:
+    """Schema v4: faults and abort ride through RunReport, the text
+    renderer, the dashboard, and the ``faults`` CLI subcommand."""
+
+    def _aborted_report(self):
+        obs = Observer()
+        with observed(obs):
+            machine = _fresh(XimdMachine, DEADLOCK)
+        with pytest.raises(RunAbort):
+            machine.run(1_000_000)
+        return RunReport.from_machine(machine, obs.registry)
+
+    def _faulted_report(self):
+        obs = Observer()
+        with observed(obs):
+            program, registers = longrunner_program(iterations=300)
+            machine = XimdMachine(program)
+            for index, value in registers.items():
+                machine.regfile.poke(index, value)
+        machine.run(200_000,
+                    faults=FaultPlan.seeded(7, 12, n_registers=32))
+        return RunReport.from_machine(machine, obs.registry)
+
+    def test_report_carries_abort_diagnosis(self):
+        report = self._aborted_report()
+        payload = check_artifact(report.to_dict(), "report")
+        assert payload["abort"]["kind"] == "deadlock"
+        assert payload["abort"]["blocked"]
+        text = report.render_text()
+        cycle = payload["abort"]["cycle"]
+        assert "run aborted" in text
+        assert f"deadlock at cycle {cycle}" in text
+        html = render_dashboard(payload)
+        assert "critical wait" in html.lower()
+
+    def test_report_carries_fault_log(self):
+        report = self._faulted_report()
+        payload = check_artifact(report.to_dict(), "report")
+        assert len(payload["faults"]) == 12
+        assert payload["abort"] == {}
+        assert "faults injected" in report.render_text()
+        assert "ss_glitch" in render_dashboard(payload)
+
+    def test_faults_cli(self, tmp_path, capsys):
+        path = tmp_path / "abort.json"
+        self._aborted_report().write_json(path)
+        assert obs_main(["faults", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "run aborted: deadlock at cycle" in out
+        assert "critical wait chain" in out
+        assert obs_main(["faults", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["abort"]["kind"] == "deadlock"
+
+    def test_faults_cli_on_clean_faulted_run(self, tmp_path, capsys):
+        path = tmp_path / "clean.json"
+        self._faulted_report().write_json(path)
+        assert obs_main(["faults", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "12 fault(s) injected" in out
+        assert "masked" in out
